@@ -1,0 +1,35 @@
+//! # sparqlog-algebra
+//!
+//! Shallow syntactic analysis and query-fragment classification for SPARQL
+//! query logs, implementing Sections 4 and 5 of *"An Analytical Study of
+//! Large SPARQL Query Logs"* (Bonifati–Martens–Timm, VLDB 2017):
+//!
+//! * [`features`] — per-query feature extraction ([`QueryFeatures`]).
+//! * [`keywords`] — keyword census (Table 2 / Table 7).
+//! * [`triples`] — triples-per-query histograms (Figure 1 / Figure 8).
+//! * [`opsets`] — operator-set classification and CPF roll-ups (Table 3 / 8).
+//! * [`projection`] — projection usage per SPARQL 1.1 §18.2.1 (Section 4.4).
+//! * [`fragments`] — CQ / CPF / CQF / AOF / well-designed / CQOF membership.
+//! * [`pattern_tree`] — well-designed pattern trees and interface width.
+//! * [`walk`] — the shared structural walker.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod fragments;
+pub mod keywords;
+pub mod opsets;
+pub mod pattern_tree;
+pub mod projection;
+pub mod triples;
+pub mod walk;
+
+pub use features::{AggregateUse, QueryFeatures};
+pub use fragments::{classify_fragments, CqLikeClass, FragmentReport, FragmentTally};
+pub use keywords::KeywordTally;
+pub use opsets::{classify_opset, OpSetClass, OpSetTally, OperatorSet};
+pub use pattern_tree::{PatternNode, PatternTree};
+pub use projection::{projection_use, ProjectionTally, ProjectionUse};
+pub use triples::TripleHistogram;
+pub use walk::{collect_property_paths, collect_triple_patterns, BodyOps};

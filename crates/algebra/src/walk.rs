@@ -1,0 +1,413 @@
+//! A single-pass structural walk over a query body collecting the operator
+//! and feature usage that all shallow analyses are built on.
+
+use sparqlog_parser::ast::*;
+
+/// Counters describing which syntactic constructs a query body uses and how
+/// often. All downstream classifications (keyword census, operator sets,
+/// fragments) are derived from these counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BodyOps {
+    /// Number of plain triple patterns (including those inside OPTIONAL,
+    /// UNION branches, GRAPH, MINUS and subqueries; excluding FILTER
+    /// EXISTS patterns and CONSTRUCT templates).
+    pub triples: u32,
+    /// Number of non-trivial property-path patterns.
+    pub paths: u32,
+    /// Number of triple patterns whose predicate is a variable.
+    pub var_predicates: u32,
+    /// Number of conjunction (`And` / join) combinations: within every group,
+    /// the number of joined pattern elements minus one (triples in a BGP each
+    /// count as one element).
+    pub joins: u32,
+    /// Number of `FILTER` constraints.
+    pub filters: u32,
+    /// Number of `OPTIONAL` blocks.
+    pub optionals: u32,
+    /// Number of `UNION` operators (a chain of *k* branches counts *k − 1*).
+    pub unions: u32,
+    /// Number of `GRAPH` blocks.
+    pub graphs: u32,
+    /// Number of `MINUS` blocks.
+    pub minuses: u32,
+    /// Number of `BIND` assignments.
+    pub binds: u32,
+    /// Number of inline `VALUES` blocks inside the body.
+    pub values_blocks: u32,
+    /// Number of `SERVICE` blocks.
+    pub services: u32,
+    /// Number of subqueries (nested SELECTs).
+    pub subqueries: u32,
+    /// Number of `EXISTS` expressions inside filters.
+    pub exists: u32,
+    /// Number of `NOT EXISTS` expressions inside filters.
+    pub not_exists: u32,
+    /// Number of aggregate expressions used inside the body (subquery
+    /// projections, having clauses of subqueries, …).
+    pub aggregates_in_body: u32,
+}
+
+impl BodyOps {
+    /// Computes the counters for a query body. Returns the default (all-zero)
+    /// value for body-less queries.
+    pub fn of_query(q: &Query) -> BodyOps {
+        let mut ops = BodyOps::default();
+        if let Some(body) = &q.where_clause {
+            ops.walk_group(body);
+        }
+        ops
+    }
+
+    /// Computes the counters for a single group graph pattern.
+    pub fn of_group(g: &GroupGraphPattern) -> BodyOps {
+        let mut ops = BodyOps::default();
+        ops.walk_group(g);
+        ops
+    }
+
+    /// True if the body uses the `And` operator (at least one join).
+    pub fn uses_and(&self) -> bool {
+        self.joins > 0
+    }
+
+    /// Total number of triple-like patterns (plain triples plus paths).
+    pub fn total_triples(&self) -> u32 {
+        self.triples + self.paths
+    }
+
+    /// True if the body uses any construct outside the operator set
+    /// {And, Filter, Opt, Graph, Union} studied in Table 3 of the paper
+    /// (property paths, MINUS, BIND, VALUES, SERVICE, subqueries,
+    /// (NOT) EXISTS).
+    pub fn uses_non_table3_features(&self) -> bool {
+        self.paths > 0
+            || self.minuses > 0
+            || self.binds > 0
+            || self.values_blocks > 0
+            || self.services > 0
+            || self.subqueries > 0
+            || self.exists > 0
+            || self.not_exists > 0
+            || self.aggregates_in_body > 0
+    }
+
+    /// True if the body uses only triple patterns combined with `And`,
+    /// `Filter` and `Opt` — the *AOF patterns* of Section 5.
+    pub fn is_aof(&self) -> bool {
+        !self.uses_non_table3_features() && self.unions == 0 && self.graphs == 0
+    }
+
+    fn walk_group(&mut self, g: &GroupGraphPattern) {
+        // Count the pattern elements that combine via Join within this group.
+        let mut joined_elements: u32 = 0;
+        for el in &g.elements {
+            match el {
+                GroupElement::Triples(ts) => {
+                    for t in ts {
+                        match t {
+                            TripleOrPath::Triple(t) => {
+                                self.triples += 1;
+                                if t.predicate.is_var() {
+                                    self.var_predicates += 1;
+                                }
+                            }
+                            TripleOrPath::Path(_) => self.paths += 1,
+                        }
+                        joined_elements += 1;
+                    }
+                }
+                GroupElement::Filter(e) => {
+                    self.filters += 1;
+                    self.walk_expression(e);
+                }
+                GroupElement::Bind { expr, .. } => {
+                    self.binds += 1;
+                    self.walk_expression(expr);
+                }
+                GroupElement::Optional(inner) => {
+                    self.optionals += 1;
+                    self.walk_group(inner);
+                }
+                GroupElement::Union(branches) => {
+                    self.unions += (branches.len().saturating_sub(1)) as u32;
+                    for b in branches {
+                        self.walk_group(b);
+                    }
+                    joined_elements += 1;
+                }
+                GroupElement::Graph { pattern, .. } => {
+                    self.graphs += 1;
+                    self.walk_group(pattern);
+                    joined_elements += 1;
+                }
+                GroupElement::Minus(inner) => {
+                    self.minuses += 1;
+                    self.walk_group(inner);
+                }
+                GroupElement::Service { pattern, .. } => {
+                    self.services += 1;
+                    self.walk_group(pattern);
+                    joined_elements += 1;
+                }
+                GroupElement::Values(_) => {
+                    self.values_blocks += 1;
+                    joined_elements += 1;
+                }
+                GroupElement::SubSelect(q) => {
+                    self.subqueries += 1;
+                    if let Some(inner) = &q.where_clause {
+                        self.walk_group(inner);
+                    }
+                    for item in projected_expressions(q) {
+                        self.walk_expression(item);
+                    }
+                    joined_elements += 1;
+                }
+                GroupElement::Group(inner) => {
+                    self.walk_group(inner);
+                    joined_elements += 1;
+                }
+            }
+        }
+        self.joins += joined_elements.saturating_sub(1);
+    }
+
+    fn walk_expression(&mut self, e: &Expression) {
+        match e {
+            Expression::Exists(g) => {
+                self.exists += 1;
+                self.walk_group(g);
+            }
+            Expression::NotExists(g) => {
+                self.not_exists += 1;
+                self.walk_group(g);
+            }
+            Expression::Aggregate(agg) => {
+                self.aggregates_in_body += 1;
+                if let Some(inner) = &agg.expr {
+                    self.walk_expression(inner);
+                }
+            }
+            Expression::Var(_) | Expression::Term(_) => {}
+            Expression::Or(a, b)
+            | Expression::And(a, b)
+            | Expression::Equal(a, b)
+            | Expression::NotEqual(a, b)
+            | Expression::Less(a, b)
+            | Expression::Greater(a, b)
+            | Expression::LessEq(a, b)
+            | Expression::GreaterEq(a, b)
+            | Expression::Add(a, b)
+            | Expression::Subtract(a, b)
+            | Expression::Multiply(a, b)
+            | Expression::Divide(a, b) => {
+                self.walk_expression(a);
+                self.walk_expression(b);
+            }
+            Expression::In(a, list) | Expression::NotIn(a, list) => {
+                self.walk_expression(a);
+                for x in list {
+                    self.walk_expression(x);
+                }
+            }
+            Expression::Not(a) | Expression::UnaryMinus(a) | Expression::UnaryPlus(a) => {
+                self.walk_expression(a)
+            }
+            Expression::FunctionCall(_, args) => {
+                for a in args {
+                    self.walk_expression(a);
+                }
+            }
+        }
+    }
+}
+
+/// Returns the expressions projected by a query (the `expr` of each
+/// `(expr AS ?v)` select item), used to find aggregates in subqueries.
+fn projected_expressions(q: &Query) -> impl Iterator<Item = &Expression> {
+    match &q.projection {
+        Projection::Items(items) => items.iter().filter_map(|i| i.expr.as_ref()).collect::<Vec<_>>(),
+        _ => Vec::new(),
+    }
+    .into_iter()
+}
+
+/// Collects every property path used anywhere in the query body (including
+/// nested groups and subqueries), in source order.
+pub fn collect_property_paths(q: &Query) -> Vec<&PropertyPath> {
+    let mut out = Vec::new();
+    if let Some(body) = &q.where_clause {
+        collect_paths_group(body, &mut out);
+    }
+    out
+}
+
+fn collect_paths_group<'a>(g: &'a GroupGraphPattern, out: &mut Vec<&'a PropertyPath>) {
+    for el in &g.elements {
+        match el {
+            GroupElement::Triples(ts) => {
+                for t in ts {
+                    if let TripleOrPath::Path(p) = t {
+                        out.push(&p.path);
+                    }
+                }
+            }
+            GroupElement::Optional(inner)
+            | GroupElement::Minus(inner)
+            | GroupElement::Group(inner)
+            | GroupElement::Graph { pattern: inner, .. }
+            | GroupElement::Service { pattern: inner, .. } => collect_paths_group(inner, out),
+            GroupElement::Union(branches) => {
+                for b in branches {
+                    collect_paths_group(b, out);
+                }
+            }
+            GroupElement::SubSelect(q) => {
+                if let Some(inner) = &q.where_clause {
+                    collect_paths_group(inner, out);
+                }
+            }
+            GroupElement::Filter(e) => collect_paths_expr(e, out),
+            GroupElement::Bind { expr, .. } => collect_paths_expr(expr, out),
+            GroupElement::Values(_) => {}
+        }
+    }
+}
+
+fn collect_paths_expr<'a>(e: &'a Expression, out: &mut Vec<&'a PropertyPath>) {
+    if let Expression::Exists(g) | Expression::NotExists(g) = e {
+        collect_paths_group(g, out);
+    }
+}
+
+/// Collects every triple-like pattern (triples and paths) in the body,
+/// recursing into OPTIONAL / UNION / GRAPH / MINUS / groups / subqueries but
+/// not into FILTER (NOT) EXISTS patterns.
+pub fn collect_triple_patterns(q: &Query) -> Vec<&TripleOrPath> {
+    let mut out = Vec::new();
+    if let Some(body) = &q.where_clause {
+        collect_triples_group(body, &mut out);
+    }
+    out
+}
+
+fn collect_triples_group<'a>(g: &'a GroupGraphPattern, out: &mut Vec<&'a TripleOrPath>) {
+    for el in &g.elements {
+        match el {
+            GroupElement::Triples(ts) => out.extend(ts.iter()),
+            GroupElement::Optional(inner)
+            | GroupElement::Minus(inner)
+            | GroupElement::Group(inner)
+            | GroupElement::Graph { pattern: inner, .. }
+            | GroupElement::Service { pattern: inner, .. } => collect_triples_group(inner, out),
+            GroupElement::Union(branches) => {
+                for b in branches {
+                    collect_triples_group(b, out);
+                }
+            }
+            GroupElement::SubSelect(q) => {
+                if let Some(inner) = &q.where_clause {
+                    collect_triples_group(inner, out);
+                }
+            }
+            GroupElement::Filter(_) | GroupElement::Bind { .. } | GroupElement::Values(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparqlog_parser::parse_query;
+
+    #[test]
+    fn counts_triples_and_joins() {
+        let q = parse_query("SELECT * WHERE { ?a <http://p> ?b . ?b <http://q> ?c }").unwrap();
+        let ops = BodyOps::of_query(&q);
+        assert_eq!(ops.triples, 2);
+        assert_eq!(ops.joins, 1);
+        assert!(ops.uses_and());
+    }
+
+    #[test]
+    fn single_triple_has_no_join() {
+        let q = parse_query("SELECT * WHERE { ?a <http://p> ?b }").unwrap();
+        let ops = BodyOps::of_query(&q);
+        assert_eq!(ops.triples, 1);
+        assert!(!ops.uses_and());
+    }
+
+    #[test]
+    fn optional_does_not_count_as_join() {
+        let q =
+            parse_query("SELECT * WHERE { ?a <http://p> ?b OPTIONAL { ?b <http://q> ?c } }").unwrap();
+        let ops = BodyOps::of_query(&q);
+        assert_eq!(ops.optionals, 1);
+        assert_eq!(ops.joins, 0);
+        assert!(ops.is_aof());
+    }
+
+    #[test]
+    fn union_counts_branches_minus_one() {
+        let q = parse_query(
+            "SELECT * WHERE { { ?a <http://p> ?b } UNION { ?a <http://q> ?b } UNION { ?a <http://r> ?b } }",
+        )
+        .unwrap();
+        let ops = BodyOps::of_query(&q);
+        assert_eq!(ops.unions, 2);
+        assert!(!ops.is_aof());
+    }
+
+    #[test]
+    fn var_predicates_are_counted() {
+        let q = parse_query("ASK { ?x ?p ?y . ?y <http://q> ?z }").unwrap();
+        let ops = BodyOps::of_query(&q);
+        assert_eq!(ops.var_predicates, 1);
+    }
+
+    #[test]
+    fn exists_and_aggregates_are_found_in_expressions() {
+        let q = parse_query(
+            "SELECT * WHERE { ?x <http://p> ?y FILTER NOT EXISTS { ?x a <http://C> } FILTER EXISTS { ?y a <http://D> } }",
+        )
+        .unwrap();
+        let ops = BodyOps::of_query(&q);
+        assert_eq!(ops.not_exists, 1);
+        assert_eq!(ops.exists, 1);
+        assert!(!ops.is_aof());
+    }
+
+    #[test]
+    fn path_and_graph_detection() {
+        let q = parse_query(
+            "SELECT * WHERE { GRAPH ?g { ?x <http://a>/<http://b> ?y } }",
+        )
+        .unwrap();
+        let ops = BodyOps::of_query(&q);
+        assert_eq!(ops.graphs, 1);
+        assert_eq!(ops.paths, 1);
+        assert_eq!(collect_property_paths(&q).len(), 1);
+    }
+
+    #[test]
+    fn subquery_triples_are_included() {
+        let q = parse_query(
+            "SELECT ?x WHERE { { SELECT ?x WHERE { ?x <http://p> ?y . ?y <http://q> ?z } } ?x <http://r> ?w }",
+        )
+        .unwrap();
+        let ops = BodyOps::of_query(&q);
+        assert_eq!(ops.subqueries, 1);
+        assert_eq!(ops.triples, 3);
+        assert_eq!(collect_triple_patterns(&q).len(), 3);
+        // Subquery + triples block join at the outer level.
+        assert!(ops.joins >= 1);
+    }
+
+    #[test]
+    fn joined_graph_blocks_count_as_and() {
+        let q = parse_query("SELECT * WHERE { ?a <http://p> ?b . GRAPH <http://g> { ?b <http://q> ?c } }")
+            .unwrap();
+        let ops = BodyOps::of_query(&q);
+        assert!(ops.uses_and());
+    }
+}

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark behind Figure 3: chain and cycle queries on the
+//! binary-join and trie-join engines over a small Bib graph. Absolute numbers
+//! differ from the paper's server-scale setup, but the ordering (cycles are
+//! disproportionately expensive for binary joins) is the reproduced effect.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sparqlog_gmark::{generate_graph, generate_workload, GraphConfig, QueryShape, Schema, WorkloadConfig};
+use sparqlog_store::{BinaryJoinEngine, QueryEngine, QueryMode, TrieJoinEngine};
+use std::time::Duration;
+
+fn bench_engines(c: &mut Criterion) {
+    let schema = Schema::bib();
+    let graph = generate_graph(&schema, GraphConfig { nodes: 3_000, seed: 42 });
+    let store = graph.to_store();
+    let timeout = Duration::from_millis(250);
+
+    let mut group = c.benchmark_group("engine_joins");
+    group.sample_size(10);
+    for shape in [QueryShape::Chain, QueryShape::Cycle] {
+        for len in [3usize, 4] {
+            let wl = generate_workload(
+                &schema,
+                WorkloadConfig { shape, length: len, count: 5, seed: 7 + len as u64 },
+            );
+            let binary = BinaryJoinEngine::new();
+            let trie = TrieJoinEngine::new();
+            group.bench_function(format!("{}_{len}_binary", shape.label()), |b| {
+                b.iter(|| {
+                    for q in &wl.queries {
+                        black_box(binary.evaluate(&store, q, QueryMode::Ask, timeout));
+                    }
+                })
+            });
+            group.bench_function(format!("{}_{len}_trie", shape.label()), |b| {
+                b.iter(|| {
+                    for q in &wl.queries {
+                        black_box(trie.evaluate(&store, q, QueryMode::Ask, timeout));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmark: hypergraph acyclicity and generalized hypertree
+//! width (the kernel behind the Section 6.2 analysis).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sparqlog_graph::{generalized_hypertree_width, Hypergraph};
+use sparqlog_parser::ast::{Term, TriplePattern};
+
+fn var_pred_cycle(n: usize) -> Vec<TriplePattern> {
+    (0..n)
+        .map(|i| {
+            TriplePattern::new(
+                Term::var(format!("x{i}")),
+                Term::var(format!("p{}", i % 2)),
+                Term::var(format!("x{}", (i + 1) % n)),
+            )
+        })
+        .collect()
+}
+
+fn acyclic_star(n: usize) -> Vec<TriplePattern> {
+    (0..n)
+        .map(|i| {
+            TriplePattern::new(Term::var("c"), Term::var(format!("p{i}")), Term::var(format!("l{i}")))
+        })
+        .collect()
+}
+
+fn bench_hypertree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypertree");
+    group.sample_size(20);
+    for (name, triples) in [
+        ("acyclic_star_8", acyclic_star(8)),
+        ("var_pred_cycle_5", var_pred_cycle(5)),
+        ("var_pred_cycle_8", var_pred_cycle(8)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let h = Hypergraph::from_triples(black_box(&triples), &[]);
+                generalized_hypertree_width(&h, 4)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hypertree);
+criterion_main!(benches);

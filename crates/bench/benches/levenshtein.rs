@@ -1,0 +1,26 @@
+//! Criterion micro-benchmark: Levenshtein similarity and streak detection
+//! (the kernel behind Table 6).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sparqlog_streaks::{detect_streaks, normalized_levenshtein, StreakConfig};
+use sparqlog_synth::{generate_single_day_log, Dataset};
+
+fn bench_levenshtein(c: &mut Criterion) {
+    let a = "SELECT DISTINCT ?film WHERE { ?film a <http://dbpedia.org/ontology/Film> . ?film <http://dbpedia.org/ontology/director> ?d } LIMIT 100";
+    let b = "SELECT DISTINCT ?film WHERE { ?film a <http://dbpedia.org/ontology/Film> . ?film <http://dbpedia.org/ontology/starring> ?s } LIMIT 50";
+
+    let mut group = c.benchmark_group("streaks");
+    group.sample_size(30);
+    group.bench_function("normalized_levenshtein_pair", |bch| {
+        bch.iter(|| normalized_levenshtein(black_box(a), black_box(b)))
+    });
+
+    let log = generate_single_day_log(Dataset::DBpedia15, 400, 9);
+    group.bench_function("detect_streaks_400_entries", |bch| {
+        bch.iter(|| detect_streaks(black_box(&log.entries), StreakConfig::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_levenshtein);
+criterion_main!(benches);

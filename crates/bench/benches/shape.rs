@@ -1,0 +1,55 @@
+//! Criterion micro-benchmark: shape classification and treewidth of query
+//! graphs (the kernel behind Table 4).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sparqlog_graph::{treewidth, CanonicalGraph, GraphMode, ShapeReport};
+use sparqlog_parser::ast::{Term, TriplePattern};
+
+fn chain(n: usize) -> Vec<TriplePattern> {
+    (0..n)
+        .map(|i| {
+            TriplePattern::new(
+                Term::var(format!("x{i}")),
+                Term::iri("http://p"),
+                Term::var(format!("x{}", i + 1)),
+            )
+        })
+        .collect()
+}
+
+fn flower() -> Vec<TriplePattern> {
+    let e = |a: &str, b: &str| TriplePattern::new(Term::var(a), Term::iri("http://p"), Term::var(b));
+    vec![
+        e("x", "a"),
+        e("a", "t"),
+        e("x", "b"),
+        e("b", "t"),
+        e("x", "c"),
+        e("c", "t"),
+        e("x", "s1"),
+        e("s1", "s2"),
+        e("x", "m"),
+        e("m", "u"),
+        e("m", "v"),
+    ]
+}
+
+fn bench_shape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shape");
+    group.sample_size(50);
+    for (name, triples) in [("chain_10", chain(10)), ("flower_11", flower()), ("chain_50", chain(50))] {
+        group.bench_function(format!("classify_{name}"), |b| {
+            b.iter(|| {
+                let g = CanonicalGraph::from_triples(black_box(&triples), &[], GraphMode::WithConstants)
+                    .unwrap();
+                let shape = ShapeReport::classify(&g);
+                let tw = treewidth(&g);
+                (shape, tw)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shape);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates Figure 1 (or Figure 8 with --valid): triples per query.
+use sparqlog_bench::{analyzed_corpus, banner, HarnessOptions};
+use sparqlog_core::report;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("Figure 1 / Figure 8 — triples per query", &opts);
+    let corpus = analyzed_corpus(&opts);
+    println!("{}", report::figure1_triples(&corpus));
+}

@@ -1,0 +1,92 @@
+//! Regenerates Figure 3: average runtime of chain and cycle workloads of
+//! lengths 3–8 on the two engines (binary-join ≈ PostgreSQL, trie-join ≈
+//! Blazegraph), plus the per-length timeout counts for cycle workloads on the
+//! binary-join engine.
+//!
+//! Flags: `--nodes <n>` graph size (default 20000), `--queries <n>` queries
+//! per workload (default 10), `--timeout-ms <n>` per-query timeout
+//! (default 500), `--max-len <n>` largest workload length (default 8),
+//! `--count` to enumerate all answers (SELECT semantics) instead of ASK.
+
+use sparqlog_gmark::{generate_graph, generate_workload, GraphConfig, QueryShape, Schema, WorkloadConfig};
+use sparqlog_store::{BinaryJoinEngine, QueryEngine, QueryMode, TrieJoinEngine};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: u64| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let nodes = get("--nodes", 20_000) as usize;
+    let queries = get("--queries", 10) as usize;
+    let timeout = Duration::from_millis(get("--timeout-ms", 500));
+    let max_len = get("--max-len", 8) as usize;
+    let seed = get("--seed", 42);
+    let mode = if args.iter().any(|a| a == "--count") { QueryMode::Count } else { QueryMode::Ask };
+
+    println!("== sparqlog :: Figure 3 — chain vs cycle workloads on two engines ==");
+    println!(
+        "Bib graph with {nodes} nodes, {queries} queries per workload, per-query timeout {:?}, {} semantics",
+        timeout,
+        match mode {
+            QueryMode::Ask => "ASK",
+            QueryMode::Count => "SELECT/count",
+        }
+    );
+    println!();
+
+    let schema = Schema::bib();
+    let graph = generate_graph(&schema, GraphConfig { nodes, seed });
+    let store = graph.to_store();
+    println!("generated {} triples", store.len());
+    println!();
+
+    let binary = BinaryJoinEngine::new();
+    let trie = TrieJoinEngine::new();
+
+    println!(
+        "{:<6} {:>16} {:>16} {:>16} {:>16} {:>10}",
+        "W-k", "chainBG(ns)", "chainPG(ns)", "cycleBG(ns)", "cyclePG(ns)", "cyclePG t/o"
+    );
+    for len in 3..=max_len {
+        let chain_wl = generate_workload(
+            &schema,
+            WorkloadConfig { shape: QueryShape::Chain, length: len, count: queries, seed: seed + len as u64 },
+        );
+        let cycle_wl = generate_workload(
+            &schema,
+            WorkloadConfig { shape: QueryShape::Cycle, length: len, count: queries, seed: seed + 100 + len as u64 },
+        );
+        let run = |engine: &dyn QueryEngine, wl: &sparqlog_gmark::Workload| -> (u64, usize) {
+            let mut total_ns = 0u64;
+            let mut timeouts = 0usize;
+            for q in &wl.queries {
+                let out = engine.evaluate(&store, q, mode, timeout);
+                // Like the paper, timed-out queries are accounted with the
+                // full timeout duration.
+                total_ns += if out.timed_out { timeout.as_nanos() as u64 } else { out.elapsed_ns };
+                timeouts += usize::from(out.timed_out);
+            }
+            (total_ns / wl.queries.len().max(1) as u64, timeouts)
+        };
+        let (chain_bg, _) = run(&trie, &chain_wl);
+        let (chain_pg, _) = run(&binary, &chain_wl);
+        let (cycle_bg, _) = run(&trie, &cycle_wl);
+        let (cycle_pg, cycle_pg_to) = run(&binary, &cycle_wl);
+        println!(
+            "{:<6} {:>16} {:>16} {:>16} {:>16} {:>9}%",
+            format!("W-{len}"),
+            chain_bg,
+            chain_pg,
+            cycle_bg,
+            cycle_pg,
+            cycle_pg_to * 100 / queries.max(1)
+        );
+    }
+    println!();
+    println!("chainBG/cycleBG: trie-join (worst-case-optimal) engine; chainPG/cyclePG: binary-join engine.");
+}

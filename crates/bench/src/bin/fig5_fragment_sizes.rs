@@ -1,0 +1,10 @@
+//! Regenerates Figure 5 (or Figure 9 with --valid): sizes of CQ-like queries.
+use sparqlog_bench::{analyzed_corpus, banner, HarnessOptions};
+use sparqlog_core::report;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("Figure 5 / Figure 9 — sizes of CQ-like queries", &opts);
+    let corpus = analyzed_corpus(&opts);
+    println!("{}", report::figure5_sizes(&corpus.combined));
+}

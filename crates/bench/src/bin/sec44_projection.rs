@@ -1,0 +1,10 @@
+//! Regenerates the Section 4.4 numbers: subqueries and projection usage.
+use sparqlog_bench::{analyzed_corpus, banner, HarnessOptions};
+use sparqlog_core::report;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("Section 4.4 — subqueries and projection", &opts);
+    let corpus = analyzed_corpus(&opts);
+    println!("{}", report::section44_projection(&corpus.combined));
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Section 5.2 fragment shares (CQ / CQF / well-designed / CQOF).
+use sparqlog_bench::{analyzed_corpus, banner, HarnessOptions};
+use sparqlog_core::report;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("Section 5.2 — query fragments", &opts);
+    let corpus = analyzed_corpus(&opts);
+    println!("{}", report::section52_fragments(&corpus.combined));
+}

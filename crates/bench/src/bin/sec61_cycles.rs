@@ -1,0 +1,11 @@
+//! Regenerates the Section 6.1 analyses: the constants-excluded rerun and the
+//! shortest-cycle-length distribution.
+use sparqlog_bench::{analyzed_corpus, banner, HarnessOptions};
+use sparqlog_core::report;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("Section 6.1 — constants and shortest cycles", &opts);
+    let corpus = analyzed_corpus(&opts);
+    println!("{}", report::section61_cycles(&corpus.combined));
+}

@@ -1,0 +1,11 @@
+//! Regenerates the Section 6.2 hypertree-width results for variable-predicate
+//! CQOF queries.
+use sparqlog_bench::{analyzed_corpus, banner, HarnessOptions};
+use sparqlog_core::report;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("Section 6.2 — hypertree width", &opts);
+    let corpus = analyzed_corpus(&opts);
+    println!("{}", report::section62_hypertree(&corpus.combined));
+}

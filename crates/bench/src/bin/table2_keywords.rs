@@ -1,0 +1,10 @@
+//! Regenerates Table 2 (or Table 7 with --valid): keyword counts in queries.
+use sparqlog_bench::{analyzed_corpus, banner, HarnessOptions};
+use sparqlog_core::report;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("Table 2 / Table 7 — keyword counts", &opts);
+    let corpus = analyzed_corpus(&opts);
+    println!("{}", report::table2_keywords(&corpus.combined));
+}

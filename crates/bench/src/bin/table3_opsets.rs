@@ -1,0 +1,10 @@
+//! Regenerates Table 3 (or Table 8 with --valid): operator-set distribution.
+use sparqlog_bench::{analyzed_corpus, banner, HarnessOptions};
+use sparqlog_core::report;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("Table 3 / Table 8 — operator sets", &opts);
+    let corpus = analyzed_corpus(&opts);
+    println!("{}", report::table3_opsets(&corpus.combined));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 4 (or Table 9 with --valid): cumulative shape analysis.
+use sparqlog_bench::{analyzed_corpus, banner, HarnessOptions};
+use sparqlog_core::report;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("Table 4 / Table 9 — cumulative shape analysis", &opts);
+    let corpus = analyzed_corpus(&opts);
+    println!("{}", report::table4_shapes(&corpus.combined));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table 5 (or Figure 10 with --valid): property-path structure.
+use sparqlog_bench::{analyzed_corpus, banner, HarnessOptions};
+use sparqlog_core::report;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("Table 5 / Figure 10 — property paths", &opts);
+    let corpus = analyzed_corpus(&opts);
+    println!("{}", report::table5_paths(&corpus.combined));
+}

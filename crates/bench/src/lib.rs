@@ -1,0 +1,148 @@
+//! # sparqlog-bench
+//!
+//! The benchmark harness of the `sparqlog` workspace. It contains
+//!
+//! * one **binary per table / figure** of the paper (in `src/bin/`), each of
+//!   which regenerates the corresponding rows from a synthetic corpus or from
+//!   the engine experiment, and
+//! * **criterion micro-benchmarks** (in `benches/`) for the hot kernels:
+//!   parsing, shape classification, hypertree decomposition, the two join
+//!   engines, Levenshtein distance and corpus synthesis.
+//!
+//! This library crate hosts the shared plumbing: command-line options and the
+//! corpus construction used by all harness binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sparqlog_core::analysis::{CorpusAnalysis, Population};
+use sparqlog_core::corpus::{ingest_all, IngestedLog, RawLog};
+use sparqlog_synth::{generate_corpus, CorpusConfig};
+
+/// Common options for the harness binaries, parsed from the command line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HarnessOptions {
+    /// Corpus scale factor relative to the real Table-1 sizes.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Analyse the valid population (with duplicates) instead of the unique
+    /// one — reproduces the appendix variants (Tables 7–9, Figures 8–10).
+    pub valid_population: bool,
+    /// Cap on entries per dataset (0 = none).
+    pub cap: u64,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        HarnessOptions { scale: 2e-5, seed: 42, valid_population: false, cap: 0 }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses options from `std::env::args`. Recognised flags:
+    /// `--scale <f64>`, `--seed <u64>`, `--cap <u64>`, `--valid`.
+    pub fn from_args() -> HarnessOptions {
+        let mut opts = HarnessOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.scale = v;
+                    }
+                    i += 1;
+                }
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.seed = v;
+                    }
+                    i += 1;
+                }
+                "--cap" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.cap = v;
+                    }
+                    i += 1;
+                }
+                "--valid" => opts.valid_population = true,
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The population selected by the options.
+    pub fn population(&self) -> Population {
+        if self.valid_population {
+            Population::Valid
+        } else {
+            Population::Unique
+        }
+    }
+}
+
+/// Generates the synthetic corpus and ingests it.
+pub fn build_corpus(opts: &HarnessOptions) -> Vec<IngestedLog> {
+    let corpus = generate_corpus(CorpusConfig {
+        scale: opts.scale,
+        seed: opts.seed,
+        max_entries_per_dataset: opts.cap,
+    });
+    let raw: Vec<RawLog> = corpus
+        .logs
+        .iter()
+        .map(|l| RawLog::new(l.dataset.label(), l.entries.clone()))
+        .collect();
+    ingest_all(&raw)
+}
+
+/// Generates, ingests and analyses the synthetic corpus in one call — the
+/// entry point shared by most harness binaries.
+pub fn analyzed_corpus(opts: &HarnessOptions) -> CorpusAnalysis {
+    let logs = build_corpus(opts);
+    CorpusAnalysis::analyze(&logs, opts.population())
+}
+
+/// Prints the standard harness banner describing the run.
+pub fn banner(what: &str, opts: &HarnessOptions) {
+    println!("== sparqlog :: {what} ==");
+    println!(
+        "synthetic corpus, scale {:.0e} of Table-1 sizes, seed {}, population: {}",
+        opts.scale,
+        opts.seed,
+        if opts.valid_population { "Valid (with duplicates)" } else { "Unique" }
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_build_a_small_corpus() {
+        let opts = HarnessOptions { scale: 1e-6, cap: 50, ..HarnessOptions::default() };
+        let logs = build_corpus(&opts);
+        assert_eq!(logs.len(), 13);
+        assert!(logs.iter().all(|l| l.counts.total > 0));
+    }
+
+    #[test]
+    fn analysis_runs_end_to_end() {
+        let opts = HarnessOptions { scale: 1e-6, cap: 40, ..HarnessOptions::default() };
+        let corpus = analyzed_corpus(&opts);
+        assert_eq!(corpus.datasets.len(), 13);
+        assert!(corpus.combined.keywords.total_queries > 0);
+    }
+
+    #[test]
+    fn population_flag_switches_population() {
+        let unique = HarnessOptions::default();
+        let valid = HarnessOptions { valid_population: true, ..HarnessOptions::default() };
+        assert_eq!(unique.population(), Population::Unique);
+        assert_eq!(valid.population(), Population::Valid);
+    }
+}

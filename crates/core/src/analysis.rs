@@ -1,0 +1,368 @@
+//! The per-dataset and corpus-level analysis record combining every measure
+//! of the paper: shallow statistics, fragments, shapes, widths, property
+//! paths.
+
+use crate::corpus::{CorpusCounts, IngestedLog};
+use serde::{Deserialize, Serialize};
+use sparqlog_algebra::opsets::classify_from_features;
+use sparqlog_algebra::{
+    collect_property_paths, FragmentTally, KeywordTally, OpSetTally, ProjectionTally,
+    QueryFeatures, TripleHistogram,
+};
+use sparqlog_graph::{ShapeTally, StructuralReport};
+use sparqlog_parser::Query;
+use sparqlog_paths::PathTally;
+use std::collections::BTreeMap;
+
+/// Size histogram of CQ-like queries with at least two triples (Figure 5 /
+/// Figure 9): buckets for 2..=10 triples and 11+.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FragmentSizeHistogram {
+    /// Counts for exactly 2..=10 triples (index 0 = 2 triples).
+    pub buckets: [u64; 9],
+    /// Count for 11 or more triples.
+    pub eleven_plus: u64,
+    /// Queries with exactly one triple (reported in the Figure-5 caption).
+    pub one_triple: u64,
+    /// Total queries in the fragment.
+    pub total: u64,
+    /// The largest query observed (number of triples).
+    pub max_triples: u32,
+}
+
+impl FragmentSizeHistogram {
+    /// Records one query of the fragment with the given triple count.
+    pub fn add(&mut self, triples: u32) {
+        self.total += 1;
+        self.max_triples = self.max_triples.max(triples);
+        match triples {
+            0 | 1 => self.one_triple += u64::from(triples == 1),
+            2..=10 => self.buckets[(triples - 2) as usize] += 1,
+            _ => self.eleven_plus += 1,
+        }
+    }
+
+    /// Merges another histogram.
+    pub fn merge(&mut self, other: &FragmentSizeHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.eleven_plus += other.eleven_plus;
+        self.one_triple += other.one_triple;
+        self.total += other.total;
+        self.max_triples = self.max_triples.max(other.max_triples);
+    }
+
+    /// The share of one-triple queries in the fragment.
+    pub fn one_triple_share(&self) -> f64 {
+        self.one_triple as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Aggregated hypertree-width results for variable-predicate CQOF queries
+/// (Section 6.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HypertreeTally {
+    /// Queries analysed through their hypergraph.
+    pub total: u64,
+    /// Hypertree width 1 (acyclic).
+    pub width1: u64,
+    /// Hypertree width 2.
+    pub width2: u64,
+    /// Hypertree width 3.
+    pub width3: u64,
+    /// Width 4 or more, or inexact results.
+    pub wider_or_unknown: u64,
+    /// Decompositions with more than 100 nodes.
+    pub over_100_nodes: u64,
+    /// The largest decomposition node count observed.
+    pub max_nodes: u64,
+}
+
+impl HypertreeTally {
+    /// Records a hypertree result.
+    pub fn add(&mut self, width: usize, nodes: usize, exact: bool) {
+        self.total += 1;
+        if !exact {
+            self.wider_or_unknown += 1;
+        } else {
+            match width {
+                0 | 1 => self.width1 += 1,
+                2 => self.width2 += 1,
+                3 => self.width3 += 1,
+                _ => self.wider_or_unknown += 1,
+            }
+        }
+        self.max_nodes = self.max_nodes.max(nodes as u64);
+        if nodes > 100 {
+            self.over_100_nodes += 1;
+        }
+    }
+
+    /// Merges another tally.
+    pub fn merge(&mut self, other: &HypertreeTally) {
+        self.total += other.total;
+        self.width1 += other.width1;
+        self.width2 += other.width2;
+        self.width3 += other.width3;
+        self.wider_or_unknown += other.wider_or_unknown;
+        self.over_100_nodes += other.over_100_nodes;
+        self.max_nodes = self.max_nodes.max(other.max_nodes);
+    }
+}
+
+/// The complete analysis of one dataset (or of the whole corpus, when
+/// merged).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DatasetAnalysis {
+    /// The dataset label.
+    pub label: String,
+    /// Table-1 counts.
+    pub counts: CorpusCounts,
+    /// Keyword census (Table 2 / 7).
+    pub keywords: KeywordTally,
+    /// Triples-per-query histogram (Figure 1 / 8).
+    pub triples: TripleHistogram,
+    /// Operator-set distribution over SELECT/ASK queries (Table 3 / 8).
+    pub opsets: OpSetTally,
+    /// Projection statistics (Section 4.4).
+    pub projection: ProjectionTally,
+    /// Fragment shares (Section 5.2).
+    pub fragments: FragmentTally,
+    /// Shape analysis of the (cumulative) CQ fragment (Table 4, left).
+    pub shapes_cq: ShapeTally,
+    /// Shape analysis of the CQF fragment (Table 4, middle).
+    pub shapes_cqf: ShapeTally,
+    /// Shape analysis of the CQOF fragment (Table 4, right).
+    pub shapes_cqof: ShapeTally,
+    /// Size histograms of the CQ / CQF / CQOF fragments (Figure 5 / 9).
+    pub sizes_cq: FragmentSizeHistogram,
+    /// Size histogram of the CQF fragment.
+    pub sizes_cqf: FragmentSizeHistogram,
+    /// Size histogram of the CQOF fragment.
+    pub sizes_cqof: FragmentSizeHistogram,
+    /// Shortest-cycle-length distribution of cyclic queries (Section 6.1).
+    pub cycle_lengths: BTreeMap<usize, u64>,
+    /// Hypertree-width results for variable-predicate queries (Section 6.2).
+    pub hypertree: HypertreeTally,
+    /// Property-path statistics (Table 5 / Figure 10, Section 7).
+    pub paths: PathTally,
+    /// Single-edge CQs whose edge involves a constant (Section 6.1 rerun).
+    pub single_edge_with_constants: u64,
+}
+
+impl DatasetAnalysis {
+    /// Analyses one query and folds it into the tallies.
+    pub fn add_query(&mut self, query: &Query) {
+        let features = QueryFeatures::of(query);
+        self.keywords.add(&features);
+        self.triples.add(&features);
+        self.projection.add(query);
+        for p in collect_property_paths(query) {
+            self.paths.add(p);
+        }
+        if features.is_select_or_ask() {
+            self.opsets.add(classify_from_features(&features));
+        }
+        let structural = StructuralReport::of(query);
+        self.fragments.add(&structural.fragments);
+        if structural.fragments.select_or_ask {
+            let tw = structural.treewidth.unwrap_or(1);
+            if let Some(shape) = &structural.shape {
+                if structural.fragments.in_cq() {
+                    self.shapes_cq.add(shape, tw);
+                }
+                if structural.fragments.in_cqf() {
+                    self.shapes_cqf.add(shape, tw);
+                }
+                if structural.fragments.in_cqof() {
+                    self.shapes_cqof.add(shape, tw);
+                }
+                if shape.single_edge {
+                    if let Some(vars_only) = &structural.shape_vars_only {
+                        if !vars_only.single_edge {
+                            self.single_edge_with_constants += 1;
+                        }
+                    }
+                }
+            }
+            if structural.fragments.in_cq() {
+                self.sizes_cq.add(structural.triples);
+            }
+            if structural.fragments.in_cqf() {
+                self.sizes_cqf.add(structural.triples);
+            }
+            if structural.fragments.in_cqof() {
+                self.sizes_cqof.add(structural.triples);
+            }
+            if let Some(girth) = structural.shortest_cycle {
+                *self.cycle_lengths.entry(girth).or_insert(0) += 1;
+            }
+            if let Some(ht) = structural.hypertree {
+                self.hypertree.add(ht.width, ht.nodes, ht.exact);
+            }
+        }
+    }
+
+    /// Merges another dataset analysis into this one (used to build the
+    /// corpus-level "all datasets" row).
+    pub fn merge(&mut self, other: &DatasetAnalysis) {
+        self.counts.merge(&other.counts);
+        self.keywords.merge(&other.keywords);
+        self.triples.merge(&other.triples);
+        self.opsets.merge(&other.opsets);
+        self.projection.merge(&other.projection);
+        self.fragments.merge(&other.fragments);
+        self.shapes_cq.merge(&other.shapes_cq);
+        self.shapes_cqf.merge(&other.shapes_cqf);
+        self.shapes_cqof.merge(&other.shapes_cqof);
+        self.sizes_cq.merge(&other.sizes_cq);
+        self.sizes_cqf.merge(&other.sizes_cqf);
+        self.sizes_cqof.merge(&other.sizes_cqof);
+        for (len, count) in &other.cycle_lengths {
+            *self.cycle_lengths.entry(*len).or_insert(0) += count;
+        }
+        self.hypertree.merge(&other.hypertree);
+        self.paths.merge(&other.paths);
+        self.single_edge_with_constants += other.single_edge_with_constants;
+    }
+}
+
+/// Which population of queries an analysis runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Population {
+    /// The deduplicated queries (the paper's main corpus, Tables 1–6).
+    Unique,
+    /// All valid queries including duplicates (the appendix: Tables 7–9,
+    /// Figures 8–10).
+    Valid,
+}
+
+/// The analysis of a whole corpus: one record per dataset plus the combined
+/// totals.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CorpusAnalysis {
+    /// Per-dataset analyses, in input order.
+    pub datasets: Vec<DatasetAnalysis>,
+    /// The merged, corpus-level analysis.
+    pub combined: DatasetAnalysis,
+}
+
+impl CorpusAnalysis {
+    /// Analyses a set of ingested logs over the chosen population.
+    pub fn analyze(logs: &[IngestedLog], population: Population) -> CorpusAnalysis {
+        let mut datasets = Vec::with_capacity(logs.len());
+        for log in logs {
+            let mut analysis = DatasetAnalysis {
+                label: log.label.clone(),
+                counts: log.counts,
+                ..DatasetAnalysis::default()
+            };
+            match population {
+                Population::Unique => {
+                    for q in log.unique_queries() {
+                        analysis.add_query(q);
+                    }
+                }
+                Population::Valid => {
+                    for q in &log.valid_queries {
+                        analysis.add_query(q);
+                    }
+                }
+            }
+            datasets.push(analysis);
+        }
+        let mut combined = DatasetAnalysis { label: "Total".to_string(), ..DatasetAnalysis::default() };
+        for d in &datasets {
+            combined.merge(d);
+        }
+        CorpusAnalysis { datasets, combined }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{ingest, RawLog};
+
+    fn analysis_of(entries: &[&str]) -> DatasetAnalysis {
+        let log = ingest(&RawLog::new("t", entries.iter().map(|s| s.to_string()).collect()));
+        let corpus = CorpusAnalysis::analyze(&[log], Population::Unique);
+        corpus.datasets.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn per_query_measures_flow_into_tallies() {
+        let a = analysis_of(&[
+            "SELECT ?x WHERE { ?x a <http://C> . ?x <http://p> ?y FILTER(?y > 3) } LIMIT 5",
+            "ASK { <http://s> <http://p> <http://o> }",
+            "SELECT ?x WHERE { ?x <http://a>/<http://b>* ?y }",
+            "ASK { ?a <http://p> ?b . ?b <http://p> ?c . ?c <http://p> ?a }",
+            "DESCRIBE <http://r>",
+        ]);
+        assert_eq!(a.counts.valid, 5);
+        assert_eq!(a.keywords.select, 2);
+        assert_eq!(a.keywords.ask, 2);
+        assert_eq!(a.keywords.filter, 1);
+        assert_eq!(a.paths.total, 1);
+        assert_eq!(a.opsets.total, 4); // select/ask only
+        // The triangle ASK query is a cycle with girth 3.
+        assert_eq!(a.cycle_lengths.get(&3), Some(&1));
+        assert!(a.shapes_cq.cycle >= 1);
+        assert!(a.fragments.cq >= 2);
+    }
+
+    #[test]
+    fn population_valid_keeps_duplicates() {
+        let entries = [
+            "SELECT ?x WHERE { ?x a <http://C> }",
+            "SELECT ?x WHERE { ?x a <http://C> }",
+            "SELECT ?y WHERE { ?y a <http://D> }",
+        ];
+        let log = ingest(&RawLog::new("t", entries.iter().map(|s| s.to_string()).collect()));
+        let unique = CorpusAnalysis::analyze(std::slice::from_ref(&log), Population::Unique);
+        let valid = CorpusAnalysis::analyze(&[log], Population::Valid);
+        assert_eq!(unique.combined.keywords.total_queries, 2);
+        assert_eq!(valid.combined.keywords.total_queries, 3);
+    }
+
+    #[test]
+    fn combined_analysis_merges_datasets() {
+        let log1 = ingest(&RawLog::new("a", vec!["SELECT ?x WHERE { ?x a <http://C> }".to_string()]));
+        let log2 = ingest(&RawLog::new("b", vec!["ASK { ?x <http://p> ?y }".to_string()]));
+        let corpus = CorpusAnalysis::analyze(&[log1, log2], Population::Unique);
+        assert_eq!(corpus.datasets.len(), 2);
+        assert_eq!(corpus.combined.keywords.total_queries, 2);
+        assert_eq!(corpus.combined.counts.total, 2);
+    }
+
+    #[test]
+    fn variable_predicate_queries_feed_the_hypertree_tally() {
+        let a = analysis_of(&["ASK { ?x1 ?p ?x2 . ?x2 <http://a> ?x3 . ?x3 ?p ?x4 }"]);
+        assert_eq!(a.hypertree.total, 1);
+        assert!(a.hypertree.width1 + a.hypertree.width2 + a.hypertree.width3 == 1);
+    }
+
+    #[test]
+    fn fragment_size_histogram_buckets() {
+        let mut h = FragmentSizeHistogram::default();
+        h.add(1);
+        h.add(2);
+        h.add(10);
+        h.add(25);
+        assert_eq!(h.one_triple, 1);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[8], 1);
+        assert_eq!(h.eleven_plus, 1);
+        assert_eq!(h.max_triples, 25);
+        assert!((h.one_triple_share() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_edge_constant_rerun_counter() {
+        // A single-edge CQ with a constant object: with constants it is a
+        // single edge, with variables only it is not.
+        let a = analysis_of(&["SELECT ?x WHERE { ?x <http://p> <http://const> }"]);
+        assert_eq!(a.single_edge_with_constants, 1);
+    }
+}

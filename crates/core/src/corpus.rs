@@ -1,0 +1,176 @@
+//! Corpus ingestion: parsing log entries, counting valid queries and
+//! removing duplicates (Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use sparqlog_parser::{parse_query, to_canonical_string, Query};
+use std::collections::HashSet;
+
+/// One raw log: a label (dataset name) and its entries in log order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawLog {
+    /// The dataset label (e.g. `"DBpedia15"`).
+    pub label: String,
+    /// The raw log entries.
+    pub entries: Vec<String>,
+}
+
+impl RawLog {
+    /// Creates a raw log.
+    pub fn new(label: impl Into<String>, entries: Vec<String>) -> RawLog {
+        RawLog { label: label.into(), entries }
+    }
+}
+
+/// The Table-1 accounting for one dataset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorpusCounts {
+    /// Total log entries.
+    pub total: u64,
+    /// Entries that parse as SPARQL queries.
+    pub valid: u64,
+    /// Distinct valid queries (after canonicalization).
+    pub unique: u64,
+    /// Valid queries without a body (the paper reports 4.47 % corpus-wide,
+    /// almost all of them DESCRIBE queries).
+    pub bodyless: u64,
+}
+
+impl CorpusCounts {
+    /// Merges another count (used for the corpus-level "Total" row).
+    pub fn merge(&mut self, other: &CorpusCounts) {
+        self.total += other.total;
+        self.valid += other.valid;
+        self.unique += other.unique;
+        self.bodyless += other.bodyless;
+    }
+}
+
+/// An ingested log: parsed queries plus the Table-1 counts.
+#[derive(Debug, Clone)]
+pub struct IngestedLog {
+    /// The dataset label.
+    pub label: String,
+    /// Table-1 counts.
+    pub counts: CorpusCounts,
+    /// The valid queries in log order (including duplicates).
+    pub valid_queries: Vec<Query>,
+    /// Indices into `valid_queries` of the first occurrence of each distinct
+    /// query — the *unique* corpus the paper's main analysis runs on.
+    pub unique_indices: Vec<usize>,
+}
+
+impl IngestedLog {
+    /// Iterates over the unique queries.
+    pub fn unique_queries(&self) -> impl Iterator<Item = &Query> {
+        self.unique_indices.iter().map(|&i| &self.valid_queries[i])
+    }
+}
+
+/// Parses and deduplicates one raw log.
+pub fn ingest(log: &RawLog) -> IngestedLog {
+    let mut counts = CorpusCounts { total: log.entries.len() as u64, ..CorpusCounts::default() };
+    let mut valid_queries = Vec::new();
+    let mut unique_indices = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    for entry in &log.entries {
+        let Ok(query) = parse_query(entry) else { continue };
+        counts.valid += 1;
+        if !query.has_body() {
+            counts.bodyless += 1;
+        }
+        let canonical = to_canonical_string(&query);
+        let index = valid_queries.len();
+        valid_queries.push(query);
+        if seen.insert(canonical) {
+            unique_indices.push(index);
+        }
+    }
+    counts.unique = unique_indices.len() as u64;
+    IngestedLog { label: log.label.clone(), counts, valid_queries, unique_indices }
+}
+
+/// Parses several logs in parallel using scoped threads (one per log).
+pub fn ingest_all(logs: &[RawLog]) -> Vec<IngestedLog> {
+    if logs.len() <= 1 {
+        return logs.iter().map(ingest).collect();
+    }
+    let results = parking_lot::Mutex::new(vec![None; logs.len()]);
+    crossbeam::thread::scope(|scope| {
+        for (i, log) in logs.iter().enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let ingested = ingest(log);
+                results.lock()[i] = Some(ingested);
+            });
+        }
+    })
+    .expect("ingestion threads must not panic");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every log is ingested"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(entries: &[&str]) -> RawLog {
+        RawLog::new("test", entries.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn counts_total_valid_unique() {
+        let log = raw(&[
+            "SELECT ?x WHERE { ?x a <http://C> }",
+            "SELECT   ?x   WHERE { ?x a <http://C> }", // duplicate modulo whitespace
+            "not a sparql query at all",
+            "ASK { <http://s> <http://p> <http://o> }",
+            "DESCRIBE <http://r>",
+        ]);
+        let ingested = ingest(&log);
+        assert_eq!(ingested.counts.total, 5);
+        assert_eq!(ingested.counts.valid, 4);
+        assert_eq!(ingested.counts.unique, 3);
+        assert_eq!(ingested.counts.bodyless, 1);
+        assert_eq!(ingested.unique_queries().count(), 3);
+    }
+
+    #[test]
+    fn duplicates_with_different_prefixes_collapse() {
+        let log = raw(&[
+            "PREFIX dbo: <http://dbpedia.org/ontology/> SELECT ?x WHERE { ?x a dbo:Film }",
+            "PREFIX o: <http://dbpedia.org/ontology/> SELECT ?x WHERE { ?x a o:Film }",
+        ]);
+        let ingested = ingest(&log);
+        assert_eq!(ingested.counts.valid, 2);
+        assert_eq!(ingested.counts.unique, 1);
+    }
+
+    #[test]
+    fn parallel_ingestion_matches_sequential() {
+        let logs = vec![
+            raw(&["SELECT ?x WHERE { ?x a <http://C> }", "garbage"]),
+            raw(&["ASK { ?x <http://p> ?y }", "ASK { ?x <http://p> ?y }"]),
+            raw(&["DESCRIBE <http://r>"]),
+        ];
+        let parallel = ingest_all(&logs);
+        let sequential: Vec<IngestedLog> = logs.iter().map(ingest).collect();
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(sequential.iter()) {
+            assert_eq!(p.counts, s.counts);
+            assert_eq!(p.unique_indices, s.unique_indices);
+        }
+    }
+
+    #[test]
+    fn corpus_counts_merge() {
+        let mut a = CorpusCounts { total: 10, valid: 8, unique: 5, bodyless: 1 };
+        let b = CorpusCounts { total: 2, valid: 2, unique: 2, bodyless: 0 };
+        a.merge(&b);
+        assert_eq!(a.total, 12);
+        assert_eq!(a.valid, 10);
+        assert_eq!(a.unique, 7);
+    }
+}

@@ -1,0 +1,32 @@
+//! # sparqlog-core
+//!
+//! The corpus pipeline and report drivers of the `sparqlog` toolkit — the
+//! primary contribution of *"An Analytical Study of Large SPARQL Query
+//! Logs"* (Bonifati–Martens–Timm, VLDB 2017) turned into a reusable library:
+//!
+//! * [`corpus`] — log ingestion: parsing, validity accounting and duplicate
+//!   elimination (Table 1).
+//! * [`analysis`] — the per-dataset / corpus-level analysis record combining
+//!   the shallow, structural, property-path and width analyses of the paper.
+//! * [`report`] — plain-text renderers, one per table and figure.
+//!
+//! ```
+//! use sparqlog_core::{analysis::{CorpusAnalysis, Population}, corpus::{ingest, RawLog}, report};
+//!
+//! let log = ingest(&RawLog::new(
+//!     "example",
+//!     vec!["SELECT ?x WHERE { ?x a <http://example.org/C> }".to_string()],
+//! ));
+//! let corpus = CorpusAnalysis::analyze(&[log], Population::Unique);
+//! println!("{}", report::table1(&corpus));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod corpus;
+pub mod report;
+
+pub use analysis::{CorpusAnalysis, DatasetAnalysis, Population};
+pub use corpus::{ingest, ingest_all, CorpusCounts, IngestedLog, RawLog};

@@ -1,0 +1,173 @@
+//! Seeded generation of graph instances from a [`Schema`].
+
+use crate::schema::{DegreeDistribution, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparqlog_store::TripleStore;
+
+/// Parameters for graph generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphConfig {
+    /// Total number of nodes.
+    pub nodes: usize,
+    /// RNG seed (generation is fully deterministic for a given seed).
+    pub seed: u64,
+}
+
+impl Default for GraphConfig {
+    fn default() -> Self {
+        GraphConfig { nodes: 10_000, seed: 42 }
+    }
+}
+
+/// A generated graph instance: the node IRIs per type and the triples.
+#[derive(Debug, Clone)]
+pub struct GraphInstance {
+    /// For each node type (by schema index), the generated node IRIs.
+    pub nodes_by_type: Vec<Vec<String>>,
+    /// The generated `(subject, predicate, object)` triples.
+    pub triples: Vec<(String, String, String)>,
+}
+
+impl GraphInstance {
+    /// Loads the instance into a freshly built [`TripleStore`].
+    pub fn to_store(&self) -> TripleStore {
+        let mut store = TripleStore::new();
+        for (s, p, o) in &self.triples {
+            store.insert(s, p, o);
+        }
+        store.build();
+        store
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes_by_type.iter().map(Vec::len).sum()
+    }
+
+    /// Total triple count.
+    pub fn triple_count(&self) -> usize {
+        self.triples.len()
+    }
+}
+
+/// Generates a graph instance from a schema.
+pub fn generate_graph(schema: &Schema, config: GraphConfig) -> GraphInstance {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let proportions = schema.normalized_proportions();
+
+    // Allocate node IRIs per type.
+    let mut nodes_by_type: Vec<Vec<String>> = Vec::with_capacity(schema.node_types.len());
+    for (i, ty) in schema.node_types.iter().enumerate() {
+        let count = ((config.nodes as f64) * proportions[i]).round().max(1.0) as usize;
+        let nodes =
+            (0..count).map(|n| format!("http://gmark.example/{}/{n}", ty.name)).collect();
+        nodes_by_type.push(nodes);
+    }
+
+    // Generate edges per edge type.
+    let mut triples = Vec::new();
+    for edge in &schema.edge_types {
+        let sources = &nodes_by_type[edge.from];
+        let targets = &nodes_by_type[edge.to];
+        if targets.is_empty() {
+            continue;
+        }
+        for source in sources {
+            let degree = sample_degree(&mut rng, edge.degree);
+            for _ in 0..degree {
+                let target = &targets[rng.gen_range(0..targets.len())];
+                if target != source {
+                    triples.push((source.clone(), edge.predicate.clone(), target.clone()));
+                }
+            }
+        }
+    }
+    GraphInstance { nodes_by_type, triples }
+}
+
+fn sample_degree(rng: &mut StdRng, dist: DegreeDistribution) -> u32 {
+    match dist {
+        DegreeDistribution::Constant { degree } => degree,
+        DegreeDistribution::Uniform { min, max } => {
+            if min >= max {
+                min
+            } else {
+                rng.gen_range(min..=max)
+            }
+        }
+        DegreeDistribution::Zipf { alpha, max } => {
+            // Inverse-transform sampling over 1..=max with probabilities
+            // proportional to 1 / k^alpha.
+            let max = max.max(1);
+            let weights: Vec<f64> = (1..=max).map(|k| 1.0 / (k as f64).powf(alpha)).collect();
+            let total: f64 = weights.iter().sum();
+            let mut u = rng.gen_range(0.0..total);
+            for (i, w) in weights.iter().enumerate() {
+                if u < *w {
+                    return (i + 1) as u32;
+                }
+                u -= w;
+            }
+            max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let schema = Schema::bib();
+        let a = generate_graph(&schema, GraphConfig { nodes: 500, seed: 7 });
+        let b = generate_graph(&schema, GraphConfig { nodes: 500, seed: 7 });
+        assert_eq!(a.triples, b.triples);
+        let c = generate_graph(&schema, GraphConfig { nodes: 500, seed: 8 });
+        assert_ne!(a.triples, c.triples);
+    }
+
+    #[test]
+    fn node_counts_respect_proportions() {
+        let schema = Schema::bib();
+        let g = generate_graph(&schema, GraphConfig { nodes: 1000, seed: 1 });
+        assert!((g.node_count() as i64 - 1000).abs() <= 4);
+        // Researchers are the largest class (50 %).
+        assert!(g.nodes_by_type[0].len() > g.nodes_by_type[1].len());
+        assert!(g.nodes_by_type[1].len() > g.nodes_by_type[2].len());
+    }
+
+    #[test]
+    fn triples_use_schema_predicates_and_types() {
+        let schema = Schema::bib();
+        let g = generate_graph(&schema, GraphConfig { nodes: 300, seed: 3 });
+        assert!(g.triple_count() > 300, "a Bib graph has more edges than nodes");
+        for (s, p, o) in &g.triples {
+            assert!(p.starts_with("http://gmark.example/bib/"));
+            assert!(s.starts_with("http://gmark.example/"));
+            assert!(o.starts_with("http://gmark.example/"));
+        }
+        // publishedIn edges go from papers to journals.
+        let pubs: Vec<_> = g
+            .triples
+            .iter()
+            .filter(|(_, p, _)| p.ends_with("publishedIn"))
+            .collect();
+        assert!(!pubs.is_empty());
+        for (s, _, o) in pubs {
+            assert!(s.contains("/paper/"));
+            assert!(o.contains("/journal/"));
+        }
+    }
+
+    #[test]
+    fn store_loading_round_trips() {
+        let schema = Schema::bib();
+        let g = generate_graph(&schema, GraphConfig { nodes: 200, seed: 5 });
+        let store = g.to_store();
+        assert!(!store.is_empty());
+        assert!(store.len() <= g.triple_count());
+    }
+}

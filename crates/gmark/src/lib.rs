@@ -1,0 +1,25 @@
+//! # sparqlog-gmark
+//!
+//! A schema-driven synthetic graph and query-workload generator in the style
+//! of gMark (Bagan et al., TKDE 2017), providing the substrate for the
+//! chain-vs-cycle engine comparison of Section 5.1 / Figure 3 of *"An
+//! Analytical Study of Large SPARQL Query Logs"*:
+//!
+//! * [`schema`] — node/edge-type schemas with degree distributions, shipping
+//!   the bibliographical "Bib" use case used in the paper.
+//! * [`graph_gen`] — seeded generation of graph instances, loadable into a
+//!   [`sparqlog_store::TripleStore`].
+//! * [`query_gen`] — seeded generation of chain / star / cycle / chain-star
+//!   workloads whose predicates follow the schema, emitted as conjunctive
+//!   queries and as SPARQL text.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph_gen;
+pub mod query_gen;
+pub mod schema;
+
+pub use graph_gen::{generate_graph, GraphConfig, GraphInstance};
+pub use query_gen::{generate_workload, QueryShape, Workload, WorkloadConfig};
+pub use schema::{DegreeDistribution, EdgeType, NodeType, Schema};

@@ -1,0 +1,275 @@
+//! Seeded generation of chain / star / cycle / chain-star query workloads
+//! over a [`Schema`], following the shapes gMark generates and the setup of
+//! the paper's Section 5.1 experiment (100-query workloads per shape and
+//! length).
+
+use crate::schema::Schema;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use sparqlog_store::{CqAtom, CqTerm, ConjunctiveQuery};
+
+/// The query shapes the generator can produce (gMark's four shapes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryShape {
+    /// A chain of length `k` (hypertree width 1).
+    Chain,
+    /// A star with `k` branches.
+    Star,
+    /// A cycle of length `k` (hypertree width 2).
+    Cycle,
+    /// A chain with a star attached at its end ("chain-star").
+    ChainStar,
+}
+
+impl QueryShape {
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryShape::Chain => "chain",
+            QueryShape::Star => "star",
+            QueryShape::Cycle => "cycle",
+            QueryShape::ChainStar => "chain-star",
+        }
+    }
+}
+
+/// Configuration of a query workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// The query shape.
+    pub shape: QueryShape,
+    /// The size (number of conjuncts) of each query.
+    pub length: usize,
+    /// How many queries to generate.
+    pub count: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// A generated workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The configuration that produced the workload.
+    pub config: WorkloadConfig,
+    /// The queries.
+    pub queries: Vec<ConjunctiveQuery>,
+}
+
+impl Workload {
+    /// Renders every query as a SPARQL ASK query.
+    pub fn to_ask_sparql(&self) -> Vec<String> {
+        self.queries.iter().map(ConjunctiveQuery::to_ask_sparql).collect()
+    }
+}
+
+/// Generates a workload of `config.count` queries over the schema.
+///
+/// Predicates are chosen by a random walk over the schema's edge types so
+/// that consecutive atoms are type-compatible (the object type of one atom is
+/// the subject type of the next); cycle queries additionally pick walks that
+/// return to the starting type, so the generated queries have non-trivial
+/// selectivity on instances of the schema.
+pub fn generate_workload(schema: &Schema, config: WorkloadConfig) -> Workload {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut queries = Vec::with_capacity(config.count);
+    for _ in 0..config.count {
+        let query = match config.shape {
+            QueryShape::Chain => chain(schema, &mut rng, config.length),
+            QueryShape::Cycle => cycle(schema, &mut rng, config.length),
+            QueryShape::Star => star(schema, &mut rng, config.length),
+            QueryShape::ChainStar => chain_star(schema, &mut rng, config.length),
+        };
+        queries.push(query);
+    }
+    Workload { config, queries }
+}
+
+/// A random schema-compatible predicate walk of the given length starting
+/// from a random type; returns the predicate list. Falls back to repeating an
+/// arbitrary predicate if the walk gets stuck (cannot happen with the Bib
+/// schema, which has outgoing edges for every type reachable in a walk).
+fn predicate_walk(schema: &Schema, rng: &mut StdRng, length: usize, close: bool) -> Vec<String> {
+    let start_candidates: Vec<usize> =
+        (0..schema.node_types.len()).filter(|&t| !schema.outgoing(t).is_empty()).collect();
+    if start_candidates.is_empty() || schema.edge_types.is_empty() {
+        return vec![String::from("http://gmark.example/bib/knows"); length];
+    }
+    // Retry a bounded number of times: a walk can get stuck at a sink type,
+    // and cycle walks must additionally return to the starting type.
+    let attempts = 100;
+    let mut best: Option<Vec<String>> = None;
+    for _ in 0..attempts {
+        let start = start_candidates[rng.gen_range(0..start_candidates.len())];
+        let mut current = start;
+        let mut walk = Vec::with_capacity(length);
+        for step in 0..length {
+            let outgoing = schema.outgoing(current);
+            if outgoing.is_empty() {
+                break;
+            }
+            let last_step = step + 1 == length;
+            // For the last step of a closing walk, prefer edges back to start;
+            // for intermediate steps, prefer edges whose target can continue.
+            let closing: Vec<_> = outgoing.iter().copied().filter(|e| e.to == start).collect();
+            let continuing: Vec<_> = outgoing
+                .iter()
+                .copied()
+                .filter(|e| !schema.outgoing(e.to).is_empty())
+                .collect();
+            let pool: Vec<_> = if close && last_step && !closing.is_empty() {
+                closing
+            } else if !last_step && !continuing.is_empty() {
+                continuing
+            } else {
+                outgoing
+            };
+            let edge = pool[rng.gen_range(0..pool.len())];
+            walk.push(edge.predicate.clone());
+            current = edge.to;
+        }
+        if walk.len() == length && (!close || current == start) {
+            return walk;
+        }
+        if walk.len() == length && best.is_none() {
+            best = Some(walk);
+        }
+    }
+    best.unwrap_or_else(|| {
+        vec![schema.edge_types[0].predicate.clone(); length]
+    })
+}
+
+fn chain(schema: &Schema, rng: &mut StdRng, length: usize) -> ConjunctiveQuery {
+    let preds = predicate_walk(schema, rng, length, false);
+    sparqlog_store::chain_query(&preds)
+}
+
+fn cycle(schema: &Schema, rng: &mut StdRng, length: usize) -> ConjunctiveQuery {
+    let preds = predicate_walk(schema, rng, length, true);
+    sparqlog_store::cycle_query(&preds)
+}
+
+fn star(schema: &Schema, rng: &mut StdRng, branches: usize) -> ConjunctiveQuery {
+    // All branches start from the same node type.
+    let start_candidates: Vec<usize> =
+        (0..schema.node_types.len()).filter(|&t| !schema.outgoing(t).is_empty()).collect();
+    let start = start_candidates[rng.gen_range(0..start_candidates.len())];
+    let outgoing = schema.outgoing(start);
+    let preds: Vec<String> = (0..branches)
+        .map(|_| outgoing[rng.gen_range(0..outgoing.len())].predicate.clone())
+        .collect();
+    sparqlog_store::star_query(&preds)
+}
+
+fn chain_star(schema: &Schema, rng: &mut StdRng, length: usize) -> ConjunctiveQuery {
+    // A chain of ⌈length/2⌉ atoms followed by a star of the remaining atoms
+    // attached to the chain's last variable.
+    let chain_len = length.div_ceil(2).max(1);
+    let star_len = length.saturating_sub(chain_len);
+    let chain_preds = predicate_walk(schema, rng, chain_len, false);
+    let mut query = sparqlog_store::chain_query(&chain_preds);
+    let centre = format!("x{chain_len}");
+    let outgoing_all: Vec<&str> =
+        schema.edge_types.iter().map(|e| e.predicate.as_str()).collect();
+    for i in 0..star_len {
+        let p = outgoing_all[rng.gen_range(0..outgoing_all.len())];
+        query.atoms.push(CqAtom::new(
+            CqTerm::var(centre.clone()),
+            CqTerm::constant(p),
+            CqTerm::var(format!("s{i}")),
+        ));
+    }
+    query
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use std::collections::BTreeSet;
+
+    fn workload(shape: QueryShape, length: usize) -> Workload {
+        generate_workload(
+            &Schema::bib(),
+            WorkloadConfig { shape, length, count: 20, seed: 11 },
+        )
+    }
+
+    #[test]
+    fn chain_workload_has_chain_structure() {
+        let w = workload(QueryShape::Chain, 4);
+        assert_eq!(w.queries.len(), 20);
+        for q in &w.queries {
+            assert_eq!(q.atoms.len(), 4);
+            assert_eq!(q.variables().len(), 5);
+        }
+    }
+
+    #[test]
+    fn cycle_workload_closes_cycles() {
+        let w = workload(QueryShape::Cycle, 4);
+        for q in &w.queries {
+            assert_eq!(q.atoms.len(), 4);
+            assert_eq!(q.variables().len(), 4);
+            // Last atom's object is the first variable.
+            assert_eq!(q.atoms[3].object, CqTerm::var("x0"));
+        }
+    }
+
+    #[test]
+    fn star_workload_shares_a_centre() {
+        let w = workload(QueryShape::Star, 5);
+        for q in &w.queries {
+            assert_eq!(q.atoms.len(), 5);
+            let centres: BTreeSet<_> = q.atoms.iter().map(|a| a.subject.clone()).collect();
+            assert_eq!(centres.len(), 1);
+        }
+    }
+
+    #[test]
+    fn chain_star_combines_both() {
+        let w = workload(QueryShape::ChainStar, 6);
+        for q in &w.queries {
+            assert_eq!(q.atoms.len(), 6);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = workload(QueryShape::Cycle, 5);
+        let b = workload(QueryShape::Cycle, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn walks_are_schema_compatible() {
+        // In a chain query over the Bib schema, consecutive predicates must be
+        // connectable: the target type of one is the source type of the next.
+        let schema = Schema::bib();
+        let w = generate_workload(
+            &schema,
+            WorkloadConfig { shape: QueryShape::Chain, length: 3, count: 50, seed: 3 },
+        );
+        let type_of_pred = |p: &str| {
+            schema.edge_types.iter().find(|e| e.predicate == p).map(|e| (e.from, e.to)).unwrap()
+        };
+        for q in &w.queries {
+            for pair in q.atoms.windows(2) {
+                let CqTerm::Const(p1) = &pair[0].predicate else { panic!() };
+                let CqTerm::Const(p2) = &pair[1].predicate else { panic!() };
+                let (_, to1) = type_of_pred(p1);
+                let (from2, _) = type_of_pred(p2);
+                assert_eq!(to1, from2, "incompatible walk: {p1} then {p2}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparql_rendering_is_available() {
+        let w = workload(QueryShape::Chain, 3);
+        let sparql = w.to_ask_sparql();
+        assert_eq!(sparql.len(), 20);
+        assert!(sparql[0].starts_with("ASK WHERE"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Graph schemas for the gMark-style generator.
+//!
+//! A schema lists node types with their relative proportions and edge types
+//! (predicates) with source/target node types and an out-degree distribution.
+//! The paper's chain/cycle experiment (Section 5.1) uses gMark's "Bib"
+//! (bibliographical) use case over a 100k-node instance; [`Schema::bib`]
+//! provides an equivalent schema.
+
+use serde::{Deserialize, Serialize};
+
+/// A node type with its share of the generated nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeType {
+    /// The type name (used to mint IRIs like `http://gmark/researcher/42`).
+    pub name: String,
+    /// The fraction of all nodes that get this type (the schema normalises
+    /// the proportions, so they need not sum to one).
+    pub proportion: f64,
+}
+
+/// An out-degree distribution for an edge type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DegreeDistribution {
+    /// Uniform between `min` and `max` (inclusive).
+    Uniform {
+        /// Minimum out-degree.
+        min: u32,
+        /// Maximum out-degree.
+        max: u32,
+    },
+    /// A zipfian distribution over `1..=max` with exponent `alpha` — a few
+    /// sources have many edges, most have few.
+    Zipf {
+        /// Skew exponent (larger is more skewed).
+        alpha: f64,
+        /// Maximum out-degree.
+        max: u32,
+    },
+    /// Every source has exactly `degree` outgoing edges.
+    Constant {
+        /// The fixed out-degree.
+        degree: u32,
+    },
+}
+
+/// An edge type: a predicate connecting two node types.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeType {
+    /// The predicate IRI.
+    pub predicate: String,
+    /// Source node type (index into [`Schema::node_types`]).
+    pub from: usize,
+    /// Target node type (index into [`Schema::node_types`]).
+    pub to: usize,
+    /// Out-degree distribution for source nodes.
+    pub degree: DegreeDistribution,
+}
+
+/// A complete graph schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    /// The node types.
+    pub node_types: Vec<NodeType>,
+    /// The edge types.
+    pub edge_types: Vec<EdgeType>,
+}
+
+impl Schema {
+    /// The bibliographical ("Bib") use case: researchers, papers, journals
+    /// and conferences with authorship, citation, publication and
+    /// collaboration predicates — the schema family used by gMark and by the
+    /// paper's Section 5.1 experiment.
+    pub fn bib() -> Schema {
+        let node_types = vec![
+            NodeType { name: "researcher".into(), proportion: 0.5 },
+            NodeType { name: "paper".into(), proportion: 0.3 },
+            NodeType { name: "journal".into(), proportion: 0.1 },
+            NodeType { name: "conference".into(), proportion: 0.1 },
+        ];
+        let p = |s: &str| format!("http://gmark.example/bib/{s}");
+        let edge_types = vec![
+            EdgeType {
+                predicate: p("authorOf"),
+                from: 0,
+                to: 1,
+                degree: DegreeDistribution::Zipf { alpha: 1.7, max: 40 },
+            },
+            EdgeType {
+                predicate: p("knows"),
+                from: 0,
+                to: 0,
+                degree: DegreeDistribution::Uniform { min: 1, max: 6 },
+            },
+            EdgeType {
+                predicate: p("cites"),
+                from: 1,
+                to: 1,
+                degree: DegreeDistribution::Zipf { alpha: 1.5, max: 30 },
+            },
+            EdgeType {
+                predicate: p("publishedIn"),
+                from: 1,
+                to: 2,
+                degree: DegreeDistribution::Constant { degree: 1 },
+            },
+            EdgeType {
+                predicate: p("presentedAt"),
+                from: 1,
+                to: 3,
+                degree: DegreeDistribution::Uniform { min: 0, max: 1 },
+            },
+            EdgeType {
+                predicate: p("reviewerOf"),
+                from: 0,
+                to: 1,
+                degree: DegreeDistribution::Uniform { min: 0, max: 5 },
+            },
+        ];
+        Schema { node_types, edge_types }
+    }
+
+    /// The normalised node-type proportions (summing to 1).
+    pub fn normalized_proportions(&self) -> Vec<f64> {
+        let total: f64 = self.node_types.iter().map(|n| n.proportion).sum();
+        self.node_types.iter().map(|n| n.proportion / total.max(f64::MIN_POSITIVE)).collect()
+    }
+
+    /// The edge types whose source type is `ty`.
+    pub fn outgoing(&self, ty: usize) -> Vec<&EdgeType> {
+        self.edge_types.iter().filter(|e| e.from == ty).collect()
+    }
+
+    /// The edge types whose target type is `ty`.
+    pub fn incoming(&self, ty: usize) -> Vec<&EdgeType> {
+        self.edge_types.iter().filter(|e| e.to == ty).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bib_schema_is_well_formed() {
+        let s = Schema::bib();
+        assert_eq!(s.node_types.len(), 4);
+        assert!(s.edge_types.len() >= 5);
+        for e in &s.edge_types {
+            assert!(e.from < s.node_types.len());
+            assert!(e.to < s.node_types.len());
+        }
+        let props = s.normalized_proportions();
+        assert!((props.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outgoing_and_incoming_lookups() {
+        let s = Schema::bib();
+        // Researchers (type 0) have outgoing authorOf / knows / reviewerOf.
+        assert_eq!(s.outgoing(0).len(), 3);
+        // Papers (type 1) receive authorOf, cites and reviewerOf.
+        assert!(s.incoming(1).len() >= 3);
+    }
+}

@@ -1,0 +1,374 @@
+//! The canonical (undirected) graph of a graph pattern (Section 5 of the
+//! paper).
+//!
+//! For a pattern `P` without variables in predicate position, the canonical
+//! graph has an edge `{x, y}` for every triple pattern `(x, ℓ, y)` with
+//! constant predicate `ℓ`, and its nodes are the subjects and objects of
+//! those triples. Nodes can be variables, blank nodes *or constants*; the
+//! paper additionally re-runs its analysis with constants excluded, which is
+//! supported through [`GraphMode`].
+//!
+//! Filters of the form `?x = ?y` collapse the two nodes (footnote 20).
+
+use serde::{Deserialize, Serialize};
+use sparqlog_parser::ast::{Term, TriplePattern};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Whether constants (IRIs and literals in subject/object position) become
+/// graph nodes, or only variables and blank nodes do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GraphMode {
+    /// Constants are nodes too (the default canonical graph of the paper).
+    WithConstants,
+    /// Only variables and blank nodes are nodes; triples whose subject or
+    /// object is a constant contribute no edge for that endpoint (a triple
+    /// `(?x, p, c)` yields the singleton edge `{?x}`; a fully constant triple
+    /// is ignored). Used for the Section 6.1 "excluding constants" rerun.
+    VariablesOnly,
+}
+
+/// An undirected simple graph with optional parallel-edge and self-loop
+/// accounting, as produced from a SPARQL graph pattern.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CanonicalGraph {
+    /// Node labels (canonical representative after `?x = ?y` collapsing).
+    pub labels: Vec<String>,
+    /// Adjacency sets over node indices (no self entries).
+    pub adj: Vec<BTreeSet<usize>>,
+    /// Number of self-loop edges encountered (triples with identical
+    /// endpoints after collapsing, e.g. `?x p ?x`).
+    pub self_loops: usize,
+    /// Number of triples that mapped onto an already-present edge
+    /// (parallel edges in the multigraph view).
+    pub parallel_edges: usize,
+    /// Number of triples that contributed no edge at all (e.g. fully-constant
+    /// triples in [`GraphMode::VariablesOnly`]).
+    pub skipped_triples: usize,
+}
+
+impl CanonicalGraph {
+    /// Builds the canonical graph of a set of triple patterns.
+    ///
+    /// `equalities` lists variable pairs equated by simple `?x = ?y` filters;
+    /// each pair is collapsed into one node. Triple patterns with a variable
+    /// predicate are rejected by returning `None` (such queries must be
+    /// analysed through their hypergraph instead, see Section 5 / Example
+    /// 5.1 of the paper).
+    pub fn from_triples(
+        triples: &[TriplePattern],
+        equalities: &[(String, String)],
+        mode: GraphMode,
+    ) -> Option<CanonicalGraph> {
+        if triples.iter().any(|t| t.predicate.is_var()) {
+            return None;
+        }
+        // Union-find over variable names for equality collapsing.
+        let mut uf = UnionFind::new();
+        for (a, b) in equalities {
+            uf.union(&format!("?{a}"), &format!("?{b}"));
+        }
+
+        let mut graph = CanonicalGraph::default();
+        let mut index: BTreeMap<String, usize> = BTreeMap::new();
+
+        let node_of = |term: &Term,
+                           graph: &mut CanonicalGraph,
+                           index: &mut BTreeMap<String, usize>,
+                           uf: &mut UnionFind|
+         -> Option<usize> {
+            let label = match term {
+                Term::Var(v) => uf.find(&format!("?{v}")),
+                Term::BlankNode(b) => format!("_:{b}"),
+                Term::Iri(_) | Term::Literal { .. } => {
+                    if mode == GraphMode::VariablesOnly {
+                        return None;
+                    }
+                    term.to_string()
+                }
+            };
+            Some(*index.entry(label.clone()).or_insert_with(|| {
+                graph.labels.push(label);
+                graph.adj.push(BTreeSet::new());
+                graph.labels.len() - 1
+            }))
+        };
+
+        for t in triples {
+            let s = node_of(&t.subject, &mut graph, &mut index, &mut uf);
+            let o = node_of(&t.object, &mut graph, &mut index, &mut uf);
+            match (s, o) {
+                (Some(a), Some(b)) if a == b => graph.self_loops += 1,
+                (Some(a), Some(b)) => {
+                    if graph.adj[a].contains(&b) {
+                        graph.parallel_edges += 1;
+                    } else {
+                        graph.adj[a].insert(b);
+                        graph.adj[b].insert(a);
+                    }
+                }
+                (Some(_), None) | (None, Some(_)) => graph.self_loops += 1,
+                (None, None) => graph.skipped_triples += 1,
+            }
+        }
+        Some(graph)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of (simple, undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// The degree of a node.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// The connected components, each given as a sorted list of node indices.
+    pub fn connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            let mut comp = Vec::new();
+            seen[start] = true;
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &w in &self.adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
+    }
+
+    /// True if the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// Returns the subgraph induced by `nodes` (labels are preserved).
+    pub fn induced(&self, nodes: &[usize]) -> CanonicalGraph {
+        let set: BTreeSet<usize> = nodes.iter().copied().collect();
+        let mut map = BTreeMap::new();
+        let mut out = CanonicalGraph::default();
+        for &v in nodes {
+            map.insert(v, out.labels.len());
+            out.labels.push(self.labels[v].clone());
+            out.adj.push(BTreeSet::new());
+        }
+        for &v in nodes {
+            for &w in &self.adj[v] {
+                if set.contains(&w) {
+                    let a = map[&v];
+                    let b = map[&w];
+                    out.adj[a].insert(b);
+                    out.adj[b].insert(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Removes a node, returning the residual graph (used by the flower
+    /// classifier and the treewidth ≤ 2 reduction).
+    pub fn without_node(&self, v: usize) -> CanonicalGraph {
+        let keep: Vec<usize> = (0..self.node_count()).filter(|&u| u != v).collect();
+        self.induced(&keep)
+    }
+
+    /// True if the graph contains at least one cycle.
+    pub fn has_cycle(&self) -> bool {
+        // A graph is acyclic iff every component has |E| = |V| - 1.
+        for comp in self.connected_components() {
+            let edges: usize =
+                comp.iter().map(|&v| self.adj[v].iter().filter(|w| comp.contains(w)).count()).sum::<usize>() / 2;
+            if edges >= comp.len() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The length of the shortest cycle (girth), or `None` if acyclic.
+    /// Self-loops and parallel edges are *not* considered (they arise from
+    /// multi-edges in the multigraph view and are reported separately).
+    pub fn girth(&self) -> Option<usize> {
+        let n = self.node_count();
+        let mut best: Option<usize> = None;
+        for start in 0..n {
+            // BFS from start; a non-tree edge closing back gives a cycle.
+            let mut dist = vec![usize::MAX; n];
+            let mut parent = vec![usize::MAX; n];
+            dist[start] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(v) = queue.pop_front() {
+                for &w in &self.adj[v] {
+                    if dist[w] == usize::MAX {
+                        dist[w] = dist[v] + 1;
+                        parent[w] = v;
+                        queue.push_back(w);
+                    } else if parent[v] != w {
+                        let cycle_len = dist[v] + dist[w] + 1;
+                        best = Some(best.map_or(cycle_len, |b| b.min(cycle_len)));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// A tiny union-find over string keys used for `?x = ?y` collapsing.
+#[derive(Debug, Default)]
+struct UnionFind {
+    parent: BTreeMap<String, String>,
+}
+
+impl UnionFind {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn find(&mut self, key: &str) -> String {
+        let parent = match self.parent.get(key) {
+            None => return key.to_string(),
+            Some(p) => p.clone(),
+        };
+        if parent == key {
+            return parent;
+        }
+        let root = self.find(&parent);
+        self.parent.insert(key.to_string(), root.clone());
+        root
+    }
+
+    fn union(&mut self, a: &str, b: &str) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(rb, ra);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparqlog_parser::ast::Term;
+
+    fn t(s: &str, p: &str, o: &str) -> TriplePattern {
+        let term = |x: &str| {
+            if let Some(v) = x.strip_prefix('?') {
+                Term::var(v)
+            } else {
+                Term::iri(x)
+            }
+        };
+        TriplePattern::new(term(s), Term::iri(p), term(o))
+    }
+
+    #[test]
+    fn builds_chain_graph() {
+        let triples = [t("?x1", "a", "?x2"), t("?x2", "b", "?x3"), t("?x3", "c", "?x4")];
+        let g = CanonicalGraph::from_triples(&triples, &[], GraphMode::WithConstants).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert!(!g.has_cycle());
+        assert!(g.is_connected());
+        assert_eq!(g.girth(), None);
+    }
+
+    #[test]
+    fn variable_predicate_is_rejected() {
+        let triples = [TriplePattern::new(Term::var("x"), Term::var("p"), Term::var("y"))];
+        assert!(CanonicalGraph::from_triples(&triples, &[], GraphMode::WithConstants).is_none());
+    }
+
+    #[test]
+    fn constants_become_nodes_only_with_constants_mode() {
+        let triples = [t("?x", "p", "c1"), t("?x", "q", "c2")];
+        let with = CanonicalGraph::from_triples(&triples, &[], GraphMode::WithConstants).unwrap();
+        assert_eq!(with.node_count(), 3);
+        assert_eq!(with.edge_count(), 2);
+        let without = CanonicalGraph::from_triples(&triples, &[], GraphMode::VariablesOnly).unwrap();
+        assert_eq!(without.node_count(), 1);
+        assert_eq!(without.edge_count(), 0);
+        assert_eq!(without.self_loops, 2);
+    }
+
+    #[test]
+    fn cycle_detection_and_girth() {
+        let triples = [
+            t("?a", "p", "?b"),
+            t("?b", "p", "?c"),
+            t("?c", "p", "?d"),
+            t("?d", "p", "?a"),
+        ];
+        let g = CanonicalGraph::from_triples(&triples, &[], GraphMode::WithConstants).unwrap();
+        assert!(g.has_cycle());
+        assert_eq!(g.girth(), Some(4));
+    }
+
+    #[test]
+    fn equality_filter_collapses_nodes() {
+        // ?x p ?y . ?z q ?w with FILTER(?y = ?z) becomes a chain of length 2.
+        let triples = [t("?x", "p", "?y"), t("?z", "q", "?w")];
+        let g = CanonicalGraph::from_triples(
+            &triples,
+            &[("y".to_string(), "z".to_string())],
+            GraphMode::WithConstants,
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_are_counted() {
+        let triples = [t("?x", "p", "?y"), t("?x", "q", "?y"), t("?x", "r", "?x")];
+        let g = CanonicalGraph::from_triples(&triples, &[], GraphMode::WithConstants).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.parallel_edges, 1);
+        assert_eq!(g.self_loops, 1);
+    }
+
+    #[test]
+    fn components_and_induced_subgraphs() {
+        let triples = [t("?a", "p", "?b"), t("?c", "p", "?d")];
+        let g = CanonicalGraph::from_triples(&triples, &[], GraphMode::WithConstants).unwrap();
+        let comps = g.connected_components();
+        assert_eq!(comps.len(), 2);
+        let sub = g.induced(&comps[0]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn girth_of_triangle_with_tail() {
+        let triples = [
+            t("?a", "p", "?b"),
+            t("?b", "p", "?c"),
+            t("?c", "p", "?a"),
+            t("?c", "p", "?d"),
+            t("?d", "p", "?e"),
+        ];
+        let g = CanonicalGraph::from_triples(&triples, &[], GraphMode::WithConstants).unwrap();
+        assert_eq!(g.girth(), Some(3));
+    }
+}

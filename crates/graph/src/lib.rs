@@ -1,0 +1,33 @@
+//! # sparqlog-graph
+//!
+//! Canonical graph / hypergraph construction, shape classification, treewidth
+//! and generalized hypertree width for SPARQL queries — the structural
+//! machinery behind Sections 5 and 6 of *"An Analytical Study of Large SPARQL
+//! Query Logs"* (Bonifati–Martens–Timm, VLDB 2017).
+//!
+//! * [`graph`] — the canonical undirected graph of a pattern, with
+//!   `?x = ?y` collapsing and a constants-excluded mode.
+//! * [`shape`] — the shape taxonomy (single edge, chain, star, tree, forest,
+//!   cycle, flower, flower set) and the cumulative Table-4 tally.
+//! * [`treewidth`](mod@crate::treewidth) — exact treewidth for query-sized
+//!   graphs.
+//! * [`hypergraph`] — the canonical hypergraph (for variable predicates).
+//! * [`hypertree`] — generalized hypertree width (det-k-decomp style).
+//! * [`analyze`] — the per-query [`StructuralReport`] combining everything.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod graph;
+pub mod hypergraph;
+pub mod hypertree;
+pub mod shape;
+pub mod treewidth;
+
+pub use analyze::StructuralReport;
+pub use graph::{CanonicalGraph, GraphMode};
+pub use hypergraph::Hypergraph;
+pub use hypertree::{generalized_hypertree_width, HypertreeWidth};
+pub use shape::{ShapeClass, ShapeReport, ShapeTally};
+pub use treewidth::{treewidth, Treewidth};

@@ -1,0 +1,488 @@
+//! Shape classification of canonical graphs (Section 6.1, Table 4 / Table 9).
+//!
+//! The classifier recognises the shape taxonomy of the paper: single edge,
+//! chain, chain set, star, tree, forest, cycle, flower and flower set
+//! (Definition 6.1). The classes are not mutually exclusive (every chain is a
+//! tree, every tree is a flower, …); [`ShapeReport`] records membership in
+//! each class so the cumulative Table 4 roll-up can be reproduced, and
+//! [`ShapeReport::primary`] names the most specific class for convenience.
+
+use crate::graph::CanonicalGraph;
+use serde::{Deserialize, Serialize};
+
+/// Membership of one query graph in each shape class of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShapeReport {
+    /// Exactly one edge between two nodes.
+    pub single_edge: bool,
+    /// The graph is a chain (path graph), including single edges.
+    pub chain: bool,
+    /// Every connected component is a chain (or an isolated node).
+    pub chain_set: bool,
+    /// The graph is a star: a tree with exactly one node of degree ≥ 3.
+    pub star: bool,
+    /// The graph is a tree (connected and acyclic).
+    pub tree: bool,
+    /// Every connected component is a tree.
+    pub forest: bool,
+    /// The graph is a single cycle.
+    pub cycle: bool,
+    /// The graph is a flower (Definition 6.1).
+    pub flower: bool,
+    /// Every connected component is a flower.
+    pub flower_set: bool,
+    /// The graph is empty (no edges) — bodies with zero graph-relevant
+    /// triples; counted separately so shares can exclude them if desired.
+    pub empty: bool,
+}
+
+/// The most specific shape name, used for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ShapeClass {
+    /// No edges at all.
+    Empty,
+    /// A single edge.
+    SingleEdge,
+    /// A chain with at least two edges.
+    Chain,
+    /// A disjoint union of chains (not itself a chain).
+    ChainSet,
+    /// A star.
+    Star,
+    /// A tree that is neither a chain nor a star.
+    Tree,
+    /// A forest that is not a tree.
+    Forest,
+    /// A single cycle.
+    Cycle,
+    /// A flower that is not a forest or cycle.
+    Flower,
+    /// A flower set that is not a single flower.
+    FlowerSet,
+    /// None of the above (cyclic, not flower-like).
+    Other,
+}
+
+impl ShapeReport {
+    /// Classifies a canonical graph.
+    pub fn classify(g: &CanonicalGraph) -> ShapeReport {
+        let mut r = ShapeReport::default();
+        if g.edge_count() == 0 {
+            r.empty = true;
+            // By convention the empty graph is a chain set / forest / flower
+            // set (all components — there are none — satisfy the predicates).
+            r.chain_set = true;
+            r.forest = true;
+            r.flower_set = true;
+            return r;
+        }
+        let components = g.connected_components();
+        let connected = components.len() == 1;
+
+        r.single_edge = g.edge_count() == 1 && g.node_count() == 2;
+        r.chain = connected && is_chain(g);
+        r.chain_set = components.iter().all(|c| is_chain(&g.induced(c)) || c.len() == 1);
+        r.tree = connected && !g.has_cycle();
+        r.star = r.tree && g.adj.iter().filter(|a| a.len() >= 3).count() == 1;
+        r.forest = !g.has_cycle();
+        r.cycle = connected && is_cycle(g);
+        r.flower = connected && is_flower(g);
+        r.flower_set = components.iter().all(|c| is_flower(&g.induced(c)));
+        r
+    }
+
+    /// The most specific class this graph belongs to.
+    pub fn primary(&self) -> ShapeClass {
+        if self.empty {
+            ShapeClass::Empty
+        } else if self.single_edge {
+            ShapeClass::SingleEdge
+        } else if self.chain {
+            ShapeClass::Chain
+        } else if self.star {
+            ShapeClass::Star
+        } else if self.tree {
+            ShapeClass::Tree
+        } else if self.chain_set {
+            ShapeClass::ChainSet
+        } else if self.forest {
+            ShapeClass::Forest
+        } else if self.cycle {
+            ShapeClass::Cycle
+        } else if self.flower {
+            ShapeClass::Flower
+        } else if self.flower_set {
+            ShapeClass::FlowerSet
+        } else {
+            ShapeClass::Other
+        }
+    }
+}
+
+/// True if the (connected) graph is a path: acyclic with maximum degree ≤ 2.
+fn is_chain(g: &CanonicalGraph) -> bool {
+    if g.edge_count() == 0 {
+        return false;
+    }
+    g.is_connected() && !g.has_cycle() && g.adj.iter().all(|a| a.len() <= 2)
+}
+
+/// True if the (connected) graph is a single cycle: every node has degree 2
+/// and the number of edges equals the number of nodes.
+fn is_cycle(g: &CanonicalGraph) -> bool {
+    g.node_count() >= 3
+        && g.is_connected()
+        && g.adj.iter().all(|a| a.len() == 2)
+        && g.edge_count() == g.node_count()
+}
+
+/// True if the (connected) graph is a flower: there is a node `x` such that
+/// every connected component of `G − x`, together with `x`, is either a tree
+/// or a petal with source `x` (Definition 6.1). Trees and single nodes are
+/// flowers (with only stamens/stems and no petals).
+fn is_flower(g: &CanonicalGraph) -> bool {
+    if !g.is_connected() {
+        return false;
+    }
+    if !g.has_cycle() {
+        // Pure trees are flowers (chains are stamens, other trees are stems).
+        return true;
+    }
+    // A plain cycle is a petal on its own; any of its nodes can be the centre.
+    (0..g.node_count()).any(|x| is_flower_with_center(g, x))
+}
+
+fn is_flower_with_center(g: &CanonicalGraph, x: usize) -> bool {
+    let residual = g.without_node(x);
+    // Indices in `residual` map back to original indices (all nodes except x,
+    // in order). Build that mapping.
+    let original: Vec<usize> = (0..g.node_count()).filter(|&u| u != x).collect();
+    for comp in residual.connected_components() {
+        // The attachment = component ∪ {x}, induced in the original graph.
+        let mut nodes: Vec<usize> = comp.iter().map(|&i| original[i]).collect();
+        nodes.push(x);
+        let attachment = g.induced(&nodes);
+        let centre_in_attachment = nodes.len() - 1; // x was pushed last
+        if attachment.has_cycle()
+            && !is_petal(&attachment, centre_in_attachment) {
+                return false;
+            }
+        // Acyclic attachments are stamens (chains) or stems (trees): always OK.
+    }
+    true
+}
+
+/// True if `g` (connected, containing `source`) is a petal with source
+/// `source`: a set of at least two internally node-disjoint paths from
+/// `source` to a common target. Structurally: minimum degree ≥ 2 and every
+/// node except `source` and at most one target has degree exactly 2.
+fn is_petal(g: &CanonicalGraph, source: usize) -> bool {
+    if !g.is_connected() || g.node_count() < 3 {
+        return false;
+    }
+    if g.adj.iter().any(|a| a.len() < 2) {
+        return false;
+    }
+    let high: Vec<usize> =
+        (0..g.node_count()).filter(|&v| g.adj[v].len() >= 3).collect();
+    match high.len() {
+        0 => true, // a plain cycle
+        1 => high[0] == source,
+        2 => high.contains(&source),
+        _ => false,
+    }
+}
+
+/// Cumulative shape statistics over a set of query graphs (one column of
+/// Table 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShapeTally {
+    /// Queries whose graph is a single edge.
+    pub single_edge: u64,
+    /// Chains.
+    pub chain: u64,
+    /// Chain sets.
+    pub chain_set: u64,
+    /// Stars.
+    pub star: u64,
+    /// Trees.
+    pub tree: u64,
+    /// Forests.
+    pub forest: u64,
+    /// Cycles.
+    pub cycle: u64,
+    /// Flowers.
+    pub flower: u64,
+    /// Flower sets.
+    pub flower_set: u64,
+    /// Queries with treewidth ≤ 2.
+    pub treewidth_le2: u64,
+    /// Queries with treewidth exactly 3.
+    pub treewidth_3: u64,
+    /// Queries with treewidth 4 or more (not observed in the paper's corpus).
+    pub treewidth_ge4: u64,
+    /// Total queries classified.
+    pub total: u64,
+}
+
+impl ShapeTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one classified query (shape report plus its treewidth).
+    pub fn add(&mut self, shape: &ShapeReport, treewidth: usize) {
+        self.total += 1;
+        if shape.single_edge {
+            self.single_edge += 1;
+        }
+        if shape.chain {
+            self.chain += 1;
+        }
+        if shape.chain_set {
+            self.chain_set += 1;
+        }
+        if shape.star {
+            self.star += 1;
+        }
+        if shape.tree {
+            self.tree += 1;
+        }
+        if shape.forest {
+            self.forest += 1;
+        }
+        if shape.cycle {
+            self.cycle += 1;
+        }
+        if shape.flower {
+            self.flower += 1;
+        }
+        if shape.flower_set {
+            self.flower_set += 1;
+        }
+        match treewidth {
+            0..=2 => self.treewidth_le2 += 1,
+            3 => self.treewidth_3 += 1,
+            _ => self.treewidth_ge4 += 1,
+        }
+    }
+
+    /// Merges another tally.
+    pub fn merge(&mut self, other: &ShapeTally) {
+        self.single_edge += other.single_edge;
+        self.chain += other.chain;
+        self.chain_set += other.chain_set;
+        self.star += other.star;
+        self.tree += other.tree;
+        self.forest += other.forest;
+        self.cycle += other.cycle;
+        self.flower += other.flower;
+        self.flower_set += other.flower_set;
+        self.treewidth_le2 += other.treewidth_le2;
+        self.treewidth_3 += other.treewidth_3;
+        self.treewidth_ge4 += other.treewidth_ge4;
+        self.total += other.total;
+    }
+
+    /// The Table-4 rows as `(label, count, share)` in the paper's order.
+    pub fn rows(&self) -> Vec<(&'static str, u64, f64)> {
+        let total = self.total.max(1) as f64;
+        [
+            ("single edge", self.single_edge),
+            ("chain", self.chain),
+            ("chain set", self.chain_set),
+            ("star", self.star),
+            ("tree", self.tree),
+            ("forest", self.forest),
+            ("cycle", self.cycle),
+            ("flower", self.flower),
+            ("flower set", self.flower_set),
+            ("treewidth <= 2", self.treewidth_le2),
+            ("treewidth = 3", self.treewidth_3),
+            ("total", self.total),
+        ]
+        .into_iter()
+        .map(|(l, v)| (l, v, v as f64 / total))
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphMode;
+    use sparqlog_parser::ast::{Term, TriplePattern};
+
+    fn graph(edges: &[(&str, &str)]) -> CanonicalGraph {
+        let triples: Vec<TriplePattern> = edges
+            .iter()
+            .map(|(s, o)| TriplePattern::new(Term::var(*s), Term::iri("p"), Term::var(*o)))
+            .collect();
+        CanonicalGraph::from_triples(&triples, &[], GraphMode::WithConstants).unwrap()
+    }
+
+    #[test]
+    fn single_edge_is_also_chain_tree_forest_flower() {
+        let r = ShapeReport::classify(&graph(&[("x", "y")]));
+        assert!(r.single_edge && r.chain && r.chain_set && r.tree && r.forest);
+        assert!(r.flower && r.flower_set);
+        assert!(!r.star && !r.cycle);
+        assert_eq!(r.primary(), ShapeClass::SingleEdge);
+    }
+
+    #[test]
+    fn chain_of_three_edges() {
+        let r = ShapeReport::classify(&graph(&[("a", "b"), ("b", "c"), ("c", "d")]));
+        assert!(!r.single_edge && r.chain && r.tree);
+        assert_eq!(r.primary(), ShapeClass::Chain);
+    }
+
+    #[test]
+    fn chain_set_of_two_chains() {
+        let r = ShapeReport::classify(&graph(&[("a", "b"), ("c", "d")]));
+        assert!(!r.chain && r.chain_set && !r.tree && r.forest);
+        assert_eq!(r.primary(), ShapeClass::ChainSet);
+    }
+
+    #[test]
+    fn star_with_three_leaves() {
+        let r = ShapeReport::classify(&graph(&[("c", "l1"), ("c", "l2"), ("c", "l3")]));
+        assert!(r.star && r.tree && !r.chain);
+        assert_eq!(r.primary(), ShapeClass::Star);
+    }
+
+    #[test]
+    fn proper_tree_is_not_star_or_chain() {
+        // Two branch nodes of degree 3.
+        let r = ShapeReport::classify(&graph(&[
+            ("a", "b"),
+            ("a", "c"),
+            ("a", "d"),
+            ("d", "e"),
+            ("d", "f"),
+        ]));
+        assert!(r.tree && !r.star && !r.chain);
+        assert_eq!(r.primary(), ShapeClass::Tree);
+    }
+
+    #[test]
+    fn cycle_is_flower_but_not_tree() {
+        let r = ShapeReport::classify(&graph(&[("a", "b"), ("b", "c"), ("c", "a")]));
+        assert!(r.cycle && !r.tree && !r.forest);
+        assert!(r.flower && r.flower_set);
+        assert_eq!(r.primary(), ShapeClass::Cycle);
+    }
+
+    #[test]
+    fn flower_with_petal_and_stamens() {
+        // Centre x with: a petal (two paths x-a-t and x-b-t), one stamen
+        // (chain x-s1-s2) and a stem (tree branching at x via m).
+        let r = ShapeReport::classify(&graph(&[
+            ("x", "a"),
+            ("a", "t"),
+            ("x", "b"),
+            ("b", "t"),
+            ("x", "s1"),
+            ("s1", "s2"),
+            ("x", "m"),
+            ("m", "u"),
+            ("m", "v"),
+        ]));
+        assert!(r.flower && r.flower_set);
+        assert!(!r.forest && !r.cycle);
+        assert_eq!(r.primary(), ShapeClass::Flower);
+    }
+
+    #[test]
+    fn petal_with_three_paths() {
+        // Three internally disjoint paths from x to t (like the Figure 6 petal
+        // that uses three paths).
+        let r = ShapeReport::classify(&graph(&[
+            ("x", "a"),
+            ("a", "t"),
+            ("x", "b"),
+            ("b", "t"),
+            ("x", "c"),
+            ("c", "t"),
+        ]));
+        assert!(r.flower);
+        assert!(!r.cycle);
+    }
+
+    #[test]
+    fn flower_set_of_cycle_and_chain() {
+        let r = ShapeReport::classify(&graph(&[
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "a"),
+            ("p", "q"),
+            ("q", "r"),
+        ]));
+        assert!(!r.flower && r.flower_set);
+        assert!(!r.forest);
+        assert_eq!(r.primary(), ShapeClass::FlowerSet);
+    }
+
+    #[test]
+    fn two_disjoint_cycles_sharing_nothing_not_flower_but_flower_set() {
+        let r = ShapeReport::classify(&graph(&[
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "a"),
+            ("d", "e"),
+            ("e", "f"),
+            ("f", "d"),
+        ]));
+        assert!(!r.flower);
+        assert!(r.flower_set);
+    }
+
+    #[test]
+    fn two_cycles_sharing_one_node_is_flower() {
+        let r = ShapeReport::classify(&graph(&[
+            ("x", "a"),
+            ("a", "b"),
+            ("b", "x"),
+            ("x", "c"),
+            ("c", "d"),
+            ("d", "x"),
+        ]));
+        assert!(r.flower);
+    }
+
+    #[test]
+    fn k4_is_not_a_flower() {
+        let r = ShapeReport::classify(&graph(&[
+            ("a", "b"),
+            ("a", "c"),
+            ("a", "d"),
+            ("b", "c"),
+            ("b", "d"),
+            ("c", "d"),
+        ]));
+        assert!(!r.flower && !r.flower_set && !r.forest);
+        assert_eq!(r.primary(), ShapeClass::Other);
+    }
+
+    #[test]
+    fn empty_graph_classification() {
+        let g = CanonicalGraph::default();
+        let r = ShapeReport::classify(&g);
+        assert!(r.empty && r.forest && r.flower_set);
+        assert_eq!(r.primary(), ShapeClass::Empty);
+    }
+
+    #[test]
+    fn tally_is_cumulative_like_table4() {
+        let mut t = ShapeTally::new();
+        t.add(&ShapeReport::classify(&graph(&[("x", "y")])), 1);
+        t.add(&ShapeReport::classify(&graph(&[("a", "b"), ("b", "c"), ("c", "a")])), 2);
+        assert_eq!(t.total, 2);
+        assert_eq!(t.single_edge, 1);
+        assert_eq!(t.flower_set, 2);
+        assert_eq!(t.treewidth_le2, 2);
+        let rows = t.rows();
+        assert_eq!(rows.last().unwrap().1, 2);
+    }
+}

@@ -1,0 +1,769 @@
+//! The abstract syntax tree produced by the parser.
+//!
+//! The AST intentionally stays close to the *surface syntax* of SPARQL 1.1
+//! rather than to the evaluation algebra: the analyses in the paper (keyword
+//! census, operator-set classification, fragment membership, canonical graphs)
+//! are all defined on the syntactic structure of queries, so preserving group
+//! boundaries, UNION branches and OPTIONAL nesting exactly as written is what
+//! we need.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An RDF term or variable appearing in a triple pattern, expression, or
+/// DESCRIBE / GRAPH argument.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Term {
+    /// An IRI. Prefixed names are expanded by the parser when the prefix is
+    /// declared; otherwise they are stored as `prefix:local` verbatim.
+    Iri(String),
+    /// A literal with optional datatype IRI or language tag.
+    Literal {
+        /// The lexical form (without quotes).
+        lexical: String,
+        /// Datatype IRI, if `^^` was used.
+        datatype: Option<String>,
+        /// Language tag, if `@tag` was used.
+        lang: Option<String>,
+    },
+    /// A blank node (explicit label or generated for `[]` / property lists).
+    BlankNode(String),
+    /// A query variable (without the `?` / `$` sigil).
+    Var(String),
+}
+
+impl Term {
+    /// Convenience constructor for a plain (untyped, untagged) literal.
+    pub fn literal(lexical: impl Into<String>) -> Term {
+        Term::Literal { lexical: lexical.into(), datatype: None, lang: None }
+    }
+
+    /// Convenience constructor for an IRI term.
+    pub fn iri(iri: impl Into<String>) -> Term {
+        Term::Iri(iri.into())
+    }
+
+    /// Convenience constructor for a variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Returns `true` if this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Returns `true` if this term is a blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::BlankNode(_))
+    }
+
+    /// Returns `true` if this term is a variable or blank node — the "join
+    /// positions" used when building canonical graphs and hypergraphs.
+    pub fn is_var_or_blank(&self) -> bool {
+        self.is_var() || self.is_blank()
+    }
+
+    /// Returns the variable name if this term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => {
+                if i.contains("://") || i.starts_with("urn:") || i.starts_with("mailto:") {
+                    write!(f, "<{i}>")
+                } else {
+                    write!(f, "{i}")
+                }
+            }
+            Term::Literal { lexical, datatype, lang } => {
+                write!(f, "{:?}", lexical)?;
+                if let Some(dt) = datatype {
+                    write!(f, "^^<{dt}>")?;
+                }
+                if let Some(l) = lang {
+                    write!(f, "@{l}")?;
+                }
+                Ok(())
+            }
+            Term::BlankNode(b) => write!(f, "_:{b}"),
+            Term::Var(v) => write!(f, "?{v}"),
+        }
+    }
+}
+
+/// A triple pattern `subject predicate object`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TriplePattern {
+    /// The subject position.
+    pub subject: Term,
+    /// The predicate position (an IRI or a variable; never a literal).
+    pub predicate: Term,
+    /// The object position.
+    pub object: Term,
+}
+
+impl TriplePattern {
+    /// Creates a new triple pattern.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        TriplePattern { subject, predicate, object }
+    }
+
+    /// Iterates over the variables of the pattern (with duplicates).
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(|t| t.as_var())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A SPARQL 1.1 property path expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PropertyPath {
+    /// A single IRI step.
+    Iri(String),
+    /// `^p` — inverse step.
+    Inverse(Box<PropertyPath>),
+    /// `p1 / p2` — sequence.
+    Sequence(Box<PropertyPath>, Box<PropertyPath>),
+    /// `p1 | p2` — alternative.
+    Alternative(Box<PropertyPath>, Box<PropertyPath>),
+    /// `p*` — zero or more.
+    ZeroOrMore(Box<PropertyPath>),
+    /// `p+` — one or more.
+    OneOrMore(Box<PropertyPath>),
+    /// `p?` — zero or one.
+    ZeroOrOne(Box<PropertyPath>),
+    /// `!(a | ^b | …)` — negated property set. Each entry is `(iri, inverse?)`.
+    NegatedPropertySet(Vec<(String, bool)>),
+}
+
+impl PropertyPath {
+    /// Returns `true` if the path is a single forward IRI step (i.e. it could
+    /// have been written as a plain triple pattern).
+    pub fn is_trivial(&self) -> bool {
+        matches!(self, PropertyPath::Iri(_))
+    }
+}
+
+impl fmt::Display for PropertyPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyPath::Iri(i) => write!(f, "<{i}>"),
+            PropertyPath::Inverse(p) => write!(f, "^({p})"),
+            PropertyPath::Sequence(a, b) => write!(f, "({a}/{b})"),
+            PropertyPath::Alternative(a, b) => write!(f, "({a}|{b})"),
+            PropertyPath::ZeroOrMore(p) => write!(f, "({p})*"),
+            PropertyPath::OneOrMore(p) => write!(f, "({p})+"),
+            PropertyPath::ZeroOrOne(p) => write!(f, "({p})?"),
+            PropertyPath::NegatedPropertySet(items) => {
+                write!(f, "!(")?;
+                for (i, (iri, inv)) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    if *inv {
+                        write!(f, "^")?;
+                    }
+                    write!(f, "<{iri}>")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A property path pattern `subject path object`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathPattern {
+    /// The subject position.
+    pub subject: Term,
+    /// The property path connecting subject and object.
+    pub path: PropertyPath,
+    /// The object position.
+    pub object: Term,
+}
+
+/// A triple-like element inside a basic graph pattern: either a plain triple
+/// pattern or a property path pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TripleOrPath {
+    /// A plain triple pattern.
+    Triple(TriplePattern),
+    /// A property path pattern.
+    Path(PathPattern),
+}
+
+impl TripleOrPath {
+    /// The subject term.
+    pub fn subject(&self) -> &Term {
+        match self {
+            TripleOrPath::Triple(t) => &t.subject,
+            TripleOrPath::Path(p) => &p.subject,
+        }
+    }
+
+    /// The object term.
+    pub fn object(&self) -> &Term {
+        match self {
+            TripleOrPath::Triple(t) => &t.object,
+            TripleOrPath::Path(p) => &p.object,
+        }
+    }
+}
+
+/// Aggregate function kinds supported by SPARQL 1.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggregateKind {
+    /// `COUNT`.
+    Count,
+    /// `SUM`.
+    Sum,
+    /// `MIN`.
+    Min,
+    /// `MAX`.
+    Max,
+    /// `AVG`.
+    Avg,
+    /// `SAMPLE`.
+    Sample,
+    /// `GROUP_CONCAT`.
+    GroupConcat,
+}
+
+/// An aggregate expression such as `COUNT(DISTINCT ?x)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Aggregate {
+    /// Which aggregate function.
+    pub kind: AggregateKind,
+    /// Whether `DISTINCT` was used inside the aggregate.
+    pub distinct: bool,
+    /// The aggregated expression; `None` for `COUNT(*)`.
+    pub expr: Option<Box<Expression>>,
+    /// The `SEPARATOR` argument of `GROUP_CONCAT`, if present.
+    pub separator: Option<String>,
+}
+
+/// A SPARQL expression (filter constraint, BIND / select expression, HAVING
+/// condition, ORDER BY condition).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expression {
+    /// A variable reference.
+    Var(String),
+    /// A constant RDF term.
+    Term(Term),
+    /// `a || b`.
+    Or(Box<Expression>, Box<Expression>),
+    /// `a && b`.
+    And(Box<Expression>, Box<Expression>),
+    /// `a = b`.
+    Equal(Box<Expression>, Box<Expression>),
+    /// `a != b`.
+    NotEqual(Box<Expression>, Box<Expression>),
+    /// `a < b`.
+    Less(Box<Expression>, Box<Expression>),
+    /// `a > b`.
+    Greater(Box<Expression>, Box<Expression>),
+    /// `a <= b`.
+    LessEq(Box<Expression>, Box<Expression>),
+    /// `a >= b`.
+    GreaterEq(Box<Expression>, Box<Expression>),
+    /// `a IN (…)`.
+    In(Box<Expression>, Vec<Expression>),
+    /// `a NOT IN (…)`.
+    NotIn(Box<Expression>, Vec<Expression>),
+    /// `a + b`.
+    Add(Box<Expression>, Box<Expression>),
+    /// `a - b`.
+    Subtract(Box<Expression>, Box<Expression>),
+    /// `a * b`.
+    Multiply(Box<Expression>, Box<Expression>),
+    /// `a / b`.
+    Divide(Box<Expression>, Box<Expression>),
+    /// `!a`.
+    Not(Box<Expression>),
+    /// `-a`.
+    UnaryMinus(Box<Expression>),
+    /// `+a`.
+    UnaryPlus(Box<Expression>),
+    /// A built-in call or custom function call `name(args…)`. Built-in names
+    /// are stored upper-cased (`LANG`, `REGEX`, …); IRI-named functions keep
+    /// the IRI.
+    FunctionCall(String, Vec<Expression>),
+    /// `EXISTS { … }`.
+    Exists(Box<GroupGraphPattern>),
+    /// `NOT EXISTS { … }`.
+    NotExists(Box<GroupGraphPattern>),
+    /// An aggregate expression.
+    Aggregate(Aggregate),
+}
+
+impl Expression {
+    /// Collects the set of distinct variable names mentioned in the
+    /// expression, including variables inside EXISTS patterns.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<String>) {
+        match self {
+            Expression::Var(v) => out.push(v.clone()),
+            Expression::Term(_) => {}
+            Expression::Or(a, b)
+            | Expression::And(a, b)
+            | Expression::Equal(a, b)
+            | Expression::NotEqual(a, b)
+            | Expression::Less(a, b)
+            | Expression::Greater(a, b)
+            | Expression::LessEq(a, b)
+            | Expression::GreaterEq(a, b)
+            | Expression::Add(a, b)
+            | Expression::Subtract(a, b)
+            | Expression::Multiply(a, b)
+            | Expression::Divide(a, b) => {
+                a.collect_variables(out);
+                b.collect_variables(out);
+            }
+            Expression::In(a, list) | Expression::NotIn(a, list) => {
+                a.collect_variables(out);
+                for e in list {
+                    e.collect_variables(out);
+                }
+            }
+            Expression::Not(a) | Expression::UnaryMinus(a) | Expression::UnaryPlus(a) => {
+                a.collect_variables(out)
+            }
+            Expression::FunctionCall(_, args) => {
+                for a in args {
+                    a.collect_variables(out);
+                }
+            }
+            Expression::Exists(g) | Expression::NotExists(g) => {
+                for v in g.all_variables() {
+                    out.push(v);
+                }
+            }
+            Expression::Aggregate(agg) => {
+                if let Some(e) = &agg.expr {
+                    e.collect_variables(out);
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the expression contains an EXISTS or NOT EXISTS.
+    pub fn contains_exists(&self) -> bool {
+        match self {
+            Expression::Exists(_) | Expression::NotExists(_) => true,
+            Expression::Var(_) | Expression::Term(_) => false,
+            Expression::Or(a, b)
+            | Expression::And(a, b)
+            | Expression::Equal(a, b)
+            | Expression::NotEqual(a, b)
+            | Expression::Less(a, b)
+            | Expression::Greater(a, b)
+            | Expression::LessEq(a, b)
+            | Expression::GreaterEq(a, b)
+            | Expression::Add(a, b)
+            | Expression::Subtract(a, b)
+            | Expression::Multiply(a, b)
+            | Expression::Divide(a, b) => a.contains_exists() || b.contains_exists(),
+            Expression::In(a, list) | Expression::NotIn(a, list) => {
+                a.contains_exists() || list.iter().any(|e| e.contains_exists())
+            }
+            Expression::Not(a) | Expression::UnaryMinus(a) | Expression::UnaryPlus(a) => {
+                a.contains_exists()
+            }
+            Expression::FunctionCall(_, args) => args.iter().any(|a| a.contains_exists()),
+            Expression::Aggregate(agg) => {
+                agg.expr.as_ref().is_some_and(|e| e.contains_exists())
+            }
+        }
+    }
+}
+
+/// One row of an inline `VALUES` data block; `None` represents `UNDEF`.
+pub type ValuesRow = Vec<Option<Term>>;
+
+/// An inline data block `VALUES (?x ?y) { (…) (…) }`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InlineData {
+    /// The declared variables.
+    pub variables: Vec<String>,
+    /// The data rows (each the same length as `variables`).
+    pub rows: Vec<ValuesRow>,
+}
+
+/// A single syntactic element of a group graph pattern (the content between
+/// one pair of braces).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GroupElement {
+    /// A block of triple / path patterns joined by `.` / `;` / `,`.
+    Triples(Vec<TripleOrPath>),
+    /// `FILTER constraint`.
+    Filter(Expression),
+    /// `BIND (expr AS ?var)`.
+    Bind {
+        /// The bound expression.
+        expr: Expression,
+        /// The target variable (without sigil).
+        var: String,
+    },
+    /// `OPTIONAL { … }`.
+    Optional(GroupGraphPattern),
+    /// A union chain `{A} UNION {B} UNION …` (two or more branches).
+    Union(Vec<GroupGraphPattern>),
+    /// `GRAPH term { … }`.
+    Graph {
+        /// The graph name (IRI or variable).
+        name: Term,
+        /// The nested pattern.
+        pattern: GroupGraphPattern,
+    },
+    /// `MINUS { … }`.
+    Minus(GroupGraphPattern),
+    /// `SERVICE [SILENT] term { … }`.
+    Service {
+        /// Whether `SILENT` was given.
+        silent: bool,
+        /// The service endpoint (IRI or variable).
+        name: Term,
+        /// The nested pattern.
+        pattern: GroupGraphPattern,
+    },
+    /// An inline `VALUES` block inside the group.
+    Values(InlineData),
+    /// A nested subquery `{ SELECT … }`.
+    SubSelect(Box<Query>),
+    /// A plain nested group `{ … }` that is not part of a UNION / OPTIONAL.
+    Group(GroupGraphPattern),
+}
+
+/// A group graph pattern: the ordered list of elements between `{` and `}`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GroupGraphPattern {
+    /// The elements in source order.
+    pub elements: Vec<GroupElement>,
+}
+
+impl GroupGraphPattern {
+    /// Creates an empty group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Collects every distinct variable syntactically occurring anywhere in
+    /// the group, including nested groups, filters and subqueries.
+    pub fn all_variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<String>) {
+        for el in &self.elements {
+            match el {
+                GroupElement::Triples(ts) => {
+                    for t in ts {
+                        match t {
+                            TripleOrPath::Triple(t) => {
+                                for term in [&t.subject, &t.predicate, &t.object] {
+                                    if let Term::Var(v) = term {
+                                        out.push(v.clone());
+                                    }
+                                }
+                            }
+                            TripleOrPath::Path(p) => {
+                                for term in [&p.subject, &p.object] {
+                                    if let Term::Var(v) = term {
+                                        out.push(v.clone());
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                GroupElement::Filter(e) => out.extend(e.variables()),
+                GroupElement::Bind { expr, var } => {
+                    out.extend(expr.variables());
+                    out.push(var.clone());
+                }
+                GroupElement::Optional(g)
+                | GroupElement::Minus(g)
+                | GroupElement::Group(g) => g.collect_variables(out),
+                GroupElement::Union(branches) => {
+                    for b in branches {
+                        b.collect_variables(out);
+                    }
+                }
+                GroupElement::Graph { name, pattern } => {
+                    if let Term::Var(v) = name {
+                        out.push(v.clone());
+                    }
+                    pattern.collect_variables(out);
+                }
+                GroupElement::Service { name, pattern, .. } => {
+                    if let Term::Var(v) = name {
+                        out.push(v.clone());
+                    }
+                    pattern.collect_variables(out);
+                }
+                GroupElement::Values(d) => out.extend(d.variables.iter().cloned()),
+                GroupElement::SubSelect(q) => {
+                    if let Some(w) = &q.where_clause {
+                        w.collect_variables(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the group (recursively) contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+}
+
+/// The four SPARQL query forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QueryForm {
+    /// `SELECT` — returns projected variable bindings.
+    Select,
+    /// `ASK` — returns a boolean.
+    Ask,
+    /// `CONSTRUCT` — returns a new RDF graph built from a template.
+    Construct,
+    /// `DESCRIBE` — returns RDF describing the given resources.
+    Describe,
+}
+
+impl fmt::Display for QueryForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryForm::Select => write!(f, "SELECT"),
+            QueryForm::Ask => write!(f, "ASK"),
+            QueryForm::Construct => write!(f, "CONSTRUCT"),
+            QueryForm::Describe => write!(f, "DESCRIBE"),
+        }
+    }
+}
+
+/// One item of a SELECT clause: a plain variable or `(expr AS ?var)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectItem {
+    /// The expression, if the item is `(expr AS ?var)`.
+    pub expr: Option<Expression>,
+    /// The (result) variable name.
+    pub var: String,
+}
+
+/// What a query projects / describes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Projection {
+    /// `SELECT *` (or DESCRIBE *).
+    All,
+    /// An explicit list of SELECT items.
+    Items(Vec<SelectItem>),
+    /// The resource list of a DESCRIBE query (IRIs and/or variables).
+    Terms(Vec<Term>),
+    /// ASK and CONSTRUCT queries have no projection.
+    None,
+}
+
+/// `ASC` / `DESC` order directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderDirection {
+    /// Ascending (the default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A single ORDER BY condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderCondition {
+    /// Direction of this condition.
+    pub direction: OrderDirection,
+    /// The ordering expression.
+    pub expr: Expression,
+}
+
+/// One GROUP BY condition: an expression with an optional `AS ?var` alias.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupCondition {
+    /// The grouping expression.
+    pub expr: Expression,
+    /// Optional alias variable.
+    pub alias: Option<String>,
+}
+
+/// Solution modifiers attached to a query (Section 4.1 of the paper, second
+/// block of Table 2).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SolutionModifiers {
+    /// `DISTINCT` on the projection.
+    pub distinct: bool,
+    /// `REDUCED` on the projection.
+    pub reduced: bool,
+    /// `GROUP BY` conditions (empty when absent).
+    pub group_by: Vec<GroupCondition>,
+    /// `HAVING` constraints (empty when absent).
+    pub having: Vec<Expression>,
+    /// `ORDER BY` conditions (empty when absent).
+    pub order_by: Vec<OrderCondition>,
+    /// `LIMIT`, if present.
+    pub limit: Option<u64>,
+    /// `OFFSET`, if present.
+    pub offset: Option<u64>,
+}
+
+/// A `FROM` / `FROM NAMED` dataset clause.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetClause {
+    /// Whether the clause was `FROM NAMED`.
+    pub named: bool,
+    /// The graph IRI.
+    pub iri: String,
+}
+
+/// The prologue of a query: BASE and PREFIX declarations.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Prologue {
+    /// The BASE IRI, if declared.
+    pub base: Option<String>,
+    /// The declared prefixes in source order as `(prefix, iri)` pairs.
+    pub prefixes: Vec<(String, String)>,
+}
+
+/// A complete SPARQL query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// BASE / PREFIX declarations.
+    pub prologue: Prologue,
+    /// The query form (Select / Ask / Construct / Describe).
+    pub form: QueryForm,
+    /// What is projected or described.
+    pub projection: Projection,
+    /// The CONSTRUCT template, for CONSTRUCT queries.
+    pub construct_template: Option<Vec<TriplePattern>>,
+    /// FROM / FROM NAMED clauses.
+    pub dataset: Vec<DatasetClause>,
+    /// The WHERE clause. `None` for body-less DESCRIBE (and rare ASK) queries.
+    pub where_clause: Option<GroupGraphPattern>,
+    /// Solution modifiers.
+    pub modifiers: SolutionModifiers,
+    /// A trailing `VALUES` block after the solution modifiers, if present.
+    pub values: Option<InlineData>,
+}
+
+impl Query {
+    /// Returns `true` if the query has a (non-empty) WHERE clause body.
+    pub fn has_body(&self) -> bool {
+        self.where_clause.as_ref().is_some_and(|g| !g.is_empty())
+    }
+
+    /// Returns the set of distinct variables appearing in the WHERE clause.
+    pub fn body_variables(&self) -> Vec<String> {
+        self.where_clause.as_ref().map(|g| g.all_variables()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_constructors_and_predicates() {
+        assert!(Term::var("x").is_var());
+        assert!(Term::BlankNode("b".into()).is_blank());
+        assert!(Term::var("x").is_var_or_blank());
+        assert!(!Term::iri("http://x").is_var_or_blank());
+        assert_eq!(Term::var("x").as_var(), Some("x"));
+        assert_eq!(Term::iri("http://x").as_var(), None);
+    }
+
+    #[test]
+    fn triple_pattern_variables() {
+        let t = TriplePattern::new(Term::var("s"), Term::iri("p"), Term::var("o"));
+        let vars: Vec<_> = t.variables().collect();
+        assert_eq!(vars, vec!["s", "o"]);
+    }
+
+    #[test]
+    fn expression_variables_dedup_and_sort() {
+        let e = Expression::And(
+            Box::new(Expression::Equal(
+                Box::new(Expression::Var("x".into())),
+                Box::new(Expression::Var("y".into())),
+            )),
+            Box::new(Expression::FunctionCall(
+                "LANG".into(),
+                vec![Expression::Var("x".into())],
+            )),
+        );
+        assert_eq!(e.variables(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn group_all_variables_traverses_nested_structures() {
+        let inner = GroupGraphPattern {
+            elements: vec![GroupElement::Triples(vec![TripleOrPath::Triple(
+                TriplePattern::new(Term::var("a"), Term::iri("p"), Term::var("b")),
+            )])],
+        };
+        let g = GroupGraphPattern {
+            elements: vec![
+                GroupElement::Optional(inner),
+                GroupElement::Filter(Expression::Var("c".into())),
+            ],
+        };
+        assert_eq!(g.all_variables(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn query_has_body() {
+        let q = Query {
+            prologue: Prologue::default(),
+            form: QueryForm::Describe,
+            projection: Projection::Terms(vec![Term::iri("http://x")]),
+            construct_template: None,
+            dataset: vec![],
+            where_clause: None,
+            modifiers: SolutionModifiers::default(),
+            values: None,
+        };
+        assert!(!q.has_body());
+    }
+
+    #[test]
+    fn property_path_display_and_trivial() {
+        let p = PropertyPath::Sequence(
+            Box::new(PropertyPath::Iri("a".into())),
+            Box::new(PropertyPath::ZeroOrMore(Box::new(PropertyPath::Iri("b".into())))),
+        );
+        assert!(p.to_string().contains("/"));
+        assert!(!p.is_trivial());
+        assert!(PropertyPath::Iri("a".into()).is_trivial());
+    }
+}

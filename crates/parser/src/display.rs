@@ -1,0 +1,402 @@
+//! Canonical serialization of parsed queries back to SPARQL text.
+//!
+//! The serializer produces a *canonical form*: prefixed names are written as
+//! fully expanded IRIs, whitespace is normalized, and keywords are
+//! upper-cased. Two syntactically different but token-identical queries
+//! therefore serialize to the same string, which is what the corpus pipeline
+//! uses to detect duplicates (Table 1 "Unique") and what the streak detector
+//! measures Levenshtein distance on (Section 8).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Serializes a query into its canonical textual form.
+pub fn to_canonical_string(q: &Query) -> String {
+    let mut out = String::new();
+    write_query(&mut out, q);
+    out
+}
+
+fn write_query(out: &mut String, q: &Query) {
+    match q.form {
+        QueryForm::Select => {
+            out.push_str("SELECT ");
+            if q.modifiers.distinct {
+                out.push_str("DISTINCT ");
+            }
+            if q.modifiers.reduced {
+                out.push_str("REDUCED ");
+            }
+            write_projection(out, &q.projection);
+        }
+        QueryForm::Ask => out.push_str("ASK"),
+        QueryForm::Construct => {
+            out.push_str("CONSTRUCT");
+            if let Some(template) = &q.construct_template {
+                out.push_str(" { ");
+                for t in template {
+                    let _ = write!(out, "{} {} {} . ", t.subject, t.predicate, t.object);
+                }
+                out.push('}');
+            }
+        }
+        QueryForm::Describe => {
+            out.push_str("DESCRIBE ");
+            write_projection(out, &q.projection);
+        }
+    }
+    for d in &q.dataset {
+        if d.named {
+            let _ = write!(out, " FROM NAMED <{}>", d.iri);
+        } else {
+            let _ = write!(out, " FROM <{}>", d.iri);
+        }
+    }
+    if let Some(body) = &q.where_clause {
+        out.push_str(" WHERE ");
+        write_group(out, body);
+    }
+    write_modifiers(out, &q.modifiers);
+    if let Some(values) = &q.values {
+        out.push_str(" VALUES ");
+        write_inline_data(out, values);
+    }
+}
+
+fn write_projection(out: &mut String, p: &Projection) {
+    match p {
+        Projection::All => out.push('*'),
+        Projection::Items(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                match &item.expr {
+                    Some(e) => {
+                        out.push('(');
+                        write_expr(out, e);
+                        let _ = write!(out, " AS ?{})", item.var);
+                    }
+                    None => {
+                        let _ = write!(out, "?{}", item.var);
+                    }
+                }
+            }
+        }
+        Projection::Terms(terms) => {
+            for (i, t) in terms.iter().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let _ = write!(out, "{t}");
+            }
+        }
+        Projection::None => {}
+    }
+}
+
+fn write_modifiers(out: &mut String, m: &SolutionModifiers) {
+    if !m.group_by.is_empty() {
+        out.push_str(" GROUP BY");
+        for g in &m.group_by {
+            out.push(' ');
+            match &g.alias {
+                Some(a) => {
+                    out.push('(');
+                    write_expr(out, &g.expr);
+                    let _ = write!(out, " AS ?{a})");
+                }
+                None => write_expr(out, &g.expr),
+            }
+        }
+    }
+    if !m.having.is_empty() {
+        out.push_str(" HAVING");
+        for h in &m.having {
+            out.push_str(" (");
+            write_expr(out, h);
+            out.push(')');
+        }
+    }
+    if !m.order_by.is_empty() {
+        out.push_str(" ORDER BY");
+        for o in &m.order_by {
+            match o.direction {
+                OrderDirection::Asc => out.push_str(" ASC("),
+                OrderDirection::Desc => out.push_str(" DESC("),
+            }
+            write_expr(out, &o.expr);
+            out.push(')');
+        }
+    }
+    if let Some(l) = m.limit {
+        let _ = write!(out, " LIMIT {l}");
+    }
+    if let Some(o) = m.offset {
+        let _ = write!(out, " OFFSET {o}");
+    }
+}
+
+/// Writes a group graph pattern (including braces).
+pub fn write_group(out: &mut String, g: &GroupGraphPattern) {
+    out.push_str("{ ");
+    for el in &g.elements {
+        match el {
+            GroupElement::Triples(ts) => {
+                for t in ts {
+                    match t {
+                        TripleOrPath::Triple(t) => {
+                            let _ = write!(out, "{} {} {} . ", t.subject, t.predicate, t.object);
+                        }
+                        TripleOrPath::Path(p) => {
+                            let _ = write!(out, "{} {} {} . ", p.subject, p.path, p.object);
+                        }
+                    }
+                }
+            }
+            GroupElement::Filter(e) => {
+                out.push_str("FILTER(");
+                write_expr(out, e);
+                out.push_str(") ");
+            }
+            GroupElement::Bind { expr, var } => {
+                out.push_str("BIND(");
+                write_expr(out, expr);
+                let _ = write!(out, " AS ?{var}) ");
+            }
+            GroupElement::Optional(g) => {
+                out.push_str("OPTIONAL ");
+                write_group(out, g);
+                out.push(' ');
+            }
+            GroupElement::Union(branches) => {
+                for (i, b) in branches.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str("UNION ");
+                    }
+                    write_group(out, b);
+                    out.push(' ');
+                }
+            }
+            GroupElement::Graph { name, pattern } => {
+                let _ = write!(out, "GRAPH {name} ");
+                write_group(out, pattern);
+                out.push(' ');
+            }
+            GroupElement::Minus(g) => {
+                out.push_str("MINUS ");
+                write_group(out, g);
+                out.push(' ');
+            }
+            GroupElement::Service { silent, name, pattern } => {
+                out.push_str("SERVICE ");
+                if *silent {
+                    out.push_str("SILENT ");
+                }
+                let _ = write!(out, "{name} ");
+                write_group(out, pattern);
+                out.push(' ');
+            }
+            GroupElement::Values(d) => {
+                out.push_str("VALUES ");
+                write_inline_data(out, d);
+                out.push(' ');
+            }
+            GroupElement::SubSelect(q) => {
+                out.push_str("{ ");
+                write_query(out, q);
+                out.push_str(" } ");
+            }
+            GroupElement::Group(g) => {
+                write_group(out, g);
+                out.push(' ');
+            }
+        }
+    }
+    out.push('}');
+}
+
+fn write_inline_data(out: &mut String, d: &InlineData) {
+    out.push('(');
+    for (i, v) in d.variables.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "?{v}");
+    }
+    out.push_str(") { ");
+    for row in &d.rows {
+        out.push('(');
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            match cell {
+                Some(t) => {
+                    let _ = write!(out, "{t}");
+                }
+                None => out.push_str("UNDEF"),
+            }
+        }
+        out.push_str(") ");
+    }
+    out.push('}');
+}
+
+fn write_expr(out: &mut String, e: &Expression) {
+    match e {
+        Expression::Var(v) => {
+            let _ = write!(out, "?{v}");
+        }
+        Expression::Term(t) => {
+            let _ = write!(out, "{t}");
+        }
+        Expression::Or(a, b) => write_binary(out, a, "||", b),
+        Expression::And(a, b) => write_binary(out, a, "&&", b),
+        Expression::Equal(a, b) => write_binary(out, a, "=", b),
+        Expression::NotEqual(a, b) => write_binary(out, a, "!=", b),
+        Expression::Less(a, b) => write_binary(out, a, "<", b),
+        Expression::Greater(a, b) => write_binary(out, a, ">", b),
+        Expression::LessEq(a, b) => write_binary(out, a, "<=", b),
+        Expression::GreaterEq(a, b) => write_binary(out, a, ">=", b),
+        Expression::Add(a, b) => write_binary(out, a, "+", b),
+        Expression::Subtract(a, b) => write_binary(out, a, "-", b),
+        Expression::Multiply(a, b) => write_binary(out, a, "*", b),
+        Expression::Divide(a, b) => write_binary(out, a, "/", b),
+        Expression::In(a, list) => {
+            write_expr(out, a);
+            out.push_str(" IN (");
+            write_expr_list(out, list);
+            out.push(')');
+        }
+        Expression::NotIn(a, list) => {
+            write_expr(out, a);
+            out.push_str(" NOT IN (");
+            write_expr_list(out, list);
+            out.push(')');
+        }
+        Expression::Not(a) => {
+            out.push('!');
+            write_expr_parens(out, a);
+        }
+        Expression::UnaryMinus(a) => {
+            out.push('-');
+            write_expr_parens(out, a);
+        }
+        Expression::UnaryPlus(a) => {
+            out.push('+');
+            write_expr_parens(out, a);
+        }
+        Expression::FunctionCall(name, args) => {
+            if name.contains("://") || name.contains(':') && !name.chars().all(|c| c.is_ascii_uppercase() || c == '_') {
+                let _ = write!(out, "<{name}>(");
+            } else {
+                let _ = write!(out, "{name}(");
+            }
+            write_expr_list(out, args);
+            out.push(')');
+        }
+        Expression::Exists(g) => {
+            out.push_str("EXISTS ");
+            write_group(out, g);
+        }
+        Expression::NotExists(g) => {
+            out.push_str("NOT EXISTS ");
+            write_group(out, g);
+        }
+        Expression::Aggregate(agg) => {
+            let name = match agg.kind {
+                AggregateKind::Count => "COUNT",
+                AggregateKind::Sum => "SUM",
+                AggregateKind::Min => "MIN",
+                AggregateKind::Max => "MAX",
+                AggregateKind::Avg => "AVG",
+                AggregateKind::Sample => "SAMPLE",
+                AggregateKind::GroupConcat => "GROUP_CONCAT",
+            };
+            let _ = write!(out, "{name}(");
+            if agg.distinct {
+                out.push_str("DISTINCT ");
+            }
+            match &agg.expr {
+                Some(e) => write_expr(out, e),
+                None => out.push('*'),
+            }
+            if let Some(sep) = &agg.separator {
+                let _ = write!(out, "; SEPARATOR = {sep:?}");
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn write_binary(out: &mut String, a: &Expression, op: &str, b: &Expression) {
+    write_expr_parens(out, a);
+    let _ = write!(out, " {op} ");
+    write_expr_parens(out, b);
+}
+
+fn write_expr_parens(out: &mut String, e: &Expression) {
+    let atomic = matches!(
+        e,
+        Expression::Var(_)
+            | Expression::Term(_)
+            | Expression::FunctionCall(_, _)
+            | Expression::Aggregate(_)
+    );
+    if atomic {
+        write_expr(out, e);
+    } else {
+        out.push('(');
+        write_expr(out, e);
+        out.push(')');
+    }
+}
+
+fn write_expr_list(out: &mut String, list: &[Expression]) {
+    for (i, e) in list.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_expr(out, e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+
+    #[test]
+    fn canonical_form_is_reparseable() {
+        let queries = [
+            "SELECT DISTINCT ?x WHERE { ?x a <http://ex.org/C> . FILTER(?x != <http://ex.org/y>) } LIMIT 10",
+            "ASK { ?s <http://p> ?o . OPTIONAL { ?o <http://q> ?z } }",
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/> SELECT ?n WHERE { ?p foaf:name ?n } ORDER BY ASC(?n)",
+            "CONSTRUCT { ?s <http://p> ?o } WHERE { ?s <http://p> ?o }",
+            "DESCRIBE <http://example.org/resource>",
+        ];
+        for q in queries {
+            let parsed = parse_query(q).unwrap();
+            let canon = to_canonical_string(&parsed);
+            let reparsed = parse_query(&canon)
+                .unwrap_or_else(|e| panic!("canonical form of {q:?} not reparseable: {canon:?}: {e}"));
+            let recanon = to_canonical_string(&reparsed);
+            assert_eq!(canon, recanon, "canonicalization must be a fixpoint for {q:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_form_identifies_whitespace_variants() {
+        let a = parse_query("SELECT ?x WHERE { ?x a <http://ex.org/C> }").unwrap();
+        let b = parse_query("SELECT   ?x\nWHERE {\n  ?x a <http://ex.org/C> .\n}").unwrap();
+        assert_eq!(to_canonical_string(&a), to_canonical_string(&b));
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_distinct() {
+        let a = parse_query("SELECT ?x WHERE { ?x a <http://ex.org/C> }").unwrap();
+        let b = parse_query("SELECT DISTINCT ?x WHERE { ?x a <http://ex.org/C> }").unwrap();
+        assert_ne!(to_canonical_string(&a), to_canonical_string(&b));
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types shared by the lexer and the parser.
+
+use std::fmt;
+
+/// An error raised while tokenizing or parsing a SPARQL query.
+///
+/// The error carries a human-readable message and the position (1-based line
+/// and column) where the problem was detected. Query-log entries that are not
+/// SPARQL at all (HTTP requests, truncated strings, …) surface as parse errors
+/// and are counted as *invalid* by the corpus pipeline, mirroring the paper's
+/// "Valid" column in Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// 1-based line number of the offending position.
+    pub line: u32,
+    /// 1-based column number of the offending position.
+    pub column: u32,
+}
+
+impl ParseError {
+    /// Creates a new error at the given position.
+    pub fn new(message: impl Into<String>, line: u32, column: u32) -> Self {
+        ParseError { message: message.into(), line, column }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience alias used across the parser crate.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_position_and_message() {
+        let e = ParseError::new("unexpected token", 3, 14);
+        let s = e.to_string();
+        assert!(s.contains("3:14"));
+        assert!(s.contains("unexpected token"));
+    }
+}

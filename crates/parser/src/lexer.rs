@@ -1,0 +1,702 @@
+//! A hand-written lexer for SPARQL 1.1 queries.
+//!
+//! The lexer converts a query string into a vector of [`Spanned`] tokens. It
+//! handles the context-sensitive parts of the SPARQL token grammar that make
+//! naive tokenization fail on real query logs:
+//!
+//! * `<…>` is an IRI reference only if it closes before a forbidden character;
+//!   otherwise `<` is the less-than operator.
+//! * `?` introduces a variable only when followed by a name character;
+//!   otherwise it is the zero-or-one path modifier.
+//! * `.` terminates triples but also appears inside decimal literals and
+//!   prefixed-name local parts.
+//! * comments (`# …`) and all four string quoting styles are supported.
+
+use crate::error::{ParseError, Result};
+use crate::token::{Keyword, Spanned, Token};
+
+/// Tokenizes `input` into a stream of spanned tokens.
+///
+/// Returns an error on malformed lexical constructs (unterminated strings or
+/// IRIs, stray characters). The corpus pipeline treats such entries as invalid
+/// queries.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Spanned>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, out: Vec::new() }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn push(&mut self, token: Token, offset: usize, line: u32, column: u32) {
+        self.out.push(Spanned { token, offset, line, column });
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>> {
+        loop {
+            self.skip_ws_and_comments();
+            let (offset, line, col) = (self.pos, self.line, self.col);
+            let Some(b) = self.peek() else { break };
+            let token = match b {
+                b'{' => {
+                    self.bump();
+                    Token::LBrace
+                }
+                b'}' => {
+                    self.bump();
+                    Token::RBrace
+                }
+                b'(' => {
+                    self.bump();
+                    // NIL: '(' WS* ')'
+                    let save = (self.pos, self.line, self.col);
+                    self.skip_ws_and_comments();
+                    if self.peek() == Some(b')') {
+                        self.bump();
+                        Token::Nil
+                    } else {
+                        self.pos = save.0;
+                        self.line = save.1;
+                        self.col = save.2;
+                        Token::LParen
+                    }
+                }
+                b')' => {
+                    self.bump();
+                    Token::RParen
+                }
+                b'[' => {
+                    self.bump();
+                    let save = (self.pos, self.line, self.col);
+                    self.skip_ws_and_comments();
+                    if self.peek() == Some(b']') {
+                        self.bump();
+                        Token::Anon
+                    } else {
+                        self.pos = save.0;
+                        self.line = save.1;
+                        self.col = save.2;
+                        Token::LBracket
+                    }
+                }
+                b']' => {
+                    self.bump();
+                    Token::RBracket
+                }
+                b',' => {
+                    self.bump();
+                    Token::Comma
+                }
+                b';' => {
+                    self.bump();
+                    Token::Semicolon
+                }
+                b'|' => {
+                    self.bump();
+                    if self.peek() == Some(b'|') {
+                        self.bump();
+                        Token::OrOr
+                    } else {
+                        Token::Pipe
+                    }
+                }
+                b'&' => {
+                    self.bump();
+                    if self.peek() == Some(b'&') {
+                        self.bump();
+                        Token::AndAnd
+                    } else {
+                        return Err(self.error("stray '&'"));
+                    }
+                }
+                b'/' => {
+                    self.bump();
+                    Token::Slash
+                }
+                b'^' => {
+                    self.bump();
+                    if self.peek() == Some(b'^') {
+                        self.bump();
+                        Token::DoubleCaret
+                    } else {
+                        Token::Caret
+                    }
+                }
+                b'*' => {
+                    self.bump();
+                    Token::Star
+                }
+                b'+' => {
+                    self.bump();
+                    Token::Plus
+                }
+                b'-' => {
+                    self.bump();
+                    Token::Minus
+                }
+                b'!' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Token::NotEqual
+                    } else {
+                        Token::Bang
+                    }
+                }
+                b'=' => {
+                    self.bump();
+                    Token::Equal
+                }
+                b'>' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        Token::GreaterEq
+                    } else {
+                        Token::Greater
+                    }
+                }
+                b'<' => self.lex_lt_or_iri()?,
+                b'.' => {
+                    // Decimal like ".5" is valid; otherwise a Dot.
+                    if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                        self.lex_number()?
+                    } else {
+                        self.bump();
+                        Token::Dot
+                    }
+                }
+                b'?' | b'$' => {
+                    if self.peek_at(1).is_some_and(is_name_start_char) {
+                        self.lex_var()
+                    } else {
+                        self.bump();
+                        Token::Question
+                    }
+                }
+                b'"' | b'\'' => self.lex_string()?,
+                b'@' => self.lex_lang_tag()?,
+                b'_' if self.peek_at(1) == Some(b':') => self.lex_blank_node()?,
+                b'0'..=b'9' => self.lex_number()?,
+                _ if is_name_start_char(b) || b == b':' => self.lex_word()?,
+                other => {
+                    return Err(self.error(format!("unexpected character '{}'", other as char)))
+                }
+            };
+            self.push(token, offset, line, col);
+        }
+        Ok(self.out)
+    }
+
+    /// Lexes either an IRI reference `<…>` or the `<` / `<=` operators.
+    fn lex_lt_or_iri(&mut self) -> Result<Token> {
+        // Try IRIREF: scan forward for '>' without hitting characters that are
+        // illegal inside an IRI reference.
+        let mut j = self.pos + 1;
+        let mut is_iri = false;
+        while let Some(&c) = self.bytes.get(j) {
+            match c {
+                b'>' => {
+                    is_iri = true;
+                    break;
+                }
+                b'<' | b'"' | b'{' | b'}' | b'|' | b'^' | b'`' | b'\\' => break,
+                c if c <= 0x20 => break,
+                _ => j += 1,
+            }
+        }
+        if is_iri {
+            let iri = self.src[self.pos + 1..j].to_string();
+            // advance over '<' … '>'
+            while self.pos <= j {
+                self.bump();
+            }
+            Ok(Token::IriRef(iri))
+        } else {
+            self.bump();
+            if self.peek() == Some(b'=') {
+                self.bump();
+                Ok(Token::LessEq)
+            } else {
+                Ok(Token::Less)
+            }
+        }
+    }
+
+    fn lex_var(&mut self) -> Token {
+        self.bump(); // sigil
+        let start = self.pos;
+        while self.peek().is_some_and(is_name_char) {
+            self.bump();
+        }
+        Token::Var(self.src[start..self.pos].to_string())
+    }
+
+    fn lex_blank_node(&mut self) -> Result<Token> {
+        self.bump(); // '_'
+        self.bump(); // ':'
+        let start = self.pos;
+        while self.peek().is_some_and(|c| is_name_char(c) || c == b'.') {
+            self.bump();
+        }
+        let mut end = self.pos;
+        while end > start && self.bytes[end - 1] == b'.' {
+            end -= 1;
+            // Re-emit trailing dots as Dot tokens by rewinding.
+            self.pos -= 1;
+            self.col -= 1;
+        }
+        if end == start {
+            return Err(self.error("empty blank node label"));
+        }
+        Ok(Token::BlankNodeLabel(self.src[start..end].to_string()))
+    }
+
+    fn lex_lang_tag(&mut self) -> Result<Token> {
+        self.bump(); // '@'
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'-') {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.error("empty language tag"));
+        }
+        Ok(Token::LangTag(self.src[start..self.pos].to_string()))
+    }
+
+    fn lex_number(&mut self) -> Result<Token> {
+        let start = self.pos;
+        let mut has_dot = false;
+        let mut has_exp = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' if !has_dot && !has_exp => {
+                    // A '.' is part of the number only if followed by a digit
+                    // or an exponent; "1." followed by whitespace terminates a
+                    // triple in practice (e.g. "?x :p 1.").
+                    if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                        has_dot = true;
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                b'e' | b'E' if !has_exp => {
+                    has_exp = true;
+                    self.bump();
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text = self.src[start..self.pos].to_string();
+        if text.is_empty() {
+            return Err(self.error("malformed numeric literal"));
+        }
+        Ok(if has_exp {
+            Token::Double(text)
+        } else if has_dot {
+            Token::Decimal(text)
+        } else {
+            Token::Integer(text)
+        })
+    }
+
+    fn lex_string(&mut self) -> Result<Token> {
+        let quote = self.peek().expect("caller checked");
+        // Detect long quote form (''' or """).
+        let long = self.peek_at(1) == Some(quote) && self.peek_at(2) == Some(quote);
+        if long {
+            self.bump();
+            self.bump();
+            self.bump();
+        } else {
+            self.bump();
+        }
+        let mut value = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.error("unterminated string literal"));
+            };
+            if c == quote {
+                if long {
+                    if self.peek_at(1) == Some(quote) && self.peek_at(2) == Some(quote) {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    value.push(c as char);
+                    self.bump();
+                } else {
+                    self.bump();
+                    break;
+                }
+            } else if c == b'\\' {
+                self.bump();
+                let Some(esc) = self.src[self.pos..].chars().next() else {
+                    return Err(self.error("unterminated escape sequence"));
+                };
+                for _ in 0..esc.len_utf8() {
+                    self.bump();
+                }
+                match esc {
+                    't' => value.push('\t'),
+                    'n' => value.push('\n'),
+                    'r' => value.push('\r'),
+                    'b' => value.push('\u{8}'),
+                    'f' => value.push('\u{c}'),
+                    '"' => value.push('"'),
+                    '\'' => value.push('\''),
+                    '\\' => value.push('\\'),
+                    'u' | 'U' => {
+                        let len = if esc == 'u' { 4 } else { 8 };
+                        let mut code = 0u32;
+                        for _ in 0..len {
+                            let Some(h) = self.bump() else {
+                                return Err(self.error("truncated unicode escape"));
+                            };
+                            let d = (h as char)
+                                .to_digit(16)
+                                .ok_or_else(|| self.error("invalid unicode escape"))?;
+                            code = code * 16 + d;
+                        }
+                        value.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => {
+                        // Be lenient: real logs contain sloppy escapes.
+                        value.push('\\');
+                        value.push(other);
+                    }
+                }
+            } else if !long && (c == b'\n' || c == b'\r') {
+                return Err(self.error("newline in short string literal"));
+            } else {
+                // Copy a full UTF-8 code point.
+                let ch_start = self.pos;
+                let ch = self.src[ch_start..].chars().next().expect("valid utf8");
+                for _ in 0..ch.len_utf8() {
+                    self.bump();
+                }
+                value.push(ch);
+            }
+        }
+        Ok(Token::String(value))
+    }
+
+    /// Lexes an identifier-like word: a keyword, the `a` predicate, a boolean,
+    /// a bare built-in name, or a prefixed name (when a ':' follows).
+    fn lex_word(&mut self) -> Result<Token> {
+        let start = self.pos;
+        // Leading ':' means a prefixed name with the empty prefix.
+        if self.peek() == Some(b':') {
+            self.bump();
+            let local = self.lex_local_part();
+            return Ok(Token::PrefixedName(String::new(), local));
+        }
+        while self.peek().is_some_and(|c| is_name_char(c) || c == b'.') {
+            // A '.' terminates the prefix part only if not followed by a name
+            // char; here we conservatively stop at '.' since prefixes rarely
+            // contain dots, and re-lex the dot as punctuation.
+            if self.peek() == Some(b'.') {
+                break;
+            }
+            self.bump();
+        }
+        let word = &self.src[start..self.pos];
+        if self.peek() == Some(b':') {
+            // Prefixed name.
+            self.bump();
+            let local = self.lex_local_part();
+            return Ok(Token::PrefixedName(word.to_string(), local));
+        }
+        if word == "a" {
+            return Ok(Token::A);
+        }
+        if word.eq_ignore_ascii_case("true") {
+            return Ok(Token::Boolean(true));
+        }
+        if word.eq_ignore_ascii_case("false") {
+            return Ok(Token::Boolean(false));
+        }
+        if let Some(kw) = Keyword::from_str_ci(word) {
+            return Ok(Token::Keyword(kw));
+        }
+        if word.is_empty() {
+            return Err(self.error("unexpected ':'"));
+        }
+        Ok(Token::Ident(word.to_string()))
+    }
+
+    fn lex_local_part(&mut self) -> String {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|c| is_name_char(c) || c == b'.' || c == b'%' || c == b'\\')
+        {
+            self.bump();
+        }
+        // A trailing '.' belongs to the surrounding triple, not the name.
+        let mut end = self.pos;
+        while end > start && self.bytes[end - 1] == b'.' {
+            end -= 1;
+            self.pos -= 1;
+            self.col -= 1;
+        }
+        self.src[start..end].to_string()
+    }
+}
+
+/// True for characters that may start a name (variable names, prefixes,
+/// local parts). Multi-byte UTF-8 lead bytes are accepted so that
+/// internationalized names in real logs tokenize.
+fn is_name_start_char(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+/// True for characters that may continue a name.
+fn is_name_char(b: u8) -> bool {
+    is_name_start_char(b) || b.is_ascii_digit() || b == b'-'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_simple_select() {
+        let t = toks("SELECT ?x WHERE { ?x a <http://example.org/C> . }");
+        assert_eq!(
+            t,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Var("x".into()),
+                Token::Keyword(Keyword::Where),
+                Token::LBrace,
+                Token::Var("x".into()),
+                Token::A,
+                Token::IriRef("http://example.org/C".into()),
+                Token::Dot,
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_iri_from_less_than() {
+        let t = toks("FILTER(?x < 5)");
+        assert!(t.contains(&Token::Less));
+        let t = toks("?s <http://p> ?o");
+        assert!(t.contains(&Token::IriRef("http://p".into())));
+    }
+
+    #[test]
+    fn lexes_prefixed_names_and_empty_prefix() {
+        let t = toks("foaf:name :local wdt:P31");
+        assert_eq!(
+            t,
+            vec![
+                Token::PrefixedName("foaf".into(), "name".into()),
+                Token::PrefixedName("".into(), "local".into()),
+                Token::PrefixedName("wdt".into(), "P31".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn prefixed_name_trailing_dot_is_triple_terminator() {
+        let t = toks("?s foaf:knows foaf:Person.");
+        assert_eq!(t.last(), Some(&Token::Dot));
+        assert_eq!(t[2], Token::PrefixedName("foaf".into(), "Person".into()));
+    }
+
+    #[test]
+    fn lexes_strings_and_lang_tags_and_datatypes() {
+        let t = toks(r#""hello"@en "1"^^xsd:integer 'x' """long "quote" ok""""#);
+        assert_eq!(t[0], Token::String("hello".into()));
+        assert_eq!(t[1], Token::LangTag("en".into()));
+        assert_eq!(t[2], Token::String("1".into()));
+        assert_eq!(t[3], Token::DoubleCaret);
+        assert_eq!(t[5], Token::String("x".into()));
+        assert_eq!(t[6], Token::String("long \"quote\" ok".into()));
+    }
+
+    #[test]
+    fn lexes_escapes() {
+        let t = toks(r#""a\tb\n\"cA""#);
+        assert_eq!(t[0], Token::String("a\tb\n\"cA".into()));
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        let t = toks("1 2.5 .5 3e10 1.0E-2");
+        assert_eq!(
+            t,
+            vec![
+                Token::Integer("1".into()),
+                Token::Decimal("2.5".into()),
+                Token::Decimal(".5".into()),
+                Token::Double("3e10".into()),
+                Token::Double("1.0E-2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn number_followed_by_triple_dot() {
+        let t = toks("?x :p 1 . ?y :q 2.");
+        assert_eq!(t[3], Token::Dot);
+        assert_eq!(t[6], Token::Integer("2".into()));
+        assert_eq!(t[7], Token::Dot);
+    }
+
+    #[test]
+    fn lexes_question_mark_as_path_modifier_when_not_var() {
+        let t = toks("?s foaf:knows? ?o");
+        assert_eq!(t[0], Token::Var("s".into()));
+        assert_eq!(t[2], Token::Question);
+        assert_eq!(t[3], Token::Var("o".into()));
+    }
+
+    #[test]
+    fn lexes_nil_and_anon() {
+        assert_eq!(toks("( ) [ ]"), vec![Token::Nil, Token::Anon]);
+        assert_eq!(toks("(1)"), vec![Token::LParen, Token::Integer("1".into()), Token::RParen]);
+    }
+
+    #[test]
+    fn lexes_blank_node_labels() {
+        let t = toks("_:b0 _:x1.");
+        assert_eq!(t[0], Token::BlankNodeLabel("b0".into()));
+        assert_eq!(t[1], Token::BlankNodeLabel("x1".into()));
+        assert_eq!(t[2], Token::Dot);
+    }
+
+    #[test]
+    fn skips_comments() {
+        let t = toks("SELECT ?x # a comment\nWHERE { }");
+        assert_eq!(t[2], Token::Keyword(Keyword::Where));
+    }
+
+    #[test]
+    fn operators_and_comparisons() {
+        let t = toks("&& || != <= >= = ! ^ ^^ | / * + -");
+        assert_eq!(
+            t,
+            vec![
+                Token::AndAnd,
+                Token::OrOr,
+                Token::NotEqual,
+                Token::LessEq,
+                Token::GreaterEq,
+                Token::Equal,
+                Token::Bang,
+                Token::Caret,
+                Token::DoubleCaret,
+                Token::Pipe,
+                Token::Slash,
+                Token::Star,
+                Token::Plus,
+                Token::Minus,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_on_unterminated_string() {
+        assert!(tokenize("SELECT ?x WHERE { ?x :p \"oops }").is_err());
+    }
+
+    #[test]
+    fn errors_on_http_request_line() {
+        // Typical garbage entry in endpoint logs.
+        assert!(tokenize("GET /sparql?query=SELECT%20?x HTTP/1.1\"").is_err());
+    }
+
+    #[test]
+    fn escaped_multibyte_character_does_not_panic() {
+        // A backslash followed by a multi-byte character must not split the
+        // string at a non-boundary (regression test found by proptest).
+        let t = toks("\"a\\ü b\"");
+        assert_eq!(t[0], Token::String("a\\ü b".into()));
+        // Stray escapes in garbage input may be rejected but must not panic.
+        let _ = tokenize("q\\🂡\"unterminated");
+    }
+
+    #[test]
+    fn unicode_in_names_and_strings() {
+        let t = toks("?süd :größe \"köln\"");
+        assert_eq!(t[0], Token::Var("süd".into()));
+        assert_eq!(t[2], Token::String("köln".into()));
+    }
+
+    #[test]
+    fn reports_line_and_column() {
+        let spanned = tokenize("SELECT ?x\nWHERE { ?x a ?y }").unwrap();
+        let where_tok = &spanned[2];
+        assert_eq!(where_tok.line, 2);
+        assert_eq!(where_tok.column, 1);
+    }
+}

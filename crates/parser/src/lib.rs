@@ -1,0 +1,50 @@
+//! # sparqlog-parser
+//!
+//! A from-scratch SPARQL 1.1 lexer, AST and recursive-descent parser tailored
+//! to query-log analysis. It plays the role that Apache Jena 3.0.1 played in
+//! the original study (*An Analytical Study of Large SPARQL Query Logs*,
+//! Bonifati–Martens–Timm, VLDB 2017): deciding validity of log entries and
+//! exposing the syntactic structure of each query to the analysis passes.
+//!
+//! The crate is organised as:
+//!
+//! * [`token`] / [`lexer`] — tokenization.
+//! * [`ast`] — the surface-syntax AST.
+//! * [`parser`] — the recursive-descent parser, entry point [`parse_query`].
+//! * [`display`] — canonical serialization, entry point
+//!   [`to_canonical_string`], used for duplicate elimination and streak
+//!   similarity.
+//!
+//! # Example
+//!
+//! ```
+//! use sparqlog_parser::{parse_query, ast::QueryForm};
+//!
+//! let q = parse_query(
+//!     "PREFIX wdt: <http://www.wikidata.org/prop/direct/>
+//!      PREFIX wd:  <http://www.wikidata.org/entity/>
+//!      SELECT ?label ?coord ?subj WHERE {
+//!        ?subj wdt:P31/wdt:P279* wd:Q839954 .
+//!        ?subj wdt:P625 ?coord .
+//!        ?subj <http://www.w3.org/2000/01/rdf-schema#label> ?label
+//!        FILTER(lang(?label) = \"en\")
+//!      }",
+//! )
+//! .unwrap();
+//! assert_eq!(q.form, QueryForm::Select);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod display;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{Query, QueryForm};
+pub use display::to_canonical_string;
+pub use error::ParseError;
+pub use parser::parse_query;

@@ -1,0 +1,1350 @@
+//! Recursive-descent parser for SPARQL 1.1 queries.
+//!
+//! The parser covers the query-language subset relevant to log analysis:
+//! all four query forms, basic graph patterns with predicate-object and
+//! object lists, blank-node property lists and RDF collections, property
+//! paths, `FILTER` / `OPTIONAL` / `UNION` / `GRAPH` / `MINUS` / `BIND` /
+//! `VALUES` / `SERVICE`, subqueries, the SPARQL expression grammar including
+//! `EXISTS` and aggregates, and all solution modifiers.
+//!
+//! Update requests (`INSERT` / `DELETE` / `LOAD` …) are *not* supported: the
+//! paper's corpus consists of queries, and update entries count as invalid.
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Spanned, Token};
+
+/// The `rdf:type` IRI that the keyword `a` abbreviates.
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// `rdf:first`, used when desugaring collections.
+pub const RDF_FIRST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#first";
+/// `rdf:rest`, used when desugaring collections.
+pub const RDF_REST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#rest";
+/// `rdf:nil`, used when desugaring collections.
+pub const RDF_NIL: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil";
+
+/// Parses a complete SPARQL query string into a [`Query`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a syntactically valid SPARQL
+/// 1.1 query (of the supported query subset).
+///
+/// # Examples
+///
+/// ```
+/// use sparqlog_parser::parse_query;
+/// let q = parse_query("ASK { ?x a <http://example.org/Person> }").unwrap();
+/// assert_eq!(q.form, sparqlog_parser::ast::QueryForm::Ask);
+/// ```
+pub fn parse_query(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser::new(tokens);
+    let q = p.parse_query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    prefixes: Vec<(String, String)>,
+    base: Option<String>,
+    blank_counter: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Spanned>) -> Self {
+        Parser { tokens, pos: 0, prefixes: Vec::new(), base: None, blank_counter: 0 }
+    }
+
+    // ------------------------------------------------------------------
+    // Token-stream helpers
+    // ------------------------------------------------------------------
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + off).map(|s| &s.token)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> (u32, u32) {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| (s.line, s.column))
+            .unwrap_or((1, 1))
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        let (line, column) = self.here();
+        ParseError::new(msg, line, column)
+    }
+
+    fn eat(&mut self, expected: &Token) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<()> {
+        if self.eat(expected) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {expected}, found {}",
+                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: Keyword) -> bool {
+        if self.peek() == Some(&Token::Keyword(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: Keyword) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword {kw:?}")))
+        }
+    }
+
+    fn at_keyword(&self, kw: Keyword) -> bool {
+        self.peek() == Some(&Token::Keyword(kw))
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        // Allow a trailing dot or semicolon — seen in real logs.
+        let mut p = self.pos;
+        while matches!(
+            self.tokens.get(p).map(|s| &s.token),
+            Some(Token::Dot) | Some(Token::Semicolon)
+        ) {
+            p += 1;
+        }
+        if p == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.error("unexpected trailing content after query"))
+        }
+    }
+
+    fn fresh_blank(&mut self) -> Term {
+        self.blank_counter += 1;
+        Term::BlankNode(format!("gen{}", self.blank_counter))
+    }
+
+    // ------------------------------------------------------------------
+    // Prologue
+    // ------------------------------------------------------------------
+
+    fn parse_prologue(&mut self) -> Result<Prologue> {
+        loop {
+            if self.eat_keyword(Keyword::Prefix) {
+                let (prefix, local) = match self.bump() {
+                    Some(Token::PrefixedName(p, l)) => (p, l),
+                    _ => return Err(self.error("expected prefix name after PREFIX")),
+                };
+                if !local.is_empty() {
+                    return Err(self.error("prefix declaration must end with ':'"));
+                }
+                let iri = match self.bump() {
+                    Some(Token::IriRef(i)) => i,
+                    _ => return Err(self.error("expected IRI in PREFIX declaration")),
+                };
+                // Later declarations override earlier ones for the same prefix.
+                self.prefixes.retain(|(p, _)| *p != prefix);
+                self.prefixes.push((prefix, iri));
+            } else if self.eat_keyword(Keyword::Base) {
+                let iri = match self.bump() {
+                    Some(Token::IriRef(i)) => i,
+                    _ => return Err(self.error("expected IRI in BASE declaration")),
+                };
+                self.base = Some(iri);
+            } else {
+                break;
+            }
+        }
+        Ok(Prologue { base: self.base.clone(), prefixes: self.prefixes.clone() })
+    }
+
+    fn expand_prefixed(&self, prefix: &str, local: &str) -> String {
+        for (p, iri) in self.prefixes.iter().rev() {
+            if p == prefix {
+                return format!("{iri}{local}");
+            }
+        }
+        format!("{prefix}:{local}")
+    }
+
+    // ------------------------------------------------------------------
+    // Query forms
+    // ------------------------------------------------------------------
+
+    fn parse_query(&mut self) -> Result<Query> {
+        let prologue = self.parse_prologue()?;
+        let q = match self.peek() {
+            Some(Token::Keyword(Keyword::Select)) => self.parse_select(prologue, true)?,
+            Some(Token::Keyword(Keyword::Ask)) => self.parse_ask(prologue)?,
+            Some(Token::Keyword(Keyword::Construct)) => self.parse_construct(prologue)?,
+            Some(Token::Keyword(Keyword::Describe)) => self.parse_describe(prologue)?,
+            _ => return Err(self.error("expected SELECT, ASK, CONSTRUCT or DESCRIBE")),
+        };
+        Ok(q)
+    }
+
+    /// Parses a SELECT query. `top_level` controls whether dataset clauses and
+    /// a trailing VALUES block are allowed (they are not in subqueries).
+    fn parse_select(&mut self, prologue: Prologue, top_level: bool) -> Result<Query> {
+        self.expect_keyword(Keyword::Select)?;
+        let mut modifiers = SolutionModifiers::default();
+        if self.eat_keyword(Keyword::Distinct) {
+            modifiers.distinct = true;
+        } else if self.eat_keyword(Keyword::Reduced) {
+            modifiers.reduced = true;
+        }
+        let projection = self.parse_select_items()?;
+        let dataset = if top_level { self.parse_dataset_clauses()? } else { Vec::new() };
+        self.eat_keyword(Keyword::Where);
+        let body = self.parse_group_graph_pattern()?;
+        self.parse_solution_modifiers(&mut modifiers)?;
+        let values = if top_level { self.parse_values_clause()? } else { None };
+        Ok(Query {
+            prologue,
+            form: QueryForm::Select,
+            projection,
+            construct_template: None,
+            dataset,
+            where_clause: Some(body),
+            modifiers,
+            values,
+        })
+    }
+
+    fn parse_select_items(&mut self) -> Result<Projection> {
+        if self.eat(&Token::Star) {
+            return Ok(Projection::All);
+        }
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Var(_)) => {
+                    let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                    items.push(SelectItem { expr: None, var: v });
+                }
+                Some(Token::LParen) => {
+                    self.bump();
+                    let expr = self.parse_expression()?;
+                    self.expect_keyword(Keyword::As)?;
+                    let var = match self.bump() {
+                        Some(Token::Var(v)) => v,
+                        _ => return Err(self.error("expected variable after AS")),
+                    };
+                    self.expect(&Token::RParen)?;
+                    items.push(SelectItem { expr: Some(expr), var });
+                }
+                _ => break,
+            }
+        }
+        if items.is_empty() {
+            return Err(self.error("SELECT clause requires '*' or at least one variable"));
+        }
+        Ok(Projection::Items(items))
+    }
+
+    fn parse_ask(&mut self, prologue: Prologue) -> Result<Query> {
+        self.expect_keyword(Keyword::Ask)?;
+        let dataset = self.parse_dataset_clauses()?;
+        self.eat_keyword(Keyword::Where);
+        let body = self.parse_group_graph_pattern()?;
+        let mut modifiers = SolutionModifiers::default();
+        self.parse_solution_modifiers(&mut modifiers)?;
+        let values = self.parse_values_clause()?;
+        Ok(Query {
+            prologue,
+            form: QueryForm::Ask,
+            projection: Projection::None,
+            construct_template: None,
+            dataset,
+            where_clause: Some(body),
+            modifiers,
+            values,
+        })
+    }
+
+    fn parse_construct(&mut self, prologue: Prologue) -> Result<Query> {
+        self.expect_keyword(Keyword::Construct)?;
+        if self.peek() == Some(&Token::LBrace) {
+            // CONSTRUCT { template } dataset* WHERE { pattern } modifiers
+            let template = self.parse_construct_template()?;
+            let dataset = self.parse_dataset_clauses()?;
+            self.eat_keyword(Keyword::Where);
+            let body = self.parse_group_graph_pattern()?;
+            let mut modifiers = SolutionModifiers::default();
+            self.parse_solution_modifiers(&mut modifiers)?;
+            Ok(Query {
+                prologue,
+                form: QueryForm::Construct,
+                projection: Projection::None,
+                construct_template: Some(template),
+                dataset,
+                where_clause: Some(body),
+                modifiers,
+                values: None,
+            })
+        } else {
+            // Short form: CONSTRUCT dataset* WHERE { triples }
+            let dataset = self.parse_dataset_clauses()?;
+            self.expect_keyword(Keyword::Where)?;
+            let body = self.parse_group_graph_pattern()?;
+            let mut modifiers = SolutionModifiers::default();
+            self.parse_solution_modifiers(&mut modifiers)?;
+            Ok(Query {
+                prologue,
+                form: QueryForm::Construct,
+                projection: Projection::None,
+                construct_template: None,
+                dataset,
+                where_clause: Some(body),
+                modifiers,
+                values: None,
+            })
+        }
+    }
+
+    fn parse_construct_template(&mut self) -> Result<Vec<TriplePattern>> {
+        self.expect(&Token::LBrace)?;
+        let mut triples = Vec::new();
+        if self.peek() != Some(&Token::RBrace) {
+            let items = self.parse_triples_block()?;
+            for item in items {
+                match item {
+                    TripleOrPath::Triple(t) => triples.push(t),
+                    TripleOrPath::Path(p) => {
+                        // A trivial path is still a triple; anything else is
+                        // illegal in a CONSTRUCT template.
+                        if let PropertyPath::Iri(iri) = p.path {
+                            triples.push(TriplePattern::new(p.subject, Term::Iri(iri), p.object));
+                        } else {
+                            return Err(
+                                self.error("property paths are not allowed in CONSTRUCT templates")
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(triples)
+    }
+
+    fn parse_describe(&mut self, prologue: Prologue) -> Result<Query> {
+        self.expect_keyword(Keyword::Describe)?;
+        let projection = if self.eat(&Token::Star) {
+            Projection::All
+        } else {
+            let mut terms = Vec::new();
+            while matches!(
+                self.peek(),
+                Some(Token::Var(_)) | Some(Token::IriRef(_)) | Some(Token::PrefixedName(_, _))
+            ) {
+                let term = self.parse_var_or_iri()?;
+                terms.push(term);
+            }
+            if terms.is_empty() {
+                return Err(self.error("DESCRIBE requires '*' or at least one resource"));
+            }
+            Projection::Terms(terms)
+        };
+        let dataset = self.parse_dataset_clauses()?;
+        let where_clause = if self.at_keyword(Keyword::Where) || self.peek() == Some(&Token::LBrace)
+        {
+            self.eat_keyword(Keyword::Where);
+            Some(self.parse_group_graph_pattern()?)
+        } else {
+            None
+        };
+        let mut modifiers = SolutionModifiers::default();
+        self.parse_solution_modifiers(&mut modifiers)?;
+        Ok(Query {
+            prologue,
+            form: QueryForm::Describe,
+            projection,
+            construct_template: None,
+            dataset,
+            where_clause,
+            modifiers,
+            values: None,
+        })
+    }
+
+    fn parse_dataset_clauses(&mut self) -> Result<Vec<DatasetClause>> {
+        let mut out = Vec::new();
+        while self.eat_keyword(Keyword::From) {
+            let named = self.eat_keyword(Keyword::Named);
+            let iri = match self.parse_iri()? {
+                Term::Iri(i) => i,
+                _ => return Err(self.error("expected IRI in FROM clause")),
+            };
+            out.push(DatasetClause { named, iri });
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Group graph patterns
+    // ------------------------------------------------------------------
+
+    fn parse_group_graph_pattern(&mut self) -> Result<GroupGraphPattern> {
+        self.expect(&Token::LBrace)?;
+        // Subquery?
+        if self.at_keyword(Keyword::Select) {
+            let sub = self.parse_select(Prologue::default(), false)?;
+            // An optional VALUES clause may follow the subquery.
+            let values = self.parse_values_clause()?;
+            self.expect(&Token::RBrace)?;
+            let mut sub = sub;
+            sub.values = values;
+            return Ok(GroupGraphPattern { elements: vec![GroupElement::SubSelect(Box::new(sub))] });
+        }
+        let mut elements = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::RBrace) => {
+                    self.bump();
+                    break;
+                }
+                None => return Err(self.error("unterminated group graph pattern")),
+                Some(Token::Keyword(Keyword::Filter)) => {
+                    self.bump();
+                    let e = self.parse_constraint()?;
+                    elements.push(GroupElement::Filter(e));
+                    self.eat(&Token::Dot);
+                }
+                Some(Token::Keyword(Keyword::Optional)) => {
+                    self.bump();
+                    let g = self.parse_group_graph_pattern()?;
+                    elements.push(GroupElement::Optional(g));
+                    self.eat(&Token::Dot);
+                }
+                Some(Token::Keyword(Keyword::Minus)) => {
+                    self.bump();
+                    let g = self.parse_group_graph_pattern()?;
+                    elements.push(GroupElement::Minus(g));
+                    self.eat(&Token::Dot);
+                }
+                Some(Token::Keyword(Keyword::Graph)) => {
+                    self.bump();
+                    let name = self.parse_var_or_iri()?;
+                    let pattern = self.parse_group_graph_pattern()?;
+                    elements.push(GroupElement::Graph { name, pattern });
+                    self.eat(&Token::Dot);
+                }
+                Some(Token::Keyword(Keyword::Service)) => {
+                    self.bump();
+                    let silent = self.eat_keyword(Keyword::Silent);
+                    let name = self.parse_var_or_iri()?;
+                    let pattern = self.parse_group_graph_pattern()?;
+                    elements.push(GroupElement::Service { silent, name, pattern });
+                    self.eat(&Token::Dot);
+                }
+                Some(Token::Keyword(Keyword::Bind)) => {
+                    self.bump();
+                    self.expect(&Token::LParen)?;
+                    let expr = self.parse_expression()?;
+                    self.expect_keyword(Keyword::As)?;
+                    let var = match self.bump() {
+                        Some(Token::Var(v)) => v,
+                        _ => return Err(self.error("expected variable after AS in BIND")),
+                    };
+                    self.expect(&Token::RParen)?;
+                    elements.push(GroupElement::Bind { expr, var });
+                    self.eat(&Token::Dot);
+                }
+                Some(Token::Keyword(Keyword::Values)) => {
+                    self.bump();
+                    let data = self.parse_data_block()?;
+                    elements.push(GroupElement::Values(data));
+                    self.eat(&Token::Dot);
+                }
+                Some(Token::LBrace) => {
+                    // Group or union chain.
+                    let first = self.parse_group_graph_pattern()?;
+                    if self.at_keyword(Keyword::Union) {
+                        let mut branches = vec![first];
+                        while self.eat_keyword(Keyword::Union) {
+                            branches.push(self.parse_group_graph_pattern()?);
+                        }
+                        elements.push(GroupElement::Union(branches));
+                    } else if first.elements.len() == 1
+                        && matches!(first.elements[0], GroupElement::SubSelect(_))
+                    {
+                        // `{ SELECT … }` used directly as a group element: the
+                        // braces belong to the subquery, so do not wrap it in
+                        // an extra Group.
+                        elements.push(first.elements.into_iter().next().expect("one element"));
+                    } else {
+                        elements.push(GroupElement::Group(first));
+                    }
+                    self.eat(&Token::Dot);
+                }
+                _ => {
+                    let triples = self.parse_triples_block()?;
+                    if triples.is_empty() {
+                        return Err(self.error(format!(
+                            "unexpected token {} in group graph pattern",
+                            self.peek().map(|t| t.to_string()).unwrap_or_default()
+                        )));
+                    }
+                    elements.push(GroupElement::Triples(triples));
+                }
+            }
+        }
+        Ok(GroupGraphPattern { elements })
+    }
+
+    /// Parses a block of triples-same-subject productions separated by dots.
+    /// Stops before any token that cannot begin a triple.
+    fn parse_triples_block(&mut self) -> Result<Vec<TripleOrPath>> {
+        let mut out = Vec::new();
+        loop {
+            if !self.at_triple_start() {
+                break;
+            }
+            self.parse_triples_same_subject(&mut out)?;
+            if self.eat(&Token::Dot) {
+                continue;
+            }
+            break;
+        }
+        Ok(out)
+    }
+
+    fn at_triple_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::Var(_))
+                | Some(Token::IriRef(_))
+                | Some(Token::PrefixedName(_, _))
+                | Some(Token::BlankNodeLabel(_))
+                | Some(Token::Anon)
+                | Some(Token::LBracket)
+                | Some(Token::String(_))
+                | Some(Token::Integer(_))
+                | Some(Token::Decimal(_))
+                | Some(Token::Double(_))
+                | Some(Token::Boolean(_))
+                | Some(Token::Nil)
+                | Some(Token::LParen)
+                | Some(Token::Minus)
+                | Some(Token::Plus)
+        )
+    }
+
+    fn parse_triples_same_subject(&mut self, out: &mut Vec<TripleOrPath>) -> Result<()> {
+        // Subject: a term, a blank-node property list, or a collection.
+        let subject = match self.peek() {
+            Some(Token::LBracket) => {
+                let node = self.parse_blank_node_property_list(out)?;
+                // A blank-node property list may be the whole triple.
+                if !self.at_verb_start() {
+                    return Ok(());
+                }
+                node
+            }
+            Some(Token::LParen) | Some(Token::Nil) => self.parse_collection(out)?,
+            _ => self.parse_graph_node(out)?,
+        };
+        self.parse_property_list(subject, out, true)
+    }
+
+    fn at_verb_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::A)
+                | Some(Token::Var(_))
+                | Some(Token::IriRef(_))
+                | Some(Token::PrefixedName(_, _))
+                | Some(Token::Caret)
+                | Some(Token::Bang)
+                | Some(Token::LParen)
+        )
+    }
+
+    /// Parses a predicate-object list for `subject`, appending triples to
+    /// `out`. `required` demands at least one verb.
+    fn parse_property_list(
+        &mut self,
+        subject: Term,
+        out: &mut Vec<TripleOrPath>,
+        required: bool,
+    ) -> Result<()> {
+        if !self.at_verb_start() {
+            if required {
+                return Err(self.error("expected predicate"));
+            }
+            return Ok(());
+        }
+        loop {
+            // Verb: variable, 'a', or property path.
+            enum Verb {
+                Var(String),
+                Path(PropertyPath),
+            }
+            let verb = match self.peek() {
+                Some(Token::Var(_)) => {
+                    let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                    Verb::Var(v)
+                }
+                _ => Verb::Path(self.parse_path()?),
+            };
+            // Object list.
+            loop {
+                let object = match self.peek() {
+                    Some(Token::LBracket) => self.parse_blank_node_property_list(out)?,
+                    Some(Token::LParen) | Some(Token::Nil) => self.parse_collection(out)?,
+                    _ => self.parse_graph_node(out)?,
+                };
+                let item = match &verb {
+                    Verb::Var(v) => TripleOrPath::Triple(TriplePattern::new(
+                        subject.clone(),
+                        Term::Var(v.clone()),
+                        object,
+                    )),
+                    Verb::Path(PropertyPath::Iri(iri)) => TripleOrPath::Triple(
+                        TriplePattern::new(subject.clone(), Term::Iri(iri.clone()), object),
+                    ),
+                    Verb::Path(p) => TripleOrPath::Path(PathPattern {
+                        subject: subject.clone(),
+                        path: p.clone(),
+                        object,
+                    }),
+                };
+                out.push(item);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            // ';' continues with another verb for the same subject; a dangling
+            // ';' before '.' or '}' is tolerated (common in real logs).
+            if self.eat(&Token::Semicolon) {
+                while self.eat(&Token::Semicolon) {}
+                if self.at_verb_start() {
+                    continue;
+                }
+            }
+            break;
+        }
+        Ok(())
+    }
+
+    /// Parses `[ predicate-object-list ]`, returning the fresh blank node.
+    fn parse_blank_node_property_list(&mut self, out: &mut Vec<TripleOrPath>) -> Result<Term> {
+        self.expect(&Token::LBracket)?;
+        let node = self.fresh_blank();
+        self.parse_property_list(node.clone(), out, true)?;
+        self.expect(&Token::RBracket)?;
+        Ok(node)
+    }
+
+    /// Parses an RDF collection `( n1 n2 … )`, desugaring to `rdf:first` /
+    /// `rdf:rest` triples; returns the head node (or `rdf:nil` when empty).
+    fn parse_collection(&mut self, out: &mut Vec<TripleOrPath>) -> Result<Term> {
+        if self.eat(&Token::Nil) {
+            return Ok(Term::Iri(RDF_NIL.to_string()));
+        }
+        self.expect(&Token::LParen)?;
+        let mut nodes = Vec::new();
+        while self.peek() != Some(&Token::RParen) {
+            let node = match self.peek() {
+                Some(Token::LBracket) => self.parse_blank_node_property_list(out)?,
+                Some(Token::LParen) | Some(Token::Nil) => self.parse_collection(out)?,
+                None => return Err(self.error("unterminated collection")),
+                _ => self.parse_graph_node(out)?,
+            };
+            nodes.push(node);
+        }
+        self.expect(&Token::RParen)?;
+        // Desugar.
+        let mut head = Term::Iri(RDF_NIL.to_string());
+        for node in nodes.into_iter().rev() {
+            let cell = self.fresh_blank();
+            out.push(TripleOrPath::Triple(TriplePattern::new(
+                cell.clone(),
+                Term::Iri(RDF_FIRST.to_string()),
+                node,
+            )));
+            out.push(TripleOrPath::Triple(TriplePattern::new(
+                cell.clone(),
+                Term::Iri(RDF_REST.to_string()),
+                head,
+            )));
+            head = cell;
+        }
+        Ok(head)
+    }
+
+    /// Parses a simple graph node: a variable, IRI, literal or blank node.
+    fn parse_graph_node(&mut self, _out: &mut [TripleOrPath]) -> Result<Term> {
+        self.parse_term()
+    }
+
+    fn parse_var_or_iri(&mut self) -> Result<Term> {
+        match self.peek() {
+            Some(Token::Var(_)) => {
+                let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                Ok(Term::Var(v))
+            }
+            _ => self.parse_iri(),
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<Term> {
+        match self.bump() {
+            Some(Token::IriRef(i)) => Ok(Term::Iri(i)),
+            Some(Token::PrefixedName(p, l)) => Ok(Term::Iri(self.expand_prefixed(&p, &l))),
+            Some(Token::A) => Ok(Term::Iri(RDF_TYPE.to_string())),
+            other => Err(self.error(format!(
+                "expected IRI, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    /// Parses an RDF term (no blank node property lists / collections).
+    fn parse_term(&mut self) -> Result<Term> {
+        // Optional numeric sign.
+        let negative = if self.peek() == Some(&Token::Minus) {
+            self.bump();
+            true
+        } else {
+            if self.peek() == Some(&Token::Plus) {
+                self.bump();
+            }
+            false
+        };
+        let tok = self
+            .bump()
+            .ok_or_else(|| self.error("expected term, found end of input"))?;
+        let term = match tok {
+            Token::Var(v) => Term::Var(v),
+            Token::IriRef(i) => Term::Iri(i),
+            Token::PrefixedName(p, l) => Term::Iri(self.expand_prefixed(&p, &l)),
+            Token::A => Term::Iri(RDF_TYPE.to_string()),
+            Token::BlankNodeLabel(b) => Term::BlankNode(b),
+            Token::Anon => self.fresh_blank(),
+            Token::Boolean(b) => Term::Literal {
+                lexical: b.to_string(),
+                datatype: Some("http://www.w3.org/2001/XMLSchema#boolean".to_string()),
+                lang: None,
+            },
+            Token::Integer(s) => {
+                let lexical = if negative { format!("-{s}") } else { s };
+                Term::Literal {
+                    lexical,
+                    datatype: Some("http://www.w3.org/2001/XMLSchema#integer".to_string()),
+                    lang: None,
+                }
+            }
+            Token::Decimal(s) => {
+                let lexical = if negative { format!("-{s}") } else { s };
+                Term::Literal {
+                    lexical,
+                    datatype: Some("http://www.w3.org/2001/XMLSchema#decimal".to_string()),
+                    lang: None,
+                }
+            }
+            Token::Double(s) => {
+                let lexical = if negative { format!("-{s}") } else { s };
+                Term::Literal {
+                    lexical,
+                    datatype: Some("http://www.w3.org/2001/XMLSchema#double".to_string()),
+                    lang: None,
+                }
+            }
+            Token::String(s) => {
+                // Optional language tag or datatype.
+                match self.peek() {
+                    Some(Token::LangTag(_)) => {
+                        let Some(Token::LangTag(tag)) = self.bump() else { unreachable!() };
+                        Term::Literal { lexical: s, datatype: None, lang: Some(tag) }
+                    }
+                    Some(Token::DoubleCaret) => {
+                        self.bump();
+                        let dt = match self.parse_iri()? {
+                            Term::Iri(i) => i,
+                            _ => return Err(self.error("expected datatype IRI after ^^")),
+                        };
+                        Term::Literal { lexical: s, datatype: Some(dt), lang: None }
+                    }
+                    _ => Term::Literal { lexical: s, datatype: None, lang: None },
+                }
+            }
+            Token::Nil => Term::Iri(RDF_NIL.to_string()),
+            other => {
+                return Err(self.error(format!("expected term, found {other}")));
+            }
+        };
+        if negative && !matches!(term, Term::Literal { .. }) {
+            return Err(self.error("'-' must be followed by a numeric literal"));
+        }
+        Ok(term)
+    }
+
+    // ------------------------------------------------------------------
+    // Property paths
+    // ------------------------------------------------------------------
+
+    fn parse_path(&mut self) -> Result<PropertyPath> {
+        self.parse_path_alternative()
+    }
+
+    fn parse_path_alternative(&mut self) -> Result<PropertyPath> {
+        let mut left = self.parse_path_sequence()?;
+        while self.eat(&Token::Pipe) {
+            let right = self.parse_path_sequence()?;
+            left = PropertyPath::Alternative(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_path_sequence(&mut self) -> Result<PropertyPath> {
+        let mut left = self.parse_path_elt_or_inverse()?;
+        while self.eat(&Token::Slash) {
+            let right = self.parse_path_elt_or_inverse()?;
+            left = PropertyPath::Sequence(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_path_elt_or_inverse(&mut self) -> Result<PropertyPath> {
+        if self.eat(&Token::Caret) {
+            let p = self.parse_path_elt()?;
+            Ok(PropertyPath::Inverse(Box::new(p)))
+        } else {
+            self.parse_path_elt()
+        }
+    }
+
+    fn parse_path_elt(&mut self) -> Result<PropertyPath> {
+        let primary = self.parse_path_primary()?;
+        Ok(match self.peek() {
+            Some(Token::Star) => {
+                self.bump();
+                PropertyPath::ZeroOrMore(Box::new(primary))
+            }
+            Some(Token::Plus) => {
+                self.bump();
+                PropertyPath::OneOrMore(Box::new(primary))
+            }
+            Some(Token::Question) => {
+                self.bump();
+                PropertyPath::ZeroOrOne(Box::new(primary))
+            }
+            _ => primary,
+        })
+    }
+
+    fn parse_path_primary(&mut self) -> Result<PropertyPath> {
+        match self.peek() {
+            Some(Token::IriRef(_)) | Some(Token::PrefixedName(_, _)) | Some(Token::A) => {
+                let Term::Iri(iri) = self.parse_iri()? else { unreachable!() };
+                Ok(PropertyPath::Iri(iri))
+            }
+            Some(Token::Bang) => {
+                self.bump();
+                self.parse_negated_property_set()
+            }
+            Some(Token::LParen) => {
+                self.bump();
+                let p = self.parse_path()?;
+                self.expect(&Token::RParen)?;
+                Ok(p)
+            }
+            _ => Err(self.error("expected property path")),
+        }
+    }
+
+    fn parse_negated_property_set(&mut self) -> Result<PropertyPath> {
+        let mut items = Vec::new();
+        if self.eat(&Token::LParen) {
+            loop {
+                let inverse = self.eat(&Token::Caret);
+                let Term::Iri(iri) = self.parse_iri()? else { unreachable!() };
+                items.push((iri, inverse));
+                if !self.eat(&Token::Pipe) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        } else {
+            let inverse = self.eat(&Token::Caret);
+            let Term::Iri(iri) = self.parse_iri()? else { unreachable!() };
+            items.push((iri, inverse));
+        }
+        Ok(PropertyPath::NegatedPropertySet(items))
+    }
+
+    // ------------------------------------------------------------------
+    // VALUES
+    // ------------------------------------------------------------------
+
+    fn parse_values_clause(&mut self) -> Result<Option<InlineData>> {
+        if self.eat_keyword(Keyword::Values) {
+            Ok(Some(self.parse_data_block()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parse_data_block(&mut self) -> Result<InlineData> {
+        // Single variable or parenthesised variable list.
+        let mut variables = Vec::new();
+        let single = match self.peek() {
+            Some(Token::Var(_)) => {
+                let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                variables.push(v);
+                true
+            }
+            Some(Token::LParen) | Some(Token::Nil) => {
+                if self.eat(&Token::Nil) {
+                    // no variables
+                } else {
+                    self.bump();
+                    while let Some(Token::Var(_)) = self.peek() {
+                        let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                        variables.push(v);
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                false
+            }
+            _ => return Err(self.error("expected variable list in VALUES")),
+        };
+        self.expect(&Token::LBrace)?;
+        let mut rows = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::RBrace) => {
+                    self.bump();
+                    break;
+                }
+                None => return Err(self.error("unterminated VALUES block")),
+                _ => {
+                    if single {
+                        let term = self.parse_data_value()?;
+                        rows.push(vec![term]);
+                    } else {
+                        if self.eat(&Token::Nil) {
+                            rows.push(Vec::new());
+                            continue;
+                        }
+                        self.expect(&Token::LParen)?;
+                        let mut row = Vec::new();
+                        while self.peek() != Some(&Token::RParen) {
+                            row.push(self.parse_data_value()?);
+                        }
+                        self.expect(&Token::RParen)?;
+                        rows.push(row);
+                    }
+                }
+            }
+        }
+        Ok(InlineData { variables, rows })
+    }
+
+    fn parse_data_value(&mut self) -> Result<Option<Term>> {
+        if self.eat_keyword(Keyword::Undef) {
+            return Ok(None);
+        }
+        Ok(Some(self.parse_term()?))
+    }
+
+    // ------------------------------------------------------------------
+    // Solution modifiers
+    // ------------------------------------------------------------------
+
+    fn parse_solution_modifiers(&mut self, m: &mut SolutionModifiers) -> Result<()> {
+        // GROUP BY
+        if self.at_keyword(Keyword::Group) && self.peek_at(1) == Some(&Token::Keyword(Keyword::By))
+        {
+            self.bump();
+            self.bump();
+            loop {
+                match self.peek() {
+                    Some(Token::Var(_)) => {
+                        let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                        m.group_by.push(GroupCondition { expr: Expression::Var(v), alias: None });
+                    }
+                    Some(Token::LParen) => {
+                        self.bump();
+                        let expr = self.parse_expression()?;
+                        let alias = if self.eat_keyword(Keyword::As) {
+                            match self.bump() {
+                                Some(Token::Var(v)) => Some(v),
+                                _ => return Err(self.error("expected variable after AS")),
+                            }
+                        } else {
+                            None
+                        };
+                        self.expect(&Token::RParen)?;
+                        m.group_by.push(GroupCondition { expr, alias });
+                    }
+                    Some(Token::Ident(_)) | Some(Token::IriRef(_))
+                    | Some(Token::PrefixedName(_, _)) => {
+                        let expr = self.parse_unary_expression()?;
+                        m.group_by.push(GroupCondition { expr, alias: None });
+                    }
+                    _ => break,
+                }
+            }
+            if m.group_by.is_empty() {
+                return Err(self.error("expected GROUP BY condition"));
+            }
+        }
+        // HAVING
+        if self.eat_keyword(Keyword::Having) {
+            loop {
+                let e = self.parse_constraint()?;
+                m.having.push(e);
+                if !matches!(self.peek(), Some(Token::LParen) | Some(Token::Ident(_))) {
+                    break;
+                }
+            }
+        }
+        // ORDER BY
+        if self.at_keyword(Keyword::Order) && self.peek_at(1) == Some(&Token::Keyword(Keyword::By))
+        {
+            self.bump();
+            self.bump();
+            loop {
+                let cond = match self.peek() {
+                    Some(Token::Keyword(Keyword::Asc)) | Some(Token::Keyword(Keyword::Desc)) => {
+                        let dir = if self.eat_keyword(Keyword::Asc) {
+                            OrderDirection::Asc
+                        } else {
+                            self.bump();
+                            OrderDirection::Desc
+                        };
+                        self.expect(&Token::LParen)?;
+                        let expr = self.parse_expression()?;
+                        self.expect(&Token::RParen)?;
+                        Some(OrderCondition { direction: dir, expr })
+                    }
+                    Some(Token::Var(_)) => {
+                        let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                        Some(OrderCondition { direction: OrderDirection::Asc, expr: Expression::Var(v) })
+                    }
+                    Some(Token::LParen) => {
+                        self.bump();
+                        let expr = self.parse_expression()?;
+                        self.expect(&Token::RParen)?;
+                        Some(OrderCondition { direction: OrderDirection::Asc, expr })
+                    }
+                    Some(Token::Ident(_)) => {
+                        let expr = self.parse_unary_expression()?;
+                        Some(OrderCondition { direction: OrderDirection::Asc, expr })
+                    }
+                    _ => None,
+                };
+                match cond {
+                    Some(c) => m.order_by.push(c),
+                    None => break,
+                }
+            }
+            if m.order_by.is_empty() {
+                return Err(self.error("expected ORDER BY condition"));
+            }
+        }
+        // LIMIT / OFFSET in either order.
+        loop {
+            if self.eat_keyword(Keyword::Limit) {
+                let n = self.parse_integer()?;
+                m.limit = Some(n);
+            } else if self.eat_keyword(Keyword::Offset) {
+                let n = self.parse_integer()?;
+                m.offset = Some(n);
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn parse_integer(&mut self) -> Result<u64> {
+        match self.bump() {
+            Some(Token::Integer(s)) => s
+                .parse::<u64>()
+                .map_err(|_| self.error(format!("integer out of range: {s}"))),
+            other => Err(self.error(format!(
+                "expected integer, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    /// A FILTER / HAVING constraint: a bracketted expression, a built-in call,
+    /// or a function call.
+    fn parse_constraint(&mut self) -> Result<Expression> {
+        match self.peek() {
+            Some(Token::LParen) => {
+                self.bump();
+                let e = self.parse_expression()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            _ => self.parse_unary_expression(),
+        }
+    }
+
+    fn parse_expression(&mut self) -> Result<Expression> {
+        self.parse_or_expression()
+    }
+
+    fn parse_or_expression(&mut self) -> Result<Expression> {
+        let mut left = self.parse_and_expression()?;
+        while self.eat(&Token::OrOr) {
+            let right = self.parse_and_expression()?;
+            left = Expression::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and_expression(&mut self) -> Result<Expression> {
+        let mut left = self.parse_relational_expression()?;
+        while self.eat(&Token::AndAnd) {
+            let right = self.parse_relational_expression()?;
+            left = Expression::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_relational_expression(&mut self) -> Result<Expression> {
+        let left = self.parse_additive_expression()?;
+        let expr = match self.peek() {
+            Some(Token::Equal) => {
+                self.bump();
+                Expression::Equal(Box::new(left), Box::new(self.parse_additive_expression()?))
+            }
+            Some(Token::NotEqual) => {
+                self.bump();
+                Expression::NotEqual(Box::new(left), Box::new(self.parse_additive_expression()?))
+            }
+            Some(Token::Less) => {
+                self.bump();
+                Expression::Less(Box::new(left), Box::new(self.parse_additive_expression()?))
+            }
+            Some(Token::Greater) => {
+                self.bump();
+                Expression::Greater(Box::new(left), Box::new(self.parse_additive_expression()?))
+            }
+            Some(Token::LessEq) => {
+                self.bump();
+                Expression::LessEq(Box::new(left), Box::new(self.parse_additive_expression()?))
+            }
+            Some(Token::GreaterEq) => {
+                self.bump();
+                Expression::GreaterEq(Box::new(left), Box::new(self.parse_additive_expression()?))
+            }
+            Some(Token::Keyword(Keyword::In)) => {
+                self.bump();
+                Expression::In(Box::new(left), self.parse_expression_list()?)
+            }
+            Some(Token::Keyword(Keyword::Not))
+                if self.peek_at(1) == Some(&Token::Keyword(Keyword::In)) =>
+            {
+                self.bump();
+                self.bump();
+                Expression::NotIn(Box::new(left), self.parse_expression_list()?)
+            }
+            _ => left,
+        };
+        Ok(expr)
+    }
+
+    fn parse_expression_list(&mut self) -> Result<Vec<Expression>> {
+        if self.eat(&Token::Nil) {
+            return Ok(Vec::new());
+        }
+        self.expect(&Token::LParen)?;
+        let mut out = vec![self.parse_expression()?];
+        while self.eat(&Token::Comma) {
+            out.push(self.parse_expression()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(out)
+    }
+
+    fn parse_additive_expression(&mut self) -> Result<Expression> {
+        let mut left = self.parse_multiplicative_expression()?;
+        loop {
+            if self.eat(&Token::Plus) {
+                let right = self.parse_multiplicative_expression()?;
+                left = Expression::Add(Box::new(left), Box::new(right));
+            } else if self.eat(&Token::Minus) {
+                let right = self.parse_multiplicative_expression()?;
+                left = Expression::Subtract(Box::new(left), Box::new(right));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative_expression(&mut self) -> Result<Expression> {
+        let mut left = self.parse_unary_expression()?;
+        loop {
+            if self.eat(&Token::Star) {
+                let right = self.parse_unary_expression()?;
+                left = Expression::Multiply(Box::new(left), Box::new(right));
+            } else if self.eat(&Token::Slash) {
+                let right = self.parse_unary_expression()?;
+                left = Expression::Divide(Box::new(left), Box::new(right));
+            } else {
+                break;
+            }
+        }
+        Ok(left)
+    }
+
+    fn parse_unary_expression(&mut self) -> Result<Expression> {
+        if self.eat(&Token::Bang) {
+            Ok(Expression::Not(Box::new(self.parse_unary_expression()?)))
+        } else if self.eat(&Token::Minus) {
+            Ok(Expression::UnaryMinus(Box::new(self.parse_unary_expression()?)))
+        } else if self.eat(&Token::Plus) {
+            Ok(Expression::UnaryPlus(Box::new(self.parse_unary_expression()?)))
+        } else {
+            self.parse_primary_expression()
+        }
+    }
+
+    fn parse_primary_expression(&mut self) -> Result<Expression> {
+        match self.peek().cloned() {
+            Some(Token::LParen) => {
+                self.bump();
+                let e = self.parse_expression()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Var(v)) => {
+                self.bump();
+                Ok(Expression::Var(v))
+            }
+            Some(Token::Keyword(Keyword::Exists)) => {
+                self.bump();
+                let g = self.parse_group_graph_pattern()?;
+                Ok(Expression::Exists(Box::new(g)))
+            }
+            Some(Token::Keyword(Keyword::Not)) => {
+                self.bump();
+                self.expect_keyword(Keyword::Exists)?;
+                let g = self.parse_group_graph_pattern()?;
+                Ok(Expression::NotExists(Box::new(g)))
+            }
+            Some(Token::Keyword(kw)) if aggregate_kind(kw).is_some() => {
+                self.bump();
+                self.parse_aggregate(aggregate_kind(kw).expect("checked"))
+            }
+            Some(Token::Ident(name)) => {
+                self.bump();
+                let args = self.parse_arg_list()?;
+                Ok(Expression::FunctionCall(name.to_ascii_uppercase(), args))
+            }
+            Some(Token::IriRef(_)) | Some(Token::PrefixedName(_, _)) | Some(Token::A) => {
+                let iri = self.parse_iri()?;
+                if matches!(self.peek(), Some(Token::LParen) | Some(Token::Nil)) {
+                    let args = self.parse_arg_list()?;
+                    let Term::Iri(name) = iri else { unreachable!() };
+                    Ok(Expression::FunctionCall(name, args))
+                } else {
+                    Ok(Expression::Term(iri))
+                }
+            }
+            Some(Token::String(_))
+            | Some(Token::Integer(_))
+            | Some(Token::Decimal(_))
+            | Some(Token::Double(_))
+            | Some(Token::Boolean(_)) => Ok(Expression::Term(self.parse_term()?)),
+            other => Err(self.error(format!(
+                "expected expression, found {}",
+                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn parse_arg_list(&mut self) -> Result<Vec<Expression>> {
+        if self.eat(&Token::Nil) {
+            return Ok(Vec::new());
+        }
+        self.expect(&Token::LParen)?;
+        // DISTINCT may appear in e.g. custom aggregate calls; skip it.
+        self.eat_keyword(Keyword::Distinct);
+        if self.eat(&Token::RParen) {
+            return Ok(Vec::new());
+        }
+        let mut args = vec![self.parse_expression()?];
+        while self.eat(&Token::Comma) {
+            args.push(self.parse_expression()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(args)
+    }
+
+    fn parse_aggregate(&mut self, kind: AggregateKind) -> Result<Expression> {
+        self.expect(&Token::LParen)?;
+        let distinct = self.eat_keyword(Keyword::Distinct);
+        let expr = if self.eat(&Token::Star) {
+            None
+        } else {
+            Some(Box::new(self.parse_expression()?))
+        };
+        let mut separator = None;
+        if self.eat(&Token::Semicolon) {
+            self.expect_keyword(Keyword::Separator)?;
+            self.expect(&Token::Equal)?;
+            match self.bump() {
+                Some(Token::String(s)) => separator = Some(s),
+                _ => return Err(self.error("expected string SEPARATOR value")),
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Expression::Aggregate(Aggregate { kind, distinct, expr, separator }))
+    }
+}
+
+fn aggregate_kind(kw: Keyword) -> Option<AggregateKind> {
+    Some(match kw {
+        Keyword::Count => AggregateKind::Count,
+        Keyword::Sum => AggregateKind::Sum,
+        Keyword::Min => AggregateKind::Min,
+        Keyword::Max => AggregateKind::Max,
+        Keyword::Avg => AggregateKind::Avg,
+        Keyword::Sample => AggregateKind::Sample,
+        Keyword::GroupConcat => AggregateKind::GroupConcat,
+        _ => return None,
+    })
+}

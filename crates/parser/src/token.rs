@@ -1,0 +1,262 @@
+//! Token definitions produced by the [`lexer`](crate::lexer).
+
+use std::fmt;
+
+/// A structural SPARQL keyword.
+///
+/// Keywords are case-insensitive in SPARQL; the lexer normalizes them to this
+/// enum. Identifiers that are not structural keywords (e.g. built-in function
+/// names such as `LANG` or `REGEX`) are lexed as [`Token::Ident`] instead so
+/// the expression parser can treat them uniformly as function calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants mirror the SPARQL keywords one-to-one
+pub enum Keyword {
+    Base,
+    Prefix,
+    Select,
+    Ask,
+    Construct,
+    Describe,
+    Where,
+    From,
+    Named,
+    Distinct,
+    Reduced,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    Offset,
+    Group,
+    Having,
+    Optional,
+    Union,
+    Filter,
+    Graph,
+    Minus,
+    Bind,
+    As,
+    Values,
+    Service,
+    Silent,
+    Undef,
+    Exists,
+    Not,
+    In,
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    Sample,
+    GroupConcat,
+    Separator,
+}
+
+impl Keyword {
+    /// Looks up a structural keyword from a raw (case-insensitive) identifier.
+    pub fn from_str_ci(s: &str) -> Option<Keyword> {
+        let up = s.to_ascii_uppercase();
+        Some(match up.as_str() {
+            "BASE" => Keyword::Base,
+            "PREFIX" => Keyword::Prefix,
+            "SELECT" => Keyword::Select,
+            "ASK" => Keyword::Ask,
+            "CONSTRUCT" => Keyword::Construct,
+            "DESCRIBE" => Keyword::Describe,
+            "WHERE" => Keyword::Where,
+            "FROM" => Keyword::From,
+            "NAMED" => Keyword::Named,
+            "DISTINCT" => Keyword::Distinct,
+            "REDUCED" => Keyword::Reduced,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "LIMIT" => Keyword::Limit,
+            "OFFSET" => Keyword::Offset,
+            "GROUP" => Keyword::Group,
+            "HAVING" => Keyword::Having,
+            "OPTIONAL" => Keyword::Optional,
+            "UNION" => Keyword::Union,
+            "FILTER" => Keyword::Filter,
+            "GRAPH" => Keyword::Graph,
+            "MINUS" => Keyword::Minus,
+            "BIND" => Keyword::Bind,
+            "AS" => Keyword::As,
+            "VALUES" => Keyword::Values,
+            "SERVICE" => Keyword::Service,
+            "SILENT" => Keyword::Silent,
+            "UNDEF" => Keyword::Undef,
+            "EXISTS" => Keyword::Exists,
+            "NOT" => Keyword::Not,
+            "IN" => Keyword::In,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "AVG" => Keyword::Avg,
+            "SAMPLE" => Keyword::Sample,
+            "GROUP_CONCAT" => Keyword::GroupConcat,
+            "SEPARATOR" => Keyword::Separator,
+            _ => return None,
+        })
+    }
+}
+
+/// A single lexical token together with its kind-specific payload.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // punctuation variants are self-describing
+pub enum Token {
+    /// A structural keyword such as `SELECT` or `FILTER`.
+    Keyword(Keyword),
+    /// A non-structural identifier (built-in function names, e.g. `lang`).
+    Ident(String),
+    /// The keyword `a` used as a predicate abbreviation for `rdf:type`.
+    A,
+    /// An IRI reference written in angle brackets, e.g. `<http://example.org/>`.
+    /// The payload excludes the brackets.
+    IriRef(String),
+    /// A prefixed name, split into (prefix, local part). `foaf:name` becomes
+    /// `("foaf", "name")`; `:x` becomes `("", "x")`.
+    PrefixedName(String, String),
+    /// A prefix declaration namespace token, e.g. `foaf:` in a PREFIX clause.
+    /// Lexed identically to [`Token::PrefixedName`] with an empty local part.
+    /// (Kept distinct only conceptually; the lexer emits `PrefixedName`.)
+    /// A variable, `?x` or `$x` — payload excludes the sigil.
+    Var(String),
+    /// A blank node label `_:b0` — payload excludes the `_:` sigil.
+    BlankNodeLabel(String),
+    /// A string literal, with quotes/escapes already processed.
+    String(String),
+    /// An integer literal (kept as text to preserve the original form).
+    Integer(String),
+    /// A decimal literal.
+    Decimal(String),
+    /// A double (floating point with exponent) literal.
+    Double(String),
+    /// A boolean literal.
+    Boolean(bool),
+    /// A language tag following a string literal, e.g. `@en` (without `@`).
+    LangTag(String),
+    /// `^^` datatype marker.
+    DoubleCaret,
+    /// `(` / `)`.
+    LParen,
+    RParen,
+    /// `{` / `}`.
+    LBrace,
+    RBrace,
+    /// `[` / `]`.
+    LBracket,
+    RBracket,
+    /// `()` empty collection / NIL.
+    Nil,
+    /// `[]` anonymous blank node.
+    Anon,
+    /// `.` `,` `;`
+    Dot,
+    Comma,
+    Semicolon,
+    /// Property path / arithmetic operators.
+    Pipe,
+    Slash,
+    Caret,
+    Star,
+    Plus,
+    Minus,
+    Question,
+    Bang,
+    /// Comparison / logic.
+    Equal,
+    NotEqual,
+    Less,
+    Greater,
+    LessEq,
+    GreaterEq,
+    AndAnd,
+    OrOr,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::A => write!(f, "a"),
+            Token::IriRef(i) => write!(f, "<{i}>"),
+            Token::PrefixedName(p, l) => write!(f, "{p}:{l}"),
+            Token::Var(v) => write!(f, "?{v}"),
+            Token::BlankNodeLabel(b) => write!(f, "_:{b}"),
+            Token::String(s) => write!(f, "{s:?}"),
+            Token::Integer(s) | Token::Decimal(s) | Token::Double(s) => write!(f, "{s}"),
+            Token::Boolean(b) => write!(f, "{b}"),
+            Token::LangTag(t) => write!(f, "@{t}"),
+            Token::DoubleCaret => write!(f, "^^"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Nil => write!(f, "()"),
+            Token::Anon => write!(f, "[]"),
+            Token::Dot => write!(f, "."),
+            Token::Comma => write!(f, ","),
+            Token::Semicolon => write!(f, ";"),
+            Token::Pipe => write!(f, "|"),
+            Token::Slash => write!(f, "/"),
+            Token::Caret => write!(f, "^"),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Question => write!(f, "?"),
+            Token::Bang => write!(f, "!"),
+            Token::Equal => write!(f, "="),
+            Token::NotEqual => write!(f, "!="),
+            Token::Less => write!(f, "<"),
+            Token::Greater => write!(f, ">"),
+            Token::LessEq => write!(f, "<="),
+            Token::GreaterEq => write!(f, ">="),
+            Token::AndAnd => write!(f, "&&"),
+            Token::OrOr => write!(f, "||"),
+        }
+    }
+}
+
+/// A token annotated with its position in the input (byte offset, line, column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token itself.
+    pub token: Token,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub column: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::from_str_ci("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_str_ci("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::from_str_ci("OPTIONAL"), Some(Keyword::Optional));
+        assert_eq!(Keyword::from_str_ci("group_concat"), Some(Keyword::GroupConcat));
+        assert_eq!(Keyword::from_str_ci("lang"), None);
+        assert_eq!(Keyword::from_str_ci("regex"), None);
+    }
+
+    #[test]
+    fn token_display_roundtrips_punctuation() {
+        assert_eq!(Token::DoubleCaret.to_string(), "^^");
+        assert_eq!(Token::NotEqual.to_string(), "!=");
+        assert_eq!(Token::Nil.to_string(), "()");
+        assert_eq!(Token::PrefixedName("foaf".into(), "name".into()).to_string(), "foaf:name");
+    }
+}

@@ -1,0 +1,353 @@
+//! Integration tests for the SPARQL parser on realistic queries, including
+//! the example queries that appear in the paper.
+
+use sparqlog_parser::ast::*;
+use sparqlog_parser::{parse_query, to_canonical_string};
+
+fn count_triples(g: &GroupGraphPattern) -> usize {
+    let mut n = 0;
+    for el in &g.elements {
+        match el {
+            GroupElement::Triples(ts) => n += ts.len(),
+            GroupElement::Optional(g)
+            | GroupElement::Minus(g)
+            | GroupElement::Group(g)
+            | GroupElement::Graph { pattern: g, .. }
+            | GroupElement::Service { pattern: g, .. } => n += count_triples(g),
+            GroupElement::Union(bs) => n += bs.iter().map(count_triples).sum::<usize>(),
+            GroupElement::SubSelect(q) => {
+                if let Some(w) = &q.where_clause {
+                    n += count_triples(w);
+                }
+            }
+            _ => {}
+        }
+    }
+    n
+}
+
+#[test]
+fn parses_wikidata_archaeological_sites_example() {
+    // The "Locations of archaeological sites" query quoted in Section 3.
+    let q = parse_query(
+        r#"
+        PREFIX wdt: <http://www.wikidata.org/prop/direct/>
+        PREFIX wd: <http://www.wikidata.org/entity/>
+        PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+        SELECT ?label ?coord ?subj
+        WHERE
+        { ?subj wdt:P31/wdt:P279* wd:Q839954 .
+          ?subj wdt:P625 ?coord .
+          ?subj rdfs:label ?label filter(lang(?label)="en")
+        }"#,
+    )
+    .unwrap();
+    assert_eq!(q.form, QueryForm::Select);
+    let body = q.where_clause.as_ref().unwrap();
+    // One property-path pattern + two triple patterns.
+    let GroupElement::Triples(ts) = &body.elements[0] else { panic!("expected triples") };
+    assert_eq!(ts.len(), 3);
+    assert!(matches!(ts[0], TripleOrPath::Path(_)));
+    assert!(matches!(ts[1], TripleOrPath::Triple(_)));
+    // The filter is attached after the triples block.
+    assert!(body.elements.iter().any(|e| matches!(e, GroupElement::Filter(_))));
+}
+
+#[test]
+fn parses_example_5_1_chain_and_variable_predicate_queries() {
+    let chain = parse_query("ASK WHERE {?x1 <a> ?x2 . ?x2 <b> ?x3 . ?x3 <c> ?x4}").unwrap();
+    assert_eq!(chain.form, QueryForm::Ask);
+    assert_eq!(count_triples(chain.where_clause.as_ref().unwrap()), 3);
+
+    let varpred = parse_query("ASK WHERE {?x1 ?x2 ?x3 . ?x3 <a> ?x4 . ?x4 ?x2 ?x5}").unwrap();
+    let body = varpred.where_clause.unwrap();
+    let GroupElement::Triples(ts) = &body.elements[0] else { panic!() };
+    let TripleOrPath::Triple(t0) = &ts[0] else { panic!() };
+    assert!(t0.predicate.is_var());
+}
+
+#[test]
+fn parses_example_5_4_nested_optionals() {
+    let p1 = parse_query(
+        "SELECT * WHERE { { ?A <name> ?N OPTIONAL { ?A <email> ?E } } OPTIONAL { ?A <webPage> ?W } }",
+    )
+    .unwrap();
+    let p2 = parse_query(
+        "SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E OPTIONAL { ?A <webPage> ?W } } }",
+    )
+    .unwrap();
+    assert_eq!(count_triples(p1.where_clause.as_ref().unwrap()), 3);
+    assert_eq!(count_triples(p2.where_clause.as_ref().unwrap()), 3);
+}
+
+#[test]
+fn parses_predicate_object_lists_and_object_lists() {
+    let q = parse_query(
+        "SELECT ?p WHERE { ?p a <http://ex.org/Person> ; <http://ex.org/name> ?n , ?m ; <http://ex.org/age> 42 . }",
+    )
+    .unwrap();
+    assert_eq!(count_triples(q.where_clause.as_ref().unwrap()), 4);
+}
+
+#[test]
+fn parses_blank_node_property_lists() {
+    let q = parse_query(
+        "SELECT ?n WHERE { ?x <http://ex.org/knows> [ <http://ex.org/name> ?n ; a <http://ex.org/Person> ] }",
+    )
+    .unwrap();
+    // [ name ?n ; a Person ] expands to 2 triples + the outer knows triple.
+    assert_eq!(count_triples(q.where_clause.as_ref().unwrap()), 3);
+}
+
+#[test]
+fn parses_rdf_collections() {
+    let q = parse_query("SELECT ?x WHERE { ?x <http://ex.org/list> (1 2 3) }").unwrap();
+    // 3 first/rest pairs + 1 outer triple.
+    assert_eq!(count_triples(q.where_clause.as_ref().unwrap()), 7);
+}
+
+#[test]
+fn parses_union_chains() {
+    let q = parse_query(
+        "SELECT ?x WHERE { { ?x a <http://A> } UNION { ?x a <http://B> } UNION { ?x a <http://C> } }",
+    )
+    .unwrap();
+    let body = q.where_clause.unwrap();
+    let GroupElement::Union(branches) = &body.elements[0] else { panic!("expected union") };
+    assert_eq!(branches.len(), 3);
+}
+
+#[test]
+fn parses_graph_and_service_blocks() {
+    let q = parse_query(
+        "SELECT ?s WHERE { GRAPH ?g { ?s ?p ?o } SERVICE SILENT <http://endpoint> { ?s a ?c } }",
+    )
+    .unwrap();
+    let body = q.where_clause.unwrap();
+    assert!(matches!(body.elements[0], GroupElement::Graph { .. }));
+    assert!(matches!(body.elements[1], GroupElement::Service { silent: true, .. }));
+}
+
+#[test]
+fn parses_minus_bind_values() {
+    let q = parse_query(
+        r#"SELECT ?x WHERE {
+             ?x a <http://A> .
+             MINUS { ?x a <http://B> }
+             BIND(<http://f>(?x) AS ?y)
+             VALUES ?z { <http://v1> <http://v2> UNDEF }
+           }"#,
+    )
+    .unwrap();
+    let body = q.where_clause.unwrap();
+    assert!(body.elements.iter().any(|e| matches!(e, GroupElement::Minus(_))));
+    assert!(body.elements.iter().any(|e| matches!(e, GroupElement::Bind { .. })));
+    let values = body
+        .elements
+        .iter()
+        .find_map(|e| match e {
+            GroupElement::Values(d) => Some(d),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(values.variables, vec!["z"]);
+    assert_eq!(values.rows.len(), 3);
+    assert_eq!(values.rows[2], vec![None]);
+}
+
+#[test]
+fn parses_subqueries() {
+    let q = parse_query(
+        "SELECT ?x WHERE { ?x a <http://A> . { SELECT ?x (COUNT(?y) AS ?c) WHERE { ?x <http://p> ?y } GROUP BY ?x } }",
+    )
+    .unwrap();
+    let body = q.where_clause.unwrap();
+    let sub = body
+        .elements
+        .iter()
+        .find_map(|e| match e {
+            GroupElement::SubSelect(q) => Some(q),
+            _ => None,
+        })
+        .expect("subquery");
+    assert_eq!(sub.form, QueryForm::Select);
+    assert_eq!(sub.modifiers.group_by.len(), 1);
+}
+
+#[test]
+fn parses_aggregates_and_having() {
+    let q = parse_query(
+        "SELECT ?g (SUM(?v) AS ?total) (AVG(?v) AS ?mean) WHERE { ?x <http://in> ?g ; <http://val> ?v } GROUP BY ?g HAVING (SUM(?v) > 10) ORDER BY DESC(?total) LIMIT 5 OFFSET 2",
+    )
+    .unwrap();
+    assert_eq!(q.modifiers.group_by.len(), 1);
+    assert_eq!(q.modifiers.having.len(), 1);
+    assert_eq!(q.modifiers.order_by.len(), 1);
+    assert_eq!(q.modifiers.limit, Some(5));
+    assert_eq!(q.modifiers.offset, Some(2));
+    let Projection::Items(items) = &q.projection else { panic!() };
+    assert_eq!(items.len(), 3);
+    assert!(items[1].expr.as_ref().unwrap().variables().contains(&"v".to_string()));
+}
+
+#[test]
+fn parses_filter_builtins_exists_regex_in() {
+    let q = parse_query(
+        r#"SELECT ?x WHERE {
+             ?x <http://p> ?v .
+             FILTER(REGEX(STR(?v), "^foo", "i") && ?v != "bar"@en)
+             FILTER NOT EXISTS { ?x a <http://Hidden> }
+             FILTER(?x IN (<http://a>, <http://b>))
+           }"#,
+    )
+    .unwrap();
+    let body = q.where_clause.unwrap();
+    let filters: Vec<_> = body
+        .elements
+        .iter()
+        .filter_map(|e| match e {
+            GroupElement::Filter(f) => Some(f),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(filters.len(), 3);
+    assert!(filters[1].contains_exists());
+    assert!(matches!(filters[2], Expression::In(_, list) if list.len() == 2));
+}
+
+#[test]
+fn parses_property_path_forms() {
+    for (path, expect_trivial) in [
+        ("<http://a>", true),
+        ("^<http://a>", false),
+        ("!<http://a>", false),
+        ("!(<http://a>|^<http://b>)", false),
+        ("<http://a>/<http://b>/<http://c>", false),
+        ("<http://a>|<http://b>", false),
+        ("<http://a>*", false),
+        ("<http://a>+", false),
+        ("<http://a>?", false),
+        ("(<http://a>/<http://b>)*", false),
+        ("<http://a>*/<http://b>", false),
+    ] {
+        let q = parse_query(&format!("ASK {{ ?s {path} ?o }}")).unwrap();
+        let body = q.where_clause.unwrap();
+        let GroupElement::Triples(ts) = &body.elements[0] else { panic!() };
+        match &ts[0] {
+            TripleOrPath::Triple(_) => assert!(expect_trivial, "{path} should not be trivial"),
+            TripleOrPath::Path(_) => assert!(!expect_trivial, "{path} should be trivial"),
+        }
+    }
+}
+
+#[test]
+fn parses_describe_variants() {
+    let q = parse_query("DESCRIBE <http://example.org/thing>").unwrap();
+    assert_eq!(q.form, QueryForm::Describe);
+    assert!(!q.has_body());
+
+    let q = parse_query("DESCRIBE ?x WHERE { ?x a <http://C> } LIMIT 1").unwrap();
+    assert!(q.has_body());
+    assert_eq!(q.modifiers.limit, Some(1));
+}
+
+#[test]
+fn parses_construct_variants() {
+    let q = parse_query(
+        "CONSTRUCT { ?s <http://p2> ?o } FROM <http://graph> WHERE { ?s <http://p> ?o }",
+    )
+    .unwrap();
+    assert_eq!(q.form, QueryForm::Construct);
+    assert_eq!(q.construct_template.as_ref().unwrap().len(), 1);
+    assert_eq!(q.dataset.len(), 1);
+}
+
+#[test]
+fn parses_ask_without_variables() {
+    // Most ASK queries in the logs ask for a concrete triple (Section 4.4).
+    let q = parse_query("ASK { <http://s> <http://p> <http://o> }").unwrap();
+    assert!(q.body_variables().is_empty());
+}
+
+#[test]
+fn parses_from_named_and_prefixes_with_base() {
+    let q = parse_query(
+        "BASE <http://base.org/> PREFIX : <http://ex.org/> SELECT * FROM <http://g1> FROM NAMED <http://g2> WHERE { ?s :p ?o }",
+    )
+    .unwrap();
+    assert_eq!(q.dataset.len(), 2);
+    assert!(q.dataset[1].named);
+    assert_eq!(q.prologue.prefixes.len(), 1);
+    // The empty-prefix name expands against the declared prefix.
+    let body = q.where_clause.unwrap();
+    let GroupElement::Triples(ts) = &body.elements[0] else { panic!() };
+    let TripleOrPath::Triple(t) = &ts[0] else { panic!() };
+    assert_eq!(t.predicate, Term::Iri("http://ex.org/p".into()));
+}
+
+#[test]
+fn parses_language_and_datatype_literals() {
+    let q = parse_query(
+        r#"SELECT ?x WHERE { ?x <http://p> "label"@en-GB ; <http://q> "3.14"^^<http://www.w3.org/2001/XMLSchema#double> }"#,
+    )
+    .unwrap();
+    assert_eq!(count_triples(q.where_clause.as_ref().unwrap()), 2);
+}
+
+#[test]
+fn parses_case_insensitive_keywords() {
+    let q = parse_query("select ?x where { ?x a <http://C> } limit 3").unwrap();
+    assert_eq!(q.form, QueryForm::Select);
+    assert_eq!(q.modifiers.limit, Some(3));
+}
+
+#[test]
+fn rejects_garbage_and_updates() {
+    for bad in [
+        "",
+        "this is not sparql",
+        "GET /sparql?query=SELECT HTTP/1.1",
+        "INSERT DATA { <http://s> <http://p> <http://o> }",
+        "SELECT ?x WHERE { ?x a <http://C>", // missing closing brace
+        "SELECT WHERE { ?x ?y ?z }",         // missing projection
+        "ASK { ?x <http://p> }",             // missing object
+    ] {
+        assert!(parse_query(bad).is_err(), "should reject: {bad:?}");
+    }
+}
+
+#[test]
+fn rejects_malformed_wikidata_public_art_style_query() {
+    // Mirrors the one unparseable WikiData query mentioned in Section 2
+    // (missing closing braces and a bad aggregate).
+    let bad = r#"SELECT (COUNT(?item) AS ) ?place WHERE {
+        ?item <http://www.wikidata.org/prop/direct/P31> ?type .
+        ?item <http://www.wikidata.org/prop/direct/P131> ?place
+    "#;
+    assert!(parse_query(bad).is_err());
+}
+
+#[test]
+fn canonical_roundtrip_on_complex_query() {
+    let q = parse_query(
+        r#"PREFIX dbo: <http://dbpedia.org/ontology/>
+           SELECT DISTINCT ?film ?director WHERE {
+             ?film a dbo:Film ;
+                   dbo:director ?director .
+             OPTIONAL { ?director dbo:birthPlace ?place }
+             FILTER(?director != dbo:UnknownDirector)
+             { ?film dbo:releaseDate ?d } UNION { ?film dbo:premiereDate ?d }
+           } ORDER BY ?film LIMIT 100"#,
+    )
+    .unwrap();
+    let canon = to_canonical_string(&q);
+    let q2 = parse_query(&canon).unwrap();
+    assert_eq!(canon, to_canonical_string(&q2));
+    assert_eq!(count_triples(q.where_clause.as_ref().unwrap()), 5);
+}
+
+#[test]
+fn trailing_semicolons_and_dots_are_tolerated() {
+    assert!(parse_query("SELECT ?x WHERE { ?x a <http://C> ; }").is_ok());
+    assert!(parse_query("SELECT ?x WHERE { ?x a <http://C> . } .").is_ok());
+}

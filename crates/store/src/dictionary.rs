@@ -1,0 +1,102 @@
+//! Dictionary encoding of RDF terms.
+//!
+//! Terms (IRIs, literals, blank nodes) are interned into dense `u32`
+//! identifiers, the standard technique used by RDF engines to keep triple
+//! representations compact and comparisons cheap.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An interning dictionary mapping term strings to dense identifiers.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dictionary {
+    terms: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a term, returning its identifier (allocating one if new).
+    pub fn encode(&mut self, term: &str) -> u32 {
+        if let Some(&id) = self.index.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as u32;
+        self.terms.push(term.to_string());
+        self.index.insert(term.to_string(), id);
+        id
+    }
+
+    /// Looks up a term without interning it.
+    pub fn lookup(&self, term: &str) -> Option<u32> {
+        self.index.get(term).copied()
+    }
+
+    /// Decodes an identifier back to its term string.
+    pub fn decode(&self, id: u32) -> Option<&str> {
+        self.terms.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Rebuilds the lookup index (needed after deserialization, since the
+    /// reverse index is not serialized).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i as u32))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode("http://example.org/a");
+        let b = d.encode("http://example.org/b");
+        assert_ne!(a, b);
+        assert_eq!(d.encode("http://example.org/a"), a);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let mut d = Dictionary::new();
+        let id = d.encode("term");
+        assert_eq!(d.decode(id), Some("term"));
+        assert_eq!(d.lookup("term"), Some(id));
+        assert_eq!(d.lookup("missing"), None);
+        assert_eq!(d.decode(999), None);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut d = Dictionary::new();
+        d.encode("x");
+        d.encode("y");
+        let mut copy = Dictionary { terms: d.terms.clone(), index: HashMap::new() };
+        assert_eq!(copy.lookup("x"), None);
+        copy.rebuild_index();
+        assert_eq!(copy.lookup("x"), Some(0));
+        assert_eq!(copy.lookup("y"), Some(1));
+    }
+}

@@ -1,0 +1,240 @@
+//! The conjunctive-query intermediate representation shared by the engines
+//! and the workload generator.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term position in a conjunctive-query atom: either a named variable or a
+/// constant (an IRI / literal string).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CqTerm {
+    /// A variable, without sigil.
+    Var(String),
+    /// A constant term.
+    Const(String),
+}
+
+impl CqTerm {
+    /// Convenience constructor for a variable.
+    pub fn var(name: impl Into<String>) -> CqTerm {
+        CqTerm::Var(name.into())
+    }
+
+    /// Convenience constructor for a constant.
+    pub fn constant(value: impl Into<String>) -> CqTerm {
+        CqTerm::Const(value.into())
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            CqTerm::Var(v) => Some(v),
+            CqTerm::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for CqTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CqTerm::Var(v) => write!(f, "?{v}"),
+            CqTerm::Const(c) => write!(f, "<{c}>"),
+        }
+    }
+}
+
+/// One atom (triple pattern) of a conjunctive query.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CqAtom {
+    /// Subject position.
+    pub subject: CqTerm,
+    /// Predicate position.
+    pub predicate: CqTerm,
+    /// Object position.
+    pub object: CqTerm,
+}
+
+impl CqAtom {
+    /// Creates a new atom.
+    pub fn new(subject: CqTerm, predicate: CqTerm, object: CqTerm) -> Self {
+        CqAtom { subject, predicate, object }
+    }
+
+    /// Iterates over the three positions.
+    pub fn terms(&self) -> [&CqTerm; 3] {
+        [&self.subject, &self.predicate, &self.object]
+    }
+
+    /// The distinct variables of the atom.
+    pub fn variables(&self) -> BTreeSet<&str> {
+        self.terms().into_iter().filter_map(CqTerm::as_var).collect()
+    }
+}
+
+impl fmt::Display for CqAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A conjunctive query over a triple store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConjunctiveQuery {
+    /// The atoms, in the order they were written (the binary-join engine
+    /// joins them in this order, like a textual query plan).
+    pub atoms: Vec<CqAtom>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a query from atoms.
+    pub fn new(atoms: Vec<CqAtom>) -> Self {
+        ConjunctiveQuery { atoms }
+    }
+
+    /// The distinct variables of the query, in first-occurrence order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for atom in &self.atoms {
+            for term in atom.terms() {
+                if let CqTerm::Var(v) = term {
+                    if seen.insert(v.clone()) {
+                        out.push(v.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the query as a SPARQL `ASK` query.
+    pub fn to_ask_sparql(&self) -> String {
+        let mut s = String::from("ASK WHERE { ");
+        for atom in &self.atoms {
+            s.push_str(&atom.to_string());
+            s.push(' ');
+        }
+        s.push('}');
+        s
+    }
+
+    /// Renders the query as a SPARQL `SELECT *` query.
+    pub fn to_select_sparql(&self) -> String {
+        let mut s = String::from("SELECT * WHERE { ");
+        for atom in &self.atoms {
+            s.push_str(&atom.to_string());
+            s.push(' ');
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_select_sparql())
+    }
+}
+
+/// Builds a chain query of length `k`:
+/// `?x0 p1 ?x1 . ?x1 p2 ?x2 . … ?x(k-1) pk ?xk`.
+pub fn chain_query(predicates: &[String]) -> ConjunctiveQuery {
+    let atoms = predicates
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            CqAtom::new(
+                CqTerm::var(format!("x{i}")),
+                CqTerm::constant(p.clone()),
+                CqTerm::var(format!("x{}", i + 1)),
+            )
+        })
+        .collect();
+    ConjunctiveQuery::new(atoms)
+}
+
+/// Builds a cycle query of length `k`: a chain whose last variable is the
+/// first one, closing the loop.
+pub fn cycle_query(predicates: &[String]) -> ConjunctiveQuery {
+    let k = predicates.len();
+    let atoms = predicates
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            CqAtom::new(
+                CqTerm::var(format!("x{i}")),
+                CqTerm::constant(p.clone()),
+                CqTerm::var(format!("x{}", (i + 1) % k)),
+            )
+        })
+        .collect();
+    ConjunctiveQuery::new(atoms)
+}
+
+/// Builds a star query: `?c p1 ?l1 . ?c p2 ?l2 . …`.
+pub fn star_query(predicates: &[String]) -> ConjunctiveQuery {
+    let atoms = predicates
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            CqAtom::new(
+                CqTerm::var("c"),
+                CqTerm::constant(p.clone()),
+                CqTerm::var(format!("l{i}")),
+            )
+        })
+        .collect();
+    ConjunctiveQuery::new(atoms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn preds(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("http://g/p{i}")).collect()
+    }
+
+    #[test]
+    fn chain_query_structure() {
+        let q = chain_query(&preds(3));
+        assert_eq!(q.atoms.len(), 3);
+        assert_eq!(q.variables().len(), 4);
+        assert_eq!(q.atoms[0].subject, CqTerm::var("x0"));
+        assert_eq!(q.atoms[2].object, CqTerm::var("x3"));
+    }
+
+    #[test]
+    fn cycle_query_closes_the_loop() {
+        let q = cycle_query(&preds(4));
+        assert_eq!(q.atoms.len(), 4);
+        assert_eq!(q.variables().len(), 4);
+        assert_eq!(q.atoms[3].object, CqTerm::var("x0"));
+    }
+
+    #[test]
+    fn star_query_shares_the_centre() {
+        let q = star_query(&preds(3));
+        assert!(q.atoms.iter().all(|a| a.subject == CqTerm::var("c")));
+        assert_eq!(q.variables().len(), 4);
+    }
+
+    #[test]
+    fn sparql_rendering_is_parseable_shape() {
+        let q = chain_query(&preds(2));
+        let ask = q.to_ask_sparql();
+        assert!(ask.starts_with("ASK WHERE {"));
+        assert!(ask.contains("?x0"));
+        let select = q.to_select_sparql();
+        assert!(select.starts_with("SELECT *"));
+    }
+
+    #[test]
+    fn atom_variables() {
+        let atom = CqAtom::new(CqTerm::var("a"), CqTerm::constant("p"), CqTerm::var("b"));
+        let vars = atom.variables();
+        assert!(vars.contains("a") && vars.contains("b"));
+        assert_eq!(vars.len(), 2);
+    }
+}

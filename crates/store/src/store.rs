@@ -1,0 +1,214 @@
+//! An in-memory, dictionary-encoded RDF triple store with the three classic
+//! sorted permutation indexes (SPO, POS, OSP).
+//!
+//! The store plays the role of the database backend in the chain-vs-cycle
+//! experiment of Section 5.1: both query engines read from the same indexes,
+//! so performance differences come purely from the join strategy.
+
+use crate::dictionary::Dictionary;
+use serde::{Deserialize, Serialize};
+
+/// An encoded triple `(subject, predicate, object)`.
+pub type EncodedTriple = [u32; 3];
+
+/// A triple pattern with optionally bound positions (encoded constants).
+pub type EncodedPattern = [Option<u32>; 3];
+
+/// The in-memory triple store.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TripleStore {
+    /// The term dictionary.
+    pub dictionary: Dictionary,
+    triples: Vec<EncodedTriple>,
+    /// Sorted (s, p, o).
+    spo: Vec<EncodedTriple>,
+    /// Sorted (p, o, s).
+    pos: Vec<EncodedTriple>,
+    /// Sorted (o, s, p).
+    osp: Vec<EncodedTriple>,
+    dirty: bool,
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a triple given as term strings.
+    pub fn insert(&mut self, s: &str, p: &str, o: &str) {
+        let s = self.dictionary.encode(s);
+        let p = self.dictionary.encode(p);
+        let o = self.dictionary.encode(o);
+        self.insert_encoded([s, p, o]);
+    }
+
+    /// Inserts an already-encoded triple.
+    pub fn insert_encoded(&mut self, t: EncodedTriple) {
+        self.triples.push(t);
+        self.dirty = true;
+    }
+
+    /// Number of triples (including duplicates until [`TripleStore::build`]
+    /// deduplicates them).
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Finalises the store: deduplicates triples and (re)builds the three
+    /// permutation indexes. Must be called after loading and before querying;
+    /// query methods call it implicitly through [`TripleStore::ensure_built`].
+    pub fn build(&mut self) {
+        self.triples.sort_unstable();
+        self.triples.dedup();
+        self.spo = self.triples.clone();
+        self.pos = self.triples.clone();
+        self.pos.sort_unstable_by_key(|t| [t[1], t[2], t[0]]);
+        self.osp = self.triples.clone();
+        self.osp.sort_unstable_by_key(|t| [t[2], t[0], t[1]]);
+        self.dirty = false;
+    }
+
+    /// Builds indexes if needed.
+    pub fn ensure_built(&mut self) {
+        if self.dirty || (self.spo.len() != self.triples.len()) {
+            self.build();
+        }
+    }
+
+    /// Returns the triples matching a pattern (bound positions must match).
+    /// The best permutation index for the bound positions is used; the
+    /// returned vector is freshly allocated.
+    pub fn matching(&self, pattern: EncodedPattern) -> Vec<EncodedTriple> {
+        debug_assert!(!self.dirty, "call build() before querying");
+        let [s, p, o] = pattern;
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                let probe = [s, p, o];
+                if self.spo.binary_search(&probe).is_ok() {
+                    vec![probe]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), Some(p), None) => {
+                range_scan(&self.spo, |t| [t[0], t[1]].cmp(&[s, p])).to_vec()
+            }
+            (Some(s), None, None) => range_scan(&self.spo, |t| t[0].cmp(&s)).to_vec(),
+            (None, Some(p), Some(o)) => {
+                range_scan(&self.pos, |t| [t[1], t[2]].cmp(&[p, o])).to_vec()
+            }
+            (None, Some(p), None) => range_scan(&self.pos, |t| t[1].cmp(&p)).to_vec(),
+            (None, None, Some(o)) => range_scan(&self.osp, |t| t[2].cmp(&o)).to_vec(),
+            (Some(s), None, Some(o)) => {
+                range_scan(&self.osp, |t| [t[2], t[0]].cmp(&[o, s])).to_vec()
+            }
+            (None, None, None) => self.spo.clone(),
+        }
+    }
+
+    /// Counts the triples matching a pattern without materialising them.
+    pub fn count_matching(&self, pattern: EncodedPattern) -> usize {
+        let [s, p, o] = pattern;
+        match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                usize::from(self.spo.binary_search(&[s, p, o]).is_ok())
+            }
+            (Some(s), Some(p), None) => range_scan(&self.spo, |t| [t[0], t[1]].cmp(&[s, p])).len(),
+            (Some(s), None, None) => range_scan(&self.spo, |t| t[0].cmp(&s)).len(),
+            (None, Some(p), Some(o)) => range_scan(&self.pos, |t| [t[1], t[2]].cmp(&[p, o])).len(),
+            (None, Some(p), None) => range_scan(&self.pos, |t| t[1].cmp(&p)).len(),
+            (None, None, Some(o)) => range_scan(&self.osp, |t| t[2].cmp(&o)).len(),
+            (Some(s), None, Some(o)) => {
+                range_scan(&self.osp, |t| [t[2], t[0]].cmp(&[o, s])).len()
+            }
+            (None, None, None) => self.spo.len(),
+        }
+    }
+
+    /// Encodes a term without interning (returns `None` for unknown terms —
+    /// a pattern mentioning an unknown constant matches nothing).
+    pub fn encode_existing(&self, term: &str) -> Option<u32> {
+        self.dictionary.lookup(term)
+    }
+}
+
+/// Returns the contiguous slice of `sorted` whose elements compare equal
+/// under `key_cmp` (a comparison of the element against the probe key).
+fn range_scan(
+    sorted: &[EncodedTriple],
+    key_cmp: impl Fn(&EncodedTriple) -> std::cmp::Ordering,
+) -> &[EncodedTriple] {
+    let start = sorted.partition_point(|t| key_cmp(t) == std::cmp::Ordering::Less);
+    let end = sorted.partition_point(|t| key_cmp(t) != std::cmp::Ordering::Greater);
+    &sorted[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> TripleStore {
+        let mut s = TripleStore::new();
+        s.insert("a", "knows", "b");
+        s.insert("a", "knows", "c");
+        s.insert("b", "knows", "c");
+        s.insert("c", "likes", "a");
+        s.insert("a", "knows", "b"); // duplicate
+        s.build();
+        s
+    }
+
+    #[test]
+    fn build_deduplicates() {
+        let s = sample_store();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn pattern_lookup_by_each_index() {
+        let s = sample_store();
+        let knows = s.encode_existing("knows").unwrap();
+        let a = s.encode_existing("a").unwrap();
+        let c = s.encode_existing("c").unwrap();
+
+        assert_eq!(s.matching([Some(a), Some(knows), None]).len(), 2);
+        assert_eq!(s.matching([None, Some(knows), None]).len(), 3);
+        assert_eq!(s.matching([None, Some(knows), Some(c)]).len(), 2);
+        assert_eq!(s.matching([None, None, Some(c)]).len(), 2);
+        assert_eq!(s.matching([Some(a), None, None]).len(), 2);
+        assert_eq!(s.matching([None, None, None]).len(), 4);
+        assert_eq!(s.count_matching([None, Some(knows), None]), 3);
+    }
+
+    #[test]
+    fn fully_bound_lookup() {
+        let s = sample_store();
+        let a = s.encode_existing("a").unwrap();
+        let knows = s.encode_existing("knows").unwrap();
+        let b = s.encode_existing("b").unwrap();
+        assert_eq!(s.matching([Some(a), Some(knows), Some(b)]).len(), 1);
+        assert_eq!(s.matching([Some(b), Some(knows), Some(a)]).len(), 0);
+    }
+
+    #[test]
+    fn unknown_terms_lookup_to_none() {
+        let s = sample_store();
+        assert_eq!(s.encode_existing("nonexistent"), None);
+    }
+
+    #[test]
+    fn subject_object_bound_uses_osp() {
+        let s = sample_store();
+        let a = s.encode_existing("a").unwrap();
+        let c = s.encode_existing("c").unwrap();
+        let found = s.matching([Some(a), None, Some(c)]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(s.dictionary.decode(found[0][1]), Some("knows"));
+    }
+}

@@ -1,0 +1,246 @@
+//! Windowed streak detection (Section 8, Table 6).
+
+use crate::levenshtein::similar_within;
+use crate::normalize::strip_prologue;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the streak detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreakConfig {
+    /// Window size `w`: the next member of a streak must appear within this
+    /// many positions of the previous member (30 in the paper).
+    pub window: usize,
+    /// Similarity threshold on the normalized Levenshtein distance
+    /// (0.25 in the paper: queries must be at least 75 % identical).
+    pub threshold: f64,
+}
+
+impl Default for StreakConfig {
+    fn default() -> Self {
+        StreakConfig { window: 30, threshold: 0.25 }
+    }
+}
+
+/// A detected streak: the (0-based) log positions of its member queries, in
+/// order. A streak has at least two members (a seed and one refinement).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Streak {
+    /// Positions of the member queries in the log.
+    pub members: Vec<usize>,
+}
+
+impl Streak {
+    /// The streak length (number of member queries).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the streak has no members (never produced by the detector).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Detects streaks in an ordered query log.
+///
+/// Queries are first normalized with [`strip_prologue`] (prefix removal).
+/// Query `q_j` *matches* `q_i` (i < j) when they are similar and no query
+/// strictly between them is similar to `q_i`; a streak chains matches whose
+/// gaps are at most `config.window`. A query may belong to multiple streaks,
+/// exactly as the paper allows.
+pub fn detect_streaks(log: &[String], config: StreakConfig) -> Vec<Streak> {
+    let normalized: Vec<&str> = log.iter().map(|q| strip_prologue(q)).collect();
+    let n = normalized.len();
+    // Active streaks, keyed by the index of their last member.
+    let mut streaks: Vec<Streak> = Vec::new();
+    // For every position, whether it is already the last member of a streak.
+    let mut extended_from: Vec<Vec<usize>> = vec![Vec::new(); n]; // position -> streak ids ending there
+
+    for j in 0..n {
+        let window_start = j.saturating_sub(config.window);
+        for i in (window_start..j).rev() {
+            if !similar_within(normalized[i], normalized[j], config.threshold) {
+                continue;
+            }
+            // Matching requires that no query strictly between i and j is
+            // similar to q_i.
+            let mut blocked = false;
+            for k in i + 1..j {
+                if similar_within(normalized[i], normalized[k], config.threshold) {
+                    blocked = true;
+                    break;
+                }
+            }
+            if blocked {
+                continue;
+            }
+            // q_j matches q_i: extend every streak ending at i, or start a new
+            // streak [i, j].
+            let ending_here: Vec<usize> = extended_from[i].clone();
+            if ending_here.is_empty() {
+                let id = streaks.len();
+                streaks.push(Streak { members: vec![i, j] });
+                extended_from[j].push(id);
+            } else {
+                for id in ending_here {
+                    streaks[id].members.push(j);
+                    extended_from[j].push(id);
+                }
+            }
+        }
+    }
+    streaks
+}
+
+/// The streak-length histogram of Table 6: counts per length decade
+/// (1–10, 11–20, …, 91–100, >100).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreakHistogram {
+    /// Bucket counts: index 0 is length 1–10, index 9 is 91–100.
+    pub decades: [u64; 10],
+    /// Streaks longer than 100.
+    pub over_100: u64,
+    /// Total number of streaks.
+    pub total: u64,
+    /// Length of the longest streak.
+    pub longest: usize,
+}
+
+impl StreakHistogram {
+    /// Builds the histogram from detected streaks.
+    pub fn from_streaks(streaks: &[Streak]) -> StreakHistogram {
+        let mut h = StreakHistogram::default();
+        for s in streaks {
+            h.total += 1;
+            h.longest = h.longest.max(s.len());
+            let len = s.len();
+            if len > 100 {
+                h.over_100 += 1;
+            } else {
+                let bucket = (len.saturating_sub(1)) / 10;
+                h.decades[bucket.min(9)] += 1;
+            }
+        }
+        h
+    }
+
+    /// The Table-6 rows as `(label, count)`.
+    pub fn rows(&self) -> Vec<(String, u64)> {
+        let mut rows: Vec<(String, u64)> = (0..10)
+            .map(|i| (format!("{}–{}", i * 10 + 1, (i + 1) * 10), self.decades[i]))
+            .collect();
+        rows.push((">100".to_string(), self.over_100));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(s: &str) -> String {
+        s.to_string()
+    }
+
+    #[test]
+    fn detects_a_simple_refinement_streak() {
+        let log = vec![
+            q("SELECT ?x WHERE { ?x a <http://dbpedia.org/ontology/Film> }"),
+            q("ASK { <s> <p> <o> }"),
+            q("SELECT ?x WHERE { ?x a <http://dbpedia.org/ontology/Film> } LIMIT 10"),
+            q("SELECT ?x WHERE { ?x a <http://dbpedia.org/ontology/Film> } LIMIT 20"),
+        ];
+        let streaks = detect_streaks(&log, StreakConfig::default());
+        assert_eq!(streaks.len(), 1);
+        assert_eq!(streaks[0].members, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn window_limits_streak_continuation() {
+        let mut log = vec![q("SELECT ?x WHERE { ?x a <http://example.org/Class> }")];
+        // 5 unrelated (and mutually dissimilar) queries, then a query similar
+        // to the seed — with window 3 the gap is too large to match the seed.
+        log.push(q("ASK { <http://a.example/zzz> <http://p1> \"completely different literal one\" }"));
+        log.push(q("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o . ?o <http://q> ?r }"));
+        log.push(q("DESCRIBE <http://resource.example/described-thing-42>"));
+        log.push(q("ASK { ?x <http://totally.other/pred> ?y . ?y <http://totally.other/p2> ?z . FILTER(?z > 100) }"));
+        log.push(q("SELECT (COUNT(*) AS ?c) WHERE { GRAPH ?g { ?a ?b ?c } } GROUP BY ?g HAVING (COUNT(*) > 5)"));
+        let seed_and_late = log.len();
+        log.push(q("SELECT ?x WHERE { ?x a <http://example.org/Class> } LIMIT 5"));
+        let narrow = detect_streaks(&log, StreakConfig { window: 3, threshold: 0.25 });
+        assert!(narrow.iter().all(|s| !s.members.contains(&seed_and_late)));
+        let wide = detect_streaks(&log, StreakConfig { window: 30, threshold: 0.25 });
+        assert!(wide.iter().any(|s| s.members == vec![0, seed_and_late]));
+    }
+
+    #[test]
+    fn dissimilar_queries_do_not_form_streaks() {
+        let log = vec![
+            q("SELECT ?x WHERE { ?x a <http://A> }"),
+            q("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o . ?o ?q ?r . FILTER(?r > 10) }"),
+            q("DESCRIBE <http://resource/42>"),
+        ];
+        assert!(detect_streaks(&log, StreakConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn prefix_differences_do_not_break_similarity() {
+        let log = vec![
+            q("PREFIX dbo: <http://dbpedia.org/ontology/> SELECT ?x WHERE { ?x a <http://dbpedia.org/ontology/City> }"),
+            q("PREFIX dbpedia-owl: <http://dbpedia.org/ontology/> PREFIX foaf: <http://xmlns.com/foaf/0.1/> SELECT ?x WHERE { ?x a <http://dbpedia.org/ontology/City> }"),
+        ];
+        let streaks = detect_streaks(&log, StreakConfig::default());
+        assert_eq!(streaks.len(), 1);
+    }
+
+    #[test]
+    fn intermediate_similar_query_consumes_the_match() {
+        // q2 is similar to q0, so q3 cannot match q0 directly (condition (2)),
+        // but it matches q2 — the three queries still chain into one streak.
+        let log = vec![
+            q("SELECT ?x WHERE { ?x a <http://example.org/Album> }"),
+            q("SELECT ?x WHERE { ?x a <http://example.org/Album> } LIMIT 1"),
+            q("SELECT ?x WHERE { ?x a <http://example.org/Album> } LIMIT 12"),
+        ];
+        let streaks = detect_streaks(&log, StreakConfig::default());
+        assert_eq!(streaks.len(), 1);
+        assert_eq!(streaks[0].members, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn a_query_can_seed_multiple_streaks() {
+        // q0 and q1 are not similar to each other, but q2 is similar to both:
+        // it extends a streak from q0 and one from q1 (the paper's example of
+        // a query belonging to multiple streaks).
+        let log = vec![
+            q("SELECT ?film WHERE { ?film a <http://dbpedia.org/ontology/Film> . ?film <http://dbpedia.org/ontology/director> ?d }"),
+            q("SELECT ?film ?star WHERE { ?film a <http://dbpedia.org/ontology/Film> . ?film <http://dbpedia.org/ontology/starring> ?star . ?star <http://dbpedia.org/ontology/birthPlace> ?p }"),
+            q("SELECT ?film ?x WHERE { ?film a <http://dbpedia.org/ontology/Film> . ?film <http://dbpedia.org/ontology/starring> ?x . ?film <http://dbpedia.org/ontology/director> ?d }"),
+        ];
+        let config = StreakConfig { window: 30, threshold: 0.45 };
+        let streaks = detect_streaks(&log, config);
+        // Depending on exact distances q2 may match one or both seeds; it must
+        // match at least one and every streak must contain q2.
+        assert!(!streaks.is_empty());
+        assert!(streaks.iter().all(|s| s.members.contains(&2)));
+    }
+
+    #[test]
+    fn histogram_buckets_lengths_by_decade() {
+        let streaks = vec![
+            Streak { members: (0..2).collect() },
+            Streak { members: (0..10).collect() },
+            Streak { members: (0..11).collect() },
+            Streak { members: (0..150).collect() },
+        ];
+        let h = StreakHistogram::from_streaks(&streaks);
+        assert_eq!(h.total, 4);
+        assert_eq!(h.decades[0], 2);
+        assert_eq!(h.decades[1], 1);
+        assert_eq!(h.over_100, 1);
+        assert_eq!(h.longest, 150);
+        let rows = h.rows();
+        assert_eq!(rows.len(), 11);
+        assert_eq!(rows[0].1, 2);
+    }
+}

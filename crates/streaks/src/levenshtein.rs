@@ -1,0 +1,108 @@
+//! Levenshtein edit distance with the normalization used in the paper.
+
+/// Computes the Levenshtein (edit) distance between two strings, operating on
+/// Unicode scalar values. Uses the standard two-row dynamic program.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The normalized Levenshtein distance: the edit distance divided by the
+/// length (in characters) of the longer string. Two empty strings have
+/// distance 0.
+pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
+    let longer = a.chars().count().max(b.chars().count());
+    if longer == 0 {
+        return 0.0;
+    }
+    levenshtein(a, b) as f64 / longer as f64
+}
+
+/// True if the normalized Levenshtein distance is at most `threshold`.
+///
+/// A cheap length-difference lower bound short-circuits most non-similar
+/// pairs before running the quadratic dynamic program, which matters because
+/// streak detection compares each query against a window of predecessors.
+pub fn similar_within(a: &str, b: &str, threshold: f64) -> bool {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let longer = la.max(lb);
+    if longer == 0 {
+        return true;
+    }
+    // |la - lb| is a lower bound on the edit distance.
+    if (la.abs_diff(lb)) as f64 / longer as f64 > threshold {
+        return false;
+    }
+    normalized_levenshtein(a, b) <= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert_eq!(levenshtein("abcdef", "azced"), levenshtein("azced", "abcdef"));
+    }
+
+    #[test]
+    fn unicode_is_handled_per_character() {
+        assert_eq!(levenshtein("über", "uber"), 1);
+        assert_eq!(levenshtein("héllo", "hello"), 1);
+    }
+
+    #[test]
+    fn normalization_divides_by_longer_length() {
+        assert!((normalized_levenshtein("kitten", "sitting") - 3.0 / 7.0).abs() < 1e-9);
+        assert_eq!(normalized_levenshtein("", ""), 0.0);
+        assert_eq!(normalized_levenshtein("abcd", ""), 1.0);
+    }
+
+    #[test]
+    fn similarity_threshold() {
+        // 25% threshold as in the paper.
+        assert!(similar_within("SELECT ?x WHERE { ?x a <C> }", "SELECT ?y WHERE { ?y a <C> }", 0.25));
+        assert!(!similar_within("SELECT ?x WHERE { ?x a <C> }", "ASK { <s> <p> <o> }", 0.25));
+    }
+
+    #[test]
+    fn length_prefilter_agrees_with_exact_test() {
+        let cases = [
+            ("SELECT ?x WHERE { ?x a <C> }", "SELECT ?x WHERE { ?x a <C> } LIMIT 10"),
+            ("abc", "abcdefghijklmnop"),
+            ("", "x"),
+        ];
+        for (a, b) in cases {
+            let expected = normalized_levenshtein(a, b) <= 0.25;
+            assert_eq!(similar_within(a, b, 0.25), expected, "{a:?} vs {b:?}");
+        }
+    }
+}

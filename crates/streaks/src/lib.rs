@@ -1,0 +1,25 @@
+//! # sparqlog-streaks
+//!
+//! Detection of *streaks* — sequences of similar queries that appear as
+//! gradual refinements of a seed query — in SPARQL query logs, implementing
+//! Section 8 of *"An Analytical Study of Large SPARQL Query Logs"*
+//! (Bonifati–Martens–Timm, VLDB 2017).
+//!
+//! Two queries are *similar* when their normalized Levenshtein distance,
+//! after removing namespace prefixes, is at most a threshold (25 % in the
+//! paper). Queries `qi` and `qj` (i < j) *match* when they are similar and no
+//! intermediate query is similar to `qi`. A *streak* with window size `w` is
+//! a maximal sequence of queries in which each next member matches the
+//! previous one within `w` positions (Table 6 reports the streak-length
+//! histogram for three single-day DBpedia logs, with `w = 30`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod levenshtein;
+pub mod normalize;
+
+pub use detect::{detect_streaks, Streak, StreakConfig, StreakHistogram};
+pub use levenshtein::{levenshtein, normalized_levenshtein, similar_within};
+pub use normalize::strip_prologue;

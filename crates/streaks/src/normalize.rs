@@ -1,0 +1,82 @@
+//! Query normalization before similarity measurement.
+//!
+//! The paper removes namespace prefixes prior to measuring Levenshtein
+//! distance "because they introduce superficial similarity", requiring
+//! queries to be at least 75 % identical *starting from the first occurrence
+//! of the keywords Select, Ask, Construct, or Describe*.
+
+/// Strips everything before the first query-form keyword (SELECT / ASK /
+/// CONSTRUCT / DESCRIBE, case-insensitive). If no keyword is found the input
+/// is returned unchanged.
+pub fn strip_prologue(query: &str) -> &str {
+    let lower = query.to_ascii_lowercase();
+    let mut best: Option<usize> = None;
+    for kw in ["select", "ask", "construct", "describe"] {
+        if let Some(pos) = find_keyword(&lower, kw) {
+            best = Some(best.map_or(pos, |b: usize| b.min(pos)));
+        }
+    }
+    match best {
+        Some(pos) => &query[pos..],
+        None => query,
+    }
+}
+
+/// Finds a keyword at a word boundary (so that e.g. an IRI containing
+/// "describe" inside a PREFIX declaration does not match).
+fn find_keyword(haystack_lower: &str, keyword: &str) -> Option<usize> {
+    let bytes = haystack_lower.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = haystack_lower[start..].find(keyword) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || !bytes[abs - 1].is_ascii_alphanumeric();
+        let after = abs + keyword.len();
+        let after_ok = after >= bytes.len() || !bytes[after].is_ascii_alphanumeric();
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        start = abs + keyword.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_prefix_declarations() {
+        let q = "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\nSELECT ?x WHERE { ?x foaf:name ?n }";
+        assert!(strip_prologue(q).starts_with("SELECT"));
+    }
+
+    #[test]
+    fn keeps_queries_without_prologue() {
+        let q = "ASK { ?x a <C> }";
+        assert_eq!(strip_prologue(q), q);
+    }
+
+    #[test]
+    fn is_case_insensitive() {
+        let q = "prefix : <http://e/> select ?x where { ?x :p ?y }";
+        assert!(strip_prologue(q).starts_with("select"));
+    }
+
+    #[test]
+    fn ignores_keywords_inside_iris() {
+        let q = "PREFIX d: <http://example.org/describes/> SELECT ?x WHERE { ?x d:p ?y }";
+        assert!(strip_prologue(q).starts_with("SELECT"));
+    }
+
+    #[test]
+    fn picks_the_earliest_form_keyword() {
+        let q = "BASE <http://b/> DESCRIBE ?x";
+        assert!(strip_prologue(q).starts_with("DESCRIBE"));
+    }
+
+    #[test]
+    fn no_keyword_returns_input() {
+        let q = "this is not a query";
+        assert_eq!(strip_prologue(q), q);
+    }
+}

@@ -1,0 +1,129 @@
+//! Whole-corpus generation: one synthetic log per dataset, scaled down from
+//! the Table-1 sizes so the full pipeline runs in seconds on a laptop.
+
+use crate::generator::Synthesizer;
+use crate::profile::{Dataset, DatasetProfile};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for corpus generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Scale factor applied to every dataset's Table-1 size (e.g. `1e-4`
+    /// produces a ~18k-entry corpus). WikiData17 is always generated in full
+    /// (309 entries) because it is tiny and qualitatively different.
+    pub scale: f64,
+    /// Base RNG seed; each dataset derives its own seed from it.
+    pub seed: u64,
+    /// Upper bound on entries per dataset (guards against accidental huge
+    /// runs); `0` means no cap.
+    pub max_entries_per_dataset: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig { scale: 1e-4, seed: 42, max_entries_per_dataset: 0 }
+    }
+}
+
+/// One generated dataset log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetLog {
+    /// Which dataset the log simulates.
+    pub dataset: Dataset,
+    /// The log entries (queries, duplicates and invalid lines) in order.
+    pub entries: Vec<String>,
+}
+
+/// A full synthetic corpus: one log per dataset, in Table-1 order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    /// The configuration used.
+    pub config: CorpusConfig,
+    /// The per-dataset logs.
+    pub logs: Vec<DatasetLog>,
+}
+
+impl Corpus {
+    /// Total number of log entries across all datasets.
+    pub fn total_entries(&self) -> u64 {
+        self.logs.iter().map(|l| l.entries.len() as u64).sum()
+    }
+}
+
+/// Generates a synthetic corpus covering all 13 datasets.
+pub fn generate_corpus(config: CorpusConfig) -> Corpus {
+    let logs = Dataset::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, dataset)| {
+            let profile = DatasetProfile::of(*dataset);
+            let mut entries = if *dataset == Dataset::WikiData17 {
+                profile.total_queries
+            } else {
+                profile.scaled_total(config.scale)
+            };
+            if config.max_entries_per_dataset > 0 {
+                entries = entries.min(config.max_entries_per_dataset);
+            }
+            let mut synth = Synthesizer::new(profile, config.seed.wrapping_add(i as u64 * 7919));
+            DatasetLog { dataset: *dataset, entries: synth.generate_log(entries) }
+        })
+        .collect();
+    Corpus { config, logs }
+}
+
+/// Generates a single-day style log for one dataset with approximately
+/// `entries` entries — used by the streak analysis (Table 6), which the paper
+/// runs on three single-day DBpedia log files.
+pub fn generate_single_day_log(dataset: Dataset, entries: u64, seed: u64) -> DatasetLog {
+    let mut profile = DatasetProfile::of(dataset);
+    // Single-day endpoint traffic shows more refinement behaviour than the
+    // deduplicated corpus: raise the streak probability.
+    profile.streak_start = profile.streak_start.max(0.05);
+    let mut synth = Synthesizer::new(profile, seed);
+    DatasetLog { dataset, entries: synth.generate_log(entries) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_all_datasets_in_order() {
+        let corpus = generate_corpus(CorpusConfig { scale: 1e-5, seed: 1, max_entries_per_dataset: 0 });
+        assert_eq!(corpus.logs.len(), 13);
+        assert_eq!(corpus.logs[0].dataset, Dataset::DBpedia0912);
+        assert_eq!(corpus.logs[12].dataset, Dataset::WikiData17);
+        // WikiData is generated in full.
+        assert_eq!(corpus.logs[12].entries.len(), 309);
+        assert!(corpus.total_entries() > 1000);
+    }
+
+    #[test]
+    fn scale_controls_corpus_size() {
+        let small = generate_corpus(CorpusConfig { scale: 1e-6, seed: 1, max_entries_per_dataset: 0 });
+        let large = generate_corpus(CorpusConfig { scale: 1e-5, seed: 1, max_entries_per_dataset: 0 });
+        assert!(large.total_entries() > small.total_entries());
+    }
+
+    #[test]
+    fn per_dataset_cap_is_respected() {
+        let corpus = generate_corpus(CorpusConfig { scale: 1e-3, seed: 1, max_entries_per_dataset: 100 });
+        assert!(corpus.logs.iter().all(|l| l.entries.len() <= 309));
+        assert!(corpus.logs.iter().filter(|l| l.dataset != Dataset::WikiData17).all(|l| l.entries.len() <= 100));
+    }
+
+    #[test]
+    fn corpus_generation_is_deterministic() {
+        let a = generate_corpus(CorpusConfig { scale: 1e-6, seed: 9, max_entries_per_dataset: 0 });
+        let b = generate_corpus(CorpusConfig { scale: 1e-6, seed: 9, max_entries_per_dataset: 0 });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_day_log_has_requested_size() {
+        let log = generate_single_day_log(Dataset::DBpedia15, 500, 3);
+        assert_eq!(log.entries.len(), 500);
+        assert_eq!(log.dataset, Dataset::DBpedia15);
+    }
+}

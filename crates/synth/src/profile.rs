@@ -1,0 +1,445 @@
+//! Dataset identities and calibrated generation profiles.
+//!
+//! The original study analyses 13 query logs (Table 1) that are not
+//! redistributable (USEWOD and Openlink license terms). This module encodes,
+//! for each log, the *published* per-dataset statistics — corpus sizes,
+//! query-form mix, triples-per-query distribution, operator/modifier usage,
+//! shape mix — as a [`DatasetProfile`]. The synthesizer in
+//! [`crate::generator`] draws from these marginals, so a synthetic corpus
+//! exercises the same code paths and reproduces the shape of every table in
+//! the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// The 13 query logs of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dataset {
+    /// DBpedia logs from USEWOD'13 (queries from 2009–2012).
+    DBpedia0912,
+    /// DBpedia 2013.
+    DBpedia13,
+    /// DBpedia 2014.
+    DBpedia14,
+    /// DBpedia 2015.
+    DBpedia15,
+    /// DBpedia 2016.
+    DBpedia16,
+    /// LinkedGeoData 2013.
+    Lgd13,
+    /// LinkedGeoData 2014.
+    Lgd14,
+    /// BioPortal 2013.
+    BioP13,
+    /// BioPortal 2014.
+    BioP14,
+    /// OpenBioMed 2013.
+    BioMed13,
+    /// Semantic Web Dog Food 2013.
+    Swdf13,
+    /// British Museum 2014.
+    BritM14,
+    /// WikiData example queries (February 2017).
+    WikiData17,
+}
+
+impl Dataset {
+    /// All datasets, in the order of Table 1.
+    pub const ALL: [Dataset; 13] = [
+        Dataset::DBpedia0912,
+        Dataset::DBpedia13,
+        Dataset::DBpedia14,
+        Dataset::DBpedia15,
+        Dataset::DBpedia16,
+        Dataset::Lgd13,
+        Dataset::Lgd14,
+        Dataset::BioP13,
+        Dataset::BioP14,
+        Dataset::BioMed13,
+        Dataset::Swdf13,
+        Dataset::BritM14,
+        Dataset::WikiData17,
+    ];
+
+    /// The label used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Dataset::DBpedia0912 => "DBpedia9/12",
+            Dataset::DBpedia13 => "DBpedia13",
+            Dataset::DBpedia14 => "DBpedia14",
+            Dataset::DBpedia15 => "DBpedia15",
+            Dataset::DBpedia16 => "DBpedia16",
+            Dataset::Lgd13 => "LGD13",
+            Dataset::Lgd14 => "LGD14",
+            Dataset::BioP13 => "BioP13",
+            Dataset::BioP14 => "BioP14",
+            Dataset::BioMed13 => "BioMed13",
+            Dataset::Swdf13 => "SWDF13",
+            Dataset::BritM14 => "BritM14",
+            Dataset::WikiData17 => "WikiData17",
+        }
+    }
+
+    /// The IRI namespace used for synthetic vocabulary of this dataset.
+    pub fn namespace(&self) -> &'static str {
+        match self {
+            Dataset::DBpedia0912
+            | Dataset::DBpedia13
+            | Dataset::DBpedia14
+            | Dataset::DBpedia15
+            | Dataset::DBpedia16 => "http://dbpedia.org/ontology/",
+            Dataset::Lgd13 | Dataset::Lgd14 => "http://linkedgeodata.org/ontology/",
+            Dataset::BioP13 | Dataset::BioP14 => "http://bioportal.bioontology.org/ontologies/",
+            Dataset::BioMed13 => "http://openbiomed.example.org/vocab/",
+            Dataset::Swdf13 => "http://data.semanticweb.org/ns/swc/ontology#",
+            Dataset::BritM14 => "http://collection.britishmuseum.org/id/ontology/",
+            Dataset::WikiData17 => "http://www.wikidata.org/prop/direct/",
+        }
+    }
+}
+
+/// Per-query-form mix (fractions summing to ~1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FormMix {
+    /// Fraction of SELECT queries.
+    pub select: f64,
+    /// Fraction of ASK queries.
+    pub ask: f64,
+    /// Fraction of DESCRIBE queries.
+    pub describe: f64,
+    /// Fraction of CONSTRUCT queries.
+    pub construct: f64,
+}
+
+/// Probabilities that a query uses each solution modifier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModifierProbs {
+    /// `DISTINCT`.
+    pub distinct: f64,
+    /// `LIMIT`.
+    pub limit: f64,
+    /// `OFFSET` (always emitted together with LIMIT).
+    pub offset: f64,
+    /// `ORDER BY`.
+    pub order_by: f64,
+    /// `GROUP BY` (with an aggregate in the projection).
+    pub group_by: f64,
+}
+
+/// Probabilities that a query body uses each operator / feature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatorProbs {
+    /// `FILTER`.
+    pub filter: f64,
+    /// `OPTIONAL`.
+    pub optional: f64,
+    /// `UNION`.
+    pub union: f64,
+    /// `GRAPH`.
+    pub graph: f64,
+    /// `MINUS`.
+    pub minus: f64,
+    /// `FILTER NOT EXISTS`.
+    pub not_exists: f64,
+    /// `BIND`.
+    pub bind: f64,
+    /// Subqueries.
+    pub subquery: f64,
+    /// Property paths.
+    pub property_path: f64,
+    /// Aggregates (COUNT et al.).
+    pub aggregate: f64,
+    /// Non-simple filters (two-variable comparisons) given that a filter is
+    /// generated.
+    pub complex_filter: f64,
+    /// Variable in predicate position (per triple).
+    pub var_predicate: f64,
+}
+
+/// The mix of canonical-graph shapes for multi-triple CQ-like queries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShapeMix {
+    /// Chain-shaped bodies.
+    pub chain: f64,
+    /// Star-shaped bodies.
+    pub star: f64,
+    /// Non-chain, non-star trees.
+    pub tree: f64,
+    /// Plain cycles.
+    pub cycle: f64,
+    /// Flowers (a petal plus chains attached to a centre).
+    pub flower: f64,
+}
+
+/// The complete generation profile of one dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Which dataset this is.
+    pub dataset: Dataset,
+    /// Total log entries in the real corpus (Table 1, "Total").
+    pub total_queries: u64,
+    /// Fraction of entries that parse as SPARQL queries ("Valid" / "Total").
+    pub valid_share: f64,
+    /// Fraction of valid queries that are unique ("Unique" / "Valid").
+    pub unique_share: f64,
+    /// Query-form mix.
+    pub form_mix: FormMix,
+    /// Distribution of triples per SELECT/ASK query: shares for 0, 1, …, 10
+    /// and 11+ triples (12 buckets, summing to ~1).
+    pub triple_buckets: [f64; 12],
+    /// Mean number of triples for 11+ bucket queries.
+    pub heavy_tail_mean: f64,
+    /// Solution-modifier probabilities.
+    pub modifiers: ModifierProbs,
+    /// Operator probabilities.
+    pub operators: OperatorProbs,
+    /// Shape mix for multi-triple queries.
+    pub shapes: ShapeMix,
+    /// Fraction of DESCRIBE queries that have no body (97 % corpus-wide).
+    pub describe_bodyless: f64,
+    /// Probability that a query starts a refinement streak.
+    pub streak_start: f64,
+    /// Expected streak length (geometric distribution parameter).
+    pub streak_continue: f64,
+}
+
+impl DatasetProfile {
+    /// The calibrated profile of a dataset. Values follow Table 1, Figure 1,
+    /// Table 2/3 and the per-dataset remarks in Sections 2 and 4 of the
+    /// paper; they are target *marginals*, not exact per-query ground truth.
+    pub fn of(dataset: Dataset) -> DatasetProfile {
+        use Dataset::*;
+        // Corpus-wide defaults, specialised per dataset below.
+        let mut p = DatasetProfile {
+            dataset,
+            total_queries: 1_000_000,
+            valid_share: 0.95,
+            unique_share: 0.45,
+            form_mix: FormMix { select: 0.88, ask: 0.05, describe: 0.045, construct: 0.025 },
+            triple_buckets: [0.02, 0.55, 0.17, 0.08, 0.05, 0.04, 0.03, 0.02, 0.01, 0.01, 0.01, 0.01],
+            heavy_tail_mean: 14.0,
+            modifiers: ModifierProbs {
+                distinct: 0.22,
+                limit: 0.17,
+                offset: 0.06,
+                order_by: 0.02,
+                group_by: 0.003,
+            },
+            operators: OperatorProbs {
+                filter: 0.40,
+                optional: 0.16,
+                union: 0.19,
+                graph: 0.03,
+                minus: 0.014,
+                not_exists: 0.017,
+                bind: 0.008,
+                subquery: 0.0054,
+                property_path: 0.004,
+                aggregate: 0.006,
+                complex_filter: 0.16,
+                var_predicate: 0.10,
+            },
+            shapes: ShapeMix { chain: 0.55, star: 0.25, tree: 0.17, cycle: 0.01, flower: 0.02 },
+            describe_bodyless: 0.97,
+            streak_start: 0.02,
+            streak_continue: 0.6,
+        };
+        match dataset {
+            DBpedia0912 => {
+                p.total_queries = 28_534_301;
+                p.valid_share = 0.9496;
+                p.unique_share = 0.4959;
+                p.form_mix = FormMix { select: 0.92, ask: 0.05, describe: 0.02, construct: 0.01 };
+                p.modifiers.distinct = 0.18;
+            }
+            DBpedia13 => {
+                p.total_queries = 5_243_853;
+                p.valid_share = 0.9191;
+                p.unique_share = 0.5452;
+                p.form_mix = FormMix { select: 0.90, ask: 0.04, describe: 0.04, construct: 0.02 };
+                p.modifiers.distinct = 0.08;
+                p.modifiers.offset = 0.12;
+                // DBpedia13 has the largest share of 11+-triple queries (~21%).
+                p.triple_buckets =
+                    [0.01, 0.40, 0.12, 0.07, 0.05, 0.04, 0.03, 0.03, 0.02, 0.01, 0.01, 0.21];
+            }
+            DBpedia14 => {
+                p.total_queries = 37_219_788;
+                p.valid_share = 0.9134;
+                p.unique_share = 0.5065;
+                p.form_mix = FormMix { select: 0.915, ask: 0.035, describe: 0.04, construct: 0.01 };
+                p.modifiers.distinct = 0.11;
+            }
+            DBpedia15 => {
+                p.total_queries = 43_478_986;
+                p.valid_share = 0.9823;
+                p.unique_share = 0.3103;
+                p.form_mix = FormMix { select: 0.815, ask: 0.115, describe: 0.05, construct: 0.02 };
+                p.modifiers.distinct = 0.38;
+            }
+            DBpedia16 => {
+                p.total_queries = 15_098_176;
+                p.valid_share = 0.9728;
+                p.unique_share = 0.2975;
+                p.form_mix = FormMix { select: 0.62, ask: 0.02, describe: 0.34, construct: 0.02 };
+                p.modifiers.distinct = 0.08;
+            }
+            Lgd13 => {
+                p.total_queries = 1_841_880;
+                p.valid_share = 0.8219;
+                p.unique_share = 0.2364;
+                p.form_mix = FormMix { select: 0.28, ask: 0.01, describe: 0.0, construct: 0.71 };
+                p.modifiers.offset = 0.13;
+            }
+            Lgd14 => {
+                p.total_queries = 1_999_961;
+                p.valid_share = 0.9646;
+                p.unique_share = 0.3259;
+                p.form_mix = FormMix { select: 0.955, ask: 0.02, describe: 0.005, construct: 0.02 };
+                p.operators.filter = 0.61;
+                p.operators.aggregate = 0.31;
+                p.modifiers.limit = 0.41;
+                p.modifiers.offset = 0.38;
+                p.modifiers.group_by = 0.05;
+            }
+            BioP13 => {
+                p.total_queries = 4_627_271;
+                p.valid_share = 0.9994;
+                p.unique_share = 0.1487;
+                p.form_mix = FormMix { select: 0.99, ask: 0.01, describe: 0.0, construct: 0.0 };
+                p.operators.graph = 0.80;
+                p.operators.filter = 0.02;
+                p.modifiers.distinct = 0.82;
+                // Almost exclusively 1-2 triple queries.
+                p.triple_buckets =
+                    [0.01, 0.84, 0.13, 0.01, 0.005, 0.002, 0.001, 0.001, 0.001, 0.0, 0.0, 0.0];
+            }
+            BioP14 => {
+                p.total_queries = 26_438_933;
+                p.valid_share = 0.9987;
+                p.unique_share = 0.0830;
+                p.form_mix = FormMix { select: 0.99, ask: 0.007, describe: 0.0, construct: 0.003 };
+                p.operators.graph = 0.40;
+                p.operators.filter = 0.03;
+                p.modifiers.distinct = 0.69;
+                p.triple_buckets =
+                    [0.01, 0.70, 0.20, 0.05, 0.02, 0.01, 0.004, 0.002, 0.002, 0.001, 0.001, 0.0];
+            }
+            BioMed13 => {
+                p.total_queries = 883_374;
+                p.valid_share = 0.9994;
+                p.unique_share = 0.0306;
+                p.form_mix = FormMix { select: 0.105, ask: 0.024, describe: 0.847, construct: 0.024 };
+                p.triple_buckets =
+                    [0.02, 0.45, 0.15, 0.08, 0.06, 0.05, 0.04, 0.03, 0.02, 0.02, 0.02, 0.06];
+            }
+            Swdf13 => {
+                p.total_queries = 13_762_797;
+                p.valid_share = 0.9895;
+                p.unique_share = 0.0903;
+                p.form_mix = FormMix { select: 0.945, ask: 0.016, describe: 0.025, construct: 0.014 };
+                p.modifiers.limit = 0.47;
+                p.triple_buckets =
+                    [0.02, 0.68, 0.18, 0.06, 0.03, 0.01, 0.01, 0.004, 0.003, 0.002, 0.001, 0.0];
+            }
+            BritM14 => {
+                p.total_queries = 1_523_827;
+                p.valid_share = 0.9932;
+                p.unique_share = 0.0893;
+                p.form_mix = FormMix { select: 0.98, ask: 0.006, describe: 0.01, construct: 0.004 };
+                p.modifiers.distinct = 0.97;
+                // Fixed templates with many triples (Avg#T 5.47).
+                p.triple_buckets =
+                    [0.0, 0.05, 0.10, 0.15, 0.15, 0.15, 0.15, 0.10, 0.06, 0.04, 0.03, 0.02];
+            }
+            WikiData17 => {
+                p.total_queries = 309;
+                p.valid_share = 308.0 / 309.0;
+                p.unique_share = 1.0;
+                p.form_mix = FormMix { select: 0.97, ask: 0.027, describe: 0.0, construct: 0.003 };
+                p.modifiers.order_by = 0.42;
+                p.modifiers.group_by = 0.30;
+                p.modifiers.limit = 0.35;
+                p.operators.property_path = 0.2987;
+                p.operators.subquery = 0.0974;
+                p.operators.aggregate = 0.30;
+                p.operators.optional = 0.45;
+                p.operators.filter = 0.35;
+                p.streak_start = 0.0;
+                p.triple_buckets =
+                    [0.0, 0.18, 0.22, 0.18, 0.12, 0.09, 0.07, 0.05, 0.03, 0.02, 0.02, 0.02];
+            }
+        }
+        p
+    }
+
+    /// All thirteen profiles in Table-1 order.
+    pub fn all() -> Vec<DatasetProfile> {
+        Dataset::ALL.iter().map(|d| DatasetProfile::of(*d)).collect()
+    }
+
+    /// The expected number of valid queries at a given corpus scale.
+    pub fn scaled_total(&self, scale: f64) -> u64 {
+        ((self.total_queries as f64) * scale).round().max(1.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_have_sane_distributions() {
+        for p in DatasetProfile::all() {
+            let form_sum = p.form_mix.select + p.form_mix.ask + p.form_mix.describe + p.form_mix.construct;
+            assert!((form_sum - 1.0).abs() < 0.05, "{:?} form mix sums to {form_sum}", p.dataset);
+            let bucket_sum: f64 = p.triple_buckets.iter().sum();
+            assert!((bucket_sum - 1.0).abs() < 0.05, "{:?} buckets sum to {bucket_sum}", p.dataset);
+            assert!(p.valid_share > 0.0 && p.valid_share <= 1.0);
+            assert!(p.unique_share > 0.0 && p.unique_share <= 1.0);
+            let shape_sum =
+                p.shapes.chain + p.shapes.star + p.shapes.tree + p.shapes.cycle + p.shapes.flower;
+            assert!((shape_sum - 1.0).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn table1_totals_match_the_paper() {
+        // The per-dataset rows of Table 1 sum to 180,653,456 (the table's
+        // printed total, 180,653,910, differs from its own rows by 454).
+        let total: u64 = DatasetProfile::all().iter().map(|p| p.total_queries).sum();
+        assert_eq!(total, 180_653_456);
+        assert_eq!(DatasetProfile::of(Dataset::WikiData17).total_queries, 309);
+        assert_eq!(DatasetProfile::of(Dataset::DBpedia15).total_queries, 43_478_986);
+    }
+
+    #[test]
+    fn dataset_labels_and_namespaces() {
+        assert_eq!(Dataset::DBpedia0912.label(), "DBpedia9/12");
+        assert_eq!(Dataset::ALL.len(), 13);
+        assert!(Dataset::WikiData17.namespace().contains("wikidata"));
+        assert!(Dataset::BritM14.namespace().contains("britishmuseum"));
+    }
+
+    #[test]
+    fn dataset_specific_characteristics_are_encoded() {
+        // BioMed13 is dominated by DESCRIBE queries.
+        assert!(DatasetProfile::of(Dataset::BioMed13).form_mix.describe > 0.8);
+        // LGD13 is dominated by CONSTRUCT queries.
+        assert!(DatasetProfile::of(Dataset::Lgd13).form_mix.construct > 0.7);
+        // BritM14 almost always uses DISTINCT.
+        assert!(DatasetProfile::of(Dataset::BritM14).modifiers.distinct > 0.9);
+        // BioPortal is the GRAPH-heavy source.
+        assert!(DatasetProfile::of(Dataset::BioP13).operators.graph > 0.5);
+        // WikiData17 uses ORDER BY and property paths far more than others.
+        let wd = DatasetProfile::of(Dataset::WikiData17);
+        assert!(wd.modifiers.order_by > 0.4);
+        assert!(wd.operators.property_path > 0.25);
+    }
+
+    #[test]
+    fn scaling_keeps_at_least_one_query() {
+        let p = DatasetProfile::of(Dataset::WikiData17);
+        assert!(p.scaled_total(0.000001) >= 1);
+        assert_eq!(p.scaled_total(1.0), 309);
+    }
+}

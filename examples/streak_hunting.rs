@@ -1,0 +1,30 @@
+//! Find refinement streaks in a (synthetic) single-day DBpedia log, the way
+//! Section 8 of the paper does, and print the longest one.
+//!
+//! Run with `cargo run --release --example streak_hunting`.
+
+use sparqlog::streaks::{detect_streaks, StreakConfig, StreakHistogram};
+use sparqlog::synth::{generate_single_day_log, Dataset};
+
+fn main() {
+    let log = generate_single_day_log(Dataset::DBpedia16, 2_000, 99);
+    println!("single-day log with {} entries", log.entries.len());
+
+    let config = StreakConfig { window: 30, threshold: 0.25 };
+    let streaks = detect_streaks(&log.entries, config);
+    let histogram = StreakHistogram::from_streaks(&streaks);
+
+    println!("streaks found: {}", histogram.total);
+    println!("longest streak: {} queries", histogram.longest);
+    for (label, count) in histogram.rows() {
+        println!("  length {label:<8} {count}");
+    }
+
+    if let Some(longest) = streaks.iter().max_by_key(|s| s.len()) {
+        println!("\nthe longest streak's first and last member:");
+        let first = &log.entries[longest.members[0]];
+        let last = &log.entries[*longest.members.last().expect("non-empty")];
+        println!("  seed:  {first}");
+        println!("  final: {last}");
+    }
+}

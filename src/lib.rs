@@ -1,0 +1,45 @@
+//! # sparqlog
+//!
+//! An analytical toolkit for large SPARQL query logs, reproducing the system
+//! behind *"An Analytical Study of Large SPARQL Query Logs"* (Bonifati,
+//! Martens, Timm; VLDB 2017).
+//!
+//! This umbrella crate re-exports the individual workspace crates so that a
+//! downstream user can depend on a single crate:
+//!
+//! * [`parser`] — SPARQL 1.1 lexer, AST and recursive-descent parser.
+//! * [`algebra`] — shallow analysis (keywords, triples, operator sets,
+//!   projection) and query fragments (CQ, CPF, CQF, AOF, well-designed, CQOF).
+//! * [`graph`] — canonical graph / hypergraph construction, shape
+//!   classification, treewidth and generalized hypertree width.
+//! * [`paths`] — property-path taxonomy and C_tract tractability test.
+//! * [`store`] — an in-memory RDF store with a binary-join and a
+//!   worst-case-optimal trie-join engine.
+//! * [`gmark`] — a schema-driven graph and query-workload generator.
+//! * [`synth`] — a per-dataset calibrated SPARQL query-log synthesizer.
+//! * [`streaks`] — Levenshtein-based streak detection over query logs.
+//! * [`core`] — the corpus pipeline and the per-table/figure report drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sparqlog::parser::parse_query;
+//! use sparqlog::algebra::QueryFeatures;
+//!
+//! let q = parse_query(
+//!     "SELECT ?s WHERE { ?s <http://xmlns.com/foaf/0.1/name> ?n . FILTER(lang(?n) = 'en') }",
+//! ).expect("valid SPARQL");
+//! let feats = QueryFeatures::of(&q);
+//! assert_eq!(feats.triple_patterns, 1);
+//! assert!(feats.uses_filter);
+//! ```
+
+pub use sparqlog_algebra as algebra;
+pub use sparqlog_core as core;
+pub use sparqlog_gmark as gmark;
+pub use sparqlog_graph as graph;
+pub use sparqlog_parser as parser;
+pub use sparqlog_paths as paths;
+pub use sparqlog_store as store;
+pub use sparqlog_streaks as streaks;
+pub use sparqlog_synth as synth;

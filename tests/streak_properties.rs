@@ -1,0 +1,73 @@
+//! Property-based tests of the streak detector (Section 8).
+
+use proptest::prelude::*;
+use sparqlog::streaks::{detect_streaks, normalized_levenshtein, similar_within, strip_prologue, StreakConfig};
+use sparqlog::synth::{generate_single_day_log, Dataset};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// Structural invariants of every detected streak: members are strictly
+    /// increasing, gaps respect the window, and consecutive members are
+    /// similar after prologue stripping.
+    #[test]
+    fn streaks_respect_window_and_similarity(seed in 0u64..500, window in 2usize..12) {
+        let log = generate_single_day_log(Dataset::DBpedia16, 120, seed);
+        let config = StreakConfig { window, threshold: 0.25 };
+        let streaks = detect_streaks(&log.entries, config);
+        for streak in &streaks {
+            prop_assert!(streak.len() >= 2);
+            for pair in streak.members.windows(2) {
+                prop_assert!(pair[1] > pair[0]);
+                prop_assert!(pair[1] - pair[0] <= window, "gap exceeds window");
+                let a = strip_prologue(&log.entries[pair[0]]);
+                let b = strip_prologue(&log.entries[pair[1]]);
+                prop_assert!(
+                    similar_within(a, b, 0.25),
+                    "consecutive streak members are not similar:\n{a}\n{b}"
+                );
+            }
+        }
+    }
+
+    /// The Levenshtein distance is a metric-like similarity: symmetric, zero
+    /// on equal strings, and bounded by the longer length.
+    #[test]
+    fn levenshtein_properties(a in "[a-zA-Z ?{}<>/:.]{0,40}", b in "[a-zA-Z ?{}<>/:.]{0,40}") {
+        let d_ab = normalized_levenshtein(&a, &b);
+        let d_ba = normalized_levenshtein(&b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert_eq!(normalized_levenshtein(&a, &a), 0.0);
+        // The cheap prefilter agrees with the exact test.
+        prop_assert_eq!(similar_within(&a, &b, 0.25), d_ab <= 0.25);
+    }
+
+    /// Prologue stripping never removes the query-form keyword itself and is
+    /// idempotent.
+    #[test]
+    fn strip_prologue_is_idempotent(prefixes in 0usize..4, seed in 0u64..300) {
+        let log = generate_single_day_log(Dataset::DBpedia14, 6, seed);
+        for entry in &log.entries {
+            let mut text = String::new();
+            for i in 0..prefixes {
+                text.push_str(&format!("PREFIX p{i}: <http://example.org/ns{i}#> "));
+            }
+            text.push_str(entry);
+            let once = strip_prologue(&text);
+            let twice = strip_prologue(once);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}
+
+#[test]
+fn bigger_windows_find_at_least_as_many_streak_members() {
+    let log = generate_single_day_log(Dataset::DBpedia15, 300, 11);
+    let small = detect_streaks(&log.entries, StreakConfig { window: 5, threshold: 0.25 });
+    let large = detect_streaks(&log.entries, StreakConfig { window: 30, threshold: 0.25 });
+    let members = |streaks: &[sparqlog::streaks::Streak]| -> usize {
+        streaks.iter().map(|s| s.len()).sum()
+    };
+    assert!(members(&large) >= members(&small));
+}
