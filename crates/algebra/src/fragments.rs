@@ -51,7 +51,10 @@ pub struct FragmentReport {
 /// variable, or it is exactly an equality between two variables.
 pub fn is_simple_filter(e: &Expression) -> bool {
     if let Expression::Equal(a, b) = e {
-        if matches!((a.as_ref(), b.as_ref()), (Expression::Var(_), Expression::Var(_))) {
+        if matches!(
+            (a.as_ref(), b.as_ref()),
+            (Expression::Var(_), Expression::Var(_))
+        ) {
             return true;
         }
     }
@@ -99,6 +102,43 @@ pub fn classify_fragments(q: &Query) -> FragmentReport {
     report.cqf = report.cpf && filters_simple;
     report.well_designed = tree.is_well_designed();
     let width = tree.interface_width();
+    report.cqof = report.well_designed && filters_simple && width <= 1;
+    report.wide_interface = report.well_designed && filters_simple && width > 1;
+    report
+}
+
+/// Classifies a query into the fragment hierarchy from a completed
+/// [`QueryWalk`](crate::walk::QueryWalk): the operator counters and the
+/// pattern tree both come from the walk, so no part of the query is
+/// traversed again (the well-designedness and interface-width checks run on
+/// the already-built tree).
+pub fn classify_fragments_from_walk(
+    q: &Query,
+    walk: &crate::walk::QueryWalk<'_>,
+) -> FragmentReport {
+    let ops = &walk.ops;
+    let mut report = FragmentReport {
+        select_or_ask: matches!(q.form, QueryForm::Select | QueryForm::Ask),
+        ..FragmentReport::default()
+    };
+    report.triples = ops.triples;
+    report.has_var_predicate = ops.var_predicates > 0;
+    if !ops.is_aof() || !q.has_body() {
+        return report;
+    }
+    report.aof = true;
+    report.cq = ops.filters == 0 && ops.optionals == 0;
+    report.cpf = ops.optionals == 0;
+
+    let Some(tree) = &walk.tree else {
+        // Defensive: the walk's tree and AOF membership must agree.
+        report.aof = false;
+        return report;
+    };
+    let filters_simple = tree.all_filters().iter().all(|f| is_simple_filter(f));
+    report.cqf = report.cpf && filters_simple;
+    let (well_designed, width) = tree.well_designedness();
+    report.well_designed = well_designed;
     report.cqof = report.well_designed && filters_simple && width <= 1;
     report.wide_interface = report.well_designed && filters_simple && width > 1;
     report
@@ -276,7 +316,10 @@ mod tests {
         let q = parse_query("SELECT ?x WHERE { ?x <p> ?y . ?x <q> ?z FILTER(?y = ?z) }").unwrap();
         let tree = PatternTree::build(&q).unwrap();
         let filters = tree.all_filters();
-        assert_eq!(variable_equalities(&filters), vec![("y".to_string(), "z".to_string())]);
+        assert_eq!(
+            variable_equalities(&filters),
+            vec![("y".to_string(), "z".to_string())]
+        );
     }
 
     #[test]
@@ -332,11 +375,11 @@ mod tests {
     fn tally_accumulates_cumulative_fragments() {
         let mut t = FragmentTally::new();
         for q in [
-            "SELECT ?x WHERE { ?x <p> ?y }",                                      // CQ
-            "SELECT ?x WHERE { ?x <p> ?y FILTER(?y > 1) }",                       // CQF
-            "SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E } }",         // CQOF
-            "SELECT ?x WHERE { { ?x <p> ?y } UNION { ?x <q> ?y } }",              // not AOF
-            "DESCRIBE <http://r>",                                                // not S/A
+            "SELECT ?x WHERE { ?x <p> ?y }",                              // CQ
+            "SELECT ?x WHERE { ?x <p> ?y FILTER(?y > 1) }",               // CQF
+            "SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E } }", // CQOF
+            "SELECT ?x WHERE { { ?x <p> ?y } UNION { ?x <q> ?y } }",      // not AOF
+            "DESCRIBE <http://r>",                                        // not S/A
         ] {
             t.add(&report(q));
         }

@@ -211,7 +211,10 @@ impl KeywordTally {
             ("Having", self.having),
         ];
         let total = self.total_queries.max(1) as f64;
-        values.into_iter().map(|(name, v)| (name, v, v as f64 / total)).collect()
+        values
+            .into_iter()
+            .map(|(name, v)| (name, v, v as f64 / total))
+            .collect()
     }
 }
 

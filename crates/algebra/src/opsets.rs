@@ -197,7 +197,11 @@ impl OpSetTally {
     /// The number of queries whose body is a conjunctive pattern with filters
     /// (the "CPF subtotal" row of Table 3).
     pub fn cpf_subtotal(&self) -> u64 {
-        self.pure.iter().filter(|(set, _)| set.is_cpf()).map(|(_, n)| *n).sum()
+        self.pure
+            .iter()
+            .filter(|(set, _)| set.is_cpf())
+            .map(|(_, n)| *n)
+            .sum()
     }
 
     /// The number of extra queries covered when Opt is added to the CPF
@@ -229,7 +233,9 @@ impl OpSetTally {
     pub fn aof_count(&self) -> u64 {
         self.pure
             .iter()
-            .filter(|(set, _)| set.0 & !(OperatorSet::AND | OperatorSet::FILTER | OperatorSet::OPT) == 0)
+            .filter(|(set, _)| {
+                set.0 & !(OperatorSet::AND | OperatorSet::FILTER | OperatorSet::OPT) == 0
+            })
             .map(|(_, n)| *n)
             .sum()
     }
@@ -242,7 +248,11 @@ impl OpSetTally {
             .iter()
             .map(|(set, n)| (set.label(), *n, *n as f64 / total))
             .collect();
-        rows.push(("other features".to_string(), self.other_features, self.other_features as f64 / total));
+        rows.push((
+            "other features".to_string(),
+            self.other_features,
+            self.other_features as f64 / total,
+        ));
         rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         rows
     }
@@ -259,7 +269,10 @@ mod tests {
 
     #[test]
     fn classifies_none_and_single_operators() {
-        assert_eq!(classify("SELECT ?x WHERE { ?x a <http://C> }"), OpSetClass::Pure(OperatorSet::NONE));
+        assert_eq!(
+            classify("SELECT ?x WHERE { ?x a <http://C> }"),
+            OpSetClass::Pure(OperatorSet::NONE)
+        );
         assert_eq!(
             classify("SELECT ?x WHERE { ?x a <http://C> FILTER(?x != 1) }"),
             OpSetClass::Pure(OperatorSet::new(true, false, false, false, false))
@@ -301,13 +314,13 @@ mod tests {
     fn cpf_and_rollups() {
         let mut t = OpSetTally::new();
         for q in [
-            "SELECT ?x WHERE { ?x a <http://C> }",                                     // none
-            "SELECT ?x WHERE { ?x a <http://C> FILTER(?x != 1) }",                     // F
-            "SELECT ?x WHERE { ?x a <http://C> . ?x <http://p> ?y }",                  // A
-            "SELECT ?x WHERE { ?x a <http://C> OPTIONAL { ?x <http://p> ?y } }",       // O
-            "SELECT ?x WHERE { GRAPH ?g { ?x a <http://C> } }",                        // G
-            "SELECT ?x WHERE { { ?x a <http://C> } UNION { ?x a <http://D> } }",       // U
-            "SELECT ?x WHERE { ?x <http://a>* ?y }",                                   // other
+            "SELECT ?x WHERE { ?x a <http://C> }",                 // none
+            "SELECT ?x WHERE { ?x a <http://C> FILTER(?x != 1) }", // F
+            "SELECT ?x WHERE { ?x a <http://C> . ?x <http://p> ?y }", // A
+            "SELECT ?x WHERE { ?x a <http://C> OPTIONAL { ?x <http://p> ?y } }", // O
+            "SELECT ?x WHERE { GRAPH ?g { ?x a <http://C> } }",    // G
+            "SELECT ?x WHERE { { ?x a <http://C> } UNION { ?x a <http://D> } }", // U
+            "SELECT ?x WHERE { ?x <http://a>* ?y }",               // other
         ] {
             t.add(classify(q));
         }
@@ -323,8 +336,14 @@ mod tests {
     #[test]
     fn labels_follow_paper_convention() {
         assert_eq!(OperatorSet::NONE.label(), "none");
-        assert_eq!(OperatorSet::new(true, true, true, false, true).label(), "A, O, U, F");
-        assert_eq!(OperatorSet::new(false, false, false, true, false).label(), "G");
+        assert_eq!(
+            OperatorSet::new(true, true, true, false, true).label(),
+            "A, O, U, F"
+        );
+        assert_eq!(
+            OperatorSet::new(false, false, false, true, false).label(),
+            "G"
+        );
     }
 
     #[test]
@@ -333,7 +352,9 @@ mod tests {
         for _ in 0..3 {
             t.add(classify("SELECT ?x WHERE { ?x a <http://C> }"));
         }
-        t.add(classify("SELECT ?x WHERE { ?x a <http://C> FILTER(?x != 1) }"));
+        t.add(classify(
+            "SELECT ?x WHERE { ?x a <http://C> FILTER(?x != 1) }",
+        ));
         let rows = t.rows();
         assert_eq!(rows[0].0, "none");
         assert_eq!(rows[0].1, 3);

@@ -43,14 +43,43 @@ impl PatternNode {
         out
     }
 
+    /// The variables of this node as borrowed slices — the allocation-free
+    /// counterpart of [`PatternNode::variables`], used by the single-pass
+    /// well-designedness check.
+    pub fn variable_refs(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        for t in &self.triples {
+            for term in [&t.subject, &t.predicate, &t.object] {
+                if let Term::Var(v) = term {
+                    out.insert(v.as_str());
+                }
+            }
+        }
+        for f in &self.filters {
+            f.for_each_variable(&mut |v| {
+                out.insert(v);
+            });
+        }
+        out
+    }
+
     /// Total number of nodes in the subtree rooted at this node.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(PatternNode::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(PatternNode::node_count)
+            .sum::<usize>()
     }
 
     /// Total number of triples in the subtree.
     pub fn triple_count(&self) -> usize {
-        self.triples.len() + self.children.iter().map(PatternNode::triple_count).sum::<usize>()
+        self.triples.len()
+            + self
+                .children
+                .iter()
+                .map(PatternNode::triple_count)
+                .sum::<usize>()
     }
 }
 
@@ -100,8 +129,10 @@ impl PatternTree {
             all_vars.extend(n.variables());
         }
         for var in &all_vars {
-            let in_set: Vec<bool> =
-                nodes.iter().map(|(n, _)| n.variables().contains(var)).collect();
+            let in_set: Vec<bool> = nodes
+                .iter()
+                .map(|(n, _)| n.variables().contains(var))
+                .collect();
             let mut roots_in_set = 0;
             for (i, (_, parent)) in nodes.iter().enumerate() {
                 if !in_set[i] {
@@ -138,6 +169,40 @@ impl PatternTree {
     /// most one — i.e. the pattern is in `CQOF` (Definition 5.5).
     pub fn is_cqof(&self) -> bool {
         self.is_well_designed() && self.interface_width() <= 1
+    }
+
+    /// Computes well-designedness and interface width together in a single
+    /// pass, materialising each node's variable set once (borrowed) instead
+    /// of once per query variable as [`PatternTree::is_well_designed`] does.
+    /// Equivalent to `(self.is_well_designed(), self.interface_width())`;
+    /// this is the entry point the single-pass pipeline uses.
+    pub fn well_designedness(&self) -> (bool, usize) {
+        let mut nodes: Vec<(&PatternNode, Option<usize>)> = Vec::new();
+        collect_nodes(&self.root, None, &mut nodes);
+        let var_sets: Vec<BTreeSet<&str>> = nodes.iter().map(|(n, _)| n.variable_refs()).collect();
+
+        // A variable's nodes form a connected subtree iff at most one of them
+        // has a parent outside the set.
+        let mut subtree_roots: std::collections::BTreeMap<&str, usize> =
+            std::collections::BTreeMap::new();
+        let mut well_designed = true;
+        let mut width = 0;
+        for (i, (_, parent)) in nodes.iter().enumerate() {
+            for &v in &var_sets[i] {
+                let parent_has = parent.is_some_and(|p| var_sets[p].contains(v));
+                if !parent_has {
+                    let roots = subtree_roots.entry(v).or_insert(0);
+                    *roots += 1;
+                    if *roots > 1 {
+                        well_designed = false;
+                    }
+                }
+            }
+            if let Some(p) = parent {
+                width = width.max(var_sets[i].intersection(&var_sets[*p]).count());
+            }
+        }
+        (well_designed, width)
     }
 
     /// Flattens every triple in the tree (preorder).
@@ -235,7 +300,8 @@ mod tests {
 
     /// The queries P1 and P2 from Example 5.4 of the paper.
     const P1: &str = "SELECT * WHERE { { ?A <name> ?N OPTIONAL { ?A <email> ?E } } OPTIONAL { ?A <webPage> ?W } }";
-    const P2: &str = "SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E OPTIONAL { ?A <webPage> ?W } } }";
+    const P2: &str =
+        "SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E OPTIONAL { ?A <webPage> ?W } } }";
 
     #[test]
     fn example_5_4_trees_have_expected_shape() {

@@ -70,6 +70,48 @@ pub fn projection_use(q: &Query) -> ProjectionUse {
     }
 }
 
+/// Determines whether a query uses projection from a completed
+/// [`QueryWalk`](crate::walk::QueryWalk), without re-traversing the body.
+pub fn projection_use_from_walk(q: &Query, walk: &crate::walk::QueryWalk<'_>) -> ProjectionUse {
+    match q.form {
+        QueryForm::Construct | QueryForm::Describe => ProjectionUse::NotApplicable,
+        QueryForm::Ask => {
+            if walk.has_bind {
+                ProjectionUse::Unknown
+            } else if walk.body_has_var {
+                ProjectionUse::Yes
+            } else {
+                ProjectionUse::No
+            }
+        }
+        QueryForm::Select => match &q.projection {
+            Projection::All => ProjectionUse::No,
+            Projection::Items(items) => {
+                if walk.has_bind || items.iter().any(|i| i.expr.is_some()) {
+                    return ProjectionUse::Unknown;
+                }
+                let selected: BTreeSet<&str> = items.iter().map(|i| i.var.as_str()).collect();
+                let query_values = q
+                    .values
+                    .iter()
+                    .flat_map(|v| v.variables.iter().map(String::as_str));
+                if walk
+                    .visible_vars
+                    .iter()
+                    .copied()
+                    .chain(query_values)
+                    .any(|v| !selected.contains(v))
+                {
+                    ProjectionUse::Yes
+                } else {
+                    ProjectionUse::No
+                }
+            }
+            Projection::Terms(_) | Projection::None => ProjectionUse::No,
+        },
+    }
+}
+
 /// The set of variables *visible* (in scope) at the top level of the query
 /// body: every variable occurring in the body, except those that occur only
 /// inside subqueries and are not selected by the subquery.
@@ -162,9 +204,7 @@ fn uses_bind(q: &Query) -> bool {
             | GroupElement::Graph { pattern: inner, .. }
             | GroupElement::Service { pattern: inner, .. } => group_uses_bind(inner),
             GroupElement::Union(branches) => branches.iter().any(group_uses_bind),
-            GroupElement::SubSelect(q) => {
-                q.where_clause.as_ref().is_some_and(group_uses_bind)
-            }
+            GroupElement::SubSelect(q) => q.where_clause.as_ref().is_some_and(group_uses_bind),
             _ => false,
         })
     }
@@ -198,11 +238,20 @@ impl ProjectionTally {
 
     /// Records one query.
     pub fn add(&mut self, q: &Query) {
+        let use_ = projection_use(q);
+        let has_subqueries = crate::walk::BodyOps::of_query(q).subqueries > 0;
+        self.record(q.form, use_, has_subqueries);
+    }
+
+    /// Records one already-classified query (the single-pass pipeline path:
+    /// the form, projection use and subquery flag all come from one
+    /// [`QueryWalk`](crate::walk::QueryWalk)).
+    pub fn record(&mut self, form: QueryForm, use_: ProjectionUse, has_subqueries: bool) {
         self.total += 1;
-        if crate::walk::BodyOps::of_query(q).subqueries > 0 {
+        if has_subqueries {
             self.with_subqueries += 1;
         }
-        match (q.form, projection_use(q)) {
+        match (form, use_) {
             (QueryForm::Select, ProjectionUse::Yes) => self.select_yes += 1,
             (QueryForm::Ask, ProjectionUse::Yes) => self.ask_yes += 1,
             (_, ProjectionUse::No) => self.no += 1,
@@ -247,22 +296,34 @@ mod tests {
 
     #[test]
     fn select_star_has_no_projection() {
-        assert_eq!(proj("SELECT * WHERE { ?x <http://p> ?y }"), ProjectionUse::No);
+        assert_eq!(
+            proj("SELECT * WHERE { ?x <http://p> ?y }"),
+            ProjectionUse::No
+        );
     }
 
     #[test]
     fn select_all_vars_has_no_projection() {
-        assert_eq!(proj("SELECT ?x ?y WHERE { ?x <http://p> ?y }"), ProjectionUse::No);
+        assert_eq!(
+            proj("SELECT ?x ?y WHERE { ?x <http://p> ?y }"),
+            ProjectionUse::No
+        );
     }
 
     #[test]
     fn select_subset_of_vars_uses_projection() {
-        assert_eq!(proj("SELECT ?x WHERE { ?x <http://p> ?y }"), ProjectionUse::Yes);
+        assert_eq!(
+            proj("SELECT ?x WHERE { ?x <http://p> ?y }"),
+            ProjectionUse::Yes
+        );
     }
 
     #[test]
     fn ask_with_concrete_triple_does_not_project() {
-        assert_eq!(proj("ASK { <http://s> <http://p> <http://o> }"), ProjectionUse::No);
+        assert_eq!(
+            proj("ASK { <http://s> <http://p> <http://o> }"),
+            ProjectionUse::No
+        );
     }
 
     #[test]

@@ -123,7 +123,10 @@ mod tests {
     fn buckets_and_average() {
         let mut h = TripleHistogram::new();
         add(&mut h, "SELECT ?x WHERE { ?x a <http://C> }");
-        add(&mut h, "SELECT ?x WHERE { ?x a <http://C> . ?x <http://p> ?y }");
+        add(
+            &mut h,
+            "SELECT ?x WHERE { ?x a <http://C> . ?x <http://p> ?y }",
+        );
         add(&mut h, "ASK { <http://s> <http://p> <http://o> }");
         assert_eq!(h.buckets[1], 2);
         assert_eq!(h.buckets[2], 1);
@@ -135,7 +138,10 @@ mod tests {
     fn describe_and_construct_do_not_enter_buckets() {
         let mut h = TripleHistogram::new();
         add(&mut h, "DESCRIBE <http://r>");
-        add(&mut h, "CONSTRUCT { ?x a <http://D> } WHERE { ?x a <http://C> }");
+        add(
+            &mut h,
+            "CONSTRUCT { ?x a <http://D> } WHERE { ?x a <http://C> }",
+        );
         add(&mut h, "SELECT ?x WHERE { ?x a <http://C> }");
         assert_eq!(h.all_queries, 3);
         assert_eq!(h.select_ask_queries, 1);
@@ -145,8 +151,9 @@ mod tests {
     #[test]
     fn eleven_plus_bucket() {
         let mut h = TripleHistogram::new();
-        let triples: Vec<String> =
-            (0..15).map(|i| format!("?x{} <http://p{}> ?x{}", i, i, i + 1)).collect();
+        let triples: Vec<String> = (0..15)
+            .map(|i| format!("?x{} <http://p{}> ?x{}", i, i, i + 1))
+            .collect();
         let q = format!("SELECT * WHERE {{ {} }}", triples.join(" . "));
         add(&mut h, &q);
         assert_eq!(h.eleven_plus, 1);
@@ -159,7 +166,10 @@ mod tests {
     fn shares_sum_to_one() {
         let mut h = TripleHistogram::new();
         add(&mut h, "SELECT ?x WHERE { ?x a <http://C> }");
-        add(&mut h, "ASK { ?x a <http://C> . ?x <http://p> ?y . ?y <http://q> ?z }");
+        add(
+            &mut h,
+            "ASK { ?x a <http://C> . ?x <http://p> ?y . ?y <http://q> ?z }",
+        );
         let s: f64 = h.shares().iter().sum();
         assert!((s - 1.0).abs() < 1e-9);
         assert_eq!(h.shares().len(), EXPLICIT_BUCKETS + 1);

@@ -4,13 +4,21 @@
 //! disproportionately expensive for binary joins) is the reproduced effect.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use sparqlog_gmark::{generate_graph, generate_workload, GraphConfig, QueryShape, Schema, WorkloadConfig};
+use sparqlog_gmark::{
+    generate_graph, generate_workload, GraphConfig, QueryShape, Schema, WorkloadConfig,
+};
 use sparqlog_store::{BinaryJoinEngine, QueryEngine, QueryMode, TrieJoinEngine};
 use std::time::Duration;
 
 fn bench_engines(c: &mut Criterion) {
     let schema = Schema::bib();
-    let graph = generate_graph(&schema, GraphConfig { nodes: 3_000, seed: 42 });
+    let graph = generate_graph(
+        &schema,
+        GraphConfig {
+            nodes: 3_000,
+            seed: 42,
+        },
+    );
     let store = graph.to_store();
     let timeout = Duration::from_millis(250);
 
@@ -20,7 +28,12 @@ fn bench_engines(c: &mut Criterion) {
         for len in [3usize, 4] {
             let wl = generate_workload(
                 &schema,
-                WorkloadConfig { shape, length: len, count: 5, seed: 7 + len as u64 },
+                WorkloadConfig {
+                    shape,
+                    length: len,
+                    count: 5,
+                    seed: 7 + len as u64,
+                },
             );
             let binary = BinaryJoinEngine::new();
             let trie = TrieJoinEngine::new();

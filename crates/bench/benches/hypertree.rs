@@ -20,7 +20,11 @@ fn var_pred_cycle(n: usize) -> Vec<TriplePattern> {
 fn acyclic_star(n: usize) -> Vec<TriplePattern> {
     (0..n)
         .map(|i| {
-            TriplePattern::new(Term::var("c"), Term::var(format!("p{i}")), Term::var(format!("l{i}")))
+            TriplePattern::new(
+                Term::var("c"),
+                Term::var(format!("p{i}")),
+                Term::var(format!("l{i}")),
+            )
         })
         .collect()
 }

@@ -18,9 +18,15 @@ fn bench_parser(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("parser");
     group.sample_size(30);
-    group.bench_function("simple_select", |b| b.iter(|| parse_query(black_box(simple)).unwrap()));
-    group.bench_function("medium_dbpedia", |b| b.iter(|| parse_query(black_box(medium)).unwrap()));
-    group.bench_function("property_path", |b| b.iter(|| parse_query(black_box(path)).unwrap()));
+    group.bench_function("simple_select", |b| {
+        b.iter(|| parse_query(black_box(simple)).unwrap())
+    });
+    group.bench_function("medium_dbpedia", |b| {
+        b.iter(|| parse_query(black_box(medium)).unwrap())
+    });
+    group.bench_function("property_path", |b| {
+        b.iter(|| parse_query(black_box(path)).unwrap())
+    });
 
     // A realistic mixed batch from the synthesizer.
     let mut synth = Synthesizer::for_dataset(Dataset::DBpedia15, 5);

@@ -18,7 +18,8 @@ fn chain(n: usize) -> Vec<TriplePattern> {
 }
 
 fn flower() -> Vec<TriplePattern> {
-    let e = |a: &str, b: &str| TriplePattern::new(Term::var(a), Term::iri("http://p"), Term::var(b));
+    let e =
+        |a: &str, b: &str| TriplePattern::new(Term::var(a), Term::iri("http://p"), Term::var(b));
     vec![
         e("x", "a"),
         e("a", "t"),
@@ -37,11 +38,19 @@ fn flower() -> Vec<TriplePattern> {
 fn bench_shape(c: &mut Criterion) {
     let mut group = c.benchmark_group("shape");
     group.sample_size(50);
-    for (name, triples) in [("chain_10", chain(10)), ("flower_11", flower()), ("chain_50", chain(50))] {
+    for (name, triples) in [
+        ("chain_10", chain(10)),
+        ("flower_11", flower()),
+        ("chain_50", chain(50)),
+    ] {
         group.bench_function(format!("classify_{name}"), |b| {
             b.iter(|| {
-                let g = CanonicalGraph::from_triples(black_box(&triples), &[], GraphMode::WithConstants)
-                    .unwrap();
+                let g = CanonicalGraph::from_triples(
+                    black_box(&triples),
+                    &[],
+                    GraphMode::WithConstants,
+                )
+                .unwrap();
                 let shape = ShapeReport::classify(&g);
                 let tw = treewidth(&g);
                 (shape, tw)

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmark: the single-pass analysis engine against the
+//! seed multi-walk path on the synthetic corpus. The tentpole claim of the
+//! workspace refactor is that one shared traversal per query
+//! (`QueryAnalysis::of`) beats re-walking the AST once per measure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sparqlog_bench::{build_corpus, HarnessOptions};
+use sparqlog_core::analysis::{DatasetAnalysis, Population};
+use sparqlog_core::baseline::analyze_multiwalk;
+use sparqlog_core::{CorpusAnalysis, EngineOptions, IngestedLog};
+
+fn corpus() -> Vec<IngestedLog> {
+    build_corpus(&HarnessOptions {
+        scale: 1e-5,
+        cap: 400,
+        ..HarnessOptions::default()
+    })
+}
+
+fn bench_single_pass(c: &mut Criterion) {
+    let logs = corpus();
+    let queries: Vec<_> = logs.iter().flat_map(|l| l.unique_queries()).collect();
+
+    let mut group = c.benchmark_group("single_pass");
+    group.sample_size(10);
+    group.bench_function("per_query_multi_walk", |b| {
+        b.iter(|| {
+            let mut analysis = DatasetAnalysis::default();
+            for q in &queries {
+                sparqlog_core::baseline::add_query_multiwalk(&mut analysis, black_box(q));
+            }
+            analysis
+        })
+    });
+    group.bench_function("per_query_single_pass", |b| {
+        b.iter(|| {
+            let mut analysis = DatasetAnalysis::default();
+            for q in &queries {
+                analysis.add_query(black_box(q));
+            }
+            analysis
+        })
+    });
+    group.bench_function("corpus_multi_walk_sequential", |b| {
+        b.iter(|| analyze_multiwalk(black_box(&logs), Population::Unique))
+    });
+    group.bench_function("corpus_single_pass_parallel", |b| {
+        b.iter(|| {
+            CorpusAnalysis::analyze_with(
+                black_box(&logs),
+                Population::Unique,
+                EngineOptions::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_pass);
+criterion_main!(benches);

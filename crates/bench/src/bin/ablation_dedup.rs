@@ -13,7 +13,10 @@ use sparqlog_core::analysis::{CorpusAnalysis, Population};
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    banner("Ablation — Unique vs Valid (with duplicates) population", &opts);
+    banner(
+        "Ablation — Unique vs Valid (with duplicates) population",
+        &opts,
+    );
     let logs = build_corpus(&opts);
     let unique = CorpusAnalysis::analyze(&logs, Population::Unique);
     let valid = CorpusAnalysis::analyze(&logs, Population::Valid);
@@ -22,7 +25,13 @@ fn main() {
         "{:<14} {:>14} {:>9} {:>14} {:>9}",
         "Keyword", "Unique", "%", "Valid", "%"
     );
-    for (u, v) in unique.combined.keywords.rows().iter().zip(valid.combined.keywords.rows()) {
+    for (u, v) in unique
+        .combined
+        .keywords
+        .rows()
+        .iter()
+        .zip(valid.combined.keywords.rows())
+    {
         println!(
             "{:<14} {:>14} {:>8.2}% {:>14} {:>8.2}%",
             u.0,
@@ -35,10 +44,28 @@ fn main() {
     println!();
     let uf = &unique.combined.fragments;
     let vf = &valid.combined.fragments;
-    println!("{:<28} {:>12} {:>12}", "Fragment (share of AOF)", "Unique", "Valid");
-    println!("{:<28} {:>11.2}% {:>11.2}%", "CQ", uf.cq_share_of_aof() * 100.0, vf.cq_share_of_aof() * 100.0);
-    println!("{:<28} {:>11.2}% {:>11.2}%", "CQF", uf.cqf_share_of_aof() * 100.0, vf.cqf_share_of_aof() * 100.0);
-    println!("{:<28} {:>11.2}% {:>11.2}%", "CQOF", uf.cqof_share_of_aof() * 100.0, vf.cqof_share_of_aof() * 100.0);
+    println!(
+        "{:<28} {:>12} {:>12}",
+        "Fragment (share of AOF)", "Unique", "Valid"
+    );
+    println!(
+        "{:<28} {:>11.2}% {:>11.2}%",
+        "CQ",
+        uf.cq_share_of_aof() * 100.0,
+        vf.cq_share_of_aof() * 100.0
+    );
+    println!(
+        "{:<28} {:>11.2}% {:>11.2}%",
+        "CQF",
+        uf.cqf_share_of_aof() * 100.0,
+        vf.cqf_share_of_aof() * 100.0
+    );
+    println!(
+        "{:<28} {:>11.2}% {:>11.2}%",
+        "CQOF",
+        uf.cqof_share_of_aof() * 100.0,
+        vf.cqof_share_of_aof() * 100.0
+    );
     println!();
     println!(
         "share of SELECT/ASK queries with at most one triple: unique {:.2}%, valid {:.2}%",

@@ -1,0 +1,60 @@
+//! Ablation: the single-pass analysis engine against the seed multi-walk
+//! path, on the same synthetic corpus. Reports per-stage times and the
+//! end-to-end speedup (the workspace-refactor acceptance target is >= 1.5x).
+
+use sparqlog_bench::{banner, build_corpus, HarnessOptions};
+use sparqlog_core::analysis::{CorpusAnalysis, DatasetAnalysis, EngineOptions};
+use sparqlog_core::baseline::{add_query_multiwalk, analyze_multiwalk};
+use std::time::Instant;
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("ablation: single-pass vs multi-walk analysis", &opts);
+    let logs = build_corpus(&opts);
+    let queries: Vec<_> = logs.iter().flat_map(|l| l.unique_queries()).collect();
+    println!("unique queries analysed: {}\n", queries.len());
+
+    let repeats = 5;
+    let mut multi_best = f64::INFINITY;
+    let mut single_best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let mut analysis = DatasetAnalysis::default();
+        for q in &queries {
+            add_query_multiwalk(&mut analysis, q);
+        }
+        std::hint::black_box(&analysis);
+        multi_best = multi_best.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        let mut analysis = DatasetAnalysis::default();
+        for q in &queries {
+            analysis.add_query(q);
+        }
+        std::hint::black_box(&analysis);
+        single_best = single_best.min(t.elapsed().as_secs_f64());
+    }
+    println!("per-query fold, multi-walk : {:.3} ms", multi_best * 1e3);
+    println!("per-query fold, single-pass: {:.3} ms", single_best * 1e3);
+    println!("speedup: {:.2}x\n", multi_best / single_best);
+
+    let t = Instant::now();
+    std::hint::black_box(analyze_multiwalk(&logs, opts.population()));
+    let multi_corpus = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    std::hint::black_box(CorpusAnalysis::analyze_with(
+        &logs,
+        opts.population(),
+        EngineOptions::default(),
+    ));
+    let single_corpus = t.elapsed().as_secs_f64();
+    println!(
+        "corpus analysis, multi-walk sequential : {:.3} ms",
+        multi_corpus * 1e3
+    );
+    println!(
+        "corpus analysis, single-pass (pooled)  : {:.3} ms",
+        single_corpus * 1e3
+    );
+    println!("speedup: {:.2}x", multi_corpus / single_corpus);
+}

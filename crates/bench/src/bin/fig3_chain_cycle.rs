@@ -8,7 +8,9 @@
 //! (default 500), `--max-len <n>` largest workload length (default 8),
 //! `--count` to enumerate all answers (SELECT semantics) instead of ASK.
 
-use sparqlog_gmark::{generate_graph, generate_workload, GraphConfig, QueryShape, Schema, WorkloadConfig};
+use sparqlog_gmark::{
+    generate_graph, generate_workload, GraphConfig, QueryShape, Schema, WorkloadConfig,
+};
 use sparqlog_store::{BinaryJoinEngine, QueryEngine, QueryMode, TrieJoinEngine};
 use std::time::Duration;
 
@@ -26,7 +28,11 @@ fn main() {
     let timeout = Duration::from_millis(get("--timeout-ms", 500));
     let max_len = get("--max-len", 8) as usize;
     let seed = get("--seed", 42);
-    let mode = if args.iter().any(|a| a == "--count") { QueryMode::Count } else { QueryMode::Ask };
+    let mode = if args.iter().any(|a| a == "--count") {
+        QueryMode::Count
+    } else {
+        QueryMode::Ask
+    };
 
     println!("== sparqlog :: Figure 3 — chain vs cycle workloads on two engines ==");
     println!(
@@ -55,11 +61,21 @@ fn main() {
     for len in 3..=max_len {
         let chain_wl = generate_workload(
             &schema,
-            WorkloadConfig { shape: QueryShape::Chain, length: len, count: queries, seed: seed + len as u64 },
+            WorkloadConfig {
+                shape: QueryShape::Chain,
+                length: len,
+                count: queries,
+                seed: seed + len as u64,
+            },
         );
         let cycle_wl = generate_workload(
             &schema,
-            WorkloadConfig { shape: QueryShape::Cycle, length: len, count: queries, seed: seed + 100 + len as u64 },
+            WorkloadConfig {
+                shape: QueryShape::Cycle,
+                length: len,
+                count: queries,
+                seed: seed + 100 + len as u64,
+            },
         );
         let run = |engine: &dyn QueryEngine, wl: &sparqlog_gmark::Workload| -> (u64, usize) {
             let mut total_ns = 0u64;
@@ -68,7 +84,11 @@ fn main() {
                 let out = engine.evaluate(&store, q, mode, timeout);
                 // Like the paper, timed-out queries are accounted with the
                 // full timeout duration.
-                total_ns += if out.timed_out { timeout.as_nanos() as u64 } else { out.elapsed_ns };
+                total_ns += if out.timed_out {
+                    timeout.as_nanos() as u64
+                } else {
+                    out.elapsed_ns
+                };
                 timeouts += usize::from(out.timed_out);
             }
             (total_ns / wl.queries.len().max(1) as u64, timeouts)

@@ -26,7 +26,10 @@ fn main() {
     let entries = get("--entries", 4_000);
     let window = get("--window", 30) as usize;
 
-    let config = StreakConfig { window, threshold: 0.25 };
+    let config = StreakConfig {
+        window,
+        threshold: 0.25,
+    };
     let mut histograms = Vec::new();
     for (label, dataset, seed) in [
         ("#DBP'14", Dataset::DBpedia14, opts.seed),
@@ -38,5 +41,7 @@ fn main() {
         histograms.push((label.to_string(), StreakHistogram::from_streaks(&streaks)));
     }
     println!("{}", report::table6_streaks(&histograms));
-    println!("(window size {window}, similarity threshold 25%, {entries} entries per single-day log)");
+    println!(
+        "(window size {window}, similarity threshold 25%, {entries} entries per single-day log)"
+    );
 }

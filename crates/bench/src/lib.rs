@@ -35,7 +35,12 @@ pub struct HarnessOptions {
 
 impl Default for HarnessOptions {
     fn default() -> Self {
-        HarnessOptions { scale: 2e-5, seed: 42, valid_population: false, cap: 0 }
+        HarnessOptions {
+            scale: 2e-5,
+            seed: 42,
+            valid_population: false,
+            cap: 0,
+        }
     }
 }
 
@@ -113,7 +118,11 @@ pub fn banner(what: &str, opts: &HarnessOptions) {
         "synthetic corpus, scale {:.0e} of Table-1 sizes, seed {}, population: {}",
         opts.scale,
         opts.seed,
-        if opts.valid_population { "Valid (with duplicates)" } else { "Unique" }
+        if opts.valid_population {
+            "Valid (with duplicates)"
+        } else {
+            "Unique"
+        }
     );
     println!();
 }
@@ -124,7 +133,11 @@ mod tests {
 
     #[test]
     fn default_options_build_a_small_corpus() {
-        let opts = HarnessOptions { scale: 1e-6, cap: 50, ..HarnessOptions::default() };
+        let opts = HarnessOptions {
+            scale: 1e-6,
+            cap: 50,
+            ..HarnessOptions::default()
+        };
         let logs = build_corpus(&opts);
         assert_eq!(logs.len(), 13);
         assert!(logs.iter().all(|l| l.counts.total > 0));
@@ -132,7 +145,11 @@ mod tests {
 
     #[test]
     fn analysis_runs_end_to_end() {
-        let opts = HarnessOptions { scale: 1e-6, cap: 40, ..HarnessOptions::default() };
+        let opts = HarnessOptions {
+            scale: 1e-6,
+            cap: 40,
+            ..HarnessOptions::default()
+        };
         let corpus = analyzed_corpus(&opts);
         assert_eq!(corpus.datasets.len(), 13);
         assert!(corpus.combined.keywords.total_queries > 0);
@@ -141,7 +158,10 @@ mod tests {
     #[test]
     fn population_flag_switches_population() {
         let unique = HarnessOptions::default();
-        let valid = HarnessOptions { valid_population: true, ..HarnessOptions::default() };
+        let valid = HarnessOptions {
+            valid_population: true,
+            ..HarnessOptions::default()
+        };
         assert_eq!(unique.population(), Population::Unique);
         assert_eq!(valid.population(), Population::Valid);
     }

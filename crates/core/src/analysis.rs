@@ -1,18 +1,24 @@
 //! The per-dataset and corpus-level analysis record combining every measure
 //! of the paper: shallow statistics, fragments, shapes, widths, property
 //! paths.
+//!
+//! Folding is driven by the single-pass [`QueryAnalysis`] intermediate: each
+//! query's AST is traversed exactly once, and [`CorpusAnalysis::analyze`]
+//! distributes the queries of *all* datasets over a chunked work-stealing
+//! pool bounded by the available cores, merging per-worker accumulators with
+//! the commutative `merge` methods (so the result is independent of worker
+//! count and chunk schedule).
 
 use crate::corpus::{CorpusCounts, IngestedLog};
+use crate::query_analysis::QueryAnalysis;
 use serde::{Deserialize, Serialize};
 use sparqlog_algebra::opsets::classify_from_features;
-use sparqlog_algebra::{
-    collect_property_paths, FragmentTally, KeywordTally, OpSetTally, ProjectionTally,
-    QueryFeatures, TripleHistogram,
-};
+use sparqlog_algebra::{FragmentTally, KeywordTally, OpSetTally, ProjectionTally, TripleHistogram};
 use sparqlog_graph::{ShapeTally, StructuralReport};
 use sparqlog_parser::Query;
 use sparqlog_paths::PathTally;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Size histogram of CQ-like queries with at least two triples (Figure 5 /
 /// Figure 9): buckets for 2..=10 triples and 11+.
@@ -152,19 +158,31 @@ pub struct DatasetAnalysis {
 }
 
 impl DatasetAnalysis {
-    /// Analyses one query and folds it into the tallies.
+    /// Analyses one query and folds it into the tallies. The per-query work
+    /// performs exactly one AST traversal and one canonical-graph
+    /// construction (see [`QueryAnalysis::of`]).
     pub fn add_query(&mut self, query: &Query) {
-        let features = QueryFeatures::of(query);
-        self.keywords.add(&features);
-        self.triples.add(&features);
-        self.projection.add(query);
-        for p in collect_property_paths(query) {
-            self.paths.add(p);
+        self.add(&QueryAnalysis::of(query));
+    }
+
+    /// Folds an already-computed per-query analysis into the tallies without
+    /// touching the query again.
+    pub fn add(&mut self, qa: &QueryAnalysis) {
+        self.keywords.add(&qa.features);
+        self.triples.add(&qa.features);
+        self.projection
+            .record(qa.form, qa.projection, qa.has_subqueries);
+        self.paths.merge(&qa.paths);
+        if qa.features.is_select_or_ask() {
+            self.opsets.add(classify_from_features(&qa.features));
         }
-        if features.is_select_or_ask() {
-            self.opsets.add(classify_from_features(&features));
-        }
-        let structural = StructuralReport::of(query);
+        self.fold_structural(&qa.structural);
+    }
+
+    /// Folds a structural report into the fragment, shape, size, cycle and
+    /// width tallies (shared by the single-pass and the
+    /// [`crate::baseline`] multi-walk paths).
+    pub(crate) fn fold_structural(&mut self, structural: &StructuralReport) {
         self.fragments.add(&structural.fragments);
         if structural.fragments.select_or_ask {
             let tw = structural.treewidth.unwrap_or(1);
@@ -248,31 +266,125 @@ pub struct CorpusAnalysis {
     pub combined: DatasetAnalysis,
 }
 
+/// Tuning knobs for the parallel analysis engine. The result of the analysis
+/// does not depend on them — every fold is commutative — only the schedule
+/// does, which the determinism tests exploit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Number of worker threads; `0` uses the available parallelism.
+    pub workers: usize,
+    /// Queries per work chunk; `0` picks a size from the workload.
+    pub chunk_size: usize,
+}
+
+impl EngineOptions {
+    fn resolve_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    fn resolve_chunk_size(&self, work: usize, workers: usize) -> usize {
+        if self.chunk_size > 0 {
+            return self.chunk_size;
+        }
+        // Aim for several chunks per worker so stragglers re-balance, while
+        // keeping chunks large enough to amortize the queue pop.
+        (work / (workers * 8).max(1)).clamp(16, 1024)
+    }
+}
+
 impl CorpusAnalysis {
-    /// Analyses a set of ingested logs over the chosen population.
+    /// Analyses a set of ingested logs over the chosen population, using all
+    /// available cores.
     pub fn analyze(logs: &[IngestedLog], population: Population) -> CorpusAnalysis {
-        let mut datasets = Vec::with_capacity(logs.len());
-        for log in logs {
-            let mut analysis = DatasetAnalysis {
+        CorpusAnalysis::analyze_with(logs, population, EngineOptions::default())
+    }
+
+    /// Analyses a set of ingested logs with explicit engine options.
+    ///
+    /// The queries of *all* datasets are flattened into one work list and
+    /// processed in chunks by a self-scheduling worker pool: each worker
+    /// repeatedly claims the next unprocessed chunk (an atomic cursor), folds
+    /// its queries into a private per-dataset accumulator, and the
+    /// accumulators are merged at the end. Results are bit-identical across
+    /// worker counts and chunk sizes.
+    pub fn analyze_with(
+        logs: &[IngestedLog],
+        population: Population,
+        options: EngineOptions,
+    ) -> CorpusAnalysis {
+        // Flatten the corpus into (dataset index, query) work items.
+        let mut work: Vec<(usize, &Query)> = Vec::new();
+        for (d, log) in logs.iter().enumerate() {
+            match population {
+                Population::Unique => work.extend(log.unique_queries().map(|q| (d, q))),
+                Population::Valid => work.extend(log.valid_queries.iter().map(|q| (d, q))),
+            }
+        }
+        let workers = options.resolve_workers().max(1);
+        let chunk_size = options.resolve_chunk_size(work.len(), workers);
+        let chunks: Vec<&[(usize, &Query)]> = work.chunks(chunk_size.max(1)).collect();
+        let workers = workers.min(chunks.len()).max(1);
+
+        let accumulators: Vec<Vec<DatasetAnalysis>> = if workers == 1 {
+            let mut acc: Vec<DatasetAnalysis> = (0..logs.len())
+                .map(|_| DatasetAnalysis::default())
+                .collect();
+            for &(d, q) in &work {
+                acc[d].add(&QueryAnalysis::of(q));
+            }
+            vec![acc]
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let dataset_count = logs.len();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut acc: Vec<DatasetAnalysis> = (0..dataset_count)
+                                .map(|_| DatasetAnalysis::default())
+                                .collect();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                let Some(chunk) = chunks.get(i) else { break };
+                                for &(d, q) in *chunk {
+                                    acc[d].add(&QueryAnalysis::of(q));
+                                }
+                            }
+                            acc
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("analysis workers must not panic"))
+                    .collect()
+            })
+        };
+
+        // Deterministic merge: per-dataset headers first, then every worker's
+        // accumulator (all tallies are commutative sums / maxima).
+        let mut datasets: Vec<DatasetAnalysis> = logs
+            .iter()
+            .map(|log| DatasetAnalysis {
                 label: log.label.clone(),
                 counts: log.counts,
                 ..DatasetAnalysis::default()
-            };
-            match population {
-                Population::Unique => {
-                    for q in log.unique_queries() {
-                        analysis.add_query(q);
-                    }
-                }
-                Population::Valid => {
-                    for q in &log.valid_queries {
-                        analysis.add_query(q);
-                    }
-                }
+            })
+            .collect();
+        for acc in &accumulators {
+            for (dataset, partial) in datasets.iter_mut().zip(acc) {
+                dataset.merge(partial);
             }
-            datasets.push(analysis);
         }
-        let mut combined = DatasetAnalysis { label: "Total".to_string(), ..DatasetAnalysis::default() };
+        let mut combined = DatasetAnalysis {
+            label: "Total".to_string(),
+            ..DatasetAnalysis::default()
+        };
         for d in &datasets {
             combined.merge(d);
         }
@@ -286,7 +398,10 @@ mod tests {
     use crate::corpus::{ingest, RawLog};
 
     fn analysis_of(entries: &[&str]) -> DatasetAnalysis {
-        let log = ingest(&RawLog::new("t", entries.iter().map(|s| s.to_string()).collect()));
+        let log = ingest(&RawLog::new(
+            "t",
+            entries.iter().map(|s| s.to_string()).collect(),
+        ));
         let corpus = CorpusAnalysis::analyze(&[log], Population::Unique);
         corpus.datasets.into_iter().next().unwrap()
     }
@@ -306,7 +421,7 @@ mod tests {
         assert_eq!(a.keywords.filter, 1);
         assert_eq!(a.paths.total, 1);
         assert_eq!(a.opsets.total, 4); // select/ask only
-        // The triangle ASK query is a cycle with girth 3.
+                                       // The triangle ASK query is a cycle with girth 3.
         assert_eq!(a.cycle_lengths.get(&3), Some(&1));
         assert!(a.shapes_cq.cycle >= 1);
         assert!(a.fragments.cq >= 2);
@@ -319,7 +434,10 @@ mod tests {
             "SELECT ?x WHERE { ?x a <http://C> }",
             "SELECT ?y WHERE { ?y a <http://D> }",
         ];
-        let log = ingest(&RawLog::new("t", entries.iter().map(|s| s.to_string()).collect()));
+        let log = ingest(&RawLog::new(
+            "t",
+            entries.iter().map(|s| s.to_string()).collect(),
+        ));
         let unique = CorpusAnalysis::analyze(std::slice::from_ref(&log), Population::Unique);
         let valid = CorpusAnalysis::analyze(&[log], Population::Valid);
         assert_eq!(unique.combined.keywords.total_queries, 2);
@@ -328,8 +446,14 @@ mod tests {
 
     #[test]
     fn combined_analysis_merges_datasets() {
-        let log1 = ingest(&RawLog::new("a", vec!["SELECT ?x WHERE { ?x a <http://C> }".to_string()]));
-        let log2 = ingest(&RawLog::new("b", vec!["ASK { ?x <http://p> ?y }".to_string()]));
+        let log1 = ingest(&RawLog::new(
+            "a",
+            vec!["SELECT ?x WHERE { ?x a <http://C> }".to_string()],
+        ));
+        let log2 = ingest(&RawLog::new(
+            "b",
+            vec!["ASK { ?x <http://p> ?y }".to_string()],
+        ));
         let corpus = CorpusAnalysis::analyze(&[log1, log2], Population::Unique);
         assert_eq!(corpus.datasets.len(), 2);
         assert_eq!(corpus.combined.keywords.total_queries, 2);

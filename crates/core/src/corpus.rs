@@ -1,9 +1,17 @@
 //! Corpus ingestion: parsing log entries, counting valid queries and
 //! removing duplicates (Table 1 of the paper).
+//!
+//! Parsing — by far the dominant cost — is distributed over a chunked,
+//! self-scheduling worker pool spanning *all* logs at once, so one large log
+//! no longer serializes the run. Duplicate elimination hashes each query's
+//! canonical form into a 128-bit fingerprint instead of storing the full
+//! canonical string, which keeps the dedup set small at corpus scale.
 
 use serde::{Deserialize, Serialize};
 use sparqlog_parser::{parse_query, to_canonical_string, Query};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One raw log: a label (dataset name) and its entries in log order.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -17,7 +25,10 @@ pub struct RawLog {
 impl RawLog {
     /// Creates a raw log.
     pub fn new(label: impl Into<String>, entries: Vec<String>) -> RawLog {
-        RawLog { label: label.into(), entries }
+        RawLog {
+            label: label.into(),
+            entries,
+        }
     }
 }
 
@@ -66,49 +77,126 @@ impl IngestedLog {
     }
 }
 
-/// Parses and deduplicates one raw log.
-pub fn ingest(log: &RawLog) -> IngestedLog {
-    let mut counts = CorpusCounts { total: log.entries.len() as u64, ..CorpusCounts::default() };
+/// A 128-bit FNV-1a fingerprint of a query's canonical form, used for
+/// duplicate elimination without retaining the canonical string. At 128 bits
+/// a corpus of 10⁹ queries has a collision probability below 10⁻²⁰, far
+/// under the parse-ambiguity noise floor of any real log study.
+pub fn canonical_fingerprint(canonical: &str) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut hash = OFFSET;
+    for &byte in canonical.as_bytes() {
+        hash ^= u128::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Folds a log's parse results (in entry order) into counts, the query list
+/// and the fingerprint-deduplicated unique indices.
+fn assemble(label: &str, total: u64, parsed: impl Iterator<Item = Option<Query>>) -> IngestedLog {
+    let mut counts = CorpusCounts {
+        total,
+        ..CorpusCounts::default()
+    };
     let mut valid_queries = Vec::new();
     let mut unique_indices = Vec::new();
-    let mut seen: HashSet<String> = HashSet::new();
-    for entry in &log.entries {
-        let Ok(query) = parse_query(entry) else { continue };
+    let mut seen: HashSet<u128> = HashSet::new();
+    for query in parsed.flatten() {
         counts.valid += 1;
         if !query.has_body() {
             counts.bodyless += 1;
         }
-        let canonical = to_canonical_string(&query);
+        let fingerprint = canonical_fingerprint(&to_canonical_string(&query));
         let index = valid_queries.len();
         valid_queries.push(query);
-        if seen.insert(canonical) {
+        if seen.insert(fingerprint) {
             unique_indices.push(index);
         }
     }
     counts.unique = unique_indices.len() as u64;
-    IngestedLog { label: log.label.clone(), counts, valid_queries, unique_indices }
+    IngestedLog {
+        label: label.to_string(),
+        counts,
+        valid_queries,
+        unique_indices,
+    }
 }
 
-/// Parses several logs in parallel using scoped threads (one per log).
+/// Parses and deduplicates one raw log sequentially.
+pub fn ingest(log: &RawLog) -> IngestedLog {
+    assemble(
+        &log.label,
+        log.entries.len() as u64,
+        log.entries.iter().map(|entry| parse_query(entry).ok()),
+    )
+}
+
+/// Entries per parse chunk: large enough to amortize scheduling, small
+/// enough that a single large log spreads over every core.
+const INGEST_CHUNK: usize = 512;
+
+/// Parses several logs in parallel: the entries of *all* logs are split into
+/// chunks handed out by a self-scheduling worker pool (bounded by the
+/// available cores), and each log's results are then assembled in entry
+/// order, so the output is identical to mapping [`ingest`] over the logs.
 pub fn ingest_all(logs: &[RawLog]) -> Vec<IngestedLog> {
-    if logs.len() <= 1 {
+    let mut chunks: Vec<(usize, usize, usize)> = Vec::new();
+    for (log_index, log) in logs.iter().enumerate() {
+        let mut start = 0;
+        while start < log.entries.len() {
+            let end = (start + INGEST_CHUNK).min(log.entries.len());
+            chunks.push((log_index, start, end));
+            start = end;
+        }
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(chunks.len());
+    if workers <= 1 {
         return logs.iter().map(ingest).collect();
     }
-    let results = parking_lot::Mutex::new(vec![None; logs.len()]);
-    crossbeam::thread::scope(|scope| {
-        for (i, log) in logs.iter().enumerate() {
-            let results = &results;
-            scope.spawn(move |_| {
-                let ingested = ingest(log);
-                results.lock()[i] = Some(ingested);
+
+    // (log index, chunk start, parse results for the chunk's entries).
+    type ParsedChunk = (usize, usize, Vec<Option<Query>>);
+    let cursor = AtomicUsize::new(0);
+    let parsed_chunks: Mutex<Vec<ParsedChunk>> = Mutex::new(Vec::with_capacity(chunks.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&(log_index, start, end)) = chunks.get(i) else {
+                    break;
+                };
+                let parsed: Vec<Option<Query>> = logs[log_index].entries[start..end]
+                    .iter()
+                    .map(|entry| parse_query(entry).ok())
+                    .collect();
+                parsed_chunks
+                    .lock()
+                    .expect("ingestion workers must not panic")
+                    .push((log_index, start, parsed));
             });
         }
-    })
-    .expect("ingestion threads must not panic");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|r| r.expect("every log is ingested"))
+    });
+
+    // Reassemble per log in entry order; counting and dedup are cheap
+    // relative to parsing and stay sequential per log.
+    let mut per_log: Vec<Vec<(usize, Vec<Option<Query>>)>> = vec![Vec::new(); logs.len()];
+    for (log_index, start, parsed) in parsed_chunks.into_inner().expect("no poisoned workers") {
+        per_log[log_index].push((start, parsed));
+    }
+    logs.iter()
+        .zip(per_log)
+        .map(|(log, mut parts)| {
+            parts.sort_unstable_by_key(|(start, _)| *start);
+            assemble(
+                &log.label,
+                log.entries.len() as u64,
+                parts.into_iter().flat_map(|(_, parsed)| parsed),
+            )
+        })
         .collect()
 }
 
@@ -165,9 +253,46 @@ mod tests {
     }
 
     #[test]
+    fn parallel_ingestion_spreads_one_large_log() {
+        // A single log much larger than one chunk: the pool must still
+        // reassemble it in order with correct dedup accounting.
+        let mut entries = Vec::new();
+        for i in 0..(INGEST_CHUNK * 3 + 17) {
+            entries.push(format!("SELECT ?x WHERE {{ ?x <http://p{}> ?y }}", i % 700));
+        }
+        let log = RawLog::new("big", entries);
+        let parallel = ingest_all(std::slice::from_ref(&log));
+        let sequential = ingest(&log);
+        assert_eq!(parallel[0].counts, sequential.counts);
+        assert_eq!(parallel[0].unique_indices, sequential.unique_indices);
+        assert_eq!(parallel[0].counts.unique, 700);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_nearby_strings() {
+        let a = canonical_fingerprint("SELECT ?x WHERE { ?x <http://p> ?y }");
+        let b = canonical_fingerprint("SELECT ?x WHERE { ?x <http://q> ?y }");
+        assert_ne!(a, b);
+        assert_eq!(
+            a,
+            canonical_fingerprint("SELECT ?x WHERE { ?x <http://p> ?y }")
+        );
+    }
+
+    #[test]
     fn corpus_counts_merge() {
-        let mut a = CorpusCounts { total: 10, valid: 8, unique: 5, bodyless: 1 };
-        let b = CorpusCounts { total: 2, valid: 2, unique: 2, bodyless: 0 };
+        let mut a = CorpusCounts {
+            total: 10,
+            valid: 8,
+            unique: 5,
+            bodyless: 1,
+        };
+        let b = CorpusCounts {
+            total: 2,
+            valid: 2,
+            unique: 2,
+            bodyless: 0,
+        };
         a.merge(&b);
         assert_eq!(a.total, 12);
         assert_eq!(a.valid, 10);

@@ -4,10 +4,16 @@
 //! primary contribution of *"An Analytical Study of Large SPARQL Query
 //! Logs"* (Bonifati–Martens–Timm, VLDB 2017) turned into a reusable library:
 //!
-//! * [`corpus`] — log ingestion: parsing, validity accounting and duplicate
-//!   elimination (Table 1).
+//! * [`corpus`] — log ingestion: chunked parallel parsing, validity
+//!   accounting and fingerprint-based duplicate elimination (Table 1).
+//! * [`query_analysis`] — the single-pass per-query intermediate
+//!   ([`QueryAnalysis`]): one AST traversal and one canonical-graph
+//!   construction feed every measure.
 //! * [`analysis`] — the per-dataset / corpus-level analysis record combining
-//!   the shallow, structural, property-path and width analyses of the paper.
+//!   the shallow, structural, property-path and width analyses of the paper,
+//!   folded in parallel by a chunked work-stealing pool.
+//! * [`baseline`] — the seed multi-walk path, kept as the reference for
+//!   differential tests and benchmarks.
 //! * [`report`] — plain-text renderers, one per table and figure.
 //!
 //! ```
@@ -25,8 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod baseline;
 pub mod corpus;
+pub mod query_analysis;
 pub mod report;
 
-pub use analysis::{CorpusAnalysis, DatasetAnalysis, Population};
+pub use analysis::{CorpusAnalysis, DatasetAnalysis, EngineOptions, Population};
 pub use corpus::{ingest, ingest_all, CorpusCounts, IngestedLog, RawLog};
+pub use query_analysis::QueryAnalysis;

@@ -1,0 +1,110 @@
+//! The shared per-query intermediate of the single-pass analysis engine.
+//!
+//! [`QueryAnalysis::of`] is the only place in the pipeline that looks at a
+//! query's AST: it runs one [`QueryWalk`] over the body and derives every
+//! per-query measure — features, projection use, property-path tallies and
+//! the structural report — from that single traversal, with one canonical-
+//! graph construction shared by the shape, treewidth, girth and
+//! constants-excluded analyses. [`crate::analysis::DatasetAnalysis::add`]
+//! then folds the intermediate into the corpus tallies without touching the
+//! AST again.
+//!
+//! The original per-measure path (four-plus traversals per query) survives in
+//! [`crate::baseline`] as the reference the differential tests compare
+//! against.
+
+use sparqlog_algebra::{
+    classify_fragments_from_walk, projection_use_from_walk, ProjectionUse, QueryFeatures, QueryWalk,
+};
+use sparqlog_graph::StructuralReport;
+use sparqlog_parser::ast::QueryForm;
+use sparqlog_parser::Query;
+use sparqlog_paths::PathTally;
+
+/// Everything the corpus tallies need to know about one query, computed in a
+/// single pass.
+#[derive(Debug, Clone)]
+pub struct QueryAnalysis {
+    /// The query form.
+    pub form: QueryForm,
+    /// The shallow features (keywords, triples, operator sets).
+    pub features: QueryFeatures,
+    /// Whether the query uses projection (SPARQL 1.1 §18.2.1).
+    pub projection: ProjectionUse,
+    /// Whether the body contains subqueries.
+    pub has_subqueries: bool,
+    /// The per-query property-path tally (merged into the dataset tally).
+    pub paths: PathTally,
+    /// Fragment membership, shape, treewidth and hypertree width.
+    pub structural: StructuralReport,
+}
+
+impl QueryAnalysis {
+    /// Analyses one query with exactly one AST traversal and (for CQ-like
+    /// queries) one canonical-graph construction.
+    pub fn of(query: &Query) -> QueryAnalysis {
+        let walk = QueryWalk::of(query);
+        let features = QueryFeatures::from_walk(query, &walk);
+        let projection = projection_use_from_walk(query, &walk);
+        let fragments = classify_fragments_from_walk(query, &walk);
+        let structural = StructuralReport::from_walk(fragments, walk.tree.as_ref());
+        let mut paths = PathTally::new();
+        for p in &walk.paths {
+            paths.add(p);
+        }
+        QueryAnalysis {
+            form: query.form,
+            features,
+            projection,
+            has_subqueries: walk.ops.subqueries > 0,
+            paths,
+            structural,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparqlog_parser::parse_query;
+
+    fn qa(text: &str) -> QueryAnalysis {
+        QueryAnalysis::of(&parse_query(text).unwrap())
+    }
+
+    #[test]
+    fn single_pass_matches_multiwalk_entry_points() {
+        for text in [
+            "SELECT ?x WHERE { ?x a <http://C> . ?x <http://p> ?y FILTER(?y > 3) } LIMIT 5",
+            "ASK { <http://s> <http://p> <http://o> }",
+            "SELECT ?x WHERE { ?x <http://a>/<http://b>* ?y }",
+            "ASK { ?a <http://p> ?b . ?b <http://p> ?c . ?c <http://p> ?a }",
+            "DESCRIBE <http://r>",
+            "SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E } }",
+            "SELECT ?x WHERE { { ?x <p> ?y } UNION { ?x <q> ?y } }",
+            "SELECT ?x WHERE { ?x a <http://C> FILTER NOT EXISTS { ?x <http://p> ?y } }",
+            "ASK { ?x1 ?p ?x2 . ?x2 <http://a> ?x3 . ?x3 ?p ?x4 }",
+        ] {
+            let q = parse_query(text).unwrap();
+            let single = QueryAnalysis::of(&q);
+            assert_eq!(single.features, QueryFeatures::of(&q), "{text}");
+            assert_eq!(
+                single.projection,
+                sparqlog_algebra::projection_use(&q),
+                "{text}"
+            );
+            assert_eq!(single.structural, StructuralReport::of(&q), "{text}");
+            let mut paths = PathTally::new();
+            for p in sparqlog_algebra::collect_property_paths(&q) {
+                paths.add(p);
+            }
+            assert_eq!(single.paths, paths, "{text}");
+        }
+    }
+
+    #[test]
+    fn path_tally_collects_every_path() {
+        let a = qa("SELECT * WHERE { ?x <a>/<b> ?y . ?y <c>* ?z GRAPH ?g { ?z ^<d> ?w } }");
+        assert_eq!(a.paths.total, 3);
+    }
+}

@@ -14,7 +14,11 @@ fn pct(fraction: f64) -> String {
 /// Table 1: sizes of the query logs (Total / Valid / Unique per dataset).
 pub fn table1(corpus: &CorpusAnalysis) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<14} {:>12} {:>12} {:>12}", "Source", "Total #Q", "Valid #Q", "Unique #Q");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>12} {:>12}",
+        "Source", "Total #Q", "Valid #Q", "Unique #Q"
+    );
     for d in &corpus.datasets {
         let _ = writeln!(
             out,
@@ -23,14 +27,22 @@ pub fn table1(corpus: &CorpusAnalysis) -> String {
         );
     }
     let c = &corpus.combined.counts;
-    let _ = writeln!(out, "{:<14} {:>12} {:>12} {:>12}", "Total", c.total, c.valid, c.unique);
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>12} {:>12}",
+        "Total", c.total, c.valid, c.unique
+    );
     out
 }
 
 /// Table 2 (or Table 7 on the duplicate-keeping population): keyword counts.
 pub fn table2_keywords(combined: &DatasetAnalysis) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<12} {:>12} {:>9}", "Element", "Absolute", "Relative");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>9}",
+        "Element", "Absolute", "Relative"
+    );
     for (label, count, share) in combined.keywords.rows() {
         let _ = writeln!(out, "{:<12} {:>12} {:>9}", label, count, pct(share));
     }
@@ -68,7 +80,9 @@ pub fn figure1_triples(corpus: &CorpusAnalysis) -> String {
         "corpus: <=1 triple {}, <=6 triples {}, <=12 triples {}, max {}",
         pct(t.cumulative_share_at_most(1)),
         pct(t.cumulative_share_at_most(6)),
-        pct(t.cumulative_share_at_most(11).max(t.cumulative_share_at_most(10))),
+        pct(t
+            .cumulative_share_at_most(11)
+            .max(t.cumulative_share_at_most(10))),
         t.max_triples
     );
     out
@@ -79,7 +93,11 @@ pub fn table3_opsets(combined: &DatasetAnalysis) -> String {
     let ops = &combined.opsets;
     let total = ops.total.max(1) as f64;
     let mut out = String::new();
-    let _ = writeln!(out, "{:<18} {:>12} {:>9}", "Operator Set", "Absolute", "Relative");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>12} {:>9}",
+        "Operator Set", "Absolute", "Relative"
+    );
     for (label, count, share) in ops.rows() {
         let _ = writeln!(out, "{:<18} {:>12} {:>9}", label, count, pct(share));
     }
@@ -119,7 +137,12 @@ pub fn section44_projection(combined: &DatasetAnalysis) -> String {
     let p = &combined.projection;
     let mut out = String::new();
     let total = p.total.max(1) as f64;
-    let _ = writeln!(out, "queries with subqueries: {} ({})", p.with_subqueries, pct(p.with_subqueries as f64 / total));
+    let _ = writeln!(
+        out,
+        "queries with subqueries: {} ({})",
+        p.with_subqueries,
+        pct(p.with_subqueries as f64 / total)
+    );
     let _ = writeln!(
         out,
         "projection used: between {} and {} ({} SELECT + {} ASK; {} unknown due to BIND)",
@@ -137,11 +160,36 @@ pub fn section52_fragments(combined: &DatasetAnalysis) -> String {
     let f = &combined.fragments;
     let mut out = String::new();
     let _ = writeln!(out, "Select/Ask queries:          {}", f.select_ask);
-    let _ = writeln!(out, "AOF patterns:                {} ({} of Select/Ask)", f.aof, pct(f.aof_share()));
-    let _ = writeln!(out, "CQ   (of AOF):               {} ({})", f.cq, pct(f.cq_share_of_aof()));
-    let _ = writeln!(out, "CQF  (of AOF):               {} ({})", f.cqf, pct(f.cqf_share_of_aof()));
-    let _ = writeln!(out, "well-designed (of AOF):      {} ({})", f.well_designed, pct(f.well_designed_share_of_aof()));
-    let _ = writeln!(out, "CQOF (of AOF):               {} ({})", f.cqof, pct(f.cqof_share_of_aof()));
+    let _ = writeln!(
+        out,
+        "AOF patterns:                {} ({} of Select/Ask)",
+        f.aof,
+        pct(f.aof_share())
+    );
+    let _ = writeln!(
+        out,
+        "CQ   (of AOF):               {} ({})",
+        f.cq,
+        pct(f.cq_share_of_aof())
+    );
+    let _ = writeln!(
+        out,
+        "CQF  (of AOF):               {} ({})",
+        f.cqf,
+        pct(f.cqf_share_of_aof())
+    );
+    let _ = writeln!(
+        out,
+        "well-designed (of AOF):      {} ({})",
+        f.well_designed,
+        pct(f.well_designed_share_of_aof())
+    );
+    let _ = writeln!(
+        out,
+        "CQOF (of AOF):               {} ({})",
+        f.cqof,
+        pct(f.cqof_share_of_aof())
+    );
     let _ = writeln!(out, "AOF with variable predicate: {}", f.aof_var_predicate);
     let _ = writeln!(out, "interface width > 1:         {}", f.wide_interface);
     out
@@ -162,14 +210,25 @@ pub fn figure5_sizes(combined: &DatasetAnalysis) -> String {
         ("CQF", &combined.sizes_cqf),
         ("CQOF", &combined.sizes_cqof),
     ] {
-        let multi = (h.total - h.one_triple - (h.total - h.one_triple - h.buckets.iter().sum::<u64>() - h.eleven_plus)).max(1);
+        let multi = (h.total
+            - h.one_triple
+            - (h.total - h.one_triple - h.buckets.iter().sum::<u64>() - h.eleven_plus))
+            .max(1);
         let multi_total = (h.buckets.iter().sum::<u64>() + h.eleven_plus).max(1) as f64;
         let _ = multi;
         let mut row = format!("{:<6} {:>12}", name, pct(h.one_triple_share()));
         for b in h.buckets {
-            let _ = write!(row, "{:>8}", format!("{:.1}%", b as f64 / multi_total * 100.0));
+            let _ = write!(
+                row,
+                "{:>8}",
+                format!("{:.1}%", b as f64 / multi_total * 100.0)
+            );
         }
-        let _ = write!(row, "{:>8}", format!("{:.1}%", h.eleven_plus as f64 / multi_total * 100.0));
+        let _ = write!(
+            row,
+            "{:>8}",
+            format!("{:.1}%", h.eleven_plus as f64 / multi_total * 100.0)
+        );
         let _ = writeln!(out, "{row}   (max {} triples)", h.max_triples);
     }
     out
@@ -210,7 +269,10 @@ pub fn section61_cycles(combined: &DatasetAnalysis) -> String {
         "single-edge CQ-like queries whose edge involves a constant: {}",
         combined.single_edge_with_constants
     );
-    let _ = writeln!(out, "shortest cycle length distribution (cyclic CQ-like queries):");
+    let _ = writeln!(
+        out,
+        "shortest cycle length distribution (cyclic CQ-like queries):"
+    );
     for (len, count) in &combined.cycle_lengths {
         let _ = writeln!(out, "  girth {len:>2}: {count}");
     }
@@ -229,7 +291,11 @@ pub fn section62_hypertree(combined: &DatasetAnalysis) -> String {
     let _ = writeln!(out, "  hypertree width 2: {}", h.width2);
     let _ = writeln!(out, "  hypertree width 3: {}", h.width3);
     let _ = writeln!(out, "  wider / inexact:   {}", h.wider_or_unknown);
-    let _ = writeln!(out, "  decompositions with > 100 nodes: {}", h.over_100_nodes);
+    let _ = writeln!(
+        out,
+        "  decompositions with > 100 nodes: {}",
+        h.over_100_nodes
+    );
     let _ = writeln!(out, "  largest decomposition: {} nodes", h.max_nodes);
     out
 }
@@ -239,16 +305,37 @@ pub fn table5_paths(combined: &DatasetAnalysis) -> String {
     let p = &combined.paths;
     let mut out = String::new();
     let _ = writeln!(out, "property paths total: {}", p.total);
-    let _ = writeln!(out, "  !a: {}   ^a: {}", p.negated_literal, p.inverse_literal);
-    let _ = writeln!(out, "  navigational: {} ({} use inverse, {} outside C_tract)", p.navigational(), p.with_inverse, p.potentially_hard);
-    let _ = writeln!(out, "{:<24} {:>10} {:>9} {:>8}", "Expression Type", "Absolute", "Relative", "k");
+    let _ = writeln!(
+        out,
+        "  !a: {}   ^a: {}",
+        p.negated_literal, p.inverse_literal
+    );
+    let _ = writeln!(
+        out,
+        "  navigational: {} ({} use inverse, {} outside C_tract)",
+        p.navigational(),
+        p.with_inverse,
+        p.potentially_hard
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>10} {:>9} {:>8}",
+        "Expression Type", "Absolute", "Relative", "k"
+    );
     for (label, count, share, range) in p.rows() {
         let k = match range {
             Some((a, b)) if a == b => format!("{a}"),
             Some((a, b)) => format!("{a}-{b}"),
             None => String::new(),
         };
-        let _ = writeln!(out, "{:<24} {:>10} {:>9} {:>8}", label, count, pct(share), k);
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>9} {:>8}",
+            label,
+            count,
+            pct(share),
+            k
+        );
     }
     out
 }
@@ -269,7 +356,11 @@ pub fn table6_streaks(histograms: &[(String, StreakHistogram)]) -> String {
         };
         let mut row = format!("{label:<14}");
         for (_, h) in histograms {
-            let value = if bucket < 10 { h.decades[bucket] } else { h.over_100 };
+            let value = if bucket < 10 {
+                h.decades[bucket]
+            } else {
+                h.over_100
+            };
             let _ = write!(row, " {value:>12}");
         }
         let _ = writeln!(out, "{row}");
@@ -293,7 +384,8 @@ mod tests {
             ingest(&RawLog::new(
                 "A",
                 vec![
-                    "SELECT ?x WHERE { ?x a <http://C> . ?x <http://p> ?y FILTER(?y > 3) } LIMIT 5".to_string(),
+                    "SELECT ?x WHERE { ?x a <http://C> . ?x <http://p> ?y FILTER(?y > 3) } LIMIT 5"
+                        .to_string(),
                     "ASK { ?a <http://p> ?b . ?b <http://p> ?c . ?c <http://p> ?a }".to_string(),
                     "SELECT ?x WHERE { ?x <http://a>/<http://b>* ?y }".to_string(),
                     "garbage entry".to_string(),
@@ -346,15 +438,34 @@ mod tests {
     fn table4_has_all_shape_rows() {
         let corpus = small_corpus();
         let t = table4_shapes(&corpus.combined);
-        for row in ["single edge", "chain", "star", "tree", "forest", "cycle", "flower", "treewidth"] {
+        for row in [
+            "single edge",
+            "chain",
+            "star",
+            "tree",
+            "forest",
+            "cycle",
+            "flower",
+            "treewidth",
+        ] {
             assert!(t.contains(row), "missing row {row} in:\n{t}");
         }
     }
 
     #[test]
     fn table6_renders_histograms_side_by_side() {
-        let h1 = StreakHistogram { decades: [5, 1, 0, 0, 0, 0, 0, 0, 0, 0], over_100: 0, total: 6, longest: 17 };
-        let h2 = StreakHistogram { decades: [2, 0, 0, 0, 0, 0, 0, 0, 0, 0], over_100: 1, total: 3, longest: 169 };
+        let h1 = StreakHistogram {
+            decades: [5, 1, 0, 0, 0, 0, 0, 0, 0, 0],
+            over_100: 0,
+            total: 6,
+            longest: 17,
+        };
+        let h2 = StreakHistogram {
+            decades: [2, 0, 0, 0, 0, 0, 0, 0, 0, 0],
+            over_100: 1,
+            total: 3,
+            longest: 169,
+        };
         let t = table6_streaks(&[("DBP'15".to_string(), h1), ("DBP'16".to_string(), h2)]);
         assert!(t.contains("DBP'15"));
         assert!(t.contains("169"));

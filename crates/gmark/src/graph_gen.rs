@@ -16,7 +16,10 @@ pub struct GraphConfig {
 
 impl Default for GraphConfig {
     fn default() -> Self {
-        GraphConfig { nodes: 10_000, seed: 42 }
+        GraphConfig {
+            nodes: 10_000,
+            seed: 42,
+        }
     }
 }
 
@@ -60,8 +63,9 @@ pub fn generate_graph(schema: &Schema, config: GraphConfig) -> GraphInstance {
     let mut nodes_by_type: Vec<Vec<String>> = Vec::with_capacity(schema.node_types.len());
     for (i, ty) in schema.node_types.iter().enumerate() {
         let count = ((config.nodes as f64) * proportions[i]).round().max(1.0) as usize;
-        let nodes =
-            (0..count).map(|n| format!("http://gmark.example/{}/{n}", ty.name)).collect();
+        let nodes = (0..count)
+            .map(|n| format!("http://gmark.example/{}/{n}", ty.name))
+            .collect();
         nodes_by_type.push(nodes);
     }
 
@@ -83,7 +87,10 @@ pub fn generate_graph(schema: &Schema, config: GraphConfig) -> GraphInstance {
             }
         }
     }
-    GraphInstance { nodes_by_type, triples }
+    GraphInstance {
+        nodes_by_type,
+        triples,
+    }
 }
 
 fn sample_degree(rng: &mut StdRng, dist: DegreeDistribution) -> u32 {
@@ -122,17 +129,41 @@ mod tests {
     #[test]
     fn generation_is_deterministic_for_a_seed() {
         let schema = Schema::bib();
-        let a = generate_graph(&schema, GraphConfig { nodes: 500, seed: 7 });
-        let b = generate_graph(&schema, GraphConfig { nodes: 500, seed: 7 });
+        let a = generate_graph(
+            &schema,
+            GraphConfig {
+                nodes: 500,
+                seed: 7,
+            },
+        );
+        let b = generate_graph(
+            &schema,
+            GraphConfig {
+                nodes: 500,
+                seed: 7,
+            },
+        );
         assert_eq!(a.triples, b.triples);
-        let c = generate_graph(&schema, GraphConfig { nodes: 500, seed: 8 });
+        let c = generate_graph(
+            &schema,
+            GraphConfig {
+                nodes: 500,
+                seed: 8,
+            },
+        );
         assert_ne!(a.triples, c.triples);
     }
 
     #[test]
     fn node_counts_respect_proportions() {
         let schema = Schema::bib();
-        let g = generate_graph(&schema, GraphConfig { nodes: 1000, seed: 1 });
+        let g = generate_graph(
+            &schema,
+            GraphConfig {
+                nodes: 1000,
+                seed: 1,
+            },
+        );
         assert!((g.node_count() as i64 - 1000).abs() <= 4);
         // Researchers are the largest class (50 %).
         assert!(g.nodes_by_type[0].len() > g.nodes_by_type[1].len());
@@ -142,8 +173,17 @@ mod tests {
     #[test]
     fn triples_use_schema_predicates_and_types() {
         let schema = Schema::bib();
-        let g = generate_graph(&schema, GraphConfig { nodes: 300, seed: 3 });
-        assert!(g.triple_count() > 300, "a Bib graph has more edges than nodes");
+        let g = generate_graph(
+            &schema,
+            GraphConfig {
+                nodes: 300,
+                seed: 3,
+            },
+        );
+        assert!(
+            g.triple_count() > 300,
+            "a Bib graph has more edges than nodes"
+        );
         for (s, p, o) in &g.triples {
             assert!(p.starts_with("http://gmark.example/bib/"));
             assert!(s.starts_with("http://gmark.example/"));
@@ -165,7 +205,13 @@ mod tests {
     #[test]
     fn store_loading_round_trips() {
         let schema = Schema::bib();
-        let g = generate_graph(&schema, GraphConfig { nodes: 200, seed: 5 });
+        let g = generate_graph(
+            &schema,
+            GraphConfig {
+                nodes: 200,
+                seed: 5,
+            },
+        );
         let store = g.to_store();
         assert!(!store.is_empty());
         assert!(store.len() <= g.triple_count());

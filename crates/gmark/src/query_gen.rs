@@ -7,7 +7,7 @@ use crate::schema::Schema;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use sparqlog_store::{CqAtom, CqTerm, ConjunctiveQuery};
+use sparqlog_store::{ConjunctiveQuery, CqAtom, CqTerm};
 
 /// The query shapes the generator can produce (gMark's four shapes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -59,7 +59,10 @@ pub struct Workload {
 impl Workload {
     /// Renders every query as a SPARQL ASK query.
     pub fn to_ask_sparql(&self) -> Vec<String> {
-        self.queries.iter().map(ConjunctiveQuery::to_ask_sparql).collect()
+        self.queries
+            .iter()
+            .map(ConjunctiveQuery::to_ask_sparql)
+            .collect()
     }
 }
 
@@ -90,8 +93,9 @@ pub fn generate_workload(schema: &Schema, config: WorkloadConfig) -> Workload {
 /// arbitrary predicate if the walk gets stuck (cannot happen with the Bib
 /// schema, which has outgoing edges for every type reachable in a walk).
 fn predicate_walk(schema: &Schema, rng: &mut StdRng, length: usize, close: bool) -> Vec<String> {
-    let start_candidates: Vec<usize> =
-        (0..schema.node_types.len()).filter(|&t| !schema.outgoing(t).is_empty()).collect();
+    let start_candidates: Vec<usize> = (0..schema.node_types.len())
+        .filter(|&t| !schema.outgoing(t).is_empty())
+        .collect();
     if start_candidates.is_empty() || schema.edge_types.is_empty() {
         return vec![String::from("http://gmark.example/bib/knows"); length];
     }
@@ -135,9 +139,7 @@ fn predicate_walk(schema: &Schema, rng: &mut StdRng, length: usize, close: bool)
             best = Some(walk);
         }
     }
-    best.unwrap_or_else(|| {
-        vec![schema.edge_types[0].predicate.clone(); length]
-    })
+    best.unwrap_or_else(|| vec![schema.edge_types[0].predicate.clone(); length])
 }
 
 fn chain(schema: &Schema, rng: &mut StdRng, length: usize) -> ConjunctiveQuery {
@@ -152,8 +154,9 @@ fn cycle(schema: &Schema, rng: &mut StdRng, length: usize) -> ConjunctiveQuery {
 
 fn star(schema: &Schema, rng: &mut StdRng, branches: usize) -> ConjunctiveQuery {
     // All branches start from the same node type.
-    let start_candidates: Vec<usize> =
-        (0..schema.node_types.len()).filter(|&t| !schema.outgoing(t).is_empty()).collect();
+    let start_candidates: Vec<usize> = (0..schema.node_types.len())
+        .filter(|&t| !schema.outgoing(t).is_empty())
+        .collect();
     let start = start_candidates[rng.gen_range(0..start_candidates.len())];
     let outgoing = schema.outgoing(start);
     let preds: Vec<String> = (0..branches)
@@ -170,8 +173,11 @@ fn chain_star(schema: &Schema, rng: &mut StdRng, length: usize) -> ConjunctiveQu
     let chain_preds = predicate_walk(schema, rng, chain_len, false);
     let mut query = sparqlog_store::chain_query(&chain_preds);
     let centre = format!("x{chain_len}");
-    let outgoing_all: Vec<&str> =
-        schema.edge_types.iter().map(|e| e.predicate.as_str()).collect();
+    let outgoing_all: Vec<&str> = schema
+        .edge_types
+        .iter()
+        .map(|e| e.predicate.as_str())
+        .collect();
     for i in 0..star_len {
         let p = outgoing_all[rng.gen_range(0..outgoing_all.len())];
         query.atoms.push(CqAtom::new(
@@ -192,7 +198,12 @@ mod tests {
     fn workload(shape: QueryShape, length: usize) -> Workload {
         generate_workload(
             &Schema::bib(),
-            WorkloadConfig { shape, length, count: 20, seed: 11 },
+            WorkloadConfig {
+                shape,
+                length,
+                count: 20,
+                seed: 11,
+            },
         )
     }
 
@@ -249,15 +260,29 @@ mod tests {
         let schema = Schema::bib();
         let w = generate_workload(
             &schema,
-            WorkloadConfig { shape: QueryShape::Chain, length: 3, count: 50, seed: 3 },
+            WorkloadConfig {
+                shape: QueryShape::Chain,
+                length: 3,
+                count: 50,
+                seed: 3,
+            },
         );
         let type_of_pred = |p: &str| {
-            schema.edge_types.iter().find(|e| e.predicate == p).map(|e| (e.from, e.to)).unwrap()
+            schema
+                .edge_types
+                .iter()
+                .find(|e| e.predicate == p)
+                .map(|e| (e.from, e.to))
+                .unwrap()
         };
         for q in &w.queries {
             for pair in q.atoms.windows(2) {
-                let CqTerm::Const(p1) = &pair[0].predicate else { panic!() };
-                let CqTerm::Const(p2) = &pair[1].predicate else { panic!() };
+                let CqTerm::Const(p1) = &pair[0].predicate else {
+                    panic!()
+                };
+                let CqTerm::Const(p2) = &pair[1].predicate else {
+                    panic!()
+                };
                 let (_, to1) = type_of_pred(p1);
                 let (from2, _) = type_of_pred(p2);
                 assert_eq!(to1, from2, "incompatible walk: {p1} then {p2}");

@@ -72,10 +72,22 @@ impl Schema {
     /// paper's Section 5.1 experiment.
     pub fn bib() -> Schema {
         let node_types = vec![
-            NodeType { name: "researcher".into(), proportion: 0.5 },
-            NodeType { name: "paper".into(), proportion: 0.3 },
-            NodeType { name: "journal".into(), proportion: 0.1 },
-            NodeType { name: "conference".into(), proportion: 0.1 },
+            NodeType {
+                name: "researcher".into(),
+                proportion: 0.5,
+            },
+            NodeType {
+                name: "paper".into(),
+                proportion: 0.3,
+            },
+            NodeType {
+                name: "journal".into(),
+                proportion: 0.1,
+            },
+            NodeType {
+                name: "conference".into(),
+                proportion: 0.1,
+            },
         ];
         let p = |s: &str| format!("http://gmark.example/bib/{s}");
         let edge_types = vec![
@@ -83,7 +95,10 @@ impl Schema {
                 predicate: p("authorOf"),
                 from: 0,
                 to: 1,
-                degree: DegreeDistribution::Zipf { alpha: 1.7, max: 40 },
+                degree: DegreeDistribution::Zipf {
+                    alpha: 1.7,
+                    max: 40,
+                },
             },
             EdgeType {
                 predicate: p("knows"),
@@ -95,7 +110,10 @@ impl Schema {
                 predicate: p("cites"),
                 from: 1,
                 to: 1,
-                degree: DegreeDistribution::Zipf { alpha: 1.5, max: 30 },
+                degree: DegreeDistribution::Zipf {
+                    alpha: 1.5,
+                    max: 30,
+                },
             },
             EdgeType {
                 predicate: p("publishedIn"),
@@ -116,13 +134,19 @@ impl Schema {
                 degree: DegreeDistribution::Uniform { min: 0, max: 5 },
             },
         ];
-        Schema { node_types, edge_types }
+        Schema {
+            node_types,
+            edge_types,
+        }
     }
 
     /// The normalised node-type proportions (summing to 1).
     pub fn normalized_proportions(&self) -> Vec<f64> {
         let total: f64 = self.node_types.iter().map(|n| n.proportion).sum();
-        self.node_types.iter().map(|n| n.proportion / total.max(f64::MIN_POSITIVE)).collect()
+        self.node_types
+            .iter()
+            .map(|n| n.proportion / total.max(f64::MIN_POSITIVE))
+            .collect()
     }
 
     /// The edge types whose source type is `ty`.

@@ -5,7 +5,7 @@
 //! Section 6.2 of the paper, combining the [`sparqlog_algebra`] fragment
 //! machinery with this crate's graph and hypergraph analyses.
 
-use crate::graph::{CanonicalGraph, GraphMode};
+use crate::graph::CanonicalGraph;
 use crate::hypergraph::Hypergraph;
 use crate::hypertree::{generalized_hypertree_width, HypertreeWidth};
 use crate::shape::ShapeReport;
@@ -49,16 +49,44 @@ pub struct HypertreeReportEntry {
 
 impl From<HypertreeWidth> for HypertreeReportEntry {
     fn from(h: HypertreeWidth) -> Self {
-        HypertreeReportEntry { width: h.width, nodes: h.nodes, exact: h.exact }
+        HypertreeReportEntry {
+            width: h.width,
+            nodes: h.nodes,
+            exact: h.exact,
+        }
     }
 }
 
 impl StructuralReport {
-    /// Analyses one query. Non-CQ-like queries get only their fragment
-    /// classification; CQ-like queries additionally get a shape, treewidth
-    /// and (when they use variable predicates) a hypertree width.
+    /// Analyses one query through the original multi-walk path: the fragment
+    /// classification re-traverses the query and the pattern tree is rebuilt
+    /// from scratch. Kept as the reference the differential tests compare the
+    /// single-pass pipeline ([`StructuralReport::from_walk`]) against.
     pub fn of(query: &Query) -> StructuralReport {
         let fragments = classify_fragments(query);
+        // Build the tree only when the structural analysis will use it,
+        // matching the laziness of the original implementation.
+        let tree = (fragments.in_cqof() && fragments.select_or_ask)
+            .then(|| PatternTree::build(query))
+            .flatten();
+        StructuralReport::from_parts(fragments, tree.as_ref())
+    }
+
+    /// Analyses one query from a completed
+    /// [`QueryWalk`](sparqlog_algebra::walk::QueryWalk): the fragment report
+    /// and the pattern tree both come out of the walk's single traversal, so
+    /// no part of the query is visited again.
+    pub fn from_walk(fragments: FragmentReport, tree: Option<&PatternTree>) -> StructuralReport {
+        StructuralReport::from_parts(fragments, tree)
+    }
+
+    /// Non-CQ-like queries get only their fragment classification; CQ-like
+    /// queries additionally get a shape, treewidth and (when they use
+    /// variable predicates) a hypertree width. The canonical graph is
+    /// constructed **once**, in both modes simultaneously
+    /// ([`CanonicalGraph::from_triples_both`]), and shared by the shape,
+    /// treewidth, girth and constants-excluded analyses.
+    fn from_parts(fragments: FragmentReport, tree: Option<&PatternTree>) -> StructuralReport {
         let mut report = StructuralReport {
             fragments,
             shape: None,
@@ -74,32 +102,28 @@ impl StructuralReport {
         // CQ-like query: gather its triples and equality filters through the
         // pattern tree (CQ and CQF queries are single-node trees; CQOF adds
         // the OPTIONAL levels, whose triples also enter the canonical graph).
-        let Some(tree) = PatternTree::build(query) else {
+        let Some(tree) = tree else {
             return report;
         };
-        let triples: Vec<_> = tree.all_triples().into_iter().cloned().collect();
+        let triples = tree.all_triples();
         let filters = tree.all_filters();
         let equalities = variable_equalities(&filters);
 
         if fragments.has_var_predicate {
             // Graph analysis is not meaningful; use the hypergraph.
-            let hg = Hypergraph::from_triples(&triples, &equalities);
+            let hg = Hypergraph::from_triple_refs(&triples, &equalities);
             report.hypertree = generalized_hypertree_width(&hg, 5).map(Into::into);
             return report;
         }
-        if let Some(graph) =
-            CanonicalGraph::from_triples(&triples, &equalities, GraphMode::WithConstants)
+        if let Some((with_constants, vars_only)) =
+            CanonicalGraph::from_triples_both(&triples, &equalities)
         {
-            report.shape = Some(ShapeReport::classify(&graph));
-            report.treewidth = Some(match treewidth(&graph) {
+            report.shape = Some(ShapeReport::classify(&with_constants));
+            report.treewidth = Some(match treewidth(&with_constants) {
                 Treewidth::Exact(k) | Treewidth::UpperBound(k) => k,
             });
-            report.shortest_cycle = graph.girth();
-        }
-        if let Some(graph) =
-            CanonicalGraph::from_triples(&triples, &equalities, GraphMode::VariablesOnly)
-        {
-            report.shape_vars_only = Some(ShapeReport::classify(&graph));
+            report.shortest_cycle = with_constants.girth();
+            report.shape_vars_only = Some(ShapeReport::classify(&vars_only));
         }
         report
     }
@@ -168,9 +192,7 @@ mod tests {
     fn equality_filter_can_create_cycles() {
         // Without the filter this is a chain; collapsing ?d = ?a closes it
         // into a cycle of length 3.
-        let r = analyze(
-            "SELECT * WHERE { ?a <p> ?b . ?b <p> ?c . ?c <p> ?d FILTER(?d = ?a) }",
-        );
+        let r = analyze("SELECT * WHERE { ?a <p> ?b . ?b <p> ?c . ?c <p> ?d FILTER(?d = ?a) }");
         let shape = r.shape.unwrap();
         assert!(shape.cycle);
         assert_eq!(r.treewidth, Some(2));

@@ -59,58 +59,50 @@ impl CanonicalGraph {
         equalities: &[(String, String)],
         mode: GraphMode,
     ) -> Option<CanonicalGraph> {
+        let refs: Vec<&TriplePattern> = triples.iter().collect();
+        CanonicalGraph::from_triple_refs(&refs, equalities, mode)
+    }
+
+    /// [`CanonicalGraph::from_triples`] over borrowed triples — the form the
+    /// single-pass pipeline uses, where the triples are borrowed from a
+    /// pattern tree instead of being cloned.
+    pub fn from_triple_refs(
+        triples: &[&TriplePattern],
+        equalities: &[(String, String)],
+        mode: GraphMode,
+    ) -> Option<CanonicalGraph> {
         if triples.iter().any(|t| t.predicate.is_var()) {
             return None;
         }
-        // Union-find over variable names for equality collapsing.
-        let mut uf = UnionFind::new();
-        for (a, b) in equalities {
-            uf.union(&format!("?{a}"), &format!("?{b}"));
-        }
-
-        let mut graph = CanonicalGraph::default();
-        let mut index: BTreeMap<String, usize> = BTreeMap::new();
-
-        let node_of = |term: &Term,
-                           graph: &mut CanonicalGraph,
-                           index: &mut BTreeMap<String, usize>,
-                           uf: &mut UnionFind|
-         -> Option<usize> {
-            let label = match term {
-                Term::Var(v) => uf.find(&format!("?{v}")),
-                Term::BlankNode(b) => format!("_:{b}"),
-                Term::Iri(_) | Term::Literal { .. } => {
-                    if mode == GraphMode::VariablesOnly {
-                        return None;
-                    }
-                    term.to_string()
-                }
-            };
-            Some(*index.entry(label.clone()).or_insert_with(|| {
-                graph.labels.push(label);
-                graph.adj.push(BTreeSet::new());
-                graph.labels.len() - 1
-            }))
-        };
-
+        let mut uf = UnionFind::from_equalities(equalities);
+        let mut builder = GraphBuilder::new(mode);
         for t in triples {
-            let s = node_of(&t.subject, &mut graph, &mut index, &mut uf);
-            let o = node_of(&t.object, &mut graph, &mut index, &mut uf);
-            match (s, o) {
-                (Some(a), Some(b)) if a == b => graph.self_loops += 1,
-                (Some(a), Some(b)) => {
-                    if graph.adj[a].contains(&b) {
-                        graph.parallel_edges += 1;
-                    } else {
-                        graph.adj[a].insert(b);
-                        graph.adj[b].insert(a);
-                    }
-                }
-                (Some(_), None) | (None, Some(_)) => graph.self_loops += 1,
-                (None, None) => graph.skipped_triples += 1,
-            }
+            builder.add_triple(t, &mut uf);
         }
-        Some(graph)
+        Some(builder.graph)
+    }
+
+    /// Builds the canonical graph in **both** modes in a single pass over the
+    /// triples: the with-constants graph (shape, treewidth, girth) and the
+    /// variables-only graph (the Section 6.1 "excluding constants" rerun).
+    /// This is the one canonical-graph construction of the single-pass
+    /// pipeline. Returns `None` when a predicate is a variable, exactly like
+    /// [`CanonicalGraph::from_triples`].
+    pub fn from_triples_both(
+        triples: &[&TriplePattern],
+        equalities: &[(String, String)],
+    ) -> Option<(CanonicalGraph, CanonicalGraph)> {
+        if triples.iter().any(|t| t.predicate.is_var()) {
+            return None;
+        }
+        let mut uf = UnionFind::from_equalities(equalities);
+        let mut with_constants = GraphBuilder::new(GraphMode::WithConstants);
+        let mut vars_only = GraphBuilder::new(GraphMode::VariablesOnly);
+        for t in triples {
+            with_constants.add_triple(t, &mut uf);
+            vars_only.add_triple(t, &mut uf);
+        }
+        Some((with_constants.graph, vars_only.graph))
     }
 
     /// Number of nodes.
@@ -194,8 +186,11 @@ impl CanonicalGraph {
     pub fn has_cycle(&self) -> bool {
         // A graph is acyclic iff every component has |E| = |V| - 1.
         for comp in self.connected_components() {
-            let edges: usize =
-                comp.iter().map(|&v| self.adj[v].iter().filter(|w| comp.contains(w)).count()).sum::<usize>() / 2;
+            let edges: usize = comp
+                .iter()
+                .map(|&v| self.adj[v].iter().filter(|w| comp.contains(w)).count())
+                .sum::<usize>()
+                / 2;
             if edges >= comp.len() {
                 return true;
             }
@@ -232,6 +227,63 @@ impl CanonicalGraph {
     }
 }
 
+/// Incremental construction of one [`CanonicalGraph`] under a fixed
+/// [`GraphMode`]; kept separate from the entry points so one triple scan can
+/// feed several builders.
+#[derive(Debug)]
+struct GraphBuilder {
+    graph: CanonicalGraph,
+    index: BTreeMap<String, usize>,
+    mode: GraphMode,
+}
+
+impl GraphBuilder {
+    fn new(mode: GraphMode) -> GraphBuilder {
+        GraphBuilder {
+            graph: CanonicalGraph::default(),
+            index: BTreeMap::new(),
+            mode,
+        }
+    }
+
+    fn node_of(&mut self, term: &Term, uf: &mut UnionFind) -> Option<usize> {
+        let label = match term {
+            Term::Var(v) => uf.find(&format!("?{v}")),
+            Term::BlankNode(b) => format!("_:{b}"),
+            Term::Iri(_) | Term::Literal { .. } => {
+                if self.mode == GraphMode::VariablesOnly {
+                    return None;
+                }
+                term.to_string()
+            }
+        };
+        Some(*self.index.entry(label.clone()).or_insert_with(|| {
+            self.graph.labels.push(label);
+            self.graph.adj.push(BTreeSet::new());
+            self.graph.labels.len() - 1
+        }))
+    }
+
+    fn add_triple(&mut self, t: &TriplePattern, uf: &mut UnionFind) {
+        let s = self.node_of(&t.subject, uf);
+        let o = self.node_of(&t.object, uf);
+        let graph = &mut self.graph;
+        match (s, o) {
+            (Some(a), Some(b)) if a == b => graph.self_loops += 1,
+            (Some(a), Some(b)) => {
+                if graph.adj[a].contains(&b) {
+                    graph.parallel_edges += 1;
+                } else {
+                    graph.adj[a].insert(b);
+                    graph.adj[b].insert(a);
+                }
+            }
+            (Some(_), None) | (None, Some(_)) => graph.self_loops += 1,
+            (None, None) => graph.skipped_triples += 1,
+        }
+    }
+}
+
 /// A tiny union-find over string keys used for `?x = ?y` collapsing.
 #[derive(Debug, Default)]
 struct UnionFind {
@@ -239,8 +291,13 @@ struct UnionFind {
 }
 
 impl UnionFind {
-    fn new() -> Self {
-        Self::default()
+    /// Builds the union-find for a set of `?x = ?y` equality pairs.
+    fn from_equalities(equalities: &[(String, String)]) -> UnionFind {
+        let mut uf = UnionFind::default();
+        for (a, b) in equalities {
+            uf.union(&format!("?{a}"), &format!("?{b}"));
+        }
+        uf
     }
 
     fn find(&mut self, key: &str) -> String {
@@ -283,7 +340,11 @@ mod tests {
 
     #[test]
     fn builds_chain_graph() {
-        let triples = [t("?x1", "a", "?x2"), t("?x2", "b", "?x3"), t("?x3", "c", "?x4")];
+        let triples = [
+            t("?x1", "a", "?x2"),
+            t("?x2", "b", "?x3"),
+            t("?x3", "c", "?x4"),
+        ];
         let g = CanonicalGraph::from_triples(&triples, &[], GraphMode::WithConstants).unwrap();
         assert_eq!(g.node_count(), 4);
         assert_eq!(g.edge_count(), 3);
@@ -294,7 +355,11 @@ mod tests {
 
     #[test]
     fn variable_predicate_is_rejected() {
-        let triples = [TriplePattern::new(Term::var("x"), Term::var("p"), Term::var("y"))];
+        let triples = [TriplePattern::new(
+            Term::var("x"),
+            Term::var("p"),
+            Term::var("y"),
+        )];
         assert!(CanonicalGraph::from_triples(&triples, &[], GraphMode::WithConstants).is_none());
     }
 
@@ -304,7 +369,8 @@ mod tests {
         let with = CanonicalGraph::from_triples(&triples, &[], GraphMode::WithConstants).unwrap();
         assert_eq!(with.node_count(), 3);
         assert_eq!(with.edge_count(), 2);
-        let without = CanonicalGraph::from_triples(&triples, &[], GraphMode::VariablesOnly).unwrap();
+        let without =
+            CanonicalGraph::from_triples(&triples, &[], GraphMode::VariablesOnly).unwrap();
         assert_eq!(without.node_count(), 1);
         assert_eq!(without.edge_count(), 0);
         assert_eq!(without.self_loops, 2);

@@ -24,8 +24,16 @@ pub struct Hypergraph {
 impl Hypergraph {
     /// Builds the canonical hypergraph of a set of triple patterns.
     /// `equalities` lists `?x = ?y` filter pairs that are collapsed.
-    pub fn from_triples(
-        triples: &[TriplePattern],
+    pub fn from_triples(triples: &[TriplePattern], equalities: &[(String, String)]) -> Hypergraph {
+        let refs: Vec<&TriplePattern> = triples.iter().collect();
+        Hypergraph::from_triple_refs(&refs, equalities)
+    }
+
+    /// [`Hypergraph::from_triples`] over borrowed triples — the form the
+    /// single-pass pipeline uses, where the triples are borrowed from a
+    /// pattern tree instead of being cloned.
+    pub fn from_triple_refs(
+        triples: &[&TriplePattern],
         equalities: &[(String, String)],
     ) -> Hypergraph {
         let mut rename: BTreeMap<String, String> = BTreeMap::new();
@@ -118,8 +126,11 @@ impl Hypergraph {
                     *occurrence.entry(v).or_insert(0) += 1;
                 }
             }
-            let lonely: BTreeSet<usize> =
-                occurrence.iter().filter(|(_, &c)| c == 1).map(|(&v, _)| v).collect();
+            let lonely: BTreeSet<usize> = occurrence
+                .iter()
+                .filter(|(_, &c)| c == 1)
+                .map(|(&v, _)| v)
+                .collect();
             if !lonely.is_empty() {
                 for e in &mut edges {
                     let before = e.len();
@@ -137,9 +148,10 @@ impl Hypergraph {
                 if e.is_empty() {
                     continue;
                 }
-                let subsumed = edges.iter().enumerate().any(|(j, f)| {
-                    i != j && e.is_subset(f) && (e.len() < f.len() || j < i)
-                });
+                let subsumed = edges
+                    .iter()
+                    .enumerate()
+                    .any(|(j, f)| i != j && e.is_subset(f) && (e.len() < f.len() || j < i));
                 if !subsumed {
                     kept.push(e.clone());
                 }

@@ -53,23 +53,43 @@ pub fn generalized_hypertree_width_with_limit(
 ) -> Option<HypertreeWidth> {
     let edges = h.reduced_edges();
     if edges.is_empty() {
-        return Some(HypertreeWidth { width: 0, nodes: 0, exact: true });
+        return Some(HypertreeWidth {
+            width: 0,
+            nodes: 0,
+            exact: true,
+        });
     }
     if h.is_acyclic() {
-        return Some(HypertreeWidth { width: 1, nodes: edges.len(), exact: true });
+        return Some(HypertreeWidth {
+            width: 1,
+            nodes: edges.len(),
+            exact: true,
+        });
     }
     if edges.len() > edge_limit {
         // Greedy upper bound: cover all vertices component by component with
         // a set-cover heuristic; the width is the number of edges needed for
         // the largest bag produced.
         let width = greedy_cover_bound(&edges);
-        return Some(HypertreeWidth { width, nodes: 1, exact: false });
+        return Some(HypertreeWidth {
+            width,
+            nodes: 1,
+            exact: false,
+        });
     }
     let all_vertices: BTreeSet<usize> = edges.iter().flatten().copied().collect();
     for k in 2..=max_k {
-        let mut solver = Solver { edges: &edges, k, memo: HashMap::new() };
+        let mut solver = Solver {
+            edges: &edges,
+            k,
+            memo: HashMap::new(),
+        };
         if let Some(nodes) = solver.decompose(&all_vertices, &BTreeSet::new()) {
-            return Some(HypertreeWidth { width: k, nodes, exact: true });
+            return Some(HypertreeWidth {
+                width: k,
+                nodes,
+                exact: true,
+            });
         }
     }
     None
@@ -106,7 +126,11 @@ impl Solver<'_> {
     /// interface to the rest of the decomposition is `connector`. Returns the
     /// number of decomposition nodes used, or `None` if impossible with the
     /// solver's width `k`.
-    fn decompose(&mut self, component: &BTreeSet<usize>, connector: &BTreeSet<usize>) -> Option<usize> {
+    fn decompose(
+        &mut self,
+        component: &BTreeSet<usize>,
+        connector: &BTreeSet<usize>,
+    ) -> Option<usize> {
         let key = (
             component.iter().copied().collect::<Vec<_>>(),
             connector.iter().copied().collect::<Vec<_>>(),
@@ -138,8 +162,10 @@ impl Solver<'_> {
             if lambda.is_empty() {
                 continue;
             }
-            let bag: BTreeSet<usize> =
-                lambda.iter().flat_map(|&i| self.edges[i].iter().copied()).collect();
+            let bag: BTreeSet<usize> = lambda
+                .iter()
+                .flat_map(|&i| self.edges[i].iter().copied())
+                .collect();
             // The bag must cover the connector and make progress on the
             // component.
             if !connector.iter().all(|v| bag.contains(v)) {
@@ -195,8 +221,10 @@ impl Solver<'_> {
             if lambda.is_empty() {
                 continue;
             }
-            let bag: BTreeSet<usize> =
-                lambda.iter().flat_map(|&i| self.edges[i].iter().copied()).collect();
+            let bag: BTreeSet<usize> = lambda
+                .iter()
+                .flat_map(|&i| self.edges[i].iter().copied())
+                .collect();
             if target.iter().all(|v| bag.contains(v)) {
                 return Some(());
             }
@@ -236,7 +264,13 @@ impl Solver<'_> {
 fn subsets_up_to(items: &[usize], k: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let n = items.len();
-    fn rec(items: &[usize], start: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn rec(
+        items: &[usize],
+        start: usize,
+        k: usize,
+        cur: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if !cur.is_empty() {
             out.push(cur.clone());
         }
@@ -316,7 +350,11 @@ mod tests {
         let mut triples = Vec::new();
         let n = 6;
         for i in 0..n {
-            triples.push(triple(&format!("?v{i}"), "p", &format!("?v{}", (i + 1) % n)));
+            triples.push(triple(
+                &format!("?v{i}"),
+                "p",
+                &format!("?v{}", (i + 1) % n),
+            ));
         }
         let h = hg(&triples);
         let w = generalized_hypertree_width(&h, 4).unwrap();

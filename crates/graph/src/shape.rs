@@ -65,9 +65,16 @@ pub enum ShapeClass {
 
 impl ShapeReport {
     /// Classifies a canonical graph.
+    ///
+    /// The connected components and their degree statistics are computed once
+    /// and shared by every class predicate; only cyclic components fall back
+    /// to the (induced-subgraph) flower-centre search. Query graphs are
+    /// overwhelmingly acyclic, so the common case allocates nothing beyond
+    /// the component lists.
     pub fn classify(g: &CanonicalGraph) -> ShapeReport {
         let mut r = ShapeReport::default();
-        if g.edge_count() == 0 {
+        let edge_total = g.edge_count();
+        if edge_total == 0 {
             r.empty = true;
             // By convention the empty graph is a chain set / forest / flower
             // set (all components — there are none — satisfy the predicates).
@@ -79,15 +86,60 @@ impl ShapeReport {
         let components = g.connected_components();
         let connected = components.len() == 1;
 
-        r.single_edge = g.edge_count() == 1 && g.node_count() == 2;
-        r.chain = connected && is_chain(g);
-        r.chain_set = components.iter().all(|c| is_chain(&g.induced(c)) || c.len() == 1);
-        r.tree = connected && !g.has_cycle();
+        // Per-component structure: node count, edge count (every edge stays
+        // inside its component, so degrees sum to twice the edge count),
+        // degree extremes.
+        struct CompStats {
+            nodes: usize,
+            edges: usize,
+            max_degree: usize,
+            min_degree: usize,
+        }
+        let stats: Vec<CompStats> = components
+            .iter()
+            .map(|c| {
+                let mut degree_sum = 0;
+                let mut max_degree = 0;
+                let mut min_degree = usize::MAX;
+                for &v in c {
+                    let d = g.degree(v);
+                    degree_sum += d;
+                    max_degree = max_degree.max(d);
+                    min_degree = min_degree.min(d);
+                }
+                CompStats {
+                    nodes: c.len(),
+                    edges: degree_sum / 2,
+                    max_degree,
+                    min_degree,
+                }
+            })
+            .collect();
+        // A component is acyclic iff |E| = |V| − 1 (it is connected).
+        let acyclic = |s: &CompStats| s.edges < s.nodes;
+        let all_acyclic = stats.iter().all(acyclic);
+
+        r.single_edge = edge_total == 1 && g.node_count() == 2;
+        r.chain = connected && all_acyclic && stats[0].max_degree <= 2;
+        r.chain_set = stats
+            .iter()
+            .all(|s| s.nodes == 1 || (acyclic(s) && s.max_degree <= 2));
+        r.tree = connected && all_acyclic;
         r.star = r.tree && g.adj.iter().filter(|a| a.len() >= 3).count() == 1;
-        r.forest = !g.has_cycle();
-        r.cycle = connected && is_cycle(g);
-        r.flower = connected && is_flower(g);
-        r.flower_set = components.iter().all(|c| is_flower(&g.induced(c)));
+        r.forest = all_acyclic;
+        r.cycle = connected
+            && stats[0].nodes >= 3
+            && stats[0].min_degree == 2
+            && stats[0].max_degree == 2
+            && stats[0].edges == stats[0].nodes;
+        // Acyclic (components) are flowers by definition; only cyclic ones
+        // need the centre search.
+        r.flower =
+            connected && (all_acyclic || (0..g.node_count()).any(|x| is_flower_with_center(g, x)));
+        r.flower_set = components
+            .iter()
+            .zip(&stats)
+            .all(|(c, s)| acyclic(s) || is_flower(&g.induced(c)));
         r
     }
 
@@ -119,23 +171,6 @@ impl ShapeReport {
     }
 }
 
-/// True if the (connected) graph is a path: acyclic with maximum degree ≤ 2.
-fn is_chain(g: &CanonicalGraph) -> bool {
-    if g.edge_count() == 0 {
-        return false;
-    }
-    g.is_connected() && !g.has_cycle() && g.adj.iter().all(|a| a.len() <= 2)
-}
-
-/// True if the (connected) graph is a single cycle: every node has degree 2
-/// and the number of edges equals the number of nodes.
-fn is_cycle(g: &CanonicalGraph) -> bool {
-    g.node_count() >= 3
-        && g.is_connected()
-        && g.adj.iter().all(|a| a.len() == 2)
-        && g.edge_count() == g.node_count()
-}
-
 /// True if the (connected) graph is a flower: there is a node `x` such that
 /// every connected component of `G − x`, together with `x`, is either a tree
 /// or a petal with source `x` (Definition 6.1). Trees and single nodes are
@@ -163,10 +198,9 @@ fn is_flower_with_center(g: &CanonicalGraph, x: usize) -> bool {
         nodes.push(x);
         let attachment = g.induced(&nodes);
         let centre_in_attachment = nodes.len() - 1; // x was pushed last
-        if attachment.has_cycle()
-            && !is_petal(&attachment, centre_in_attachment) {
-                return false;
-            }
+        if attachment.has_cycle() && !is_petal(&attachment, centre_in_attachment) {
+            return false;
+        }
         // Acyclic attachments are stamens (chains) or stems (trees): always OK.
     }
     true
@@ -183,8 +217,9 @@ fn is_petal(g: &CanonicalGraph, source: usize) -> bool {
     if g.adj.iter().any(|a| a.len() < 2) {
         return false;
     }
-    let high: Vec<usize> =
-        (0..g.node_count()).filter(|&v| g.adj[v].len() >= 3).collect();
+    let high: Vec<usize> = (0..g.node_count())
+        .filter(|&v| g.adj[v].len() >= 3)
+        .collect();
     match high.len() {
         0 => true, // a plain cycle
         1 => high[0] == source,
@@ -477,7 +512,10 @@ mod tests {
     fn tally_is_cumulative_like_table4() {
         let mut t = ShapeTally::new();
         t.add(&ShapeReport::classify(&graph(&[("x", "y")])), 1);
-        t.add(&ShapeReport::classify(&graph(&[("a", "b"), ("b", "c"), ("c", "a")])), 2);
+        t.add(
+            &ShapeReport::classify(&graph(&[("a", "b"), ("b", "c"), ("c", "a")])),
+            2,
+        );
         assert_eq!(t.total, 2);
         assert_eq!(t.single_edge, 1);
         assert_eq!(t.flower_set, 2);

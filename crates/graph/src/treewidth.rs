@@ -153,11 +153,10 @@ fn tw_at_most(adj: &[u64], remaining: u64, k: usize, memo: &mut HashMap<u64, boo
         // Neighbourhood of v in the *eliminated* graph: vertices reachable
         // from v through already-eliminated vertices form a clique with v.
         let neigh = eliminated_neighbourhood(adj, remaining, v);
-        if (neigh.count_ones() as usize) <= k
-            && tw_at_most(adj, remaining & !(1 << v), k, memo) {
-                result = true;
-                break;
-            }
+        if (neigh.count_ones() as usize) <= k && tw_at_most(adj, remaining & !(1 << v), k, memo) {
+            result = true;
+            break;
+        }
     }
     memo.insert(remaining, result);
     result
@@ -354,15 +353,24 @@ mod tests {
                 }
             }
         }
-        let edge_refs: Vec<(&str, &str)> =
-            edges.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
+        let edge_refs: Vec<(&str, &str)> = edges
+            .iter()
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+            .collect();
         let g = graph(&edge_refs);
         assert_eq!(treewidth(&g), Treewidth::Exact(3));
     }
 
     #[test]
     fn min_fill_bound_is_at_least_exact() {
-        let g = graph(&[("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"), ("d", "e"), ("e", "c")]);
+        let g = graph(&[
+            ("a", "b"),
+            ("b", "c"),
+            ("c", "a"),
+            ("c", "d"),
+            ("d", "e"),
+            ("e", "c"),
+        ]);
         let exact = treewidth(&g).value();
         assert!(min_fill_upper_bound(&g) >= exact);
         assert_eq!(exact, 2);

@@ -35,7 +35,11 @@ pub enum Term {
 impl Term {
     /// Convenience constructor for a plain (untyped, untagged) literal.
     pub fn literal(lexical: impl Into<String>) -> Term {
-        Term::Literal { lexical: lexical.into(), datatype: None, lang: None }
+        Term::Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            lang: None,
+        }
     }
 
     /// Convenience constructor for an IRI term.
@@ -83,7 +87,11 @@ impl fmt::Display for Term {
                     write!(f, "{i}")
                 }
             }
-            Term::Literal { lexical, datatype, lang } => {
+            Term::Literal {
+                lexical,
+                datatype,
+                lang,
+            } => {
                 write!(f, "{:?}", lexical)?;
                 if let Some(dt) = datatype {
                     write!(f, "^^<{dt}>")?;
@@ -113,7 +121,11 @@ pub struct TriplePattern {
 impl TriplePattern {
     /// Creates a new triple pattern.
     pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
-        TriplePattern { subject, predicate, object }
+        TriplePattern {
+            subject,
+            predicate,
+            object,
+        }
     }
 
     /// Iterates over the variables of the pattern (with duplicates).
@@ -370,6 +382,51 @@ impl Expression {
         }
     }
 
+    /// Visits every variable mentioned in the expression (with duplicates,
+    /// in traversal order) without allocating — the borrowed counterpart of
+    /// [`Expression::variables`].
+    pub fn for_each_variable<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
+        match self {
+            Expression::Var(v) => f(v),
+            Expression::Term(_) => {}
+            Expression::Or(a, b)
+            | Expression::And(a, b)
+            | Expression::Equal(a, b)
+            | Expression::NotEqual(a, b)
+            | Expression::Less(a, b)
+            | Expression::Greater(a, b)
+            | Expression::LessEq(a, b)
+            | Expression::GreaterEq(a, b)
+            | Expression::Add(a, b)
+            | Expression::Subtract(a, b)
+            | Expression::Multiply(a, b)
+            | Expression::Divide(a, b) => {
+                a.for_each_variable(f);
+                b.for_each_variable(f);
+            }
+            Expression::In(a, list) | Expression::NotIn(a, list) => {
+                a.for_each_variable(f);
+                for e in list {
+                    e.for_each_variable(f);
+                }
+            }
+            Expression::Not(a) | Expression::UnaryMinus(a) | Expression::UnaryPlus(a) => {
+                a.for_each_variable(f)
+            }
+            Expression::FunctionCall(_, args) => {
+                for a in args {
+                    a.for_each_variable(f);
+                }
+            }
+            Expression::Exists(g) | Expression::NotExists(g) => g.for_each_variable(f),
+            Expression::Aggregate(agg) => {
+                if let Some(e) = &agg.expr {
+                    e.for_each_variable(f);
+                }
+            }
+        }
+    }
+
     /// Returns `true` if the expression contains an EXISTS or NOT EXISTS.
     pub fn contains_exists(&self) -> bool {
         match self {
@@ -394,9 +451,7 @@ impl Expression {
                 a.contains_exists()
             }
             Expression::FunctionCall(_, args) => args.iter().any(|a| a.contains_exists()),
-            Expression::Aggregate(agg) => {
-                agg.expr.as_ref().is_some_and(|e| e.contains_exists())
-            }
+            Expression::Aggregate(agg) => agg.expr.as_ref().is_some_and(|e| e.contains_exists()),
         }
     }
 }
@@ -509,9 +564,9 @@ impl GroupGraphPattern {
                     out.extend(expr.variables());
                     out.push(var.clone());
                 }
-                GroupElement::Optional(g)
-                | GroupElement::Minus(g)
-                | GroupElement::Group(g) => g.collect_variables(out),
+                GroupElement::Optional(g) | GroupElement::Minus(g) | GroupElement::Group(g) => {
+                    g.collect_variables(out)
+                }
                 GroupElement::Union(branches) => {
                     for b in branches {
                         b.collect_variables(out);
@@ -533,6 +588,66 @@ impl GroupGraphPattern {
                 GroupElement::SubSelect(q) => {
                     if let Some(w) = &q.where_clause {
                         w.collect_variables(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits every variable occurrence in the group (the same coverage as
+    /// [`GroupGraphPattern::all_variables`], duplicates included) without
+    /// allocating.
+    pub fn for_each_variable<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
+        for el in &self.elements {
+            match el {
+                GroupElement::Triples(ts) => {
+                    for t in ts {
+                        match t {
+                            TripleOrPath::Triple(t) => {
+                                for term in [&t.subject, &t.predicate, &t.object] {
+                                    if let Term::Var(v) = term {
+                                        f(v);
+                                    }
+                                }
+                            }
+                            TripleOrPath::Path(p) => {
+                                for term in [&p.subject, &p.object] {
+                                    if let Term::Var(v) = term {
+                                        f(v);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                GroupElement::Filter(e) => e.for_each_variable(f),
+                GroupElement::Bind { expr, var } => {
+                    expr.for_each_variable(f);
+                    f(var);
+                }
+                GroupElement::Optional(g) | GroupElement::Minus(g) | GroupElement::Group(g) => {
+                    g.for_each_variable(f)
+                }
+                GroupElement::Union(branches) => {
+                    for b in branches {
+                        b.for_each_variable(f);
+                    }
+                }
+                GroupElement::Graph { name, pattern }
+                | GroupElement::Service { name, pattern, .. } => {
+                    if let Term::Var(v) = name {
+                        f(v);
+                    }
+                    pattern.for_each_variable(f);
+                }
+                GroupElement::Values(d) => {
+                    for v in &d.variables {
+                        f(v);
+                    }
+                }
+                GroupElement::SubSelect(q) => {
+                    if let Some(w) = &q.where_clause {
+                        w.for_each_variable(f);
                     }
                 }
             }
@@ -685,7 +800,10 @@ impl Query {
 
     /// Returns the set of distinct variables appearing in the WHERE clause.
     pub fn body_variables(&self) -> Vec<String> {
-        self.where_clause.as_ref().map(|g| g.all_variables()).unwrap_or_default()
+        self.where_clause
+            .as_ref()
+            .map(|g| g.all_variables())
+            .unwrap_or_default()
     }
 }
 
@@ -760,7 +878,9 @@ mod tests {
     fn property_path_display_and_trivial() {
         let p = PropertyPath::Sequence(
             Box::new(PropertyPath::Iri("a".into())),
-            Box::new(PropertyPath::ZeroOrMore(Box::new(PropertyPath::Iri("b".into())))),
+            Box::new(PropertyPath::ZeroOrMore(Box::new(PropertyPath::Iri(
+                "b".into(),
+            )))),
         );
         assert!(p.to_string().contains("/"));
         assert!(!p.is_trivial());

@@ -188,7 +188,11 @@ pub fn write_group(out: &mut String, g: &GroupGraphPattern) {
                 write_group(out, g);
                 out.push(' ');
             }
-            GroupElement::Service { silent, name, pattern } => {
+            GroupElement::Service {
+                silent,
+                name,
+                pattern,
+            } => {
                 out.push_str("SERVICE ");
                 if *silent {
                     out.push_str("SILENT ");
@@ -288,7 +292,9 @@ fn write_expr(out: &mut String, e: &Expression) {
             write_expr_parens(out, a);
         }
         Expression::FunctionCall(name, args) => {
-            if name.contains("://") || name.contains(':') && !name.chars().all(|c| c.is_ascii_uppercase() || c == '_') {
+            if name.contains("://")
+                || name.contains(':') && !name.chars().all(|c| c.is_ascii_uppercase() || c == '_')
+            {
                 let _ = write!(out, "<{name}>(");
             } else {
                 let _ = write!(out, "{name}(");
@@ -379,10 +385,14 @@ mod tests {
         for q in queries {
             let parsed = parse_query(q).unwrap();
             let canon = to_canonical_string(&parsed);
-            let reparsed = parse_query(&canon)
-                .unwrap_or_else(|e| panic!("canonical form of {q:?} not reparseable: {canon:?}: {e}"));
+            let reparsed = parse_query(&canon).unwrap_or_else(|e| {
+                panic!("canonical form of {q:?} not reparseable: {canon:?}: {e}")
+            });
             let recanon = to_canonical_string(&reparsed);
-            assert_eq!(canon, recanon, "canonicalization must be a fixpoint for {q:?}");
+            assert_eq!(
+                canon, recanon,
+                "canonicalization must be a fixpoint for {q:?}"
+            );
         }
     }
 

@@ -35,7 +35,14 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, out: Vec::new() }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
@@ -63,7 +70,12 @@ impl<'a> Lexer<'a> {
     }
 
     fn push(&mut self, token: Token, offset: usize, line: u32, column: u32) {
-        self.out.push(Spanned { token, offset, line, column });
+        self.out.push(Spanned {
+            token,
+            offset,
+            line,
+            column,
+        });
     }
 
     fn skip_ws_and_comments(&mut self) {
@@ -308,7 +320,10 @@ impl<'a> Lexer<'a> {
     fn lex_lang_tag(&mut self) -> Result<Token> {
         self.bump(); // '@'
         let start = self.pos;
-        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'-') {
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'-')
+        {
             self.bump();
         }
         if self.pos == start {
@@ -623,7 +638,10 @@ mod tests {
     #[test]
     fn lexes_nil_and_anon() {
         assert_eq!(toks("( ) [ ]"), vec![Token::Nil, Token::Anon]);
-        assert_eq!(toks("(1)"), vec![Token::LParen, Token::Integer("1".into()), Token::RParen]);
+        assert_eq!(
+            toks("(1)"),
+            vec![Token::LParen, Token::Integer("1".into()), Token::RParen]
+        );
     }
 
     #[test]

@@ -56,7 +56,13 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Spanned>) -> Self {
-        Parser { tokens, pos: 0, prefixes: Vec::new(), base: None, blank_counter: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            prefixes: Vec::new(),
+            base: None,
+            blank_counter: 0,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -106,7 +112,9 @@ impl Parser {
         } else {
             Err(self.error(format!(
                 "expected {expected}, found {}",
-                self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                self.peek()
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             )))
         }
     }
@@ -184,7 +192,10 @@ impl Parser {
                 break;
             }
         }
-        Ok(Prologue { base: self.base.clone(), prefixes: self.prefixes.clone() })
+        Ok(Prologue {
+            base: self.base.clone(),
+            prefixes: self.prefixes.clone(),
+        })
     }
 
     fn expand_prefixed(&self, prefix: &str, local: &str) -> String {
@@ -223,11 +234,19 @@ impl Parser {
             modifiers.reduced = true;
         }
         let projection = self.parse_select_items()?;
-        let dataset = if top_level { self.parse_dataset_clauses()? } else { Vec::new() };
+        let dataset = if top_level {
+            self.parse_dataset_clauses()?
+        } else {
+            Vec::new()
+        };
         self.eat_keyword(Keyword::Where);
         let body = self.parse_group_graph_pattern()?;
         self.parse_solution_modifiers(&mut modifiers)?;
-        let values = if top_level { self.parse_values_clause()? } else { None };
+        let values = if top_level {
+            self.parse_values_clause()?
+        } else {
+            None
+        };
         Ok(Query {
             prologue,
             form: QueryForm::Select,
@@ -248,7 +267,9 @@ impl Parser {
         loop {
             match self.peek() {
                 Some(Token::Var(_)) => {
-                    let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                    let Some(Token::Var(v)) = self.bump() else {
+                        unreachable!()
+                    };
                     items.push(SelectItem { expr: None, var: v });
                 }
                 Some(Token::LParen) => {
@@ -260,7 +281,10 @@ impl Parser {
                         _ => return Err(self.error("expected variable after AS")),
                     };
                     self.expect(&Token::RParen)?;
-                    items.push(SelectItem { expr: Some(expr), var });
+                    items.push(SelectItem {
+                        expr: Some(expr),
+                        var,
+                    });
                 }
                 _ => break,
             }
@@ -424,7 +448,9 @@ impl Parser {
             self.expect(&Token::RBrace)?;
             let mut sub = sub;
             sub.values = values;
-            return Ok(GroupGraphPattern { elements: vec![GroupElement::SubSelect(Box::new(sub))] });
+            return Ok(GroupGraphPattern {
+                elements: vec![GroupElement::SubSelect(Box::new(sub))],
+            });
         }
         let mut elements = Vec::new();
         loop {
@@ -464,7 +490,11 @@ impl Parser {
                     let silent = self.eat_keyword(Keyword::Silent);
                     let name = self.parse_var_or_iri()?;
                     let pattern = self.parse_group_graph_pattern()?;
-                    elements.push(GroupElement::Service { silent, name, pattern });
+                    elements.push(GroupElement::Service {
+                        silent,
+                        name,
+                        pattern,
+                    });
                     self.eat(&Token::Dot);
                 }
                 Some(Token::Keyword(Keyword::Bind)) => {
@@ -612,7 +642,9 @@ impl Parser {
             }
             let verb = match self.peek() {
                 Some(Token::Var(_)) => {
-                    let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                    let Some(Token::Var(v)) = self.bump() else {
+                        unreachable!()
+                    };
                     Verb::Var(v)
                 }
                 _ => Verb::Path(self.parse_path()?),
@@ -624,21 +656,22 @@ impl Parser {
                     Some(Token::LParen) | Some(Token::Nil) => self.parse_collection(out)?,
                     _ => self.parse_graph_node(out)?,
                 };
-                let item = match &verb {
-                    Verb::Var(v) => TripleOrPath::Triple(TriplePattern::new(
-                        subject.clone(),
-                        Term::Var(v.clone()),
-                        object,
-                    )),
-                    Verb::Path(PropertyPath::Iri(iri)) => TripleOrPath::Triple(
-                        TriplePattern::new(subject.clone(), Term::Iri(iri.clone()), object),
-                    ),
-                    Verb::Path(p) => TripleOrPath::Path(PathPattern {
-                        subject: subject.clone(),
-                        path: p.clone(),
-                        object,
-                    }),
-                };
+                let item =
+                    match &verb {
+                        Verb::Var(v) => TripleOrPath::Triple(TriplePattern::new(
+                            subject.clone(),
+                            Term::Var(v.clone()),
+                            object,
+                        )),
+                        Verb::Path(PropertyPath::Iri(iri)) => TripleOrPath::Triple(
+                            TriplePattern::new(subject.clone(), Term::Iri(iri.clone()), object),
+                        ),
+                        Verb::Path(p) => TripleOrPath::Path(PathPattern {
+                            subject: subject.clone(),
+                            path: p.clone(),
+                            object,
+                        }),
+                    };
                 out.push(item);
                 if !self.eat(&Token::Comma) {
                     break;
@@ -711,7 +744,9 @@ impl Parser {
     fn parse_var_or_iri(&mut self) -> Result<Term> {
         match self.peek() {
             Some(Token::Var(_)) => {
-                let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                let Some(Token::Var(v)) = self.bump() else {
+                    unreachable!()
+                };
                 Ok(Term::Var(v))
             }
             _ => self.parse_iri(),
@@ -725,7 +760,9 @@ impl Parser {
             Some(Token::A) => Ok(Term::Iri(RDF_TYPE.to_string())),
             other => Err(self.error(format!(
                 "expected IRI, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -785,8 +822,14 @@ impl Parser {
                 // Optional language tag or datatype.
                 match self.peek() {
                     Some(Token::LangTag(_)) => {
-                        let Some(Token::LangTag(tag)) = self.bump() else { unreachable!() };
-                        Term::Literal { lexical: s, datatype: None, lang: Some(tag) }
+                        let Some(Token::LangTag(tag)) = self.bump() else {
+                            unreachable!()
+                        };
+                        Term::Literal {
+                            lexical: s,
+                            datatype: None,
+                            lang: Some(tag),
+                        }
                     }
                     Some(Token::DoubleCaret) => {
                         self.bump();
@@ -794,9 +837,17 @@ impl Parser {
                             Term::Iri(i) => i,
                             _ => return Err(self.error("expected datatype IRI after ^^")),
                         };
-                        Term::Literal { lexical: s, datatype: Some(dt), lang: None }
+                        Term::Literal {
+                            lexical: s,
+                            datatype: Some(dt),
+                            lang: None,
+                        }
                     }
-                    _ => Term::Literal { lexical: s, datatype: None, lang: None },
+                    _ => Term::Literal {
+                        lexical: s,
+                        datatype: None,
+                        lang: None,
+                    },
                 }
             }
             Token::Nil => Term::Iri(RDF_NIL.to_string()),
@@ -867,7 +918,9 @@ impl Parser {
     fn parse_path_primary(&mut self) -> Result<PropertyPath> {
         match self.peek() {
             Some(Token::IriRef(_)) | Some(Token::PrefixedName(_, _)) | Some(Token::A) => {
-                let Term::Iri(iri) = self.parse_iri()? else { unreachable!() };
+                let Term::Iri(iri) = self.parse_iri()? else {
+                    unreachable!()
+                };
                 Ok(PropertyPath::Iri(iri))
             }
             Some(Token::Bang) => {
@@ -889,7 +942,9 @@ impl Parser {
         if self.eat(&Token::LParen) {
             loop {
                 let inverse = self.eat(&Token::Caret);
-                let Term::Iri(iri) = self.parse_iri()? else { unreachable!() };
+                let Term::Iri(iri) = self.parse_iri()? else {
+                    unreachable!()
+                };
                 items.push((iri, inverse));
                 if !self.eat(&Token::Pipe) {
                     break;
@@ -898,7 +953,9 @@ impl Parser {
             self.expect(&Token::RParen)?;
         } else {
             let inverse = self.eat(&Token::Caret);
-            let Term::Iri(iri) = self.parse_iri()? else { unreachable!() };
+            let Term::Iri(iri) = self.parse_iri()? else {
+                unreachable!()
+            };
             items.push((iri, inverse));
         }
         Ok(PropertyPath::NegatedPropertySet(items))
@@ -921,7 +978,9 @@ impl Parser {
         let mut variables = Vec::new();
         let single = match self.peek() {
             Some(Token::Var(_)) => {
-                let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                let Some(Token::Var(v)) = self.bump() else {
+                    unreachable!()
+                };
                 variables.push(v);
                 true
             }
@@ -931,7 +990,9 @@ impl Parser {
                 } else {
                     self.bump();
                     while let Some(Token::Var(_)) = self.peek() {
-                        let Some(Token::Var(v)) = self.bump() else { unreachable!() };
+                        let Some(Token::Var(v)) = self.bump() else {
+                            unreachable!()
+                        };
                         variables.push(v);
                     }
                     self.expect(&Token::RParen)?;
@@ -992,8 +1053,13 @@ impl Parser {
             loop {
                 match self.peek() {
                     Some(Token::Var(_)) => {
-                        let Some(Token::Var(v)) = self.bump() else { unreachable!() };
-                        m.group_by.push(GroupCondition { expr: Expression::Var(v), alias: None });
+                        let Some(Token::Var(v)) = self.bump() else {
+                            unreachable!()
+                        };
+                        m.group_by.push(GroupCondition {
+                            expr: Expression::Var(v),
+                            alias: None,
+                        });
                     }
                     Some(Token::LParen) => {
                         self.bump();
@@ -1009,7 +1075,8 @@ impl Parser {
                         self.expect(&Token::RParen)?;
                         m.group_by.push(GroupCondition { expr, alias });
                     }
-                    Some(Token::Ident(_)) | Some(Token::IriRef(_))
+                    Some(Token::Ident(_))
+                    | Some(Token::IriRef(_))
                     | Some(Token::PrefixedName(_, _)) => {
                         let expr = self.parse_unary_expression()?;
                         m.group_by.push(GroupCondition { expr, alias: None });
@@ -1048,21 +1115,35 @@ impl Parser {
                         self.expect(&Token::LParen)?;
                         let expr = self.parse_expression()?;
                         self.expect(&Token::RParen)?;
-                        Some(OrderCondition { direction: dir, expr })
+                        Some(OrderCondition {
+                            direction: dir,
+                            expr,
+                        })
                     }
                     Some(Token::Var(_)) => {
-                        let Some(Token::Var(v)) = self.bump() else { unreachable!() };
-                        Some(OrderCondition { direction: OrderDirection::Asc, expr: Expression::Var(v) })
+                        let Some(Token::Var(v)) = self.bump() else {
+                            unreachable!()
+                        };
+                        Some(OrderCondition {
+                            direction: OrderDirection::Asc,
+                            expr: Expression::Var(v),
+                        })
                     }
                     Some(Token::LParen) => {
                         self.bump();
                         let expr = self.parse_expression()?;
                         self.expect(&Token::RParen)?;
-                        Some(OrderCondition { direction: OrderDirection::Asc, expr })
+                        Some(OrderCondition {
+                            direction: OrderDirection::Asc,
+                            expr,
+                        })
                     }
                     Some(Token::Ident(_)) => {
                         let expr = self.parse_unary_expression()?;
-                        Some(OrderCondition { direction: OrderDirection::Asc, expr })
+                        Some(OrderCondition {
+                            direction: OrderDirection::Asc,
+                            expr,
+                        })
                     }
                     _ => None,
                 };
@@ -1097,7 +1178,9 @@ impl Parser {
                 .map_err(|_| self.error(format!("integer out of range: {s}"))),
             other => Err(self.error(format!(
                 "expected integer, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -1234,9 +1317,13 @@ impl Parser {
         if self.eat(&Token::Bang) {
             Ok(Expression::Not(Box::new(self.parse_unary_expression()?)))
         } else if self.eat(&Token::Minus) {
-            Ok(Expression::UnaryMinus(Box::new(self.parse_unary_expression()?)))
+            Ok(Expression::UnaryMinus(Box::new(
+                self.parse_unary_expression()?,
+            )))
         } else if self.eat(&Token::Plus) {
-            Ok(Expression::UnaryPlus(Box::new(self.parse_unary_expression()?)))
+            Ok(Expression::UnaryPlus(Box::new(
+                self.parse_unary_expression()?,
+            )))
         } else {
             self.parse_primary_expression()
         }
@@ -1291,7 +1378,9 @@ impl Parser {
             | Some(Token::Boolean(_)) => Ok(Expression::Term(self.parse_term()?)),
             other => Err(self.error(format!(
                 "expected expression, found {}",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -1332,7 +1421,12 @@ impl Parser {
             }
         }
         self.expect(&Token::RParen)?;
-        Ok(Expression::Aggregate(Aggregate { kind, distinct, expr, separator }))
+        Ok(Expression::Aggregate(Aggregate {
+            kind,
+            distinct,
+            expr,
+            separator,
+        }))
     }
 }
 

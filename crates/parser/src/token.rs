@@ -247,7 +247,10 @@ mod tests {
         assert_eq!(Keyword::from_str_ci("select"), Some(Keyword::Select));
         assert_eq!(Keyword::from_str_ci("SeLeCt"), Some(Keyword::Select));
         assert_eq!(Keyword::from_str_ci("OPTIONAL"), Some(Keyword::Optional));
-        assert_eq!(Keyword::from_str_ci("group_concat"), Some(Keyword::GroupConcat));
+        assert_eq!(
+            Keyword::from_str_ci("group_concat"),
+            Some(Keyword::GroupConcat)
+        );
         assert_eq!(Keyword::from_str_ci("lang"), None);
         assert_eq!(Keyword::from_str_ci("regex"), None);
     }
@@ -257,6 +260,9 @@ mod tests {
         assert_eq!(Token::DoubleCaret.to_string(), "^^");
         assert_eq!(Token::NotEqual.to_string(), "!=");
         assert_eq!(Token::Nil.to_string(), "()");
-        assert_eq!(Token::PrefixedName("foaf".into(), "name".into()).to_string(), "foaf:name");
+        assert_eq!(
+            Token::PrefixedName("foaf".into(), "name".into()).to_string(),
+            "foaf:name"
+        );
     }
 }

@@ -45,12 +45,17 @@ fn parses_wikidata_archaeological_sites_example() {
     assert_eq!(q.form, QueryForm::Select);
     let body = q.where_clause.as_ref().unwrap();
     // One property-path pattern + two triple patterns.
-    let GroupElement::Triples(ts) = &body.elements[0] else { panic!("expected triples") };
+    let GroupElement::Triples(ts) = &body.elements[0] else {
+        panic!("expected triples")
+    };
     assert_eq!(ts.len(), 3);
     assert!(matches!(ts[0], TripleOrPath::Path(_)));
     assert!(matches!(ts[1], TripleOrPath::Triple(_)));
     // The filter is attached after the triples block.
-    assert!(body.elements.iter().any(|e| matches!(e, GroupElement::Filter(_))));
+    assert!(body
+        .elements
+        .iter()
+        .any(|e| matches!(e, GroupElement::Filter(_))));
 }
 
 #[test]
@@ -61,8 +66,12 @@ fn parses_example_5_1_chain_and_variable_predicate_queries() {
 
     let varpred = parse_query("ASK WHERE {?x1 ?x2 ?x3 . ?x3 <a> ?x4 . ?x4 ?x2 ?x5}").unwrap();
     let body = varpred.where_clause.unwrap();
-    let GroupElement::Triples(ts) = &body.elements[0] else { panic!() };
-    let TripleOrPath::Triple(t0) = &ts[0] else { panic!() };
+    let GroupElement::Triples(ts) = &body.elements[0] else {
+        panic!()
+    };
+    let TripleOrPath::Triple(t0) = &ts[0] else {
+        panic!()
+    };
     assert!(t0.predicate.is_var());
 }
 
@@ -113,7 +122,9 @@ fn parses_union_chains() {
     )
     .unwrap();
     let body = q.where_clause.unwrap();
-    let GroupElement::Union(branches) = &body.elements[0] else { panic!("expected union") };
+    let GroupElement::Union(branches) = &body.elements[0] else {
+        panic!("expected union")
+    };
     assert_eq!(branches.len(), 3);
 }
 
@@ -125,7 +136,10 @@ fn parses_graph_and_service_blocks() {
     .unwrap();
     let body = q.where_clause.unwrap();
     assert!(matches!(body.elements[0], GroupElement::Graph { .. }));
-    assert!(matches!(body.elements[1], GroupElement::Service { silent: true, .. }));
+    assert!(matches!(
+        body.elements[1],
+        GroupElement::Service { silent: true, .. }
+    ));
 }
 
 #[test]
@@ -140,8 +154,14 @@ fn parses_minus_bind_values() {
     )
     .unwrap();
     let body = q.where_clause.unwrap();
-    assert!(body.elements.iter().any(|e| matches!(e, GroupElement::Minus(_))));
-    assert!(body.elements.iter().any(|e| matches!(e, GroupElement::Bind { .. })));
+    assert!(body
+        .elements
+        .iter()
+        .any(|e| matches!(e, GroupElement::Minus(_))));
+    assert!(body
+        .elements
+        .iter()
+        .any(|e| matches!(e, GroupElement::Bind { .. })));
     let values = body
         .elements
         .iter()
@@ -185,9 +205,16 @@ fn parses_aggregates_and_having() {
     assert_eq!(q.modifiers.order_by.len(), 1);
     assert_eq!(q.modifiers.limit, Some(5));
     assert_eq!(q.modifiers.offset, Some(2));
-    let Projection::Items(items) = &q.projection else { panic!() };
+    let Projection::Items(items) = &q.projection else {
+        panic!()
+    };
     assert_eq!(items.len(), 3);
-    assert!(items[1].expr.as_ref().unwrap().variables().contains(&"v".to_string()));
+    assert!(items[1]
+        .expr
+        .as_ref()
+        .unwrap()
+        .variables()
+        .contains(&"v".to_string()));
 }
 
 #[test]
@@ -232,7 +259,9 @@ fn parses_property_path_forms() {
     ] {
         let q = parse_query(&format!("ASK {{ ?s {path} ?o }}")).unwrap();
         let body = q.where_clause.unwrap();
-        let GroupElement::Triples(ts) = &body.elements[0] else { panic!() };
+        let GroupElement::Triples(ts) = &body.elements[0] else {
+            panic!()
+        };
         match &ts[0] {
             TripleOrPath::Triple(_) => assert!(expect_trivial, "{path} should not be trivial"),
             TripleOrPath::Path(_) => assert!(!expect_trivial, "{path} should be trivial"),
@@ -280,8 +309,12 @@ fn parses_from_named_and_prefixes_with_base() {
     assert_eq!(q.prologue.prefixes.len(), 1);
     // The empty-prefix name expands against the declared prefix.
     let body = q.where_clause.unwrap();
-    let GroupElement::Triples(ts) = &body.elements[0] else { panic!() };
-    let TripleOrPath::Triple(t) = &ts[0] else { panic!() };
+    let GroupElement::Triples(ts) = &body.elements[0] else {
+        panic!()
+    };
+    let TripleOrPath::Triple(t) = &ts[0] else {
+        panic!()
+    };
     assert_eq!(t.predicate, Term::Iri("http://ex.org/p".into()));
 }
 

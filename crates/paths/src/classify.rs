@@ -180,7 +180,10 @@ impl PathExpressionType {
     /// True for the two pre-table classes (`!a`, `^a`) that Section 7 counts
     /// separately and excludes from the navigational analysis.
     pub fn is_pre_table(&self) -> bool {
-        matches!(self, PathExpressionType::NegatedLiteral | PathExpressionType::InverseLiteral)
+        matches!(
+            self,
+            PathExpressionType::NegatedLiteral | PathExpressionType::InverseLiteral
+        )
     }
 }
 
@@ -202,7 +205,11 @@ pub fn classify_path(p: &PropertyPath) -> PathClassification {
     // The two special single-step classes are decided on the raw AST.
     match p {
         PropertyPath::Iri(_) => {
-            return PathClassification { ty: PathExpressionType::Trivial, k: None, uses_inverse }
+            return PathClassification {
+                ty: PathExpressionType::Trivial,
+                k: None,
+                uses_inverse,
+            }
         }
         PropertyPath::Inverse(inner) if matches!(**inner, PropertyPath::Iri(_)) => {
             return PathClassification {
@@ -222,7 +229,11 @@ pub fn classify_path(p: &PropertyPath) -> PathClassification {
     }
     let n = Normalized::of(p);
     let (ty, k) = classify_normalized(&n);
-    PathClassification { ty, k, uses_inverse }
+    PathClassification {
+        ty,
+        k,
+        uses_inverse,
+    }
 }
 
 fn uses_inverse(p: &PropertyPath) -> bool {
@@ -299,7 +310,10 @@ fn classify_alternation(parts: &[Normalized]) -> (PathExpressionType, Option<usi
             _ => {}
         }
         // Both parts Plus(Lit)?
-        if parts.iter().all(|p| matches!(p, N::Plus(inner) if matches!(**inner, N::Lit))) {
+        if parts
+            .iter()
+            .all(|p| matches!(p, N::Plus(inner) if matches!(**inner, N::Lit)))
+        {
             return (T::PlusOrPlus, None);
         }
     }
@@ -375,11 +389,15 @@ mod tests {
     fn path_of(expr: &str) -> PropertyPath {
         let q = parse_query(&format!("ASK {{ ?s {expr} ?o }}")).unwrap();
         let body = q.where_clause.unwrap();
-        let GroupElement::Triples(ts) = &body.elements[0] else { panic!("triples") };
+        let GroupElement::Triples(ts) = &body.elements[0] else {
+            panic!("triples")
+        };
         match &ts[0] {
             sparqlog_parser::ast::TripleOrPath::Path(p) => p.path.clone(),
             sparqlog_parser::ast::TripleOrPath::Triple(t) => {
-                let sparqlog_parser::ast::Term::Iri(i) = &t.predicate else { panic!() };
+                let sparqlog_parser::ast::Term::Iri(i) = &t.predicate else {
+                    panic!()
+                };
                 PropertyPath::Iri(i.clone())
             }
         }
@@ -433,7 +451,9 @@ mod tests {
     #[test]
     fn wikidata_instance_of_subclass_path() {
         // wdt:P31/wdt:P279* — the pattern from the paper's example query.
-        let c = classify("<http://www.wikidata.org/prop/direct/P31>/<http://www.wikidata.org/prop/direct/P279>*");
+        let c = classify(
+            "<http://www.wikidata.org/prop/direct/P31>/<http://www.wikidata.org/prop/direct/P279>*",
+        );
         assert_eq!(c.ty, PathExpressionType::StarThenLiteral);
         assert!(!c.uses_inverse);
     }
@@ -460,7 +480,10 @@ mod tests {
 
     #[test]
     fn labels_are_stable() {
-        assert_eq!(PathExpressionType::StarOverAlternation.label(), "(a1|...|ak)*");
+        assert_eq!(
+            PathExpressionType::StarOverAlternation.label(),
+            "(a1|...|ak)*"
+        );
         assert_eq!(PathExpressionType::StarOverSequence.label(), "(a/b)*");
         assert!(PathExpressionType::InverseLiteral.is_pre_table());
         assert!(!PathExpressionType::StarLiteral.is_pre_table());

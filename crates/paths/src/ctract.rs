@@ -52,9 +52,7 @@ fn closures_only_over_letter_sets(p: &PropertyPath) -> bool {
             closures_only_over_letter_sets(a) && closures_only_over_letter_sets(b)
         }
         PropertyPath::ZeroOrOne(inner) => closures_only_over_letter_sets(inner),
-        PropertyPath::ZeroOrMore(inner) | PropertyPath::OneOrMore(inner) => {
-            is_letter_set(inner)
-        }
+        PropertyPath::ZeroOrMore(inner) | PropertyPath::OneOrMore(inner) => is_letter_set(inner),
     }
 }
 
@@ -78,7 +76,9 @@ mod tests {
     fn path_of(expr: &str) -> PropertyPath {
         let q = parse_query(&format!("ASK {{ ?s {expr} ?o }}")).unwrap();
         let body = q.where_clause.unwrap();
-        let GroupElement::Triples(ts) = &body.elements[0] else { panic!() };
+        let GroupElement::Triples(ts) = &body.elements[0] else {
+            panic!()
+        };
         match &ts[0] {
             TripleOrPath::Path(p) => p.path.clone(),
             TripleOrPath::Triple(_) => panic!("expected a non-trivial path"),
@@ -108,14 +108,24 @@ mod tests {
             "<a>|<b>+",
             "<a>+|<b>+",
         ] {
-            assert_eq!(tractability(&path_of(expr)), Tractability::Tractable, "{expr}");
+            assert_eq!(
+                tractability(&path_of(expr)),
+                Tractability::Tractable,
+                "{expr}"
+            );
         }
     }
 
     #[test]
     fn star_over_sequence_is_hard() {
-        assert_eq!(tractability(&path_of("(<a>/<b>)*")), Tractability::PotentiallyHard);
-        assert_eq!(tractability(&path_of("(<a>/<b>)+")), Tractability::PotentiallyHard);
+        assert_eq!(
+            tractability(&path_of("(<a>/<b>)*")),
+            Tractability::PotentiallyHard
+        );
+        assert_eq!(
+            tractability(&path_of("(<a>/<b>)+")),
+            Tractability::PotentiallyHard
+        );
     }
 
     #[test]
@@ -128,7 +138,10 @@ mod tests {
 
     #[test]
     fn inverse_inside_closure_is_fine() {
-        assert_eq!(tractability(&path_of("(^<a>|<b>)*")), Tractability::Tractable);
+        assert_eq!(
+            tractability(&path_of("(^<a>|<b>)*")),
+            Tractability::Tractable
+        );
     }
 
     #[test]

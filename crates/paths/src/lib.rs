@@ -146,11 +146,15 @@ mod tests {
     fn path_of(expr: &str) -> sparqlog_parser::ast::PropertyPath {
         let q = parse_query(&format!("ASK {{ ?s {expr} ?o }}")).unwrap();
         let body = q.where_clause.unwrap();
-        let GroupElement::Triples(ts) = &body.elements[0] else { panic!() };
+        let GroupElement::Triples(ts) = &body.elements[0] else {
+            panic!()
+        };
         match &ts[0] {
             TripleOrPath::Path(p) => p.path.clone(),
             TripleOrPath::Triple(t) => {
-                let sparqlog_parser::ast::Term::Iri(i) = &t.predicate else { panic!() };
+                let sparqlog_parser::ast::Term::Iri(i) = &t.predicate else {
+                    panic!()
+                };
                 sparqlog_parser::ast::PropertyPath::Iri(i.clone())
             }
         }

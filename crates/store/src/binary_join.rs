@@ -47,8 +47,11 @@ impl QueryEngine for BinaryJoinEngine {
     ) -> ExecOutcome {
         let mut deadline = Deadline::new(timeout);
         let variables = query.variables();
-        let var_index: HashMap<&str, usize> =
-            variables.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+        let var_index: HashMap<&str, usize> = variables
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
         const UNBOUND: u32 = u32::MAX;
 
         // The current intermediate relation; starts with the empty row.
@@ -265,7 +268,9 @@ mod tests {
     #[test]
     fn intermediate_cap_triggers_timeout_flag() {
         let store = triangle_store();
-        let engine = BinaryJoinEngine { max_intermediate_rows: Some(2) };
+        let engine = BinaryJoinEngine {
+            max_intermediate_rows: Some(2),
+        };
         let q = chain_query(&preds(3));
         let out = engine.evaluate(&store, &q, QueryMode::Count, Duration::from_secs(10));
         assert!(out.timed_out);

@@ -93,7 +93,10 @@ mod tests {
         let mut d = Dictionary::new();
         d.encode("x");
         d.encode("y");
-        let mut copy = Dictionary { terms: d.terms.clone(), index: HashMap::new() };
+        let mut copy = Dictionary {
+            terms: d.terms.clone(),
+            index: HashMap::new(),
+        };
         assert_eq!(copy.lookup("x"), None);
         copy.rebuild_index();
         assert_eq!(copy.lookup("x"), Some(0));

@@ -54,21 +54,59 @@ pub trait QueryEngine {
     ) -> ExecOutcome;
 }
 
+/// A monotonic time source, injectable so deadline behaviour is testable
+/// without sleeping.
+pub(crate) trait Clock {
+    /// The time elapsed since the clock was created.
+    fn elapsed(&self) -> Duration;
+}
+
+/// The production clock: a fixed [`std::time::Instant`] origin.
+#[derive(Debug)]
+pub(crate) struct MonotonicClock {
+    start: std::time::Instant,
+}
+
+impl MonotonicClock {
+    fn start_now() -> Self {
+        MonotonicClock {
+            start: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
 /// A deadline helper that keeps timeout checks cheap by only consulting the
 /// clock every `CHECK_INTERVAL` operations.
 #[derive(Debug)]
-pub(crate) struct Deadline {
-    start: std::time::Instant,
+pub(crate) struct Deadline<C: Clock = MonotonicClock> {
+    clock: C,
     timeout: Duration,
     counter: u32,
     expired: bool,
 }
 
-impl Deadline {
+impl Deadline<MonotonicClock> {
+    pub(crate) fn new(timeout: Duration) -> Self {
+        Deadline::with_clock(timeout, MonotonicClock::start_now())
+    }
+}
+
+impl<C: Clock> Deadline<C> {
     const CHECK_INTERVAL: u32 = 1024;
 
-    pub(crate) fn new(timeout: Duration) -> Self {
-        Deadline { start: std::time::Instant::now(), timeout, counter: 0, expired: false }
+    pub(crate) fn with_clock(timeout: Duration, clock: C) -> Self {
+        Deadline {
+            clock,
+            timeout,
+            counter: 0,
+            expired: false,
+        }
     }
 
     /// Returns true if the deadline has passed (checking the clock lazily).
@@ -79,7 +117,7 @@ impl Deadline {
         self.counter += 1;
         if self.counter >= Self::CHECK_INTERVAL {
             self.counter = 0;
-            if self.start.elapsed() >= self.timeout {
+            if self.clock.elapsed() >= self.timeout {
                 self.expired = true;
             }
         }
@@ -87,27 +125,88 @@ impl Deadline {
     }
 
     pub(crate) fn elapsed_ns(&self) -> u64 {
-        self.start.elapsed().as_nanos() as u64
+        self.clock.elapsed().as_nanos() as u64
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// A deterministic clock advancing a fixed step per reading.
+    struct FakeClock {
+        now: Rc<Cell<Duration>>,
+        step: Duration,
+    }
+
+    impl Clock for FakeClock {
+        fn elapsed(&self) -> Duration {
+            let t = self.now.get();
+            self.now.set(t + self.step);
+            t
+        }
+    }
+
+    fn fake(step_ns: u64) -> (FakeClock, Rc<Cell<Duration>>) {
+        let now = Rc::new(Cell::new(Duration::ZERO));
+        (
+            FakeClock {
+                now: Rc::clone(&now),
+                step: Duration::from_nanos(step_ns),
+            },
+            now,
+        )
+    }
 
     #[test]
     fn outcome_elapsed_conversion() {
-        let o = ExecOutcome { answers: 1, elapsed_ns: 1_500, timed_out: false, max_intermediate: 3 };
+        let o = ExecOutcome {
+            answers: 1,
+            elapsed_ns: 1_500,
+            timed_out: false,
+            max_intermediate: 3,
+        };
         assert_eq!(o.elapsed(), Duration::from_nanos(1_500));
     }
 
     #[test]
-    fn deadline_expires() {
-        let mut d = Deadline::new(Duration::from_nanos(1));
-        std::thread::sleep(Duration::from_millis(1));
-        // Force enough checks to hit the lazy clock read.
-        let mut expired = false;
+    fn deadline_expires_deterministically() {
+        // Each lazy clock reading advances the fake clock by 1 µs; the
+        // deadline must trip on the first reading past the timeout without
+        // any real sleeping.
+        let (clock, _) = fake(1_000);
+        let mut d = Deadline::with_clock(Duration::from_nanos(1), clock);
+        let mut checks = 0u32;
+        loop {
+            checks += 1;
+            if d.expired() {
+                break;
+            }
+            assert!(
+                checks <= 4 * Deadline::<MonotonicClock>::CHECK_INTERVAL,
+                "deadline never expired"
+            );
+        }
+        // The first lazy reading observes 0 (below the timeout); the second
+        // observes 1 µs and trips — exactly two check intervals.
+        assert_eq!(checks, 2 * Deadline::<MonotonicClock>::CHECK_INTERVAL);
+        // Once expired, the deadline stays expired without touching the clock.
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn deadline_far_in_future_does_not_expire() {
+        let (clock, now) = fake(1_000);
+        let mut d = Deadline::with_clock(Duration::from_secs(3600), clock);
         for _ in 0..5000 {
+            assert!(!d.expired());
+        }
+        // Jump the fake clock past the timeout: the next lazy reading trips.
+        now.set(Duration::from_secs(3601));
+        let mut expired = false;
+        for _ in 0..=Deadline::<MonotonicClock>::CHECK_INTERVAL {
             if d.expired() {
                 expired = true;
                 break;
@@ -117,10 +216,10 @@ mod tests {
     }
 
     #[test]
-    fn deadline_far_in_future_does_not_expire() {
-        let mut d = Deadline::new(Duration::from_secs(3600));
-        for _ in 0..5000 {
-            assert!(!d.expired());
-        }
+    fn wall_clock_deadline_reports_elapsed_time() {
+        let d = Deadline::new(Duration::from_secs(3600));
+        // Monotonic clocks only move forward; no sleeping required.
+        let first = d.elapsed_ns();
+        assert!(d.elapsed_ns() >= first);
     }
 }

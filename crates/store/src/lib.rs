@@ -29,6 +29,6 @@ pub mod trie_join;
 pub use binary_join::BinaryJoinEngine;
 pub use dictionary::Dictionary;
 pub use exec::{ExecOutcome, QueryEngine, QueryMode};
-pub use pattern::{chain_query, cycle_query, star_query, CqAtom, CqTerm, ConjunctiveQuery};
+pub use pattern::{chain_query, cycle_query, star_query, ConjunctiveQuery, CqAtom, CqTerm};
 pub use store::{EncodedPattern, EncodedTriple, TripleStore};
 pub use trie_join::TrieJoinEngine;

@@ -58,7 +58,11 @@ pub struct CqAtom {
 impl CqAtom {
     /// Creates a new atom.
     pub fn new(subject: CqTerm, predicate: CqTerm, object: CqTerm) -> Self {
-        CqAtom { subject, predicate, object }
+        CqAtom {
+            subject,
+            predicate,
+            object,
+        }
     }
 
     /// Iterates over the three positions.
@@ -68,7 +72,10 @@ impl CqAtom {
 
     /// The distinct variables of the atom.
     pub fn variables(&self) -> BTreeSet<&str> {
-        self.terms().into_iter().filter_map(CqTerm::as_var).collect()
+        self.terms()
+            .into_iter()
+            .filter_map(CqTerm::as_var)
+            .collect()
     }
 }
 

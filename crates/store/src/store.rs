@@ -116,17 +116,13 @@ impl TripleStore {
     pub fn count_matching(&self, pattern: EncodedPattern) -> usize {
         let [s, p, o] = pattern;
         match (s, p, o) {
-            (Some(s), Some(p), Some(o)) => {
-                usize::from(self.spo.binary_search(&[s, p, o]).is_ok())
-            }
+            (Some(s), Some(p), Some(o)) => usize::from(self.spo.binary_search(&[s, p, o]).is_ok()),
             (Some(s), Some(p), None) => range_scan(&self.spo, |t| [t[0], t[1]].cmp(&[s, p])).len(),
             (Some(s), None, None) => range_scan(&self.spo, |t| t[0].cmp(&s)).len(),
             (None, Some(p), Some(o)) => range_scan(&self.pos, |t| [t[1], t[2]].cmp(&[p, o])).len(),
             (None, Some(p), None) => range_scan(&self.pos, |t| t[1].cmp(&p)).len(),
             (None, None, Some(o)) => range_scan(&self.osp, |t| t[2].cmp(&o)).len(),
-            (Some(s), None, Some(o)) => {
-                range_scan(&self.osp, |t| [t[2], t[0]].cmp(&[o, s])).len()
-            }
+            (Some(s), None, Some(o)) => range_scan(&self.osp, |t| [t[2], t[0]].cmp(&[o, s])).len(),
             (None, None, None) => self.spo.len(),
         }
     }

@@ -56,7 +56,9 @@ impl AtomPlan {
     }
 
     fn mentions(&self, var: usize) -> bool {
-        self.positions.iter().any(|p| matches!(p, Ok(v) if *v == var))
+        self.positions
+            .iter()
+            .any(|p| matches!(p, Ok(v) if *v == var))
     }
 
     /// Builds the lookup pattern under the current partial assignment.
@@ -194,8 +196,11 @@ impl QueryEngine for TrieJoinEngine {
         timeout: Duration,
     ) -> ExecOutcome {
         let variables = query.variables();
-        let var_index: HashMap<&str, usize> =
-            variables.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+        let var_index: HashMap<&str, usize> = variables
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), i))
+            .collect();
         let atoms: Vec<AtomPlan> = query
             .atoms
             .iter()
@@ -225,9 +230,7 @@ impl QueryEngine for TrieJoinEngine {
         // Variable order: most-constrained first (descending number of atoms
         // mentioning the variable, ties broken by first occurrence).
         let mut order: Vec<usize> = (0..variables.len()).collect();
-        order.sort_by_key(|&v| {
-            std::cmp::Reverse(atoms.iter().filter(|a| a.mentions(v)).count())
-        });
+        order.sort_by_key(|&v| std::cmp::Reverse(atoms.iter().filter(|a| a.mentions(v)).count()));
 
         let mut search = Search {
             store,
@@ -306,7 +309,8 @@ mod tests {
     fn star_query_with_distinct_predicates() {
         let store = sample_store();
         let q = star_query(&["a".to_string(), "b".to_string(), "c".to_string()]);
-        let out = TrieJoinEngine::new().evaluate(&store, &q, QueryMode::Count, Duration::from_secs(5));
+        let out =
+            TrieJoinEngine::new().evaluate(&store, &q, QueryMode::Count, Duration::from_secs(5));
         assert_eq!(out.answers, 1);
     }
 
@@ -314,7 +318,8 @@ mod tests {
     fn ask_mode_short_circuits() {
         let store = sample_store();
         let q = cycle_query(&preds(3));
-        let out = TrieJoinEngine::new().evaluate(&store, &q, QueryMode::Ask, Duration::from_secs(5));
+        let out =
+            TrieJoinEngine::new().evaluate(&store, &q, QueryMode::Ask, Duration::from_secs(5));
         assert_eq!(out.answers, 1);
     }
 
@@ -322,7 +327,8 @@ mod tests {
     fn unsatisfiable_cycle_returns_zero() {
         let store = sample_store();
         let q = cycle_query(&preds(5));
-        let out = TrieJoinEngine::new().evaluate(&store, &q, QueryMode::Count, Duration::from_secs(5));
+        let out =
+            TrieJoinEngine::new().evaluate(&store, &q, QueryMode::Count, Duration::from_secs(5));
         assert_eq!(out.answers, 0);
     }
 
@@ -334,14 +340,16 @@ mod tests {
             CqTerm::constant("p"),
             CqTerm::constant("n2"),
         )]);
-        let out = TrieJoinEngine::new().evaluate(&store, &q, QueryMode::Ask, Duration::from_secs(5));
+        let out =
+            TrieJoinEngine::new().evaluate(&store, &q, QueryMode::Ask, Duration::from_secs(5));
         assert_eq!(out.answers, 1);
         let q2 = ConjunctiveQuery::new(vec![CqAtom::new(
             CqTerm::constant("n2"),
             CqTerm::constant("p"),
             CqTerm::constant("n1"),
         )]);
-        let out2 = TrieJoinEngine::new().evaluate(&store, &q2, QueryMode::Ask, Duration::from_secs(5));
+        let out2 =
+            TrieJoinEngine::new().evaluate(&store, &q2, QueryMode::Ask, Duration::from_secs(5));
         assert_eq!(out2.answers, 0);
     }
 
@@ -353,7 +361,8 @@ mod tests {
             CqTerm::constant("unknown-predicate"),
             CqTerm::var("y"),
         )]);
-        let out = TrieJoinEngine::new().evaluate(&store, &q, QueryMode::Count, Duration::from_secs(5));
+        let out =
+            TrieJoinEngine::new().evaluate(&store, &q, QueryMode::Count, Duration::from_secs(5));
         assert_eq!(out.answers, 0);
         assert!(!out.timed_out);
     }
@@ -369,7 +378,8 @@ mod tests {
             CqTerm::constant("p"),
             CqTerm::var("x"),
         )]);
-        let out = TrieJoinEngine::new().evaluate(&store, &q, QueryMode::Count, Duration::from_secs(5));
+        let out =
+            TrieJoinEngine::new().evaluate(&store, &q, QueryMode::Count, Duration::from_secs(5));
         assert_eq!(out.answers, 1);
     }
 
@@ -377,8 +387,18 @@ mod tests {
     fn frontier_stays_small_on_cycles() {
         let store = sample_store();
         let cycle = cycle_query(&preds(3));
-        let wcoj = TrieJoinEngine::new().evaluate(&store, &cycle, QueryMode::Count, Duration::from_secs(5));
-        let bj = BinaryJoinEngine::new().evaluate(&store, &cycle, QueryMode::Count, Duration::from_secs(5));
+        let wcoj = TrieJoinEngine::new().evaluate(
+            &store,
+            &cycle,
+            QueryMode::Count,
+            Duration::from_secs(5),
+        );
+        let bj = BinaryJoinEngine::new().evaluate(
+            &store,
+            &cycle,
+            QueryMode::Count,
+            Duration::from_secs(5),
+        );
         // The WCOJ frontier (per-variable candidate list) stays within the
         // data size, whereas the binary join materialises the full length-2
         // chain result before closing the cycle.

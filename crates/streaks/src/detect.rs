@@ -17,7 +17,10 @@ pub struct StreakConfig {
 
 impl Default for StreakConfig {
     fn default() -> Self {
-        StreakConfig { window: 30, threshold: 0.25 }
+        StreakConfig {
+            window: 30,
+            threshold: 0.25,
+        }
     }
 }
 
@@ -79,7 +82,9 @@ pub fn detect_streaks(log: &[String], config: StreakConfig) -> Vec<Streak> {
             let ending_here: Vec<usize> = extended_from[i].clone();
             if ending_here.is_empty() {
                 let id = streaks.len();
-                streaks.push(Streak { members: vec![i, j] });
+                streaks.push(Streak {
+                    members: vec![i, j],
+                });
                 extended_from[j].push(id);
             } else {
                 for id in ending_here {
@@ -160,16 +165,34 @@ mod tests {
         let mut log = vec![q("SELECT ?x WHERE { ?x a <http://example.org/Class> }")];
         // 5 unrelated (and mutually dissimilar) queries, then a query similar
         // to the seed — with window 3 the gap is too large to match the seed.
-        log.push(q("ASK { <http://a.example/zzz> <http://p1> \"completely different literal one\" }"));
-        log.push(q("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o . ?o <http://q> ?r }"));
+        log.push(q(
+            "ASK { <http://a.example/zzz> <http://p1> \"completely different literal one\" }",
+        ));
+        log.push(q(
+            "CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o . ?o <http://q> ?r }",
+        ));
         log.push(q("DESCRIBE <http://resource.example/described-thing-42>"));
         log.push(q("ASK { ?x <http://totally.other/pred> ?y . ?y <http://totally.other/p2> ?z . FILTER(?z > 100) }"));
         log.push(q("SELECT (COUNT(*) AS ?c) WHERE { GRAPH ?g { ?a ?b ?c } } GROUP BY ?g HAVING (COUNT(*) > 5)"));
         let seed_and_late = log.len();
-        log.push(q("SELECT ?x WHERE { ?x a <http://example.org/Class> } LIMIT 5"));
-        let narrow = detect_streaks(&log, StreakConfig { window: 3, threshold: 0.25 });
+        log.push(q(
+            "SELECT ?x WHERE { ?x a <http://example.org/Class> } LIMIT 5",
+        ));
+        let narrow = detect_streaks(
+            &log,
+            StreakConfig {
+                window: 3,
+                threshold: 0.25,
+            },
+        );
         assert!(narrow.iter().all(|s| !s.members.contains(&seed_and_late)));
-        let wide = detect_streaks(&log, StreakConfig { window: 30, threshold: 0.25 });
+        let wide = detect_streaks(
+            &log,
+            StreakConfig {
+                window: 30,
+                threshold: 0.25,
+            },
+        );
         assert!(wide.iter().any(|s| s.members == vec![0, seed_and_late]));
     }
 
@@ -217,7 +240,10 @@ mod tests {
             q("SELECT ?film ?star WHERE { ?film a <http://dbpedia.org/ontology/Film> . ?film <http://dbpedia.org/ontology/starring> ?star . ?star <http://dbpedia.org/ontology/birthPlace> ?p }"),
             q("SELECT ?film ?x WHERE { ?film a <http://dbpedia.org/ontology/Film> . ?film <http://dbpedia.org/ontology/starring> ?x . ?film <http://dbpedia.org/ontology/director> ?d }"),
         ];
-        let config = StreakConfig { window: 30, threshold: 0.45 };
+        let config = StreakConfig {
+            window: 30,
+            threshold: 0.45,
+        };
         let streaks = detect_streaks(&log, config);
         // Depending on exact distances q2 may match one or both seeds; it must
         // match at least one and every streak must contain q2.
@@ -228,10 +254,18 @@ mod tests {
     #[test]
     fn histogram_buckets_lengths_by_decade() {
         let streaks = vec![
-            Streak { members: (0..2).collect() },
-            Streak { members: (0..10).collect() },
-            Streak { members: (0..11).collect() },
-            Streak { members: (0..150).collect() },
+            Streak {
+                members: (0..2).collect(),
+            },
+            Streak {
+                members: (0..10).collect(),
+            },
+            Streak {
+                members: (0..11).collect(),
+            },
+            Streak {
+                members: (0..150).collect(),
+            },
         ];
         let h = StreakHistogram::from_streaks(&streaks);
         assert_eq!(h.total, 4);

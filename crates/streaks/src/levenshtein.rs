@@ -70,7 +70,10 @@ mod tests {
 
     #[test]
     fn distance_is_symmetric() {
-        assert_eq!(levenshtein("abcdef", "azced"), levenshtein("azced", "abcdef"));
+        assert_eq!(
+            levenshtein("abcdef", "azced"),
+            levenshtein("azced", "abcdef")
+        );
     }
 
     #[test]
@@ -89,14 +92,25 @@ mod tests {
     #[test]
     fn similarity_threshold() {
         // 25% threshold as in the paper.
-        assert!(similar_within("SELECT ?x WHERE { ?x a <C> }", "SELECT ?y WHERE { ?y a <C> }", 0.25));
-        assert!(!similar_within("SELECT ?x WHERE { ?x a <C> }", "ASK { <s> <p> <o> }", 0.25));
+        assert!(similar_within(
+            "SELECT ?x WHERE { ?x a <C> }",
+            "SELECT ?y WHERE { ?y a <C> }",
+            0.25
+        ));
+        assert!(!similar_within(
+            "SELECT ?x WHERE { ?x a <C> }",
+            "ASK { <s> <p> <o> }",
+            0.25
+        ));
     }
 
     #[test]
     fn length_prefilter_agrees_with_exact_test() {
         let cases = [
-            ("SELECT ?x WHERE { ?x a <C> }", "SELECT ?x WHERE { ?x a <C> } LIMIT 10"),
+            (
+                "SELECT ?x WHERE { ?x a <C> }",
+                "SELECT ?x WHERE { ?x a <C> } LIMIT 10",
+            ),
             ("abc", "abcdefghijklmnop"),
             ("", "x"),
         ];

@@ -21,7 +21,11 @@ pub struct CorpusConfig {
 
 impl Default for CorpusConfig {
     fn default() -> Self {
-        CorpusConfig { scale: 1e-4, seed: 42, max_entries_per_dataset: 0 }
+        CorpusConfig {
+            scale: 1e-4,
+            seed: 42,
+            max_entries_per_dataset: 0,
+        }
     }
 }
 
@@ -66,7 +70,10 @@ pub fn generate_corpus(config: CorpusConfig) -> Corpus {
                 entries = entries.min(config.max_entries_per_dataset);
             }
             let mut synth = Synthesizer::new(profile, config.seed.wrapping_add(i as u64 * 7919));
-            DatasetLog { dataset: *dataset, entries: synth.generate_log(entries) }
+            DatasetLog {
+                dataset: *dataset,
+                entries: synth.generate_log(entries),
+            }
         })
         .collect();
     Corpus { config, logs }
@@ -81,7 +88,10 @@ pub fn generate_single_day_log(dataset: Dataset, entries: u64, seed: u64) -> Dat
     // deduplicated corpus: raise the streak probability.
     profile.streak_start = profile.streak_start.max(0.05);
     let mut synth = Synthesizer::new(profile, seed);
-    DatasetLog { dataset, entries: synth.generate_log(entries) }
+    DatasetLog {
+        dataset,
+        entries: synth.generate_log(entries),
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +100,11 @@ mod tests {
 
     #[test]
     fn corpus_covers_all_datasets_in_order() {
-        let corpus = generate_corpus(CorpusConfig { scale: 1e-5, seed: 1, max_entries_per_dataset: 0 });
+        let corpus = generate_corpus(CorpusConfig {
+            scale: 1e-5,
+            seed: 1,
+            max_entries_per_dataset: 0,
+        });
         assert_eq!(corpus.logs.len(), 13);
         assert_eq!(corpus.logs[0].dataset, Dataset::DBpedia0912);
         assert_eq!(corpus.logs[12].dataset, Dataset::WikiData17);
@@ -101,22 +115,46 @@ mod tests {
 
     #[test]
     fn scale_controls_corpus_size() {
-        let small = generate_corpus(CorpusConfig { scale: 1e-6, seed: 1, max_entries_per_dataset: 0 });
-        let large = generate_corpus(CorpusConfig { scale: 1e-5, seed: 1, max_entries_per_dataset: 0 });
+        let small = generate_corpus(CorpusConfig {
+            scale: 1e-6,
+            seed: 1,
+            max_entries_per_dataset: 0,
+        });
+        let large = generate_corpus(CorpusConfig {
+            scale: 1e-5,
+            seed: 1,
+            max_entries_per_dataset: 0,
+        });
         assert!(large.total_entries() > small.total_entries());
     }
 
     #[test]
     fn per_dataset_cap_is_respected() {
-        let corpus = generate_corpus(CorpusConfig { scale: 1e-3, seed: 1, max_entries_per_dataset: 100 });
+        let corpus = generate_corpus(CorpusConfig {
+            scale: 1e-3,
+            seed: 1,
+            max_entries_per_dataset: 100,
+        });
         assert!(corpus.logs.iter().all(|l| l.entries.len() <= 309));
-        assert!(corpus.logs.iter().filter(|l| l.dataset != Dataset::WikiData17).all(|l| l.entries.len() <= 100));
+        assert!(corpus
+            .logs
+            .iter()
+            .filter(|l| l.dataset != Dataset::WikiData17)
+            .all(|l| l.entries.len() <= 100));
     }
 
     #[test]
     fn corpus_generation_is_deterministic() {
-        let a = generate_corpus(CorpusConfig { scale: 1e-6, seed: 9, max_entries_per_dataset: 0 });
-        let b = generate_corpus(CorpusConfig { scale: 1e-6, seed: 9, max_entries_per_dataset: 0 });
+        let a = generate_corpus(CorpusConfig {
+            scale: 1e-6,
+            seed: 9,
+            max_entries_per_dataset: 0,
+        });
+        let b = generate_corpus(CorpusConfig {
+            scale: 1e-6,
+            seed: 9,
+            max_entries_per_dataset: 0,
+        });
         assert_eq!(a, b);
     }
 

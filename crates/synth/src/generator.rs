@@ -25,9 +25,26 @@ pub struct Synthesizer {
 
 /// Predicate local names used to mint dataset-specific vocabulary.
 const PREDICATES: &[&str] = &[
-    "label", "name", "type", "birthPlace", "deathPlace", "genre", "nationality", "location",
-    "partOf", "subClassOf", "seeAlso", "creator", "author", "date", "population", "abstract",
-    "homepage", "starring", "director", "influencedBy",
+    "label",
+    "name",
+    "type",
+    "birthPlace",
+    "deathPlace",
+    "genre",
+    "nationality",
+    "location",
+    "partOf",
+    "subClassOf",
+    "seeAlso",
+    "creator",
+    "author",
+    "date",
+    "population",
+    "abstract",
+    "homepage",
+    "starring",
+    "director",
+    "influencedBy",
 ];
 
 /// Class local names.
@@ -106,7 +123,10 @@ impl Synthesizer {
                 "GET /sparql?query=SELECT%20?x%20WHERE%20%7B%7D&id={} HTTP/1.1\"",
                 self.counter
             ),
-            1 => format!("INSERT DATA {{ <http://x/{}> <http://p> <http://o> }}", self.counter),
+            1 => format!(
+                "INSERT DATA {{ <http://x/{}> <http://p> <http://o> }}",
+                self.counter
+            ),
             _ => format!("SELECT ?x WHERE {{ ?x <http://broken/{}> ", self.counter),
         }
     }
@@ -210,7 +230,10 @@ impl Synthesizer {
             format!("DESCRIBE {}", self.resource())
         } else {
             let class = self.class();
-            format!("DESCRIBE ?x WHERE {{ ?x a {class} }} LIMIT {}", self.rng.gen_range(1..100))
+            format!(
+                "DESCRIBE ?x WHERE {{ ?x a {class} }} LIMIT {}",
+                self.rng.gen_range(1..100)
+            )
         }
     }
 
@@ -233,7 +256,11 @@ impl Synthesizer {
         if self.rng.gen_bool(0.7) {
             let s = self.resource();
             let p = self.predicate();
-            let o = if self.rng.gen_bool(0.5) { self.resource() } else { self.literal() };
+            let o = if self.rng.gen_bool(0.5) {
+                self.resource()
+            } else {
+                self.literal()
+            };
             format!("ASK {{ {s} {p} {o} }}")
         } else {
             let (body, _) = self.body();
@@ -251,8 +278,8 @@ impl Synthesizer {
         let group_by = use_aggregate || self.rng.gen_bool(m.group_by);
         let projection = if use_aggregate {
             let agg_var = &vars[self.rng.gen_range(0..vars.len())];
-            let kind = ["COUNT", "COUNT", "COUNT", "MAX", "MIN", "AVG", "SUM"]
-                [self.rng.gen_range(0..7)];
+            let kind =
+                ["COUNT", "COUNT", "COUNT", "MAX", "MIN", "AVG", "SUM"][self.rng.gen_range(0..7)];
             if group_by && vars.len() > 1 {
                 format!("?{} ({kind}({agg_var}) AS ?agg)", grouping_var(&vars))
             } else {
@@ -271,7 +298,11 @@ impl Synthesizer {
             }
         };
 
-        let distinct = if self.rng.gen_bool(m.distinct) { "DISTINCT " } else { "" };
+        let distinct = if self.rng.gen_bool(m.distinct) {
+            "DISTINCT "
+        } else {
+            ""
+        };
         let mut query = format!("SELECT {distinct}{projection} WHERE {{ {body} }}");
 
         if group_by && use_aggregate && vars.len() > 1 {
@@ -280,11 +311,18 @@ impl Synthesizer {
             // present; attach one to a small share of grouped queries.
             if self.rng.gen_bool(0.05) {
                 let agg_var = &vars[vars.len() - 1];
-                query.push_str(&format!(" HAVING (COUNT({agg_var}) > {})", self.rng.gen_range(1..20)));
+                query.push_str(&format!(
+                    " HAVING (COUNT({agg_var}) > {})",
+                    self.rng.gen_range(1..20)
+                ));
             }
         }
         if self.rng.gen_bool(m.order_by) && !vars.is_empty() {
-            let dir = if self.rng.gen_bool(0.5) { "ASC" } else { "DESC" };
+            let dir = if self.rng.gen_bool(0.5) {
+                "ASC"
+            } else {
+                "DESC"
+            };
             query.push_str(&format!(" ORDER BY {dir}({})", vars[0]));
         }
         if self.rng.gen_bool(m.limit) {
@@ -315,7 +353,10 @@ impl Synthesizer {
                 // Rarely, the OPTIONAL shares *two* variables with the outer
                 // pattern — such queries have interface width 2 and fall
                 // outside CQOF (the paper found 310 of them).
-                let other = vars[(self.rng.gen_range(1..vars.len()) + vars.iter().position(|v| *v == anchor).unwrap_or(0)) % vars.len()].clone();
+                let other = vars[(self.rng.gen_range(1..vars.len())
+                    + vars.iter().position(|v| *v == anchor).unwrap_or(0))
+                    % vars.len()]
+                .clone();
                 parts.push(format!("OPTIONAL {{ {anchor} {p} {other} }}"));
             } else {
                 let opt_var = format!("?opt{}", self.rng.gen_range(0..9));
@@ -384,7 +425,10 @@ impl Synthesizer {
             match self.rng.gen_range(0..4) {
                 0 => format!("FILTER({v} > 100)"),
                 1 => format!("FILTER(lang({v}) = \"en\")"),
-                2 => format!("FILTER(regex(str({v}), \"pattern{}\"))", self.rng.gen_range(0..50)),
+                2 => format!(
+                    "FILTER(regex(str({v}), \"pattern{}\"))",
+                    self.rng.gen_range(0..50)
+                ),
                 _ => format!("FILTER({v} != {})", self.resource()),
             }
         }
@@ -622,7 +666,10 @@ mod tests {
             }
         }
         let share = describe as f64 / total as f64;
-        assert!(share > 0.75, "BioMed13 should be DESCRIBE-dominated, got {share}");
+        assert!(
+            share > 0.75,
+            "BioMed13 should be DESCRIBE-dominated, got {share}"
+        );
     }
 
     #[test]
@@ -641,7 +688,10 @@ mod tests {
             }
         }
         let share = graph as f64 / total as f64;
-        assert!(share > 0.6, "BioPortal13 queries should be GRAPH-heavy, got {share}");
+        assert!(
+            share > 0.6,
+            "BioPortal13 queries should be GRAPH-heavy, got {share}"
+        );
     }
 
     #[test]
@@ -676,7 +726,10 @@ mod tests {
                 similar_pairs += 1;
             }
         }
-        assert!(similar_pairs > 10, "expected many near-duplicate neighbours, got {similar_pairs}");
+        assert!(
+            similar_pairs > 10,
+            "expected many near-duplicate neighbours, got {similar_pairs}"
+        );
     }
 
     /// A crude normalized edit-distance approximation sufficient for the test

@@ -214,8 +214,15 @@ impl DatasetProfile {
             total_queries: 1_000_000,
             valid_share: 0.95,
             unique_share: 0.45,
-            form_mix: FormMix { select: 0.88, ask: 0.05, describe: 0.045, construct: 0.025 },
-            triple_buckets: [0.02, 0.55, 0.17, 0.08, 0.05, 0.04, 0.03, 0.02, 0.01, 0.01, 0.01, 0.01],
+            form_mix: FormMix {
+                select: 0.88,
+                ask: 0.05,
+                describe: 0.045,
+                construct: 0.025,
+            },
+            triple_buckets: [
+                0.02, 0.55, 0.17, 0.08, 0.05, 0.04, 0.03, 0.02, 0.01, 0.01, 0.01, 0.01,
+            ],
             heavy_tail_mean: 14.0,
             modifiers: ModifierProbs {
                 distinct: 0.22,
@@ -238,7 +245,13 @@ impl DatasetProfile {
                 complex_filter: 0.16,
                 var_predicate: 0.10,
             },
-            shapes: ShapeMix { chain: 0.55, star: 0.25, tree: 0.17, cycle: 0.01, flower: 0.02 },
+            shapes: ShapeMix {
+                chain: 0.55,
+                star: 0.25,
+                tree: 0.17,
+                cycle: 0.01,
+                flower: 0.02,
+            },
             describe_bodyless: 0.97,
             streak_start: 0.02,
             streak_continue: 0.6,
@@ -248,53 +261,89 @@ impl DatasetProfile {
                 p.total_queries = 28_534_301;
                 p.valid_share = 0.9496;
                 p.unique_share = 0.4959;
-                p.form_mix = FormMix { select: 0.92, ask: 0.05, describe: 0.02, construct: 0.01 };
+                p.form_mix = FormMix {
+                    select: 0.92,
+                    ask: 0.05,
+                    describe: 0.02,
+                    construct: 0.01,
+                };
                 p.modifiers.distinct = 0.18;
             }
             DBpedia13 => {
                 p.total_queries = 5_243_853;
                 p.valid_share = 0.9191;
                 p.unique_share = 0.5452;
-                p.form_mix = FormMix { select: 0.90, ask: 0.04, describe: 0.04, construct: 0.02 };
+                p.form_mix = FormMix {
+                    select: 0.90,
+                    ask: 0.04,
+                    describe: 0.04,
+                    construct: 0.02,
+                };
                 p.modifiers.distinct = 0.08;
                 p.modifiers.offset = 0.12;
                 // DBpedia13 has the largest share of 11+-triple queries (~21%).
-                p.triple_buckets =
-                    [0.01, 0.40, 0.12, 0.07, 0.05, 0.04, 0.03, 0.03, 0.02, 0.01, 0.01, 0.21];
+                p.triple_buckets = [
+                    0.01, 0.40, 0.12, 0.07, 0.05, 0.04, 0.03, 0.03, 0.02, 0.01, 0.01, 0.21,
+                ];
             }
             DBpedia14 => {
                 p.total_queries = 37_219_788;
                 p.valid_share = 0.9134;
                 p.unique_share = 0.5065;
-                p.form_mix = FormMix { select: 0.915, ask: 0.035, describe: 0.04, construct: 0.01 };
+                p.form_mix = FormMix {
+                    select: 0.915,
+                    ask: 0.035,
+                    describe: 0.04,
+                    construct: 0.01,
+                };
                 p.modifiers.distinct = 0.11;
             }
             DBpedia15 => {
                 p.total_queries = 43_478_986;
                 p.valid_share = 0.9823;
                 p.unique_share = 0.3103;
-                p.form_mix = FormMix { select: 0.815, ask: 0.115, describe: 0.05, construct: 0.02 };
+                p.form_mix = FormMix {
+                    select: 0.815,
+                    ask: 0.115,
+                    describe: 0.05,
+                    construct: 0.02,
+                };
                 p.modifiers.distinct = 0.38;
             }
             DBpedia16 => {
                 p.total_queries = 15_098_176;
                 p.valid_share = 0.9728;
                 p.unique_share = 0.2975;
-                p.form_mix = FormMix { select: 0.62, ask: 0.02, describe: 0.34, construct: 0.02 };
+                p.form_mix = FormMix {
+                    select: 0.62,
+                    ask: 0.02,
+                    describe: 0.34,
+                    construct: 0.02,
+                };
                 p.modifiers.distinct = 0.08;
             }
             Lgd13 => {
                 p.total_queries = 1_841_880;
                 p.valid_share = 0.8219;
                 p.unique_share = 0.2364;
-                p.form_mix = FormMix { select: 0.28, ask: 0.01, describe: 0.0, construct: 0.71 };
+                p.form_mix = FormMix {
+                    select: 0.28,
+                    ask: 0.01,
+                    describe: 0.0,
+                    construct: 0.71,
+                };
                 p.modifiers.offset = 0.13;
             }
             Lgd14 => {
                 p.total_queries = 1_999_961;
                 p.valid_share = 0.9646;
                 p.unique_share = 0.3259;
-                p.form_mix = FormMix { select: 0.955, ask: 0.02, describe: 0.005, construct: 0.02 };
+                p.form_mix = FormMix {
+                    select: 0.955,
+                    ask: 0.02,
+                    describe: 0.005,
+                    construct: 0.02,
+                };
                 p.operators.filter = 0.61;
                 p.operators.aggregate = 0.31;
                 p.modifiers.limit = 0.41;
@@ -305,57 +354,92 @@ impl DatasetProfile {
                 p.total_queries = 4_627_271;
                 p.valid_share = 0.9994;
                 p.unique_share = 0.1487;
-                p.form_mix = FormMix { select: 0.99, ask: 0.01, describe: 0.0, construct: 0.0 };
+                p.form_mix = FormMix {
+                    select: 0.99,
+                    ask: 0.01,
+                    describe: 0.0,
+                    construct: 0.0,
+                };
                 p.operators.graph = 0.80;
                 p.operators.filter = 0.02;
                 p.modifiers.distinct = 0.82;
                 // Almost exclusively 1-2 triple queries.
-                p.triple_buckets =
-                    [0.01, 0.84, 0.13, 0.01, 0.005, 0.002, 0.001, 0.001, 0.001, 0.0, 0.0, 0.0];
+                p.triple_buckets = [
+                    0.01, 0.84, 0.13, 0.01, 0.005, 0.002, 0.001, 0.001, 0.001, 0.0, 0.0, 0.0,
+                ];
             }
             BioP14 => {
                 p.total_queries = 26_438_933;
                 p.valid_share = 0.9987;
                 p.unique_share = 0.0830;
-                p.form_mix = FormMix { select: 0.99, ask: 0.007, describe: 0.0, construct: 0.003 };
+                p.form_mix = FormMix {
+                    select: 0.99,
+                    ask: 0.007,
+                    describe: 0.0,
+                    construct: 0.003,
+                };
                 p.operators.graph = 0.40;
                 p.operators.filter = 0.03;
                 p.modifiers.distinct = 0.69;
-                p.triple_buckets =
-                    [0.01, 0.70, 0.20, 0.05, 0.02, 0.01, 0.004, 0.002, 0.002, 0.001, 0.001, 0.0];
+                p.triple_buckets = [
+                    0.01, 0.70, 0.20, 0.05, 0.02, 0.01, 0.004, 0.002, 0.002, 0.001, 0.001, 0.0,
+                ];
             }
             BioMed13 => {
                 p.total_queries = 883_374;
                 p.valid_share = 0.9994;
                 p.unique_share = 0.0306;
-                p.form_mix = FormMix { select: 0.105, ask: 0.024, describe: 0.847, construct: 0.024 };
-                p.triple_buckets =
-                    [0.02, 0.45, 0.15, 0.08, 0.06, 0.05, 0.04, 0.03, 0.02, 0.02, 0.02, 0.06];
+                p.form_mix = FormMix {
+                    select: 0.105,
+                    ask: 0.024,
+                    describe: 0.847,
+                    construct: 0.024,
+                };
+                p.triple_buckets = [
+                    0.02, 0.45, 0.15, 0.08, 0.06, 0.05, 0.04, 0.03, 0.02, 0.02, 0.02, 0.06,
+                ];
             }
             Swdf13 => {
                 p.total_queries = 13_762_797;
                 p.valid_share = 0.9895;
                 p.unique_share = 0.0903;
-                p.form_mix = FormMix { select: 0.945, ask: 0.016, describe: 0.025, construct: 0.014 };
+                p.form_mix = FormMix {
+                    select: 0.945,
+                    ask: 0.016,
+                    describe: 0.025,
+                    construct: 0.014,
+                };
                 p.modifiers.limit = 0.47;
-                p.triple_buckets =
-                    [0.02, 0.68, 0.18, 0.06, 0.03, 0.01, 0.01, 0.004, 0.003, 0.002, 0.001, 0.0];
+                p.triple_buckets = [
+                    0.02, 0.68, 0.18, 0.06, 0.03, 0.01, 0.01, 0.004, 0.003, 0.002, 0.001, 0.0,
+                ];
             }
             BritM14 => {
                 p.total_queries = 1_523_827;
                 p.valid_share = 0.9932;
                 p.unique_share = 0.0893;
-                p.form_mix = FormMix { select: 0.98, ask: 0.006, describe: 0.01, construct: 0.004 };
+                p.form_mix = FormMix {
+                    select: 0.98,
+                    ask: 0.006,
+                    describe: 0.01,
+                    construct: 0.004,
+                };
                 p.modifiers.distinct = 0.97;
                 // Fixed templates with many triples (Avg#T 5.47).
-                p.triple_buckets =
-                    [0.0, 0.05, 0.10, 0.15, 0.15, 0.15, 0.15, 0.10, 0.06, 0.04, 0.03, 0.02];
+                p.triple_buckets = [
+                    0.0, 0.05, 0.10, 0.15, 0.15, 0.15, 0.15, 0.10, 0.06, 0.04, 0.03, 0.02,
+                ];
             }
             WikiData17 => {
                 p.total_queries = 309;
                 p.valid_share = 308.0 / 309.0;
                 p.unique_share = 1.0;
-                p.form_mix = FormMix { select: 0.97, ask: 0.027, describe: 0.0, construct: 0.003 };
+                p.form_mix = FormMix {
+                    select: 0.97,
+                    ask: 0.027,
+                    describe: 0.0,
+                    construct: 0.003,
+                };
                 p.modifiers.order_by = 0.42;
                 p.modifiers.group_by = 0.30;
                 p.modifiers.limit = 0.35;
@@ -365,8 +449,9 @@ impl DatasetProfile {
                 p.operators.optional = 0.45;
                 p.operators.filter = 0.35;
                 p.streak_start = 0.0;
-                p.triple_buckets =
-                    [0.0, 0.18, 0.22, 0.18, 0.12, 0.09, 0.07, 0.05, 0.03, 0.02, 0.02, 0.02];
+                p.triple_buckets = [
+                    0.0, 0.18, 0.22, 0.18, 0.12, 0.09, 0.07, 0.05, 0.03, 0.02, 0.02, 0.02,
+                ];
             }
         }
         p
@@ -374,7 +459,10 @@ impl DatasetProfile {
 
     /// All thirteen profiles in Table-1 order.
     pub fn all() -> Vec<DatasetProfile> {
-        Dataset::ALL.iter().map(|d| DatasetProfile::of(*d)).collect()
+        Dataset::ALL
+            .iter()
+            .map(|d| DatasetProfile::of(*d))
+            .collect()
     }
 
     /// The expected number of valid queries at a given corpus scale.
@@ -390,10 +478,19 @@ mod tests {
     #[test]
     fn all_profiles_have_sane_distributions() {
         for p in DatasetProfile::all() {
-            let form_sum = p.form_mix.select + p.form_mix.ask + p.form_mix.describe + p.form_mix.construct;
-            assert!((form_sum - 1.0).abs() < 0.05, "{:?} form mix sums to {form_sum}", p.dataset);
+            let form_sum =
+                p.form_mix.select + p.form_mix.ask + p.form_mix.describe + p.form_mix.construct;
+            assert!(
+                (form_sum - 1.0).abs() < 0.05,
+                "{:?} form mix sums to {form_sum}",
+                p.dataset
+            );
             let bucket_sum: f64 = p.triple_buckets.iter().sum();
-            assert!((bucket_sum - 1.0).abs() < 0.05, "{:?} buckets sum to {bucket_sum}", p.dataset);
+            assert!(
+                (bucket_sum - 1.0).abs() < 0.05,
+                "{:?} buckets sum to {bucket_sum}",
+                p.dataset
+            );
             assert!(p.valid_share > 0.0 && p.valid_share <= 1.0);
             assert!(p.unique_share > 0.0 && p.unique_share <= 1.0);
             let shape_sum =
@@ -409,7 +506,10 @@ mod tests {
         let total: u64 = DatasetProfile::all().iter().map(|p| p.total_queries).sum();
         assert_eq!(total, 180_653_456);
         assert_eq!(DatasetProfile::of(Dataset::WikiData17).total_queries, 309);
-        assert_eq!(DatasetProfile::of(Dataset::DBpedia15).total_queries, 43_478_986);
+        assert_eq!(
+            DatasetProfile::of(Dataset::DBpedia15).total_queries,
+            43_478_986
+        );
     }
 
     #[test]

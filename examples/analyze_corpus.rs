@@ -11,7 +11,11 @@ use sparqlog::synth::{generate_corpus, CorpusConfig};
 
 fn main() {
     // A small corpus: 1/100,000 of the real Table-1 sizes (≈ 2k queries).
-    let corpus = generate_corpus(CorpusConfig { scale: 1e-5, seed: 7, max_entries_per_dataset: 0 });
+    let corpus = generate_corpus(CorpusConfig {
+        scale: 1e-5,
+        seed: 7,
+        max_entries_per_dataset: 0,
+    });
     let raw: Vec<RawLog> = corpus
         .logs
         .iter()
@@ -21,10 +25,28 @@ fn main() {
     let ingested = ingest_all(&raw);
     let analysis = CorpusAnalysis::analyze(&ingested, Population::Unique);
 
-    println!("=== Table 1: corpus sizes ===\n{}", report::table1(&analysis));
-    println!("=== Table 2: keyword counts ===\n{}", report::table2_keywords(&analysis.combined));
-    println!("=== Table 3: operator sets ===\n{}", report::table3_opsets(&analysis.combined));
-    println!("=== Section 5.2: fragments ===\n{}", report::section52_fragments(&analysis.combined));
-    println!("=== Table 4: shapes ===\n{}", report::table4_shapes(&analysis.combined));
-    println!("=== Table 5: property paths ===\n{}", report::table5_paths(&analysis.combined));
+    println!(
+        "=== Table 1: corpus sizes ===\n{}",
+        report::table1(&analysis)
+    );
+    println!(
+        "=== Table 2: keyword counts ===\n{}",
+        report::table2_keywords(&analysis.combined)
+    );
+    println!(
+        "=== Table 3: operator sets ===\n{}",
+        report::table3_opsets(&analysis.combined)
+    );
+    println!(
+        "=== Section 5.2: fragments ===\n{}",
+        report::section52_fragments(&analysis.combined)
+    );
+    println!(
+        "=== Table 4: shapes ===\n{}",
+        report::table4_shapes(&analysis.combined)
+    );
+    println!(
+        "=== Table 5: property paths ===\n{}",
+        report::table5_paths(&analysis.combined)
+    );
 }

@@ -4,36 +4,66 @@
 //!
 //! Run with `cargo run --release --example chain_vs_cycle`.
 
-use sparqlog::gmark::{generate_graph, generate_workload, GraphConfig, QueryShape, Schema, WorkloadConfig};
+use sparqlog::gmark::{
+    generate_graph, generate_workload, GraphConfig, QueryShape, Schema, WorkloadConfig,
+};
 use sparqlog::store::{BinaryJoinEngine, QueryEngine, QueryMode, TrieJoinEngine};
 use std::time::Duration;
 
 fn main() {
     let schema = Schema::bib();
-    let graph = generate_graph(&schema, GraphConfig { nodes: 5_000, seed: 1 });
+    let graph = generate_graph(
+        &schema,
+        GraphConfig {
+            nodes: 5_000,
+            seed: 1,
+        },
+    );
     let store = graph.to_store();
-    println!("Bib graph: {} nodes, {} triples\n", graph.node_count(), store.len());
+    println!(
+        "Bib graph: {} nodes, {} triples\n",
+        graph.node_count(),
+        store.len()
+    );
 
     let binary = BinaryJoinEngine::new();
     let trie = TrieJoinEngine::new();
     let timeout = Duration::from_millis(500);
 
-    println!("{:<10} {:>6} {:>16} {:>16}", "workload", "len", "binary-join(ns)", "trie-join(ns)");
+    println!(
+        "{:<10} {:>6} {:>16} {:>16}",
+        "workload", "len", "binary-join(ns)", "trie-join(ns)"
+    );
     for shape in [QueryShape::Chain, QueryShape::Cycle] {
         for len in 3..=6 {
             let wl = generate_workload(
                 &schema,
-                WorkloadConfig { shape, length: len, count: 5, seed: 11 + len as u64 },
+                WorkloadConfig {
+                    shape,
+                    length: len,
+                    count: 5,
+                    seed: 11 + len as u64,
+                },
             );
             let avg = |engine: &dyn QueryEngine| {
                 let mut total = 0u64;
                 for q in &wl.queries {
                     let out = engine.evaluate(&store, q, QueryMode::Ask, timeout);
-                    total += if out.timed_out { timeout.as_nanos() as u64 } else { out.elapsed_ns };
+                    total += if out.timed_out {
+                        timeout.as_nanos() as u64
+                    } else {
+                        out.elapsed_ns
+                    };
                 }
                 total / wl.queries.len() as u64
             };
-            println!("{:<10} {:>6} {:>16} {:>16}", shape.label(), len, avg(&binary), avg(&trie));
+            println!(
+                "{:<10} {:>6} {:>16} {:>16}",
+                shape.label(),
+                len,
+                avg(&binary),
+                avg(&trie)
+            );
         }
     }
     println!("\nCycles are disproportionately expensive for the binary-join engine,");

@@ -34,9 +34,15 @@ fn main() {
     println!("projection:          {:?}", projection_use(&query));
 
     let fragments = classify_fragments(&query);
-    println!("\nfragments: AOF={} CQ={} CPF={} CQF={} well-designed={} CQOF={}",
-        fragments.aof, fragments.cq, fragments.cpf, fragments.cqf,
-        fragments.well_designed, fragments.cqof);
+    println!(
+        "\nfragments: AOF={} CQ={} CPF={} CQF={} well-designed={} CQOF={}",
+        fragments.aof,
+        fragments.cq,
+        fragments.cpf,
+        fragments.cqf,
+        fragments.well_designed,
+        fragments.cqof
+    );
 
     // A plain conjunctive query gets the full structural treatment.
     let cq = parse_query(
@@ -46,7 +52,10 @@ fn main() {
     let report = StructuralReport::of(&cq);
     let shape = report.shape.expect("CQ has a canonical graph");
     println!("\nsecond query (a triangle with a tail):");
-    println!("  shape: cycle={} flower={} forest={}", shape.cycle, shape.flower, shape.forest);
+    println!(
+        "  shape: cycle={} flower={} forest={}",
+        shape.cycle, shape.flower, shape.forest
+    );
     println!("  treewidth: {:?}", report.treewidth);
     println!("  shortest cycle: {:?}", report.shortest_cycle);
 }

@@ -25,20 +25,32 @@ fn main() {
     };
     let report = StructuralReport::of(&query);
     println!("triples:        {}", report.triples);
-    println!("fragment:       AOF={} CQ={} CQF={} CQOF={}",
-        report.fragments.aof, report.fragments.cq, report.fragments.cqf, report.fragments.cqof);
+    println!(
+        "fragment:       AOF={} CQ={} CQF={} CQOF={}",
+        report.fragments.aof, report.fragments.cq, report.fragments.cqf, report.fragments.cqof
+    );
     match &report.shape {
         Some(shape) => {
             println!("shape:          {:?}", shape.primary());
-            println!("  chain={} star={} tree={} forest={} cycle={} flower={} flower_set={}",
-                shape.chain, shape.star, shape.tree, shape.forest, shape.cycle, shape.flower,
-                shape.flower_set);
+            println!(
+                "  chain={} star={} tree={} forest={} cycle={} flower={} flower_set={}",
+                shape.chain,
+                shape.star,
+                shape.tree,
+                shape.forest,
+                shape.cycle,
+                shape.flower,
+                shape.flower_set
+            );
             println!("treewidth:      {:?}", report.treewidth);
             println!("shortest cycle: {:?}", report.shortest_cycle);
         }
         None => println!("shape:          (not a CQ-like query without variable predicates)"),
     }
     if let Some(ht) = report.hypertree {
-        println!("hypertree:      width {} with {} decomposition nodes", ht.width, ht.nodes);
+        println!(
+            "hypertree:      width {} with {} decomposition nodes",
+            ht.width, ht.nodes
+        );
     }
 }

@@ -10,7 +10,10 @@ fn main() {
     let log = generate_single_day_log(Dataset::DBpedia16, 2_000, 99);
     println!("single-day log with {} entries", log.entries.len());
 
-    let config = StreakConfig { window: 30, threshold: 0.25 };
+    let config = StreakConfig {
+        window: 30,
+        threshold: 0.25,
+    };
     let streaks = detect_streaks(&log.entries, config);
     let histogram = StreakHistogram::from_streaks(&streaks);
 

@@ -4,12 +4,18 @@
 //! behind *"An Analytical Study of Large SPARQL Query Logs"* (Bonifati,
 //! Martens, Timm; VLDB 2017).
 //!
-//! This umbrella crate re-exports the individual workspace crates so that a
-//! downstream user can depend on a single crate:
+//! # Workspace layout
 //!
-//! * [`parser`] — SPARQL 1.1 lexer, AST and recursive-descent parser.
+//! This umbrella crate re-exports the individual workspace crates (each a
+//! member under `crates/`) so that a downstream user can depend on a single
+//! crate:
+//!
+//! * [`parser`] — SPARQL 1.1 lexer, AST, recursive-descent parser and the
+//!   canonical serializer used for duplicate elimination.
 //! * [`algebra`] — shallow analysis (keywords, triples, operator sets,
-//!   projection) and query fragments (CQ, CPF, CQF, AOF, well-designed, CQOF).
+//!   projection), query fragments (CQ, CPF, CQF, AOF, well-designed, CQOF)
+//!   and the single-pass [`algebra::QueryWalk`] every measure is derived
+//!   from.
 //! * [`graph`] — canonical graph / hypergraph construction, shape
 //!   classification, treewidth and generalized hypertree width.
 //! * [`paths`] — property-path taxonomy and C_tract tractability test.
@@ -18,20 +24,65 @@
 //! * [`gmark`] — a schema-driven graph and query-workload generator.
 //! * [`synth`] — a per-dataset calibrated SPARQL query-log synthesizer.
 //! * [`streaks`] — Levenshtein-based streak detection over query logs.
-//! * [`core`] — the corpus pipeline and the per-table/figure report drivers.
+//! * [`core`] — the corpus pipeline (parallel ingestion, the single-pass
+//!   analysis engine, report drivers).
+//!
+//! Offline shims for the third-party dependencies live under `vendor/` (see
+//! `vendor/README.md`), and `crates/bench` hosts one harness binary per
+//! table/figure of the paper plus criterion micro-benchmarks.
+//!
+//! # The single-pass pipeline
+//!
+//! The corpus pipeline touches each query's AST exactly once:
+//!
+//! 1. [`core::corpus::ingest_all`] parses all logs on a chunked,
+//!    self-scheduling worker pool and deduplicates by hashing each query's
+//!    canonical form into a 128-bit fingerprint.
+//! 2. [`core::QueryAnalysis`] runs one [`algebra::QueryWalk`] per query —
+//!    one traversal feeding features, projection, property paths and the AOF
+//!    pattern tree — and one canonical-graph construction shared by the
+//!    shape, treewidth, girth and constants-excluded analyses.
+//! 3. [`core::CorpusAnalysis::analyze`] folds the per-query records into
+//!    per-dataset tallies on a work-stealing pool bounded by the available
+//!    cores; results are bit-identical for any worker count or chunk
+//!    schedule (see `tests/determinism.rs`).
+//!
+//! The seed's multi-walk path survives in [`core::baseline`] as the reference
+//! for the differential tests (`tests/differential.rs`) and the
+//! `single_pass` benchmark.
 //!
 //! # Quickstart
 //!
-//! ```
-//! use sparqlog::parser::parse_query;
-//! use sparqlog::algebra::QueryFeatures;
+//! Run `cargo run --example quickstart` for the full tour, or start with:
 //!
+//! ```
+//! use sparqlog::algebra::QueryFeatures;
+//! use sparqlog::core::analysis::{CorpusAnalysis, Population};
+//! use sparqlog::core::corpus::{ingest_all, RawLog};
+//! use sparqlog::core::report;
+//! use sparqlog::parser::parse_query;
+//!
+//! // Per-query analysis.
 //! let q = parse_query(
 //!     "SELECT ?s WHERE { ?s <http://xmlns.com/foaf/0.1/name> ?n . FILTER(lang(?n) = 'en') }",
 //! ).expect("valid SPARQL");
 //! let feats = QueryFeatures::of(&q);
 //! assert_eq!(feats.triple_patterns, 1);
 //! assert!(feats.uses_filter);
+//!
+//! // Corpus analysis: ingest (parallel parse + dedup), analyze, report.
+//! let logs = ingest_all(&[RawLog::new(
+//!     "example",
+//!     vec![
+//!         "SELECT ?x WHERE { ?x a <http://example.org/C> }".to_string(),
+//!         "ASK { ?a <http://p> ?b . ?b <http://p> ?c . ?c <http://p> ?a }".to_string(),
+//!         "not a query".to_string(),
+//!     ],
+//! )]);
+//! let corpus = CorpusAnalysis::analyze(&logs, Population::Unique);
+//! assert_eq!(corpus.combined.counts.valid, 2);
+//! assert_eq!(corpus.combined.cycle_lengths.get(&3), Some(&1));
+//! println!("{}", report::table1(&corpus));
 //! ```
 
 pub use sparqlog_algebra as algebra;

@@ -1,0 +1,112 @@
+//! Multi-threaded determinism: `CorpusAnalysis::analyze` must produce
+//! identical reports regardless of worker count, chunk size (and therefore
+//! chunk boundaries), or the racy order in which workers claim chunks.
+
+use sparqlog::core::analysis::{CorpusAnalysis, EngineOptions, Population};
+use sparqlog::core::corpus::{ingest, ingest_all, RawLog};
+use sparqlog::synth::{generate_corpus, CorpusConfig};
+
+fn corpus_logs() -> Vec<RawLog> {
+    let corpus = generate_corpus(CorpusConfig {
+        scale: 2e-6,
+        seed: 9,
+        max_entries_per_dataset: 120,
+    });
+    corpus
+        .logs
+        .iter()
+        .map(|l| RawLog::new(l.dataset.label(), l.entries.clone()))
+        .collect()
+}
+
+#[test]
+fn analysis_is_identical_across_worker_counts_and_chunk_schedules() {
+    let ingested = ingest_all(&corpus_logs());
+    for population in [Population::Unique, Population::Valid] {
+        let reference = format!(
+            "{:?}",
+            CorpusAnalysis::analyze_with(
+                &ingested,
+                population,
+                EngineOptions {
+                    workers: 1,
+                    chunk_size: 0
+                },
+            )
+        );
+        // Every worker count × chunk size must reproduce the single-threaded
+        // report bit-for-bit; chunk sizes of 1 and 7 shuffle the chunk
+        // boundaries and hand queries of the same dataset to different
+        // workers.
+        for workers in [1, 2, 8] {
+            for chunk_size in [0, 1, 7, 64] {
+                let run = CorpusAnalysis::analyze_with(
+                    &ingested,
+                    population,
+                    EngineOptions {
+                        workers,
+                        chunk_size,
+                    },
+                );
+                assert_eq!(
+                    reference,
+                    format!("{run:?}"),
+                    "non-deterministic report: {population:?}, {workers} workers, chunk {chunk_size}"
+                );
+            }
+        }
+        // The racy chunk-claim order differs between repeated runs; the
+        // report must not.
+        for _ in 0..3 {
+            let run = CorpusAnalysis::analyze_with(
+                &ingested,
+                population,
+                EngineOptions {
+                    workers: 8,
+                    chunk_size: 2,
+                },
+            );
+            assert_eq!(reference, format!("{run:?}"));
+        }
+    }
+}
+
+#[test]
+fn parallel_ingestion_is_identical_to_sequential() {
+    let logs = corpus_logs();
+    let parallel = ingest_all(&logs);
+    let sequential: Vec<_> = logs.iter().map(ingest).collect();
+    assert_eq!(parallel.len(), sequential.len());
+    for (p, s) in parallel.iter().zip(&sequential) {
+        assert_eq!(p.counts, s.counts, "{}", p.label);
+        assert_eq!(p.unique_indices, s.unique_indices, "{}", p.label);
+        assert_eq!(p.valid_queries, s.valid_queries, "{}", p.label);
+    }
+}
+
+#[test]
+fn shuffled_log_order_only_permutes_dataset_rows() {
+    // Reversing the logs permutes the per-dataset rows but must leave each
+    // row and the combined totals untouched.
+    let logs = corpus_logs();
+    let ingested = ingest_all(&logs);
+    let reversed: Vec<_> = ingested.iter().rev().cloned().collect();
+    let forward = CorpusAnalysis::analyze(&ingested, Population::Unique);
+    let backward = CorpusAnalysis::analyze(&reversed, Population::Unique);
+    for d in &forward.datasets {
+        let twin = backward
+            .datasets
+            .iter()
+            .find(|b| b.label == d.label)
+            .expect("every dataset row survives reordering");
+        assert_eq!(format!("{d:?}"), format!("{twin:?}"));
+    }
+    assert_eq!(
+        format!("{:?}", forward.combined.counts),
+        format!("{:?}", backward.combined.counts)
+    );
+    assert_eq!(
+        format!("{:?}", forward.combined.keywords),
+        format!("{:?}", backward.combined.keywords)
+    );
+}

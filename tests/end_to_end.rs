@@ -8,7 +8,11 @@ use sparqlog::core::report;
 use sparqlog::synth::{generate_corpus, CorpusConfig, Dataset};
 
 fn analyzed(scale: f64, seed: u64) -> CorpusAnalysis {
-    let corpus = generate_corpus(CorpusConfig { scale, seed, max_entries_per_dataset: 0 });
+    let corpus = generate_corpus(CorpusConfig {
+        scale,
+        seed,
+        max_entries_per_dataset: 0,
+    });
     let raw: Vec<RawLog> = corpus
         .logs
         .iter()
@@ -123,7 +127,11 @@ fn dataset_idiosyncrasies_survive_the_pipeline() {
 
 #[test]
 fn valid_population_is_a_superset_of_unique() {
-    let corpus = generate_corpus(CorpusConfig { scale: 1e-5, seed: 3, max_entries_per_dataset: 0 });
+    let corpus = generate_corpus(CorpusConfig {
+        scale: 1e-5,
+        seed: 3,
+        max_entries_per_dataset: 0,
+    });
     let raw: Vec<RawLog> = corpus
         .logs
         .iter()

@@ -3,9 +3,11 @@
 //! trie-join engine must return exactly the same number of answers.
 
 use proptest::prelude::*;
-use sparqlog::gmark::{generate_graph, generate_workload, GraphConfig, QueryShape, Schema, WorkloadConfig};
+use sparqlog::gmark::{
+    generate_graph, generate_workload, GraphConfig, QueryShape, Schema, WorkloadConfig,
+};
 use sparqlog::store::{
-    chain_query, cycle_query, star_query, BinaryJoinEngine, CqAtom, CqTerm, ConjunctiveQuery,
+    chain_query, cycle_query, star_query, BinaryJoinEngine, ConjunctiveQuery, CqAtom, CqTerm,
     QueryEngine, QueryMode, TripleStore,
 };
 use std::time::Duration;
@@ -72,15 +74,31 @@ fn TrieJoinEngine_new() -> sparqlog::store::TrieJoinEngine {
 #[test]
 fn engines_agree_on_gmark_workloads() {
     let schema = Schema::bib();
-    let graph = generate_graph(&schema, GraphConfig { nodes: 600, seed: 4 });
+    let graph = generate_graph(
+        &schema,
+        GraphConfig {
+            nodes: 600,
+            seed: 4,
+        },
+    );
     let store = graph.to_store();
     let binary = BinaryJoinEngine::new();
     let trie = sparqlog::store::TrieJoinEngine::new();
-    for shape in [QueryShape::Chain, QueryShape::Star, QueryShape::Cycle, QueryShape::ChainStar] {
+    for shape in [
+        QueryShape::Chain,
+        QueryShape::Star,
+        QueryShape::Cycle,
+        QueryShape::ChainStar,
+    ] {
         for len in 2..=4 {
             let wl = generate_workload(
                 &schema,
-                WorkloadConfig { shape, length: len, count: 4, seed: 9 + len as u64 },
+                WorkloadConfig {
+                    shape,
+                    length: len,
+                    count: 4,
+                    seed: 9 + len as u64,
+                },
             );
             for q in &wl.queries {
                 let a = binary.evaluate(&store, q, QueryMode::Count, TIMEOUT);

@@ -1,7 +1,9 @@
 //! Property-based tests of the streak detector (Section 8).
 
 use proptest::prelude::*;
-use sparqlog::streaks::{detect_streaks, normalized_levenshtein, similar_within, strip_prologue, StreakConfig};
+use sparqlog::streaks::{
+    detect_streaks, normalized_levenshtein, similar_within, strip_prologue, StreakConfig,
+};
 use sparqlog::synth::{generate_single_day_log, Dataset};
 
 proptest! {
@@ -64,10 +66,21 @@ proptest! {
 #[test]
 fn bigger_windows_find_at_least_as_many_streak_members() {
     let log = generate_single_day_log(Dataset::DBpedia15, 300, 11);
-    let small = detect_streaks(&log.entries, StreakConfig { window: 5, threshold: 0.25 });
-    let large = detect_streaks(&log.entries, StreakConfig { window: 30, threshold: 0.25 });
-    let members = |streaks: &[sparqlog::streaks::Streak]| -> usize {
-        streaks.iter().map(|s| s.len()).sum()
-    };
+    let small = detect_streaks(
+        &log.entries,
+        StreakConfig {
+            window: 5,
+            threshold: 0.25,
+        },
+    );
+    let large = detect_streaks(
+        &log.entries,
+        StreakConfig {
+            window: 30,
+            threshold: 0.25,
+        },
+    );
+    let members =
+        |streaks: &[sparqlog::streaks::Streak]| -> usize { streaks.iter().map(|s| s.len()).sum() };
     assert!(members(&large) >= members(&small));
 }

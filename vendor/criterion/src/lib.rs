@@ -1,0 +1,150 @@
+//! Offline shim for `criterion`: the API subset the workspace's benches use
+//! (`Criterion`, `benchmark_group`, `bench_function`, `Bencher::iter`,
+//! `black_box`, `criterion_group!`, `criterion_main!`) backed by a simple
+//! median-of-samples wall-clock harness. It produces `name: median ns/iter`
+//! lines instead of criterion's statistical reports; swapping in the real
+//! criterion later only requires changing the workspace manifest. See
+//! `vendor/README.md`.
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark directly under `self`.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.into(), DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            &format!("{}/{}", self.name, name.into()),
+            self.sample_size,
+            f,
+        );
+        self
+    }
+
+    /// Finishes the group (a no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; times the routine under test.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<u64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample of `iters_per_sample`
+    /// invocations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples
+            .push(start.elapsed().as_nanos() as u64 / self.iters_per_sample.max(1));
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+    // Calibration pass: find an iteration count that runs long enough to be
+    // measurable, capped so slow benchmarks stay fast in CI.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: iters,
+        };
+        let start = Instant::now();
+        f(&mut b);
+        if b.samples.is_empty() {
+            // The closure never called `iter`; nothing to time.
+            println!("{name}: no measurement (closure did not call iter)");
+            return;
+        }
+        if start.elapsed().as_micros() > 200 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        iters_per_sample: iters,
+    };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    println!(
+        "{name}: {median} ns/iter (median of {} samples x {iters} iters)",
+        b.samples.len()
+    );
+}
+
+/// Bundles benchmark functions into a single runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

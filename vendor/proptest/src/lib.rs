@@ -1,0 +1,294 @@
+//! Offline shim for `proptest`: the API subset the workspace's property
+//! tests use — the `proptest!` macro with `#![proptest_config(..)]`,
+//! integer-range strategies, simple regex string strategies (a single `.` or
+//! character class with a `{m,n}` repetition), and `prop_assert!` /
+//! `prop_assert_eq!`. Cases are generated deterministically from the case
+//! index, so failures are reproducible; shrinking is not implemented (a
+//! failing case panics with its inputs printed). See `vendor/README.md`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (only the case count is honoured).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+/// String strategies are written as simple regexes: one atom — `.` (printable
+/// ASCII) or a character class `[...]` — followed by an optional `{m,n}`
+/// repetition (default exactly one).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (alphabet, rest) = parse_atom(self);
+        let (lo, hi) = parse_repetition(rest);
+        let len = rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+            .collect()
+    }
+}
+
+fn parse_atom(pattern: &str) -> (Vec<char>, &str) {
+    if let Some(rest) = pattern.strip_prefix('.') {
+        return ((' '..='~').collect(), rest);
+    }
+    if let Some(rest) = pattern.strip_prefix('[') {
+        let end = rest
+            .find(']')
+            .expect("unterminated character class in shim regex");
+        let class: Vec<char> = rest[..end].chars().collect();
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i], class[i + 2]);
+                alphabet.extend(a..=b);
+                i += 3;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        return (alphabet, &rest[end + 1..]);
+    }
+    panic!("the proptest shim only supports `.` or `[class]` patterns, got {pattern:?}");
+}
+
+fn parse_repetition(suffix: &str) -> (usize, usize) {
+    if suffix.is_empty() {
+        return (1, 1);
+    }
+    let inner = suffix
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported shim regex repetition {suffix:?}"));
+    match inner.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().unwrap(), hi.trim().parse().unwrap()),
+        None => {
+            let n = inner.trim().parse().unwrap();
+            (n, n)
+        }
+    }
+}
+
+/// A rejected case (the [`prop_assume!`] macro fired); the runner skips it.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// Strategies for collections, mirroring `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A strategy producing `Vec`s of a given element strategy and length
+    /// range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Deterministic per-case RNG: the stream depends only on the test name and
+/// case index, so reported failures are reproducible.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// The common import surface, mirroring `proptest::prelude::*` (including
+/// the `prop` alias for the crate root, so `prop::collection::vec` works).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+}
+
+/// Assertion macro; in the shim it panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion macro; in the shim it panics immediately.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Rejects the current case when the assumption does not hold; the runner
+/// moves on to the next case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::Rejected);
+        }
+    };
+}
+
+/// The `proptest!` test-definition macro: each function becomes a `#[test]`
+/// running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @cfg($cfg) $($rest)* }
+    };
+    (@cfg($cfg:expr) $( $(#[$attr:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::case_rng(stringify!($name), case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strat), &mut rng);
+                    )+
+                    let inputs = format!(
+                        concat!("case {}: ", $(stringify!($arg), " = {:?} "),+),
+                        case $(, &$arg)+
+                    );
+                    let run = || -> ::core::result::Result<(), $crate::Rejected> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                        Ok(::core::result::Result::Ok(())) => {}
+                        Ok(::core::result::Result::Err($crate::Rejected)) => continue,
+                        Err(panic) => {
+                            eprintln!("proptest shim failure at {inputs}");
+                            std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @cfg(<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn char_class_with_ranges_expands() {
+        let mut rng = case_rng("alphabet", 0);
+        for _ in 0..200 {
+            let s = "[a-cXY ]{0,5}".generate(&mut rng);
+            assert!(s.len() <= 5);
+            assert!(s.chars().all(|c| "abcXY ".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_pattern_generates_printable_ascii() {
+        let mut rng = case_rng("dot", 0);
+        let s = ".{0,200}".generate(&mut rng);
+        assert!(s.len() <= 200);
+        assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+    }
+
+    #[test]
+    fn integer_ranges_respect_bounds() {
+        let mut rng = case_rng("ints", 1);
+        for _ in 0..100 {
+            let v = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(a in 0u64..100, b in 1usize..4) {
+            prop_assert!(a < 100);
+            prop_assert_eq!(b.min(3), b);
+        }
+    }
+}

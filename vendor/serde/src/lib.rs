@@ -1,0 +1,18 @@
+//! Offline shim for `serde`: marker traits with blanket impls plus the no-op
+//! derive macros from the sibling `serde_derive` shim. The workspace uses
+//! serde purely as a forward-compatibility marker on its data records; no
+//! code path serializes through it yet, so the shim keeps the derive surface
+//! compiling without crates.io access. Swapping in the real serde later is a
+//! one-line change in the workspace manifest. See `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types (the real trait's `'de` lifetime is dropped — nothing in the
+/// workspace names it).
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

@@ -1,0 +1,19 @@
+//! Offline shim for `serde_derive`: the derive macros accept the same
+//! attribute surface as the real crate but expand to nothing. The sibling
+//! `serde` shim provides blanket trait impls, so `#[derive(Serialize,
+//! Deserialize)]` keeps compiling unchanged in an environment without
+//! crates.io access. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
