@@ -1,0 +1,192 @@
+//! Ablation: the streaming ingestion path (zero-materialization canonical
+//! fingerprints + sharded dedup + incremental `LogReader` feed) against the
+//! materializing reference path, on the same synthetic corpus.
+//!
+//! The binary doubles as the CI `perf-smoke` differential gate: it proves
+//! the two paths produce byte-identical counts, fingerprints, unique
+//! indices and corpus reports, and **exits non-zero on any divergence**.
+//! Timing numbers are printed for the workflow artifact; the acceptance
+//! target is a >= 1.3x speedup of the fingerprint+dedup stage (the
+//! subsystem this refactor replaces). End-to-end ingest times are reported
+//! too — on a single core they improve only by the canonical-string
+//! savings, while multi-core runners additionally parallelize the
+//! fingerprinting that the materializing path runs sequentially.
+
+use sparqlog_bench::{banner, raw_corpus, HarnessOptions};
+use sparqlog_core::analysis::{CorpusAnalysis, Population};
+use sparqlog_core::corpus::{
+    canonical_fingerprint, ingest_all_materializing, ingest_streams_with, FingerprintShards,
+    LogReader, MemoryLogReader, StreamOptions,
+};
+use sparqlog_parser::{canonical_fingerprint_of, to_canonical_string, Query};
+use std::collections::HashSet;
+use std::time::Instant;
+
+fn best_of<T>(repeats: usize, mut run: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let out = run();
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("at least one repeat"))
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("ablation: streaming vs materializing ingestion", &opts);
+    let raw = raw_corpus(&opts);
+    let total_entries: usize = raw.iter().map(|l| l.entries.len()).sum();
+    println!("log entries ingested: {total_entries}\n");
+
+    // -- End-to-end ingestion: materializing pool vs streaming engine. ------
+    // Both paths start from a fully generated corpus. The materializing path
+    // keeps it resident for the whole run; the streaming path consumes an
+    // owned copy (cloned outside the timed region, as a log producer would
+    // hand it over) batch by batch.
+    let repeats = 5;
+    let (mat_time, materialized) = best_of(repeats, || ingest_all_materializing(&raw));
+    let mut stream_time = f64::INFINITY;
+    let mut streamed = Vec::new();
+    for _ in 0..repeats {
+        let readers: Vec<Box<dyn LogReader + 'static>> = raw
+            .clone()
+            .into_iter()
+            .map(|log| {
+                Box::new(MemoryLogReader::new(log.label, log.entries))
+                    as Box<dyn LogReader + 'static>
+            })
+            .collect();
+        let t = Instant::now();
+        streamed = ingest_streams_with(readers, StreamOptions::default())
+            .expect("in-memory ingestion cannot fail");
+        stream_time = stream_time.min(t.elapsed().as_secs_f64());
+    }
+    let entries_per_sec = |t: f64| total_entries as f64 / t;
+    println!(
+        "{:<42} {:>10} {:>14}",
+        "end-to-end ingest", "time", "entries/s"
+    );
+    println!(
+        "{:<42} {:>8.2}ms {:>14.0}",
+        "materializing (RawLog resident + strings)",
+        mat_time * 1e3,
+        entries_per_sec(mat_time)
+    );
+    println!(
+        "{:<42} {:>8.2}ms {:>14.0}",
+        "streaming (LogReader + hashed walk)",
+        stream_time * 1e3,
+        entries_per_sec(stream_time)
+    );
+    println!("end-to-end speedup: {:.2}x\n", mat_time / stream_time);
+
+    // -- The replaced subsystem: canonical fingerprint + dedup stage. -------
+    // Materializing: build each canonical string, hash it, insert into one
+    // HashSet. Streaming: hash the canonical walk directly, insert into
+    // fingerprint-range shards.
+    let queries: Vec<&Query> = materialized
+        .iter()
+        .flat_map(|l| l.valid_queries.iter())
+        .collect();
+    let (string_time, seen) = best_of(repeats, || {
+        let mut seen: HashSet<u128> = HashSet::new();
+        for q in &queries {
+            seen.insert(canonical_fingerprint(&to_canonical_string(q)));
+        }
+        seen
+    });
+    let (hasher_time, shards) = best_of(repeats, || {
+        let mut shards = FingerprintShards::default();
+        for q in &queries {
+            shards.insert(canonical_fingerprint_of(q));
+        }
+        shards
+    });
+    let stage_speedup = string_time / hasher_time;
+    println!(
+        "{:<42} {:>10}",
+        "fingerprint + dedup stage (per corpus)", "time"
+    );
+    println!(
+        "{:<42} {:>8.2}ms",
+        "materializing (String + FNV pass + HashSet)",
+        string_time * 1e3
+    );
+    println!(
+        "{:<42} {:>8.2}ms",
+        "streaming (CanonicalHasher + shards)",
+        hasher_time * 1e3
+    );
+    println!(
+        "stage speedup: {:.2}x (target >= 1.3x: {})\n",
+        stage_speedup,
+        if stage_speedup >= 1.3 { "PASS" } else { "MISS" }
+    );
+    println!(
+        "dedup shards: {} shards, {} distinct fingerprints, fullest shard {} \
+         (peak growth is O(shard), not O(corpus))\n",
+        shards.shard_count(),
+        shards.len(),
+        shards.max_shard_len()
+    );
+
+    // -- Differential check: the CI gate. -----------------------------------
+    let mut diverged = false;
+    if seen.len() != shards.len() {
+        eprintln!(
+            "DIVERGENCE: distinct fingerprints differ ({} materializing vs {} streaming)",
+            seen.len(),
+            shards.len()
+        );
+        diverged = true;
+    }
+    for q in &queries {
+        let streamed_fp = canonical_fingerprint_of(q);
+        let materialized_fp = canonical_fingerprint(&to_canonical_string(q));
+        if streamed_fp != materialized_fp {
+            eprintln!(
+                "DIVERGENCE: fingerprint mismatch on {:?}",
+                to_canonical_string(q)
+            );
+            diverged = true;
+            break;
+        }
+    }
+    for (m, s) in materialized.iter().zip(&streamed) {
+        if m.counts != s.counts {
+            eprintln!(
+                "DIVERGENCE: counts differ on {}: {:?} vs {:?}",
+                m.label, m.counts, s.counts
+            );
+            diverged = true;
+        }
+        if m.unique_indices != s.unique_indices {
+            eprintln!("DIVERGENCE: unique indices differ on {}", m.label);
+            diverged = true;
+        }
+        if m.valid_queries != s.valid_queries {
+            eprintln!("DIVERGENCE: parsed queries differ on {}", m.label);
+            diverged = true;
+        }
+    }
+    for population in [Population::Unique, Population::Valid] {
+        let reference = format!("{:?}", CorpusAnalysis::analyze(&materialized, population));
+        let streaming = format!("{:?}", CorpusAnalysis::analyze(&streamed, population));
+        if reference != streaming {
+            eprintln!("DIVERGENCE: corpus report differs on {population:?}");
+            diverged = true;
+        }
+    }
+
+    if diverged {
+        eprintln!("differential check: FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "differential check: OK — counts, fingerprints, unique indices and \
+         corpus reports are byte-identical across both paths"
+    );
+}

@@ -16,7 +16,9 @@
 #![warn(missing_docs)]
 
 use sparqlog_core::analysis::{CorpusAnalysis, Population};
-use sparqlog_core::corpus::{ingest_all, IngestedLog, RawLog};
+use sparqlog_core::corpus::{
+    ingest_all_materializing, ingest_streams, IngestedLog, LogReader, MemoryLogReader, RawLog,
+};
 use sparqlog_synth::{generate_corpus, CorpusConfig};
 
 /// Common options for the harness binaries, parsed from the command line.
@@ -89,19 +91,39 @@ impl HarnessOptions {
     }
 }
 
-/// Generates the synthetic corpus and ingests it.
-pub fn build_corpus(opts: &HarnessOptions) -> Vec<IngestedLog> {
+/// Generates the synthetic corpus as raw logs (the materializing input).
+pub fn raw_corpus(opts: &HarnessOptions) -> Vec<RawLog> {
     let corpus = generate_corpus(CorpusConfig {
         scale: opts.scale,
         seed: opts.seed,
         max_entries_per_dataset: opts.cap,
     });
-    let raw: Vec<RawLog> = corpus
+    corpus
         .logs
-        .iter()
-        .map(|l| RawLog::new(l.dataset.label(), l.entries.clone()))
+        .into_iter()
+        .map(|l| RawLog::new(l.dataset.label(), l.entries))
+        .collect()
+}
+
+/// Generates the synthetic corpus and ingests it through the streaming path:
+/// the generated entries are moved into [`MemoryLogReader`]s and drained
+/// batch by batch, so the raw corpus is never duplicated and shrinks as
+/// ingestion progresses.
+pub fn build_corpus(opts: &HarnessOptions) -> Vec<IngestedLog> {
+    let readers: Vec<Box<dyn LogReader + 'static>> = raw_corpus(opts)
+        .into_iter()
+        .map(|log| {
+            Box::new(MemoryLogReader::new(log.label, log.entries)) as Box<dyn LogReader + 'static>
+        })
         .collect();
-    ingest_all(&raw)
+    ingest_streams(readers).expect("in-memory ingestion cannot fail")
+}
+
+/// Generates the synthetic corpus and ingests it through the materializing
+/// reference path (full `RawLog` residency, canonical strings built and then
+/// hashed) — the baseline `ablation_streaming` measures against.
+pub fn build_corpus_materializing(opts: &HarnessOptions) -> Vec<IngestedLog> {
+    ingest_all_materializing(&raw_corpus(opts))
 }
 
 /// Generates, ingests and analyses the synthetic corpus in one call — the
@@ -115,14 +137,15 @@ pub fn analyzed_corpus(opts: &HarnessOptions) -> CorpusAnalysis {
 pub fn banner(what: &str, opts: &HarnessOptions) {
     println!("== sparqlog :: {what} ==");
     println!(
-        "synthetic corpus, scale {:.0e} of Table-1 sizes, seed {}, population: {}",
+        "synthetic corpus, scale {:.0e} of Table-1 sizes, seed {}, population: {}, workers: {}",
         opts.scale,
         opts.seed,
         if opts.valid_population {
             "Valid (with duplicates)"
         } else {
             "Unique"
-        }
+        },
+        sparqlog_core::default_workers()
     );
     println!();
 }

@@ -282,9 +282,7 @@ impl EngineOptions {
         if self.workers > 0 {
             return self.workers;
         }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        crate::corpus::default_workers()
     }
 
     fn resolve_chunk_size(&self, work: usize, workers: usize) -> usize {

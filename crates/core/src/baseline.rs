@@ -3,7 +3,8 @@
 //!
 //! The seed pipeline analysed each query by calling four independent entry
 //! points — [`QueryFeatures::of`], [`collect_property_paths`],
-//! [`ProjectionTally::add`] and [`StructuralReport::of`] — each of which
+//! [`sparqlog_algebra::ProjectionTally::add`] and [`StructuralReport::of`] —
+//! each of which
 //! traverses the AST on its own. The single-pass engine
 //! ([`crate::query_analysis::QueryAnalysis`]) replaces that with one shared
 //! traversal; this module keeps the old composition alive so that

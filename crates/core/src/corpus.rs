@@ -1,17 +1,32 @@
 //! Corpus ingestion: parsing log entries, counting valid queries and
 //! removing duplicates (Table 1 of the paper).
 //!
-//! Parsing — by far the dominant cost — is distributed over a chunked,
-//! self-scheduling worker pool spanning *all* logs at once, so one large log
-//! no longer serializes the run. Duplicate elimination hashes each query's
-//! canonical form into a 128-bit fingerprint instead of storing the full
-//! canonical string, which keeps the dedup set small at corpus scale.
+//! The hot path is the *streaming* engine ([`ingest_streams`]): workers pull
+//! batches of raw entries from [`LogReader`]s (in-memory slices or buffered
+//! line-oriented files), parse them, and fingerprint each query's canonical
+//! form by streaming the canonical walk straight into a 128-bit FNV-1a state
+//! ([`sparqlog_parser::canonical_fingerprint_of`]) — the canonical string is
+//! never materialized and raw entries are dropped batch by batch instead of
+//! being held fully resident. Duplicate elimination runs on
+//! fingerprint-range–partitioned [`FingerprintShards`] whose commutative
+//! merge keeps peak set growth at shard granularity, so ingestion no longer
+//! funnels through one `HashSet`.
+//!
+//! [`ingest_all`] keeps the historical `&[RawLog]` API on the same
+//! streaming semantics, parsing borrowed entries in place. The seed's
+//! materializing path survives as [`ingest`] / [`ingest_all_materializing`]:
+//! it is the reference the differential tests and the `ablation_streaming`
+//! harness compare against, byte for byte.
 
 use serde::{Deserialize, Serialize};
-use sparqlog_parser::{parse_query, to_canonical_string, Query};
+use sparqlog_parser::{canonical_fingerprint_of, parse_query, to_canonical_string, Query};
 use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::io::{self, BufRead, BufReader};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+pub use sparqlog_parser::{canonical_fingerprint, CanonicalHasher};
 
 /// One raw log: a label (dataset name) and its entries in log order.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -77,23 +92,32 @@ impl IngestedLog {
     }
 }
 
-/// A 128-bit FNV-1a fingerprint of a query's canonical form, used for
-/// duplicate elimination without retaining the canonical string. At 128 bits
-/// a corpus of 10⁹ queries has a collision probability below 10⁻²⁰, far
-/// under the parse-ambiguity noise floor of any real log study.
-pub fn canonical_fingerprint(canonical: &str) -> u128 {
-    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
-    let mut hash = OFFSET;
-    for &byte in canonical.as_bytes() {
-        hash ^= u128::from(byte);
-        hash = hash.wrapping_mul(PRIME);
+/// The worker count used by the ingestion and analysis pools when no explicit
+/// count is given: the `SPARQLOG_WORKERS` environment variable if set to a
+/// positive integer, otherwise the available parallelism. The override exists
+/// so CI can pin the pools to 1/2/8 workers and assert that reports stay
+/// byte-identical on real multi-core runners.
+pub fn default_workers() -> usize {
+    if let Some(n) = std::env::var("SPARQLOG_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
     }
-    hash
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
+// ---------------------------------------------------------------------------
+// The materializing reference path (seed semantics, kept for differentials).
+// ---------------------------------------------------------------------------
+
 /// Folds a log's parse results (in entry order) into counts, the query list
-/// and the fingerprint-deduplicated unique indices.
+/// and the fingerprint-deduplicated unique indices, materializing each
+/// canonical string before hashing it — the reference semantics.
 fn assemble(label: &str, total: u64, parsed: impl Iterator<Item = Option<Query>>) -> IngestedLog {
     let mut counts = CorpusCounts {
         total,
@@ -123,7 +147,9 @@ fn assemble(label: &str, total: u64, parsed: impl Iterator<Item = Option<Query>>
     }
 }
 
-/// Parses and deduplicates one raw log sequentially.
+/// Parses and deduplicates one raw log sequentially through the materializing
+/// path (canonical strings are built and then hashed). This is the reference
+/// implementation the streaming engine is proven byte-identical to.
 pub fn ingest(log: &RawLog) -> IngestedLog {
     assemble(
         &log.label,
@@ -136,11 +162,12 @@ pub fn ingest(log: &RawLog) -> IngestedLog {
 /// enough that a single large log spreads over every core.
 const INGEST_CHUNK: usize = 512;
 
-/// Parses several logs in parallel: the entries of *all* logs are split into
-/// chunks handed out by a self-scheduling worker pool (bounded by the
-/// available cores), and each log's results are then assembled in entry
-/// order, so the output is identical to mapping [`ingest`] over the logs.
-pub fn ingest_all(logs: &[RawLog]) -> Vec<IngestedLog> {
+/// Parses several logs in parallel through the *materializing* path: chunked
+/// work-stealing parse, then a sequential per-log assembly that builds each
+/// canonical string and hashes it into one dedup set per log. Kept as the
+/// baseline for `ablation_streaming`; production callers should prefer
+/// [`ingest_all`] / [`ingest_streams`].
+pub fn ingest_all_materializing(logs: &[RawLog]) -> Vec<IngestedLog> {
     let mut chunks: Vec<(usize, usize, usize)> = Vec::new();
     for (log_index, log) in logs.iter().enumerate() {
         let mut start = 0;
@@ -150,10 +177,7 @@ pub fn ingest_all(logs: &[RawLog]) -> Vec<IngestedLog> {
             start = end;
         }
     }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(chunks.len());
+    let workers = default_workers().min(chunks.len());
     if workers <= 1 {
         return logs.iter().map(ingest).collect();
     }
@@ -198,6 +222,709 @@ pub fn ingest_all(logs: &[RawLog]) -> Vec<IngestedLog> {
             )
         })
         .collect()
+}
+
+/// Parses several logs in parallel through the streaming semantics —
+/// zero-materialization fingerprints and sharded dedup — while parsing
+/// *borrowed* entries in place (no per-entry copy, unlike routing a
+/// `&[RawLog]` through [`SliceLogReader`]). The output is identical to
+/// mapping [`ingest`] over the logs (proven by the differential tests).
+pub fn ingest_all(logs: &[RawLog]) -> Vec<IngestedLog> {
+    let mut chunks: Vec<(usize, usize, usize)> = Vec::new();
+    for (log_index, log) in logs.iter().enumerate() {
+        let mut start = 0;
+        while start < log.entries.len() {
+            let end = (start + INGEST_CHUNK).min(log.entries.len());
+            chunks.push((log_index, start, end));
+            start = end;
+        }
+    }
+    let workers = default_workers().min(chunks.len());
+    let parse_chunk = |log_index: usize, start: usize, end: usize| -> Vec<ParsedEntry> {
+        logs[log_index].entries[start..end]
+            .iter()
+            .map(|entry| match parse_query(entry) {
+                Ok(query) => {
+                    let fingerprint = canonical_fingerprint_of(&query);
+                    (Some(query), fingerprint)
+                }
+                Err(_) => (None, 0),
+            })
+            .collect()
+    };
+
+    let parsed_chunks: Vec<(usize, usize, Vec<ParsedEntry>)> = if workers <= 1 {
+        chunks
+            .iter()
+            .map(|&(log_index, start, end)| (log_index, start, parse_chunk(log_index, start, end)))
+            .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let sink: Mutex<Vec<(usize, usize, Vec<ParsedEntry>)>> =
+            Mutex::new(Vec::with_capacity(chunks.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(log_index, start, end)) = chunks.get(i) else {
+                        break;
+                    };
+                    let parsed = parse_chunk(log_index, start, end);
+                    sink.lock()
+                        .expect("ingestion workers must not panic")
+                        .push((log_index, start, parsed));
+                });
+            }
+        });
+        sink.into_inner().expect("no poisoned workers")
+    };
+
+    let mut per_log: Vec<Vec<(usize, Vec<ParsedEntry>)>> = vec![Vec::new(); logs.len()];
+    for (log_index, start, parsed) in parsed_chunks {
+        per_log[log_index].push((start, parsed));
+    }
+    logs.iter()
+        .zip(per_log)
+        .map(|(log, mut parts)| {
+            parts.sort_unstable_by_key(|(start, _)| *start);
+            assemble_streamed(
+                log.label.clone(),
+                log.entries.len() as u64,
+                parts.into_iter().map(|(_, parsed)| parsed),
+                DEDUP_SHARDS,
+                workers.max(1),
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Streaming log readers.
+// ---------------------------------------------------------------------------
+
+/// A source of raw log entries consumed incrementally, batch by batch, so the
+/// ingestion pipeline never needs a full `&[RawLog]` resident in memory.
+///
+/// Implementations: [`MemoryLogReader`] (owned entries, moved out),
+/// [`SliceLogReader`] (borrowed entries), and [`LineLogReader`] /
+/// [`FileLogReader`] (buffered line-oriented streams: one line per entry,
+/// `\n` or `\r\n` terminated, with or without a trailing newline).
+pub trait LogReader: Send {
+    /// The dataset label of this log.
+    fn label(&self) -> &str;
+
+    /// Appends up to `max` entries to `batch` and returns how many were
+    /// appended. Returning `0` signals the end of the log.
+    fn read_batch(&mut self, batch: &mut Vec<String>, max: usize) -> io::Result<usize>;
+
+    /// How many entries remain, when cheaply known (in-memory readers). The
+    /// pool uses the hint to avoid spawning more workers than there are
+    /// batches; `None` (the default, and what stream-backed readers return)
+    /// leaves the worker count untouched.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A [`LogReader`] over an owned entry list; entries are *moved* into the
+/// pipeline batch by batch, so the raw log shrinks as ingestion progresses.
+#[derive(Debug)]
+pub struct MemoryLogReader {
+    label: String,
+    entries: std::vec::IntoIter<String>,
+}
+
+impl MemoryLogReader {
+    /// Creates a reader that drains `entries` in order.
+    pub fn new(label: impl Into<String>, entries: Vec<String>) -> MemoryLogReader {
+        MemoryLogReader {
+            label: label.into(),
+            entries: entries.into_iter(),
+        }
+    }
+}
+
+impl LogReader for MemoryLogReader {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn read_batch(&mut self, batch: &mut Vec<String>, max: usize) -> io::Result<usize> {
+        let mut appended = 0;
+        while appended < max {
+            let Some(entry) = self.entries.next() else {
+                break;
+            };
+            batch.push(entry);
+            appended += 1;
+        }
+        Ok(appended)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.entries.len())
+    }
+}
+
+/// A [`LogReader`] over borrowed entries (e.g. a [`RawLog`] the caller keeps
+/// owning); batches are cloned out. For `&[RawLog]` input prefer
+/// [`ingest_all`], which parses the borrowed entries in place without the
+/// per-entry copy.
+#[derive(Debug)]
+pub struct SliceLogReader<'a> {
+    label: &'a str,
+    entries: &'a [String],
+    position: usize,
+}
+
+impl<'a> SliceLogReader<'a> {
+    /// Creates a reader over a label and a borrowed entry slice.
+    pub fn new(label: &'a str, entries: &'a [String]) -> SliceLogReader<'a> {
+        SliceLogReader {
+            label,
+            entries,
+            position: 0,
+        }
+    }
+
+    /// Creates a reader over a borrowed [`RawLog`].
+    pub fn of(log: &'a RawLog) -> SliceLogReader<'a> {
+        SliceLogReader::new(&log.label, &log.entries)
+    }
+}
+
+impl LogReader for SliceLogReader<'_> {
+    fn label(&self) -> &str {
+        self.label
+    }
+
+    fn read_batch(&mut self, batch: &mut Vec<String>, max: usize) -> io::Result<usize> {
+        let end = (self.position + max).min(self.entries.len());
+        let appended = end - self.position;
+        batch.extend(self.entries[self.position..end].iter().cloned());
+        self.position = end;
+        Ok(appended)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.entries.len() - self.position)
+    }
+}
+
+/// A [`LogReader`] over any buffered byte stream, one entry per line. Lines
+/// are terminated by `\n` or `\r\n` (the terminator is stripped); a final
+/// line without a trailing newline still counts as an entry, and an empty
+/// stream yields no entries.
+#[derive(Debug)]
+pub struct LineLogReader<R> {
+    label: String,
+    reader: R,
+}
+
+impl<R: BufRead + Send> LineLogReader<R> {
+    /// Creates a line reader over a buffered stream.
+    pub fn new(label: impl Into<String>, reader: R) -> LineLogReader<R> {
+        LineLogReader {
+            label: label.into(),
+            reader,
+        }
+    }
+}
+
+impl<R: BufRead + Send> LogReader for LineLogReader<R> {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn read_batch(&mut self, batch: &mut Vec<String>, max: usize) -> io::Result<usize> {
+        let mut appended = 0;
+        while appended < max {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            if line.ends_with('\n') {
+                line.pop();
+                if line.ends_with('\r') {
+                    line.pop();
+                }
+            }
+            batch.push(line);
+            appended += 1;
+        }
+        Ok(appended)
+    }
+}
+
+/// A buffered line reader over a file on disk.
+pub type FileLogReader = LineLogReader<BufReader<std::fs::File>>;
+
+impl FileLogReader {
+    /// Opens a log file for streaming ingestion.
+    pub fn open(
+        label: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+    ) -> io::Result<FileLogReader> {
+        Ok(LineLogReader::new(
+            label,
+            BufReader::new(std::fs::File::open(path)?),
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded duplicate elimination.
+// ---------------------------------------------------------------------------
+
+/// A pass-through hasher for canonical fingerprints: the keys are already
+/// uniform 128-bit FNV-1a outputs, so hashing them again (SipHash, the
+/// `HashSet` default) is pure overhead. Folds the two halves instead.
+#[derive(Debug, Default, Clone)]
+pub struct FingerprintHasher(u64);
+
+impl Hasher for FingerprintHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached if a non-u128 key is hashed; fold bytes in so the
+        // hasher stays correct for any key type.
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u128(&mut self, value: u128) {
+        self.0 = value as u64 ^ (value >> 64) as u64;
+    }
+}
+
+type FingerprintBuildHasher = BuildHasherDefault<FingerprintHasher>;
+
+/// Default shard count for [`FingerprintShards`].
+const DEDUP_SHARDS: usize = 16;
+
+/// A duplicate-elimination set partitioned by fingerprint range: shard `i`
+/// holds the fingerprints whose top bits equal `i`. Partitioning bounds the
+/// peak cost of any single rehash to one shard (O(shard) rather than O(set)),
+/// lets shards be filled independently (the streaming engine dedups shards in
+/// parallel), and merging two sharded sets is a commutative shard-wise union.
+#[derive(Debug, Clone)]
+pub struct FingerprintShards {
+    shards: Vec<HashSet<u128, FingerprintBuildHasher>>,
+    bits: u32,
+}
+
+impl Default for FingerprintShards {
+    fn default() -> FingerprintShards {
+        FingerprintShards::new(DEDUP_SHARDS)
+    }
+}
+
+impl FingerprintShards {
+    /// Creates a sharded set with `shard_count` shards, rounded up to a power
+    /// of two (minimum 1).
+    pub fn new(shard_count: usize) -> FingerprintShards {
+        let count = shard_count.max(1).next_power_of_two();
+        FingerprintShards {
+            shards: (0..count).map(|_| HashSet::default()).collect(),
+            bits: count.trailing_zeros(),
+        }
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a fingerprint belongs to (its top bits).
+    pub fn shard_of(&self, fingerprint: u128) -> usize {
+        if self.bits == 0 {
+            0
+        } else {
+            (fingerprint >> (128 - self.bits)) as usize
+        }
+    }
+
+    /// Inserts a fingerprint; returns `true` if it was not present.
+    pub fn insert(&mut self, fingerprint: u128) -> bool {
+        let shard = self.shard_of(fingerprint);
+        self.shards[shard].insert(fingerprint)
+    }
+
+    /// Whether the fingerprint is present.
+    pub fn contains(&self, fingerprint: u128) -> bool {
+        self.shards[self.shard_of(fingerprint)].contains(&fingerprint)
+    }
+
+    /// Total number of distinct fingerprints.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(HashSet::len).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(HashSet::is_empty)
+    }
+
+    /// The occupancy of the fullest shard — the peak working-set granularity.
+    pub fn max_shard_len(&self) -> usize {
+        self.shards.iter().map(HashSet::len).max().unwrap_or(0)
+    }
+
+    /// Merges another sharded set into this one (set union). The operation is
+    /// commutative and associative, so per-worker or per-log sets can be
+    /// combined in any order with identical results.
+    pub fn merge(&mut self, other: FingerprintShards) {
+        if other.bits == self.bits {
+            for (mine, theirs) in self.shards.iter_mut().zip(other.shards) {
+                if mine.is_empty() {
+                    *mine = theirs;
+                } else {
+                    mine.extend(theirs);
+                }
+            }
+        } else {
+            for shard in other.shards {
+                for fingerprint in shard {
+                    self.insert(fingerprint);
+                }
+            }
+        }
+    }
+
+    /// Installs a filled shard (used by the parallel dedup pass, which builds
+    /// shard sets independently).
+    fn install(&mut self, shard: usize, set: HashSet<u128, FingerprintBuildHasher>) {
+        self.shards[shard] = set;
+    }
+}
+
+/// Computes, for a fingerprint sequence in entry order, which positions are
+/// first occurrences, deduplicating shard by shard — in parallel when more
+/// than one worker is available. Returns the flags and the filled shard set.
+///
+/// Correctness of the parallel pass: whether position `i` is a first
+/// occurrence depends only on earlier positions with the *same* fingerprint,
+/// and equal fingerprints always land in the same shard, so shards are
+/// independent and each shard processes its positions in ascending order.
+fn first_occurrences(
+    fingerprints: &[u128],
+    shard_count: usize,
+    workers: usize,
+) -> (Vec<bool>, FingerprintShards) {
+    // Positions are bucketed as u32 to halve the bucket memory; make the
+    // limit explicit rather than silently wrapping on absurdly large logs.
+    assert!(
+        fingerprints.len() <= u32::MAX as usize,
+        "sharded dedup supports at most u32::MAX valid queries per log"
+    );
+    let mut shards = FingerprintShards::new(shard_count);
+    let mut first = vec![false; fingerprints.len()];
+
+    // Bucket positions by shard (cheap, sequential, preserves order).
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); shards.shard_count()];
+    for (position, &fingerprint) in fingerprints.iter().enumerate() {
+        buckets[shards.shard_of(fingerprint)].push(position as u32);
+    }
+
+    let occupied = buckets.iter().filter(|b| !b.is_empty()).count();
+    let workers = workers.clamp(1, occupied.max(1));
+    if workers == 1 {
+        for (shard, bucket) in buckets.iter().enumerate() {
+            let mut set: HashSet<u128, FingerprintBuildHasher> =
+                HashSet::with_capacity_and_hasher(bucket.len(), FingerprintBuildHasher::default());
+            for &position in bucket {
+                first[position as usize] = set.insert(fingerprints[position as usize]);
+            }
+            shards.install(shard, set);
+        }
+        return (first, shards);
+    }
+
+    // Parallel pass: workers claim shards off an atomic cursor and return
+    // (shard, set, per-position flags); flags are scattered afterwards.
+    type ShardResult = (usize, HashSet<u128, FingerprintBuildHasher>, Vec<bool>);
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<ShardResult>> = Mutex::new(Vec::with_capacity(buckets.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let shard = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(bucket) = buckets.get(shard) else {
+                    break;
+                };
+                let mut set: HashSet<u128, FingerprintBuildHasher> =
+                    HashSet::with_capacity_and_hasher(
+                        bucket.len(),
+                        FingerprintBuildHasher::default(),
+                    );
+                let flags: Vec<bool> = bucket
+                    .iter()
+                    .map(|&position| set.insert(fingerprints[position as usize]))
+                    .collect();
+                results
+                    .lock()
+                    .expect("dedup workers must not panic")
+                    .push((shard, set, flags));
+            });
+        }
+    });
+    for (shard, set, flags) in results.into_inner().expect("no poisoned dedup workers") {
+        for (&position, flag) in buckets[shard].iter().zip(flags) {
+            first[position as usize] = flag;
+        }
+        shards.install(shard, set);
+    }
+    (first, shards)
+}
+
+// ---------------------------------------------------------------------------
+// The streaming ingestion engine.
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for the streaming ingestion engine. The result never depends
+/// on them — only the schedule and the memory profile do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamOptions {
+    /// Worker threads; `0` uses [`default_workers`] (which honours the
+    /// `SPARQLOG_WORKERS` environment override).
+    pub workers: usize,
+    /// Entries per batch pulled from a reader; `0` picks the default (512).
+    pub batch: usize,
+    /// Dedup shards per log; `0` picks the default (16).
+    pub shards: usize,
+}
+
+impl StreamOptions {
+    fn resolve(&self) -> (usize, usize, usize) {
+        (
+            if self.workers > 0 {
+                self.workers
+            } else {
+                default_workers()
+            },
+            if self.batch > 0 {
+                self.batch
+            } else {
+                INGEST_CHUNK
+            },
+            if self.shards > 0 {
+                self.shards
+            } else {
+                DEDUP_SHARDS
+            },
+        )
+    }
+}
+
+/// One parsed entry: the query (if the entry was valid SPARQL) and the
+/// streamed canonical fingerprint of its canonical form.
+type ParsedEntry = (Option<Query>, u128);
+
+/// A parsed batch tagged with (log index, batch sequence number).
+type ParsedBatch = (usize, usize, Vec<ParsedEntry>);
+
+/// The shared batch dispenser: readers are drained one batch at a time under
+/// a short lock; parsing and fingerprinting happen outside it.
+struct BatchSource<'a> {
+    readers: Vec<Box<dyn LogReader + 'a>>,
+    current: usize,
+    sequence: usize,
+    totals: Vec<u64>,
+    batch_size: usize,
+}
+
+impl BatchSource<'_> {
+    /// Fills `batch` with the next batch and returns its (log, sequence)
+    /// tag, or `None` when every reader is exhausted. On I/O error the
+    /// source marks itself exhausted so other workers drain out.
+    fn next_batch(&mut self, batch: &mut Vec<String>) -> io::Result<Option<(usize, usize)>> {
+        loop {
+            if self.current >= self.readers.len() {
+                return Ok(None);
+            }
+            match self.readers[self.current].read_batch(batch, self.batch_size) {
+                Ok(0) => {
+                    self.current += 1;
+                    self.sequence = 0;
+                }
+                Ok(appended) => {
+                    self.totals[self.current] += appended as u64;
+                    let tag = (self.current, self.sequence);
+                    self.sequence += 1;
+                    return Ok(Some(tag));
+                }
+                Err(error) => {
+                    self.current = self.readers.len();
+                    return Err(error);
+                }
+            }
+        }
+    }
+}
+
+/// Parses one batch: each entry is parsed and, when valid, fingerprinted by
+/// streaming its canonical form into the FNV state — no canonical string.
+fn parse_batch(batch: &[String]) -> Vec<ParsedEntry> {
+    batch
+        .iter()
+        .map(|entry| match parse_query(entry) {
+            Ok(query) => {
+                let fingerprint = canonical_fingerprint_of(&query);
+                (Some(query), fingerprint)
+            }
+            Err(_) => (None, 0),
+        })
+        .collect()
+}
+
+/// Folds one log's parsed entries (already restored to entry order) into an
+/// [`IngestedLog`] through the sharded first-occurrence dedup. Shared by the
+/// streaming engine and the zero-copy [`ingest_all`] wrapper.
+fn assemble_streamed(
+    label: String,
+    total: u64,
+    parts: impl IntoIterator<Item = Vec<ParsedEntry>>,
+    shard_count: usize,
+    workers: usize,
+) -> IngestedLog {
+    let mut counts = CorpusCounts {
+        total,
+        ..CorpusCounts::default()
+    };
+    let mut valid_queries = Vec::new();
+    let mut fingerprints = Vec::new();
+    for parsed in parts {
+        for (query, fingerprint) in parsed {
+            if let Some(query) = query {
+                counts.valid += 1;
+                if !query.has_body() {
+                    counts.bodyless += 1;
+                }
+                valid_queries.push(query);
+                fingerprints.push(fingerprint);
+            }
+        }
+    }
+    let (first, _shards) = first_occurrences(&fingerprints, shard_count, workers);
+    let unique_indices: Vec<usize> = first
+        .iter()
+        .enumerate()
+        .filter_map(|(index, &is_first)| is_first.then_some(index))
+        .collect();
+    counts.unique = unique_indices.len() as u64;
+    IngestedLog {
+        label,
+        counts,
+        valid_queries,
+        unique_indices,
+    }
+}
+
+/// Streams every reader through the ingestion pipeline with default options.
+///
+/// Equivalent to [`ingest`] on a fully materialized log, but raw entries live
+/// only for the duration of their batch, canonical strings are never built,
+/// and duplicate elimination runs on fingerprint-range shards.
+pub fn ingest_streams(readers: Vec<Box<dyn LogReader + '_>>) -> io::Result<Vec<IngestedLog>> {
+    ingest_streams_with(readers, StreamOptions::default())
+}
+
+/// Streams every reader through the ingestion pipeline with explicit options.
+/// The output is identical for any worker count, batch size or shard count.
+pub fn ingest_streams_with(
+    readers: Vec<Box<dyn LogReader + '_>>,
+    options: StreamOptions,
+) -> io::Result<Vec<IngestedLog>> {
+    let (mut workers, batch_size, shard_count) = options.resolve();
+    // When every reader can say how much work remains, don't spawn more
+    // workers than there are batches (a 4-entry quickstart log on a 64-core
+    // machine needs one worker, not 64 no-op threads).
+    if let Some(entries) = readers
+        .iter()
+        .map(|r| r.size_hint())
+        .try_fold(0usize, |sum, hint| hint.map(|n| sum + n))
+    {
+        workers = workers.min(entries.div_ceil(batch_size).max(1));
+    }
+    let labels: Vec<String> = readers.iter().map(|r| r.label().to_string()).collect();
+    let log_count = readers.len();
+    let mut source = BatchSource {
+        readers,
+        current: 0,
+        sequence: 0,
+        totals: vec![0; log_count],
+        batch_size,
+    };
+
+    let parsed_batches: Vec<ParsedBatch> = if workers <= 1 {
+        let mut parsed_batches = Vec::new();
+        let mut batch = Vec::new();
+        while let Some((log_index, sequence)) = source.next_batch(&mut batch)? {
+            parsed_batches.push((log_index, sequence, parse_batch(&batch)));
+            batch.clear();
+        }
+        parsed_batches
+    } else {
+        let source = Mutex::new(&mut source);
+        let sink: Mutex<Vec<ParsedBatch>> = Mutex::new(Vec::new());
+        let failure: Mutex<Option<io::Error>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut batch = Vec::new();
+                    loop {
+                        batch.clear();
+                        let claimed = source
+                            .lock()
+                            .expect("ingestion workers must not panic")
+                            .next_batch(&mut batch);
+                        match claimed {
+                            Ok(Some((log_index, sequence))) => {
+                                let parsed = parse_batch(&batch);
+                                sink.lock()
+                                    .expect("ingestion workers must not panic")
+                                    .push((log_index, sequence, parsed));
+                            }
+                            Ok(None) => break,
+                            Err(error) => {
+                                failure
+                                    .lock()
+                                    .expect("ingestion workers must not panic")
+                                    .get_or_insert(error);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(error) = failure.into_inner().expect("no poisoned workers") {
+            return Err(error);
+        }
+        sink.into_inner().expect("no poisoned workers")
+    };
+
+    // Group the parsed batches per log and restore entry order.
+    let mut per_log: Vec<Vec<(usize, Vec<ParsedEntry>)>> = vec![Vec::new(); log_count];
+    for (log_index, sequence, parsed) in parsed_batches {
+        per_log[log_index].push((sequence, parsed));
+    }
+
+    let mut logs = Vec::with_capacity(log_count);
+    for (log_index, (label, mut parts)) in labels.into_iter().zip(per_log).enumerate() {
+        parts.sort_unstable_by_key(|(sequence, _)| *sequence);
+        logs.push(assemble_streamed(
+            label,
+            source.totals[log_index],
+            parts.into_iter().map(|(_, parsed)| parsed),
+            shard_count,
+            workers,
+        ));
+    }
+    Ok(logs)
 }
 
 #[cfg(test)]
@@ -269,13 +996,122 @@ mod tests {
     }
 
     #[test]
-    fn fingerprints_distinguish_nearby_strings() {
-        let a = canonical_fingerprint("SELECT ?x WHERE { ?x <http://p> ?y }");
-        let b = canonical_fingerprint("SELECT ?x WHERE { ?x <http://q> ?y }");
-        assert_ne!(a, b);
+    fn materializing_pool_matches_sequential() {
+        let logs = vec![
+            raw(&["SELECT ?x WHERE { ?x a <http://C> }", "garbage"]),
+            raw(&["ASK { ?x <http://p> ?y }", "ASK { ?x <http://p> ?y }"]),
+        ];
+        let pooled = ingest_all_materializing(&logs);
+        let sequential: Vec<IngestedLog> = logs.iter().map(ingest).collect();
+        for (p, s) in pooled.iter().zip(sequential.iter()) {
+            assert_eq!(p.counts, s.counts);
+            assert_eq!(p.unique_indices, s.unique_indices);
+        }
+    }
+
+    #[test]
+    fn streaming_with_tiny_batches_matches_sequential() {
+        let logs = [
+            raw(&[
+                "SELECT ?x WHERE { ?x a <http://C> }",
+                "SELECT ?x WHERE { ?x a <http://C> }",
+                "garbage",
+                "ASK { ?x <http://p> ?y }",
+            ]),
+            raw(&["DESCRIBE <http://r>"]),
+        ];
+        for workers in [1, 2, 8] {
+            for batch in [1, 2, 64] {
+                let readers: Vec<Box<dyn LogReader + '_>> = logs
+                    .iter()
+                    .map(|l| Box::new(SliceLogReader::of(l)) as Box<dyn LogReader + '_>)
+                    .collect();
+                let streamed = ingest_streams_with(
+                    readers,
+                    StreamOptions {
+                        workers,
+                        batch,
+                        shards: 4,
+                    },
+                )
+                .unwrap();
+                let sequential: Vec<IngestedLog> = logs.iter().map(ingest).collect();
+                for (a, b) in streamed.iter().zip(&sequential) {
+                    assert_eq!(a.counts, b.counts, "workers {workers}, batch {batch}");
+                    assert_eq!(a.unique_indices, b.unique_indices);
+                    assert_eq!(a.valid_queries, b.valid_queries);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_reexports_reach_the_parser_implementation() {
+        // Behaviour is covered in parser::display; this only pins the
+        // compatibility re-exports.
+        let canonical = "SELECT ?x WHERE { ?x <http://p> ?y }";
         assert_eq!(
-            a,
-            canonical_fingerprint("SELECT ?x WHERE { ?x <http://p> ?y }")
+            canonical_fingerprint(canonical),
+            sparqlog_parser::canonical_fingerprint(canonical)
+        );
+        let mut hasher = CanonicalHasher::new();
+        let _ = std::fmt::Write::write_str(&mut hasher, canonical);
+        assert_eq!(hasher.finish(), canonical_fingerprint(canonical));
+    }
+
+    #[test]
+    fn fingerprint_shards_partition_and_merge() {
+        let mut shards = FingerprintShards::new(4);
+        assert_eq!(shards.shard_count(), 4);
+        assert!(shards.insert(1));
+        assert!(!shards.insert(1));
+        assert!(shards.insert(u128::MAX));
+        assert_eq!(shards.len(), 2);
+        assert!(shards.contains(1));
+        assert!(!shards.contains(2));
+        // The top bits pick the shard.
+        assert_eq!(shards.shard_of(0), 0);
+        assert_eq!(shards.shard_of(u128::MAX), 3);
+
+        // Commutative merge: build the same set in two halves, both orders.
+        let fps: Vec<u128> = (0..64u128)
+            .map(|i| i.wrapping_mul(0x9e37_79b9) << 96)
+            .collect();
+        let mut left = FingerprintShards::new(4);
+        let mut right = FingerprintShards::new(4);
+        for (i, &fp) in fps.iter().enumerate() {
+            if i % 2 == 0 {
+                left.insert(fp);
+            } else {
+                right.insert(fp);
+            }
+        }
+        let mut ab = left.clone();
+        ab.merge(right.clone());
+        let mut ba = right;
+        ba.merge(left);
+        assert_eq!(ab.len(), ba.len());
+        for &fp in &fps {
+            assert!(ab.contains(fp) && ba.contains(fp));
+        }
+        assert!(ab.max_shard_len() <= ab.len());
+    }
+
+    #[test]
+    fn first_occurrences_agree_across_worker_counts() {
+        // Fingerprints spread over every shard, with duplicates both adjacent
+        // and far apart.
+        let mut fps: Vec<u128> = (0..500u128).map(|i| ((i % 97) << 121) | (i % 13)).collect();
+        fps.extend_from_slice(&fps.clone());
+        let (reference, reference_set) = first_occurrences(&fps, 16, 1);
+        for workers in [2, 4, 8] {
+            let (flags, set) = first_occurrences(&fps, 16, workers);
+            assert_eq!(reference, flags, "workers {workers}");
+            assert_eq!(reference_set.len(), set.len());
+        }
+        assert_eq!(
+            reference.iter().filter(|&&f| f).count(),
+            reference_set.len()
         );
     }
 

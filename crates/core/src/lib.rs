@@ -4,8 +4,9 @@
 //! primary contribution of *"An Analytical Study of Large SPARQL Query
 //! Logs"* (Bonifati–Martens–Timm, VLDB 2017) turned into a reusable library:
 //!
-//! * [`corpus`] — log ingestion: chunked parallel parsing, validity
-//!   accounting and fingerprint-based duplicate elimination (Table 1).
+//! * [`corpus`] — log ingestion: streaming [`corpus::LogReader`]s feeding a
+//!   parallel parse/fingerprint pool, validity accounting and sharded,
+//!   zero-materialization duplicate elimination (Table 1).
 //! * [`query_analysis`] — the single-pass per-query intermediate
 //!   ([`QueryAnalysis`]): one AST traversal and one canonical-graph
 //!   construction feed every measure.
@@ -37,5 +38,9 @@ pub mod query_analysis;
 pub mod report;
 
 pub use analysis::{CorpusAnalysis, DatasetAnalysis, EngineOptions, Population};
-pub use corpus::{ingest, ingest_all, CorpusCounts, IngestedLog, RawLog};
+pub use corpus::{
+    default_workers, ingest, ingest_all, ingest_all_materializing, ingest_streams,
+    ingest_streams_with, CorpusCounts, FileLogReader, FingerprintShards, IngestedLog,
+    LineLogReader, LogReader, MemoryLogReader, RawLog, SliceLogReader, StreamOptions,
+};
 pub use query_analysis::QueryAnalysis;

@@ -1,4 +1,5 @@
-//! Canonical serialization of parsed queries back to SPARQL text.
+//! Canonical serialization of parsed queries back to SPARQL text, and the
+//! zero-materialization canonical fingerprint built on top of it.
 //!
 //! The serializer produces a *canonical form*: prefixed names are written as
 //! fully expanded IRIs, whitespace is normalized, and keywords are
@@ -6,9 +7,20 @@
 //! therefore serialize to the same string, which is what the corpus pipeline
 //! uses to detect duplicates (Table 1 "Unique") and what the streak detector
 //! measures Levenshtein distance on (Section 8).
+//!
+//! Every writer in this module is generic over [`std::fmt::Write`], so the
+//! same canonical-form walk can fill a `String` ([`to_canonical_string`]) or
+//! stream straight into the 128-bit FNV-1a state of a [`CanonicalHasher`]
+//! ([`canonical_fingerprint_of`]) without ever materializing the canonical
+//! string — the duplicate-elimination hot path at corpus scale.
 
 use crate::ast::*;
-use std::fmt::Write as _;
+use std::fmt::Write;
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
 
 /// Serializes a query into its canonical textual form.
 pub fn to_canonical_string(q: &Query) -> String {
@@ -17,31 +29,97 @@ pub fn to_canonical_string(q: &Query) -> String {
     out
 }
 
-fn write_query(out: &mut String, q: &Query) {
+/// A 128-bit FNV-1a fingerprint of a canonical form given as a string, used
+/// for duplicate elimination without retaining the canonical string. At 128
+/// bits a corpus of 10⁹ queries has a collision probability below 10⁻²⁰, far
+/// under the parse-ambiguity noise floor of any real log study.
+pub fn canonical_fingerprint(canonical: &str) -> u128 {
+    let mut hasher = CanonicalHasher::new();
+    let _ = hasher.write_str(canonical);
+    hasher.finish()
+}
+
+/// The 128-bit FNV-1a fingerprint of a query's canonical form, computed by
+/// streaming the canonical-form walk directly into the hash state — no
+/// canonical `String` is ever allocated. Equal, byte for byte, to
+/// `canonical_fingerprint(&to_canonical_string(q))`.
+pub fn canonical_fingerprint_of(q: &Query) -> u128 {
+    let mut hasher = CanonicalHasher::new();
+    write_query(&mut hasher, q);
+    hasher.finish()
+}
+
+/// An [`std::fmt::Write`] sink that folds every byte written into a 128-bit
+/// FNV-1a state. Feeding it the canonical-form walk yields the same
+/// fingerprint as hashing [`to_canonical_string`]'s output, minus the
+/// allocation, the copy and the second pass over the bytes.
+#[derive(Debug, Clone)]
+pub struct CanonicalHasher {
+    state: u128,
+}
+
+impl CanonicalHasher {
+    /// Creates a hasher seeded with the FNV-1a offset basis.
+    pub fn new() -> CanonicalHasher {
+        CanonicalHasher { state: FNV_OFFSET }
+    }
+
+    /// Streams a query's canonical form into the state.
+    pub fn write_query(&mut self, q: &Query) {
+        write_query(self, q);
+    }
+
+    /// The current fingerprint.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+}
+
+impl Default for CanonicalHasher {
+    fn default() -> CanonicalHasher {
+        CanonicalHasher::new()
+    }
+}
+
+impl Write for CanonicalHasher {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        let mut state = self.state;
+        for &byte in s.as_bytes() {
+            state ^= u128::from(byte);
+            state = state.wrapping_mul(FNV_PRIME);
+        }
+        self.state = state;
+        Ok(())
+    }
+}
+
+fn write_query<W: Write>(out: &mut W, q: &Query) {
     match q.form {
         QueryForm::Select => {
-            out.push_str("SELECT ");
+            let _ = out.write_str("SELECT ");
             if q.modifiers.distinct {
-                out.push_str("DISTINCT ");
+                let _ = out.write_str("DISTINCT ");
             }
             if q.modifiers.reduced {
-                out.push_str("REDUCED ");
+                let _ = out.write_str("REDUCED ");
             }
             write_projection(out, &q.projection);
         }
-        QueryForm::Ask => out.push_str("ASK"),
+        QueryForm::Ask => {
+            let _ = out.write_str("ASK");
+        }
         QueryForm::Construct => {
-            out.push_str("CONSTRUCT");
+            let _ = out.write_str("CONSTRUCT");
             if let Some(template) = &q.construct_template {
-                out.push_str(" { ");
+                let _ = out.write_str(" { ");
                 for t in template {
                     let _ = write!(out, "{} {} {} . ", t.subject, t.predicate, t.object);
                 }
-                out.push('}');
+                let _ = out.write_char('}');
             }
         }
         QueryForm::Describe => {
-            out.push_str("DESCRIBE ");
+            let _ = out.write_str("DESCRIBE ");
             write_projection(out, &q.projection);
         }
     }
@@ -53,27 +131,29 @@ fn write_query(out: &mut String, q: &Query) {
         }
     }
     if let Some(body) = &q.where_clause {
-        out.push_str(" WHERE ");
+        let _ = out.write_str(" WHERE ");
         write_group(out, body);
     }
     write_modifiers(out, &q.modifiers);
     if let Some(values) = &q.values {
-        out.push_str(" VALUES ");
+        let _ = out.write_str(" VALUES ");
         write_inline_data(out, values);
     }
 }
 
-fn write_projection(out: &mut String, p: &Projection) {
+fn write_projection<W: Write>(out: &mut W, p: &Projection) {
     match p {
-        Projection::All => out.push('*'),
+        Projection::All => {
+            let _ = out.write_char('*');
+        }
         Projection::Items(items) => {
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(' ');
+                    let _ = out.write_char(' ');
                 }
                 match &item.expr {
                     Some(e) => {
-                        out.push('(');
+                        let _ = out.write_char('(');
                         write_expr(out, e);
                         let _ = write!(out, " AS ?{})", item.var);
                     }
@@ -86,7 +166,7 @@ fn write_projection(out: &mut String, p: &Projection) {
         Projection::Terms(terms) => {
             for (i, t) in terms.iter().enumerate() {
                 if i > 0 {
-                    out.push(' ');
+                    let _ = out.write_char(' ');
                 }
                 let _ = write!(out, "{t}");
             }
@@ -95,14 +175,14 @@ fn write_projection(out: &mut String, p: &Projection) {
     }
 }
 
-fn write_modifiers(out: &mut String, m: &SolutionModifiers) {
+fn write_modifiers<W: Write>(out: &mut W, m: &SolutionModifiers) {
     if !m.group_by.is_empty() {
-        out.push_str(" GROUP BY");
+        let _ = out.write_str(" GROUP BY");
         for g in &m.group_by {
-            out.push(' ');
+            let _ = out.write_char(' ');
             match &g.alias {
                 Some(a) => {
-                    out.push('(');
+                    let _ = out.write_char('(');
                     write_expr(out, &g.expr);
                     let _ = write!(out, " AS ?{a})");
                 }
@@ -111,22 +191,26 @@ fn write_modifiers(out: &mut String, m: &SolutionModifiers) {
         }
     }
     if !m.having.is_empty() {
-        out.push_str(" HAVING");
+        let _ = out.write_str(" HAVING");
         for h in &m.having {
-            out.push_str(" (");
+            let _ = out.write_str(" (");
             write_expr(out, h);
-            out.push(')');
+            let _ = out.write_char(')');
         }
     }
     if !m.order_by.is_empty() {
-        out.push_str(" ORDER BY");
+        let _ = out.write_str(" ORDER BY");
         for o in &m.order_by {
             match o.direction {
-                OrderDirection::Asc => out.push_str(" ASC("),
-                OrderDirection::Desc => out.push_str(" DESC("),
+                OrderDirection::Asc => {
+                    let _ = out.write_str(" ASC(");
+                }
+                OrderDirection::Desc => {
+                    let _ = out.write_str(" DESC(");
+                }
             }
             write_expr(out, &o.expr);
-            out.push(')');
+            let _ = out.write_char(')');
         }
     }
     if let Some(l) = m.limit {
@@ -137,9 +221,10 @@ fn write_modifiers(out: &mut String, m: &SolutionModifiers) {
     }
 }
 
-/// Writes a group graph pattern (including braces).
-pub fn write_group(out: &mut String, g: &GroupGraphPattern) {
-    out.push_str("{ ");
+/// Writes a group graph pattern (including braces) into any
+/// [`std::fmt::Write`] sink.
+pub fn write_group<W: Write>(out: &mut W, g: &GroupGraphPattern) {
+    let _ = out.write_str("{ ");
     for el in &g.elements {
         match el {
             GroupElement::Triples(ts) => {
@@ -155,99 +240,101 @@ pub fn write_group(out: &mut String, g: &GroupGraphPattern) {
                 }
             }
             GroupElement::Filter(e) => {
-                out.push_str("FILTER(");
+                let _ = out.write_str("FILTER(");
                 write_expr(out, e);
-                out.push_str(") ");
+                let _ = out.write_str(") ");
             }
             GroupElement::Bind { expr, var } => {
-                out.push_str("BIND(");
+                let _ = out.write_str("BIND(");
                 write_expr(out, expr);
                 let _ = write!(out, " AS ?{var}) ");
             }
             GroupElement::Optional(g) => {
-                out.push_str("OPTIONAL ");
+                let _ = out.write_str("OPTIONAL ");
                 write_group(out, g);
-                out.push(' ');
+                let _ = out.write_char(' ');
             }
             GroupElement::Union(branches) => {
                 for (i, b) in branches.iter().enumerate() {
                     if i > 0 {
-                        out.push_str("UNION ");
+                        let _ = out.write_str("UNION ");
                     }
                     write_group(out, b);
-                    out.push(' ');
+                    let _ = out.write_char(' ');
                 }
             }
             GroupElement::Graph { name, pattern } => {
                 let _ = write!(out, "GRAPH {name} ");
                 write_group(out, pattern);
-                out.push(' ');
+                let _ = out.write_char(' ');
             }
             GroupElement::Minus(g) => {
-                out.push_str("MINUS ");
+                let _ = out.write_str("MINUS ");
                 write_group(out, g);
-                out.push(' ');
+                let _ = out.write_char(' ');
             }
             GroupElement::Service {
                 silent,
                 name,
                 pattern,
             } => {
-                out.push_str("SERVICE ");
+                let _ = out.write_str("SERVICE ");
                 if *silent {
-                    out.push_str("SILENT ");
+                    let _ = out.write_str("SILENT ");
                 }
                 let _ = write!(out, "{name} ");
                 write_group(out, pattern);
-                out.push(' ');
+                let _ = out.write_char(' ');
             }
             GroupElement::Values(d) => {
-                out.push_str("VALUES ");
+                let _ = out.write_str("VALUES ");
                 write_inline_data(out, d);
-                out.push(' ');
+                let _ = out.write_char(' ');
             }
             GroupElement::SubSelect(q) => {
-                out.push_str("{ ");
+                let _ = out.write_str("{ ");
                 write_query(out, q);
-                out.push_str(" } ");
+                let _ = out.write_str(" } ");
             }
             GroupElement::Group(g) => {
                 write_group(out, g);
-                out.push(' ');
+                let _ = out.write_char(' ');
             }
         }
     }
-    out.push('}');
+    let _ = out.write_char('}');
 }
 
-fn write_inline_data(out: &mut String, d: &InlineData) {
-    out.push('(');
+fn write_inline_data<W: Write>(out: &mut W, d: &InlineData) {
+    let _ = out.write_char('(');
     for (i, v) in d.variables.iter().enumerate() {
         if i > 0 {
-            out.push(' ');
+            let _ = out.write_char(' ');
         }
         let _ = write!(out, "?{v}");
     }
-    out.push_str(") { ");
+    let _ = out.write_str(") { ");
     for row in &d.rows {
-        out.push('(');
+        let _ = out.write_char('(');
         for (i, cell) in row.iter().enumerate() {
             if i > 0 {
-                out.push(' ');
+                let _ = out.write_char(' ');
             }
             match cell {
                 Some(t) => {
                     let _ = write!(out, "{t}");
                 }
-                None => out.push_str("UNDEF"),
+                None => {
+                    let _ = out.write_str("UNDEF");
+                }
             }
         }
-        out.push_str(") ");
+        let _ = out.write_str(") ");
     }
-    out.push('}');
+    let _ = out.write_char('}');
 }
 
-fn write_expr(out: &mut String, e: &Expression) {
+fn write_expr<W: Write>(out: &mut W, e: &Expression) {
     match e {
         Expression::Var(v) => {
             let _ = write!(out, "?{v}");
@@ -269,26 +356,26 @@ fn write_expr(out: &mut String, e: &Expression) {
         Expression::Divide(a, b) => write_binary(out, a, "/", b),
         Expression::In(a, list) => {
             write_expr(out, a);
-            out.push_str(" IN (");
+            let _ = out.write_str(" IN (");
             write_expr_list(out, list);
-            out.push(')');
+            let _ = out.write_char(')');
         }
         Expression::NotIn(a, list) => {
             write_expr(out, a);
-            out.push_str(" NOT IN (");
+            let _ = out.write_str(" NOT IN (");
             write_expr_list(out, list);
-            out.push(')');
+            let _ = out.write_char(')');
         }
         Expression::Not(a) => {
-            out.push('!');
+            let _ = out.write_char('!');
             write_expr_parens(out, a);
         }
         Expression::UnaryMinus(a) => {
-            out.push('-');
+            let _ = out.write_char('-');
             write_expr_parens(out, a);
         }
         Expression::UnaryPlus(a) => {
-            out.push('+');
+            let _ = out.write_char('+');
             write_expr_parens(out, a);
         }
         Expression::FunctionCall(name, args) => {
@@ -300,14 +387,14 @@ fn write_expr(out: &mut String, e: &Expression) {
                 let _ = write!(out, "{name}(");
             }
             write_expr_list(out, args);
-            out.push(')');
+            let _ = out.write_char(')');
         }
         Expression::Exists(g) => {
-            out.push_str("EXISTS ");
+            let _ = out.write_str("EXISTS ");
             write_group(out, g);
         }
         Expression::NotExists(g) => {
-            out.push_str("NOT EXISTS ");
+            let _ = out.write_str("NOT EXISTS ");
             write_group(out, g);
         }
         Expression::Aggregate(agg) => {
@@ -322,27 +409,29 @@ fn write_expr(out: &mut String, e: &Expression) {
             };
             let _ = write!(out, "{name}(");
             if agg.distinct {
-                out.push_str("DISTINCT ");
+                let _ = out.write_str("DISTINCT ");
             }
             match &agg.expr {
                 Some(e) => write_expr(out, e),
-                None => out.push('*'),
+                None => {
+                    let _ = out.write_char('*');
+                }
             }
             if let Some(sep) = &agg.separator {
                 let _ = write!(out, "; SEPARATOR = {sep:?}");
             }
-            out.push(')');
+            let _ = out.write_char(')');
         }
     }
 }
 
-fn write_binary(out: &mut String, a: &Expression, op: &str, b: &Expression) {
+fn write_binary<W: Write>(out: &mut W, a: &Expression, op: &str, b: &Expression) {
     write_expr_parens(out, a);
     let _ = write!(out, " {op} ");
     write_expr_parens(out, b);
 }
 
-fn write_expr_parens(out: &mut String, e: &Expression) {
+fn write_expr_parens<W: Write>(out: &mut W, e: &Expression) {
     let atomic = matches!(
         e,
         Expression::Var(_)
@@ -353,16 +442,16 @@ fn write_expr_parens(out: &mut String, e: &Expression) {
     if atomic {
         write_expr(out, e);
     } else {
-        out.push('(');
+        let _ = out.write_char('(');
         write_expr(out, e);
-        out.push(')');
+        let _ = out.write_char(')');
     }
 }
 
-fn write_expr_list(out: &mut String, list: &[Expression]) {
+fn write_expr_list<W: Write>(out: &mut W, list: &[Expression]) {
     for (i, e) in list.iter().enumerate() {
         if i > 0 {
-            out.push_str(", ");
+            let _ = out.write_str(", ");
         }
         write_expr(out, e);
     }
@@ -408,5 +497,46 @@ mod tests {
         let a = parse_query("SELECT ?x WHERE { ?x a <http://ex.org/C> }").unwrap();
         let b = parse_query("SELECT DISTINCT ?x WHERE { ?x a <http://ex.org/C> }").unwrap();
         assert_ne!(to_canonical_string(&a), to_canonical_string(&b));
+    }
+
+    #[test]
+    fn hasher_matches_materialized_fingerprint() {
+        let queries = [
+            "SELECT DISTINCT ?x WHERE { ?x a <http://ex.org/C> . FILTER(?x != <http://ex.org/y>) } LIMIT 10",
+            "ASK { ?s <http://p> ?o . OPTIONAL { ?o <http://q> ?z } }",
+            "CONSTRUCT { ?s <http://p> ?o } WHERE { ?s <http://p> ?o }",
+            "DESCRIBE <http://example.org/resource>",
+            "SELECT (COUNT(?x) AS ?c) WHERE { ?x <http://p> ?y } GROUP BY ?y HAVING (AVG(?y) > 2)",
+            "SELECT ?x WHERE { ?x <http://a> ?y VALUES ?x { <http://v> <http://w> } }",
+        ];
+        for q in queries {
+            let parsed = parse_query(q).unwrap();
+            assert_eq!(
+                canonical_fingerprint_of(&parsed),
+                canonical_fingerprint(&to_canonical_string(&parsed)),
+                "streamed fingerprint diverges for {q:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_nearby_strings() {
+        let a = canonical_fingerprint("SELECT ?x WHERE { ?x <http://p> ?y }");
+        let b = canonical_fingerprint("SELECT ?x WHERE { ?x <http://q> ?y }");
+        assert_ne!(a, b);
+        assert_eq!(
+            a,
+            canonical_fingerprint("SELECT ?x WHERE { ?x <http://p> ?y }")
+        );
+    }
+
+    #[test]
+    fn hasher_streams_multibyte_chars_like_the_string_pass() {
+        // write_char on a multibyte char must hash its UTF-8 bytes exactly
+        // as the string pass does.
+        let mut h = CanonicalHasher::new();
+        let _ = h.write_char('é');
+        let _ = h.write_str("αβ");
+        assert_eq!(h.finish(), canonical_fingerprint("éαβ"));
     }
 }

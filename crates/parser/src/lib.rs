@@ -13,7 +13,8 @@
 //! * [`parser`] — the recursive-descent parser, entry point [`parse_query`].
 //! * [`display`] — canonical serialization, entry point
 //!   [`to_canonical_string`], used for duplicate elimination and streak
-//!   similarity.
+//!   similarity, plus the zero-materialization [`CanonicalHasher`] /
+//!   [`canonical_fingerprint_of`] used by the streaming corpus pipeline.
 //!
 //! # Example
 //!
@@ -45,6 +46,8 @@ pub mod parser;
 pub mod token;
 
 pub use ast::{Query, QueryForm};
-pub use display::to_canonical_string;
+pub use display::{
+    canonical_fingerprint, canonical_fingerprint_of, to_canonical_string, CanonicalHasher,
+};
 pub use error::ParseError;
 pub use parser::parse_query;

@@ -5,8 +5,10 @@
 //! Run with `cargo run --example quickstart`.
 
 use sparqlog::algebra::{classify_fragments, projection_use, QueryFeatures};
+use sparqlog::core::analysis::{CorpusAnalysis, Population};
+use sparqlog::core::corpus::{ingest_streams, LogReader, MemoryLogReader};
 use sparqlog::graph::StructuralReport;
-use sparqlog::parser::{parse_query, to_canonical_string};
+use sparqlog::parser::{canonical_fingerprint_of, parse_query, to_canonical_string};
 
 fn main() {
     // The "Locations of archaeological sites" query from WikiData, quoted in
@@ -58,4 +60,33 @@ fn main() {
     );
     println!("  treewidth: {:?}", report.treewidth);
     println!("  shortest cycle: {:?}", report.shortest_cycle);
+
+    // Corpus ingestion runs on the streaming path: a `LogReader` feeds
+    // entries batch by batch, each query is fingerprinted by hashing its
+    // canonical form without materializing the string, and duplicates are
+    // eliminated on fingerprint-range shards.
+    let log = MemoryLogReader::new(
+        "quickstart",
+        vec![
+            text.to_string(),
+            "SELECT ?x WHERE { ?x a <http://example.org/C> }".to_string(),
+            "SELECT   ?x   WHERE { ?x a <http://example.org/C> }".to_string(), // duplicate
+            "not sparql".to_string(),
+        ],
+    );
+    let readers: Vec<Box<dyn LogReader>> = vec![Box::new(log)];
+    let ingested = ingest_streams(readers).expect("in-memory ingestion cannot fail");
+    let counts = ingested[0].counts;
+    println!(
+        "\nstreamed a {}-entry log: {} valid, {} unique (fingerprint {:032x})",
+        counts.total,
+        counts.valid,
+        counts.unique,
+        canonical_fingerprint_of(&query)
+    );
+    let corpus = CorpusAnalysis::analyze(&ingested, Population::Unique);
+    println!(
+        "corpus-level keyword census: {} SELECT of {} queries",
+        corpus.combined.keywords.select, corpus.combined.keywords.total_queries
+    );
 }

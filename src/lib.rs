@@ -31,13 +31,20 @@
 //! `vendor/README.md`), and `crates/bench` hosts one harness binary per
 //! table/figure of the paper plus criterion micro-benchmarks.
 //!
-//! # The single-pass pipeline
+//! # The streaming single-pass pipeline
 //!
-//! The corpus pipeline touches each query's AST exactly once:
+//! The corpus pipeline touches each query's AST exactly once and never
+//! materializes what it can stream:
 //!
-//! 1. [`core::corpus::ingest_all`] parses all logs on a chunked,
-//!    self-scheduling worker pool and deduplicates by hashing each query's
-//!    canonical form into a 128-bit fingerprint.
+//! 1. [`core::corpus::ingest_streams`] pulls batches of raw entries from
+//!    [`core::corpus::LogReader`]s (in-memory or buffered line-oriented
+//!    files), parses them on a self-scheduling worker pool, and
+//!    deduplicates by hashing each query's canonical form into a 128-bit
+//!    fingerprint *without building the canonical string*
+//!    ([`parser::CanonicalHasher`]); duplicate elimination runs on
+//!    fingerprint-range shards merged commutatively.
+//!    [`core::corpus::ingest_all`] applies the same streaming semantics to
+//!    borrowed `&[RawLog]` input, parsing entries in place.
 //! 2. [`core::QueryAnalysis`] runs one [`algebra::QueryWalk`] per query —
 //!    one traversal feeding features, projection, property paths and the AOF
 //!    pattern tree — and one canonical-graph construction shared by the
@@ -47,9 +54,11 @@
 //!    cores; results are bit-identical for any worker count or chunk
 //!    schedule (see `tests/determinism.rs`).
 //!
-//! The seed's multi-walk path survives in [`core::baseline`] as the reference
-//! for the differential tests (`tests/differential.rs`) and the
-//! `single_pass` benchmark.
+//! The seed's multi-walk analysis path survives in [`core::baseline`] and
+//! the materializing ingest path as [`core::corpus::ingest`] /
+//! [`core::corpus::ingest_all_materializing`] — the references for the
+//! differential tests (`tests/differential.rs`, `tests/streaming.rs`) and
+//! the `single_pass` / `ablation_streaming` harnesses.
 //!
 //! # Quickstart
 //!
@@ -58,7 +67,7 @@
 //! ```
 //! use sparqlog::algebra::QueryFeatures;
 //! use sparqlog::core::analysis::{CorpusAnalysis, Population};
-//! use sparqlog::core::corpus::{ingest_all, RawLog};
+//! use sparqlog::core::corpus::{ingest_streams, LogReader, MemoryLogReader};
 //! use sparqlog::core::report;
 //! use sparqlog::parser::parse_query;
 //!
@@ -70,15 +79,19 @@
 //! assert_eq!(feats.triple_patterns, 1);
 //! assert!(feats.uses_filter);
 //!
-//! // Corpus analysis: ingest (parallel parse + dedup), analyze, report.
-//! let logs = ingest_all(&[RawLog::new(
+//! // Corpus analysis: stream the logs through the ingestion pipeline
+//! // (incremental LogReader feed, parallel parse, zero-materialization
+//! // fingerprints, sharded dedup), then analyze and report. FileLogReader
+//! // streams `\n`-terminated logs straight from disk the same way.
+//! let readers: Vec<Box<dyn LogReader>> = vec![Box::new(MemoryLogReader::new(
 //!     "example",
 //!     vec![
 //!         "SELECT ?x WHERE { ?x a <http://example.org/C> }".to_string(),
 //!         "ASK { ?a <http://p> ?b . ?b <http://p> ?c . ?c <http://p> ?a }".to_string(),
 //!         "not a query".to_string(),
 //!     ],
-//! )]);
+//! ))];
+//! let logs = ingest_streams(readers).expect("in-memory ingestion cannot fail");
 //! let corpus = CorpusAnalysis::analyze(&logs, Population::Unique);
 //! assert_eq!(corpus.combined.counts.valid, 2);
 //! assert_eq!(corpus.combined.cycle_lengths.get(&3), Some(&1));

@@ -3,7 +3,10 @@
 //! chunk boundaries), or the racy order in which workers claim chunks.
 
 use sparqlog::core::analysis::{CorpusAnalysis, EngineOptions, Population};
-use sparqlog::core::corpus::{ingest, ingest_all, RawLog};
+use sparqlog::core::corpus::{
+    ingest, ingest_all, ingest_streams_with, LogReader, SliceLogReader, StreamOptions,
+};
+use sparqlog::core::RawLog;
 use sparqlog::synth::{generate_corpus, CorpusConfig};
 
 fn corpus_logs() -> Vec<RawLog> {
@@ -81,6 +84,42 @@ fn parallel_ingestion_is_identical_to_sequential() {
         assert_eq!(p.counts, s.counts, "{}", p.label);
         assert_eq!(p.unique_indices, s.unique_indices, "{}", p.label);
         assert_eq!(p.valid_queries, s.valid_queries, "{}", p.label);
+    }
+}
+
+#[test]
+fn streaming_ingestion_is_deterministic_across_schedules() {
+    // Worker count, batch size and shard count shuffle which worker parses
+    // which batch and which shard dedups which fingerprint; the ingested
+    // output must not move.
+    let logs = corpus_logs();
+    let reference: Vec<_> = logs.iter().map(ingest).collect();
+    for workers in [1, 2, 8] {
+        for batch in [1, 7, 512] {
+            for shards in [1, 16] {
+                let readers: Vec<Box<dyn LogReader + '_>> = logs
+                    .iter()
+                    .map(|l| Box::new(SliceLogReader::of(l)) as Box<dyn LogReader + '_>)
+                    .collect();
+                let streamed = ingest_streams_with(
+                    readers,
+                    StreamOptions {
+                        workers,
+                        batch,
+                        shards,
+                    },
+                )
+                .expect("in-memory ingestion cannot fail");
+                for (s, r) in streamed.iter().zip(&reference) {
+                    assert_eq!(
+                        s.counts, r.counts,
+                        "workers {workers}, batch {batch}, shards {shards}"
+                    );
+                    assert_eq!(s.unique_indices, r.unique_indices, "{}", s.label);
+                    assert_eq!(s.valid_queries, r.valid_queries, "{}", s.label);
+                }
+            }
+        }
     }
 }
 

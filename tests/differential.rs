@@ -4,8 +4,11 @@
 
 use sparqlog::core::analysis::{CorpusAnalysis, Population};
 use sparqlog::core::baseline::{add_query_multiwalk, analyze_multiwalk};
-use sparqlog::core::corpus::{ingest_all, RawLog};
-use sparqlog::core::{DatasetAnalysis, EngineOptions, QueryAnalysis};
+use sparqlog::core::corpus::{
+    ingest, ingest_all, ingest_all_materializing, ingest_streams_with, LogReader, SliceLogReader,
+    StreamOptions,
+};
+use sparqlog::core::{DatasetAnalysis, EngineOptions, QueryAnalysis, RawLog};
 use sparqlog::parser::parse_query;
 use sparqlog::synth::{generate_single_day_log, Dataset};
 
@@ -107,6 +110,46 @@ fn corpus_analysis_is_byte_identical_to_the_multiwalk_path() {
             },
         );
         assert_eq!(format!("{reference:?}"), format!("{parallel:?}"));
+    }
+}
+
+#[test]
+fn streaming_ingestion_is_byte_identical_to_the_materializing_path() {
+    // The streaming engine (incremental LogReader feed, canonical walk
+    // hashed without materializing the string, sharded dedup) must agree
+    // with the sequential materializing reference and the materializing
+    // pool on counts, queries, unique indices AND the downstream reports.
+    let raw = mixed_corpus();
+    let reference: Vec<_> = raw.iter().map(ingest).collect();
+    let pooled = ingest_all_materializing(&raw);
+    for (batch, workers) in [(1, 1), (3, 4), (512, 2)] {
+        let readers: Vec<Box<dyn LogReader + '_>> = raw
+            .iter()
+            .map(|l| Box::new(SliceLogReader::of(l)) as Box<dyn LogReader + '_>)
+            .collect();
+        let streamed = ingest_streams_with(
+            readers,
+            StreamOptions {
+                workers,
+                batch,
+                shards: 8,
+            },
+        )
+        .expect("in-memory ingestion cannot fail");
+        for ((s, r), p) in streamed.iter().zip(&reference).zip(&pooled) {
+            assert_eq!(s.counts, r.counts, "batch {batch}, workers {workers}");
+            assert_eq!(s.unique_indices, r.unique_indices);
+            assert_eq!(s.valid_queries, r.valid_queries);
+            assert_eq!(s.counts, p.counts);
+            assert_eq!(s.unique_indices, p.unique_indices);
+        }
+        for population in [Population::Unique, Population::Valid] {
+            assert_eq!(
+                format!("{:?}", CorpusAnalysis::analyze(&reference, population)),
+                format!("{:?}", CorpusAnalysis::analyze(&streamed, population)),
+                "corpus report differs on {population:?} (batch {batch}, workers {workers})"
+            );
+        }
     }
 }
 

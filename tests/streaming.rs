@@ -1,0 +1,202 @@
+//! The streaming ingestion subsystem: property tests proving the
+//! zero-materialization `CanonicalHasher` fingerprint equal to the
+//! materializing one on generated queries, edge-case coverage for the
+//! streaming log readers, and shard-boundary duplicate elimination.
+
+use proptest::prelude::*;
+use sparqlog::core::corpus::{
+    canonical_fingerprint, ingest, ingest_streams, ingest_streams_with, FileLogReader,
+    FingerprintShards, LineLogReader, LogReader, MemoryLogReader, RawLog, SliceLogReader,
+    StreamOptions,
+};
+use sparqlog::parser::{canonical_fingerprint_of, parse_query, to_canonical_string};
+use sparqlog::synth::{Dataset, DatasetProfile, Synthesizer};
+use std::io::Cursor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The streamed fingerprint (canonical walk hashed directly, no string)
+    /// equals the materializing fingerprint (canonical string built, then
+    /// hashed) for every query the synthesizer produces, on every dataset
+    /// profile.
+    #[test]
+    fn streamed_fingerprint_matches_materialized(seed in 0u64..10_000, dataset_idx in 0usize..13) {
+        let dataset = Dataset::ALL[dataset_idx];
+        let mut synth = Synthesizer::new(DatasetProfile::of(dataset), seed);
+        for _ in 0..5 {
+            let text = synth.fresh_query();
+            let query = parse_query(&text).expect("synthesized queries parse");
+            prop_assert_eq!(
+                canonical_fingerprint_of(&query),
+                canonical_fingerprint(&to_canonical_string(&query)),
+                "streamed fingerprint diverges for {}", text
+            );
+        }
+    }
+
+    /// Streaming ingestion equals the sequential materializing reference for
+    /// any batch size and worker count on a synthesized log with injected
+    /// duplicates and garbage.
+    #[test]
+    fn streaming_matches_reference_on_synthesized_logs(
+        seed in 0u64..5_000,
+        batch in 1usize..32,
+        workers in 1usize..5,
+    ) {
+        let mut synth = Synthesizer::new(DatasetProfile::of(Dataset::WikiData17), seed);
+        let mut entries: Vec<String> = (0..30).map(|_| synth.fresh_query()).collect();
+        entries.push(entries[0].clone()); // duplicate across batch boundaries
+        entries.push("garbage entry".to_string());
+        let log = RawLog::new("prop", entries);
+        let reference = ingest(&log);
+        let readers: Vec<Box<dyn LogReader + '_>> =
+            vec![Box::new(SliceLogReader::of(&log)) as Box<dyn LogReader + '_>];
+        let streamed = ingest_streams_with(
+            readers,
+            StreamOptions { workers, batch, shards: 8 },
+        )
+        .expect("in-memory ingestion cannot fail");
+        prop_assert_eq!(streamed[0].counts, reference.counts);
+        prop_assert_eq!(&streamed[0].unique_indices, &reference.unique_indices);
+        prop_assert_eq!(&streamed[0].valid_queries, &reference.valid_queries);
+    }
+}
+
+#[test]
+fn empty_log_streams_to_zero_counts() {
+    let readers: Vec<Box<dyn LogReader>> = vec![Box::new(MemoryLogReader::new("empty", vec![]))];
+    let logs = ingest_streams(readers).unwrap();
+    assert_eq!(logs.len(), 1);
+    assert_eq!(logs[0].label, "empty");
+    assert_eq!(logs[0].counts.total, 0);
+    assert_eq!(logs[0].counts.valid, 0);
+    assert_eq!(logs[0].counts.unique, 0);
+    assert!(logs[0].valid_queries.is_empty());
+    assert!(logs[0].unique_indices.is_empty());
+}
+
+#[test]
+fn empty_stream_yields_no_entries() {
+    let mut reader = LineLogReader::new("empty", Cursor::new(&b""[..]));
+    let mut batch = Vec::new();
+    assert_eq!(reader.read_batch(&mut batch, 10).unwrap(), 0);
+    assert!(batch.is_empty());
+}
+
+#[test]
+fn line_reader_handles_missing_trailing_newline() {
+    let text = "ASK { ?x <http://p> ?y }\nSELECT ?x WHERE { ?x a <http://C> }";
+    let mut reader = LineLogReader::new("tail", Cursor::new(text.as_bytes()));
+    let mut batch = Vec::new();
+    assert_eq!(reader.read_batch(&mut batch, 10).unwrap(), 2);
+    assert_eq!(batch[0], "ASK { ?x <http://p> ?y }");
+    assert_eq!(batch[1], "SELECT ?x WHERE { ?x a <http://C> }");
+    assert_eq!(reader.read_batch(&mut batch, 10).unwrap(), 0);
+}
+
+#[test]
+fn line_reader_strips_crlf_terminators() {
+    let text = "ASK { ?x <http://p> ?y }\r\nDESCRIBE <http://r>\r\n";
+    let mut reader = LineLogReader::new("crlf", Cursor::new(text.as_bytes()));
+    let mut batch = Vec::new();
+    assert_eq!(reader.read_batch(&mut batch, 10).unwrap(), 2);
+    assert_eq!(batch[0], "ASK { ?x <http://p> ?y }");
+    assert_eq!(batch[1], "DESCRIBE <http://r>");
+}
+
+#[test]
+fn line_reader_keeps_blank_lines_as_invalid_entries() {
+    // A blank line is an entry that fails to parse — it must count towards
+    // `total` but not `valid`, exactly like an empty string in a RawLog.
+    let text = "ASK { ?x <http://p> ?y }\n\nASK { ?x <http://p> ?y }\n";
+    let readers: Vec<Box<dyn LogReader>> = vec![Box::new(LineLogReader::new(
+        "blanks",
+        Cursor::new(text.as_bytes().to_vec()),
+    ))];
+    let logs = ingest_streams(readers).unwrap();
+    assert_eq!(logs[0].counts.total, 3);
+    assert_eq!(logs[0].counts.valid, 2);
+    assert_eq!(logs[0].counts.unique, 1);
+}
+
+#[test]
+fn file_reader_streams_a_log_from_disk() {
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("streaming_file_reader.log");
+    std::fs::write(
+        &path,
+        "SELECT ?x WHERE { ?x a <http://C> }\nSELECT   ?x   WHERE { ?x a <http://C> }\nnot sparql\nASK { ?s <http://p> ?o }",
+    )
+    .unwrap();
+    let readers: Vec<Box<dyn LogReader>> =
+        vec![Box::new(FileLogReader::open("disk", &path).unwrap())];
+    let logs = ingest_streams(readers).unwrap();
+    assert_eq!(logs[0].counts.total, 4);
+    assert_eq!(logs[0].counts.valid, 3);
+    assert_eq!(logs[0].counts.unique, 2); // whitespace variants collapse
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn shard_boundary_duplicates_are_eliminated() {
+    // Duplicates must collapse regardless of shard count and batch size:
+    // equal fingerprints always land in the same shard, and batch boundaries
+    // must not reset the dedup state.
+    let entries: Vec<String> = (0..40)
+        .map(|i| format!("SELECT ?x WHERE {{ ?x <http://p{}> ?y }}", i % 7))
+        .collect();
+    let log = RawLog::new("dups", entries);
+    let reference = ingest(&log);
+    assert_eq!(reference.counts.unique, 7);
+    for shards in [1, 2, 16, 128] {
+        for batch in [1, 3, 64] {
+            let readers: Vec<Box<dyn LogReader + '_>> =
+                vec![Box::new(SliceLogReader::of(&log)) as Box<dyn LogReader + '_>];
+            let streamed = ingest_streams_with(
+                readers,
+                StreamOptions {
+                    workers: 2,
+                    batch,
+                    shards,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                streamed[0].counts, reference.counts,
+                "shards {shards}, batch {batch}"
+            );
+            assert_eq!(streamed[0].unique_indices, reference.unique_indices);
+        }
+    }
+}
+
+#[test]
+fn fingerprint_shards_merge_is_commutative_across_logs() {
+    // Per-log shard sets combined in either order give the same corpus-wide
+    // distinct count — the merge the sharded design exists for.
+    let a_entries: Vec<String> = (0..20)
+        .map(|i| format!("SELECT ?x WHERE {{ ?x <http://a{}> ?y }}", i % 5))
+        .collect();
+    let b_entries: Vec<String> = (0..20)
+        .map(|i| format!("SELECT ?x WHERE {{ ?x <http://b{}> ?y }}", i % 3))
+        .collect();
+    let fill = |entries: &[String]| {
+        let mut shards = FingerprintShards::new(8);
+        for e in entries {
+            let q = parse_query(e).unwrap();
+            shards.insert(canonical_fingerprint_of(&q));
+        }
+        shards
+    };
+    let a = fill(&a_entries);
+    let b = fill(&b_entries);
+    let mut ab = a.clone();
+    ab.merge(b.clone());
+    let mut ba = b;
+    ba.merge(a);
+    assert_eq!(ab.len(), 8); // 5 + 3 distinct shapes
+    assert_eq!(ab.len(), ba.len());
+    assert_eq!(ab.max_shard_len(), ba.max_shard_len());
+}

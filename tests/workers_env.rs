@@ -1,0 +1,56 @@
+//! The `SPARQLOG_WORKERS` environment override honored by the ingestion and
+//! analysis pools — the hook the CI determinism matrix pins worker counts
+//! with. Kept in its own integration-test binary (and a single `#[test]`)
+//! because environment mutation is process-global.
+
+use sparqlog::core::analysis::{CorpusAnalysis, EngineOptions, Population};
+use sparqlog::core::corpus::{default_workers, ingest, ingest_all, RawLog};
+
+#[test]
+fn workers_env_override_pins_the_pools_without_changing_reports() {
+    // A positive integer pins the worker count.
+    std::env::set_var("SPARQLOG_WORKERS", "3");
+    assert_eq!(default_workers(), 3);
+
+    // Garbage and zero fall back to the available parallelism.
+    std::env::set_var("SPARQLOG_WORKERS", "not-a-number");
+    assert!(default_workers() >= 1);
+    std::env::set_var("SPARQLOG_WORKERS", "0");
+    assert!(default_workers() >= 1);
+
+    // Reports are byte-identical whatever the override says.
+    let logs: Vec<RawLog> = vec![RawLog::new(
+        "env",
+        (0..300)
+            .map(|i| format!("SELECT ?x WHERE {{ ?x <http://p{}> ?y }}", i % 40))
+            .collect(),
+    )];
+    let reference_ingest: Vec<_> = logs.iter().map(ingest).collect();
+    let reference = format!(
+        "{:?}",
+        CorpusAnalysis::analyze_with(
+            &reference_ingest,
+            Population::Unique,
+            EngineOptions {
+                workers: 1,
+                chunk_size: 0,
+            },
+        )
+    );
+    for workers in ["1", "2", "8"] {
+        std::env::set_var("SPARQLOG_WORKERS", workers);
+        assert_eq!(default_workers(), workers.parse::<usize>().unwrap());
+        let ingested = ingest_all(&logs);
+        for (a, b) in ingested.iter().zip(&reference_ingest) {
+            assert_eq!(a.counts, b.counts, "SPARQLOG_WORKERS={workers}");
+            assert_eq!(a.unique_indices, b.unique_indices);
+        }
+        let run = format!(
+            "{:?}",
+            CorpusAnalysis::analyze(&ingested, Population::Unique)
+        );
+        assert_eq!(reference, run, "SPARQLOG_WORKERS={workers}");
+    }
+    std::env::remove_var("SPARQLOG_WORKERS");
+    assert!(default_workers() >= 1);
+}
