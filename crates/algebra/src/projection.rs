@@ -72,7 +72,15 @@ pub fn projection_use(q: &Query) -> ProjectionUse {
 
 /// Determines whether a query uses projection from a completed
 /// [`QueryWalk`](crate::walk::QueryWalk), without re-traversing the body.
-pub fn projection_use_from_walk(q: &Query, walk: &crate::walk::QueryWalk<'_>) -> ProjectionUse {
+///
+/// `interner` must be the same interner the walk ran with: the selected
+/// variables are interned into it, turning the strict-subset test into a
+/// symbol (integer) membership check against the walk's visibility set.
+pub fn projection_use_from_walk(
+    q: &Query,
+    walk: &crate::walk::QueryWalk<'_>,
+    interner: &mut sparqlog_parser::intern::Interner,
+) -> ProjectionUse {
     match q.form {
         QueryForm::Construct | QueryForm::Describe => ProjectionUse::NotApplicable,
         QueryForm::Ask => {
@@ -90,17 +98,19 @@ pub fn projection_use_from_walk(q: &Query, walk: &crate::walk::QueryWalk<'_>) ->
                 if walk.has_bind || items.iter().any(|i| i.expr.is_some()) {
                     return ProjectionUse::Unknown;
                 }
-                let selected: BTreeSet<&str> = items.iter().map(|i| i.var.as_str()).collect();
+                let selected: BTreeSet<sparqlog_parser::intern::Symbol> =
+                    items.iter().map(|i| interner.intern(&i.var)).collect();
                 let query_values = q
                     .values
                     .iter()
-                    .flat_map(|v| v.variables.iter().map(String::as_str));
+                    .flat_map(|v| v.variables.iter())
+                    .map(|v| interner.intern(v));
                 if walk
                     .visible_vars
                     .iter()
                     .copied()
                     .chain(query_values)
-                    .any(|v| !selected.contains(v))
+                    .any(|v| !selected.contains(&v))
                 {
                     ProjectionUse::Yes
                 } else {

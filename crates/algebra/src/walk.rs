@@ -16,6 +16,7 @@
 use crate::features::AggregateUse;
 use crate::pattern_tree::{PatternNode, PatternTree};
 use sparqlog_parser::ast::*;
+use sparqlog_parser::intern::{Interner, Symbol};
 use std::collections::BTreeSet;
 
 /// Counters describing which syntactic constructs a query body uses and how
@@ -354,6 +355,12 @@ fn collect_triples_group<'a>(g: &'a GroupGraphPattern, out: &mut Vec<&'a TripleO
 /// enters an `EXISTS` group when it is the top-level filter expression), so
 /// the walk threads a small set of channel flags through the recursion
 /// instead of traversing once per channel.
+///
+/// Variable names are interned into the caller-supplied [`Interner`] as the
+/// walk encounters them, so the visible-variable set holds `u32` [`Symbol`]s
+/// (integer
+/// ordering and comparison) instead of string slices, and repeated variable
+/// names across the queries a worker analyses share one stored string.
 #[derive(Debug, Default)]
 pub struct QueryWalk<'q> {
     /// The structural counters.
@@ -363,9 +370,9 @@ pub struct QueryWalk<'q> {
     /// Every property path, in source order.
     pub paths: Vec<&'q PropertyPath>,
     /// The variables in scope at the top level of the body (SPARQL 1.1
-    /// §18.2.1, as approximated by the projection analysis), borrowed from
-    /// the query.
-    pub visible_vars: BTreeSet<&'q str>,
+    /// §18.2.1, as approximated by the projection analysis), as symbols of
+    /// the interner the walk ran with.
+    pub visible_vars: BTreeSet<Symbol>,
     /// Whether the body mentions any variable at all (the
     /// `Query::body_variables` emptiness test used for ASK projection).
     pub body_has_var: bool,
@@ -413,8 +420,10 @@ struct ExprCtx {
 }
 
 impl<'q> QueryWalk<'q> {
-    /// Walks the body of `q` once, collecting every channel.
-    pub fn of(q: &'q Query) -> QueryWalk<'q> {
+    /// Walks the body of `q` once, collecting every channel. Variable names
+    /// are interned into `interner` (typically the calling worker's
+    /// long-lived table) so the visibility set works over symbols.
+    pub fn of(q: &'q Query, interner: &mut Interner) -> QueryWalk<'q> {
         let mut walk = QueryWalk {
             tree_valid: true,
             ..QueryWalk::default()
@@ -431,7 +440,7 @@ impl<'q> QueryWalk<'q> {
             bindscan: true,
             paths: true,
         };
-        walk.walk_group(body, ctx, Some(&mut root));
+        walk.walk_group(body, ctx, Some(&mut root), interner);
         if walk.tree_valid {
             walk.tree = Some(PatternTree { root });
         }
@@ -443,6 +452,7 @@ impl<'q> QueryWalk<'q> {
         g: &'q GroupGraphPattern,
         ctx: GroupCtx,
         mut node: Option<&mut PatternNode>,
+        interner: &mut Interner,
     ) {
         let mut joined_elements: u32 = 0;
         for el in &g.elements {
@@ -456,7 +466,7 @@ impl<'q> QueryWalk<'q> {
                                     self.ops.var_predicates += 1;
                                 }
                                 for term in [&t.subject, &t.predicate, &t.object] {
-                                    self.record_term_var(term, ctx);
+                                    self.record_term_var(term, ctx, interner);
                                 }
                                 if let Some(node) = node.as_deref_mut() {
                                     if self.tree_valid {
@@ -471,7 +481,7 @@ impl<'q> QueryWalk<'q> {
                                     self.paths.push(&p.path);
                                 }
                                 for term in [&p.subject, &p.object] {
-                                    self.record_term_var(term, ctx);
+                                    self.record_term_var(term, ctx, interner);
                                 }
                             }
                         }
@@ -489,6 +499,7 @@ impl<'q> QueryWalk<'q> {
                             paths: ctx.paths,
                             top: true,
                         },
+                        interner,
                     );
                     if saw_exists {
                         self.tree_valid = false;
@@ -505,7 +516,8 @@ impl<'q> QueryWalk<'q> {
                         self.has_bind = true;
                     }
                     if ctx.visible {
-                        self.visible_vars.insert(var.as_str());
+                        let symbol = interner.intern(var);
+                        self.visible_vars.insert(symbol);
                     }
                     if ctx.vars {
                         self.body_has_var = true;
@@ -519,6 +531,7 @@ impl<'q> QueryWalk<'q> {
                             paths: ctx.paths,
                             top: true,
                         },
+                        interner,
                     );
                 }
                 GroupElement::Optional(inner) => {
@@ -526,47 +539,49 @@ impl<'q> QueryWalk<'q> {
                     match node.as_deref_mut().filter(|_| self.tree_valid) {
                         Some(parent) => {
                             let mut child = PatternNode::default();
-                            self.walk_group(inner, ctx, Some(&mut child));
+                            self.walk_group(inner, ctx, Some(&mut child), interner);
                             if self.tree_valid {
                                 parent.children.push(child);
                             }
                         }
-                        None => self.walk_group(inner, ctx, None),
+                        None => self.walk_group(inner, ctx, None, interner),
                     }
                 }
                 GroupElement::Union(branches) => {
                     self.ops.unions += (branches.len().saturating_sub(1)) as u32;
                     self.tree_valid = false;
                     for b in branches {
-                        self.walk_group(b, ctx, None);
+                        self.walk_group(b, ctx, None, interner);
                     }
                     joined_elements += 1;
                 }
                 GroupElement::Graph { name, pattern } => {
                     self.ops.graphs += 1;
                     self.tree_valid = false;
-                    self.record_term_var(name, ctx);
-                    self.walk_group(pattern, ctx, None);
+                    self.record_term_var(name, ctx, interner);
+                    self.walk_group(pattern, ctx, None, interner);
                     joined_elements += 1;
                 }
                 GroupElement::Minus(inner) => {
                     self.ops.minuses += 1;
                     self.tree_valid = false;
-                    self.walk_group(inner, ctx, None);
+                    self.walk_group(inner, ctx, None, interner);
                 }
                 GroupElement::Service { name, pattern, .. } => {
                     self.ops.services += 1;
                     self.tree_valid = false;
-                    self.record_term_var(name, ctx);
-                    self.walk_group(pattern, ctx, None);
+                    self.record_term_var(name, ctx, interner);
+                    self.walk_group(pattern, ctx, None, interner);
                     joined_elements += 1;
                 }
                 GroupElement::Values(d) => {
                     self.ops.values_blocks += 1;
                     self.tree_valid = false;
                     if ctx.visible {
-                        self.visible_vars
-                            .extend(d.variables.iter().map(String::as_str));
+                        for v in &d.variables {
+                            let symbol = interner.intern(v);
+                            self.visible_vars.insert(symbol);
+                        }
                     }
                     if ctx.vars && !d.variables.is_empty() {
                         self.body_has_var = true;
@@ -580,8 +595,10 @@ impl<'q> QueryWalk<'q> {
                     let inner_visible = ctx.visible && matches!(q.projection, Projection::All);
                     if ctx.visible {
                         if let Projection::Items(items) = &q.projection {
-                            self.visible_vars
-                                .extend(items.iter().map(|i| i.var.as_str()));
+                            for item in items {
+                                let symbol = interner.intern(&item.var);
+                                self.visible_vars.insert(symbol);
+                            }
                         }
                     }
                     if let Some(inner) = &q.where_clause {
@@ -592,6 +609,7 @@ impl<'q> QueryWalk<'q> {
                                 ..ctx
                             },
                             None,
+                            interner,
                         );
                     }
                     // Projection expressions feed the ops counters and the
@@ -608,6 +626,7 @@ impl<'q> QueryWalk<'q> {
                                         paths: false,
                                         top: false,
                                     },
+                                    interner,
                                 );
                             }
                         }
@@ -622,6 +641,7 @@ impl<'q> QueryWalk<'q> {
                                 paths: false,
                                 top: false,
                             },
+                            interner,
                         );
                     }
                     joined_elements += 1;
@@ -630,8 +650,8 @@ impl<'q> QueryWalk<'q> {
                     match node.as_deref_mut().filter(|_| self.tree_valid) {
                         // A nested plain group merges into the current tree
                         // node (Currying / Opt-normal-form flattening).
-                        Some(parent) => self.walk_group(inner, ctx, Some(parent)),
-                        None => self.walk_group(inner, ctx, None),
+                        Some(parent) => self.walk_group(inner, ctx, Some(parent), interner),
+                        None => self.walk_group(inner, ctx, None, interner),
                     }
                     joined_elements += 1;
                 }
@@ -640,10 +660,11 @@ impl<'q> QueryWalk<'q> {
         self.ops.joins += joined_elements.saturating_sub(1);
     }
 
-    fn record_term_var(&mut self, term: &'q Term, ctx: GroupCtx) {
+    fn record_term_var(&mut self, term: &'q Term, ctx: GroupCtx, interner: &mut Interner) {
         if let Term::Var(v) = term {
             if ctx.visible {
-                self.visible_vars.insert(v.as_str());
+                let symbol = interner.intern(v);
+                self.visible_vars.insert(symbol);
             }
             if ctx.vars {
                 self.body_has_var = true;
@@ -654,7 +675,7 @@ impl<'q> QueryWalk<'q> {
     /// Walks one expression; returns whether the subtree contains
     /// `(NOT) EXISTS` (the `Expression::contains_exists` test, needed to
     /// decide whether a filter may enter the pattern tree).
-    fn walk_expr(&mut self, e: &'q Expression, ctx: ExprCtx) -> bool {
+    fn walk_expr(&mut self, e: &'q Expression, ctx: ExprCtx, interner: &mut Interner) -> bool {
         let inner = ExprCtx { top: false, ..ctx };
         match e {
             Expression::Var(_) => {
@@ -679,7 +700,7 @@ impl<'q> QueryWalk<'q> {
                         bindscan: false,
                         paths: ctx.paths && ctx.top,
                     };
-                    self.walk_group(g, group_ctx, None);
+                    self.walk_group(g, group_ctx, None, interner);
                 }
                 true
             }
@@ -691,7 +712,7 @@ impl<'q> QueryWalk<'q> {
                     self.aggregates.record(agg.kind);
                 }
                 match &agg.expr {
-                    Some(inner_expr) => self.walk_expr(inner_expr, inner),
+                    Some(inner_expr) => self.walk_expr(inner_expr, inner, interner),
                     None => false,
                 }
             }
@@ -707,24 +728,24 @@ impl<'q> QueryWalk<'q> {
             | Expression::Subtract(a, b)
             | Expression::Multiply(a, b)
             | Expression::Divide(a, b) => {
-                let sa = self.walk_expr(a, inner);
-                let sb = self.walk_expr(b, inner);
+                let sa = self.walk_expr(a, inner, interner);
+                let sb = self.walk_expr(b, inner, interner);
                 sa || sb
             }
             Expression::In(a, list) | Expression::NotIn(a, list) => {
-                let mut saw = self.walk_expr(a, inner);
+                let mut saw = self.walk_expr(a, inner, interner);
                 for x in list {
-                    saw |= self.walk_expr(x, inner);
+                    saw |= self.walk_expr(x, inner, interner);
                 }
                 saw
             }
             Expression::Not(a) | Expression::UnaryMinus(a) | Expression::UnaryPlus(a) => {
-                self.walk_expr(a, inner)
+                self.walk_expr(a, inner, interner)
             }
             Expression::FunctionCall(_, args) => {
                 let mut saw = false;
                 for a in args {
-                    saw |= self.walk_expr(a, inner);
+                    saw |= self.walk_expr(a, inner, interner);
                 }
                 saw
             }

@@ -1,0 +1,172 @@
+//! Ablation: the fingerprint-keyed analysis cache (+ interned-term
+//! allocation diet) against the uncached analysis path, on a duplicate-heavy
+//! synthetic corpus.
+//!
+//! The corpus is the standard synthetic one with every log tiled several
+//! times, pushing the mean occurrence rate (valid / unique) to at least 3× —
+//! the duplication regime the source paper reports for real logs, where the
+//! "all" population re-analyses the same canonical forms over and over.
+//!
+//! The binary doubles as a CI differential gate: it renders the **full
+//! corpus report** through the cached and the uncached engine on both
+//! populations and **exits non-zero if any byte differs**. The acceptance
+//! target is a >= 1.5x end-to-end analysis speedup on the Valid population
+//! plus a nonzero interner savings counter; both are printed for the
+//! workflow artifact.
+
+use sparqlog_bench::{banner, raw_corpus, stats_banner, HarnessOptions};
+use sparqlog_core::analysis::{CachePolicy, CorpusAnalysis, EngineOptions, Population};
+use sparqlog_core::cache::AnalysisCache;
+use sparqlog_core::corpus::{ingest_all, RawLog};
+use sparqlog_core::report::full_report;
+use std::time::Instant;
+
+/// How many times each log's entries are tiled: every query occurs at least
+/// this many times, so the mean occurrence rate is at least `TILE` (the
+/// synthesizer's own duplicates push it higher).
+const TILE: usize = 4;
+
+fn duplicate_heavy(raw: Vec<RawLog>) -> Vec<RawLog> {
+    raw.into_iter()
+        .map(|log| {
+            let mut entries = Vec::with_capacity(log.entries.len() * TILE);
+            for _ in 0..TILE {
+                entries.extend(log.entries.iter().cloned());
+            }
+            RawLog::new(log.label, entries)
+        })
+        .collect()
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("ablation: fingerprint-keyed analysis cache", &opts);
+    let raw = duplicate_heavy(raw_corpus(&opts));
+    let logs = ingest_all(&raw);
+    let (valid, unique): (u64, u64) = logs.iter().fold((0, 0), |(v, u), l| {
+        (v + l.counts.valid, u + l.counts.unique)
+    });
+    let occurrence_rate = valid as f64 / unique.max(1) as f64;
+    println!(
+        "corpus: {} valid queries, {} distinct canonical forms, mean occurrence rate {:.2}x \
+         (target >= 3x: {})\n",
+        valid,
+        unique,
+        occurrence_rate,
+        if occurrence_rate >= 3.0 {
+            "PASS"
+        } else {
+            "MISS"
+        }
+    );
+
+    // -- End-to-end analysis of the Valid ("all") population. ---------------
+    let repeats = 5;
+    let uncached_options = EngineOptions {
+        cache: CachePolicy::Disabled,
+        ..EngineOptions::default()
+    };
+    let mut uncached_time = f64::INFINITY;
+    let mut uncached = None;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        let (analysis, stats) =
+            CorpusAnalysis::analyze_stats(&logs, Population::Valid, uncached_options);
+        uncached_time = uncached_time.min(t.elapsed().as_secs_f64());
+        uncached = Some((analysis, stats));
+    }
+    let (uncached_valid, uncached_stats) = uncached.expect("at least one repeat");
+
+    let mut cached_time = f64::INFINITY;
+    let mut cached = None;
+    for _ in 0..repeats {
+        // A fresh cache per repeat: the measured run is a cold corpus run,
+        // not a warm-cache rerun.
+        let cache = AnalysisCache::new();
+        let t = Instant::now();
+        let (analysis, stats) = CorpusAnalysis::analyze_cached(
+            &logs,
+            Population::Valid,
+            EngineOptions::default(),
+            &cache,
+        );
+        cached_time = cached_time.min(t.elapsed().as_secs_f64());
+        cached = Some((analysis, stats));
+    }
+    let (cached_valid, cached_stats) = cached.expect("at least one repeat");
+
+    let speedup = uncached_time / cached_time;
+    println!(
+        "{:<44} {:>10} {:>14}",
+        "end-to-end analysis (Valid population)", "time", "queries/s"
+    );
+    println!(
+        "{:<44} {:>8.2}ms {:>14.0}",
+        "uncached (QueryAnalysis per occurrence)",
+        uncached_time * 1e3,
+        valid as f64 / uncached_time
+    );
+    println!(
+        "{:<44} {:>8.2}ms {:>14.0}",
+        "cached (memoized per canonical form)",
+        cached_time * 1e3,
+        valid as f64 / cached_time
+    );
+    println!(
+        "analysis speedup: {:.2}x (target >= 1.5x: {})\n",
+        speedup,
+        if speedup >= 1.5 { "PASS" } else { "MISS" }
+    );
+    println!("{}\n", stats_banner(&cached_stats));
+
+    // -- Population switch: a shared cache serves the Unique rerun. ---------
+    let shared = AnalysisCache::new();
+    let (valid_run, _) =
+        CorpusAnalysis::analyze_cached(&logs, Population::Valid, EngineOptions::default(), &shared);
+    let before_switch = shared.stats();
+    let (unique_run, _) = CorpusAnalysis::analyze_cached(
+        &logs,
+        Population::Unique,
+        EngineOptions::default(),
+        &shared,
+    );
+    let after_switch = shared.stats();
+    println!(
+        "population switch (Valid -> Unique on one cache): {} further analyses, {} reused \
+         of {} unique-population lookups",
+        after_switch.misses - before_switch.misses,
+        after_switch.hits - before_switch.hits,
+        unique,
+    );
+
+    // -- Differential gate: full reports must be byte-identical. ------------
+    let mut diverged = false;
+    let (uncached_unique, _) =
+        CorpusAnalysis::analyze_stats(&logs, Population::Unique, uncached_options);
+    for (population, cached_analysis, uncached_analysis) in [
+        (Population::Valid, &cached_valid, &uncached_valid),
+        (Population::Valid, &valid_run, &uncached_valid),
+        (Population::Unique, &unique_run, &uncached_unique),
+    ] {
+        if full_report(cached_analysis) != full_report(uncached_analysis) {
+            eprintln!("DIVERGENCE: corpus report differs on {population:?}");
+            diverged = true;
+        }
+    }
+    if cached_stats.cache.map_or(0, |c| c.hits) == 0 {
+        eprintln!("DIVERGENCE: cache reported zero hits on a duplicate-heavy corpus");
+        diverged = true;
+    }
+    if cached_stats.interner.bytes_saved == 0 || uncached_stats.interner.bytes_saved == 0 {
+        eprintln!("DIVERGENCE: interner reported zero savings");
+        diverged = true;
+    }
+    if diverged {
+        eprintln!("differential check: FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "\ndifferential check: OK — cached and uncached corpus reports are byte-identical \
+         on both populations"
+    );
+}

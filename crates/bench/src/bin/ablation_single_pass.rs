@@ -5,6 +5,7 @@
 use sparqlog_bench::{banner, build_corpus, HarnessOptions};
 use sparqlog_core::analysis::{CorpusAnalysis, DatasetAnalysis, EngineOptions};
 use sparqlog_core::baseline::{add_query_multiwalk, analyze_multiwalk};
+use sparqlog_parser::intern::Interner;
 use std::time::Instant;
 
 fn main() {
@@ -28,8 +29,9 @@ fn main() {
 
         let t = Instant::now();
         let mut analysis = DatasetAnalysis::default();
+        let mut interner = Interner::new();
         for q in &queries {
-            analysis.add_query(q);
+            analysis.add_query_with(q, &mut interner);
         }
         std::hint::black_box(&analysis);
         single_best = single_best.min(t.elapsed().as_secs_f64());

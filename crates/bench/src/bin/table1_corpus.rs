@@ -1,10 +1,12 @@
 //! Regenerates Table 1: sizes of the query logs (Total / Valid / Unique).
-use sparqlog_bench::{analyzed_corpus, banner, HarnessOptions};
+use sparqlog_bench::{analyzed_corpus_stats, banner, stats_banner, HarnessOptions};
 use sparqlog_core::report;
 
 fn main() {
     let opts = HarnessOptions::from_args();
     banner("Table 1 — corpus sizes", &opts);
-    let corpus = analyzed_corpus(&opts);
+    let (corpus, stats) = analyzed_corpus_stats(&opts);
+    println!("{}", stats_banner(&stats));
+    println!();
     println!("{}", report::table1(&corpus));
 }

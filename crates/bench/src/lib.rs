@@ -15,7 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sparqlog_core::analysis::{CorpusAnalysis, Population};
+use sparqlog_core::analysis::{AnalysisStats, CorpusAnalysis, EngineOptions, Population};
 use sparqlog_core::corpus::{
     ingest_all_materializing, ingest_streams, IngestedLog, LogReader, MemoryLogReader, RawLog,
 };
@@ -129,8 +129,14 @@ pub fn build_corpus_materializing(opts: &HarnessOptions) -> Vec<IngestedLog> {
 /// Generates, ingests and analyses the synthetic corpus in one call — the
 /// entry point shared by most harness binaries.
 pub fn analyzed_corpus(opts: &HarnessOptions) -> CorpusAnalysis {
+    analyzed_corpus_stats(opts).0
+}
+
+/// [`analyzed_corpus`] returning the run's cache / interner counters too, so
+/// harness binaries can print the [`stats_banner`] under their headline.
+pub fn analyzed_corpus_stats(opts: &HarnessOptions) -> (CorpusAnalysis, AnalysisStats) {
     let logs = build_corpus(opts);
-    CorpusAnalysis::analyze(&logs, opts.population())
+    CorpusAnalysis::analyze_stats(&logs, opts.population(), EngineOptions::default())
 }
 
 /// Prints the standard harness banner describing the run.
@@ -148,6 +154,34 @@ pub fn banner(what: &str, opts: &HarnessOptions) {
         sparqlog_core::default_workers()
     );
     println!();
+}
+
+/// Renders the analysis-run counters as a banner line: what the
+/// fingerprint-keyed analysis cache absorbed and what the per-worker term
+/// interners saved.
+pub fn stats_banner(stats: &AnalysisStats) -> String {
+    let mut out = String::new();
+    match &stats.cache {
+        Some(cache) => {
+            out.push_str(&format!(
+                "analysis cache: {} hits / {} misses ({:.1}% hit rate), {} distinct forms",
+                cache.hits,
+                cache.misses,
+                cache.hit_rate() * 100.0,
+                cache.distinct,
+            ));
+        }
+        None => out.push_str("analysis cache: disabled"),
+    }
+    let interner = &stats.interner;
+    out.push_str(&format!(
+        "\nterm interner: {} lookups, {:.1}% hits, {} string bytes saved ({} stored)",
+        interner.lookups,
+        interner.hit_rate() * 100.0,
+        interner.bytes_saved,
+        interner.bytes_interned,
+    ));
+    out
 }
 
 #[cfg(test)]

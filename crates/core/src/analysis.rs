@@ -9,12 +9,14 @@
 //! the commutative `merge` methods (so the result is independent of worker
 //! count and chunk schedule).
 
+use crate::cache::{AnalysisCache, CacheStats};
 use crate::corpus::{CorpusCounts, IngestedLog};
 use crate::query_analysis::QueryAnalysis;
 use serde::{Deserialize, Serialize};
 use sparqlog_algebra::opsets::classify_from_features;
 use sparqlog_algebra::{FragmentTally, KeywordTally, OpSetTally, ProjectionTally, TripleHistogram};
 use sparqlog_graph::{ShapeTally, StructuralReport};
+use sparqlog_parser::intern::{InternStats, Interner};
 use sparqlog_parser::Query;
 use sparqlog_paths::PathTally;
 use std::collections::BTreeMap;
@@ -165,6 +167,13 @@ impl DatasetAnalysis {
         self.add(&QueryAnalysis::of(query));
     }
 
+    /// [`DatasetAnalysis::add_query`] through a caller-owned term interner —
+    /// the pattern the analysis workers use, so term strings repeated across
+    /// a fold loop are interned once.
+    pub fn add_query_with(&mut self, query: &Query, interner: &mut Interner) {
+        self.add(&QueryAnalysis::of_with(query, interner));
+    }
+
     /// Folds an already-computed per-query analysis into the tallies without
     /// touching the query again.
     pub fn add(&mut self, qa: &QueryAnalysis) {
@@ -266,15 +275,54 @@ pub struct CorpusAnalysis {
     pub combined: DatasetAnalysis,
 }
 
+/// Whether the analysis engine memoizes per-query analyses in a
+/// fingerprint-keyed [`AnalysisCache`]. Caching never changes any report
+/// (see the [`crate::cache`] docs for the soundness argument); the policy
+/// exists so differential runs can pin either path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Follow the `SPARQLOG_ANALYSIS_CACHE` environment variable: `0`,
+    /// `false`, `off` or `no` (case-insensitive) disable the cache, anything
+    /// else — including an unset variable — enables it. The same pattern as
+    /// the `SPARQLOG_WORKERS` override honoured by
+    /// [`default_workers`](crate::corpus::default_workers).
+    #[default]
+    Auto,
+    /// Memoize regardless of the environment.
+    Enabled,
+    /// Analyse every occurrence from scratch regardless of the environment.
+    Disabled,
+}
+
+impl CachePolicy {
+    /// Resolves the policy against the environment.
+    pub fn enabled(self) -> bool {
+        match self {
+            CachePolicy::Enabled => true,
+            CachePolicy::Disabled => false,
+            CachePolicy::Auto => !matches!(
+                std::env::var("SPARQLOG_ANALYSIS_CACHE")
+                    .ok()
+                    .map(|v| v.trim().to_ascii_lowercase())
+                    .as_deref(),
+                Some("0" | "false" | "off" | "no")
+            ),
+        }
+    }
+}
+
 /// Tuning knobs for the parallel analysis engine. The result of the analysis
-/// does not depend on them — every fold is commutative — only the schedule
-/// does, which the determinism tests exploit.
+/// does not depend on them — every fold is commutative and caching is
+/// report-transparent — only the schedule and the work profile do, which the
+/// determinism and differential tests exploit.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineOptions {
     /// Number of worker threads; `0` uses the available parallelism.
     pub workers: usize,
     /// Queries per work chunk; `0` picks a size from the workload.
     pub chunk_size: usize,
+    /// Whether to memoize per-query analyses by canonical fingerprint.
+    pub cache: CachePolicy,
 }
 
 impl EngineOptions {
@@ -295,6 +343,18 @@ impl EngineOptions {
     }
 }
 
+/// Observability counters of one analysis run: what the fingerprint cache
+/// absorbed and what the per-worker term interners saved. Reported by
+/// [`CorpusAnalysis::analyze_stats`] / [`CorpusAnalysis::analyze_cached`] and
+/// surfaced in the harness banners; never part of the corpus report itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisStats {
+    /// Cumulative cache counters, when the run used a cache.
+    pub cache: Option<CacheStats>,
+    /// Combined counters of every worker's term interner.
+    pub interner: InternStats,
+}
+
 impl CorpusAnalysis {
     /// Analyses a set of ingested logs over the chosen population, using all
     /// available cores.
@@ -302,40 +362,113 @@ impl CorpusAnalysis {
         CorpusAnalysis::analyze_with(logs, population, EngineOptions::default())
     }
 
-    /// Analyses a set of ingested logs with explicit engine options.
-    ///
-    /// The queries of *all* datasets are flattened into one work list and
-    /// processed in chunks by a self-scheduling worker pool: each worker
-    /// repeatedly claims the next unprocessed chunk (an atomic cursor), folds
-    /// its queries into a private per-dataset accumulator, and the
-    /// accumulators are merged at the end. Results are bit-identical across
-    /// worker counts and chunk sizes.
+    /// Analyses a set of ingested logs with explicit engine options,
+    /// discarding the run's [`AnalysisStats`].
     pub fn analyze_with(
         logs: &[IngestedLog],
         population: Population,
         options: EngineOptions,
     ) -> CorpusAnalysis {
-        // Flatten the corpus into (dataset index, query) work items.
-        let mut work: Vec<(usize, &Query)> = Vec::new();
+        CorpusAnalysis::analyze_stats(logs, population, options).0
+    }
+
+    /// Analyses a set of ingested logs with explicit engine options,
+    /// returning the cache and interner counters alongside the analysis.
+    /// When the resolved [`CachePolicy`] enables caching, the run uses a
+    /// fresh [`AnalysisCache`] scoped to this call; use
+    /// [`CorpusAnalysis::analyze_cached`] to share a cache across calls
+    /// (e.g. across the Unique/Valid population switch).
+    pub fn analyze_stats(
+        logs: &[IngestedLog],
+        population: Population,
+        options: EngineOptions,
+    ) -> (CorpusAnalysis, AnalysisStats) {
+        if options.cache.enabled() {
+            let cache = AnalysisCache::new();
+            CorpusAnalysis::analyze_cached(logs, population, options, &cache)
+        } else {
+            CorpusAnalysis::run_engine(logs, population, options, None)
+        }
+    }
+
+    /// Analyses a set of ingested logs against a caller-owned
+    /// [`AnalysisCache`], ignoring the options' [`CachePolicy`]: the caller
+    /// asked for the cache explicitly. Entries memoized by earlier runs
+    /// (other logs, the other population) are reused, so re-analysing the
+    /// appendix ("all") population after the main ("unique") one only
+    /// analyses canonical forms never seen before. The returned
+    /// [`CacheStats`] are the cache's cumulative counters.
+    pub fn analyze_cached(
+        logs: &[IngestedLog],
+        population: Population,
+        options: EngineOptions,
+        cache: &AnalysisCache,
+    ) -> (CorpusAnalysis, AnalysisStats) {
+        CorpusAnalysis::run_engine(logs, population, options, Some(cache))
+    }
+
+    /// The analysis engine shared by every entry point.
+    ///
+    /// The queries of *all* datasets are flattened into one work list and
+    /// processed in chunks by a self-scheduling worker pool: each worker
+    /// repeatedly claims the next unprocessed chunk (an atomic cursor), folds
+    /// its queries into a private per-dataset accumulator through its own
+    /// term [`Interner`], and the accumulators are merged at the end. With a
+    /// cache, each work item first consults the memo table under the query's
+    /// canonical fingerprint (computed by ingestion, so the key is free) and
+    /// only analyses on a miss; every occurrence still folds into the
+    /// tallies, so occurrence counts are preserved exactly. Results are
+    /// bit-identical across worker counts, chunk sizes and cache modes.
+    fn run_engine(
+        logs: &[IngestedLog],
+        population: Population,
+        options: EngineOptions,
+        cache: Option<&AnalysisCache>,
+    ) -> (CorpusAnalysis, AnalysisStats) {
+        // Flatten the corpus into (dataset index, fingerprint, query) items.
+        let mut work: Vec<(usize, u128, &Query)> = Vec::new();
         for (d, log) in logs.iter().enumerate() {
             match population {
-                Population::Unique => work.extend(log.unique_queries().map(|q| (d, q))),
-                Population::Valid => work.extend(log.valid_queries.iter().map(|q| (d, q))),
+                Population::Unique => work.extend(
+                    log.unique_indices
+                        .iter()
+                        .map(|&i| (d, log.fingerprints[i], &log.valid_queries[i])),
+                ),
+                Population::Valid => work.extend(
+                    log.valid_queries
+                        .iter()
+                        .zip(&log.fingerprints)
+                        .map(|(q, &fp)| (d, fp, q)),
+                ),
             }
         }
         let workers = options.resolve_workers().max(1);
         let chunk_size = options.resolve_chunk_size(work.len(), workers);
-        let chunks: Vec<&[(usize, &Query)]> = work.chunks(chunk_size.max(1)).collect();
+        let chunks: Vec<&[(usize, u128, &Query)]> = work.chunks(chunk_size.max(1)).collect();
         let workers = workers.min(chunks.len()).max(1);
 
-        let accumulators: Vec<Vec<DatasetAnalysis>> = if workers == 1 {
+        let fold = |acc: &mut [DatasetAnalysis],
+                    interner: &mut Interner,
+                    d: usize,
+                    fp: u128,
+                    q: &Query| match cache {
+            Some(cache) => {
+                let qa = cache.get_or_insert_with(fp, || QueryAnalysis::of_with(q, interner));
+                acc[d].add(&qa);
+            }
+            None => acc[d].add(&QueryAnalysis::of_with(q, interner)),
+        };
+
+        type WorkerResult = (Vec<DatasetAnalysis>, InternStats);
+        let accumulators: Vec<WorkerResult> = if workers == 1 {
             let mut acc: Vec<DatasetAnalysis> = (0..logs.len())
                 .map(|_| DatasetAnalysis::default())
                 .collect();
-            for &(d, q) in &work {
-                acc[d].add(&QueryAnalysis::of(q));
+            let mut interner = Interner::new();
+            for &(d, fp, q) in &work {
+                fold(&mut acc, &mut interner, d, fp, q);
             }
-            vec![acc]
+            vec![(acc, interner.stats())]
         } else {
             let cursor = AtomicUsize::new(0);
             let dataset_count = logs.len();
@@ -346,14 +479,15 @@ impl CorpusAnalysis {
                             let mut acc: Vec<DatasetAnalysis> = (0..dataset_count)
                                 .map(|_| DatasetAnalysis::default())
                                 .collect();
+                            let mut interner = Interner::new();
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 let Some(chunk) = chunks.get(i) else { break };
-                                for &(d, q) in *chunk {
-                                    acc[d].add(&QueryAnalysis::of(q));
+                                for &(d, fp, q) in *chunk {
+                                    fold(&mut acc, &mut interner, d, fp, q);
                                 }
                             }
-                            acc
+                            (acc, interner.stats())
                         })
                     })
                     .collect();
@@ -374,11 +508,17 @@ impl CorpusAnalysis {
                 ..DatasetAnalysis::default()
             })
             .collect();
-        for acc in &accumulators {
+        let mut stats = AnalysisStats {
+            cache: None,
+            interner: InternStats::default(),
+        };
+        for (acc, interner_stats) in &accumulators {
             for (dataset, partial) in datasets.iter_mut().zip(acc) {
                 dataset.merge(partial);
             }
+            stats.interner.merge(interner_stats);
         }
+        stats.cache = cache.map(AnalysisCache::stats);
         let mut combined = DatasetAnalysis {
             label: "Total".to_string(),
             ..DatasetAnalysis::default()
@@ -386,7 +526,7 @@ impl CorpusAnalysis {
         for d in &datasets {
             combined.merge(d);
         }
-        CorpusAnalysis { datasets, combined }
+        (CorpusAnalysis { datasets, combined }, stats)
     }
 }
 

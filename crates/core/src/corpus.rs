@@ -80,6 +80,11 @@ pub struct IngestedLog {
     pub counts: CorpusCounts,
     /// The valid queries in log order (including duplicates).
     pub valid_queries: Vec<Query>,
+    /// The 128-bit canonical fingerprint of each valid query, parallel to
+    /// `valid_queries`. Ingestion computes these for duplicate elimination
+    /// anyway; keeping them makes them the free cache key of the
+    /// fingerprint-keyed [`AnalysisCache`](crate::cache::AnalysisCache).
+    pub fingerprints: Vec<u128>,
     /// Indices into `valid_queries` of the first occurrence of each distinct
     /// query — the *unique* corpus the paper's main analysis runs on.
     pub unique_indices: Vec<usize>,
@@ -124,6 +129,7 @@ fn assemble(label: &str, total: u64, parsed: impl Iterator<Item = Option<Query>>
         ..CorpusCounts::default()
     };
     let mut valid_queries = Vec::new();
+    let mut fingerprints = Vec::new();
     let mut unique_indices = Vec::new();
     let mut seen: HashSet<u128> = HashSet::new();
     for query in parsed.flatten() {
@@ -134,6 +140,7 @@ fn assemble(label: &str, total: u64, parsed: impl Iterator<Item = Option<Query>>
         let fingerprint = canonical_fingerprint(&to_canonical_string(&query));
         let index = valid_queries.len();
         valid_queries.push(query);
+        fingerprints.push(fingerprint);
         if seen.insert(fingerprint) {
             unique_indices.push(index);
         }
@@ -143,6 +150,7 @@ fn assemble(label: &str, total: u64, parsed: impl Iterator<Item = Option<Query>>
         label: label.to_string(),
         counts,
         valid_queries,
+        fingerprints,
         unique_indices,
     }
 }
@@ -241,16 +249,7 @@ pub fn ingest_all(logs: &[RawLog]) -> Vec<IngestedLog> {
     }
     let workers = default_workers().min(chunks.len());
     let parse_chunk = |log_index: usize, start: usize, end: usize| -> Vec<ParsedEntry> {
-        logs[log_index].entries[start..end]
-            .iter()
-            .map(|entry| match parse_query(entry) {
-                Ok(query) => {
-                    let fingerprint = canonical_fingerprint_of(&query);
-                    (Some(query), fingerprint)
-                }
-                Err(_) => (None, 0),
-            })
-            .collect()
+        parse_batch(&logs[log_index].entries[start..end])
     };
 
     let parsed_chunks: Vec<(usize, usize, Vec<ParsedEntry>)> = if workers <= 1 {
@@ -411,6 +410,13 @@ impl LogReader for SliceLogReader<'_> {
     }
 }
 
+/// The assumed average log-line length (bytes, terminator included) used to
+/// turn a file size into an entry-count estimate for worker clamping. Real
+/// SPARQL log lines run one to a few hundred bytes; the estimate only has to
+/// be in the right order of magnitude — it sizes the worker pool, never the
+/// result.
+const ESTIMATED_LINE_BYTES: u64 = 128;
+
 /// A [`LogReader`] over any buffered byte stream, one entry per line. Lines
 /// are terminated by `\n` or `\r\n` (the terminator is stripped); a final
 /// line without a trailing newline still counts as an entry, and an empty
@@ -419,14 +425,34 @@ impl LogReader for SliceLogReader<'_> {
 pub struct LineLogReader<R> {
     label: String,
     reader: R,
+    /// Estimated entries remaining, when the stream's total size is known up
+    /// front (file-backed readers); decremented as lines are read.
+    estimated_remaining: Option<usize>,
 }
 
 impl<R: BufRead + Send> LineLogReader<R> {
-    /// Creates a line reader over a buffered stream.
+    /// Creates a line reader over a buffered stream (no size hint — the
+    /// worker clamp in [`ingest_streams_with`] leaves the pool unchanged).
     pub fn new(label: impl Into<String>, reader: R) -> LineLogReader<R> {
         LineLogReader {
             label: label.into(),
             reader,
+            estimated_remaining: None,
+        }
+    }
+
+    /// Creates a line reader with an up-front estimate of how many entries
+    /// the stream holds, so the ingestion pool can clamp its worker count
+    /// for stream-backed sources too.
+    pub fn with_estimated_entries(
+        label: impl Into<String>,
+        reader: R,
+        entries: usize,
+    ) -> LineLogReader<R> {
+        LineLogReader {
+            label: label.into(),
+            reader,
+            estimated_remaining: Some(entries),
         }
     }
 }
@@ -452,7 +478,14 @@ impl<R: BufRead + Send> LogReader for LineLogReader<R> {
             batch.push(line);
             appended += 1;
         }
+        if let Some(remaining) = &mut self.estimated_remaining {
+            *remaining = remaining.saturating_sub(appended);
+        }
         Ok(appended)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        self.estimated_remaining
     }
 }
 
@@ -460,14 +493,27 @@ impl<R: BufRead + Send> LogReader for LineLogReader<R> {
 pub type FileLogReader = LineLogReader<BufReader<std::fs::File>>;
 
 impl FileLogReader {
-    /// Opens a log file for streaming ingestion.
+    /// Opens a log file for streaming ingestion. For regular files, the byte
+    /// length (from metadata) divided by an average-line estimate seeds
+    /// [`LogReader::size_hint`], so worker clamping works for file-backed
+    /// ingestion too: a 4-line quickstart log no longer spawns a full pool.
+    /// Non-regular files (FIFOs, character devices) report no meaningful
+    /// length and get no hint, leaving the pool unclamped. The estimate
+    /// never affects results, only the schedule.
     pub fn open(
         label: impl Into<String>,
         path: impl AsRef<std::path::Path>,
     ) -> io::Result<FileLogReader> {
-        Ok(LineLogReader::new(
-            label,
-            BufReader::new(std::fs::File::open(path)?),
+        let file = std::fs::File::open(path)?;
+        let metadata = file.metadata()?;
+        let reader = BufReader::new(file);
+        if !metadata.is_file() {
+            return Ok(LineLogReader::new(label, reader));
+        }
+        let estimated =
+            usize::try_from(metadata.len().div_ceil(ESTIMATED_LINE_BYTES)).unwrap_or(usize::MAX);
+        Ok(LineLogReader::with_estimated_entries(
+            label, reader, estimated,
         ))
     }
 }
@@ -500,7 +546,10 @@ impl Hasher for FingerprintHasher {
     }
 }
 
-type FingerprintBuildHasher = BuildHasherDefault<FingerprintHasher>;
+/// The `BuildHasher` for fingerprint-keyed tables ([`FingerprintShards`],
+/// the [`AnalysisCache`](crate::cache::AnalysisCache)): fingerprints pass
+/// through [`FingerprintHasher`] unhashed.
+pub type FingerprintBuildHasher = BuildHasherDefault<FingerprintHasher>;
 
 /// Default shard count for [`FingerprintShards`].
 const DEDUP_SHARDS: usize = 16;
@@ -819,6 +868,7 @@ fn assemble_streamed(
         label,
         counts,
         valid_queries,
+        fingerprints,
         unique_indices,
     }
 }
@@ -841,13 +891,17 @@ pub fn ingest_streams_with(
     let (mut workers, batch_size, shard_count) = options.resolve();
     // When every reader can say how much work remains, don't spawn more
     // workers than there are batches (a 4-entry quickstart log on a 64-core
-    // machine needs one worker, not 64 no-op threads).
-    if let Some(entries) = readers
+    // machine needs one worker, not 64 no-op threads). Batches never span
+    // readers, so the batch count is the *per-reader* sum of ceilings —
+    // eight 100-entry logs are eight claimable batches, not one.
+    if let Some(batches) = readers
         .iter()
         .map(|r| r.size_hint())
-        .try_fold(0usize, |sum, hint| hint.map(|n| sum + n))
+        .try_fold(0usize, |sum, hint| {
+            hint.map(|n| sum + n.div_ceil(batch_size))
+        })
     {
-        workers = workers.min(entries.div_ceil(batch_size).max(1));
+        workers = workers.min(batches.max(1));
     }
     let labels: Vec<String> = readers.iter().map(|r| r.label().to_string()).collect();
     let log_count = readers.len();

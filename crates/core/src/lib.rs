@@ -10,9 +10,13 @@
 //! * [`query_analysis`] — the single-pass per-query intermediate
 //!   ([`QueryAnalysis`]): one AST traversal and one canonical-graph
 //!   construction feed every measure.
+//! * [`cache`] — the sharded, fingerprint-keyed [`cache::AnalysisCache`]:
+//!   each distinct canonical form is analysed once per corpus run and
+//!   duplicate occurrences fold the memoized record.
 //! * [`analysis`] — the per-dataset / corpus-level analysis record combining
 //!   the shallow, structural, property-path and width analyses of the paper,
-//!   folded in parallel by a chunked work-stealing pool.
+//!   folded in parallel by a chunked work-stealing pool over per-worker term
+//!   interners.
 //! * [`baseline`] — the seed multi-walk path, kept as the reference for
 //!   differential tests and benchmarks.
 //! * [`report`] — plain-text renderers, one per table and figure.
@@ -33,11 +37,15 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod cache;
 pub mod corpus;
 pub mod query_analysis;
 pub mod report;
 
-pub use analysis::{CorpusAnalysis, DatasetAnalysis, EngineOptions, Population};
+pub use analysis::{
+    AnalysisStats, CachePolicy, CorpusAnalysis, DatasetAnalysis, EngineOptions, Population,
+};
+pub use cache::{AnalysisCache, CacheStats};
 pub use corpus::{
     default_workers, ingest, ingest_all, ingest_all_materializing, ingest_streams,
     ingest_streams_with, CorpusCounts, FileLogReader, FingerprintShards, IngestedLog,

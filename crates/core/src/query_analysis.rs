@@ -18,6 +18,7 @@ use sparqlog_algebra::{
 };
 use sparqlog_graph::StructuralReport;
 use sparqlog_parser::ast::QueryForm;
+use sparqlog_parser::intern::Interner;
 use sparqlog_parser::Query;
 use sparqlog_paths::PathTally;
 
@@ -41,13 +42,27 @@ pub struct QueryAnalysis {
 
 impl QueryAnalysis {
     /// Analyses one query with exactly one AST traversal and (for CQ-like
-    /// queries) one canonical-graph construction.
+    /// queries) one canonical-graph construction, using a throwaway term
+    /// interner. Workers analysing many queries should prefer
+    /// [`QueryAnalysis::of_with`] with a long-lived interner so term strings
+    /// repeated across queries are stored once.
     pub fn of(query: &Query) -> QueryAnalysis {
-        let walk = QueryWalk::of(query);
+        QueryAnalysis::of_with(query, &mut Interner::new())
+    }
+
+    /// [`QueryAnalysis::of`] with an explicit per-worker [`Interner`]: the
+    /// walk's
+    /// visible-variable set, the projection test and the canonical-graph
+    /// construction all run over `u32` symbols instead of strings. The
+    /// result is byte-identical for any interner state (symbols never leak
+    /// into the returned record).
+    pub fn of_with(query: &Query, interner: &mut Interner) -> QueryAnalysis {
+        let walk = QueryWalk::of(query, interner);
         let features = QueryFeatures::from_walk(query, &walk);
-        let projection = projection_use_from_walk(query, &walk);
+        let projection = projection_use_from_walk(query, &walk, interner);
         let fragments = classify_fragments_from_walk(query, &walk);
-        let structural = StructuralReport::from_walk(fragments, walk.tree.as_ref());
+        let structural =
+            StructuralReport::from_walk_interned(fragments, walk.tree.as_ref(), interner);
         let mut paths = PathTally::new();
         for p in &walk.paths {
             paths.add(p);
@@ -100,6 +115,26 @@ mod tests {
             }
             assert_eq!(single.paths, paths, "{text}");
         }
+    }
+
+    #[test]
+    fn reused_interner_does_not_change_results() {
+        // A worker's interner accumulates symbols across queries; the
+        // analysis of each query must not depend on that state.
+        let mut interner = Interner::new();
+        for text in [
+            "SELECT ?x WHERE { ?x a <http://C> . ?x <http://p> ?y FILTER(?y > 3) } LIMIT 5",
+            "SELECT ?y WHERE { ?y a <http://C> . ?y <http://p> ?x }",
+            "ASK { ?a <http://p> ?b . ?b <http://p> ?c . ?c <http://p> ?a }",
+            "SELECT ?x WHERE { ?x <http://p> <http://const> }",
+            "SELECT * WHERE { ?a <http://p> ?b . ?b <http://p> ?c FILTER(?c = ?a) }",
+        ] {
+            let q = parse_query(text).unwrap();
+            let fresh = QueryAnalysis::of(&q);
+            let reused = QueryAnalysis::of_with(&q, &mut interner);
+            assert_eq!(format!("{fresh:?}"), format!("{reused:?}"), "{text}");
+        }
+        assert!(interner.stats().hits > 0);
     }
 
     #[test]

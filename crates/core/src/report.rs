@@ -340,6 +340,29 @@ pub fn table5_paths(combined: &DatasetAnalysis) -> String {
     out
 }
 
+/// The full corpus report: every table, figure and section renderer above
+/// (except the streak table, which runs on raw single-day logs rather than a
+/// [`CorpusAnalysis`]) concatenated in paper order. This is the
+/// byte-comparison unit of the differential gates: two analysis paths agree
+/// iff their full reports are identical strings.
+pub fn full_report(corpus: &CorpusAnalysis) -> String {
+    let combined = &corpus.combined;
+    [
+        table1(corpus),
+        table2_keywords(combined),
+        figure1_triples(corpus),
+        table3_opsets(combined),
+        section44_projection(combined),
+        section52_fragments(combined),
+        figure5_sizes(combined),
+        table4_shapes(combined),
+        section61_cycles(combined),
+        section62_hypertree(combined),
+        table5_paths(combined),
+    ]
+    .join("\n")
+}
+
 /// Table 6: streak-length histograms for a set of single-day logs.
 pub fn table6_streaks(histograms: &[(String, StreakHistogram)]) -> String {
     let mut out = String::new();

@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use sparqlog_algebra::fragments::{classify_fragments, variable_equalities, FragmentReport};
 use sparqlog_algebra::pattern_tree::PatternTree;
 use sparqlog_parser::ast::Query;
+use sparqlog_parser::intern::Interner;
 
 /// The structural analysis of one query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,13 +81,48 @@ impl StructuralReport {
         StructuralReport::from_parts(fragments, tree)
     }
 
+    /// [`StructuralReport::from_walk`] on the interned-term diet: the
+    /// canonical graph is constructed through
+    /// [`CanonicalGraph::from_triples_both_interned`], so node identity, the
+    /// equality union-find and the node index run over `u32` symbols of the
+    /// calling worker's [`Interner`] instead of freshly rendered label
+    /// strings. The produced report is byte-identical to [`from_walk`]
+    /// (differential-tested); only the allocation profile changes.
+    ///
+    /// [`from_walk`]: StructuralReport::from_walk
+    pub fn from_walk_interned(
+        fragments: FragmentReport,
+        tree: Option<&PatternTree>,
+        interner: &mut Interner,
+    ) -> StructuralReport {
+        StructuralReport::assemble(fragments, tree, |triples, equalities| {
+            CanonicalGraph::from_triples_both_interned(triples, equalities, interner)
+        })
+    }
+
     /// Non-CQ-like queries get only their fragment classification; CQ-like
     /// queries additionally get a shape, treewidth and (when they use
     /// variable predicates) a hypertree width. The canonical graph is
-    /// constructed **once**, in both modes simultaneously
-    /// ([`CanonicalGraph::from_triples_both`]), and shared by the shape,
-    /// treewidth, girth and constants-excluded analyses.
+    /// constructed **once**, in both modes simultaneously, through the
+    /// string-keyed builder ([`CanonicalGraph::from_triples_both`]).
     fn from_parts(fragments: FragmentReport, tree: Option<&PatternTree>) -> StructuralReport {
+        StructuralReport::assemble(fragments, tree, CanonicalGraph::from_triples_both)
+    }
+
+    /// The shared report assembly: the string and interned paths differ only
+    /// in `build_graphs`, the dual-mode canonical-graph constructor handed
+    /// the tree's triples and `?x = ?y` equalities. The built pair (with
+    /// constants, variables only) feeds the shape, treewidth, girth and
+    /// constants-excluded analyses; variable-predicate queries bypass it for
+    /// the hypergraph.
+    fn assemble(
+        fragments: FragmentReport,
+        tree: Option<&PatternTree>,
+        build_graphs: impl FnOnce(
+            &[&sparqlog_parser::ast::TriplePattern],
+            &[(String, String)],
+        ) -> Option<(CanonicalGraph, CanonicalGraph)>,
+    ) -> StructuralReport {
         let mut report = StructuralReport {
             fragments,
             shape: None,
@@ -115,9 +151,7 @@ impl StructuralReport {
             report.hypertree = generalized_hypertree_width(&hg, 5).map(Into::into);
             return report;
         }
-        if let Some((with_constants, vars_only)) =
-            CanonicalGraph::from_triples_both(&triples, &equalities)
-        {
+        if let Some((with_constants, vars_only)) = build_graphs(&triples, &equalities) {
             report.shape = Some(ShapeReport::classify(&with_constants));
             report.treewidth = Some(match treewidth(&with_constants) {
                 Treewidth::Exact(k) | Treewidth::UpperBound(k) => k,

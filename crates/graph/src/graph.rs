@@ -12,7 +12,8 @@
 
 use serde::{Deserialize, Serialize};
 use sparqlog_parser::ast::{Term, TriplePattern};
-use std::collections::{BTreeMap, BTreeSet};
+use sparqlog_parser::intern::{Interner, Symbol};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Whether constants (IRIs and literals in subject/object position) become
 /// graph nodes, or only variables and blank nodes do.
@@ -101,6 +102,40 @@ impl CanonicalGraph {
         for t in triples {
             with_constants.add_triple(t, &mut uf);
             vars_only.add_triple(t, &mut uf);
+        }
+        Some((with_constants.graph, vars_only.graph))
+    }
+
+    /// [`CanonicalGraph::from_triples_both`] on an interned-term diet: node
+    /// identity, the `?x = ?y` union-find and the node index all work over
+    /// `u32` [`Symbol`]s from the caller's [`Interner`] instead of rendered
+    /// label strings, so each term occurrence costs an integer lookup rather
+    /// than a `String` allocation plus a string-keyed map probe. A node's
+    /// label string is rendered exactly once, at its first occurrence, which
+    /// keeps the produced graphs byte-identical to the string path (proven by
+    /// the differential tests).
+    ///
+    /// The interner is typically the calling analysis worker's long-lived
+    /// table, so IRIs and variable names repeated across queries are stored
+    /// once per worker.
+    pub fn from_triples_both_interned(
+        triples: &[&TriplePattern],
+        equalities: &[(String, String)],
+        interner: &mut Interner,
+    ) -> Option<(CanonicalGraph, CanonicalGraph)> {
+        if triples.iter().any(|t| t.predicate.is_var()) {
+            return None;
+        }
+        let mut uf = SymbolUnionFind::default();
+        for (a, b) in equalities {
+            let (a, b) = (interner.intern(a), interner.intern(b));
+            uf.union(a, b);
+        }
+        let mut with_constants = InternedGraphBuilder::new(GraphMode::WithConstants);
+        let mut vars_only = InternedGraphBuilder::new(GraphMode::VariablesOnly);
+        for t in triples {
+            with_constants.add_triple(t, &mut uf, interner);
+            vars_only.add_triple(t, &mut uf, interner);
         }
         Some((with_constants.graph, vars_only.graph))
     }
@@ -284,6 +319,139 @@ impl GraphBuilder {
     }
 }
 
+/// Node identity under the interned construction: which graph node a term
+/// maps to, as symbols of the active [`Interner`]. Variables carry their
+/// union-find **root** symbol so `?x = ?y` pairs collapse to one key; the
+/// enum discriminant keeps `?x`, `_:x` and constants distinct the way the
+/// rendered labels (`"?x"` / `"_:x"` / `"<x>"`) did on the string path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum NodeKey {
+    Var(Symbol),
+    Blank(Symbol),
+    Iri(Symbol),
+    Literal(Symbol, Option<Symbol>, Option<Symbol>),
+}
+
+/// Incremental construction of one [`CanonicalGraph`] whose node index is
+/// keyed by [`NodeKey`] symbols instead of rendered label strings. Labels
+/// are materialized once per distinct node, on first occurrence, in exactly
+/// the format of the string-keyed [`GraphBuilder`].
+#[derive(Debug)]
+struct InternedGraphBuilder {
+    graph: CanonicalGraph,
+    index: HashMap<NodeKey, usize>,
+    mode: GraphMode,
+}
+
+impl InternedGraphBuilder {
+    fn new(mode: GraphMode) -> InternedGraphBuilder {
+        InternedGraphBuilder {
+            graph: CanonicalGraph::default(),
+            index: HashMap::new(),
+            mode,
+        }
+    }
+
+    fn node_of(
+        &mut self,
+        term: &Term,
+        uf: &mut SymbolUnionFind,
+        interner: &mut Interner,
+    ) -> Option<usize> {
+        let key = match term {
+            Term::Var(v) => NodeKey::Var(uf.find(interner.intern(v))),
+            Term::BlankNode(b) => NodeKey::Blank(interner.intern(b)),
+            Term::Iri(i) => {
+                if self.mode == GraphMode::VariablesOnly {
+                    return None;
+                }
+                NodeKey::Iri(interner.intern(i))
+            }
+            Term::Literal {
+                lexical,
+                datatype,
+                lang,
+            } => {
+                if self.mode == GraphMode::VariablesOnly {
+                    return None;
+                }
+                NodeKey::Literal(
+                    interner.intern(lexical),
+                    datatype.as_deref().map(|d| interner.intern(d)),
+                    lang.as_deref().map(|l| interner.intern(l)),
+                )
+            }
+        };
+        Some(match self.index.get(&key) {
+            Some(&node) => node,
+            None => {
+                // First occurrence: render the label exactly as the
+                // string-keyed builder would have.
+                let label = match key {
+                    NodeKey::Var(root) => format!("?{}", interner.resolve(root)),
+                    NodeKey::Blank(b) => format!("_:{}", interner.resolve(b)),
+                    NodeKey::Iri(_) | NodeKey::Literal(..) => term.to_string(),
+                };
+                let node = self.graph.labels.len();
+                self.graph.labels.push(label);
+                self.graph.adj.push(BTreeSet::new());
+                self.index.insert(key, node);
+                node
+            }
+        })
+    }
+
+    fn add_triple(&mut self, t: &TriplePattern, uf: &mut SymbolUnionFind, interner: &mut Interner) {
+        let s = self.node_of(&t.subject, uf, interner);
+        let o = self.node_of(&t.object, uf, interner);
+        let graph = &mut self.graph;
+        match (s, o) {
+            (Some(a), Some(b)) if a == b => graph.self_loops += 1,
+            (Some(a), Some(b)) => {
+                if graph.adj[a].contains(&b) {
+                    graph.parallel_edges += 1;
+                } else {
+                    graph.adj[a].insert(b);
+                    graph.adj[b].insert(a);
+                }
+            }
+            (Some(_), None) | (None, Some(_)) => graph.self_loops += 1,
+            (None, None) => graph.skipped_triples += 1,
+        }
+    }
+}
+
+/// A union-find over interned variable symbols — the integer-ops counterpart
+/// of [`UnionFind`], with the same root-selection order (`union(a, b)` keeps
+/// `a`'s root), so the collapsed labels match the string path exactly.
+#[derive(Debug, Default)]
+struct SymbolUnionFind {
+    parent: HashMap<Symbol, Symbol>,
+}
+
+impl SymbolUnionFind {
+    fn find(&mut self, key: Symbol) -> Symbol {
+        let parent = match self.parent.get(&key) {
+            None => return key,
+            Some(&p) => p,
+        };
+        if parent == key {
+            return parent;
+        }
+        let root = self.find(parent);
+        self.parent.insert(key, root);
+        root
+    }
+
+    fn union(&mut self, a: Symbol, b: Symbol) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(rb, ra);
+        }
+    }
+}
+
 /// A tiny union-find over string keys used for `?x = ?y` collapsing.
 #[derive(Debug, Default)]
 struct UnionFind {
@@ -423,6 +591,74 @@ mod tests {
         assert_eq!(sub.node_count(), 2);
         assert_eq!(sub.edge_count(), 1);
         assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn interned_construction_matches_string_construction() {
+        let lit = TriplePattern::new(
+            Term::var("x"),
+            Term::iri("http://p"),
+            Term::Literal {
+                lexical: "v".to_string(),
+                datatype: Some("http://dt".to_string()),
+                lang: None,
+            },
+        );
+        type Case = (Vec<TriplePattern>, Vec<(String, String)>);
+        let cases: Vec<Case> = vec![
+            (
+                vec![
+                    t("?a", "p", "?b"),
+                    t("?b", "p", "?c"),
+                    t("?c", "p", "?d"),
+                    t("?d", "p", "?a"),
+                ],
+                vec![],
+            ),
+            (
+                vec![t("?x", "p", "?y"), t("?z", "q", "?w")],
+                vec![("y".to_string(), "z".to_string())],
+            ),
+            (
+                vec![t("?x", "p", "c1"), t("?x", "q", "c2"), t("?x", "r", "?x")],
+                vec![],
+            ),
+            (
+                vec![
+                    TriplePattern::new(
+                        Term::BlankNode("b".to_string()),
+                        Term::iri("http://p"),
+                        Term::var("x"),
+                    ),
+                    lit,
+                ],
+                vec![],
+            ),
+        ];
+        let mut interner = Interner::new();
+        for (triples, equalities) in cases {
+            let refs: Vec<&TriplePattern> = triples.iter().collect();
+            let reference = CanonicalGraph::from_triples_both(&refs, &equalities).unwrap();
+            // The interner is reused across cases, as an analysis worker
+            // reuses it across queries.
+            let interned =
+                CanonicalGraph::from_triples_both_interned(&refs, &equalities, &mut interner)
+                    .unwrap();
+            assert_eq!(reference, interned);
+        }
+        assert!(interner.stats().hits > 0);
+    }
+
+    #[test]
+    fn interned_construction_rejects_variable_predicates() {
+        let triples = [TriplePattern::new(
+            Term::var("x"),
+            Term::var("p"),
+            Term::var("y"),
+        )];
+        let refs: Vec<&TriplePattern> = triples.iter().collect();
+        let mut interner = Interner::new();
+        assert!(CanonicalGraph::from_triples_both_interned(&refs, &[], &mut interner).is_none());
     }
 
     #[test]

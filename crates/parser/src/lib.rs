@@ -15,6 +15,9 @@
 //!   [`to_canonical_string`], used for duplicate elimination and streak
 //!   similarity, plus the zero-materialization [`CanonicalHasher`] /
 //!   [`canonical_fingerprint_of`] used by the streaming corpus pipeline.
+//! * [`intern`] — the per-worker term [`Interner`] mapping IRIs, prefixed
+//!   names and variables to dense `u32` [`Symbol`]s, so the analysis passes
+//!   hash and compare integers instead of strings.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@
 pub mod ast;
 pub mod display;
 pub mod error;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod token;
@@ -50,4 +54,5 @@ pub use display::{
     canonical_fingerprint, canonical_fingerprint_of, to_canonical_string, CanonicalHasher,
 };
 pub use error::ParseError;
+pub use intern::{InternStats, Interner, Symbol};
 pub use parser::parse_query;

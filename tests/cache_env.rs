@@ -1,0 +1,51 @@
+//! The `SPARQLOG_ANALYSIS_CACHE` environment override honored by
+//! `EngineOptions` (same pattern as `SPARQLOG_WORKERS`): `0` / `false` /
+//! `off` / `no` disable the fingerprint-keyed analysis cache for
+//! differential runs; anything else — including unset — leaves it on. Kept
+//! in its own integration-test binary (and a single `#[test]`) because
+//! environment mutation is process-global.
+
+use sparqlog::core::analysis::{CachePolicy, CorpusAnalysis, EngineOptions, Population};
+use sparqlog::core::corpus::{ingest_all, RawLog};
+use sparqlog::core::report::full_report;
+
+#[test]
+fn cache_env_override_toggles_the_cache_without_changing_reports() {
+    // Explicit policies ignore the environment entirely.
+    std::env::set_var("SPARQLOG_ANALYSIS_CACHE", "0");
+    assert!(CachePolicy::Enabled.enabled());
+    assert!(!CachePolicy::Disabled.enabled());
+
+    // Auto follows the variable: disabling spellings, then everything else.
+    for off in ["0", "false", "OFF", " no "] {
+        std::env::set_var("SPARQLOG_ANALYSIS_CACHE", off);
+        assert!(!CachePolicy::Auto.enabled(), "{off:?} must disable");
+    }
+    for on in ["1", "true", "yes", "anything"] {
+        std::env::set_var("SPARQLOG_ANALYSIS_CACHE", on);
+        assert!(CachePolicy::Auto.enabled(), "{on:?} must enable");
+    }
+    std::env::remove_var("SPARQLOG_ANALYSIS_CACHE");
+    assert!(CachePolicy::Auto.enabled(), "unset must enable");
+
+    // The toggle switches the engine's work profile (hit counters appear and
+    // disappear) but never the report.
+    let mut entries = Vec::new();
+    for round in 0..3 {
+        for i in 0..40 {
+            let _ = round;
+            entries.push(format!("SELECT ?x WHERE {{ ?x <http://p{i}> ?y }}"));
+        }
+    }
+    let logs = ingest_all(&[RawLog::new("env", entries)]);
+    std::env::set_var("SPARQLOG_ANALYSIS_CACHE", "1");
+    let (cached, cached_stats) =
+        CorpusAnalysis::analyze_stats(&logs, Population::Valid, EngineOptions::default());
+    assert!(cached_stats.cache.expect("cache on").hits > 0);
+    std::env::set_var("SPARQLOG_ANALYSIS_CACHE", "0");
+    let (uncached, uncached_stats) =
+        CorpusAnalysis::analyze_stats(&logs, Population::Valid, EngineOptions::default());
+    assert!(uncached_stats.cache.is_none());
+    assert_eq!(full_report(&cached), full_report(&uncached));
+    std::env::remove_var("SPARQLOG_ANALYSIS_CACHE");
+}

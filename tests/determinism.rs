@@ -33,7 +33,8 @@ fn analysis_is_identical_across_worker_counts_and_chunk_schedules() {
                 population,
                 EngineOptions {
                     workers: 1,
-                    chunk_size: 0
+                    chunk_size: 0,
+                    ..EngineOptions::default()
                 },
             )
         );
@@ -49,6 +50,7 @@ fn analysis_is_identical_across_worker_counts_and_chunk_schedules() {
                     EngineOptions {
                         workers,
                         chunk_size,
+                        ..EngineOptions::default()
                     },
                 );
                 assert_eq!(
@@ -67,6 +69,7 @@ fn analysis_is_identical_across_worker_counts_and_chunk_schedules() {
                 EngineOptions {
                     workers: 8,
                     chunk_size: 2,
+                    ..EngineOptions::default()
                 },
             );
             assert_eq!(reference, format!("{run:?}"));

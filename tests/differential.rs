@@ -107,6 +107,7 @@ fn corpus_analysis_is_byte_identical_to_the_multiwalk_path() {
             EngineOptions {
                 workers: 4,
                 chunk_size: 3,
+                ..EngineOptions::default()
             },
         );
         assert_eq!(format!("{reference:?}"), format!("{parallel:?}"));

@@ -140,6 +140,42 @@ fn file_reader_streams_a_log_from_disk() {
 }
 
 #[test]
+fn file_reader_size_hint_estimates_from_metadata() {
+    // A file-backed reader must report a metadata-based entry estimate so
+    // the ingestion pool can clamp its worker count (a tiny log should not
+    // spawn a full pool), and the estimate must shrink as lines are read.
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(dir).unwrap();
+    let path = dir.join("streaming_size_hint.log");
+    let line = "SELECT ?x WHERE { ?x a <http://C> }\n";
+    std::fs::write(&path, line.repeat(100)).unwrap();
+    let mut reader = FileLogReader::open("disk", &path).unwrap();
+    let hint = reader.size_hint().expect("file readers must hint");
+    // bytes / 128-byte average, rounded up: in the right order of magnitude
+    // for 100 x 36-byte lines, and never zero for a non-empty file.
+    assert_eq!(hint, (line.len() * 100).div_ceil(128));
+    let mut batch = Vec::new();
+    reader.read_batch(&mut batch, 10).unwrap();
+    let after = reader.size_hint().expect("hint persists while reading");
+    assert_eq!(after, hint.saturating_sub(10));
+
+    // An empty file hints zero entries; in-memory line readers still
+    // decline to guess.
+    let empty = dir.join("streaming_size_hint_empty.log");
+    std::fs::write(&empty, "").unwrap();
+    assert_eq!(
+        FileLogReader::open("disk", &empty).unwrap().size_hint(),
+        Some(0)
+    );
+    assert_eq!(
+        LineLogReader::new("mem", Cursor::new(b"x\n".to_vec())).size_hint(),
+        None
+    );
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&empty).ok();
+}
+
+#[test]
 fn shard_boundary_duplicates_are_eliminated() {
     // Duplicates must collapse regardless of shard count and batch size:
     // equal fingerprints always land in the same shard, and batch boundaries

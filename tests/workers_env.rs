@@ -34,6 +34,7 @@ fn workers_env_override_pins_the_pools_without_changing_reports() {
             EngineOptions {
                 workers: 1,
                 chunk_size: 0,
+                ..EngineOptions::default()
             },
         )
     );
