@@ -259,6 +259,20 @@ impl FragmentTally {
         self.wide_interface += other.wide_interface;
     }
 
+    /// Multiplies every counter by `times`: a tally built from one
+    /// [`FragmentTally::add`] and then scaled equals `times` repeated adds of
+    /// the same report. Used by the fused engine's occurrence-weighted fold.
+    pub fn scale(&mut self, times: u64) {
+        self.select_ask *= times;
+        self.aof *= times;
+        self.cq *= times;
+        self.cqf *= times;
+        self.well_designed *= times;
+        self.cqof *= times;
+        self.aof_var_predicate *= times;
+        self.wide_interface *= times;
+    }
+
     /// Share of AOF patterns among SELECT/ASK queries.
     pub fn aof_share(&self) -> f64 {
         self.aof as f64 / self.select_ask.max(1) as f64

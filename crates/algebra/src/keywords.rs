@@ -181,6 +181,44 @@ impl KeywordTally {
         self.property_path += other.property_path;
     }
 
+    /// Multiplies every counter by `times`, so that a tally built from one
+    /// [`KeywordTally::add`] and then scaled equals `times` repeated adds of
+    /// the same features. This is the occurrence-weighted fold used by the
+    /// fused streaming engine, which records each distinct canonical form
+    /// once together with its occurrence count.
+    pub fn scale(&mut self, times: u64) {
+        self.total_queries *= times;
+        self.select *= times;
+        self.ask *= times;
+        self.describe *= times;
+        self.construct *= times;
+        self.distinct *= times;
+        self.limit *= times;
+        self.offset *= times;
+        self.order_by *= times;
+        self.filter *= times;
+        self.and *= times;
+        self.union *= times;
+        self.opt *= times;
+        self.graph *= times;
+        self.not_exists *= times;
+        self.minus *= times;
+        self.exists *= times;
+        self.count *= times;
+        self.max *= times;
+        self.min *= times;
+        self.avg *= times;
+        self.sum *= times;
+        self.group_by *= times;
+        self.having *= times;
+        self.service *= times;
+        self.bind *= times;
+        self.values *= times;
+        self.reduced *= times;
+        self.subquery *= times;
+        self.property_path *= times;
+    }
+
     /// Returns the Table-2 rows as `(label, absolute count, relative share)`
     /// in the paper's order. The relative share is with respect to
     /// `total_queries` and expressed as a fraction in `[0, 1]`.

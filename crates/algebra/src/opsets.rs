@@ -194,6 +194,17 @@ impl OpSetTally {
         self.total += other.total;
     }
 
+    /// Multiplies every counter by `times`: a tally built from one
+    /// [`OpSetTally::add`] and then scaled equals `times` repeated adds of
+    /// the same class. Used by the fused engine's occurrence-weighted fold.
+    pub fn scale(&mut self, times: u64) {
+        for count in self.pure.values_mut() {
+            *count *= times;
+        }
+        self.other_features *= times;
+        self.total *= times;
+    }
+
     /// The number of queries whose body is a conjunctive pattern with filters
     /// (the "CPF subtotal" row of Table 3).
     pub fn cpf_subtotal(&self) -> u64 {

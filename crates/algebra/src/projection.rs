@@ -283,6 +283,20 @@ impl ProjectionTally {
         self.total += other.total;
     }
 
+    /// Multiplies every counter by `times`: a tally built from one
+    /// [`ProjectionTally::record`] and then scaled equals `times` repeated
+    /// records of the same classification. Used by the fused engine's
+    /// occurrence-weighted fold.
+    pub fn scale(&mut self, times: u64) {
+        self.select_yes *= times;
+        self.ask_yes *= times;
+        self.no *= times;
+        self.unknown *= times;
+        self.not_applicable *= times;
+        self.with_subqueries *= times;
+        self.total *= times;
+    }
+
     /// Lower bound on the share of queries using projection.
     pub fn projection_share_lower(&self) -> f64 {
         (self.select_yes + self.ask_yes) as f64 / self.total.max(1) as f64

@@ -61,6 +61,21 @@ impl TripleHistogram {
         self.max_triples = self.max_triples.max(other.max_triples);
     }
 
+    /// Multiplies every additive counter by `times` while leaving the
+    /// `max_triples` extremum untouched: a histogram built from one
+    /// [`TripleHistogram::add`] and then scaled equals `times` repeated adds
+    /// of the same features (the maximum is idempotent under repetition).
+    /// Used by the fused engine's occurrence-weighted fold.
+    pub fn scale(&mut self, times: u64) {
+        for bucket in &mut self.buckets {
+            *bucket *= times;
+        }
+        self.eleven_plus *= times;
+        self.select_ask_queries *= times;
+        self.all_queries *= times;
+        self.triple_sum *= times;
+    }
+
     /// The share of SELECT/ASK queries among all queries (the "S/A" row at the
     /// bottom of Figure 1), as a fraction in `[0, 1]`.
     pub fn select_ask_share(&self) -> f64 {

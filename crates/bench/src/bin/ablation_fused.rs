@@ -1,0 +1,247 @@
+//! Ablation: the fused ingest→analyze streaming engine against the staged
+//! ingest-then-analyze pipeline, on a duplicate-heavy synthetic corpus
+//! streamed from temp files.
+//!
+//! Both contenders read the same on-disk logs through [`FileLogReader`]s:
+//!
+//! * **staged** — `ingest_streams` materializes every valid query's AST in
+//!   `IngestedLog::valid_queries`, then `analyze_cached` folds the corpus
+//!   through the fingerprint-keyed cache (the PR-2/PR-3 production path,
+//!   now the differential baseline);
+//! * **fused** — `analyze_streams` analyses each batch as it parses:
+//!   duplicates fold occurrence-weighted, ASTs die inside their batch, and
+//!   the two phases share one worker pool.
+//!
+//! The binary prints the end-to-end speedup (target ≥ 1.3×), the
+//! peak-residency deltas from the counting allocator (build with
+//! `--features alloc-stats` for real numbers — the fused peak is bounded by
+//! in-flight batches + distinct analyses, not by corpus size), and **exits
+//! non-zero if the fused and staged corpus reports differ by a single byte
+//! on either population at 1, 2 or 8 workers**.
+
+use sparqlog_bench::{alloc_stats, banner, raw_corpus, stats_banner, HarnessOptions};
+use sparqlog_core::analysis::{CorpusAnalysis, EngineOptions, Population};
+use sparqlog_core::cache::AnalysisCache;
+use sparqlog_core::corpus::{
+    analyze_streams_cached, ingest_streams_with, FileLogReader, FusedAnalysis, FusedOptions,
+    LogReader, StreamOptions,
+};
+use sparqlog_core::report::full_report;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// How many times each log's entries are tiled into its temp file: every
+/// query occurs at least this many times, matching the duplication regime
+/// the source paper reports for real logs.
+const TILE: usize = 6;
+
+/// The measured runs per contender; the minimum wall-clock wins.
+const REPEATS: usize = 3;
+
+/// Writes the duplicate-heavy corpus to one temp log file per dataset and
+/// returns `(label, path)` pairs plus the total entry count.
+fn write_corpus(opts: &HarnessOptions, dir: &std::path::Path) -> (Vec<(String, PathBuf)>, u64) {
+    let mut files = Vec::new();
+    let mut total = 0u64;
+    for (index, log) in raw_corpus(opts).into_iter().enumerate() {
+        // Labels are display strings (may contain `/` or spaces); the file
+        // name only needs to be unique — the label rides in the reader.
+        let stem: String = log
+            .label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{index:02}-{stem}.log"));
+        let file = std::fs::File::create(&path).expect("create temp log file");
+        let mut writer = std::io::BufWriter::new(file);
+        for _ in 0..TILE {
+            for entry in &log.entries {
+                // Synthesized queries are single-line; keep the invariant
+                // explicit for one-entry-per-line streaming.
+                debug_assert!(!entry.contains('\n'));
+                writeln!(writer, "{entry}").expect("write temp log line");
+            }
+        }
+        writer.flush().expect("flush temp log");
+        total += (log.entries.len() * TILE) as u64;
+        files.push((log.label, path));
+    }
+    (files, total)
+}
+
+fn open_readers(files: &[(String, PathBuf)]) -> Vec<Box<dyn LogReader + 'static>> {
+    files
+        .iter()
+        .map(|(label, path)| {
+            Box::new(FileLogReader::open(label.clone(), path).expect("open temp log"))
+                as Box<dyn LogReader + 'static>
+        })
+        .collect()
+}
+
+/// One staged end-to-end run: stream-ingest from disk (ASTs retained), then
+/// analyse through a fresh fingerprint-keyed cache.
+fn run_staged(
+    files: &[(String, PathBuf)],
+    population: Population,
+    workers: usize,
+) -> CorpusAnalysis {
+    let logs = ingest_streams_with(
+        open_readers(files),
+        StreamOptions {
+            workers,
+            ..StreamOptions::default()
+        },
+    )
+    .expect("staged ingestion reads the temp files");
+    let cache = AnalysisCache::new();
+    let (analysis, _) = CorpusAnalysis::analyze_cached(
+        &logs,
+        population,
+        EngineOptions {
+            workers,
+            ..EngineOptions::default()
+        },
+        &cache,
+    );
+    analysis
+}
+
+/// One fused end-to-end run: parse, fingerprint, dedup and fold in a single
+/// pass over the same temp files.
+fn run_fused(files: &[(String, PathBuf)], population: Population, workers: usize) -> FusedAnalysis {
+    let cache = AnalysisCache::new();
+    analyze_streams_cached(
+        open_readers(files),
+        population,
+        FusedOptions {
+            workers,
+            ..FusedOptions::default()
+        },
+        &cache,
+    )
+    .expect("fused engine reads the temp files")
+}
+
+/// Times `run` over [`REPEATS`] cold runs; returns the last result, the
+/// minimum wall-clock and the peak live bytes above the pre-run baseline
+/// (0 without `alloc-stats`).
+fn measure<T>(mut run: impl FnMut() -> T) -> (T, f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut peak = 0u64;
+    let mut result = None;
+    for _ in 0..REPEATS {
+        alloc_stats::reset_peak();
+        let baseline = alloc_stats::snapshot().unwrap_or_default();
+        let start = Instant::now();
+        let out = run();
+        best = best.min(start.elapsed().as_secs_f64());
+        let after = alloc_stats::snapshot().unwrap_or_default();
+        peak = peak.max(after.peak_above(&baseline));
+        result = Some(out);
+    }
+    (result.expect("at least one repeat"), best, peak)
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("ablation: fused ingest→analyze streaming engine", &opts);
+
+    let dir = std::env::temp_dir().join(format!("sparqlog-fused-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp corpus dir");
+    let (files, total_entries) = write_corpus(&opts, &dir);
+
+    // -- Timed leg: end-to-end on the Valid ("all") population. -------------
+    let (staged_valid, staged_time, staged_peak) =
+        measure(|| run_staged(&files, Population::Valid, 0));
+    let (fused_valid, fused_time, fused_peak) = measure(|| run_fused(&files, Population::Valid, 0));
+    let counts = &fused_valid.corpus.combined.counts;
+    println!(
+        "corpus: {} entries on disk, {} valid, {} distinct canonical forms, \
+         mean occurrence rate {:.2}x",
+        total_entries,
+        counts.valid,
+        counts.unique,
+        counts.valid as f64 / counts.unique.max(1) as f64
+    );
+    println!(
+        "\n{:<52} {:>10} {:>14}",
+        "end-to-end ingest+analyze (Valid population)", "time", "entries/s"
+    );
+    println!(
+        "{:<52} {:>8.2}ms {:>14.0}",
+        "staged (materialize ASTs, then analyze)",
+        staged_time * 1e3,
+        total_entries as f64 / staged_time
+    );
+    println!(
+        "{:<52} {:>8.2}ms {:>14.0}",
+        "fused (analyze each batch as it parses)",
+        fused_time * 1e3,
+        total_entries as f64 / fused_time
+    );
+    let speedup = staged_time / fused_time;
+    println!(
+        "end-to-end speedup: {:.2}x (target >= 1.3x: {})\n",
+        speedup,
+        if speedup >= 1.3 { "PASS" } else { "MISS" }
+    );
+    println!("{}\n", stats_banner(&fused_valid.stats));
+
+    // -- Peak-residency leg. -------------------------------------------------
+    let fused_stats = &fused_valid.fused;
+    println!(
+        "fused residency: {} batches, peak {} raw entries in flight, {} distinct analyses kept",
+        fused_stats.batches, fused_stats.peak_inflight_entries, fused_stats.distinct_forms
+    );
+    if alloc_stats::enabled() {
+        println!(
+            "peak live bytes above baseline: staged {:.2} MiB, fused {:.2} MiB ({:.1}x less) — \
+             the fused peak is bounded by in-flight batches + distinct analyses, \
+             the staged peak by the whole corpus",
+            staged_peak as f64 / (1 << 20) as f64,
+            fused_peak as f64 / (1 << 20) as f64,
+            staged_peak as f64 / fused_peak.max(1) as f64
+        );
+    } else {
+        println!(
+            "peak live bytes: unavailable (rebuild with `--features alloc-stats` \
+             for allocator-measured residency)"
+        );
+    }
+
+    // -- Differential gate: byte-identical reports, both populations,
+    //    1/2/8 workers. -------------------------------------------------------
+    let mut diverged = false;
+    let staged_unique = run_staged(&files, Population::Unique, 0);
+    for (population, reference) in [
+        (Population::Valid, &staged_valid),
+        (Population::Unique, &staged_unique),
+    ] {
+        let reference_report = full_report(reference);
+        for workers in [1, 2, 8] {
+            let fused = run_fused(&files, population, workers);
+            if full_report(&fused.corpus) != reference_report {
+                eprintln!(
+                    "DIVERGENCE: fused report differs on {population:?} at {workers} workers"
+                );
+                diverged = true;
+            }
+        }
+    }
+    if full_report(&fused_valid.corpus) != full_report(&staged_valid) {
+        eprintln!("DIVERGENCE: timed fused run differs from the staged report");
+        diverged = true;
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    if diverged {
+        eprintln!("differential check: FAILED");
+        std::process::exit(1);
+    }
+    println!(
+        "\ndifferential check: OK — fused and staged corpus reports are byte-identical \
+         on both populations at 1/2/8 workers"
+    );
+}

@@ -12,12 +12,21 @@
 //! This library crate hosts the shared plumbing: command-line options and the
 //! corpus construction used by all harness binaries.
 
-#![forbid(unsafe_code)]
+// `forbid` everywhere except when the `alloc-stats` feature compiles the
+// counting global allocator in `alloc_stats` (a `GlobalAlloc` impl is
+// inherently unsafe); the rest of the crate stays `deny`-checked.
+#![cfg_attr(not(feature = "alloc-stats"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
-use sparqlog_core::analysis::{AnalysisStats, CorpusAnalysis, EngineOptions, Population};
+pub mod alloc_stats;
+
+use sparqlog_core::analysis::{
+    AnalysisStats, CachePolicy, CorpusAnalysis, EngineOptions, Population,
+};
 use sparqlog_core::corpus::{
-    ingest_all_materializing, ingest_streams, IngestedLog, LogReader, MemoryLogReader, RawLog,
+    analyze_streams, ingest_all_materializing, ingest_streams, IngestedLog, LogReader,
+    MemoryLogReader, RawLog,
 };
 use sparqlog_synth::{generate_corpus, CorpusConfig};
 
@@ -105,18 +114,22 @@ pub fn raw_corpus(opts: &HarnessOptions) -> Vec<RawLog> {
         .collect()
 }
 
-/// Generates the synthetic corpus and ingests it through the streaming path:
-/// the generated entries are moved into [`MemoryLogReader`]s and drained
-/// batch by batch, so the raw corpus is never duplicated and shrinks as
-/// ingestion progresses.
-pub fn build_corpus(opts: &HarnessOptions) -> Vec<IngestedLog> {
-    let readers: Vec<Box<dyn LogReader + 'static>> = raw_corpus(opts)
-        .into_iter()
+/// Wraps raw logs in [`MemoryLogReader`]s: the entries are moved into the
+/// readers and drained batch by batch, so the raw corpus is never duplicated
+/// and shrinks as the pipeline progresses.
+pub fn corpus_readers(raw: Vec<RawLog>) -> Vec<Box<dyn LogReader + 'static>> {
+    raw.into_iter()
         .map(|log| {
             Box::new(MemoryLogReader::new(log.label, log.entries)) as Box<dyn LogReader + 'static>
         })
-        .collect();
-    ingest_streams(readers).expect("in-memory ingestion cannot fail")
+        .collect()
+}
+
+/// Generates the synthetic corpus and ingests it through the staged
+/// streaming path (ASTs retained in [`IngestedLog::valid_queries`]) — the
+/// input of the staged analysis engine and the `ablation_*` baselines.
+pub fn build_corpus(opts: &HarnessOptions) -> Vec<IngestedLog> {
+    ingest_streams(corpus_readers(raw_corpus(opts))).expect("in-memory ingestion cannot fail")
 }
 
 /// Generates the synthetic corpus and ingests it through the materializing
@@ -127,16 +140,30 @@ pub fn build_corpus_materializing(opts: &HarnessOptions) -> Vec<IngestedLog> {
 }
 
 /// Generates, ingests and analyses the synthetic corpus in one call — the
-/// entry point shared by most harness binaries.
+/// entry point shared by most harness binaries. Runs on the **fused**
+/// ingest→analyze engine: each batch is analysed as it parses and no query
+/// AST outlives its batch (the staged path survives in [`build_corpus`] +
+/// [`CorpusAnalysis::analyze_stats`] as the differential baseline).
 pub fn analyzed_corpus(opts: &HarnessOptions) -> CorpusAnalysis {
     analyzed_corpus_stats(opts).0
 }
 
 /// [`analyzed_corpus`] returning the run's cache / interner counters too, so
 /// harness binaries can print the [`stats_banner`] under their headline.
+///
+/// The fused engine structurally requires its fingerprint-keyed memo table,
+/// so the documented `SPARQLOG_ANALYSIS_CACHE=0` differential toggle cannot
+/// disable caching *inside* it; instead it drops the whole harness back to
+/// the staged pipeline with the cache off — the uncached reference the
+/// toggle has always meant.
 pub fn analyzed_corpus_stats(opts: &HarnessOptions) -> (CorpusAnalysis, AnalysisStats) {
-    let logs = build_corpus(opts);
-    CorpusAnalysis::analyze_stats(&logs, opts.population(), EngineOptions::default())
+    if !CachePolicy::Auto.enabled() {
+        let logs = build_corpus(opts);
+        return CorpusAnalysis::analyze_stats(&logs, opts.population(), EngineOptions::default());
+    }
+    let fused = analyze_streams(corpus_readers(raw_corpus(opts)), opts.population())
+        .expect("in-memory streams cannot fail");
+    (fused.corpus, fused.stats)
 }
 
 /// Prints the standard harness banner describing the run.

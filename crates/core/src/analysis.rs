@@ -61,6 +61,19 @@ impl FragmentSizeHistogram {
         self.max_triples = self.max_triples.max(other.max_triples);
     }
 
+    /// Multiplies every additive counter by `times`, leaving the
+    /// `max_triples` extremum untouched (a maximum is idempotent under
+    /// repeated adds of the same value). Used by the fused engine's
+    /// occurrence-weighted fold.
+    pub fn scale(&mut self, times: u64) {
+        for bucket in &mut self.buckets {
+            *bucket *= times;
+        }
+        self.eleven_plus *= times;
+        self.one_triple *= times;
+        self.total *= times;
+    }
+
     /// The share of one-triple queries in the fragment.
     pub fn one_triple_share(&self) -> f64 {
         self.one_triple as f64 / self.total.max(1) as f64
@@ -117,6 +130,18 @@ impl HypertreeTally {
         self.over_100_nodes += other.over_100_nodes;
         self.max_nodes = self.max_nodes.max(other.max_nodes);
     }
+
+    /// Multiplies every additive counter by `times`, leaving the `max_nodes`
+    /// extremum untouched. Used by the fused engine's occurrence-weighted
+    /// fold.
+    pub fn scale(&mut self, times: u64) {
+        self.total *= times;
+        self.width1 *= times;
+        self.width2 *= times;
+        self.width3 *= times;
+        self.wider_or_unknown *= times;
+        self.over_100_nodes *= times;
+    }
 }
 
 /// The complete analysis of one dataset (or of the whole corpus, when
@@ -172,6 +197,55 @@ impl DatasetAnalysis {
     /// a fold loop are interned once.
     pub fn add_query_with(&mut self, query: &Query, interner: &mut Interner) {
         self.add(&QueryAnalysis::of_with(query, interner));
+    }
+
+    /// Folds an already-computed per-query analysis into the tallies `times`
+    /// times at once — the occurrence-weighted fold of the fused streaming
+    /// engine ([`crate::fused::analyze_streams`]), which records each
+    /// distinct canonical form together with its occurrence count instead of
+    /// re-folding the memoized record per occurrence.
+    ///
+    /// Exactly equivalent to calling [`DatasetAnalysis::add`] `times` times:
+    /// every tally is a combination of additive counters (which scale by
+    /// `times`) and extrema (which are idempotent under repeated adds of the
+    /// same record). `times == 0` is a no-op.
+    pub fn add_times(&mut self, qa: &QueryAnalysis, times: u64) {
+        match times {
+            0 => {}
+            1 => self.add(qa),
+            _ => {
+                let mut unit = DatasetAnalysis::default();
+                unit.add(qa);
+                unit.scale(times);
+                self.merge(&unit);
+            }
+        }
+    }
+
+    /// Multiplies every additive counter of every tally by `times`, leaving
+    /// extrema (`max_triples`, `max_nodes`, observed path-`k` ranges)
+    /// untouched. A `DatasetAnalysis` built from one [`DatasetAnalysis::add`]
+    /// and then scaled equals `times` repeated adds of the same record —
+    /// the building block of [`DatasetAnalysis::add_times`].
+    pub fn scale(&mut self, times: u64) {
+        self.counts.scale(times);
+        self.keywords.scale(times);
+        self.triples.scale(times);
+        self.opsets.scale(times);
+        self.projection.scale(times);
+        self.fragments.scale(times);
+        self.shapes_cq.scale(times);
+        self.shapes_cqf.scale(times);
+        self.shapes_cqof.scale(times);
+        self.sizes_cq.scale(times);
+        self.sizes_cqf.scale(times);
+        self.sizes_cqof.scale(times);
+        for count in self.cycle_lengths.values_mut() {
+            *count *= times;
+        }
+        self.hypertree.scale(times);
+        self.paths.scale(times);
+        self.single_edge_with_constants *= times;
     }
 
     /// Folds an already-computed per-query analysis into the tallies without
@@ -355,6 +429,83 @@ pub struct AnalysisStats {
     pub interner: InternStats,
 }
 
+/// Runs `fold` over `items` on a chunked, self-scheduling worker pool with
+/// per-worker dataset accumulators and per-worker `state` (a term interner
+/// for the staged engine, nothing for the fused engine's occurrence-weighted
+/// fold), returning every worker's `(accumulators, state)`. Every fold in
+/// this crate is commutative, so the schedule never changes the merged
+/// result.
+pub(crate) fn chunked_fold_pool<T: Sync, S: Send>(
+    items: &[T],
+    dataset_count: usize,
+    workers: usize,
+    chunk_size: usize,
+    new_state: impl Fn() -> S + Sync,
+    fold: impl Fn(&mut [DatasetAnalysis], &mut S, &T) + Sync,
+) -> Vec<(Vec<DatasetAnalysis>, S)> {
+    let fresh_accumulators = || -> Vec<DatasetAnalysis> {
+        (0..dataset_count)
+            .map(|_| DatasetAnalysis::default())
+            .collect()
+    };
+    let chunks: Vec<&[T]> = items.chunks(chunk_size.max(1)).collect();
+    let workers = workers.min(chunks.len()).max(1);
+    if workers == 1 {
+        let mut acc = fresh_accumulators();
+        let mut state = new_state();
+        for item in items {
+            fold(&mut acc, &mut state, item);
+        }
+        return vec![(acc, state)];
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut acc = fresh_accumulators();
+                    let mut state = new_state();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(chunk) = chunks.get(i) else { break };
+                        for item in *chunk {
+                            fold(&mut acc, &mut state, item);
+                        }
+                    }
+                    (acc, state)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold workers must not panic"))
+            .collect()
+    })
+}
+
+/// Merges per-worker accumulators into per-dataset headers (label and
+/// counts already set) and builds the corpus-level "Total" row — the
+/// deterministic tail shared by the staged and fused engines (all tallies
+/// are commutative sums / maxima).
+pub(crate) fn merge_into_corpus(
+    mut datasets: Vec<DatasetAnalysis>,
+    accumulators: &[Vec<DatasetAnalysis>],
+) -> CorpusAnalysis {
+    for acc in accumulators {
+        for (dataset, partial) in datasets.iter_mut().zip(acc) {
+            dataset.merge(partial);
+        }
+    }
+    let mut combined = DatasetAnalysis {
+        label: "Total".to_string(),
+        ..DatasetAnalysis::default()
+    };
+    for dataset in &datasets {
+        combined.merge(dataset);
+    }
+    CorpusAnalysis { datasets, combined }
+}
+
 impl CorpusAnalysis {
     /// Analyses a set of ingested logs over the chosen population, using all
     /// available cores.
@@ -444,63 +595,24 @@ impl CorpusAnalysis {
         }
         let workers = options.resolve_workers().max(1);
         let chunk_size = options.resolve_chunk_size(work.len(), workers);
-        let chunks: Vec<&[(usize, u128, &Query)]> = work.chunks(chunk_size.max(1)).collect();
-        let workers = workers.min(chunks.len()).max(1);
-
-        let fold = |acc: &mut [DatasetAnalysis],
-                    interner: &mut Interner,
-                    d: usize,
-                    fp: u128,
-                    q: &Query| match cache {
-            Some(cache) => {
-                let qa = cache.get_or_insert_with(fp, || QueryAnalysis::of_with(q, interner));
-                acc[d].add(&qa);
-            }
-            None => acc[d].add(&QueryAnalysis::of_with(q, interner)),
-        };
-
-        type WorkerResult = (Vec<DatasetAnalysis>, InternStats);
-        let accumulators: Vec<WorkerResult> = if workers == 1 {
-            let mut acc: Vec<DatasetAnalysis> = (0..logs.len())
-                .map(|_| DatasetAnalysis::default())
-                .collect();
-            let mut interner = Interner::new();
-            for &(d, fp, q) in &work {
-                fold(&mut acc, &mut interner, d, fp, q);
-            }
-            vec![(acc, interner.stats())]
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let dataset_count = logs.len();
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut acc: Vec<DatasetAnalysis> = (0..dataset_count)
-                                .map(|_| DatasetAnalysis::default())
-                                .collect();
-                            let mut interner = Interner::new();
-                            loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                let Some(chunk) = chunks.get(i) else { break };
-                                for &(d, fp, q) in *chunk {
-                                    fold(&mut acc, &mut interner, d, fp, q);
-                                }
-                            }
-                            (acc, interner.stats())
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("analysis workers must not panic"))
-                    .collect()
-            })
-        };
+        let results = chunked_fold_pool(
+            &work,
+            logs.len(),
+            workers,
+            chunk_size,
+            Interner::new,
+            |acc, interner, &(d, fp, q)| match cache {
+                Some(cache) => {
+                    let qa = cache.get_or_insert_with(fp, || QueryAnalysis::of_with(q, interner));
+                    acc[d].add(&qa);
+                }
+                None => acc[d].add(&QueryAnalysis::of_with(q, interner)),
+            },
+        );
 
         // Deterministic merge: per-dataset headers first, then every worker's
-        // accumulator (all tallies are commutative sums / maxima).
-        let mut datasets: Vec<DatasetAnalysis> = logs
+        // accumulator.
+        let datasets: Vec<DatasetAnalysis> = logs
             .iter()
             .map(|log| DatasetAnalysis {
                 label: log.label.clone(),
@@ -508,25 +620,19 @@ impl CorpusAnalysis {
                 ..DatasetAnalysis::default()
             })
             .collect();
-        let mut stats = AnalysisStats {
-            cache: None,
-            interner: InternStats::default(),
+        let mut interner_stats = InternStats::default();
+        let accumulators: Vec<Vec<DatasetAnalysis>> = results
+            .into_iter()
+            .map(|(acc, interner)| {
+                interner_stats.merge(&interner.stats());
+                acc
+            })
+            .collect();
+        let stats = AnalysisStats {
+            cache: cache.map(AnalysisCache::stats),
+            interner: interner_stats,
         };
-        for (acc, interner_stats) in &accumulators {
-            for (dataset, partial) in datasets.iter_mut().zip(acc) {
-                dataset.merge(partial);
-            }
-            stats.interner.merge(interner_stats);
-        }
-        stats.cache = cache.map(AnalysisCache::stats);
-        let mut combined = DatasetAnalysis {
-            label: "Total".to_string(),
-            ..DatasetAnalysis::default()
-        };
-        for d in &datasets {
-            combined.merge(d);
-        }
-        (CorpusAnalysis { datasets, combined }, stats)
+        (merge_into_corpus(datasets, &accumulators), stats)
     }
 }
 

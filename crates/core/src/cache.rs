@@ -167,6 +167,23 @@ impl AnalysisCache {
         Arc::clone(map.entry(fingerprint).or_insert(computed))
     }
 
+    /// Records `occurrences` additional cache hits that were served without
+    /// touching the shared table at all.
+    ///
+    /// The fused streaming engine ([`crate::fused`]) folds duplicates
+    /// occurrence-weighted: workers count occurrences in lock-free local
+    /// maps and consult the shared cache only once per distinct form per
+    /// worker, so the hit/miss counters alone would no longer reflect the
+    /// corpus duplication rate the way the staged engine's per-occurrence
+    /// lookups do. Crediting the locally absorbed occurrences here keeps
+    /// `hits + misses ==` total valid-occurrence lookups — the invariant
+    /// the observability tests and harness banners rely on.
+    pub fn record_reused(&self, occurrences: u64) {
+        self.shards[0]
+            .hits
+            .fetch_add(occurrences, Ordering::Relaxed);
+    }
+
     /// The memoized analysis for a fingerprint, if present. Does not count as
     /// a hit or a miss.
     pub fn get(&self, fingerprint: u128) -> Option<Arc<QueryAnalysis>> {

@@ -17,6 +17,14 @@
 //! materializing path survives as [`ingest`] / [`ingest_all_materializing`]:
 //! it is the reference the differential tests and the `ablation_streaming`
 //! harness compare against, byte for byte.
+//!
+//! Production corpus analysis should prefer the **fused** engine
+//! ([`analyze_streams`], defined in [`crate::fused`] and re-exported here):
+//! it runs the same readers and fingerprints but analyses each batch as it
+//! parses, so no AST outlives its batch and the `IngestedLog` materialized
+//! by this module's two-phase path is never built. The staged path remains
+//! the differential baseline and the API for callers who need the parsed
+//! queries themselves.
 
 use serde::{Deserialize, Serialize};
 use sparqlog_parser::{canonical_fingerprint_of, parse_query, to_canonical_string, Query};
@@ -27,6 +35,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 pub use sparqlog_parser::{canonical_fingerprint, CanonicalHasher};
+
+// The fused ingest→analyze engine lives in [`crate::fused`] but is re-exported
+// here: it is the streaming successor of `ingest_streams` + `analyze_cached`
+// and shares this module's readers, batch source and fingerprints.
+pub use crate::fused::{
+    analyze_streams, analyze_streams_cached, analyze_streams_with, FusedAnalysis, FusedOptions,
+    FusedStats, LogSummary,
+};
 
 /// One raw log: a label (dataset name) and its entries in log order.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,6 +84,16 @@ impl CorpusCounts {
         self.valid += other.valid;
         self.unique += other.unique;
         self.bodyless += other.bodyless;
+    }
+
+    /// Multiplies every counter by `times` (the occurrence-weighted fold of
+    /// the fused engine; see
+    /// [`DatasetAnalysis::scale`](crate::analysis::DatasetAnalysis::scale)).
+    pub fn scale(&mut self, times: u64) {
+        self.total *= times;
+        self.valid *= times;
+        self.unique *= times;
+        self.bodyless *= times;
     }
 }
 
@@ -168,7 +194,7 @@ pub fn ingest(log: &RawLog) -> IngestedLog {
 
 /// Entries per parse chunk: large enough to amortize scheduling, small
 /// enough that a single large log spreads over every core.
-const INGEST_CHUNK: usize = 512;
+pub(crate) const INGEST_CHUNK: usize = 512;
 
 /// Parses several logs in parallel through the *materializing* path: chunked
 /// work-stealing parse, then a sequential per-log assembly that builds each
@@ -417,14 +443,48 @@ impl LogReader for SliceLogReader<'_> {
 /// result.
 const ESTIMATED_LINE_BYTES: u64 = 128;
 
+/// Returns the index of the first `\n` in `bytes`, scanning a machine word
+/// at a time (SWAR — the classic "has zero byte" bit trick over the
+/// XOR-masked word) instead of iterating per byte. `from_le_bytes` pins the
+/// lane order so `trailing_zeros` locates the *first* match on any
+/// endianness; lanes below the first match carry no borrow, so the reported
+/// position is exact even though higher lanes may raise false flags.
+fn find_newline(bytes: &[u8]) -> Option<usize> {
+    const LANES: usize = std::mem::size_of::<usize>();
+    const ONES: usize = usize::from_le_bytes([0x01; LANES]);
+    const HIGHS: usize = usize::from_le_bytes([0x80; LANES]);
+    const TARGET: usize = usize::from_le_bytes([b'\n'; LANES]);
+    let mut i = 0;
+    while i + LANES <= bytes.len() {
+        let chunk: [u8; LANES] = bytes[i..i + LANES]
+            .try_into()
+            .expect("chunk is exactly LANES bytes");
+        let word = usize::from_le_bytes(chunk) ^ TARGET;
+        let matches = word.wrapping_sub(ONES) & !word & HIGHS;
+        if matches != 0 {
+            return Some(i + matches.trailing_zeros() as usize / 8);
+        }
+        i += LANES;
+    }
+    bytes[i..].iter().position(|&b| b == b'\n').map(|p| i + p)
+}
+
 /// A [`LogReader`] over any buffered byte stream, one entry per line. Lines
 /// are terminated by `\n` or `\r\n` (the terminator is stripped); a final
 /// line without a trailing newline still counts as an entry, and an empty
 /// stream yields no entries.
+///
+/// Line boundaries are found by scanning the buffered bytes a machine word
+/// at a time (the SWAR `find_newline` search above) rather than per
+/// character; a line that straddles buffer refills accumulates in a carry
+/// buffer whose allocation is moved — not copied — into the produced entry.
 #[derive(Debug)]
 pub struct LineLogReader<R> {
     label: String,
     reader: R,
+    /// Bytes of a line whose terminator has not been seen yet (the line
+    /// straddles a buffer refill, or the stream ended without a newline).
+    pending: Vec<u8>,
     /// Estimated entries remaining, when the stream's total size is known up
     /// front (file-backed readers); decremented as lines are read.
     estimated_remaining: Option<usize>,
@@ -437,6 +497,7 @@ impl<R: BufRead + Send> LineLogReader<R> {
         LineLogReader {
             label: label.into(),
             reader,
+            pending: Vec::new(),
             estimated_remaining: None,
         }
     }
@@ -452,7 +513,57 @@ impl<R: BufRead + Send> LineLogReader<R> {
         LineLogReader {
             label: label.into(),
             reader,
+            pending: Vec::new(),
             estimated_remaining: Some(entries),
+        }
+    }
+
+    /// Converts raw line bytes (`\n` already excluded) into the entry
+    /// string. A trailing `\r` is stripped only when a `\n` terminator was
+    /// actually found — `BufRead::read_line` semantics: an unterminated
+    /// final line ending in `\r` keeps that byte. UTF-8 errors mirror
+    /// `read_line`'s too.
+    fn into_entry(mut line: Vec<u8>, newline_terminated: bool) -> io::Result<String> {
+        if newline_terminated && line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        String::from_utf8(line).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stream did not contain valid UTF-8",
+            )
+        })
+    }
+
+    /// Reads the next line, or `None` at end of stream.
+    fn next_line(&mut self) -> io::Result<Option<String>> {
+        loop {
+            let buffer = self.reader.fill_buf()?;
+            if buffer.is_empty() {
+                // End of stream: an unterminated final line is still an entry.
+                if self.pending.is_empty() {
+                    return Ok(None);
+                }
+                return Self::into_entry(std::mem::take(&mut self.pending), false).map(Some);
+            }
+            match find_newline(buffer) {
+                Some(position) => {
+                    let line = if self.pending.is_empty() {
+                        buffer[..position].to_vec()
+                    } else {
+                        let mut line = std::mem::take(&mut self.pending);
+                        line.extend_from_slice(&buffer[..position]);
+                        line
+                    };
+                    self.reader.consume(position + 1);
+                    return Self::into_entry(line, true).map(Some);
+                }
+                None => {
+                    self.pending.extend_from_slice(buffer);
+                    let consumed = buffer.len();
+                    self.reader.consume(consumed);
+                }
+            }
         }
     }
 }
@@ -465,16 +576,9 @@ impl<R: BufRead + Send> LogReader for LineLogReader<R> {
     fn read_batch(&mut self, batch: &mut Vec<String>, max: usize) -> io::Result<usize> {
         let mut appended = 0;
         while appended < max {
-            let mut line = String::new();
-            if self.reader.read_line(&mut line)? == 0 {
+            let Some(line) = self.next_line()? else {
                 break;
-            }
-            if line.ends_with('\n') {
-                line.pop();
-                if line.ends_with('\r') {
-                    line.pop();
-                }
-            }
+            };
             batch.push(line);
             appended += 1;
         }
@@ -776,20 +880,24 @@ type ParsedEntry = (Option<Query>, u128);
 type ParsedBatch = (usize, usize, Vec<ParsedEntry>);
 
 /// The shared batch dispenser: readers are drained one batch at a time under
-/// a short lock; parsing and fingerprinting happen outside it.
-struct BatchSource<'a> {
-    readers: Vec<Box<dyn LogReader + 'a>>,
-    current: usize,
-    sequence: usize,
-    totals: Vec<u64>,
-    batch_size: usize,
+/// a short lock; parsing and fingerprinting happen outside it. Shared with
+/// the fused streaming engine ([`crate::fused`]).
+pub(crate) struct BatchSource<'a> {
+    pub(crate) readers: Vec<Box<dyn LogReader + 'a>>,
+    pub(crate) current: usize,
+    pub(crate) sequence: usize,
+    pub(crate) totals: Vec<u64>,
+    pub(crate) batch_size: usize,
 }
 
 impl BatchSource<'_> {
     /// Fills `batch` with the next batch and returns its (log, sequence)
     /// tag, or `None` when every reader is exhausted. On I/O error the
     /// source marks itself exhausted so other workers drain out.
-    fn next_batch(&mut self, batch: &mut Vec<String>) -> io::Result<Option<(usize, usize)>> {
+    pub(crate) fn next_batch(
+        &mut self,
+        batch: &mut Vec<String>,
+    ) -> io::Result<Option<(usize, usize)>> {
         loop {
             if self.current >= self.readers.len() {
                 return Ok(None);
@@ -873,6 +981,27 @@ fn assemble_streamed(
     }
 }
 
+/// When every reader can say how much work remains, don't spawn more workers
+/// than there are batches (a 4-entry quickstart log on a 64-core machine
+/// needs one worker, not 64 no-op threads). Batches never span readers, so
+/// the batch count is the *per-reader* sum of ceilings — eight 100-entry
+/// logs are eight claimable batches, not one. Shared with the fused engine.
+pub(crate) fn clamp_workers(
+    readers: &[Box<dyn LogReader + '_>],
+    workers: usize,
+    batch_size: usize,
+) -> usize {
+    match readers
+        .iter()
+        .map(|r| r.size_hint())
+        .try_fold(0usize, |sum, hint| {
+            hint.map(|n| sum + n.div_ceil(batch_size))
+        }) {
+        Some(batches) => workers.min(batches.max(1)),
+        None => workers,
+    }
+}
+
 /// Streams every reader through the ingestion pipeline with default options.
 ///
 /// Equivalent to [`ingest`] on a fully materialized log, but raw entries live
@@ -888,21 +1017,8 @@ pub fn ingest_streams_with(
     readers: Vec<Box<dyn LogReader + '_>>,
     options: StreamOptions,
 ) -> io::Result<Vec<IngestedLog>> {
-    let (mut workers, batch_size, shard_count) = options.resolve();
-    // When every reader can say how much work remains, don't spawn more
-    // workers than there are batches (a 4-entry quickstart log on a 64-core
-    // machine needs one worker, not 64 no-op threads). Batches never span
-    // readers, so the batch count is the *per-reader* sum of ceilings —
-    // eight 100-entry logs are eight claimable batches, not one.
-    if let Some(batches) = readers
-        .iter()
-        .map(|r| r.size_hint())
-        .try_fold(0usize, |sum, hint| {
-            hint.map(|n| sum + n.div_ceil(batch_size))
-        })
-    {
-        workers = workers.min(batches.max(1));
-    }
+    let (workers, batch_size, shard_count) = options.resolve();
+    let workers = clamp_workers(&readers, workers, batch_size);
     let labels: Vec<String> = readers.iter().map(|r| r.label().to_string()).collect();
     let log_count = readers.len();
     let mut source = BatchSource {
@@ -1167,6 +1283,41 @@ mod tests {
             reference.iter().filter(|&&f| f).count(),
             reference_set.len()
         );
+    }
+
+    #[test]
+    fn find_newline_agrees_with_naive_search_at_every_offset() {
+        // Newlines at every position of a buffer spanning several machine
+        // words, including none at all and bytes ≥ 0x80 (the SWAR trick's
+        // borrow propagation must never mis-report the first match).
+        for len in 0..40 {
+            let mut bytes: Vec<u8> = (0..len).map(|i| 0x41 + (i as u8 % 26)).collect();
+            assert_eq!(find_newline(&bytes), None, "len {len}");
+            for position in 0..len {
+                let saved = bytes[position];
+                bytes[position] = b'\n';
+                if position > 0 {
+                    bytes[position - 1] = 0xC3; // non-ASCII noise before the hit
+                }
+                assert_eq!(find_newline(&bytes), Some(position), "len {len}");
+                bytes[position] = saved;
+                if position > 0 {
+                    bytes[position - 1] = 0x41 + ((position - 1) as u8 % 26);
+                }
+            }
+        }
+        // Two newlines: the first wins.
+        assert_eq!(find_newline(b"ab\ncd\nef"), Some(2));
+    }
+
+    #[test]
+    fn unterminated_final_line_keeps_a_trailing_carriage_return() {
+        // `read_line` semantics: `\r` is only part of a `\r\n` terminator;
+        // at end of stream with no `\n`, it is a data byte.
+        let mut reader = LineLogReader::new("t", io::Cursor::new(b"first\r\nlast\r".to_vec()));
+        let mut batch = Vec::new();
+        assert_eq!(reader.read_batch(&mut batch, 10).unwrap(), 2);
+        assert_eq!(batch, vec!["first".to_string(), "last\r".to_string()]);
     }
 
     #[test]

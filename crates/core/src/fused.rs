@@ -1,0 +1,593 @@
+//! The fused ingest→analyze streaming engine: each batch is analysed as it
+//! parses, and no query AST ever outlives its batch.
+//!
+//! The staged pipeline ([`ingest_streams`](crate::corpus::ingest_streams)
+//! followed by
+//! [`CorpusAnalysis::analyze_cached`](crate::analysis::CorpusAnalysis::analyze_cached))
+//! materializes every valid query's AST in
+//! [`IngestedLog::valid_queries`](crate::corpus::IngestedLog) before the
+//! analysis engine runs — a two-phase design whose peak memory is
+//! O(corpus) and whose parse pool idles during analysis (and vice versa).
+//! [`analyze_streams`] fuses the phases into one self-scheduling worker
+//! pool: workers pull batches from [`LogReader`]s, parse each entry,
+//! fingerprint its canonical form, and immediately resolve the occurrence
+//! against a lock-free per-worker occurrence map backed by the shared
+//! [`AnalysisCache`]:
+//!
+//! * a **first occurrence** is analysed on the spot (one
+//!   [`QueryAnalysis`] through the worker's term
+//!   [`Interner`](sparqlog_parser::intern)) and memoized under its
+//!   fingerprint — only the fingerprint and the analysis survive;
+//! * a **duplicate occurrence** bumps a per-worker occurrence counter and
+//!   its AST is dropped right there — it is never pushed into a
+//!   corpus-wide vec, never re-fingerprinted, never re-folded.
+//!
+//! After the stream drains, per-worker occurrence maps merge into per-log
+//! [`LogSummary`] records (Table-1 counts plus the distinct fingerprints
+//! with their occurrence counts — the shard-ready replacement for AST
+//! retention), and one **occurrence-weighted fold**
+//! ([`DatasetAnalysis::add_times`]) builds the corpus analysis: the Unique
+//! population folds each distinct fingerprint once per log, the Valid
+//! population folds it with its occurrence count. Peak residency is
+//! O(in-flight batches + distinct analyses) instead of O(corpus), each
+//! worker holds at most one AST at a time, and parse/analyze overlap
+//! recovers the wall-clock the staged pipeline wastes at its phase
+//! barrier.
+//!
+//! **Determinism and parity.** Every fold is a commutative sum or an
+//! idempotent extremum over exact integers, so reports are byte-identical
+//! for any worker count, batch size or schedule — and byte-identical to
+//! the staged pipeline's, which survives as the differential baseline
+//! (`tests/fused.rs`, the `ablation_fused` harness). The soundness of
+//! folding a memoized record for every occurrence is the cache-key
+//! argument of [`crate::cache`]: the fingerprint *is* the canonical form.
+//!
+//! ```
+//! use sparqlog_core::corpus::{analyze_streams, LogReader, MemoryLogReader};
+//! use sparqlog_core::{report, Population};
+//!
+//! let readers: Vec<Box<dyn LogReader>> = vec![Box::new(MemoryLogReader::new(
+//!     "example",
+//!     vec![
+//!         "SELECT ?x WHERE { ?x a <http://example.org/C> }".to_string(),
+//!         "SELECT   ?x WHERE { ?x a <http://example.org/C> }".to_string(), // duplicate
+//!         "ASK { ?x <http://example.org/p> ?y }".to_string(),
+//!         "not a query".to_string(),
+//!     ],
+//! ))];
+//! let fused = analyze_streams(readers, Population::Valid).expect("in-memory streams");
+//! assert_eq!(fused.summaries[0].counts.valid, 3);
+//! assert_eq!(fused.summaries[0].counts.unique, 2);
+//! assert_eq!(fused.corpus.combined.keywords.total_queries, 3);
+//! println!("{}", report::table1(&fused.corpus));
+//! ```
+
+use crate::analysis::{
+    chunked_fold_pool, merge_into_corpus, AnalysisStats, CorpusAnalysis, DatasetAnalysis,
+    Population,
+};
+use crate::cache::AnalysisCache;
+use crate::corpus::{
+    clamp_workers, default_workers, BatchSource, CorpusCounts, FingerprintBuildHasher, LogReader,
+    INGEST_CHUNK,
+};
+use crate::query_analysis::QueryAnalysis;
+use serde::{Deserialize, Serialize};
+use sparqlog_parser::intern::{InternStats, Interner};
+use sparqlog_parser::{canonical_fingerprint_of, parse_query};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Tuning knobs for the fused engine. The report never depends on them —
+/// only the schedule and the memory profile do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusedOptions {
+    /// Worker threads; `0` uses [`default_workers`] (which honours the
+    /// `SPARQLOG_WORKERS` environment override).
+    pub workers: usize,
+    /// Entries per batch pulled from a reader; `0` picks the default (512).
+    pub batch: usize,
+}
+
+impl FusedOptions {
+    fn resolve(&self) -> (usize, usize) {
+        (
+            if self.workers > 0 {
+                self.workers
+            } else {
+                default_workers()
+            },
+            if self.batch > 0 {
+                self.batch
+            } else {
+                INGEST_CHUNK
+            },
+        )
+    }
+}
+
+/// What the fused engine keeps per log instead of the ASTs: the Table-1
+/// counts and the distinct canonical fingerprints with their occurrence
+/// counts. Two summaries of the same log shards merge by summing matching
+/// fingerprints, which is what a future cross-process deployment combines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogSummary {
+    /// The dataset label.
+    pub label: String,
+    /// Table-1 counts (`unique` is the number of distinct fingerprints,
+    /// `valid` the sum of their occurrence counts).
+    pub counts: CorpusCounts,
+    /// `(fingerprint, occurrences)` for every distinct canonical form, in
+    /// ascending fingerprint order (deterministic for any schedule).
+    pub occurrences: Vec<(u128, u64)>,
+}
+
+impl LogSummary {
+    /// The occurrence count of a fingerprint, or 0 if the log never saw it.
+    pub fn occurrences_of(&self, fingerprint: u128) -> u64 {
+        self.occurrences
+            .binary_search_by_key(&fingerprint, |&(fp, _)| fp)
+            .map(|i| self.occurrences[i].1)
+            .unwrap_or(0)
+    }
+}
+
+/// Residency observability of one fused run — evidence for the
+/// O(in-flight + distinct) memory claim, printed by the `ablation_fused`
+/// harness. Never part of the corpus report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusedStats {
+    /// Batches pulled from the readers.
+    pub batches: u64,
+    /// The largest number of raw entries resident in worker batches at any
+    /// instant — the in-flight bound (≤ workers × batch size) that replaces
+    /// the staged pipeline's O(corpus) residency. Each worker additionally
+    /// holds at most **one** parsed AST at a time.
+    pub peak_inflight_entries: usize,
+    /// Distinct canonical forms seen by *this run's* streams (what survives
+    /// the stream) — not the size of the backing cache, which may carry
+    /// entries from other corpora when the caller shares it across runs.
+    pub distinct_forms: u64,
+}
+
+/// The result of a fused run: per-log summaries (counts + fingerprints),
+/// the corpus analysis over the requested population, and the run's
+/// cache/interner/residency counters.
+#[derive(Debug, Clone)]
+pub struct FusedAnalysis {
+    /// Per-log summaries, in reader order.
+    pub summaries: Vec<LogSummary>,
+    /// The corpus analysis (byte-identical to the staged pipeline's).
+    pub corpus: CorpusAnalysis,
+    /// Cache and interner counters of the run.
+    pub stats: AnalysisStats,
+    /// Residency counters of the run.
+    pub fused: FusedStats,
+}
+
+/// One worker's private state: lock-free per-log occurrence maps, the term
+/// interner threaded through every analysis, and the number of shared-cache
+/// consultations (first-local-occurrence lookups).
+struct FusedWorker {
+    counts: Vec<HashMap<u128, u64, FingerprintBuildHasher>>,
+    interner: Interner,
+    lookups: u64,
+}
+
+impl FusedWorker {
+    fn new(log_count: usize) -> FusedWorker {
+        FusedWorker {
+            counts: (0..log_count).map(|_| HashMap::default()).collect(),
+            interner: Interner::new(),
+            lookups: 0,
+        }
+    }
+
+    /// Parses, fingerprints and resolves one batch. Each valid entry's AST
+    /// lives exactly as long as this loop's iteration: a first occurrence is
+    /// analysed into the cache, a duplicate only bumps the local counter.
+    fn process_batch(&mut self, log_index: usize, batch: &[String], cache: &AnalysisCache) {
+        let map = &mut self.counts[log_index];
+        let interner = &mut self.interner;
+        for entry in batch {
+            let Ok(query) = parse_query(entry) else {
+                continue;
+            };
+            let fingerprint = canonical_fingerprint_of(&query);
+            let slot = map.entry(fingerprint).or_insert(0);
+            if *slot == 0 {
+                self.lookups += 1;
+                cache.get_or_insert_with(fingerprint, || QueryAnalysis::of_with(&query, interner));
+            }
+            *slot += 1;
+        }
+    }
+}
+
+/// Streams every reader through the fused ingest→analyze pipeline with
+/// default options and a run-scoped [`AnalysisCache`].
+///
+/// Equivalent to [`ingest_streams`](crate::corpus::ingest_streams) followed
+/// by [`CorpusAnalysis::analyze_cached`] — proven byte-identical by
+/// `tests/fused.rs` — but no AST survives its batch and the two phases
+/// share one worker pool.
+pub fn analyze_streams(
+    readers: Vec<Box<dyn LogReader + '_>>,
+    population: Population,
+) -> io::Result<FusedAnalysis> {
+    analyze_streams_with(readers, population, FusedOptions::default())
+}
+
+/// [`analyze_streams`] with explicit options. The output is identical for
+/// any worker count or batch size.
+pub fn analyze_streams_with(
+    readers: Vec<Box<dyn LogReader + '_>>,
+    population: Population,
+    options: FusedOptions,
+) -> io::Result<FusedAnalysis> {
+    let cache = AnalysisCache::new();
+    analyze_streams_cached(readers, population, options, &cache)
+}
+
+/// [`analyze_streams`] against a caller-owned [`AnalysisCache`]: analyses
+/// memoized by earlier runs — other logs, the other population — are
+/// reused, so switching populations over the same streams re-analyses
+/// nothing.
+pub fn analyze_streams_cached(
+    readers: Vec<Box<dyn LogReader + '_>>,
+    population: Population,
+    options: FusedOptions,
+    cache: &AnalysisCache,
+) -> io::Result<FusedAnalysis> {
+    let (workers, batch_size) = options.resolve();
+    let workers = clamp_workers(&readers, workers, batch_size).max(1);
+    let labels: Vec<String> = readers.iter().map(|r| r.label().to_string()).collect();
+    let log_count = readers.len();
+    let mut source = BatchSource {
+        readers,
+        current: 0,
+        sequence: 0,
+        totals: vec![0; log_count],
+        batch_size,
+    };
+
+    let batches = AtomicU64::new(0);
+    let inflight = AtomicUsize::new(0);
+    let peak_inflight = AtomicUsize::new(0);
+    let note_claimed = |entries: usize| {
+        batches.fetch_add(1, Ordering::Relaxed);
+        let now = inflight.fetch_add(entries, Ordering::Relaxed) + entries;
+        peak_inflight.fetch_max(now, Ordering::Relaxed);
+    };
+    let note_done = |entries: usize| {
+        inflight.fetch_sub(entries, Ordering::Relaxed);
+    };
+
+    let states: Vec<FusedWorker> = if workers == 1 {
+        let mut worker = FusedWorker::new(log_count);
+        let mut batch = Vec::new();
+        while let Some((log_index, _sequence)) = source.next_batch(&mut batch)? {
+            note_claimed(batch.len());
+            worker.process_batch(log_index, &batch, cache);
+            note_done(batch.len());
+            batch.clear();
+        }
+        vec![worker]
+    } else {
+        let source = Mutex::new(&mut source);
+        let failure: Mutex<Option<io::Error>> = Mutex::new(None);
+        let states = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut worker = FusedWorker::new(log_count);
+                        let mut batch = Vec::new();
+                        loop {
+                            batch.clear();
+                            let claimed = source
+                                .lock()
+                                .expect("fused workers must not panic")
+                                .next_batch(&mut batch);
+                            match claimed {
+                                Ok(Some((log_index, _sequence))) => {
+                                    note_claimed(batch.len());
+                                    worker.process_batch(log_index, &batch, cache);
+                                    note_done(batch.len());
+                                }
+                                Ok(None) => break,
+                                Err(error) => {
+                                    failure
+                                        .lock()
+                                        .expect("fused workers must not panic")
+                                        .get_or_insert(error);
+                                    break;
+                                }
+                            }
+                        }
+                        worker
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fused workers must not panic"))
+                .collect()
+        });
+        if let Some(error) = failure.into_inner().expect("no poisoned workers") {
+            return Err(error);
+        }
+        states
+    };
+
+    // Merge the per-worker occurrence maps per log, collect counters.
+    let mut merged: Vec<HashMap<u128, u64, FingerprintBuildHasher>> =
+        (0..log_count).map(|_| HashMap::default()).collect();
+    let mut interner_stats = InternStats::default();
+    let mut lookups = 0u64;
+    for state in states {
+        interner_stats.merge(&state.interner.stats());
+        lookups += state.lookups;
+        for (log_index, map) in state.counts.into_iter().enumerate() {
+            let target = &mut merged[log_index];
+            if target.is_empty() {
+                *target = map;
+            } else {
+                for (fingerprint, count) in map {
+                    *target.entry(fingerprint).or_insert(0) += count;
+                }
+            }
+        }
+    }
+
+    // Fetch each distinct record from the shared cache exactly once; the
+    // summary pass and the fold below then read this lock-free map. Its
+    // size is also this run's distinct-form count — correct even when a
+    // caller-owned cache carries entries from other corpora.
+    let mut records: HashMap<u128, Arc<QueryAnalysis>, FingerprintBuildHasher> = HashMap::default();
+    for map in &merged {
+        for &fingerprint in map.keys() {
+            records.entry(fingerprint).or_insert_with(|| {
+                cache
+                    .get(fingerprint)
+                    .expect("every streamed fingerprint is memoized")
+            });
+        }
+    }
+
+    // Per-log summaries: sorted occurrence lists make every downstream
+    // iteration deterministic; `bodyless` folds the memoized records'
+    // occurrence counts (body-ness is a function of the canonical form).
+    let mut summaries = Vec::with_capacity(log_count);
+    for (log_index, (label, map)) in labels.into_iter().zip(merged).enumerate() {
+        let mut occurrences: Vec<(u128, u64)> = map.into_iter().collect();
+        occurrences.sort_unstable_by_key(|&(fingerprint, _)| fingerprint);
+        let mut valid = 0u64;
+        let mut bodyless = 0u64;
+        for &(fingerprint, count) in &occurrences {
+            valid += count;
+            if !records[&fingerprint].features.has_body {
+                bodyless += count;
+            }
+        }
+        summaries.push(LogSummary {
+            label,
+            counts: CorpusCounts {
+                total: source.totals[log_index],
+                valid,
+                unique: occurrences.len() as u64,
+                bodyless,
+            },
+            occurrences,
+        });
+    }
+
+    // Duplicate occurrences were absorbed by the local maps without touching
+    // the shared cache; credit them so `hits + misses` still equals the
+    // number of valid occurrences, as in the staged engine.
+    let valid_total: u64 = summaries.iter().map(|s| s.counts.valid).sum();
+    cache.record_reused(valid_total - lookups);
+
+    let corpus = fold_populations(&summaries, population, &records, workers);
+    let stats = AnalysisStats {
+        cache: Some(cache.stats()),
+        interner: interner_stats,
+    };
+    let fused = FusedStats {
+        batches: batches.into_inner(),
+        peak_inflight_entries: peak_inflight.into_inner(),
+        distinct_forms: records.len() as u64,
+    };
+    Ok(FusedAnalysis {
+        summaries,
+        corpus,
+        stats,
+        fused,
+    })
+}
+
+/// The occurrence-weighted fold: each distinct fingerprint of each log folds
+/// its memoized analysis exactly once — with weight 1 on the Unique
+/// population ("distinct fingerprints") and with its occurrence count on the
+/// Valid population. O(distinct) tally work regardless of duplication,
+/// parallelised over the same chunked self-scheduling pattern as the staged
+/// engine; the weighted adds are exact integer sums, so any schedule yields
+/// the same bytes.
+fn fold_populations(
+    summaries: &[LogSummary],
+    population: Population,
+    records: &HashMap<u128, Arc<QueryAnalysis>, FingerprintBuildHasher>,
+    workers: usize,
+) -> CorpusAnalysis {
+    let items: Vec<(usize, u128, u64)> = summaries
+        .iter()
+        .enumerate()
+        .flat_map(|(log_index, summary)| {
+            summary
+                .occurrences
+                .iter()
+                .map(move |&(fingerprint, count)| (log_index, fingerprint, count))
+        })
+        .collect();
+    let chunk_size = (items.len() / (workers * 8).max(1)).clamp(16, 1024);
+    let results = chunked_fold_pool(
+        &items,
+        summaries.len(),
+        workers,
+        chunk_size,
+        || (),
+        |acc, (), &(log_index, fingerprint, count)| {
+            let weight = match population {
+                Population::Unique => 1,
+                Population::Valid => count,
+            };
+            acc[log_index].add_times(&records[&fingerprint], weight);
+        },
+    );
+
+    let datasets: Vec<DatasetAnalysis> = summaries
+        .iter()
+        .map(|summary| DatasetAnalysis {
+            label: summary.label.clone(),
+            counts: summary.counts,
+            ..DatasetAnalysis::default()
+        })
+        .collect();
+    let accumulators: Vec<Vec<DatasetAnalysis>> =
+        results.into_iter().map(|(acc, ())| acc).collect();
+    merge_into_corpus(datasets, &accumulators)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{ingest, MemoryLogReader, RawLog};
+    use crate::report::full_report;
+
+    fn readers_of(entries: &[&str]) -> Vec<Box<dyn LogReader + 'static>> {
+        vec![Box::new(MemoryLogReader::new(
+            "test",
+            entries.iter().map(|s| s.to_string()).collect(),
+        ))]
+    }
+
+    const ENTRIES: [&str; 6] = [
+        "SELECT ?x WHERE { ?x a <http://C> }",
+        "SELECT   ?x   WHERE { ?x a <http://C> }", // duplicate modulo whitespace
+        "not a sparql query at all",
+        "ASK { <http://s> <http://p> <http://o> }",
+        "DESCRIBE <http://r>",
+        "SELECT ?x WHERE { ?x a <http://C> }", // duplicate again
+    ];
+
+    #[test]
+    fn summary_counts_match_the_staged_ingest() {
+        let fused = analyze_streams(readers_of(&ENTRIES), Population::Unique).unwrap();
+        let staged = ingest(&RawLog::new(
+            "test",
+            ENTRIES.iter().map(|s| s.to_string()).collect(),
+        ));
+        assert_eq!(fused.summaries[0].counts, staged.counts);
+        let summary = &fused.summaries[0];
+        assert_eq!(summary.occurrences.len(), 3);
+        let total: u64 = summary.occurrences.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, summary.counts.valid);
+        assert!(summary
+            .occurrences
+            .windows(2)
+            .all(|pair| pair[0].0 < pair[1].0));
+        let (fp, count) = summary.occurrences[0];
+        assert_eq!(summary.occurrences_of(fp), count);
+        let absent = summary
+            .occurrences
+            .iter()
+            .map(|&(f, _)| f)
+            .max()
+            .expect("non-empty summary")
+            .wrapping_add(1);
+        assert_eq!(summary.occurrences_of(absent), 0);
+    }
+
+    #[test]
+    fn fused_reports_match_the_staged_pipeline_on_both_populations() {
+        for population in [Population::Unique, Population::Valid] {
+            let fused = analyze_streams(readers_of(&ENTRIES), population).unwrap();
+            let staged_logs = vec![ingest(&RawLog::new(
+                "test",
+                ENTRIES.iter().map(|s| s.to_string()).collect(),
+            ))];
+            let staged = CorpusAnalysis::analyze(&staged_logs, population);
+            assert_eq!(
+                full_report(&fused.corpus),
+                full_report(&staged),
+                "fused vs staged mismatch on {population:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_from_summaries_matches_the_analysis_rendering() {
+        let fused = analyze_streams(readers_of(&ENTRIES), Population::Unique).unwrap();
+        assert_eq!(
+            crate::report::table1_from_summaries(&fused.summaries),
+            crate::report::table1(&fused.corpus)
+        );
+    }
+
+    #[test]
+    fn occurrence_accounting_covers_every_valid_entry() {
+        let fused = analyze_streams(readers_of(&ENTRIES), Population::Valid).unwrap();
+        let cache_stats = fused.stats.cache.expect("fused runs always use a cache");
+        assert_eq!(cache_stats.hits + cache_stats.misses, 5);
+        assert_eq!(cache_stats.distinct, 3);
+        assert_eq!(fused.fused.distinct_forms, 3);
+        assert!(fused.fused.batches >= 1);
+        assert!(fused.fused.peak_inflight_entries >= ENTRIES.len().min(INGEST_CHUNK));
+    }
+
+    #[test]
+    fn distinct_forms_counts_this_run_not_the_shared_cache() {
+        let cache = AnalysisCache::new();
+        let first = analyze_streams_cached(
+            readers_of(&ENTRIES),
+            Population::Valid,
+            FusedOptions::default(),
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(first.fused.distinct_forms, 3);
+        // A second, smaller corpus on the same cache: its stats must count
+        // its own two distinct forms, not the cache's accumulated four.
+        let second = analyze_streams_cached(
+            readers_of(&["ASK { ?a <http://q> ?b }", "DESCRIBE <http://r>"]),
+            Population::Valid,
+            FusedOptions::default(),
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(second.fused.distinct_forms, 2);
+        assert_eq!(cache.len(), 4); // DESCRIBE <http://r> was already memoized
+    }
+
+    #[test]
+    fn tiny_batches_and_worker_counts_agree() {
+        let reference = analyze_streams(readers_of(&ENTRIES), Population::Valid).unwrap();
+        for workers in [1, 2, 8] {
+            for batch in [1, 2, 64] {
+                let fused = analyze_streams_with(
+                    readers_of(&ENTRIES),
+                    Population::Valid,
+                    FusedOptions { workers, batch },
+                )
+                .unwrap();
+                assert_eq!(
+                    full_report(&fused.corpus),
+                    full_report(&reference.corpus),
+                    "workers {workers}, batch {batch}"
+                );
+                assert_eq!(fused.summaries, reference.summaries);
+            }
+        }
+    }
+}

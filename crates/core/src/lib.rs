@@ -7,6 +7,11 @@
 //! * [`corpus`] — log ingestion: streaming [`corpus::LogReader`]s feeding a
 //!   parallel parse/fingerprint pool, validity accounting and sharded,
 //!   zero-materialization duplicate elimination (Table 1).
+//! * [`fused`] — the fused ingest→analyze engine
+//!   ([`fused::analyze_streams`]): each batch is analysed as it parses,
+//!   duplicates fold occurrence-weighted, and no query AST outlives its
+//!   batch — the production path; the staged pipeline below is its
+//!   differential baseline.
 //! * [`query_analysis`] — the single-pass per-query intermediate
 //!   ([`QueryAnalysis`]): one AST traversal and one canonical-graph
 //!   construction feed every measure.
@@ -39,6 +44,7 @@ pub mod analysis;
 pub mod baseline;
 pub mod cache;
 pub mod corpus;
+pub mod fused;
 pub mod query_analysis;
 pub mod report;
 
@@ -50,5 +56,9 @@ pub use corpus::{
     default_workers, ingest, ingest_all, ingest_all_materializing, ingest_streams,
     ingest_streams_with, CorpusCounts, FileLogReader, FingerprintShards, IngestedLog,
     LineLogReader, LogReader, MemoryLogReader, RawLog, SliceLogReader, StreamOptions,
+};
+pub use fused::{
+    analyze_streams, analyze_streams_cached, analyze_streams_with, FusedAnalysis, FusedOptions,
+    FusedStats, LogSummary,
 };
 pub use query_analysis::QueryAnalysis;

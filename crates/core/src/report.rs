@@ -13,24 +13,48 @@ fn pct(fraction: f64) -> String {
 
 /// Table 1: sizes of the query logs (Total / Valid / Unique per dataset).
 pub fn table1(corpus: &CorpusAnalysis) -> String {
+    table1_rows(
+        corpus.datasets.iter().map(|d| (d.label.as_str(), d.counts)),
+        corpus.combined.counts,
+    )
+}
+
+/// Table 1 rendered directly from the fused engine's per-log
+/// [`LogSummary`](crate::fused::LogSummary) records — byte-identical to
+/// [`table1`] over the corresponding analysis, for counts-only runs that
+/// never need the full fold.
+pub fn table1_from_summaries(summaries: &[crate::fused::LogSummary]) -> String {
+    let mut combined = crate::corpus::CorpusCounts::default();
+    for summary in summaries {
+        combined.merge(&summary.counts);
+    }
+    table1_rows(
+        summaries.iter().map(|s| (s.label.as_str(), s.counts)),
+        combined,
+    )
+}
+
+fn table1_rows<'a>(
+    rows: impl Iterator<Item = (&'a str, crate::corpus::CorpusCounts)>,
+    combined: crate::corpus::CorpusCounts,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<14} {:>12} {:>12} {:>12}",
         "Source", "Total #Q", "Valid #Q", "Unique #Q"
     );
-    for d in &corpus.datasets {
+    for (label, counts) in rows {
         let _ = writeln!(
             out,
             "{:<14} {:>12} {:>12} {:>12}",
-            d.label, d.counts.total, d.counts.valid, d.counts.unique
+            label, counts.total, counts.valid, counts.unique
         );
     }
-    let c = &corpus.combined.counts;
     let _ = writeln!(
         out,
         "{:<14} {:>12} {:>12} {:>12}",
-        "Total", c.total, c.valid, c.unique
+        "Total", combined.total, combined.valid, combined.unique
     );
     out
 }

@@ -320,6 +320,26 @@ impl ShapeTally {
         self.total += other.total;
     }
 
+    /// Multiplies every counter by `times`: a tally built from one
+    /// [`ShapeTally::add`] and then scaled equals `times` repeated adds of
+    /// the same shape/treewidth pair. Used by the fused engine's
+    /// occurrence-weighted fold.
+    pub fn scale(&mut self, times: u64) {
+        self.single_edge *= times;
+        self.chain *= times;
+        self.chain_set *= times;
+        self.star *= times;
+        self.tree *= times;
+        self.forest *= times;
+        self.cycle *= times;
+        self.flower *= times;
+        self.flower_set *= times;
+        self.treewidth_le2 *= times;
+        self.treewidth_3 *= times;
+        self.treewidth_ge4 *= times;
+        self.total *= times;
+    }
+
     /// The Table-4 rows as `(label, count, share)` in the paper's order.
     pub fn rows(&self) -> Vec<(&'static str, u64, f64)> {
         let total = self.total.max(1) as f64;

@@ -112,6 +112,22 @@ impl PathTally {
         }
     }
 
+    /// Multiplies every additive counter by `times` while leaving the
+    /// observed `k` ranges untouched: a tally built from one query's paths
+    /// and then scaled equals `times` repeated merges of the same per-query
+    /// tally (minima and maxima are idempotent under repetition). Used by
+    /// the fused engine's occurrence-weighted fold.
+    pub fn scale(&mut self, times: u64) {
+        self.total *= times;
+        self.negated_literal *= times;
+        self.inverse_literal *= times;
+        self.with_inverse *= times;
+        self.potentially_hard *= times;
+        for entry in self.by_type.values_mut() {
+            entry.count *= times;
+        }
+    }
+
     /// Number of navigational expressions (those entering Table 5).
     pub fn navigational(&self) -> u64 {
         self.by_type.values().map(|e| e.count).sum()

@@ -5,8 +5,8 @@
 //! Run with `cargo run --example quickstart`.
 
 use sparqlog::algebra::{classify_fragments, projection_use, QueryFeatures};
-use sparqlog::core::analysis::{CorpusAnalysis, Population};
-use sparqlog::core::corpus::{ingest_streams, LogReader, MemoryLogReader};
+use sparqlog::core::analysis::Population;
+use sparqlog::core::corpus::{analyze_streams, LogReader, MemoryLogReader};
 use sparqlog::graph::StructuralReport;
 use sparqlog::parser::{canonical_fingerprint_of, parse_query, to_canonical_string};
 
@@ -61,10 +61,12 @@ fn main() {
     println!("  treewidth: {:?}", report.treewidth);
     println!("  shortest cycle: {:?}", report.shortest_cycle);
 
-    // Corpus ingestion runs on the streaming path: a `LogReader` feeds
-    // entries batch by batch, each query is fingerprinted by hashing its
-    // canonical form without materializing the string, and duplicates are
-    // eliminated on fingerprint-range shards.
+    // Corpus analysis runs on the fused ingest→analyze engine: a `LogReader`
+    // feeds entries batch by batch, each query is fingerprinted by hashing
+    // its canonical form without materializing the string, a first
+    // occurrence is analysed on the spot and a duplicate's AST is dropped
+    // inside its batch — no AST outlives its batch, and the fold weights
+    // each distinct form by its occurrence count.
     let log = MemoryLogReader::new(
         "quickstart",
         vec![
@@ -75,8 +77,8 @@ fn main() {
         ],
     );
     let readers: Vec<Box<dyn LogReader>> = vec![Box::new(log)];
-    let ingested = ingest_streams(readers).expect("in-memory ingestion cannot fail");
-    let counts = ingested[0].counts;
+    let fused = analyze_streams(readers, Population::Unique).expect("in-memory streams");
+    let counts = fused.summaries[0].counts;
     println!(
         "\nstreamed a {}-entry log: {} valid, {} unique (fingerprint {:032x})",
         counts.total,
@@ -84,9 +86,10 @@ fn main() {
         counts.unique,
         canonical_fingerprint_of(&query)
     );
-    let corpus = CorpusAnalysis::analyze(&ingested, Population::Unique);
     println!(
-        "corpus-level keyword census: {} SELECT of {} queries",
-        corpus.combined.keywords.select, corpus.combined.keywords.total_queries
+        "corpus-level keyword census: {} SELECT of {} queries ({} distinct analyses kept)",
+        fused.corpus.combined.keywords.select,
+        fused.corpus.combined.keywords.total_queries,
+        fused.fused.distinct_forms
     );
 }

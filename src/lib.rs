@@ -31,34 +31,41 @@
 //! `vendor/README.md`), and `crates/bench` hosts one harness binary per
 //! table/figure of the paper plus criterion micro-benchmarks.
 //!
-//! # The streaming single-pass pipeline
+//! # The fused streaming pipeline
 //!
-//! The corpus pipeline touches each query's AST exactly once and never
-//! materializes what it can stream:
+//! The corpus pipeline touches each query's AST exactly once, never
+//! materializes what it can stream, and analyses each batch as it parses
+//! ([`core::fused`]):
 //!
-//! 1. [`core::corpus::ingest_streams`] pulls batches of raw entries from
+//! 1. [`core::corpus::analyze_streams`] pulls batches of raw entries from
 //!    [`core::corpus::LogReader`]s (in-memory or buffered line-oriented
-//!    files), parses them on a self-scheduling worker pool, and
-//!    deduplicates by hashing each query's canonical form into a 128-bit
+//!    files whose line boundaries are found a machine word at a time) and,
+//!    per entry, parses, hashes the canonical form into a 128-bit
 //!    fingerprint *without building the canonical string*
-//!    ([`parser::CanonicalHasher`]); duplicate elimination runs on
-//!    fingerprint-range shards merged commutatively.
-//!    [`core::corpus::ingest_all`] applies the same streaming semantics to
-//!    borrowed `&[RawLog]` input, parsing entries in place.
-//! 2. [`core::QueryAnalysis`] runs one [`algebra::QueryWalk`] per query —
-//!    one traversal feeding features, projection, property paths and the AOF
-//!    pattern tree — and one canonical-graph construction shared by the
-//!    shape, treewidth, girth and constants-excluded analyses.
-//! 3. [`core::CorpusAnalysis::analyze`] folds the per-query records into
-//!    per-dataset tallies on a work-stealing pool bounded by the available
-//!    cores; results are bit-identical for any worker count or chunk
-//!    schedule (see `tests/determinism.rs`).
+//!    ([`parser::CanonicalHasher`]) and resolves the occurrence against a
+//!    lock-free per-worker map: a first occurrence is analysed on the spot
+//!    and memoized in the [`core::cache::AnalysisCache`], a duplicate's AST
+//!    is dropped inside its batch — peak memory is O(in-flight batches +
+//!    distinct analyses), not O(corpus).
+//! 2. [`core::QueryAnalysis`] runs one [`algebra::QueryWalk`] per distinct
+//!    canonical form — one traversal feeding features, projection, property
+//!    paths and the AOF pattern tree — and one canonical-graph construction
+//!    shared by the shape, treewidth, girth and constants-excluded analyses.
+//! 3. The **occurrence-weighted fold**
+//!    ([`core::DatasetAnalysis::add_times`]) turns per-log
+//!    [`core::LogSummary`] records (counts + fingerprint/occurrence pairs)
+//!    into the corpus analysis: the Unique population folds each distinct
+//!    fingerprint once per log, the Valid population folds occurrence
+//!    counts. Results are bit-identical for any worker count or batch
+//!    schedule (see `tests/determinism.rs`, `tests/fused.rs`).
 //!
-//! The seed's multi-walk analysis path survives in [`core::baseline`] and
-//! the materializing ingest path as [`core::corpus::ingest`] /
-//! [`core::corpus::ingest_all_materializing`] — the references for the
-//! differential tests (`tests/differential.rs`, `tests/streaming.rs`) and
-//! the `single_pass` / `ablation_streaming` harnesses.
+//! The staged two-phase pipeline ([`core::corpus::ingest_streams`] then
+//! [`core::CorpusAnalysis::analyze`]) survives as the differential baseline
+//! and for callers who need the parsed ASTs; the seed's multi-walk analysis
+//! path survives in [`core::baseline`] and the materializing ingest path as
+//! [`core::corpus::ingest`] / [`core::corpus::ingest_all_materializing`] —
+//! the references for the differential tests (`tests/differential.rs`,
+//! `tests/streaming.rs`, `tests/fused.rs`) and the `ablation_*` harnesses.
 //!
 //! # Quickstart
 //!
@@ -66,8 +73,8 @@
 //!
 //! ```
 //! use sparqlog::algebra::QueryFeatures;
-//! use sparqlog::core::analysis::{CorpusAnalysis, Population};
-//! use sparqlog::core::corpus::{ingest_streams, LogReader, MemoryLogReader};
+//! use sparqlog::core::analysis::Population;
+//! use sparqlog::core::corpus::{analyze_streams, LogReader, MemoryLogReader};
 //! use sparqlog::core::report;
 //! use sparqlog::parser::parse_query;
 //!
@@ -79,10 +86,10 @@
 //! assert_eq!(feats.triple_patterns, 1);
 //! assert!(feats.uses_filter);
 //!
-//! // Corpus analysis: stream the logs through the ingestion pipeline
-//! // (incremental LogReader feed, parallel parse, zero-materialization
-//! // fingerprints, sharded dedup), then analyze and report. FileLogReader
-//! // streams `\n`-terminated logs straight from disk the same way.
+//! // Corpus analysis on the fused engine: each batch is parsed,
+//! // fingerprinted, deduplicated and folded in one pass — no AST outlives
+//! // its batch. FileLogReader streams `\n`-terminated logs straight from
+//! // disk the same way.
 //! let readers: Vec<Box<dyn LogReader>> = vec![Box::new(MemoryLogReader::new(
 //!     "example",
 //!     vec![
@@ -91,11 +98,11 @@
 //!         "not a query".to_string(),
 //!     ],
 //! ))];
-//! let logs = ingest_streams(readers).expect("in-memory ingestion cannot fail");
-//! let corpus = CorpusAnalysis::analyze(&logs, Population::Unique);
-//! assert_eq!(corpus.combined.counts.valid, 2);
-//! assert_eq!(corpus.combined.cycle_lengths.get(&3), Some(&1));
-//! println!("{}", report::table1(&corpus));
+//! let fused = analyze_streams(readers, Population::Unique).expect("in-memory streams");
+//! assert_eq!(fused.summaries[0].counts.valid, 2);
+//! assert_eq!(fused.corpus.combined.counts.valid, 2);
+//! assert_eq!(fused.corpus.combined.cycle_lengths.get(&3), Some(&1));
+//! println!("{}", report::table1(&fused.corpus));
 //! ```
 
 pub use sparqlog_algebra as algebra;
