@@ -81,6 +81,25 @@ impl OperatorSet {
         self.0 & !(Self::AND | Self::FILTER) == 0
     }
 
+    /// The raw flag bits of the set — the stable wire representation used by
+    /// snapshot codecs (e.g. `sparqlog-shard`). Always round-trips through
+    /// [`OperatorSet::from_bits`].
+    pub fn bits(&self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds a set from its raw flag bits, or `None` if `bits` carries
+    /// flags outside the five operators of Table 3 (a decoder's
+    /// invalid-value case).
+    pub fn from_bits(bits: u8) -> Option<OperatorSet> {
+        const ALL: u8 = OperatorSet::FILTER
+            | OperatorSet::AND
+            | OperatorSet::OPT
+            | OperatorSet::GRAPH
+            | OperatorSet::UNION;
+        (bits & !ALL == 0).then_some(OperatorSet(bits))
+    }
+
     /// The paper's label for this set, e.g. `"A, O, F"`, `"none"`.
     pub fn label(&self) -> String {
         if self.0 == 0 {
@@ -342,6 +361,26 @@ mod tests {
         assert_eq!(t.cpf_plus_union_increment(), 1);
         assert_eq!(t.other_features, 1);
         assert_eq!(t.aof_count(), 4);
+    }
+
+    #[test]
+    fn bits_round_trip_every_subset() {
+        for bits in 0u8..32 {
+            let set = OperatorSet::from_bits(bits).expect("all 5-bit values are valid sets");
+            assert_eq!(set.bits(), bits);
+            assert_eq!(
+                set,
+                OperatorSet::new(
+                    set.has_filter(),
+                    set.has_and(),
+                    set.has_opt(),
+                    set.has_graph(),
+                    set.has_union()
+                )
+            );
+        }
+        assert_eq!(OperatorSet::from_bits(0b10_0000), None);
+        assert_eq!(OperatorSet::from_bits(0xFF), None);
     }
 
     #[test]

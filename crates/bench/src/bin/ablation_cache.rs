@@ -14,6 +14,7 @@
 //! plus a nonzero interner savings counter; both are printed for the
 //! workflow artifact.
 
+use sparqlog_bench::gate::DivergenceGate;
 use sparqlog_bench::{banner, raw_corpus, stats_banner, HarnessOptions};
 use sparqlog_core::analysis::{CachePolicy, CorpusAnalysis, EngineOptions, Population};
 use sparqlog_core::cache::AnalysisCache;
@@ -140,7 +141,7 @@ fn main() {
     );
 
     // -- Differential gate: full reports must be byte-identical. ------------
-    let mut diverged = false;
+    let mut gate = DivergenceGate::new();
     let (uncached_unique, _) =
         CorpusAnalysis::analyze_stats(&logs, Population::Unique, uncached_options);
     for (population, cached_analysis, uncached_analysis) in [
@@ -148,25 +149,19 @@ fn main() {
         (Population::Valid, &valid_run, &uncached_valid),
         (Population::Unique, &unique_run, &uncached_unique),
     ] {
-        if full_report(cached_analysis) != full_report(uncached_analysis) {
-            eprintln!("DIVERGENCE: corpus report differs on {population:?}");
-            diverged = true;
-        }
+        gate.compare(
+            &format!("corpus report differs on {population:?}"),
+            &full_report(uncached_analysis),
+            &full_report(cached_analysis),
+        );
     }
-    if cached_stats.cache.map_or(0, |c| c.hits) == 0 {
-        eprintln!("DIVERGENCE: cache reported zero hits on a duplicate-heavy corpus");
-        diverged = true;
-    }
-    if cached_stats.interner.bytes_saved == 0 || uncached_stats.interner.bytes_saved == 0 {
-        eprintln!("DIVERGENCE: interner reported zero savings");
-        diverged = true;
-    }
-    if diverged {
-        eprintln!("differential check: FAILED");
-        std::process::exit(1);
-    }
-    println!(
-        "\ndifferential check: OK — cached and uncached corpus reports are byte-identical \
-         on both populations"
+    gate.require(
+        cached_stats.cache.map_or(0, |c| c.hits) > 0,
+        "cache reported zero hits on a duplicate-heavy corpus",
     );
+    gate.require(
+        cached_stats.interner.bytes_saved > 0 && uncached_stats.interner.bytes_saved > 0,
+        "interner reported zero savings",
+    );
+    gate.finish("cached and uncached corpus reports are byte-identical on both populations");
 }

@@ -2,7 +2,8 @@
 //! ingest-then-analyze pipeline, on a duplicate-heavy synthetic corpus
 //! streamed from temp files.
 //!
-//! Both contenders read the same on-disk logs through [`FileLogReader`]s:
+//! Both contenders read the same on-disk logs through
+//! [`FileLogReader`](sparqlog_core::corpus::FileLogReader)s:
 //!
 //! * **staged** — `ingest_streams` materializes every valid query's AST in
 //!   `IngestedLog::valid_queries`, then `analyze_cached` folds the corpus
@@ -19,15 +20,16 @@
 //! non-zero if the fused and staged corpus reports differ by a single byte
 //! on either population at 1, 2 or 8 workers**.
 
-use sparqlog_bench::{alloc_stats, banner, raw_corpus, stats_banner, HarnessOptions};
+use sparqlog_bench::gate::DivergenceGate;
+use sparqlog_bench::{
+    alloc_stats, banner, open_file_readers, stats_banner, write_corpus_files, HarnessOptions,
+};
 use sparqlog_core::analysis::{CorpusAnalysis, EngineOptions, Population};
 use sparqlog_core::cache::AnalysisCache;
 use sparqlog_core::corpus::{
-    analyze_streams_cached, ingest_streams_with, FileLogReader, FusedAnalysis, FusedOptions,
-    LogReader, StreamOptions,
+    analyze_streams_cached, ingest_streams_with, FusedAnalysis, FusedOptions, StreamOptions,
 };
 use sparqlog_core::report::full_report;
-use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -39,47 +41,6 @@ const TILE: usize = 6;
 /// The measured runs per contender; the minimum wall-clock wins.
 const REPEATS: usize = 3;
 
-/// Writes the duplicate-heavy corpus to one temp log file per dataset and
-/// returns `(label, path)` pairs plus the total entry count.
-fn write_corpus(opts: &HarnessOptions, dir: &std::path::Path) -> (Vec<(String, PathBuf)>, u64) {
-    let mut files = Vec::new();
-    let mut total = 0u64;
-    for (index, log) in raw_corpus(opts).into_iter().enumerate() {
-        // Labels are display strings (may contain `/` or spaces); the file
-        // name only needs to be unique — the label rides in the reader.
-        let stem: String = log
-            .label
-            .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-            .collect();
-        let path = dir.join(format!("{index:02}-{stem}.log"));
-        let file = std::fs::File::create(&path).expect("create temp log file");
-        let mut writer = std::io::BufWriter::new(file);
-        for _ in 0..TILE {
-            for entry in &log.entries {
-                // Synthesized queries are single-line; keep the invariant
-                // explicit for one-entry-per-line streaming.
-                debug_assert!(!entry.contains('\n'));
-                writeln!(writer, "{entry}").expect("write temp log line");
-            }
-        }
-        writer.flush().expect("flush temp log");
-        total += (log.entries.len() * TILE) as u64;
-        files.push((log.label, path));
-    }
-    (files, total)
-}
-
-fn open_readers(files: &[(String, PathBuf)]) -> Vec<Box<dyn LogReader + 'static>> {
-    files
-        .iter()
-        .map(|(label, path)| {
-            Box::new(FileLogReader::open(label.clone(), path).expect("open temp log"))
-                as Box<dyn LogReader + 'static>
-        })
-        .collect()
-}
-
 /// One staged end-to-end run: stream-ingest from disk (ASTs retained), then
 /// analyse through a fresh fingerprint-keyed cache.
 fn run_staged(
@@ -88,7 +49,7 @@ fn run_staged(
     workers: usize,
 ) -> CorpusAnalysis {
     let logs = ingest_streams_with(
-        open_readers(files),
+        open_file_readers(files),
         StreamOptions {
             workers,
             ..StreamOptions::default()
@@ -113,7 +74,7 @@ fn run_staged(
 fn run_fused(files: &[(String, PathBuf)], population: Population, workers: usize) -> FusedAnalysis {
     let cache = AnalysisCache::new();
     analyze_streams_cached(
-        open_readers(files),
+        open_file_readers(files),
         population,
         FusedOptions {
             workers,
@@ -150,7 +111,7 @@ fn main() {
 
     let dir = std::env::temp_dir().join(format!("sparqlog-fused-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("create temp corpus dir");
-    let (files, total_entries) = write_corpus(&opts, &dir);
+    let (files, total_entries) = write_corpus_files(&opts, &dir, TILE);
 
     // -- Timed leg: end-to-end on the Valid ("all") population. -------------
     let (staged_valid, staged_time, staged_peak) =
@@ -213,7 +174,7 @@ fn main() {
 
     // -- Differential gate: byte-identical reports, both populations,
     //    1/2/8 workers. -------------------------------------------------------
-    let mut diverged = false;
+    let mut gate = DivergenceGate::new();
     let staged_unique = run_staged(&files, Population::Unique, 0);
     for (population, reference) in [
         (Population::Valid, &staged_valid),
@@ -222,26 +183,22 @@ fn main() {
         let reference_report = full_report(reference);
         for workers in [1, 2, 8] {
             let fused = run_fused(&files, population, workers);
-            if full_report(&fused.corpus) != reference_report {
-                eprintln!(
-                    "DIVERGENCE: fused report differs on {population:?} at {workers} workers"
-                );
-                diverged = true;
-            }
+            gate.compare(
+                &format!("fused report differs on {population:?} at {workers} workers"),
+                &reference_report,
+                &full_report(&fused.corpus),
+            );
         }
     }
-    if full_report(&fused_valid.corpus) != full_report(&staged_valid) {
-        eprintln!("DIVERGENCE: timed fused run differs from the staged report");
-        diverged = true;
-    }
+    gate.compare(
+        "timed fused run differs from the staged report",
+        &full_report(&staged_valid),
+        &full_report(&fused_valid.corpus),
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
-    if diverged {
-        eprintln!("differential check: FAILED");
-        std::process::exit(1);
-    }
-    println!(
-        "\ndifferential check: OK — fused and staged corpus reports are byte-identical \
-         on both populations at 1/2/8 workers"
+    gate.finish(
+        "fused and staged corpus reports are byte-identical on both populations \
+         at 1/2/8 workers",
     );
 }

@@ -1,0 +1,177 @@
+//! Ablation: multi-process sharded analysis (coordinator + N
+//! `sparqlog-shard-worker` processes) against the single-process fused
+//! engine, on a duplicate-heavy synthetic corpus streamed from temp files.
+//!
+//! Both contenders read the same on-disk logs:
+//!
+//! * **fused (1 process)** — `analyze_streams` in this process, the
+//!   single-process production path and the differential reference;
+//! * **sharded (N processes)** — the `sparqlog-shard` coordinator
+//!   partitions the logs round-robin across N worker processes, each
+//!   running the same fused engine over its partition and streaming a
+//!   framed binary snapshot back over a pipe.
+//!
+//! The binary records multi-process throughput at 1/2/4 shards alongside
+//! the codec's snapshot sizes (total bytes, per shard, per distinct form),
+//! and **exits non-zero if any coordinator report differs by a single byte
+//! from the fused single-process report on either population at any tested
+//! shard count**. On a single-core runner the sharded contenders mostly pay
+//! process-spawn and serialization overhead; multi-core runners get real
+//! process-level parallelism on top of the per-process thread pools.
+
+use sparqlog_bench::gate::DivergenceGate;
+use sparqlog_bench::{banner, open_file_readers, write_corpus_files, HarnessOptions};
+use sparqlog_core::corpus::{analyze_streams_with, FusedOptions};
+use sparqlog_core::report::full_report;
+use sparqlog_core::Population;
+use sparqlog_shard::{analyze_sharded, LogSpec, ShardOptions, ShardedAnalysis, WorkerCommand};
+use std::time::Instant;
+
+/// How many times each log's entries are tiled into its temp file.
+const TILE: usize = 4;
+
+/// The measured runs per contender; the minimum wall-clock wins.
+const REPEATS: usize = 3;
+
+/// The shard counts measured and gated.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn best_of<T>(mut run: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..REPEATS {
+        let start = Instant::now();
+        let out = run();
+        best = best.min(start.elapsed().as_secs_f64());
+        result = Some(out);
+    }
+    (result.expect("at least one repeat"), best)
+}
+
+fn run_sharded(
+    logs: &[LogSpec],
+    population: Population,
+    shards: usize,
+    worker: &WorkerCommand,
+) -> ShardedAnalysis {
+    let options = ShardOptions {
+        shards,
+        worker_threads: 0,
+        worker: worker.clone(),
+    };
+    analyze_sharded(logs, population, &options)
+        .unwrap_or_else(|error| panic!("sharded run ({shards} shards) failed: {error}"))
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    banner("ablation: multi-process sharded analysis", &opts);
+
+    let worker = match WorkerCommand::resolve_default() {
+        Ok(worker) => worker,
+        Err(error) => {
+            eprintln!("ablation_shard: {error}");
+            std::process::exit(1);
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!("sparqlog-shard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp corpus dir");
+    let (files, total_entries) = write_corpus_files(&opts, &dir, TILE);
+    let logs: Vec<LogSpec> = files
+        .iter()
+        .map(|(label, path)| LogSpec::new(label.clone(), path))
+        .collect();
+
+    // -- Timed leg: end-to-end on the Valid ("all") population. --------------
+    let (fused_valid, fused_time) = best_of(|| {
+        analyze_streams_with(
+            open_file_readers(&files),
+            Population::Valid,
+            FusedOptions::default(),
+        )
+        .expect("fused reference run")
+    });
+    let counts = &fused_valid.corpus.combined.counts;
+    println!(
+        "corpus: {} logs, {} entries on disk, {} valid, {} distinct canonical forms, \
+         mean occurrence rate {:.2}x",
+        files.len(),
+        total_entries,
+        counts.valid,
+        counts.unique,
+        counts.valid as f64 / counts.unique.max(1) as f64
+    );
+    println!(
+        "\n{:<44} {:>10} {:>14}",
+        "end-to-end ingest+analyze (Valid population)", "time", "entries/s"
+    );
+    println!(
+        "{:<44} {:>8.2}ms {:>14.0}",
+        "fused (1 process)",
+        fused_time * 1e3,
+        total_entries as f64 / fused_time
+    );
+    let mut sharded_valid = Vec::new();
+    for shards in SHARD_COUNTS {
+        let (sharded, time) = best_of(|| run_sharded(&logs, Population::Valid, shards, &worker));
+        println!(
+            "{:<44} {:>8.2}ms {:>14.0}",
+            format!(
+                "sharded ({shards} worker process{})",
+                if shards == 1 { "" } else { "es" }
+            ),
+            time * 1e3,
+            total_entries as f64 / time
+        );
+        sharded_valid.push((shards, sharded));
+    }
+
+    // -- Snapshot-size leg: what the codec moves between processes. ----------
+    println!("\nsnapshot codec (per sharded run, Valid population):");
+    for (shards, sharded) in &sharded_valid {
+        let bytes = sharded.snapshot_bytes();
+        let per_shard: Vec<String> = sharded
+            .shard_stats
+            .iter()
+            .map(|s| format!("shard {}: {} logs, {} B", s.shard, s.logs, s.snapshot_bytes))
+            .collect();
+        println!(
+            "  {shards} shard(s): {} B total ({:.1} B per distinct form; {})",
+            bytes,
+            bytes as f64 / counts.unique.max(1) as f64,
+            per_shard.join("; ")
+        );
+    }
+
+    // -- Differential gate: byte-identical reports, both populations,
+    //    every shard count. --------------------------------------------------
+    let mut gate = DivergenceGate::new();
+    for population in [Population::Valid, Population::Unique] {
+        let reference = analyze_streams_with(
+            open_file_readers(&files),
+            population,
+            FusedOptions::default(),
+        )
+        .expect("fused reference run");
+        let reference_report = full_report(&reference.corpus);
+        for shards in SHARD_COUNTS {
+            let sharded = run_sharded(&logs, population, shards, &worker);
+            gate.compare(
+                &format!("coordinator report differs on {population:?} at {shards} shards"),
+                &reference_report,
+                &full_report(&sharded.corpus),
+            );
+            gate.require(
+                sharded.summaries == reference.summaries,
+                &format!("per-log summaries differ on {population:?} at {shards} shards"),
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    gate.finish(
+        "coordinator and single-process fused reports are byte-identical \
+         across 1/2/4 shards on both populations",
+    );
+}

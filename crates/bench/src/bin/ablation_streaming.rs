@@ -12,6 +12,7 @@
 //! savings, while multi-core runners additionally parallelize the
 //! fingerprinting that the materializing path runs sequentially.
 
+use sparqlog_bench::gate::DivergenceGate;
 use sparqlog_bench::{banner, raw_corpus, HarnessOptions};
 use sparqlog_core::analysis::{CorpusAnalysis, Population};
 use sparqlog_core::corpus::{
@@ -134,59 +135,52 @@ fn main() {
     );
 
     // -- Differential check: the CI gate. -----------------------------------
-    let mut diverged = false;
-    if seen.len() != shards.len() {
-        eprintln!(
-            "DIVERGENCE: distinct fingerprints differ ({} materializing vs {} streaming)",
+    let mut gate = DivergenceGate::new();
+    gate.require(
+        seen.len() == shards.len(),
+        &format!(
+            "distinct fingerprints differ ({} materializing vs {} streaming)",
             seen.len(),
             shards.len()
-        );
-        diverged = true;
-    }
+        ),
+    );
     for q in &queries {
         let streamed_fp = canonical_fingerprint_of(q);
         let materialized_fp = canonical_fingerprint(&to_canonical_string(q));
-        if streamed_fp != materialized_fp {
-            eprintln!(
-                "DIVERGENCE: fingerprint mismatch on {:?}",
-                to_canonical_string(q)
-            );
-            diverged = true;
+        if !gate.require(
+            streamed_fp == materialized_fp,
+            &format!("fingerprint mismatch on {:?}", to_canonical_string(q)),
+        ) {
             break;
         }
     }
     for (m, s) in materialized.iter().zip(&streamed) {
-        if m.counts != s.counts {
-            eprintln!(
-                "DIVERGENCE: counts differ on {}: {:?} vs {:?}",
+        gate.require(
+            m.counts == s.counts,
+            &format!(
+                "counts differ on {}: {:?} vs {:?}",
                 m.label, m.counts, s.counts
-            );
-            diverged = true;
-        }
-        if m.unique_indices != s.unique_indices {
-            eprintln!("DIVERGENCE: unique indices differ on {}", m.label);
-            diverged = true;
-        }
-        if m.valid_queries != s.valid_queries {
-            eprintln!("DIVERGENCE: parsed queries differ on {}", m.label);
-            diverged = true;
-        }
+            ),
+        );
+        gate.require(
+            m.unique_indices == s.unique_indices,
+            &format!("unique indices differ on {}", m.label),
+        );
+        gate.require(
+            m.valid_queries == s.valid_queries,
+            &format!("parsed queries differ on {}", m.label),
+        );
     }
     for population in [Population::Unique, Population::Valid] {
-        let reference = format!("{:?}", CorpusAnalysis::analyze(&materialized, population));
-        let streaming = format!("{:?}", CorpusAnalysis::analyze(&streamed, population));
-        if reference != streaming {
-            eprintln!("DIVERGENCE: corpus report differs on {population:?}");
-            diverged = true;
-        }
+        gate.compare(
+            &format!("corpus report differs on {population:?}"),
+            &format!("{:?}", CorpusAnalysis::analyze(&materialized, population)),
+            &format!("{:?}", CorpusAnalysis::analyze(&streamed, population)),
+        );
     }
 
-    if diverged {
-        eprintln!("differential check: FAILED");
-        std::process::exit(1);
-    }
-    println!(
-        "differential check: OK — counts, fingerprints, unique indices and \
-         corpus reports are byte-identical across both paths"
+    gate.finish(
+        "counts, fingerprints, unique indices and corpus reports are \
+         byte-identical across both paths",
     );
 }

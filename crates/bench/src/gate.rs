@@ -1,0 +1,148 @@
+//! The shared report-divergence gate of the `ablation_*` binaries.
+//!
+//! Every ablation harness doubles as a CI differential gate: it proves two
+//! analysis paths produce **byte-identical** corpus reports and exits
+//! non-zero otherwise. The byte-compare / first-difference excerpt /
+//! exit-1 plumbing used to be copy-pasted per binary; [`DivergenceGate`]
+//! centralizes it so every gate reports divergences the same way (including
+//! an excerpt of the first differing line, which the copies never printed).
+
+/// Collects divergences across a harness run and turns them into the
+/// process exit status.
+///
+/// ```
+/// use sparqlog_bench::gate::DivergenceGate;
+///
+/// let mut gate = DivergenceGate::new();
+/// assert!(gate.compare("same", "report\n", "report\n"));
+/// assert!(gate.require(1 + 1 == 2, "arithmetic still works"));
+/// assert!(gate.is_clean());
+/// // gate.finish("all paths agree");  // prints OK, or exits 1 on divergence
+/// ```
+#[derive(Debug, Default)]
+pub struct DivergenceGate {
+    divergences: u32,
+}
+
+/// How many characters of each differing line the excerpt shows.
+const EXCERPT_CHARS: usize = 160;
+
+fn excerpt(line: &str) -> String {
+    if line.len() <= EXCERPT_CHARS {
+        return line.to_string();
+    }
+    let mut end = EXCERPT_CHARS;
+    while !line.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}…", &line[..end])
+}
+
+impl DivergenceGate {
+    /// A gate with no divergences yet.
+    pub fn new() -> DivergenceGate {
+        DivergenceGate::default()
+    }
+
+    /// Byte-compares two reports. On mismatch, prints a `DIVERGENCE:` line
+    /// with `context` plus an excerpt of the first differing line, and
+    /// records the failure. Returns whether the reports matched.
+    pub fn compare(&mut self, context: &str, reference: &str, candidate: &str) -> bool {
+        if reference == candidate {
+            return true;
+        }
+        eprintln!("DIVERGENCE: {context}");
+        let mut reference_lines = reference.lines();
+        let mut candidate_lines = candidate.lines();
+        let mut line_number = 1usize;
+        loop {
+            match (reference_lines.next(), candidate_lines.next()) {
+                (Some(r), Some(c)) if r == c => line_number += 1,
+                (Some(r), Some(c)) => {
+                    eprintln!("  first difference at line {line_number}:");
+                    eprintln!("    reference: {}", excerpt(r));
+                    eprintln!("    candidate: {}", excerpt(c));
+                    break;
+                }
+                (Some(r), None) => {
+                    eprintln!("  candidate ends at line {line_number}; reference continues:");
+                    eprintln!("    reference: {}", excerpt(r));
+                    break;
+                }
+                (None, Some(c)) => {
+                    eprintln!("  reference ends at line {line_number}; candidate continues:");
+                    eprintln!("    candidate: {}", excerpt(c));
+                    break;
+                }
+                (None, None) => {
+                    // Same lines, different bytes (line terminators).
+                    eprintln!("  reports differ only in line terminators");
+                    break;
+                }
+            }
+        }
+        self.divergences += 1;
+        false
+    }
+
+    /// Records a divergence unless `ok` holds (for non-report invariants a
+    /// gate also checks, e.g. "the cache reported hits"). Returns `ok`.
+    pub fn require(&mut self, ok: bool, message: &str) -> bool {
+        if !ok {
+            eprintln!("DIVERGENCE: {message}");
+            self.divergences += 1;
+        }
+        ok
+    }
+
+    /// Whether no divergence was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.divergences == 0
+    }
+
+    /// Ends the gate: prints `differential check: OK — {ok_message}` and
+    /// returns, or prints the failure count and exits the process with
+    /// status 1.
+    pub fn finish(self, ok_message: &str) {
+        if self.divergences > 0 {
+            eprintln!(
+                "differential check: FAILED ({} divergence{})",
+                self.divergences,
+                if self.divergences == 1 { "" } else { "s" }
+            );
+            std::process::exit(1);
+        }
+        println!("\ndifferential check: OK — {ok_message}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_reports_keep_the_gate_clean() {
+        let mut gate = DivergenceGate::new();
+        assert!(gate.compare("ctx", "a\nb\n", "a\nb\n"));
+        assert!(gate.require(true, "fine"));
+        assert!(gate.is_clean());
+    }
+
+    #[test]
+    fn differing_reports_and_failed_requirements_are_recorded() {
+        let mut gate = DivergenceGate::new();
+        assert!(!gate.compare("ctx", "a\nb\n", "a\nc\n"));
+        assert!(!gate.compare("ctx", "a\n", "a\nextra\n"));
+        assert!(!gate.require(false, "broken invariant"));
+        assert!(!gate.is_clean());
+    }
+
+    #[test]
+    fn excerpts_truncate_long_lines_on_char_boundaries() {
+        let line = "é".repeat(200);
+        let shortened = excerpt(&line);
+        assert!(shortened.ends_with('…'));
+        assert!(shortened.chars().count() <= EXCERPT_CHARS + 1);
+        assert_eq!(excerpt("short"), "short");
+    }
+}

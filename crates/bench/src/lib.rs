@@ -20,15 +20,18 @@
 #![warn(missing_docs)]
 
 pub mod alloc_stats;
+pub mod gate;
 
 use sparqlog_core::analysis::{
     AnalysisStats, CachePolicy, CorpusAnalysis, EngineOptions, Population,
 };
 use sparqlog_core::corpus::{
-    analyze_streams, ingest_all_materializing, ingest_streams, IngestedLog, LogReader,
-    MemoryLogReader, RawLog,
+    analyze_streams, ingest_all_materializing, ingest_streams, FileLogReader, IngestedLog,
+    LogReader, MemoryLogReader, RawLog,
 };
 use sparqlog_synth::{generate_corpus, CorpusConfig};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// Common options for the harness binaries, parsed from the command line.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -121,6 +124,56 @@ pub fn corpus_readers(raw: Vec<RawLog>) -> Vec<Box<dyn LogReader + 'static>> {
     raw.into_iter()
         .map(|log| {
             Box::new(MemoryLogReader::new(log.label, log.entries)) as Box<dyn LogReader + 'static>
+        })
+        .collect()
+}
+
+/// Writes a duplicate-heavy corpus to one temp log file per dataset — each
+/// log's entries tiled `tile` times, so every query occurs at least that
+/// often, matching the duplication regime the source paper reports for real
+/// logs. Returns `(label, path)` pairs plus the total entry count. Shared by
+/// the file-streaming ablations (`ablation_fused`, `ablation_shard`).
+pub fn write_corpus_files(
+    opts: &HarnessOptions,
+    dir: &Path,
+    tile: usize,
+) -> (Vec<(String, PathBuf)>, u64) {
+    let mut files = Vec::new();
+    let mut total = 0u64;
+    for (index, log) in raw_corpus(opts).into_iter().enumerate() {
+        // Labels are display strings (may contain `/` or spaces); the file
+        // name only needs to be unique — the label rides in the reader.
+        let stem: String = log
+            .label
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{index:02}-{stem}.log"));
+        let file = std::fs::File::create(&path).expect("create temp log file");
+        let mut writer = std::io::BufWriter::new(file);
+        for _ in 0..tile {
+            for entry in &log.entries {
+                // Synthesized queries are single-line; keep the invariant
+                // explicit for one-entry-per-line streaming.
+                debug_assert!(!entry.contains('\n'));
+                writeln!(writer, "{entry}").expect("write temp log line");
+            }
+        }
+        writer.flush().expect("flush temp log");
+        total += (log.entries.len() * tile) as u64;
+        files.push((log.label, path));
+    }
+    (files, total)
+}
+
+/// Opens [`FileLogReader`]s over the `(label, path)` pairs produced by
+/// [`write_corpus_files`].
+pub fn open_file_readers(files: &[(String, PathBuf)]) -> Vec<Box<dyn LogReader + 'static>> {
+    files
+        .iter()
+        .map(|(label, path)| {
+            Box::new(FileLogReader::open(label.clone(), path).expect("open temp log"))
+                as Box<dyn LogReader + 'static>
         })
         .collect()
 }

@@ -146,7 +146,7 @@ impl HypertreeTally {
 
 /// The complete analysis of one dataset (or of the whole corpus, when
 /// merged).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DatasetAnalysis {
     /// The dataset label.
     pub label: String,
@@ -341,7 +341,7 @@ pub enum Population {
 
 /// The analysis of a whole corpus: one record per dataset plus the combined
 /// totals.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CorpusAnalysis {
     /// Per-dataset analyses, in input order.
     pub datasets: Vec<DatasetAnalysis>,

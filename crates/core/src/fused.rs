@@ -125,6 +125,55 @@ pub struct LogSummary {
 }
 
 impl LogSummary {
+    /// Merges another summary of the **same log** (e.g. one produced by a
+    /// different process over a different slice of the log's entries):
+    /// `total`, `valid` and `bodyless` add, matching fingerprints sum their
+    /// occurrence counts, and `unique` is recomputed from the merged
+    /// distinct set. The operation is commutative and keeps the sorted-order
+    /// invariant of [`LogSummary::occurrences`], so per-shard summaries can
+    /// be combined in any order with identical results — the cross-process
+    /// merge hook of the `sparqlog-shard` subsystem.
+    pub fn merge(&mut self, other: &LogSummary) {
+        debug_assert_eq!(
+            self.label, other.label,
+            "LogSummary::merge combines shards of one log"
+        );
+        let mut merged = Vec::with_capacity(self.occurrences.len() + other.occurrences.len());
+        let (mut left, mut right) = (self.occurrences.iter(), other.occurrences.iter());
+        let (mut a, mut b) = (left.next(), right.next());
+        loop {
+            match (a, b) {
+                (Some(&(fa, ca)), Some(&(fb, cb))) => {
+                    if fa < fb {
+                        merged.push((fa, ca));
+                        a = left.next();
+                    } else if fb < fa {
+                        merged.push((fb, cb));
+                        b = right.next();
+                    } else {
+                        merged.push((fa, ca + cb));
+                        a = left.next();
+                        b = right.next();
+                    }
+                }
+                (Some(&pair), None) => {
+                    merged.push(pair);
+                    a = left.next();
+                }
+                (None, Some(&pair)) => {
+                    merged.push(pair);
+                    b = right.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.occurrences = merged;
+        self.counts.total += other.counts.total;
+        self.counts.valid += other.counts.valid;
+        self.counts.bodyless += other.counts.bodyless;
+        self.counts.unique = self.occurrences.len() as u64;
+    }
+
     /// The occurrence count of a fingerprint, or 0 if the log never saw it.
     pub fn occurrences_of(&self, fingerprint: u128) -> u64 {
         self.occurrences
@@ -507,6 +556,24 @@ mod tests {
             .expect("non-empty summary")
             .wrapping_add(1);
         assert_eq!(summary.occurrences_of(absent), 0);
+    }
+
+    #[test]
+    fn split_log_summaries_merge_back_to_the_whole_log() {
+        // Split the log's entries at a point that separates duplicates of
+        // one canonical form, summarize each half independently (the
+        // cross-process scenario), and merge: the result must equal the
+        // whole-log summary, in either merge order.
+        let whole = analyze_streams(readers_of(&ENTRIES), Population::Valid).unwrap();
+        let first = analyze_streams(readers_of(&ENTRIES[..3]), Population::Valid).unwrap();
+        let second = analyze_streams(readers_of(&ENTRIES[3..]), Population::Valid).unwrap();
+        let mut ab = first.summaries[0].clone();
+        ab.merge(&second.summaries[0]);
+        let mut ba = second.summaries[0].clone();
+        ba.merge(&first.summaries[0]);
+        assert_eq!(ab, whole.summaries[0]);
+        assert_eq!(ba, whole.summaries[0]);
+        assert!(ab.occurrences.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -146,6 +146,54 @@ pub enum PathExpressionType {
 }
 
 impl PathExpressionType {
+    /// Every expression type, in wire-code order: `ALL[i].code() == i`.
+    /// Snapshot codecs (e.g. `sparqlog-shard`) iterate this to prove the
+    /// code mapping total; tally consumers can use it to enumerate rows.
+    pub const ALL: [PathExpressionType; 25] = [
+        PathExpressionType::Trivial,
+        PathExpressionType::NegatedLiteral,
+        PathExpressionType::InverseLiteral,
+        PathExpressionType::StarOverAlternation,
+        PathExpressionType::StarLiteral,
+        PathExpressionType::SequenceOfLiterals,
+        PathExpressionType::StarThenLiteral,
+        PathExpressionType::AlternationOfLiterals,
+        PathExpressionType::PlusLiteral,
+        PathExpressionType::SequenceOfOptionals,
+        PathExpressionType::LiteralThenAlternation,
+        PathExpressionType::LiteralThenOptionals,
+        PathExpressionType::SeqStarOrLiteral,
+        PathExpressionType::StarThenOptional,
+        PathExpressionType::TwoLiteralsThenStar,
+        PathExpressionType::NegatedAlternation,
+        PathExpressionType::PlusOverAlternation,
+        PathExpressionType::SequenceOfAlternations,
+        PathExpressionType::OptionalOrLiteral,
+        PathExpressionType::StarOrLiteral,
+        PathExpressionType::OptionalOverAlternation,
+        PathExpressionType::LiteralOrPlus,
+        PathExpressionType::PlusOrPlus,
+        PathExpressionType::StarOverSequence,
+        PathExpressionType::Other,
+    ];
+
+    /// The stable wire code of this type (its index in
+    /// [`PathExpressionType::ALL`]) — the representation snapshot codecs
+    /// serialize. New variants must be appended to `ALL`, never reordered,
+    /// so codes stay stable across versions.
+    pub fn code(self) -> u8 {
+        Self::ALL
+            .iter()
+            .position(|&ty| ty == self)
+            .expect("every variant is listed in ALL") as u8
+    }
+
+    /// The type with the given wire code, or `None` for an unknown code (a
+    /// decoder's invalid-value case).
+    pub fn from_code(code: u8) -> Option<PathExpressionType> {
+        Self::ALL.get(usize::from(code)).copied()
+    }
+
     /// The human-readable label used in Table 5.
     pub fn label(&self) -> &'static str {
         match self {
@@ -384,6 +432,19 @@ mod tests {
     use super::*;
     use sparqlog_parser::ast::GroupElement;
     use sparqlog_parser::parse_query;
+
+    #[test]
+    fn wire_codes_round_trip_every_type() {
+        for (index, ty) in PathExpressionType::ALL.iter().enumerate() {
+            assert_eq!(usize::from(ty.code()), index, "{ty:?}");
+            assert_eq!(PathExpressionType::from_code(ty.code()), Some(*ty));
+        }
+        assert_eq!(
+            PathExpressionType::from_code(PathExpressionType::ALL.len() as u8),
+            None
+        );
+        assert_eq!(PathExpressionType::from_code(u8::MAX), None);
+    }
 
     /// Parses the path expression out of `ASK { ?s <path> ?o }`.
     fn path_of(expr: &str) -> PropertyPath {

@@ -1,0 +1,341 @@
+//! The shard worker: runs the fused single-pass engine
+//! ([`analyze_streams_with`]) over its assigned partition of logs and writes
+//! a framed binary snapshot (see [`crate::codec`] / [`crate::snapshot`]) to
+//! a byte sink — in production, its stdout, consumed by the
+//! [coordinator](crate::coordinator).
+//!
+//! The worker is a *mode*, not a policy: it analyses exactly the
+//! `(index, label, path)` triples it is told to, with the population and
+//! thread count it is told to use, and reports one [`LogFrame`] per log plus
+//! an [`EpilogueFrame`] of counters. All partitioning decisions live in the
+//! coordinator.
+//!
+//! # Command line
+//!
+//! ```text
+//! --shard <index>                      this worker's shard number (errors/logging)
+//! --population <unique|valid>          which population to fold
+//! --workers <n>                        fused-engine threads (0 = default)
+//! --log <index> <label> <path>         one assigned log (repeated)
+//! ```
+//!
+//! # Fault injection (tests only)
+//!
+//! When `SPARQLOG_SHARD_FAULT` is set (optionally scoped to one shard with
+//! `SPARQLOG_SHARD_FAULT_SHARD=<index>`), the worker deliberately misbehaves
+//! so coordinator fault paths can be exercised end-to-end over real process
+//! boundaries: `die` (exit 3 before writing), `wrong-version` (bogus version
+//! byte), `truncate` (frame cut mid-payload), `abort-mid-stream` (abort the
+//! process after the first complete frame — a worker killed mid-write),
+//! `stderr-flood` (several pipe buffers of stderr before any stdout — the
+//! coordinator must drain it concurrently or deadlock; the run then
+//! completes normally).
+
+use crate::codec::write_stream_header;
+use crate::snapshot::{EpilogueFrame, Frame, LogFrame};
+use sparqlog_core::analysis::Population;
+use sparqlog_core::corpus::{analyze_streams_with, FileLogReader, FusedOptions, LogReader};
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+/// One log assigned to this worker: its index in the coordinator's corpus
+/// order, its dataset label, and the file to stream it from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssignedLog {
+    /// Index in the coordinator's input order (echoed back in the frame).
+    pub index: u64,
+    /// The dataset label.
+    pub label: String,
+    /// Path of the log file (one entry per line).
+    pub path: PathBuf,
+}
+
+/// A parsed worker invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerConfig {
+    /// This worker's shard number (used in error messages).
+    pub shard: usize,
+    /// The population to fold.
+    pub population: Population,
+    /// Fused-engine worker threads (0 = `default_workers()`).
+    pub workers: usize,
+    /// The assigned logs, in coordinator order.
+    pub logs: Vec<AssignedLog>,
+}
+
+/// Parses the worker command line (everything after the program name).
+pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<WorkerConfig, String> {
+    let mut args = args.into_iter();
+    let mut config = WorkerConfig {
+        shard: 0,
+        population: Population::Unique,
+        workers: 0,
+        logs: Vec::new(),
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--shard" => {
+                let value = args.next().ok_or("--shard needs a value")?;
+                config.shard = value
+                    .parse()
+                    .map_err(|_| format!("invalid --shard value {value:?}"))?;
+            }
+            "--population" => {
+                let value = args.next().ok_or("--population needs a value")?;
+                config.population = match value.as_str() {
+                    "unique" => Population::Unique,
+                    "valid" => Population::Valid,
+                    other => return Err(format!("unknown population {other:?}")),
+                };
+            }
+            "--workers" => {
+                let value = args.next().ok_or("--workers needs a value")?;
+                config.workers = value
+                    .parse()
+                    .map_err(|_| format!("invalid --workers value {value:?}"))?;
+            }
+            "--log" => {
+                let index = args.next().ok_or("--log needs <index> <label> <path>")?;
+                let label = args.next().ok_or("--log needs <index> <label> <path>")?;
+                let path = args.next().ok_or("--log needs <index> <label> <path>")?;
+                config.logs.push(AssignedLog {
+                    index: index
+                        .parse()
+                        .map_err(|_| format!("invalid --log index {index:?}"))?,
+                    label,
+                    path: PathBuf::from(path),
+                });
+            }
+            other => return Err(format!("unknown worker flag {other:?}")),
+        }
+    }
+    if config.logs.is_empty() {
+        return Err("a worker needs at least one --log assignment".to_string());
+    }
+    Ok(config)
+}
+
+/// The injectable faults (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    Die,
+    WrongVersion,
+    Truncate,
+    AbortMidStream,
+    StderrFlood,
+}
+
+/// The fault requested for this shard via the environment, if any.
+fn injected_fault(shard: usize) -> Option<Fault> {
+    let fault = std::env::var("SPARQLOG_SHARD_FAULT").ok()?;
+    if let Ok(scoped) = std::env::var("SPARQLOG_SHARD_FAULT_SHARD") {
+        if scoped.trim().parse::<usize>() != Ok(shard) {
+            return None;
+        }
+    }
+    match fault.trim() {
+        "die" => Some(Fault::Die),
+        "wrong-version" => Some(Fault::WrongVersion),
+        "truncate" => Some(Fault::Truncate),
+        "abort-mid-stream" => Some(Fault::AbortMidStream),
+        "stderr-flood" => Some(Fault::StderrFlood),
+        _ => None,
+    }
+}
+
+/// Analyses the assigned logs and writes the framed snapshot to `out`.
+///
+/// The per-log [`DatasetAnalysis`](sparqlog_core::analysis::DatasetAnalysis)
+/// records are exactly what the single-process fused engine would compute
+/// for these logs — per-dataset folds never depend on which other logs share
+/// the run — which is what makes the coordinator's merged report
+/// byte-identical to the unsharded one.
+pub fn run(config: &WorkerConfig, out: &mut impl Write) -> io::Result<()> {
+    let fault = injected_fault(config.shard);
+    if fault == Some(Fault::Die) {
+        eprintln!("injected fault: die (shard {})", config.shard);
+        std::process::exit(3);
+    }
+    if fault == Some(Fault::WrongVersion) {
+        out.write_all(&crate::codec::MAGIC)?;
+        out.write_all(&[crate::codec::VERSION.wrapping_add(1)])?;
+        out.flush()?;
+        return Ok(());
+    }
+    if fault == Some(Fault::Truncate) {
+        write_stream_header(out)?;
+        // Declare a 64-byte frame but deliver only 10 bytes of it.
+        out.write_all(&[64])?;
+        out.write_all(&[0u8; 10])?;
+        out.flush()?;
+        return Ok(());
+    }
+    if fault == Some(Fault::StderrFlood) {
+        // Several pipe buffers of diagnostics *before* any stdout is
+        // written: without a concurrent stderr drain, the coordinator
+        // (blocked reading stdout) and this worker (blocked writing
+        // stderr) would deadlock. The run then proceeds normally.
+        let line = "injected fault: stderr-flood padding line\n".repeat(64);
+        let stderr = io::stderr();
+        let mut handle = stderr.lock();
+        for _ in 0..128 {
+            handle.write_all(line.as_bytes())?;
+        }
+        handle.flush()?;
+    }
+
+    let readers: Vec<Box<dyn LogReader>> = config
+        .logs
+        .iter()
+        .map(|log| {
+            FileLogReader::open(log.label.clone(), &log.path)
+                .map(|reader| Box::new(reader) as Box<dyn LogReader>)
+        })
+        .collect::<io::Result<_>>()?;
+    let fused = analyze_streams_with(
+        readers,
+        config.population,
+        FusedOptions {
+            workers: config.workers,
+            batch: 0,
+        },
+    )?;
+
+    write_stream_header(out)?;
+    let frames = config
+        .logs
+        .iter()
+        .zip(fused.summaries)
+        .zip(fused.corpus.datasets);
+    let mut written = 0u64;
+    for ((assigned, summary), analysis) in frames {
+        Frame::from(LogFrame {
+            index: assigned.index,
+            summary,
+            analysis,
+        })
+        .write_to(out)?;
+        written += 1;
+        if fault == Some(Fault::AbortMidStream) {
+            // Simulate a worker killed mid-stream: the first frame reaches
+            // the pipe, then the process dies abruptly — no epilogue, no
+            // clean exit status.
+            out.flush()?;
+            eprintln!("injected fault: abort-mid-stream (shard {})", config.shard);
+            std::process::abort();
+        }
+    }
+    Frame::Epilogue(EpilogueFrame {
+        log_frames: written,
+        cache: fused.stats.cache.unwrap_or_default(),
+        fused: fused.fused,
+    })
+    .write_to(out)?;
+    out.flush()
+}
+
+/// The worker binary's entry point: parses `args`, streams the snapshot to
+/// stdout, and maps failures to exit codes (2 = bad usage, 1 = runtime
+/// error). Usage and runtime errors go to stderr, where the coordinator
+/// captures them for its structured shard errors.
+pub fn run_cli(args: impl IntoIterator<Item = String>) -> i32 {
+    let config = match parse_args(args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("sparqlog-shard-worker: {message}");
+            return 2;
+        }
+    };
+    let stdout = io::stdout();
+    let mut out = io::BufWriter::new(stdout.lock());
+    match run(&config, &mut out) {
+        Ok(()) => 0,
+        Err(error) => {
+            eprintln!("sparqlog-shard-worker: shard {}: {error}", config.shard);
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::read_snapshot;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_args_reads_every_flag() {
+        let config = parse_args(args(&[
+            "--shard",
+            "2",
+            "--population",
+            "valid",
+            "--workers",
+            "4",
+            "--log",
+            "0",
+            "DBpedia15",
+            "/tmp/a.log",
+            "--log",
+            "3",
+            "label with spaces",
+            "/tmp/b.log",
+        ]))
+        .unwrap();
+        assert_eq!(config.shard, 2);
+        assert_eq!(config.population, Population::Valid);
+        assert_eq!(config.workers, 4);
+        assert_eq!(config.logs.len(), 2);
+        assert_eq!(config.logs[1].index, 3);
+        assert_eq!(config.logs[1].label, "label with spaces");
+    }
+
+    #[test]
+    fn parse_args_rejects_bad_input() {
+        assert!(parse_args(args(&[])).is_err()); // no logs
+        assert!(parse_args(args(&["--population", "everything"])).is_err());
+        assert!(parse_args(args(&["--log", "0", "l"])).is_err()); // missing path
+        assert!(parse_args(args(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn worker_streams_a_decodable_snapshot() {
+        let dir = std::env::temp_dir().join(format!("sparqlog-worker-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.txt");
+        let mut file = std::fs::File::create(&path).unwrap();
+        writeln!(file, "SELECT ?x WHERE {{ ?x a <http://C> }}").unwrap();
+        writeln!(file, "SELECT  ?x WHERE {{ ?x a <http://C> }}").unwrap();
+        writeln!(file, "ASK {{ ?a <http://p> ?b }}").unwrap();
+        writeln!(file, "not sparql").unwrap();
+        drop(file);
+
+        let config = WorkerConfig {
+            shard: 0,
+            population: Population::Valid,
+            workers: 1,
+            logs: vec![AssignedLog {
+                index: 7,
+                label: "unit".to_string(),
+                path: path.clone(),
+            }],
+        };
+        let mut stream = Vec::new();
+        run(&config, &mut stream).unwrap();
+        let (snapshot, bytes) = read_snapshot(stream.as_slice()).unwrap();
+        assert_eq!(bytes, stream.len() as u64);
+        assert_eq!(snapshot.logs.len(), 1);
+        let frame = &snapshot.logs[0];
+        assert_eq!(frame.index, 7);
+        assert_eq!(frame.summary.label, "unit");
+        assert_eq!(frame.summary.counts.total, 4);
+        assert_eq!(frame.summary.counts.valid, 3);
+        assert_eq!(frame.summary.counts.unique, 2);
+        assert_eq!(snapshot.epilogue.log_frames, 1);
+        assert_eq!(snapshot.epilogue.cache.distinct, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,12 @@
+//! The shard worker binary: analyses its assigned partition of logs with
+//! the fused single-pass engine and writes a framed binary snapshot to
+//! stdout, to be consumed by the shard coordinator
+//! (`sparqlog_shard::coordinator`, or the `sparqlog-shard` CLI).
+//!
+//! Invoked by the coordinator with
+//! `--shard N --population unique|valid [--workers N] --log <index> <label> <path>...`;
+//! see `sparqlog_shard::worker` for the full contract.
+
+fn main() {
+    std::process::exit(sparqlog_shard::worker::run_cli(std::env::args().skip(1)));
+}

@@ -1,0 +1,93 @@
+//! The shard coordinator CLI: analyses on-disk SPARQL logs across N worker
+//! processes and prints the corpus report — byte-identical to the
+//! single-process fused engine's.
+//!
+//! ```text
+//! sparqlog-shard [--shards N] [--workers N] [--valid] [--full] <label>=<path>...
+//! ```
+//!
+//! * `--shards N`   worker processes (default: `SPARQLOG_SHARDS` env, else
+//!   the available parallelism)
+//! * `--workers N`  fused-engine threads per worker process
+//! * `--valid`      fold the Valid (with-duplicates) population instead of
+//!   Unique
+//! * `--full`       print the full report (all tables) instead of Table 1
+//!
+//! The worker binary (`sparqlog-shard-worker`) is looked up next to this
+//! executable, or via the `SPARQLOG_SHARD_WORKER` environment variable.
+
+use sparqlog::core::{report, Population};
+use sparqlog::shard::{analyze_sharded, LogSpec, ShardOptions, WorkerCommand};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sparqlog-shard [--shards N] [--workers N] [--valid] [--full] <label>=<path>..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut shards = 0usize;
+    let mut worker_threads = 0usize;
+    let mut population = Population::Unique;
+    let mut full = false;
+    let mut logs = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => shards = n,
+                None => usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => worker_threads = n,
+                None => usage(),
+            },
+            "--valid" => population = Population::Valid,
+            "--full" => full = true,
+            "--help" | "-h" => usage(),
+            spec => match spec.split_once('=') {
+                Some((label, path)) if !label.is_empty() && !path.is_empty() => {
+                    logs.push(LogSpec::new(label, path));
+                }
+                _ => usage(),
+            },
+        }
+    }
+    if logs.is_empty() {
+        usage();
+    }
+
+    let worker = match WorkerCommand::resolve_default() {
+        Ok(worker) => worker,
+        Err(error) => {
+            eprintln!("sparqlog-shard: {error}");
+            std::process::exit(1);
+        }
+    };
+    let options = ShardOptions {
+        shards,
+        worker_threads,
+        worker,
+    };
+    match analyze_sharded(&logs, population, &options) {
+        Ok(sharded) => {
+            if full {
+                println!("{}", report::full_report(&sharded.corpus));
+            } else {
+                println!("{}", report::table1(&sharded.corpus));
+            }
+            println!(
+                "[{} shards, {} snapshot bytes, cache: {} hits / {} misses]",
+                sharded.shards(),
+                sharded.snapshot_bytes(),
+                sharded.cache.hits,
+                sharded.cache.misses
+            );
+        }
+        Err(error) => {
+            eprintln!("sparqlog-shard: {error}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -26,6 +26,10 @@
 //! * [`streaks`] — Levenshtein-based streak detection over query logs.
 //! * [`core`] — the corpus pipeline (parallel ingestion, the single-pass
 //!   analysis engine, report drivers).
+//! * [`shard`] — multi-process sharded analysis: the binary snapshot codec,
+//!   the `sparqlog-shard-worker` mode and the coordinator that merges
+//!   per-process snapshots into reports byte-identical to the
+//!   single-process engine's.
 //!
 //! Offline shims for the third-party dependencies live under `vendor/` (see
 //! `vendor/README.md`), and `crates/bench` hosts one harness binary per
@@ -104,6 +108,32 @@
 //! assert_eq!(fused.corpus.combined.cycle_lengths.get(&3), Some(&1));
 //! println!("{}", report::table1(&fused.corpus));
 //! ```
+//!
+//! # Sharding across processes
+//!
+//! The fused engine's commutative merge layer ([`core::LogSummary`],
+//! [`core::DatasetAnalysis`] merges, [`core::cache::AnalysisCache`]) is a
+//! real distribution boundary: the [`shard`] coordinator partitions a
+//! corpus of on-disk logs across N `sparqlog-shard-worker` processes,
+//! decodes their framed binary snapshots (a dependency-free varint codec
+//! with an explicit version byte), and merges them into a report **byte-
+//! identical** to the single-process fused engine's at any shard count ×
+//! worker-thread matrix (`tests/shard.rs`, the `ablation_shard` gate):
+//!
+//! ```no_run
+//! use sparqlog::core::{report, Population};
+//! use sparqlog::shard::{analyze_sharded, LogSpec, ShardOptions, WorkerCommand};
+//!
+//! let logs = vec![
+//!     LogSpec::new("DBpedia15", "logs/dbpedia15.log"),
+//!     LogSpec::new("WikiData17", "logs/wikidata17.log"),
+//! ];
+//! let mut options = ShardOptions::new(WorkerCommand::resolve_default()?);
+//! options.shards = 4;
+//! let sharded = analyze_sharded(&logs, Population::Unique, &options)?;
+//! println!("{}", report::table1(&sharded.corpus));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use sparqlog_algebra as algebra;
 pub use sparqlog_core as core;
@@ -111,6 +141,7 @@ pub use sparqlog_gmark as gmark;
 pub use sparqlog_graph as graph;
 pub use sparqlog_parser as parser;
 pub use sparqlog_paths as paths;
+pub use sparqlog_shard as shard;
 pub use sparqlog_store as store;
 pub use sparqlog_streaks as streaks;
 pub use sparqlog_synth as synth;
