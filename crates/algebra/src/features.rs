@@ -154,6 +154,49 @@ impl AggregateUse {
             Expression::Exists(_) | Expression::NotExists(_) => {}
         }
     }
+
+    /// [`scan`](Self::scan) over the borrowed AST; same coverage (stops at
+    /// `EXISTS`).
+    fn scan_ref(&mut self, e: &sparqlog_parser::ast_ref::Expression<'_>) {
+        use sparqlog_parser::ast_ref::Expression as E;
+        match e {
+            E::Aggregate(a) => {
+                self.record(a.kind);
+                if let Some(inner) = a.expr {
+                    self.scan_ref(inner);
+                }
+            }
+            E::Var(_) | E::Term(_) => {}
+            E::Or(a, b)
+            | E::And(a, b)
+            | E::Equal(a, b)
+            | E::NotEqual(a, b)
+            | E::Less(a, b)
+            | E::Greater(a, b)
+            | E::LessEq(a, b)
+            | E::GreaterEq(a, b)
+            | E::Add(a, b)
+            | E::Subtract(a, b)
+            | E::Multiply(a, b)
+            | E::Divide(a, b) => {
+                self.scan_ref(a);
+                self.scan_ref(b);
+            }
+            E::In(a, list) | E::NotIn(a, list) => {
+                self.scan_ref(a);
+                for x in *list {
+                    self.scan_ref(x);
+                }
+            }
+            E::Not(a) | E::UnaryMinus(a) | E::UnaryPlus(a) => self.scan_ref(a),
+            E::FunctionCall(_, args) => {
+                for a in *args {
+                    self.scan_ref(a);
+                }
+            }
+            E::Exists(_) | E::NotExists(_) => {}
+        }
+    }
 }
 
 /// A serializable copy of the [`BodyOps`] counters.
@@ -270,6 +313,66 @@ impl QueryFeatures {
         }
         for g in &q.modifiers.group_by {
             aggregates.scan(&g.expr);
+        }
+
+        QueryFeatures {
+            form: q.form,
+            has_body: q.has_body(),
+            triple_patterns: ops.triples,
+            path_patterns: ops.paths,
+            var_predicates: ops.var_predicates,
+            uses_distinct: q.modifiers.distinct,
+            uses_reduced: q.modifiers.reduced,
+            uses_limit: q.modifiers.limit.is_some(),
+            uses_offset: q.modifiers.offset.is_some(),
+            uses_order_by: !q.modifiers.order_by.is_empty(),
+            uses_group_by: !q.modifiers.group_by.is_empty(),
+            uses_having: !q.modifiers.having.is_empty(),
+            uses_filter: ops.filters > 0,
+            uses_and: ops.uses_and(),
+            uses_union: ops.unions > 0,
+            uses_optional: ops.optionals > 0,
+            uses_graph: ops.graphs > 0,
+            uses_minus: ops.minuses > 0,
+            uses_not_exists: ops.not_exists > 0,
+            uses_exists: ops.exists > 0,
+            uses_bind: ops.binds > 0,
+            uses_values: ops.values_blocks > 0 || q.values.is_some(),
+            uses_service: ops.services > 0,
+            uses_subquery: ops.subqueries > 0,
+            uses_property_path: ops.paths > 0,
+            uses_aggregate: aggregates.any(),
+            aggregates,
+            ops: BodyOpsSummary::from(ops),
+        }
+    }
+
+    /// [`from_walk`](Self::from_walk) over the borrowed AST: builds the
+    /// features from a completed [`QueryWalkRef`](crate::walk::QueryWalkRef)
+    /// and the borrowed query's top-level clauses. Field-identical to
+    /// `from_walk(&q.to_owned(), …)`.
+    pub fn from_walk_ref(
+        q: &sparqlog_parser::ast_ref::Query<'_>,
+        walk: &crate::walk::QueryWalkRef<'_>,
+    ) -> QueryFeatures {
+        use sparqlog_parser::ast_ref as ar;
+        let ops = &walk.ops;
+        let mut aggregates = walk.aggregates;
+        if let ar::Projection::Items(items) = &q.projection {
+            for item in *items {
+                if let Some(e) = &item.expr {
+                    aggregates.scan_ref(e);
+                }
+            }
+        }
+        for h in q.modifiers.having {
+            aggregates.scan_ref(h);
+        }
+        for o in q.modifiers.order_by {
+            aggregates.scan_ref(&o.expr);
+        }
+        for g in q.modifiers.group_by {
+            aggregates.scan_ref(&g.expr);
         }
 
         QueryFeatures {

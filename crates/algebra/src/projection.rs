@@ -122,6 +122,56 @@ pub fn projection_use_from_walk(
     }
 }
 
+/// [`projection_use_from_walk`] over the borrowed AST and a completed
+/// [`QueryWalkRef`](crate::walk::QueryWalkRef). Result-identical to running
+/// the owned test on `q.to_owned()`.
+pub fn projection_use_from_walk_ref(
+    q: &sparqlog_parser::ast_ref::Query<'_>,
+    walk: &crate::walk::QueryWalkRef<'_>,
+    interner: &mut sparqlog_parser::intern::Interner,
+) -> ProjectionUse {
+    use sparqlog_parser::ast_ref as ar;
+    match q.form {
+        QueryForm::Construct | QueryForm::Describe => ProjectionUse::NotApplicable,
+        QueryForm::Ask => {
+            if walk.has_bind {
+                ProjectionUse::Unknown
+            } else if walk.body_has_var {
+                ProjectionUse::Yes
+            } else {
+                ProjectionUse::No
+            }
+        }
+        QueryForm::Select => match &q.projection {
+            ar::Projection::All => ProjectionUse::No,
+            ar::Projection::Items(items) => {
+                if walk.has_bind || items.iter().any(|i| i.expr.is_some()) {
+                    return ProjectionUse::Unknown;
+                }
+                let selected: BTreeSet<sparqlog_parser::intern::Symbol> =
+                    items.iter().map(|i| interner.intern(i.var)).collect();
+                let query_values = q
+                    .values
+                    .iter()
+                    .flat_map(|v| v.variables.iter())
+                    .map(|v| interner.intern(v));
+                if walk
+                    .visible_vars
+                    .iter()
+                    .copied()
+                    .chain(query_values)
+                    .any(|v| !selected.contains(&v))
+                {
+                    ProjectionUse::Yes
+                } else {
+                    ProjectionUse::No
+                }
+            }
+            ar::Projection::Terms(_) | ar::Projection::None => ProjectionUse::No,
+        },
+    }
+}
+
 /// The set of variables *visible* (in scope) at the top level of the query
 /// body: every variable occurring in the body, except those that occur only
 /// inside subqueries and are not selected by the subquery.

@@ -753,6 +753,376 @@ impl<'q> QueryWalk<'q> {
     }
 }
 
+/// Borrowed-AST twin of [`QueryWalk`]: one traversal of an
+/// [`ast_ref::Query`](sparqlog_parser::ast_ref::Query) collecting the same
+/// channels with the same scoping rules.
+///
+/// Everything extracted is either `Copy` borrowed data (`paths`), interned
+/// symbols (`visible_vars`) or owned (`tree` — the AOF pattern tree is built
+/// from owned copies of the triples and filters as they are encountered, so
+/// the result is safe to keep after the parse arena is reset). The walk only
+/// runs on analysis-cache misses, so the owned tree copies are off the
+/// per-entry hot path.
+#[derive(Debug, Default)]
+pub struct QueryWalkRef<'q> {
+    /// The structural counters.
+    pub ops: BodyOps,
+    /// Aggregate functions used inside the body.
+    pub aggregates: AggregateUse,
+    /// Every property path, in source order (borrowed `Copy` nodes).
+    pub paths: Vec<sparqlog_parser::ast_ref::PropertyPath<'q>>,
+    /// The variables in scope at the top level of the body, as symbols.
+    pub visible_vars: BTreeSet<Symbol>,
+    /// Whether the body mentions any variable at all.
+    pub body_has_var: bool,
+    /// Whether the body uses BIND outside `EXISTS` groups.
+    pub has_bind: bool,
+    /// The AOF pattern tree (owned), when the body is an AOF pattern.
+    pub tree: Option<PatternTree>,
+    /// Whether the tree under construction is still valid.
+    tree_valid: bool,
+}
+
+impl<'q> QueryWalkRef<'q> {
+    /// Walks the body of a borrowed query once; see [`QueryWalk::of`]. The
+    /// channels are identical to running [`QueryWalk::of`] on
+    /// `q.to_owned()`.
+    pub fn of(
+        q: &sparqlog_parser::ast_ref::Query<'q>,
+        interner: &mut Interner,
+    ) -> QueryWalkRef<'q> {
+        let mut walk = QueryWalkRef {
+            tree_valid: true,
+            ..QueryWalkRef::default()
+        };
+        let Some(body) = &q.where_clause else {
+            walk.tree_valid = false;
+            return walk;
+        };
+        let mut root = PatternNode::default();
+        let ctx = GroupCtx {
+            aggs: true,
+            visible: true,
+            vars: true,
+            bindscan: true,
+            paths: true,
+        };
+        walk.walk_group(body, ctx, Some(&mut root), interner);
+        if walk.tree_valid {
+            walk.tree = Some(PatternTree { root });
+        }
+        walk
+    }
+
+    fn walk_group(
+        &mut self,
+        g: &sparqlog_parser::ast_ref::GroupGraphPattern<'q>,
+        ctx: GroupCtx,
+        mut node: Option<&mut PatternNode>,
+        interner: &mut Interner,
+    ) {
+        use sparqlog_parser::ast_ref as ar;
+        let mut joined_elements: u32 = 0;
+        for el in g.elements {
+            match el {
+                ar::GroupElement::Triples(ts) => {
+                    for t in *ts {
+                        match t {
+                            ar::TripleOrPath::Triple(t) => {
+                                self.ops.triples += 1;
+                                if t.predicate.is_var() {
+                                    self.ops.var_predicates += 1;
+                                }
+                                for term in [&t.subject, &t.predicate, &t.object] {
+                                    self.record_term_var(term, ctx, interner);
+                                }
+                                if let Some(node) = node.as_deref_mut() {
+                                    if self.tree_valid {
+                                        node.triples.push(t.to_owned());
+                                    }
+                                }
+                            }
+                            ar::TripleOrPath::Path(p) => {
+                                self.ops.paths += 1;
+                                self.tree_valid = false;
+                                if ctx.paths {
+                                    self.paths.push(p.path);
+                                }
+                                for term in [&p.subject, &p.object] {
+                                    self.record_term_var(term, ctx, interner);
+                                }
+                            }
+                        }
+                        joined_elements += 1;
+                    }
+                }
+                ar::GroupElement::Filter(e) => {
+                    self.ops.filters += 1;
+                    let saw_exists = self.walk_expr(
+                        e,
+                        ExprCtx {
+                            ops: true,
+                            aggs: ctx.aggs,
+                            vars: ctx.vars,
+                            paths: ctx.paths,
+                            top: true,
+                        },
+                        interner,
+                    );
+                    if saw_exists {
+                        self.tree_valid = false;
+                    } else if let Some(node) = node.as_deref_mut() {
+                        if self.tree_valid {
+                            node.filters.push(e.to_owned());
+                        }
+                    }
+                }
+                ar::GroupElement::Bind { var, expr } => {
+                    self.ops.binds += 1;
+                    self.tree_valid = false;
+                    if ctx.bindscan {
+                        self.has_bind = true;
+                    }
+                    if ctx.visible {
+                        let symbol = interner.intern(var);
+                        self.visible_vars.insert(symbol);
+                    }
+                    if ctx.vars {
+                        self.body_has_var = true;
+                    }
+                    self.walk_expr(
+                        expr,
+                        ExprCtx {
+                            ops: true,
+                            aggs: ctx.aggs,
+                            vars: ctx.vars,
+                            paths: ctx.paths,
+                            top: true,
+                        },
+                        interner,
+                    );
+                }
+                ar::GroupElement::Optional(inner) => {
+                    self.ops.optionals += 1;
+                    match node.as_deref_mut().filter(|_| self.tree_valid) {
+                        Some(parent) => {
+                            let mut child = PatternNode::default();
+                            self.walk_group(inner, ctx, Some(&mut child), interner);
+                            if self.tree_valid {
+                                parent.children.push(child);
+                            }
+                        }
+                        None => self.walk_group(inner, ctx, None, interner),
+                    }
+                }
+                ar::GroupElement::Union(branches) => {
+                    self.ops.unions += (branches.len().saturating_sub(1)) as u32;
+                    self.tree_valid = false;
+                    for b in *branches {
+                        self.walk_group(b, ctx, None, interner);
+                    }
+                    joined_elements += 1;
+                }
+                ar::GroupElement::Graph { name, pattern } => {
+                    self.ops.graphs += 1;
+                    self.tree_valid = false;
+                    self.record_term_var(name, ctx, interner);
+                    self.walk_group(pattern, ctx, None, interner);
+                    joined_elements += 1;
+                }
+                ar::GroupElement::Minus(inner) => {
+                    self.ops.minuses += 1;
+                    self.tree_valid = false;
+                    self.walk_group(inner, ctx, None, interner);
+                }
+                ar::GroupElement::Service { name, pattern, .. } => {
+                    self.ops.services += 1;
+                    self.tree_valid = false;
+                    self.record_term_var(name, ctx, interner);
+                    self.walk_group(pattern, ctx, None, interner);
+                    joined_elements += 1;
+                }
+                ar::GroupElement::Values(d) => {
+                    self.ops.values_blocks += 1;
+                    self.tree_valid = false;
+                    if ctx.visible {
+                        for v in d.variables {
+                            let symbol = interner.intern(v);
+                            self.visible_vars.insert(symbol);
+                        }
+                    }
+                    if ctx.vars && !d.variables.is_empty() {
+                        self.body_has_var = true;
+                    }
+                    joined_elements += 1;
+                }
+                ar::GroupElement::SubSelect(q) => {
+                    self.ops.subqueries += 1;
+                    self.tree_valid = false;
+                    // Only the variables the subquery projects are visible.
+                    let inner_visible = ctx.visible && matches!(q.projection, ar::Projection::All);
+                    if ctx.visible {
+                        if let ar::Projection::Items(items) = &q.projection {
+                            for item in *items {
+                                let symbol = interner.intern(item.var);
+                                self.visible_vars.insert(symbol);
+                            }
+                        }
+                    }
+                    if let Some(inner) = &q.where_clause {
+                        self.walk_group(
+                            inner,
+                            GroupCtx {
+                                visible: inner_visible,
+                                ..ctx
+                            },
+                            None,
+                            interner,
+                        );
+                    }
+                    // Projection expressions feed the ops counters and the
+                    // aggregate scan; HAVING clauses only the aggregate scan.
+                    if let ar::Projection::Items(items) = &q.projection {
+                        for item in *items {
+                            if let Some(e) = &item.expr {
+                                self.walk_expr(
+                                    e,
+                                    ExprCtx {
+                                        ops: true,
+                                        aggs: ctx.aggs,
+                                        vars: false,
+                                        paths: false,
+                                        top: false,
+                                    },
+                                    interner,
+                                );
+                            }
+                        }
+                    }
+                    for h in q.modifiers.having {
+                        self.walk_expr(
+                            h,
+                            ExprCtx {
+                                ops: false,
+                                aggs: ctx.aggs,
+                                vars: false,
+                                paths: false,
+                                top: false,
+                            },
+                            interner,
+                        );
+                    }
+                    joined_elements += 1;
+                }
+                ar::GroupElement::Group(inner) => {
+                    match node.as_deref_mut().filter(|_| self.tree_valid) {
+                        Some(parent) => self.walk_group(inner, ctx, Some(parent), interner),
+                        None => self.walk_group(inner, ctx, None, interner),
+                    }
+                    joined_elements += 1;
+                }
+            }
+        }
+        self.ops.joins += joined_elements.saturating_sub(1);
+    }
+
+    fn record_term_var(
+        &mut self,
+        term: &sparqlog_parser::ast_ref::Term<'q>,
+        ctx: GroupCtx,
+        interner: &mut Interner,
+    ) {
+        if let sparqlog_parser::ast_ref::Term::Var(v) = term {
+            if ctx.visible {
+                let symbol = interner.intern(v);
+                self.visible_vars.insert(symbol);
+            }
+            if ctx.vars {
+                self.body_has_var = true;
+            }
+        }
+    }
+
+    fn walk_expr(
+        &mut self,
+        e: &sparqlog_parser::ast_ref::Expression<'q>,
+        ctx: ExprCtx,
+        interner: &mut Interner,
+    ) -> bool {
+        use sparqlog_parser::ast_ref::Expression as E;
+        let inner = ExprCtx { top: false, ..ctx };
+        match e {
+            E::Var(_) => {
+                if ctx.vars {
+                    self.body_has_var = true;
+                }
+                false
+            }
+            E::Term(_) => false,
+            E::Exists(g) | E::NotExists(g) => {
+                if ctx.ops {
+                    match e {
+                        E::Exists(_) => self.ops.exists += 1,
+                        _ => self.ops.not_exists += 1,
+                    }
+                    let group_ctx = GroupCtx {
+                        aggs: false,
+                        visible: false,
+                        vars: ctx.vars,
+                        bindscan: false,
+                        paths: ctx.paths && ctx.top,
+                    };
+                    self.walk_group(g, group_ctx, None, interner);
+                }
+                true
+            }
+            E::Aggregate(agg) => {
+                if ctx.ops {
+                    self.ops.aggregates_in_body += 1;
+                }
+                if ctx.aggs {
+                    self.aggregates.record(agg.kind);
+                }
+                match agg.expr {
+                    Some(inner_expr) => self.walk_expr(inner_expr, inner, interner),
+                    None => false,
+                }
+            }
+            E::Or(a, b)
+            | E::And(a, b)
+            | E::Equal(a, b)
+            | E::NotEqual(a, b)
+            | E::Less(a, b)
+            | E::Greater(a, b)
+            | E::LessEq(a, b)
+            | E::GreaterEq(a, b)
+            | E::Add(a, b)
+            | E::Subtract(a, b)
+            | E::Multiply(a, b)
+            | E::Divide(a, b) => {
+                let sa = self.walk_expr(a, inner, interner);
+                let sb = self.walk_expr(b, inner, interner);
+                sa || sb
+            }
+            E::In(a, list) | E::NotIn(a, list) => {
+                let mut saw = self.walk_expr(a, inner, interner);
+                for x in *list {
+                    saw |= self.walk_expr(x, inner, interner);
+                }
+                saw
+            }
+            E::Not(a) | E::UnaryMinus(a) | E::UnaryPlus(a) => self.walk_expr(a, inner, interner),
+            E::FunctionCall(_, args) => {
+                let mut saw = false;
+                for a in *args {
+                    saw |= self.walk_expr(a, inner, interner);
+                }
+                saw
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,6 +27,7 @@
 //! queries themselves.
 
 use serde::{Deserialize, Serialize};
+use sparqlog_parser::bytescan::find_newline;
 use sparqlog_parser::{canonical_fingerprint_of, parse_query, to_canonical_string, Query};
 use std::collections::HashSet;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -443,31 +444,10 @@ impl LogReader for SliceLogReader<'_> {
 /// result.
 const ESTIMATED_LINE_BYTES: u64 = 128;
 
-/// Returns the index of the first `\n` in `bytes`, scanning a machine word
-/// at a time (SWAR — the classic "has zero byte" bit trick over the
-/// XOR-masked word) instead of iterating per byte. `from_le_bytes` pins the
-/// lane order so `trailing_zeros` locates the *first* match on any
-/// endianness; lanes below the first match carry no borrow, so the reported
-/// position is exact even though higher lanes may raise false flags.
-fn find_newline(bytes: &[u8]) -> Option<usize> {
-    const LANES: usize = std::mem::size_of::<usize>();
-    const ONES: usize = usize::from_le_bytes([0x01; LANES]);
-    const HIGHS: usize = usize::from_le_bytes([0x80; LANES]);
-    const TARGET: usize = usize::from_le_bytes([b'\n'; LANES]);
-    let mut i = 0;
-    while i + LANES <= bytes.len() {
-        let chunk: [u8; LANES] = bytes[i..i + LANES]
-            .try_into()
-            .expect("chunk is exactly LANES bytes");
-        let word = usize::from_le_bytes(chunk) ^ TARGET;
-        let matches = word.wrapping_sub(ONES) & !word & HIGHS;
-        if matches != 0 {
-            return Some(i + matches.trailing_zeros() as usize / 8);
-        }
-        i += LANES;
-    }
-    bytes[i..].iter().position(|&b| b == b'\n').map(|p| i + p)
-}
+// The SWAR `\n` search the line reader scans with (`find_newline`, imported
+// above) now lives in the parser's shared byte-classification module, where
+// the zero-copy lexer applies the same word-at-a-time technique to
+// whitespace and name runs.
 
 /// A [`LogReader`] over any buffered byte stream, one entry per line. Lines
 /// are terminated by `\n` or `\r\n` (the terminator is stripped); a final

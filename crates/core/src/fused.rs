@@ -74,7 +74,7 @@ use crate::corpus::{
 use crate::query_analysis::QueryAnalysis;
 use serde::{Deserialize, Serialize};
 use sparqlog_parser::intern::{InternStats, Interner};
-use sparqlog_parser::{canonical_fingerprint_of, parse_query};
+use sparqlog_parser::{canonical_fingerprint_of_ref, parse_query_in, Arena};
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -217,11 +217,13 @@ pub struct FusedAnalysis {
 }
 
 /// One worker's private state: lock-free per-log occurrence maps, the term
-/// interner threaded through every analysis, and the number of shared-cache
-/// consultations (first-local-occurrence lookups).
+/// interner threaded through every analysis, the bump arena every AST is
+/// parsed into, and the number of shared-cache consultations
+/// (first-local-occurrence lookups).
 struct FusedWorker {
     counts: Vec<HashMap<u128, u64, FingerprintBuildHasher>>,
     interner: Interner,
+    arena: Arena,
     lookups: u64,
 }
 
@@ -230,25 +232,31 @@ impl FusedWorker {
         FusedWorker {
             counts: (0..log_count).map(|_| HashMap::default()).collect(),
             interner: Interner::new(),
+            arena: Arena::new(),
             lookups: 0,
         }
     }
 
     /// Parses, fingerprints and resolves one batch. Each valid entry's AST
-    /// lives exactly as long as this loop's iteration: a first occurrence is
-    /// analysed into the cache, a duplicate only bumps the local counter.
+    /// is bump-allocated into the worker's arena and lives exactly as long
+    /// as this loop's iteration: the arena is reset before the next entry
+    /// parses, so a first occurrence is analysed into the cache (fingerprint
+    /// and analysis own their data), a duplicate only bumps the local
+    /// counter, and steady-state parsing touches the global allocator only
+    /// when a canonical form is new.
     fn process_batch(&mut self, log_index: usize, batch: &[String], cache: &AnalysisCache) {
         let map = &mut self.counts[log_index];
         let interner = &mut self.interner;
         for entry in batch {
-            let Ok(query) = parse_query(entry) else {
+            self.arena.reset();
+            let Ok(query) = parse_query_in(entry, &self.arena) else {
                 continue;
             };
-            let fingerprint = canonical_fingerprint_of(&query);
+            let fingerprint = canonical_fingerprint_of_ref(&query);
             let slot = map.entry(fingerprint).or_insert(0);
             if *slot == 0 {
                 self.lookups += 1;
-                cache.get_or_insert_with(fingerprint, || QueryAnalysis::of_with(&query, interner));
+                cache.get_or_insert_with(fingerprint, || QueryAnalysis::of_ref(&query, interner));
             }
             *slot += 1;
         }

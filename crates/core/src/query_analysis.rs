@@ -14,10 +14,12 @@
 //! against.
 
 use sparqlog_algebra::{
-    classify_fragments_from_walk, projection_use_from_walk, ProjectionUse, QueryFeatures, QueryWalk,
+    classify_fragments_from_walk, classify_fragments_from_walk_ref, projection_use_from_walk,
+    projection_use_from_walk_ref, ProjectionUse, QueryFeatures, QueryWalk, QueryWalkRef,
 };
 use sparqlog_graph::StructuralReport;
 use sparqlog_parser::ast::QueryForm;
+use sparqlog_parser::ast_ref;
 use sparqlog_parser::intern::Interner;
 use sparqlog_parser::Query;
 use sparqlog_paths::PathTally;
@@ -66,6 +68,35 @@ impl QueryAnalysis {
         let mut paths = PathTally::new();
         for p in &walk.paths {
             paths.add(p);
+        }
+        QueryAnalysis {
+            form: query.form,
+            features,
+            projection,
+            has_subqueries: walk.ops.subqueries > 0,
+            paths,
+            structural,
+        }
+    }
+
+    /// [`QueryAnalysis::of_with`] over a borrowed, arena-allocated AST
+    /// ([`ast_ref::Query`]): the analysis runs directly on the zero-copy
+    /// parse result without first materializing an owned AST. Property
+    /// paths are the only nodes converted to owned form (per path, at
+    /// tally time); everything else walks the borrowed tree. The returned
+    /// record is byte-identical to `of_with(&query.to_owned(), interner)`
+    /// and owns no arena data, so the caller may reset the arena as soon
+    /// as this returns.
+    pub fn of_ref(query: &ast_ref::Query<'_>, interner: &mut Interner) -> QueryAnalysis {
+        let walk = QueryWalkRef::of(query, interner);
+        let features = QueryFeatures::from_walk_ref(query, &walk);
+        let projection = projection_use_from_walk_ref(query, &walk, interner);
+        let fragments = classify_fragments_from_walk_ref(query, &walk);
+        let structural =
+            StructuralReport::from_walk_interned(fragments, walk.tree.as_ref(), interner);
+        let mut paths = PathTally::new();
+        for p in &walk.paths {
+            paths.add(&p.to_owned());
         }
         QueryAnalysis {
             form: query.form,
@@ -141,5 +172,31 @@ mod tests {
     fn path_tally_collects_every_path() {
         let a = qa("SELECT * WHERE { ?x <a>/<b> ?y . ?y <c>* ?z GRAPH ?g { ?z ^<d> ?w } }");
         assert_eq!(a.paths.total, 3);
+    }
+
+    #[test]
+    fn borrowed_ast_analysis_matches_owned_ast_analysis() {
+        use sparqlog_parser::{parse_query_in, Arena};
+        let arena = Arena::new();
+        for text in [
+            "SELECT ?x WHERE { ?x a <http://C> . ?x <http://p> ?y FILTER(?y > 3) } LIMIT 5",
+            "ASK { <http://s> <http://p> <http://o> }",
+            "SELECT ?x WHERE { ?x <http://a>/<http://b>* ?y }",
+            "DESCRIBE <http://r>",
+            "SELECT * WHERE { ?A <name> ?N OPTIONAL { ?A <email> ?E } }",
+            "SELECT ?x WHERE { { ?x <p> ?y } UNION { ?x <q> ?y } }",
+            "SELECT ?x WHERE { ?x a <http://C> FILTER NOT EXISTS { ?x <http://p> ?y } }",
+            "SELECT (COUNT(?x) AS ?n) WHERE { ?x ?p ?o } GROUP BY ?p HAVING(COUNT(?x) > 1)",
+            "SELECT * WHERE { SERVICE <http://ep> { ?s ?p ?o } VALUES ?s { <http://a> } }",
+            "SELECT * WHERE { ?x <a>/<b> ?y . ?y <c>* ?z GRAPH ?g { ?z ^<d> ?w } }",
+        ] {
+            let borrowed = parse_query_in(text, &arena).unwrap();
+            let owned = borrowed.to_owned();
+            let mut interner = Interner::new();
+            let via_ref = QueryAnalysis::of_ref(&borrowed, &mut interner);
+            let mut interner2 = Interner::new();
+            let via_owned = QueryAnalysis::of_with(&owned, &mut interner2);
+            assert_eq!(format!("{via_ref:?}"), format!("{via_owned:?}"), "{text}");
+        }
     }
 }

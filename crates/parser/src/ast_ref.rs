@@ -1,0 +1,947 @@
+//! Borrowed, arena-resident mirrors of the owned [`ast`] types.
+//!
+//! Every type here is `Copy` and borrows either the query source text or the
+//! parse [`Arena`](crate::arena::Arena): strings are `&'a str`, child nodes
+//! are arena references, and lists are arena slices. The parser builds these
+//! (via [`parse_query_in`](crate::parse_query_in)) with zero per-node global
+//! allocations; tearing a query down is a single arena
+//! [`reset`](crate::arena::Arena::reset).
+//!
+//! # Lifetime rules
+//!
+//! A borrowed query is valid only while *both* its input buffer and its arena
+//! are alive and the arena has not been reset. Nothing from a borrowed query
+//! may escape the batch that parsed it: anything that must outlive the batch
+//! (cache keys, reports, interner symbols) must be copied out first — either
+//! through [`Query::to_owned`], which produces the exact owned
+//! [`ast::Query`], or by interning individual strings.
+//! The `to_owned` adapters define the equivalence contract with the owned
+//! surface: a round trip through them is byte-identical under canonical
+//! serialization.
+//!
+//! Structure, field names and `Display` output deliberately match `ast`
+//! one-to-one so the canonical-form writers can be mirrored mechanically.
+
+use crate::ast;
+pub use crate::ast::{AggregateKind, OrderDirection, QueryForm};
+use std::fmt;
+
+/// An RDF term or variable (borrowed). See [`ast::Term`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term<'a> {
+    /// An IRI (expanded or verbatim `prefix:local`).
+    Iri(&'a str),
+    /// A literal with optional datatype IRI or language tag.
+    Literal {
+        /// The lexical form (without quotes).
+        lexical: &'a str,
+        /// Datatype IRI, if `^^` was used.
+        datatype: Option<&'a str>,
+        /// Language tag, if `@tag` was used.
+        lang: Option<&'a str>,
+    },
+    /// A blank node label.
+    BlankNode(&'a str),
+    /// A query variable (without the sigil).
+    Var(&'a str),
+}
+
+impl<'a> Term<'a> {
+    /// Returns `true` if this term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    /// Returns `true` if this term is a blank node.
+    pub fn is_blank(&self) -> bool {
+        matches!(self, Term::BlankNode(_))
+    }
+
+    /// Returns `true` if this term is a variable or blank node.
+    pub fn is_var_or_blank(&self) -> bool {
+        self.is_var() || self.is_blank()
+    }
+
+    /// Returns the variable name if this term is a variable.
+    pub fn as_var(&self) -> Option<&'a str> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Copies the term into the owned representation.
+    pub fn to_owned(&self) -> ast::Term {
+        match *self {
+            Term::Iri(i) => ast::Term::Iri(i.to_string()),
+            Term::Literal {
+                lexical,
+                datatype,
+                lang,
+            } => ast::Term::Literal {
+                lexical: lexical.to_string(),
+                datatype: datatype.map(str::to_string),
+                lang: lang.map(str::to_string),
+            },
+            Term::BlankNode(b) => ast::Term::BlankNode(b.to_string()),
+            Term::Var(v) => ast::Term::Var(v.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Term<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Must stay byte-identical to `ast::Term`'s Display.
+        match self {
+            Term::Iri(i) => {
+                if i.contains("://") || i.starts_with("urn:") || i.starts_with("mailto:") {
+                    write!(f, "<{i}>")
+                } else {
+                    write!(f, "{i}")
+                }
+            }
+            Term::Literal {
+                lexical,
+                datatype,
+                lang,
+            } => {
+                write!(f, "{:?}", lexical)?;
+                if let Some(dt) = datatype {
+                    write!(f, "^^<{dt}>")?;
+                }
+                if let Some(l) = lang {
+                    write!(f, "@{l}")?;
+                }
+                Ok(())
+            }
+            Term::BlankNode(b) => write!(f, "_:{b}"),
+            Term::Var(v) => write!(f, "?{v}"),
+        }
+    }
+}
+
+/// A triple pattern (borrowed). See [`ast::TriplePattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TriplePattern<'a> {
+    /// The subject position.
+    pub subject: Term<'a>,
+    /// The predicate position.
+    pub predicate: Term<'a>,
+    /// The object position.
+    pub object: Term<'a>,
+}
+
+impl<'a> TriplePattern<'a> {
+    /// Copies the pattern into the owned representation.
+    pub fn to_owned(&self) -> ast::TriplePattern {
+        ast::TriplePattern {
+            subject: self.subject.to_owned(),
+            predicate: self.predicate.to_owned(),
+            object: self.object.to_owned(),
+        }
+    }
+}
+
+/// A property path expression (borrowed). See [`ast::PropertyPath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PropertyPath<'a> {
+    /// A single IRI step.
+    Iri(&'a str),
+    /// `^p` — inverse step.
+    Inverse(&'a PropertyPath<'a>),
+    /// `p1 / p2` — sequence.
+    Sequence(&'a PropertyPath<'a>, &'a PropertyPath<'a>),
+    /// `p1 | p2` — alternative.
+    Alternative(&'a PropertyPath<'a>, &'a PropertyPath<'a>),
+    /// `p*` — zero or more.
+    ZeroOrMore(&'a PropertyPath<'a>),
+    /// `p+` — one or more.
+    OneOrMore(&'a PropertyPath<'a>),
+    /// `p?` — zero or one.
+    ZeroOrOne(&'a PropertyPath<'a>),
+    /// `!(a | ^b | …)` — negated property set of `(iri, inverse?)` entries.
+    NegatedPropertySet(&'a [(&'a str, bool)]),
+}
+
+impl PropertyPath<'_> {
+    /// Returns `true` if the path is a single forward IRI step.
+    pub fn is_trivial(&self) -> bool {
+        matches!(self, PropertyPath::Iri(_))
+    }
+
+    /// Copies the path into the owned representation.
+    pub fn to_owned(&self) -> ast::PropertyPath {
+        match *self {
+            PropertyPath::Iri(i) => ast::PropertyPath::Iri(i.to_string()),
+            PropertyPath::Inverse(p) => ast::PropertyPath::Inverse(Box::new(p.to_owned())),
+            PropertyPath::Sequence(a, b) => {
+                ast::PropertyPath::Sequence(Box::new(a.to_owned()), Box::new(b.to_owned()))
+            }
+            PropertyPath::Alternative(a, b) => {
+                ast::PropertyPath::Alternative(Box::new(a.to_owned()), Box::new(b.to_owned()))
+            }
+            PropertyPath::ZeroOrMore(p) => ast::PropertyPath::ZeroOrMore(Box::new(p.to_owned())),
+            PropertyPath::OneOrMore(p) => ast::PropertyPath::OneOrMore(Box::new(p.to_owned())),
+            PropertyPath::ZeroOrOne(p) => ast::PropertyPath::ZeroOrOne(Box::new(p.to_owned())),
+            PropertyPath::NegatedPropertySet(items) => ast::PropertyPath::NegatedPropertySet(
+                items
+                    .iter()
+                    .map(|&(iri, inv)| (iri.to_string(), inv))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for PropertyPath<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Must stay byte-identical to `ast::PropertyPath`'s Display.
+        match self {
+            PropertyPath::Iri(i) => write!(f, "<{i}>"),
+            PropertyPath::Inverse(p) => write!(f, "^({p})"),
+            PropertyPath::Sequence(a, b) => write!(f, "({a}/{b})"),
+            PropertyPath::Alternative(a, b) => write!(f, "({a}|{b})"),
+            PropertyPath::ZeroOrMore(p) => write!(f, "({p})*"),
+            PropertyPath::OneOrMore(p) => write!(f, "({p})+"),
+            PropertyPath::ZeroOrOne(p) => write!(f, "({p})?"),
+            PropertyPath::NegatedPropertySet(items) => {
+                write!(f, "!(")?;
+                for (i, (iri, inv)) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    if *inv {
+                        write!(f, "^")?;
+                    }
+                    write!(f, "<{iri}>")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A property path pattern (borrowed). See [`ast::PathPattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathPattern<'a> {
+    /// The subject position.
+    pub subject: Term<'a>,
+    /// The property path connecting subject and object.
+    pub path: PropertyPath<'a>,
+    /// The object position.
+    pub object: Term<'a>,
+}
+
+impl PathPattern<'_> {
+    /// Copies the pattern into the owned representation.
+    pub fn to_owned(&self) -> ast::PathPattern {
+        ast::PathPattern {
+            subject: self.subject.to_owned(),
+            path: self.path.to_owned(),
+            object: self.object.to_owned(),
+        }
+    }
+}
+
+/// A triple-like element (borrowed). See [`ast::TripleOrPath`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TripleOrPath<'a> {
+    /// A plain triple pattern.
+    Triple(TriplePattern<'a>),
+    /// A property path pattern.
+    Path(PathPattern<'a>),
+}
+
+impl<'a> TripleOrPath<'a> {
+    /// The subject term.
+    pub fn subject(&self) -> &Term<'a> {
+        match self {
+            TripleOrPath::Triple(t) => &t.subject,
+            TripleOrPath::Path(p) => &p.subject,
+        }
+    }
+
+    /// The object term.
+    pub fn object(&self) -> &Term<'a> {
+        match self {
+            TripleOrPath::Triple(t) => &t.object,
+            TripleOrPath::Path(p) => &p.object,
+        }
+    }
+
+    /// Copies the element into the owned representation.
+    pub fn to_owned(&self) -> ast::TripleOrPath {
+        match self {
+            TripleOrPath::Triple(t) => ast::TripleOrPath::Triple(t.to_owned()),
+            TripleOrPath::Path(p) => ast::TripleOrPath::Path(p.to_owned()),
+        }
+    }
+}
+
+/// An aggregate expression (borrowed). See [`ast::Aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate<'a> {
+    /// Which aggregate function.
+    pub kind: AggregateKind,
+    /// Whether `DISTINCT` was used inside the aggregate.
+    pub distinct: bool,
+    /// The aggregated expression; `None` for `COUNT(*)`.
+    pub expr: Option<&'a Expression<'a>>,
+    /// The `SEPARATOR` argument of `GROUP_CONCAT`, if present.
+    pub separator: Option<&'a str>,
+}
+
+impl Aggregate<'_> {
+    /// Copies the aggregate into the owned representation.
+    pub fn to_owned(&self) -> ast::Aggregate {
+        ast::Aggregate {
+            kind: self.kind,
+            distinct: self.distinct,
+            expr: self.expr.map(|e| Box::new(e.to_owned())),
+            separator: self.separator.map(str::to_string),
+        }
+    }
+}
+
+/// A SPARQL expression (borrowed). See [`ast::Expression`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Expression<'a> {
+    /// A variable reference.
+    Var(&'a str),
+    /// A constant RDF term.
+    Term(Term<'a>),
+    /// `a || b`.
+    Or(&'a Expression<'a>, &'a Expression<'a>),
+    /// `a && b`.
+    And(&'a Expression<'a>, &'a Expression<'a>),
+    /// `a = b`.
+    Equal(&'a Expression<'a>, &'a Expression<'a>),
+    /// `a != b`.
+    NotEqual(&'a Expression<'a>, &'a Expression<'a>),
+    /// `a < b`.
+    Less(&'a Expression<'a>, &'a Expression<'a>),
+    /// `a > b`.
+    Greater(&'a Expression<'a>, &'a Expression<'a>),
+    /// `a <= b`.
+    LessEq(&'a Expression<'a>, &'a Expression<'a>),
+    /// `a >= b`.
+    GreaterEq(&'a Expression<'a>, &'a Expression<'a>),
+    /// `a IN (…)`.
+    In(&'a Expression<'a>, &'a [Expression<'a>]),
+    /// `a NOT IN (…)`.
+    NotIn(&'a Expression<'a>, &'a [Expression<'a>]),
+    /// `a + b`.
+    Add(&'a Expression<'a>, &'a Expression<'a>),
+    /// `a - b`.
+    Subtract(&'a Expression<'a>, &'a Expression<'a>),
+    /// `a * b`.
+    Multiply(&'a Expression<'a>, &'a Expression<'a>),
+    /// `a / b`.
+    Divide(&'a Expression<'a>, &'a Expression<'a>),
+    /// `!a`.
+    Not(&'a Expression<'a>),
+    /// `-a`.
+    UnaryMinus(&'a Expression<'a>),
+    /// `+a`.
+    UnaryPlus(&'a Expression<'a>),
+    /// A built-in or custom function call `name(args…)`.
+    FunctionCall(&'a str, &'a [Expression<'a>]),
+    /// `EXISTS { … }`.
+    Exists(&'a GroupGraphPattern<'a>),
+    /// `NOT EXISTS { … }`.
+    NotExists(&'a GroupGraphPattern<'a>),
+    /// An aggregate expression.
+    Aggregate(Aggregate<'a>),
+}
+
+impl<'a> Expression<'a> {
+    /// Visits every variable mentioned in the expression (with duplicates, in
+    /// traversal order), including variables inside EXISTS patterns.
+    pub fn for_each_variable(&self, f: &mut impl FnMut(&'a str)) {
+        match *self {
+            Expression::Var(v) => f(v),
+            Expression::Term(_) => {}
+            Expression::Or(a, b)
+            | Expression::And(a, b)
+            | Expression::Equal(a, b)
+            | Expression::NotEqual(a, b)
+            | Expression::Less(a, b)
+            | Expression::Greater(a, b)
+            | Expression::LessEq(a, b)
+            | Expression::GreaterEq(a, b)
+            | Expression::Add(a, b)
+            | Expression::Subtract(a, b)
+            | Expression::Multiply(a, b)
+            | Expression::Divide(a, b) => {
+                a.for_each_variable(f);
+                b.for_each_variable(f);
+            }
+            Expression::In(a, list) | Expression::NotIn(a, list) => {
+                a.for_each_variable(f);
+                for e in list {
+                    e.for_each_variable(f);
+                }
+            }
+            Expression::Not(a) | Expression::UnaryMinus(a) | Expression::UnaryPlus(a) => {
+                a.for_each_variable(f)
+            }
+            Expression::FunctionCall(_, args) => {
+                for a in args {
+                    a.for_each_variable(f);
+                }
+            }
+            Expression::Exists(g) | Expression::NotExists(g) => g.for_each_variable(f),
+            Expression::Aggregate(agg) => {
+                if let Some(e) = agg.expr {
+                    e.for_each_variable(f);
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the expression contains an EXISTS or NOT EXISTS.
+    pub fn contains_exists(&self) -> bool {
+        match *self {
+            Expression::Exists(_) | Expression::NotExists(_) => true,
+            Expression::Var(_) | Expression::Term(_) => false,
+            Expression::Or(a, b)
+            | Expression::And(a, b)
+            | Expression::Equal(a, b)
+            | Expression::NotEqual(a, b)
+            | Expression::Less(a, b)
+            | Expression::Greater(a, b)
+            | Expression::LessEq(a, b)
+            | Expression::GreaterEq(a, b)
+            | Expression::Add(a, b)
+            | Expression::Subtract(a, b)
+            | Expression::Multiply(a, b)
+            | Expression::Divide(a, b) => a.contains_exists() || b.contains_exists(),
+            Expression::In(a, list) | Expression::NotIn(a, list) => {
+                a.contains_exists() || list.iter().any(|e| e.contains_exists())
+            }
+            Expression::Not(a) | Expression::UnaryMinus(a) | Expression::UnaryPlus(a) => {
+                a.contains_exists()
+            }
+            Expression::FunctionCall(_, args) => args.iter().any(|a| a.contains_exists()),
+            Expression::Aggregate(agg) => agg.expr.is_some_and(|e| e.contains_exists()),
+        }
+    }
+
+    /// Copies the expression into the owned representation.
+    pub fn to_owned(&self) -> ast::Expression {
+        fn bx(e: &Expression<'_>) -> Box<ast::Expression> {
+            Box::new(e.to_owned())
+        }
+        match *self {
+            Expression::Var(v) => ast::Expression::Var(v.to_string()),
+            Expression::Term(t) => ast::Expression::Term(t.to_owned()),
+            Expression::Or(a, b) => ast::Expression::Or(bx(a), bx(b)),
+            Expression::And(a, b) => ast::Expression::And(bx(a), bx(b)),
+            Expression::Equal(a, b) => ast::Expression::Equal(bx(a), bx(b)),
+            Expression::NotEqual(a, b) => ast::Expression::NotEqual(bx(a), bx(b)),
+            Expression::Less(a, b) => ast::Expression::Less(bx(a), bx(b)),
+            Expression::Greater(a, b) => ast::Expression::Greater(bx(a), bx(b)),
+            Expression::LessEq(a, b) => ast::Expression::LessEq(bx(a), bx(b)),
+            Expression::GreaterEq(a, b) => ast::Expression::GreaterEq(bx(a), bx(b)),
+            Expression::In(a, list) => {
+                ast::Expression::In(bx(a), list.iter().map(|e| e.to_owned()).collect())
+            }
+            Expression::NotIn(a, list) => {
+                ast::Expression::NotIn(bx(a), list.iter().map(|e| e.to_owned()).collect())
+            }
+            Expression::Add(a, b) => ast::Expression::Add(bx(a), bx(b)),
+            Expression::Subtract(a, b) => ast::Expression::Subtract(bx(a), bx(b)),
+            Expression::Multiply(a, b) => ast::Expression::Multiply(bx(a), bx(b)),
+            Expression::Divide(a, b) => ast::Expression::Divide(bx(a), bx(b)),
+            Expression::Not(a) => ast::Expression::Not(bx(a)),
+            Expression::UnaryMinus(a) => ast::Expression::UnaryMinus(bx(a)),
+            Expression::UnaryPlus(a) => ast::Expression::UnaryPlus(bx(a)),
+            Expression::FunctionCall(name, args) => ast::Expression::FunctionCall(
+                name.to_string(),
+                args.iter().map(|e| e.to_owned()).collect(),
+            ),
+            Expression::Exists(g) => ast::Expression::Exists(Box::new(g.to_owned())),
+            Expression::NotExists(g) => ast::Expression::NotExists(Box::new(g.to_owned())),
+            Expression::Aggregate(agg) => ast::Expression::Aggregate(agg.to_owned()),
+        }
+    }
+}
+
+/// One row of an inline `VALUES` block; `None` represents `UNDEF`.
+pub type ValuesRow<'a> = &'a [Option<Term<'a>>];
+
+/// An inline data block (borrowed). See [`ast::InlineData`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InlineData<'a> {
+    /// The declared variables.
+    pub variables: &'a [&'a str],
+    /// The data rows.
+    pub rows: &'a [ValuesRow<'a>],
+}
+
+impl InlineData<'_> {
+    /// Copies the block into the owned representation.
+    pub fn to_owned(&self) -> ast::InlineData {
+        ast::InlineData {
+            variables: self.variables.iter().map(|v| v.to_string()).collect(),
+            rows: self
+                .rows
+                .iter()
+                .map(|row| row.iter().map(|t| t.map(|t| t.to_owned())).collect())
+                .collect(),
+        }
+    }
+}
+
+/// A single element of a group graph pattern (borrowed). See
+/// [`ast::GroupElement`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GroupElement<'a> {
+    /// A block of triple / path patterns.
+    Triples(&'a [TripleOrPath<'a>]),
+    /// `FILTER constraint`.
+    Filter(Expression<'a>),
+    /// `BIND (expr AS ?var)`.
+    Bind {
+        /// The bound expression.
+        expr: Expression<'a>,
+        /// The target variable (without sigil).
+        var: &'a str,
+    },
+    /// `OPTIONAL { … }`.
+    Optional(GroupGraphPattern<'a>),
+    /// A union chain (two or more branches).
+    Union(&'a [GroupGraphPattern<'a>]),
+    /// `GRAPH term { … }`.
+    Graph {
+        /// The graph name (IRI or variable).
+        name: Term<'a>,
+        /// The nested pattern.
+        pattern: GroupGraphPattern<'a>,
+    },
+    /// `MINUS { … }`.
+    Minus(GroupGraphPattern<'a>),
+    /// `SERVICE [SILENT] term { … }`.
+    Service {
+        /// Whether `SILENT` was given.
+        silent: bool,
+        /// The service endpoint (IRI or variable).
+        name: Term<'a>,
+        /// The nested pattern.
+        pattern: GroupGraphPattern<'a>,
+    },
+    /// An inline `VALUES` block.
+    Values(InlineData<'a>),
+    /// A nested subquery.
+    SubSelect(&'a Query<'a>),
+    /// A plain nested group.
+    Group(GroupGraphPattern<'a>),
+}
+
+impl GroupElement<'_> {
+    /// Copies the element into the owned representation.
+    pub fn to_owned(&self) -> ast::GroupElement {
+        match *self {
+            GroupElement::Triples(ts) => {
+                ast::GroupElement::Triples(ts.iter().map(|t| t.to_owned()).collect())
+            }
+            GroupElement::Filter(e) => ast::GroupElement::Filter(e.to_owned()),
+            GroupElement::Bind { expr, var } => ast::GroupElement::Bind {
+                expr: expr.to_owned(),
+                var: var.to_string(),
+            },
+            GroupElement::Optional(g) => ast::GroupElement::Optional(g.to_owned()),
+            GroupElement::Union(branches) => {
+                ast::GroupElement::Union(branches.iter().map(|b| b.to_owned()).collect())
+            }
+            GroupElement::Graph { name, pattern } => ast::GroupElement::Graph {
+                name: name.to_owned(),
+                pattern: pattern.to_owned(),
+            },
+            GroupElement::Minus(g) => ast::GroupElement::Minus(g.to_owned()),
+            GroupElement::Service {
+                silent,
+                name,
+                pattern,
+            } => ast::GroupElement::Service {
+                silent,
+                name: name.to_owned(),
+                pattern: pattern.to_owned(),
+            },
+            GroupElement::Values(d) => ast::GroupElement::Values(d.to_owned()),
+            GroupElement::SubSelect(q) => ast::GroupElement::SubSelect(Box::new(q.to_owned())),
+            GroupElement::Group(g) => ast::GroupElement::Group(g.to_owned()),
+        }
+    }
+}
+
+/// A group graph pattern (borrowed). See [`ast::GroupGraphPattern`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GroupGraphPattern<'a> {
+    /// The elements in source order.
+    pub elements: &'a [GroupElement<'a>],
+}
+
+impl<'a> GroupGraphPattern<'a> {
+    /// Returns `true` if the group contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Visits every variable occurrence in the group (duplicates included),
+    /// with the same coverage as [`ast::GroupGraphPattern::all_variables`].
+    pub fn for_each_variable(&self, f: &mut impl FnMut(&'a str)) {
+        for el in self.elements {
+            match el {
+                GroupElement::Triples(ts) => {
+                    for t in *ts {
+                        match t {
+                            TripleOrPath::Triple(t) => {
+                                for term in [&t.subject, &t.predicate, &t.object] {
+                                    if let Term::Var(v) = term {
+                                        f(v);
+                                    }
+                                }
+                            }
+                            TripleOrPath::Path(p) => {
+                                for term in [&p.subject, &p.object] {
+                                    if let Term::Var(v) = term {
+                                        f(v);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                GroupElement::Filter(e) => e.for_each_variable(f),
+                GroupElement::Bind { expr, var } => {
+                    expr.for_each_variable(f);
+                    f(var);
+                }
+                GroupElement::Optional(g) | GroupElement::Minus(g) | GroupElement::Group(g) => {
+                    g.for_each_variable(f)
+                }
+                GroupElement::Union(branches) => {
+                    for b in *branches {
+                        b.for_each_variable(f);
+                    }
+                }
+                GroupElement::Graph { name, pattern }
+                | GroupElement::Service { name, pattern, .. } => {
+                    if let Term::Var(v) = name {
+                        f(v);
+                    }
+                    pattern.for_each_variable(f);
+                }
+                GroupElement::Values(d) => {
+                    for v in d.variables {
+                        f(v);
+                    }
+                }
+                GroupElement::SubSelect(q) => {
+                    if let Some(w) = &q.where_clause {
+                        w.for_each_variable(f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Copies the group into the owned representation.
+    pub fn to_owned(&self) -> ast::GroupGraphPattern {
+        ast::GroupGraphPattern {
+            elements: self.elements.iter().map(|el| el.to_owned()).collect(),
+        }
+    }
+}
+
+/// One item of a SELECT clause (borrowed). See [`ast::SelectItem`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectItem<'a> {
+    /// The expression, if the item is `(expr AS ?var)`.
+    pub expr: Option<Expression<'a>>,
+    /// The (result) variable name.
+    pub var: &'a str,
+}
+
+impl SelectItem<'_> {
+    /// Copies the item into the owned representation.
+    pub fn to_owned(&self) -> ast::SelectItem {
+        ast::SelectItem {
+            expr: self.expr.map(|e| e.to_owned()),
+            var: self.var.to_string(),
+        }
+    }
+}
+
+/// What a query projects / describes (borrowed). See [`ast::Projection`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Projection<'a> {
+    /// `SELECT *` (or DESCRIBE *).
+    All,
+    /// An explicit list of SELECT items.
+    Items(&'a [SelectItem<'a>]),
+    /// The resource list of a DESCRIBE query.
+    Terms(&'a [Term<'a>]),
+    /// ASK and CONSTRUCT queries have no projection.
+    None,
+}
+
+impl Projection<'_> {
+    /// Copies the projection into the owned representation.
+    pub fn to_owned(&self) -> ast::Projection {
+        match *self {
+            Projection::All => ast::Projection::All,
+            Projection::Items(items) => {
+                ast::Projection::Items(items.iter().map(|i| i.to_owned()).collect())
+            }
+            Projection::Terms(terms) => {
+                ast::Projection::Terms(terms.iter().map(|t| t.to_owned()).collect())
+            }
+            Projection::None => ast::Projection::None,
+        }
+    }
+}
+
+/// A single ORDER BY condition (borrowed). See [`ast::OrderCondition`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderCondition<'a> {
+    /// Direction of this condition.
+    pub direction: OrderDirection,
+    /// The ordering expression.
+    pub expr: Expression<'a>,
+}
+
+impl OrderCondition<'_> {
+    /// Copies the condition into the owned representation.
+    pub fn to_owned(&self) -> ast::OrderCondition {
+        ast::OrderCondition {
+            direction: self.direction,
+            expr: self.expr.to_owned(),
+        }
+    }
+}
+
+/// One GROUP BY condition (borrowed). See [`ast::GroupCondition`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupCondition<'a> {
+    /// The grouping expression.
+    pub expr: Expression<'a>,
+    /// Optional alias variable.
+    pub alias: Option<&'a str>,
+}
+
+impl GroupCondition<'_> {
+    /// Copies the condition into the owned representation.
+    pub fn to_owned(&self) -> ast::GroupCondition {
+        ast::GroupCondition {
+            expr: self.expr.to_owned(),
+            alias: self.alias.map(str::to_string),
+        }
+    }
+}
+
+/// Solution modifiers (borrowed). See [`ast::SolutionModifiers`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SolutionModifiers<'a> {
+    /// `DISTINCT` on the projection.
+    pub distinct: bool,
+    /// `REDUCED` on the projection.
+    pub reduced: bool,
+    /// `GROUP BY` conditions (empty when absent).
+    pub group_by: &'a [GroupCondition<'a>],
+    /// `HAVING` constraints (empty when absent).
+    pub having: &'a [Expression<'a>],
+    /// `ORDER BY` conditions (empty when absent).
+    pub order_by: &'a [OrderCondition<'a>],
+    /// `LIMIT`, if present.
+    pub limit: Option<u64>,
+    /// `OFFSET`, if present.
+    pub offset: Option<u64>,
+}
+
+impl SolutionModifiers<'_> {
+    /// Copies the modifiers into the owned representation.
+    pub fn to_owned(&self) -> ast::SolutionModifiers {
+        ast::SolutionModifiers {
+            distinct: self.distinct,
+            reduced: self.reduced,
+            group_by: self.group_by.iter().map(|g| g.to_owned()).collect(),
+            having: self.having.iter().map(|e| e.to_owned()).collect(),
+            order_by: self.order_by.iter().map(|o| o.to_owned()).collect(),
+            limit: self.limit,
+            offset: self.offset,
+        }
+    }
+}
+
+/// A `FROM` / `FROM NAMED` clause (borrowed). See [`ast::DatasetClause`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetClause<'a> {
+    /// Whether the clause was `FROM NAMED`.
+    pub named: bool,
+    /// The graph IRI.
+    pub iri: &'a str,
+}
+
+impl DatasetClause<'_> {
+    /// Copies the clause into the owned representation.
+    pub fn to_owned(&self) -> ast::DatasetClause {
+        ast::DatasetClause {
+            named: self.named,
+            iri: self.iri.to_string(),
+        }
+    }
+}
+
+/// The prologue of a query (borrowed). See [`ast::Prologue`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Prologue<'a> {
+    /// The BASE IRI, if declared.
+    pub base: Option<&'a str>,
+    /// The declared prefixes in source order as `(prefix, iri)` pairs.
+    pub prefixes: &'a [(&'a str, &'a str)],
+}
+
+impl Prologue<'_> {
+    /// Copies the prologue into the owned representation.
+    pub fn to_owned(&self) -> ast::Prologue {
+        ast::Prologue {
+            base: self.base.map(str::to_string),
+            prefixes: self
+                .prefixes
+                .iter()
+                .map(|&(p, i)| (p.to_string(), i.to_string()))
+                .collect(),
+        }
+    }
+}
+
+/// A complete SPARQL query (borrowed). See [`ast::Query`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query<'a> {
+    /// BASE / PREFIX declarations.
+    pub prologue: Prologue<'a>,
+    /// The query form (Select / Ask / Construct / Describe).
+    pub form: QueryForm,
+    /// What is projected or described.
+    pub projection: Projection<'a>,
+    /// The CONSTRUCT template, for CONSTRUCT queries.
+    pub construct_template: Option<&'a [TriplePattern<'a>]>,
+    /// FROM / FROM NAMED clauses.
+    pub dataset: &'a [DatasetClause<'a>],
+    /// The WHERE clause. `None` for body-less DESCRIBE (and rare ASK) queries.
+    pub where_clause: Option<GroupGraphPattern<'a>>,
+    /// Solution modifiers.
+    pub modifiers: SolutionModifiers<'a>,
+    /// A trailing `VALUES` block after the solution modifiers, if present.
+    pub values: Option<InlineData<'a>>,
+}
+
+impl Query<'_> {
+    /// Returns `true` if the query has a (non-empty) WHERE clause body.
+    pub fn has_body(&self) -> bool {
+        self.where_clause.as_ref().is_some_and(|g| !g.is_empty())
+    }
+
+    /// Copies the borrowed query into the owned [`ast::Query`]
+    /// representation — the adapter that keeps the owned surface (serde,
+    /// baseline engine, external consumers) unchanged.
+    pub fn to_owned(&self) -> ast::Query {
+        ast::Query {
+            prologue: self.prologue.to_owned(),
+            form: self.form,
+            projection: self.projection.to_owned(),
+            construct_template: self
+                .construct_template
+                .map(|ts| ts.iter().map(|t| t.to_owned()).collect()),
+            dataset: self.dataset.iter().map(|d| d.to_owned()).collect(),
+            where_clause: self.where_clause.map(|g| g.to_owned()),
+            modifiers: self.modifiers.to_owned(),
+            values: self.values.map(|v| v.to_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_display_matches_owned() {
+        let cases: Vec<Term<'_>> = vec![
+            Term::Iri("http://example.org/p"),
+            Term::Iri("wdt:P31"),
+            Term::Iri("urn:x"),
+            Term::Literal {
+                lexical: "hi \"there\"",
+                datatype: Some("http://www.w3.org/2001/XMLSchema#string"),
+                lang: None,
+            },
+            Term::Literal {
+                lexical: "bonjour",
+                datatype: None,
+                lang: Some("fr"),
+            },
+            Term::BlankNode("b0"),
+            Term::Var("x"),
+        ];
+        for t in cases {
+            assert_eq!(t.to_string(), t.to_owned().to_string());
+        }
+    }
+
+    #[test]
+    fn path_display_matches_owned() {
+        let a = PropertyPath::Iri("a");
+        let b = PropertyPath::Iri("b");
+        let seq = PropertyPath::Sequence(&a, &b);
+        let star = PropertyPath::ZeroOrMore(&seq);
+        let inv = PropertyPath::Inverse(&star);
+        let neg = PropertyPath::NegatedPropertySet(&[("p", false), ("q", true)]);
+        for p in [a, seq, star, inv, neg] {
+            assert_eq!(p.to_string(), p.to_owned().to_string());
+            assert_eq!(p.is_trivial(), p.to_owned().is_trivial());
+        }
+    }
+
+    #[test]
+    fn expression_for_each_variable_matches_owned_collect() {
+        let x = Expression::Var("x");
+        let y = Expression::Var("y");
+        let eq = Expression::Equal(&x, &y);
+        let args = [Expression::Var("x")];
+        let call = Expression::FunctionCall("LANG", &args);
+        let e = Expression::And(&eq, &call);
+        let mut seen = Vec::new();
+        e.for_each_variable(&mut |v| seen.push(v.to_string()));
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen, e.to_owned().variables());
+    }
+
+    #[test]
+    fn group_for_each_variable_matches_owned() {
+        let triples = [TripleOrPath::Triple(TriplePattern {
+            subject: Term::Var("a"),
+            predicate: Term::Iri("p"),
+            object: Term::Var("b"),
+        })];
+        let inner_elements = [GroupElement::Triples(&triples)];
+        let inner = GroupGraphPattern {
+            elements: &inner_elements,
+        };
+        let elements = [
+            GroupElement::Optional(inner),
+            GroupElement::Filter(Expression::Var("c")),
+        ];
+        let g = GroupGraphPattern {
+            elements: &elements,
+        };
+        let mut seen = Vec::new();
+        g.for_each_variable(&mut |v| seen.push(v.to_string()));
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen, g.to_owned().all_variables());
+    }
+}

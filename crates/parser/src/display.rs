@@ -15,6 +15,7 @@
 //! string — the duplicate-elimination hot path at corpus scale.
 
 use crate::ast::*;
+use crate::ast_ref;
 use std::fmt::Write;
 
 /// FNV-1a 128-bit offset basis.
@@ -46,6 +47,24 @@ pub fn canonical_fingerprint(canonical: &str) -> u128 {
 pub fn canonical_fingerprint_of(q: &Query) -> u128 {
     let mut hasher = CanonicalHasher::new();
     write_query(&mut hasher, q);
+    hasher.finish()
+}
+
+/// Serializes a borrowed [`ast_ref::Query`] into its canonical textual form.
+/// Byte-identical to [`to_canonical_string`] of the query's `to_owned()`.
+pub fn to_canonical_string_ref(q: &ast_ref::Query<'_>) -> String {
+    let mut out = String::new();
+    write_query_ref(&mut out, q);
+    out
+}
+
+/// The 128-bit FNV-1a fingerprint of a borrowed query's canonical form,
+/// streamed straight from the arena AST — the zero-copy pipeline's duplicate
+/// key. Equal, byte for byte, to [`canonical_fingerprint_of`] applied to the
+/// query's `to_owned()`.
+pub fn canonical_fingerprint_of_ref(q: &ast_ref::Query<'_>) -> u128 {
+    let mut hasher = CanonicalHasher::new();
+    write_query_ref(&mut hasher, q);
     hasher.finish()
 }
 
@@ -457,6 +476,381 @@ fn write_expr_list<W: Write>(out: &mut W, list: &[Expression]) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Borrowed-AST mirrors of the canonical writers. These must stay byte-for-byte
+// identical to the owned writers above: the fused pipeline fingerprints the
+// borrowed form while the staged pipeline fingerprints the owned form, and the
+// differential gate compares the two.
+// ---------------------------------------------------------------------------
+
+fn write_query_ref<W: Write>(out: &mut W, q: &ast_ref::Query<'_>) {
+    match q.form {
+        QueryForm::Select => {
+            let _ = out.write_str("SELECT ");
+            if q.modifiers.distinct {
+                let _ = out.write_str("DISTINCT ");
+            }
+            if q.modifiers.reduced {
+                let _ = out.write_str("REDUCED ");
+            }
+            write_projection_ref(out, &q.projection);
+        }
+        QueryForm::Ask => {
+            let _ = out.write_str("ASK");
+        }
+        QueryForm::Construct => {
+            let _ = out.write_str("CONSTRUCT");
+            if let Some(template) = q.construct_template {
+                let _ = out.write_str(" { ");
+                for t in template {
+                    let _ = write!(out, "{} {} {} . ", t.subject, t.predicate, t.object);
+                }
+                let _ = out.write_char('}');
+            }
+        }
+        QueryForm::Describe => {
+            let _ = out.write_str("DESCRIBE ");
+            write_projection_ref(out, &q.projection);
+        }
+    }
+    for d in q.dataset {
+        if d.named {
+            let _ = write!(out, " FROM NAMED <{}>", d.iri);
+        } else {
+            let _ = write!(out, " FROM <{}>", d.iri);
+        }
+    }
+    if let Some(body) = &q.where_clause {
+        let _ = out.write_str(" WHERE ");
+        write_group_ref(out, body);
+    }
+    write_modifiers_ref(out, &q.modifiers);
+    if let Some(values) = &q.values {
+        let _ = out.write_str(" VALUES ");
+        write_inline_data_ref(out, values);
+    }
+}
+
+fn write_projection_ref<W: Write>(out: &mut W, p: &ast_ref::Projection<'_>) {
+    match p {
+        ast_ref::Projection::All => {
+            let _ = out.write_char('*');
+        }
+        ast_ref::Projection::Items(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    let _ = out.write_char(' ');
+                }
+                match &item.expr {
+                    Some(e) => {
+                        let _ = out.write_char('(');
+                        write_expr_ref(out, e);
+                        let _ = write!(out, " AS ?{})", item.var);
+                    }
+                    None => {
+                        let _ = write!(out, "?{}", item.var);
+                    }
+                }
+            }
+        }
+        ast_ref::Projection::Terms(terms) => {
+            for (i, t) in terms.iter().enumerate() {
+                if i > 0 {
+                    let _ = out.write_char(' ');
+                }
+                let _ = write!(out, "{t}");
+            }
+        }
+        ast_ref::Projection::None => {}
+    }
+}
+
+fn write_modifiers_ref<W: Write>(out: &mut W, m: &ast_ref::SolutionModifiers<'_>) {
+    if !m.group_by.is_empty() {
+        let _ = out.write_str(" GROUP BY");
+        for g in m.group_by {
+            let _ = out.write_char(' ');
+            match &g.alias {
+                Some(a) => {
+                    let _ = out.write_char('(');
+                    write_expr_ref(out, &g.expr);
+                    let _ = write!(out, " AS ?{a})");
+                }
+                None => write_expr_ref(out, &g.expr),
+            }
+        }
+    }
+    if !m.having.is_empty() {
+        let _ = out.write_str(" HAVING");
+        for h in m.having {
+            let _ = out.write_str(" (");
+            write_expr_ref(out, h);
+            let _ = out.write_char(')');
+        }
+    }
+    if !m.order_by.is_empty() {
+        let _ = out.write_str(" ORDER BY");
+        for o in m.order_by {
+            match o.direction {
+                OrderDirection::Asc => {
+                    let _ = out.write_str(" ASC(");
+                }
+                OrderDirection::Desc => {
+                    let _ = out.write_str(" DESC(");
+                }
+            }
+            write_expr_ref(out, &o.expr);
+            let _ = out.write_char(')');
+        }
+    }
+    if let Some(l) = m.limit {
+        let _ = write!(out, " LIMIT {l}");
+    }
+    if let Some(o) = m.offset {
+        let _ = write!(out, " OFFSET {o}");
+    }
+}
+
+/// Borrowed-AST twin of [`write_group`].
+pub fn write_group_ref<W: Write>(out: &mut W, g: &ast_ref::GroupGraphPattern<'_>) {
+    let _ = out.write_str("{ ");
+    for el in g.elements {
+        match el {
+            ast_ref::GroupElement::Triples(ts) => {
+                for t in *ts {
+                    match t {
+                        ast_ref::TripleOrPath::Triple(t) => {
+                            let _ = write!(out, "{} {} {} . ", t.subject, t.predicate, t.object);
+                        }
+                        ast_ref::TripleOrPath::Path(p) => {
+                            let _ = write!(out, "{} {} {} . ", p.subject, p.path, p.object);
+                        }
+                    }
+                }
+            }
+            ast_ref::GroupElement::Filter(e) => {
+                let _ = out.write_str("FILTER(");
+                write_expr_ref(out, e);
+                let _ = out.write_str(") ");
+            }
+            ast_ref::GroupElement::Bind { expr, var } => {
+                let _ = out.write_str("BIND(");
+                write_expr_ref(out, expr);
+                let _ = write!(out, " AS ?{var}) ");
+            }
+            ast_ref::GroupElement::Optional(g) => {
+                let _ = out.write_str("OPTIONAL ");
+                write_group_ref(out, g);
+                let _ = out.write_char(' ');
+            }
+            ast_ref::GroupElement::Union(branches) => {
+                for (i, b) in branches.iter().enumerate() {
+                    if i > 0 {
+                        let _ = out.write_str("UNION ");
+                    }
+                    write_group_ref(out, b);
+                    let _ = out.write_char(' ');
+                }
+            }
+            ast_ref::GroupElement::Graph { name, pattern } => {
+                let _ = write!(out, "GRAPH {name} ");
+                write_group_ref(out, pattern);
+                let _ = out.write_char(' ');
+            }
+            ast_ref::GroupElement::Minus(g) => {
+                let _ = out.write_str("MINUS ");
+                write_group_ref(out, g);
+                let _ = out.write_char(' ');
+            }
+            ast_ref::GroupElement::Service {
+                silent,
+                name,
+                pattern,
+            } => {
+                let _ = out.write_str("SERVICE ");
+                if *silent {
+                    let _ = out.write_str("SILENT ");
+                }
+                let _ = write!(out, "{name} ");
+                write_group_ref(out, pattern);
+                let _ = out.write_char(' ');
+            }
+            ast_ref::GroupElement::Values(d) => {
+                let _ = out.write_str("VALUES ");
+                write_inline_data_ref(out, d);
+                let _ = out.write_char(' ');
+            }
+            ast_ref::GroupElement::SubSelect(q) => {
+                let _ = out.write_str("{ ");
+                write_query_ref(out, q);
+                let _ = out.write_str(" } ");
+            }
+            ast_ref::GroupElement::Group(g) => {
+                write_group_ref(out, g);
+                let _ = out.write_char(' ');
+            }
+        }
+    }
+    let _ = out.write_char('}');
+}
+
+fn write_inline_data_ref<W: Write>(out: &mut W, d: &ast_ref::InlineData<'_>) {
+    let _ = out.write_char('(');
+    for (i, v) in d.variables.iter().enumerate() {
+        if i > 0 {
+            let _ = out.write_char(' ');
+        }
+        let _ = write!(out, "?{v}");
+    }
+    let _ = out.write_str(") { ");
+    for row in d.rows {
+        let _ = out.write_char('(');
+        for (i, cell) in row.iter().enumerate() {
+            if i > 0 {
+                let _ = out.write_char(' ');
+            }
+            match cell {
+                Some(t) => {
+                    let _ = write!(out, "{t}");
+                }
+                None => {
+                    let _ = out.write_str("UNDEF");
+                }
+            }
+        }
+        let _ = out.write_str(") ");
+    }
+    let _ = out.write_char('}');
+}
+
+fn write_expr_ref<W: Write>(out: &mut W, e: &ast_ref::Expression<'_>) {
+    match e {
+        ast_ref::Expression::Var(v) => {
+            let _ = write!(out, "?{v}");
+        }
+        ast_ref::Expression::Term(t) => {
+            let _ = write!(out, "{t}");
+        }
+        ast_ref::Expression::Or(a, b) => write_binary_ref(out, a, "||", b),
+        ast_ref::Expression::And(a, b) => write_binary_ref(out, a, "&&", b),
+        ast_ref::Expression::Equal(a, b) => write_binary_ref(out, a, "=", b),
+        ast_ref::Expression::NotEqual(a, b) => write_binary_ref(out, a, "!=", b),
+        ast_ref::Expression::Less(a, b) => write_binary_ref(out, a, "<", b),
+        ast_ref::Expression::Greater(a, b) => write_binary_ref(out, a, ">", b),
+        ast_ref::Expression::LessEq(a, b) => write_binary_ref(out, a, "<=", b),
+        ast_ref::Expression::GreaterEq(a, b) => write_binary_ref(out, a, ">=", b),
+        ast_ref::Expression::Add(a, b) => write_binary_ref(out, a, "+", b),
+        ast_ref::Expression::Subtract(a, b) => write_binary_ref(out, a, "-", b),
+        ast_ref::Expression::Multiply(a, b) => write_binary_ref(out, a, "*", b),
+        ast_ref::Expression::Divide(a, b) => write_binary_ref(out, a, "/", b),
+        ast_ref::Expression::In(a, list) => {
+            write_expr_ref(out, a);
+            let _ = out.write_str(" IN (");
+            write_expr_list_ref(out, list);
+            let _ = out.write_char(')');
+        }
+        ast_ref::Expression::NotIn(a, list) => {
+            write_expr_ref(out, a);
+            let _ = out.write_str(" NOT IN (");
+            write_expr_list_ref(out, list);
+            let _ = out.write_char(')');
+        }
+        ast_ref::Expression::Not(a) => {
+            let _ = out.write_char('!');
+            write_expr_parens_ref(out, a);
+        }
+        ast_ref::Expression::UnaryMinus(a) => {
+            let _ = out.write_char('-');
+            write_expr_parens_ref(out, a);
+        }
+        ast_ref::Expression::UnaryPlus(a) => {
+            let _ = out.write_char('+');
+            write_expr_parens_ref(out, a);
+        }
+        ast_ref::Expression::FunctionCall(name, args) => {
+            if name.contains("://")
+                || name.contains(':') && !name.chars().all(|c| c.is_ascii_uppercase() || c == '_')
+            {
+                let _ = write!(out, "<{name}>(");
+            } else {
+                let _ = write!(out, "{name}(");
+            }
+            write_expr_list_ref(out, args);
+            let _ = out.write_char(')');
+        }
+        ast_ref::Expression::Exists(g) => {
+            let _ = out.write_str("EXISTS ");
+            write_group_ref(out, g);
+        }
+        ast_ref::Expression::NotExists(g) => {
+            let _ = out.write_str("NOT EXISTS ");
+            write_group_ref(out, g);
+        }
+        ast_ref::Expression::Aggregate(agg) => {
+            let name = match agg.kind {
+                AggregateKind::Count => "COUNT",
+                AggregateKind::Sum => "SUM",
+                AggregateKind::Min => "MIN",
+                AggregateKind::Max => "MAX",
+                AggregateKind::Avg => "AVG",
+                AggregateKind::Sample => "SAMPLE",
+                AggregateKind::GroupConcat => "GROUP_CONCAT",
+            };
+            let _ = write!(out, "{name}(");
+            if agg.distinct {
+                let _ = out.write_str("DISTINCT ");
+            }
+            match agg.expr {
+                Some(e) => write_expr_ref(out, e),
+                None => {
+                    let _ = out.write_char('*');
+                }
+            }
+            if let Some(sep) = &agg.separator {
+                let _ = write!(out, "; SEPARATOR = {sep:?}");
+            }
+            let _ = out.write_char(')');
+        }
+    }
+}
+
+fn write_binary_ref<W: Write>(
+    out: &mut W,
+    a: &ast_ref::Expression<'_>,
+    op: &str,
+    b: &ast_ref::Expression<'_>,
+) {
+    write_expr_parens_ref(out, a);
+    let _ = write!(out, " {op} ");
+    write_expr_parens_ref(out, b);
+}
+
+fn write_expr_parens_ref<W: Write>(out: &mut W, e: &ast_ref::Expression<'_>) {
+    let atomic = matches!(
+        e,
+        ast_ref::Expression::Var(_)
+            | ast_ref::Expression::Term(_)
+            | ast_ref::Expression::FunctionCall(_, _)
+            | ast_ref::Expression::Aggregate(_)
+    );
+    if atomic {
+        write_expr_ref(out, e);
+    } else {
+        let _ = out.write_char('(');
+        write_expr_ref(out, e);
+        let _ = out.write_char(')');
+    }
+}
+
+fn write_expr_list_ref<W: Write>(out: &mut W, list: &[ast_ref::Expression<'_>]) {
+    for (i, e) in list.iter().enumerate() {
+        if i > 0 {
+            let _ = out.write_str(", ");
+        }
+        write_expr_ref(out, e);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,6 +922,37 @@ mod tests {
             a,
             canonical_fingerprint("SELECT ?x WHERE { ?x <http://p> ?y }")
         );
+    }
+
+    #[test]
+    fn borrowed_writers_match_owned_writers_byte_for_byte() {
+        let queries = [
+            "SELECT DISTINCT ?x WHERE { ?x a <http://ex.org/C> . FILTER(?x != <http://ex.org/y>) } LIMIT 10",
+            "ASK { ?s <http://p> ?o . OPTIONAL { ?o <http://q> ?z } }",
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/> SELECT ?n WHERE { ?p foaf:name ?n } ORDER BY ASC(?n)",
+            "CONSTRUCT { ?s <http://p> ?o } WHERE { ?s <http://p> ?o }",
+            "DESCRIBE <http://example.org/resource>",
+            "SELECT (COUNT(?x) AS ?c) WHERE { ?x <http://p> ?y } GROUP BY ?y HAVING (AVG(?y) > 2)",
+            "SELECT ?x WHERE { { SELECT ?x WHERE { ?x ^(<http://a>/<http://b>)* ?z } } \
+             VALUES (?x ?y) { (<http://v> UNDEF) } }",
+            "SELECT ?x WHERE { ?x <http://a> ?y . SERVICE SILENT <http://e> { ?y !(^<http://b>|<http://c>) ?z } \
+             MINUS { ?x <http://d> \"lit\"@en } BIND(GROUP_CONCAT(DISTINCT ?y; SEPARATOR = \",\") AS ?g) }",
+        ];
+        let arena = crate::arena::Arena::new();
+        for q in queries {
+            let borrowed = crate::parse_query_in(q, &arena).unwrap();
+            let owned = borrowed.to_owned();
+            assert_eq!(
+                to_canonical_string_ref(&borrowed),
+                to_canonical_string(&owned),
+                "borrowed canonical form diverges for {q:?}"
+            );
+            assert_eq!(
+                canonical_fingerprint_of_ref(&borrowed),
+                canonical_fingerprint_of(&owned),
+                "borrowed fingerprint diverges for {q:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,8 +1,18 @@
-//! A hand-written lexer for SPARQL 1.1 queries.
+//! A hand-written zero-copy lexer for SPARQL 1.1 queries.
 //!
-//! The lexer converts a query string into a vector of [`Spanned`] tokens. It
-//! handles the context-sensitive parts of the SPARQL token grammar that make
-//! naive tokenization fail on real query logs:
+//! The lexer converts a query string into a stream of [`Spanned`] tokens
+//! whose payloads *borrow* the input — no per-token `String` is ever
+//! materialized. Token bodies (IRI references, names, digit runs, string
+//! payloads, whitespace) are scanned a machine word at a time through the
+//! SWAR classifiers in [`bytescan`]; only the byte that
+//! *ends* a run gets per-byte attention. The token buffer itself lives in
+//! the caller's [`Arena`], so steady-state tokenization performs no global
+//! allocation at all. The single exception is an escape-bearing string
+//! literal: its payload falls back to an unescape into a transient `Cow`
+//! whose owned form is materialized into the arena.
+//!
+//! It handles the context-sensitive parts of the SPARQL token grammar that
+//! make naive tokenization fail on real query logs:
 //!
 //! * `<…>` is an IRI reference only if it closes before a forbidden character;
 //!   otherwise `<` is the less-than operator.
@@ -12,41 +22,55 @@
 //!   prefixed-name local parts.
 //! * comments (`# …`) and all four string quoting styles are supported.
 
+use crate::arena::{Arena, ArenaVec};
+use crate::bytescan;
 use crate::error::{ParseError, Result};
 use crate::token::{Keyword, Spanned, Token};
+use std::borrow::Cow;
 
-/// Tokenizes `input` into a stream of spanned tokens.
+/// Tokenizes `input` into a stream of spanned tokens allocated in (and
+/// borrowing) `arena`.
 ///
 /// Returns an error on malformed lexical constructs (unterminated strings or
 /// IRIs, stray characters). The corpus pipeline treats such entries as invalid
 /// queries.
-pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
-    Lexer::new(input).run()
+pub fn tokenize_in<'a>(input: &'a str, arena: &'a Arena) -> Result<&'a [Spanned<'a>]> {
+    Lexer::new(input, arena).run()
 }
 
 struct Lexer<'a> {
     src: &'a str,
     bytes: &'a [u8],
+    arena: &'a Arena,
     pos: usize,
     line: u32,
-    col: u32,
-    out: Vec<Spanned>,
+    /// Byte offset where the current line starts; columns are derived from
+    /// it instead of being bumped per byte.
+    line_start: usize,
+    out: ArenaVec<'a, Spanned<'a>>,
 }
 
 impl<'a> Lexer<'a> {
-    fn new(src: &'a str) -> Self {
+    fn new(src: &'a str, arena: &'a Arena) -> Self {
         Lexer {
             src,
             bytes: src.as_bytes(),
+            arena,
             pos: 0,
             line: 1,
-            col: 1,
-            out: Vec::new(),
+            line_start: 0,
+            out: ArenaVec::new(arena),
         }
     }
 
+    /// 1-based column of the current position (in bytes, like the original
+    /// per-byte lexer counted).
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start) as u32 + 1
+    }
+
     fn error(&self, msg: impl Into<String>) -> ParseError {
-        ParseError::new(msg, self.line, self.col)
+        ParseError::new(msg, self.line, self.col())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -57,19 +81,36 @@ impl<'a> Lexer<'a> {
         self.bytes.get(self.pos + off).copied()
     }
 
-    fn bump(&mut self) -> Option<u8> {
+    /// Advances to `to`, a position known to share the current line (the
+    /// skipped region contains no `\n`).
+    fn advance_in_line(&mut self, to: usize) {
+        debug_assert!(!self.bytes[self.pos..to].contains(&b'\n'));
+        self.pos = to;
+    }
+
+    /// Advances to `to`, folding any newlines in the skipped region into
+    /// the line/column bookkeeping.
+    fn advance_counting(&mut self, to: usize) {
+        let (count, last) = bytescan::count_newlines(&self.bytes[self.pos..to]);
+        if count > 0 {
+            self.line += count;
+            self.line_start = self.pos + last.expect("count > 0 implies a position") + 1;
+        }
+        self.pos = to;
+    }
+
+    /// Advances over one byte that may be a newline (the slow string path).
+    fn bump_byte(&mut self) -> Option<u8> {
         let b = self.peek()?;
         self.pos += 1;
         if b == b'\n' {
             self.line += 1;
-            self.col = 1;
-        } else {
-            self.col += 1;
+            self.line_start = self.pos;
         }
         Some(b)
     }
 
-    fn push(&mut self, token: Token, offset: usize, line: u32, column: u32) {
+    fn push(&mut self, token: Token<'a>, offset: usize, line: u32, column: u32) {
         self.out.push(Spanned {
             token,
             offset,
@@ -78,164 +119,159 @@ impl<'a> Lexer<'a> {
         });
     }
 
-    fn skip_ws_and_comments(&mut self) {
+    /// Skips whitespace runs (word-at-a-time) and `# …` comments.
+    fn skip_trivia(&mut self) {
         loop {
-            match self.peek() {
-                Some(b) if b.is_ascii_whitespace() => {
-                    self.bump();
+            let end = bytescan::skip_whitespace(self.bytes, self.pos);
+            self.advance_counting(end);
+            if self.peek() == Some(b'#') {
+                // The newline stays unconsumed; the next whitespace skip
+                // accounts for it.
+                match bytescan::find_newline(&self.bytes[self.pos..]) {
+                    Some(off) => self.advance_in_line(self.pos + off),
+                    None => self.pos = self.bytes.len(),
                 }
-                Some(b'#') => {
-                    while let Some(b) = self.peek() {
-                        if b == b'\n' {
-                            break;
-                        }
-                        self.bump();
-                    }
-                }
-                _ => return,
+            } else {
+                return;
             }
         }
     }
 
-    fn run(mut self) -> Result<Vec<Spanned>> {
+    fn run(mut self) -> Result<&'a [Spanned<'a>]> {
         loop {
-            self.skip_ws_and_comments();
-            let (offset, line, col) = (self.pos, self.line, self.col);
+            self.skip_trivia();
+            let (offset, line, col) = (self.pos, self.line, self.col());
             let Some(b) = self.peek() else { break };
             let token = match b {
                 b'{' => {
-                    self.bump();
+                    self.pos += 1;
                     Token::LBrace
                 }
                 b'}' => {
-                    self.bump();
+                    self.pos += 1;
                     Token::RBrace
                 }
                 b'(' => {
-                    self.bump();
+                    self.pos += 1;
                     // NIL: '(' WS* ')'
-                    let save = (self.pos, self.line, self.col);
-                    self.skip_ws_and_comments();
+                    let save = (self.pos, self.line, self.line_start);
+                    self.skip_trivia();
                     if self.peek() == Some(b')') {
-                        self.bump();
+                        self.pos += 1;
                         Token::Nil
                     } else {
-                        self.pos = save.0;
-                        self.line = save.1;
-                        self.col = save.2;
+                        (self.pos, self.line, self.line_start) = save;
                         Token::LParen
                     }
                 }
                 b')' => {
-                    self.bump();
+                    self.pos += 1;
                     Token::RParen
                 }
                 b'[' => {
-                    self.bump();
-                    let save = (self.pos, self.line, self.col);
-                    self.skip_ws_and_comments();
+                    self.pos += 1;
+                    let save = (self.pos, self.line, self.line_start);
+                    self.skip_trivia();
                     if self.peek() == Some(b']') {
-                        self.bump();
+                        self.pos += 1;
                         Token::Anon
                     } else {
-                        self.pos = save.0;
-                        self.line = save.1;
-                        self.col = save.2;
+                        (self.pos, self.line, self.line_start) = save;
                         Token::LBracket
                     }
                 }
                 b']' => {
-                    self.bump();
+                    self.pos += 1;
                     Token::RBracket
                 }
                 b',' => {
-                    self.bump();
+                    self.pos += 1;
                     Token::Comma
                 }
                 b';' => {
-                    self.bump();
+                    self.pos += 1;
                     Token::Semicolon
                 }
                 b'|' => {
-                    self.bump();
+                    self.pos += 1;
                     if self.peek() == Some(b'|') {
-                        self.bump();
+                        self.pos += 1;
                         Token::OrOr
                     } else {
                         Token::Pipe
                     }
                 }
                 b'&' => {
-                    self.bump();
+                    self.pos += 1;
                     if self.peek() == Some(b'&') {
-                        self.bump();
+                        self.pos += 1;
                         Token::AndAnd
                     } else {
                         return Err(self.error("stray '&'"));
                     }
                 }
                 b'/' => {
-                    self.bump();
+                    self.pos += 1;
                     Token::Slash
                 }
                 b'^' => {
-                    self.bump();
+                    self.pos += 1;
                     if self.peek() == Some(b'^') {
-                        self.bump();
+                        self.pos += 1;
                         Token::DoubleCaret
                     } else {
                         Token::Caret
                     }
                 }
                 b'*' => {
-                    self.bump();
+                    self.pos += 1;
                     Token::Star
                 }
                 b'+' => {
-                    self.bump();
+                    self.pos += 1;
                     Token::Plus
                 }
                 b'-' => {
-                    self.bump();
+                    self.pos += 1;
                     Token::Minus
                 }
                 b'!' => {
-                    self.bump();
+                    self.pos += 1;
                     if self.peek() == Some(b'=') {
-                        self.bump();
+                        self.pos += 1;
                         Token::NotEqual
                     } else {
                         Token::Bang
                     }
                 }
                 b'=' => {
-                    self.bump();
+                    self.pos += 1;
                     Token::Equal
                 }
                 b'>' => {
-                    self.bump();
+                    self.pos += 1;
                     if self.peek() == Some(b'=') {
-                        self.bump();
+                        self.pos += 1;
                         Token::GreaterEq
                     } else {
                         Token::Greater
                     }
                 }
-                b'<' => self.lex_lt_or_iri()?,
+                b'<' => self.lex_lt_or_iri(),
                 b'.' => {
                     // Decimal like ".5" is valid; otherwise a Dot.
                     if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
                         self.lex_number()?
                     } else {
-                        self.bump();
+                        self.pos += 1;
                         Token::Dot
                     }
                 }
                 b'?' | b'$' => {
-                    if self.peek_at(1).is_some_and(is_name_start_char) {
+                    if self.peek_at(1).is_some_and(bytescan::is_name_start_char) {
                         self.lex_var()
                     } else {
-                        self.bump();
+                        self.pos += 1;
                         Token::Question
                     }
                 }
@@ -243,126 +279,115 @@ impl<'a> Lexer<'a> {
                 b'@' => self.lex_lang_tag()?,
                 b'_' if self.peek_at(1) == Some(b':') => self.lex_blank_node()?,
                 b'0'..=b'9' => self.lex_number()?,
-                _ if is_name_start_char(b) || b == b':' => self.lex_word()?,
+                _ if bytescan::is_name_start_char(b) || b == b':' => self.lex_word()?,
                 other => {
                     return Err(self.error(format!("unexpected character '{}'", other as char)))
                 }
             };
             self.push(token, offset, line, col);
         }
-        Ok(self.out)
+        Ok(self.out.finish())
     }
 
-    /// Lexes either an IRI reference `<…>` or the `<` / `<=` operators.
-    fn lex_lt_or_iri(&mut self) -> Result<Token> {
-        // Try IRIREF: scan forward for '>' without hitting characters that are
-        // illegal inside an IRI reference.
-        let mut j = self.pos + 1;
-        let mut is_iri = false;
-        while let Some(&c) = self.bytes.get(j) {
-            match c {
-                b'>' => {
-                    is_iri = true;
-                    break;
-                }
-                b'<' | b'"' | b'{' | b'}' | b'|' | b'^' | b'`' | b'\\' => break,
-                c if c <= 0x20 => break,
-                _ => j += 1,
-            }
-        }
-        if is_iri {
-            let iri = self.src[self.pos + 1..j].to_string();
-            // advance over '<' … '>'
-            while self.pos <= j {
-                self.bump();
-            }
-            Ok(Token::IriRef(iri))
+    /// Lexes either an IRI reference `<…>` or the `<` / `<=` operators. The
+    /// IRI body — the longest token class in real logs — is scanned
+    /// word-at-a-time for its terminator.
+    fn lex_lt_or_iri(&mut self) -> Token<'a> {
+        let body_end = bytescan::scan_iri_body(self.bytes, self.pos + 1);
+        if self.bytes.get(body_end) == Some(&b'>') {
+            let iri = &self.src[self.pos + 1..body_end];
+            // IRI bodies stop at control bytes, so no newline was crossed.
+            self.advance_in_line(body_end + 1);
+            Token::IriRef(iri)
         } else {
-            self.bump();
+            self.pos += 1;
             if self.peek() == Some(b'=') {
-                self.bump();
-                Ok(Token::LessEq)
+                self.pos += 1;
+                Token::LessEq
             } else {
-                Ok(Token::Less)
+                Token::Less
             }
         }
     }
 
-    fn lex_var(&mut self) -> Token {
-        self.bump(); // sigil
+    fn lex_var(&mut self) -> Token<'a> {
+        self.pos += 1; // sigil
         let start = self.pos;
-        while self.peek().is_some_and(is_name_char) {
-            self.bump();
-        }
-        Token::Var(self.src[start..self.pos].to_string())
+        let end = bytescan::scan_name(self.bytes, start);
+        self.advance_in_line(end);
+        Token::Var(&self.src[start..end])
     }
 
-    fn lex_blank_node(&mut self) -> Result<Token> {
-        self.bump(); // '_'
-        self.bump(); // ':'
+    fn lex_blank_node(&mut self) -> Result<Token<'a>> {
+        self.pos += 2; // '_:'
         let start = self.pos;
-        while self.peek().is_some_and(|c| is_name_char(c) || c == b'.') {
-            self.bump();
+        let mut end = start;
+        loop {
+            end = bytescan::scan_name(self.bytes, end);
+            if self.bytes.get(end) == Some(&b'.') {
+                end += 1;
+            } else {
+                break;
+            }
         }
-        let mut end = self.pos;
+        // Re-emit trailing dots as Dot tokens by stopping before them.
         while end > start && self.bytes[end - 1] == b'.' {
             end -= 1;
-            // Re-emit trailing dots as Dot tokens by rewinding.
-            self.pos -= 1;
-            self.col -= 1;
         }
         if end == start {
             return Err(self.error("empty blank node label"));
         }
-        Ok(Token::BlankNodeLabel(self.src[start..end].to_string()))
+        self.advance_in_line(end);
+        Ok(Token::BlankNodeLabel(&self.src[start..end]))
     }
 
-    fn lex_lang_tag(&mut self) -> Result<Token> {
-        self.bump(); // '@'
+    fn lex_lang_tag(&mut self) -> Result<Token<'a>> {
+        self.pos += 1; // '@'
         let start = self.pos;
+        let mut end = start;
         while self
-            .peek()
-            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'-')
+            .bytes
+            .get(end)
+            .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'-')
         {
-            self.bump();
+            end += 1;
         }
-        if self.pos == start {
+        if end == start {
             return Err(self.error("empty language tag"));
         }
-        Ok(Token::LangTag(self.src[start..self.pos].to_string()))
+        self.advance_in_line(end);
+        Ok(Token::LangTag(&self.src[start..end]))
     }
 
-    fn lex_number(&mut self) -> Result<Token> {
+    fn lex_number(&mut self) -> Result<Token<'a>> {
         let start = self.pos;
         let mut has_dot = false;
         let mut has_exp = false;
-        while let Some(c) = self.peek() {
-            match c {
-                b'0'..=b'9' => {
-                    self.bump();
-                }
-                b'.' if !has_dot && !has_exp => {
+        loop {
+            self.pos = bytescan::scan_digits(self.bytes, self.pos);
+            match self.peek() {
+                Some(b'.') if !has_dot && !has_exp => {
                     // A '.' is part of the number only if followed by a digit
                     // or an exponent; "1." followed by whitespace terminates a
                     // triple in practice (e.g. "?x :p 1.").
                     if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
                         has_dot = true;
-                        self.bump();
+                        self.pos += 1;
                     } else {
                         break;
                     }
                 }
-                b'e' | b'E' if !has_exp => {
+                Some(b'e' | b'E') if !has_exp => {
                     has_exp = true;
-                    self.bump();
+                    self.pos += 1;
                     if matches!(self.peek(), Some(b'+') | Some(b'-')) {
-                        self.bump();
+                        self.pos += 1;
                     }
                 }
                 _ => break,
             }
         }
-        let text = self.src[start..self.pos].to_string();
+        let text = &self.src[start..self.pos];
         if text.is_empty() {
             return Err(self.error("malformed numeric literal"));
         }
@@ -375,18 +400,59 @@ impl<'a> Lexer<'a> {
         })
     }
 
-    fn lex_string(&mut self) -> Result<Token> {
+    fn lex_string(&mut self) -> Result<Token<'a>> {
         let quote = self.peek().expect("caller checked");
         // Detect long quote form (''' or """).
         let long = self.peek_at(1) == Some(quote) && self.peek_at(2) == Some(quote);
-        if long {
-            self.bump();
-            self.bump();
-            self.bump();
-        } else {
-            self.bump();
+        self.pos += if long { 3 } else { 1 };
+        let content_start = self.pos;
+        // Fast path: scan word-at-a-time over plain payload. As long as no
+        // backslash shows up, the value is exactly an input slice — borrow
+        // it. Lone quote characters inside a long string stay plain payload.
+        loop {
+            let special = bytescan::scan_string_plain(self.bytes, self.pos, quote, !long);
+            if long {
+                self.advance_counting(special);
+            } else {
+                self.advance_in_line(special);
+            }
+            match self.bytes.get(special).copied() {
+                None => return Err(self.error("unterminated string literal")),
+                Some(c) if c == quote => {
+                    if long {
+                        if self.peek_at(1) == Some(quote) && self.peek_at(2) == Some(quote) {
+                            let value = &self.src[content_start..self.pos];
+                            self.pos += 3;
+                            return Ok(Token::String(value));
+                        }
+                        self.pos += 1; // lone quote: part of the payload
+                    } else {
+                        let value = &self.src[content_start..self.pos];
+                        self.pos += 1;
+                        return Ok(Token::String(value));
+                    }
+                }
+                Some(b'\\') => {
+                    // Escape-bearing literal: fall back to unescaping into
+                    // an owned buffer seeded with the borrowed prefix.
+                    let prefix = &self.src[content_start..self.pos];
+                    let value = self.lex_string_escaped(quote, long, prefix)?;
+                    return Ok(Token::String(match value {
+                        Cow::Borrowed(s) => s,
+                        Cow::Owned(s) => self.arena.alloc_str(&s),
+                    }));
+                }
+                Some(_) => return Err(self.error("newline in short string literal")),
+            }
         }
-        let mut value = String::new();
+    }
+
+    /// The slow path for string literals containing at least one backslash:
+    /// processes escapes per character into an owned value (returned as
+    /// `Cow::Owned`; the caller materializes it into the arena).
+    fn lex_string_escaped(&mut self, quote: u8, long: bool, prefix: &str) -> Result<Cow<'a, str>> {
+        let mut value = String::with_capacity(prefix.len() + 16);
+        value.push_str(prefix);
         loop {
             let Some(c) = self.peek() else {
                 return Err(self.error("unterminated string literal"));
@@ -394,24 +460,22 @@ impl<'a> Lexer<'a> {
             if c == quote {
                 if long {
                     if self.peek_at(1) == Some(quote) && self.peek_at(2) == Some(quote) {
-                        self.bump();
-                        self.bump();
-                        self.bump();
+                        self.pos += 3;
                         break;
                     }
                     value.push(c as char);
-                    self.bump();
+                    self.pos += 1;
                 } else {
-                    self.bump();
+                    self.pos += 1;
                     break;
                 }
             } else if c == b'\\' {
-                self.bump();
+                self.pos += 1;
                 let Some(esc) = self.src[self.pos..].chars().next() else {
                     return Err(self.error("unterminated escape sequence"));
                 };
                 for _ in 0..esc.len_utf8() {
-                    self.bump();
+                    self.bump_byte();
                 }
                 match esc {
                     't' => value.push('\t'),
@@ -426,7 +490,7 @@ impl<'a> Lexer<'a> {
                         let len = if esc == 'u' { 4 } else { 8 };
                         let mut code = 0u32;
                         for _ in 0..len {
-                            let Some(h) = self.bump() else {
+                            let Some(h) = self.bump_byte() else {
                                 return Err(self.error("truncated unicode escape"));
                             };
                             let d = (h as char)
@@ -445,43 +509,39 @@ impl<'a> Lexer<'a> {
             } else if !long && (c == b'\n' || c == b'\r') {
                 return Err(self.error("newline in short string literal"));
             } else {
-                // Copy a full UTF-8 code point.
-                let ch_start = self.pos;
-                let ch = self.src[ch_start..].chars().next().expect("valid utf8");
-                for _ in 0..ch.len_utf8() {
-                    self.bump();
+                // Copy a plain run up to the next special byte in one go.
+                let special = bytescan::scan_string_plain(self.bytes, self.pos, quote, !long);
+                value.push_str(&self.src[self.pos..special]);
+                if long {
+                    self.advance_counting(special);
+                } else {
+                    self.advance_in_line(special);
                 }
-                value.push(ch);
             }
         }
-        Ok(Token::String(value))
+        Ok(Cow::Owned(value))
     }
 
     /// Lexes an identifier-like word: a keyword, the `a` predicate, a boolean,
     /// a bare built-in name, or a prefixed name (when a ':' follows).
-    fn lex_word(&mut self) -> Result<Token> {
+    fn lex_word(&mut self) -> Result<Token<'a>> {
         let start = self.pos;
         // Leading ':' means a prefixed name with the empty prefix.
         if self.peek() == Some(b':') {
-            self.bump();
+            self.pos += 1;
             let local = self.lex_local_part();
-            return Ok(Token::PrefixedName(String::new(), local));
+            return Ok(Token::PrefixedName("", local));
         }
-        while self.peek().is_some_and(|c| is_name_char(c) || c == b'.') {
-            // A '.' terminates the prefix part only if not followed by a name
-            // char; here we conservatively stop at '.' since prefixes rarely
-            // contain dots, and re-lex the dot as punctuation.
-            if self.peek() == Some(b'.') {
-                break;
-            }
-            self.bump();
-        }
-        let word = &self.src[start..self.pos];
+        // The prefix part stops at '.' (prefixes rarely contain dots; a dot
+        // re-lexes as punctuation), which is exactly the name-run class.
+        let end = bytescan::scan_name(self.bytes, start);
+        self.advance_in_line(end);
+        let word = &self.src[start..end];
         if self.peek() == Some(b':') {
             // Prefixed name.
-            self.bump();
+            self.pos += 1;
             let local = self.lex_local_part();
-            return Ok(Token::PrefixedName(word.to_string(), local));
+            return Ok(Token::PrefixedName(word, local));
         }
         if word == "a" {
             return Ok(Token::A);
@@ -498,61 +558,47 @@ impl<'a> Lexer<'a> {
         if word.is_empty() {
             return Err(self.error("unexpected ':'"));
         }
-        Ok(Token::Ident(word.to_string()))
+        Ok(Token::Ident(word))
     }
 
-    fn lex_local_part(&mut self) -> String {
+    fn lex_local_part(&mut self) -> &'a str {
         let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|c| is_name_char(c) || c == b'.' || c == b'%' || c == b'\\')
-        {
-            self.bump();
-        }
+        let mut end = bytescan::scan_local(self.bytes, start);
         // A trailing '.' belongs to the surrounding triple, not the name.
-        let mut end = self.pos;
         while end > start && self.bytes[end - 1] == b'.' {
             end -= 1;
-            self.pos -= 1;
-            self.col -= 1;
         }
-        self.src[start..end].to_string()
+        self.advance_in_line(end);
+        &self.src[start..end]
     }
-}
-
-/// True for characters that may start a name (variable names, prefixes,
-/// local parts). Multi-byte UTF-8 lead bytes are accepted so that
-/// internationalized names in real logs tokenize.
-fn is_name_start_char(b: u8) -> bool {
-    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
-}
-
-/// True for characters that may continue a name.
-fn is_name_char(b: u8) -> bool {
-    is_name_start_char(b) || b.is_ascii_digit() || b == b'-'
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn toks(s: &str) -> Vec<Token> {
-        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    fn toks<'a>(arena: &'a Arena, s: &'a str) -> Vec<Token<'a>> {
+        tokenize_in(s, arena)
+            .unwrap()
+            .iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
     fn lexes_simple_select() {
-        let t = toks("SELECT ?x WHERE { ?x a <http://example.org/C> . }");
+        let arena = Arena::new();
+        let t = toks(&arena, "SELECT ?x WHERE { ?x a <http://example.org/C> . }");
         assert_eq!(
             t,
             vec![
                 Token::Keyword(Keyword::Select),
-                Token::Var("x".into()),
+                Token::Var("x"),
                 Token::Keyword(Keyword::Where),
                 Token::LBrace,
-                Token::Var("x".into()),
+                Token::Var("x"),
                 Token::A,
-                Token::IriRef("http://example.org/C".into()),
+                Token::IriRef("http://example.org/C"),
                 Token::Dot,
                 Token::RBrace,
             ]
@@ -561,106 +607,130 @@ mod tests {
 
     #[test]
     fn distinguishes_iri_from_less_than() {
-        let t = toks("FILTER(?x < 5)");
+        let arena = Arena::new();
+        let t = toks(&arena, "FILTER(?x < 5)");
         assert!(t.contains(&Token::Less));
-        let t = toks("?s <http://p> ?o");
-        assert!(t.contains(&Token::IriRef("http://p".into())));
+        let t = toks(&arena, "?s <http://p> ?o");
+        assert!(t.contains(&Token::IriRef("http://p")));
     }
 
     #[test]
     fn lexes_prefixed_names_and_empty_prefix() {
-        let t = toks("foaf:name :local wdt:P31");
+        let arena = Arena::new();
+        let t = toks(&arena, "foaf:name :local wdt:P31");
         assert_eq!(
             t,
             vec![
-                Token::PrefixedName("foaf".into(), "name".into()),
-                Token::PrefixedName("".into(), "local".into()),
-                Token::PrefixedName("wdt".into(), "P31".into()),
+                Token::PrefixedName("foaf", "name"),
+                Token::PrefixedName("", "local"),
+                Token::PrefixedName("wdt", "P31"),
             ]
         );
     }
 
     #[test]
     fn prefixed_name_trailing_dot_is_triple_terminator() {
-        let t = toks("?s foaf:knows foaf:Person.");
+        let arena = Arena::new();
+        let t = toks(&arena, "?s foaf:knows foaf:Person.");
         assert_eq!(t.last(), Some(&Token::Dot));
-        assert_eq!(t[2], Token::PrefixedName("foaf".into(), "Person".into()));
+        assert_eq!(t[2], Token::PrefixedName("foaf", "Person"));
     }
 
     #[test]
     fn lexes_strings_and_lang_tags_and_datatypes() {
-        let t = toks(r#""hello"@en "1"^^xsd:integer 'x' """long "quote" ok""""#);
-        assert_eq!(t[0], Token::String("hello".into()));
-        assert_eq!(t[1], Token::LangTag("en".into()));
-        assert_eq!(t[2], Token::String("1".into()));
+        let arena = Arena::new();
+        let t = toks(
+            &arena,
+            r#""hello"@en "1"^^xsd:integer 'x' """long "quote" ok""""#,
+        );
+        assert_eq!(t[0], Token::String("hello"));
+        assert_eq!(t[1], Token::LangTag("en"));
+        assert_eq!(t[2], Token::String("1"));
         assert_eq!(t[3], Token::DoubleCaret);
-        assert_eq!(t[5], Token::String("x".into()));
-        assert_eq!(t[6], Token::String("long \"quote\" ok".into()));
+        assert_eq!(t[5], Token::String("x"));
+        assert_eq!(t[6], Token::String("long \"quote\" ok"));
     }
 
     #[test]
     fn lexes_escapes() {
-        let t = toks(r#""a\tb\n\"cA""#);
-        assert_eq!(t[0], Token::String("a\tb\n\"cA".into()));
+        let arena = Arena::new();
+        let t = toks(&arena, r#""a\tb\n\"cA""#);
+        assert_eq!(t[0], Token::String("a\tb\n\"cA"));
+    }
+
+    #[test]
+    fn escape_after_long_plain_prefix_keeps_the_prefix() {
+        // The borrowed fast path must seed the owned value correctly when
+        // the first backslash appears beyond one SWAR stride.
+        let arena = Arena::new();
+        let t = toks(&arena, r#""0123456789 abcdefghijk \t tail""#);
+        assert_eq!(t[0], Token::String("0123456789 abcdefghijk \t tail"));
     }
 
     #[test]
     fn lexes_numbers() {
-        let t = toks("1 2.5 .5 3e10 1.0E-2");
+        let arena = Arena::new();
+        let t = toks(&arena, "1 2.5 .5 3e10 1.0E-2");
         assert_eq!(
             t,
             vec![
-                Token::Integer("1".into()),
-                Token::Decimal("2.5".into()),
-                Token::Decimal(".5".into()),
-                Token::Double("3e10".into()),
-                Token::Double("1.0E-2".into()),
+                Token::Integer("1"),
+                Token::Decimal("2.5"),
+                Token::Decimal(".5"),
+                Token::Double("3e10"),
+                Token::Double("1.0E-2"),
             ]
         );
     }
 
     #[test]
     fn number_followed_by_triple_dot() {
-        let t = toks("?x :p 1 . ?y :q 2.");
+        let arena = Arena::new();
+        let t = toks(&arena, "?x :p 1 . ?y :q 2.");
         assert_eq!(t[3], Token::Dot);
-        assert_eq!(t[6], Token::Integer("2".into()));
+        assert_eq!(t[6], Token::Integer("2"));
         assert_eq!(t[7], Token::Dot);
     }
 
     #[test]
     fn lexes_question_mark_as_path_modifier_when_not_var() {
-        let t = toks("?s foaf:knows? ?o");
-        assert_eq!(t[0], Token::Var("s".into()));
+        let arena = Arena::new();
+        let t = toks(&arena, "?s foaf:knows? ?o");
+        assert_eq!(t[0], Token::Var("s"));
         assert_eq!(t[2], Token::Question);
-        assert_eq!(t[3], Token::Var("o".into()));
+        assert_eq!(t[3], Token::Var("o"));
     }
 
     #[test]
     fn lexes_nil_and_anon() {
-        assert_eq!(toks("( ) [ ]"), vec![Token::Nil, Token::Anon]);
+        let arena = Arena::new();
+        assert_eq!(toks(&arena, "( ) [ ]"), vec![Token::Nil, Token::Anon]);
         assert_eq!(
-            toks("(1)"),
-            vec![Token::LParen, Token::Integer("1".into()), Token::RParen]
+            toks(&arena, "(1)"),
+            vec![Token::LParen, Token::Integer("1"), Token::RParen]
         );
     }
 
     #[test]
     fn lexes_blank_node_labels() {
-        let t = toks("_:b0 _:x1.");
-        assert_eq!(t[0], Token::BlankNodeLabel("b0".into()));
-        assert_eq!(t[1], Token::BlankNodeLabel("x1".into()));
+        let arena = Arena::new();
+        let t = toks(&arena, "_:b0 _:x1.");
+        assert_eq!(t[0], Token::BlankNodeLabel("b0"));
+        assert_eq!(t[1], Token::BlankNodeLabel("x1"));
         assert_eq!(t[2], Token::Dot);
     }
 
     #[test]
     fn skips_comments() {
-        let t = toks("SELECT ?x # a comment\nWHERE { }");
+        let arena = Arena::new();
+        let t = toks(&arena, "SELECT ?x # a comment\nWHERE { }");
         assert_eq!(t[2], Token::Keyword(Keyword::Where));
     }
 
     #[test]
     fn operators_and_comparisons() {
-        let t = toks("&& || != <= >= = ! ^ ^^ | / * + -");
+        let arena = Arena::new();
+        let t = toks(&arena, "&& || != <= >= = ! ^ ^^ | / * + -");
         assert_eq!(
             t,
             vec![
@@ -684,35 +754,51 @@ mod tests {
 
     #[test]
     fn errors_on_unterminated_string() {
-        assert!(tokenize("SELECT ?x WHERE { ?x :p \"oops }").is_err());
+        let arena = Arena::new();
+        assert!(tokenize_in("SELECT ?x WHERE { ?x :p \"oops }", &arena).is_err());
     }
 
     #[test]
     fn errors_on_http_request_line() {
         // Typical garbage entry in endpoint logs.
-        assert!(tokenize("GET /sparql?query=SELECT%20?x HTTP/1.1\"").is_err());
+        let arena = Arena::new();
+        assert!(tokenize_in("GET /sparql?query=SELECT%20?x HTTP/1.1\"", &arena).is_err());
     }
 
     #[test]
     fn escaped_multibyte_character_does_not_panic() {
         // A backslash followed by a multi-byte character must not split the
         // string at a non-boundary (regression test found by proptest).
-        let t = toks("\"a\\ü b\"");
-        assert_eq!(t[0], Token::String("a\\ü b".into()));
+        let arena = Arena::new();
+        let t = toks(&arena, "\"a\\ü b\"");
+        assert_eq!(t[0], Token::String("a\\ü b"));
         // Stray escapes in garbage input may be rejected but must not panic.
-        let _ = tokenize("q\\🂡\"unterminated");
+        let _ = tokenize_in("q\\🂡\"unterminated", &arena);
     }
 
     #[test]
     fn unicode_in_names_and_strings() {
-        let t = toks("?süd :größe \"köln\"");
-        assert_eq!(t[0], Token::Var("süd".into()));
-        assert_eq!(t[2], Token::String("köln".into()));
+        let arena = Arena::new();
+        let t = toks(&arena, "?süd :größe \"köln\"");
+        assert_eq!(t[0], Token::Var("süd"));
+        assert_eq!(t[2], Token::String("köln"));
+    }
+
+    #[test]
+    fn long_string_with_newlines_keeps_line_numbers_straight() {
+        let arena = Arena::new();
+        let spanned = tokenize_in("\"\"\"line one\nline two\n\"\"\" ?x", &arena).unwrap();
+        assert_eq!(spanned[0].token, Token::String("line one\nline two\n"));
+        let var = &spanned[1];
+        assert_eq!(var.token, Token::Var("x"));
+        assert_eq!(var.line, 3);
+        assert_eq!(var.column, 5);
     }
 
     #[test]
     fn reports_line_and_column() {
-        let spanned = tokenize("SELECT ?x\nWHERE { ?x a ?y }").unwrap();
+        let arena = Arena::new();
+        let spanned = tokenize_in("SELECT ?x\nWHERE { ?x a ?y }", &arena).unwrap();
         let where_tok = &spanned[2];
         assert_eq!(where_tok.line, 2);
         assert_eq!(where_tok.column, 1);

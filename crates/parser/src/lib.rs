@@ -8,9 +8,19 @@
 //!
 //! The crate is organised as:
 //!
-//! * [`token`] / [`lexer`] — tokenization.
-//! * [`ast`] — the surface-syntax AST.
-//! * [`parser`] — the recursive-descent parser, entry point [`parse_query`].
+//! * [`bytescan`] — SWAR word-at-a-time byte classification shared by the
+//!   lexer and the corpus line readers.
+//! * [`token`] / [`lexer`] — zero-copy tokenization: [`Token`](token::Token)
+//!   borrows `&str` slices of the input, and the token buffer lives in an
+//!   [`Arena`].
+//! * [`arena`] — the bump [`Arena`] that owns every token, AST node and
+//!   expanded string for one parse batch; one [`Arena::reset`] call retires
+//!   the whole batch.
+//! * [`ast`] — the owned surface-syntax AST (serde-friendly, long-lived).
+//! * [`ast_ref`] — the borrowed arena-allocated mirror of [`ast`], produced
+//!   by [`parse_query_in`] and converted with `to_owned()` when needed.
+//! * [`parser`] — the recursive-descent parser; [`parse_query_in`] is the
+//!   zero-copy entry point, [`parse_query`] the owned convenience wrapper.
 //! * [`display`] — canonical serialization, entry point
 //!   [`to_canonical_string`], used for duplicate elimination and streak
 //!   similarity, plus the zero-materialization [`CanonicalHasher`] /
@@ -18,6 +28,15 @@
 //! * [`intern`] — the per-worker term [`Interner`] mapping IRIs, prefixed
 //!   names and variables to dense `u32` [`Symbol`]s, so the analysis passes
 //!   hash and compare integers instead of strings.
+//!
+//! # Arena lifetime rules
+//!
+//! A [`parse_query_in`] result borrows both the input string and the arena:
+//! nothing derived from it (terms, slices, the query itself) may outlive the
+//! next [`Arena::reset`]. Extract anything long-lived — fingerprints, interned
+//! symbols, owned ASTs via `to_owned()` — *before* resetting. The fused
+//! pipeline follows exactly this discipline: one arena per worker, reset once
+//! per log entry.
 //!
 //! # Example
 //!
@@ -38,10 +57,13 @@
 //! assert_eq!(q.form, QueryForm::Select);
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod ast;
+pub mod ast_ref;
+pub mod bytescan;
 pub mod display;
 pub mod error;
 pub mod intern;
@@ -49,10 +71,12 @@ pub mod lexer;
 pub mod parser;
 pub mod token;
 
+pub use arena::Arena;
 pub use ast::{Query, QueryForm};
 pub use display::{
-    canonical_fingerprint, canonical_fingerprint_of, to_canonical_string, CanonicalHasher,
+    canonical_fingerprint, canonical_fingerprint_of, canonical_fingerprint_of_ref,
+    to_canonical_string, CanonicalHasher,
 };
 pub use error::ParseError;
 pub use intern::{InternStats, Interner, Symbol};
-pub use parser::parse_query;
+pub use parser::{parse_query, parse_query_in};

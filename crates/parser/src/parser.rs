@@ -7,13 +7,23 @@
 //! `VALUES` / `SERVICE`, subqueries, the SPARQL expression grammar including
 //! `EXISTS` and aggregates, and all solution modifiers.
 //!
+//! It builds the borrowed [`ast_ref`](crate::ast_ref) representation
+//! directly in a caller-supplied [`Arena`]: every node, list and expanded
+//! IRI is bump-allocated, so parsing performs no steady-state global
+//! allocation. [`parse_query`] wraps this with a thread-local arena and a
+//! `to_owned()` conversion for callers that want the owned
+//! [`ast::Query`] surface.
+//!
 //! Update requests (`INSERT` / `DELETE` / `LOAD` …) are *not* supported: the
 //! paper's corpus consists of queries, and update entries count as invalid.
 
-use crate::ast::*;
+use crate::arena::{Arena, ArenaVec};
+use crate::ast;
+use crate::ast_ref::*;
 use crate::error::{ParseError, Result};
-use crate::lexer::tokenize;
+use crate::lexer::tokenize_in;
 use crate::token::{Keyword, Spanned, Token};
+use std::cell::RefCell;
 
 /// The `rdf:type` IRI that the keyword `a` abbreviates.
 pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
@@ -24,7 +34,15 @@ pub const RDF_REST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#rest";
 /// `rdf:nil`, used when desugaring collections.
 pub const RDF_NIL: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil";
 
-/// Parses a complete SPARQL query string into a [`Query`].
+thread_local! {
+    static PARSE_ARENA: RefCell<Arena> = RefCell::new(Arena::new());
+}
+
+/// Parses a complete SPARQL query string into an owned [`ast::Query`].
+///
+/// Internally parses into a thread-local arena (reset on each call) and
+/// copies the result out; use [`parse_query_in`] to keep the zero-copy
+/// borrowed form instead.
 ///
 /// # Errors
 ///
@@ -38,27 +56,58 @@ pub const RDF_NIL: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil";
 /// let q = parse_query("ASK { ?x a <http://example.org/Person> }").unwrap();
 /// assert_eq!(q.form, sparqlog_parser::ast::QueryForm::Ask);
 /// ```
-pub fn parse_query(input: &str) -> Result<Query> {
-    let tokens = tokenize(input)?;
-    let mut p = Parser::new(tokens);
+pub fn parse_query(input: &str) -> Result<ast::Query> {
+    PARSE_ARENA.with(|cell| {
+        let mut arena = cell.borrow_mut();
+        arena.reset();
+        parse_query_in(input, &arena).map(|q| q.to_owned())
+    })
+}
+
+/// Parses a complete SPARQL query string into the borrowed
+/// [`Query`] representation, allocating every node
+/// into `arena`.
+///
+/// The returned query borrows both `input` and `arena`; see the
+/// [`ast_ref`](crate::ast_ref) module docs for the lifetime rules (nothing
+/// may outlive the next [`Arena::reset`]).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a syntactically valid SPARQL
+/// 1.1 query (of the supported query subset).
+///
+/// # Examples
+///
+/// ```
+/// use sparqlog_parser::{parse_query_in, Arena};
+/// let arena = Arena::new();
+/// let q = parse_query_in("SELECT * WHERE { ?s ?p ?o }", &arena).unwrap();
+/// assert!(q.has_body());
+/// ```
+pub fn parse_query_in<'a>(input: &'a str, arena: &'a Arena) -> Result<Query<'a>> {
+    let tokens = tokenize_in(input, arena)?;
+    let mut p = Parser::new(tokens, arena);
     let q = p.parse_query()?;
     p.expect_eof()?;
     Ok(q)
 }
 
-struct Parser {
-    tokens: Vec<Spanned>,
+struct Parser<'a> {
+    tokens: &'a [Spanned<'a>],
     pos: usize,
-    prefixes: Vec<(String, String)>,
-    base: Option<String>,
+    arena: &'a Arena,
+    prefixes: Vec<(&'a str, &'a str)>,
+    base: Option<&'a str>,
     blank_counter: u32,
 }
 
-impl Parser {
-    fn new(tokens: Vec<Spanned>) -> Self {
+impl<'a> Parser<'a> {
+    fn new(tokens: &'a [Spanned<'a>], arena: &'a Arena) -> Self {
         Parser {
             tokens,
             pos: 0,
+            arena,
             prefixes: Vec::new(),
             base: None,
             blank_counter: 0,
@@ -69,16 +118,16 @@ impl Parser {
     // Token-stream helpers
     // ------------------------------------------------------------------
 
-    fn peek(&self) -> Option<&Token> {
-        self.tokens.get(self.pos).map(|s| &s.token)
+    fn peek(&self) -> Option<Token<'a>> {
+        self.tokens.get(self.pos).map(|s| s.token)
     }
 
-    fn peek_at(&self, off: usize) -> Option<&Token> {
-        self.tokens.get(self.pos + off).map(|s| &s.token)
+    fn peek_at(&self, off: usize) -> Option<Token<'a>> {
+        self.tokens.get(self.pos + off).map(|s| s.token)
     }
 
-    fn bump(&mut self) -> Option<Token> {
-        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+    fn bump(&mut self) -> Option<Token<'a>> {
+        let t = self.tokens.get(self.pos).map(|s| s.token);
         if t.is_some() {
             self.pos += 1;
         }
@@ -97,7 +146,7 @@ impl Parser {
         ParseError::new(msg, line, column)
     }
 
-    fn eat(&mut self, expected: &Token) -> bool {
+    fn eat(&mut self, expected: Token<'a>) -> bool {
         if self.peek() == Some(expected) {
             self.pos += 1;
             true
@@ -106,7 +155,7 @@ impl Parser {
         }
     }
 
-    fn expect(&mut self, expected: &Token) -> Result<()> {
+    fn expect(&mut self, expected: Token<'a>) -> Result<()> {
         if self.eat(expected) {
             Ok(())
         } else {
@@ -120,7 +169,7 @@ impl Parser {
     }
 
     fn eat_keyword(&mut self, kw: Keyword) -> bool {
-        if self.peek() == Some(&Token::Keyword(kw)) {
+        if self.peek() == Some(Token::Keyword(kw)) {
             self.pos += 1;
             true
         } else {
@@ -137,14 +186,14 @@ impl Parser {
     }
 
     fn at_keyword(&self, kw: Keyword) -> bool {
-        self.peek() == Some(&Token::Keyword(kw))
+        self.peek() == Some(Token::Keyword(kw))
     }
 
     fn expect_eof(&self) -> Result<()> {
         // Allow a trailing dot or semicolon — seen in real logs.
         let mut p = self.pos;
         while matches!(
-            self.tokens.get(p).map(|s| &s.token),
+            self.tokens.get(p).map(|s| s.token),
             Some(Token::Dot) | Some(Token::Semicolon)
         ) {
             p += 1;
@@ -156,16 +205,33 @@ impl Parser {
         }
     }
 
-    fn fresh_blank(&mut self) -> Term {
+    fn fresh_blank(&mut self) -> Term<'a> {
         self.blank_counter += 1;
-        Term::BlankNode(format!("gen{}", self.blank_counter))
+        // "gen" + up to 10 decimal digits, formatted without allocating.
+        let mut buf = [0u8; 13];
+        buf[..3].copy_from_slice(b"gen");
+        let mut n = self.blank_counter;
+        let mut digits = [0u8; 10];
+        let mut i = digits.len();
+        loop {
+            i -= 1;
+            digits[i] = b'0' + (n % 10) as u8;
+            n /= 10;
+            if n == 0 {
+                break;
+            }
+        }
+        let len = 3 + (digits.len() - i);
+        buf[3..len].copy_from_slice(&digits[i..]);
+        let label = std::str::from_utf8(&buf[..len]).expect("ascii digits");
+        Term::BlankNode(self.arena.alloc_str(label))
     }
 
     // ------------------------------------------------------------------
     // Prologue
     // ------------------------------------------------------------------
 
-    fn parse_prologue(&mut self) -> Result<Prologue> {
+    fn parse_prologue(&mut self) -> Result<Prologue<'a>> {
         loop {
             if self.eat_keyword(Keyword::Prefix) {
                 let (prefix, local) = match self.bump() {
@@ -193,25 +259,26 @@ impl Parser {
             }
         }
         Ok(Prologue {
-            base: self.base.clone(),
-            prefixes: self.prefixes.clone(),
+            base: self.base,
+            prefixes: self.arena.alloc_slice(&self.prefixes),
         })
     }
 
-    fn expand_prefixed(&self, prefix: &str, local: &str) -> String {
+    fn expand_prefixed(&self, prefix: &'a str, local: &'a str) -> &'a str {
         for (p, iri) in self.prefixes.iter().rev() {
-            if p == prefix {
-                return format!("{iri}{local}");
+            if *p == prefix {
+                return self.arena.alloc_str_concat(iri, local);
             }
         }
-        format!("{prefix}:{local}")
+        let head = self.arena.alloc_str_concat(prefix, ":");
+        self.arena.alloc_str_concat(head, local)
     }
 
     // ------------------------------------------------------------------
     // Query forms
     // ------------------------------------------------------------------
 
-    fn parse_query(&mut self) -> Result<Query> {
+    fn parse_query(&mut self) -> Result<Query<'a>> {
         let prologue = self.parse_prologue()?;
         let q = match self.peek() {
             Some(Token::Keyword(Keyword::Select)) => self.parse_select(prologue, true)?,
@@ -225,7 +292,7 @@ impl Parser {
 
     /// Parses a SELECT query. `top_level` controls whether dataset clauses and
     /// a trailing VALUES block are allowed (they are not in subqueries).
-    fn parse_select(&mut self, prologue: Prologue, top_level: bool) -> Result<Query> {
+    fn parse_select(&mut self, prologue: Prologue<'a>, top_level: bool) -> Result<Query<'a>> {
         self.expect_keyword(Keyword::Select)?;
         let mut modifiers = SolutionModifiers::default();
         if self.eat_keyword(Keyword::Distinct) {
@@ -237,7 +304,7 @@ impl Parser {
         let dataset = if top_level {
             self.parse_dataset_clauses()?
         } else {
-            Vec::new()
+            &[]
         };
         self.eat_keyword(Keyword::Where);
         let body = self.parse_group_graph_pattern()?;
@@ -259,17 +326,15 @@ impl Parser {
         })
     }
 
-    fn parse_select_items(&mut self) -> Result<Projection> {
-        if self.eat(&Token::Star) {
+    fn parse_select_items(&mut self) -> Result<Projection<'a>> {
+        if self.eat(Token::Star) {
             return Ok(Projection::All);
         }
-        let mut items = Vec::new();
+        let mut items = ArenaVec::new(self.arena);
         loop {
             match self.peek() {
-                Some(Token::Var(_)) => {
-                    let Some(Token::Var(v)) = self.bump() else {
-                        unreachable!()
-                    };
+                Some(Token::Var(v)) => {
+                    self.bump();
                     items.push(SelectItem { expr: None, var: v });
                 }
                 Some(Token::LParen) => {
@@ -280,7 +345,7 @@ impl Parser {
                         Some(Token::Var(v)) => v,
                         _ => return Err(self.error("expected variable after AS")),
                     };
-                    self.expect(&Token::RParen)?;
+                    self.expect(Token::RParen)?;
                     items.push(SelectItem {
                         expr: Some(expr),
                         var,
@@ -292,10 +357,10 @@ impl Parser {
         if items.is_empty() {
             return Err(self.error("SELECT clause requires '*' or at least one variable"));
         }
-        Ok(Projection::Items(items))
+        Ok(Projection::Items(items.finish()))
     }
 
-    fn parse_ask(&mut self, prologue: Prologue) -> Result<Query> {
+    fn parse_ask(&mut self, prologue: Prologue<'a>) -> Result<Query<'a>> {
         self.expect_keyword(Keyword::Ask)?;
         let dataset = self.parse_dataset_clauses()?;
         self.eat_keyword(Keyword::Where);
@@ -315,9 +380,9 @@ impl Parser {
         })
     }
 
-    fn parse_construct(&mut self, prologue: Prologue) -> Result<Query> {
+    fn parse_construct(&mut self, prologue: Prologue<'a>) -> Result<Query<'a>> {
         self.expect_keyword(Keyword::Construct)?;
-        if self.peek() == Some(&Token::LBrace) {
+        if self.peek() == Some(Token::LBrace) {
             // CONSTRUCT { template } dataset* WHERE { pattern } modifiers
             let template = self.parse_construct_template()?;
             let dataset = self.parse_dataset_clauses()?;
@@ -355,19 +420,23 @@ impl Parser {
         }
     }
 
-    fn parse_construct_template(&mut self) -> Result<Vec<TriplePattern>> {
-        self.expect(&Token::LBrace)?;
-        let mut triples = Vec::new();
-        if self.peek() != Some(&Token::RBrace) {
+    fn parse_construct_template(&mut self) -> Result<&'a [TriplePattern<'a>]> {
+        self.expect(Token::LBrace)?;
+        let mut triples = ArenaVec::new(self.arena);
+        if self.peek() != Some(Token::RBrace) {
             let items = self.parse_triples_block()?;
             for item in items {
                 match item {
-                    TripleOrPath::Triple(t) => triples.push(t),
+                    TripleOrPath::Triple(t) => triples.push(*t),
                     TripleOrPath::Path(p) => {
                         // A trivial path is still a triple; anything else is
                         // illegal in a CONSTRUCT template.
                         if let PropertyPath::Iri(iri) = p.path {
-                            triples.push(TriplePattern::new(p.subject, Term::Iri(iri), p.object));
+                            triples.push(TriplePattern {
+                                subject: p.subject,
+                                predicate: Term::Iri(iri),
+                                object: p.object,
+                            });
                         } else {
                             return Err(
                                 self.error("property paths are not allowed in CONSTRUCT templates")
@@ -377,16 +446,16 @@ impl Parser {
                 }
             }
         }
-        self.expect(&Token::RBrace)?;
-        Ok(triples)
+        self.expect(Token::RBrace)?;
+        Ok(triples.finish())
     }
 
-    fn parse_describe(&mut self, prologue: Prologue) -> Result<Query> {
+    fn parse_describe(&mut self, prologue: Prologue<'a>) -> Result<Query<'a>> {
         self.expect_keyword(Keyword::Describe)?;
-        let projection = if self.eat(&Token::Star) {
+        let projection = if self.eat(Token::Star) {
             Projection::All
         } else {
-            let mut terms = Vec::new();
+            let mut terms = ArenaVec::new(self.arena);
             while matches!(
                 self.peek(),
                 Some(Token::Var(_)) | Some(Token::IriRef(_)) | Some(Token::PrefixedName(_, _))
@@ -397,10 +466,10 @@ impl Parser {
             if terms.is_empty() {
                 return Err(self.error("DESCRIBE requires '*' or at least one resource"));
             }
-            Projection::Terms(terms)
+            Projection::Terms(terms.finish())
         };
         let dataset = self.parse_dataset_clauses()?;
-        let where_clause = if self.at_keyword(Keyword::Where) || self.peek() == Some(&Token::LBrace)
+        let where_clause = if self.at_keyword(Keyword::Where) || self.peek() == Some(Token::LBrace)
         {
             self.eat_keyword(Keyword::Where);
             Some(self.parse_group_graph_pattern()?)
@@ -421,8 +490,8 @@ impl Parser {
         })
     }
 
-    fn parse_dataset_clauses(&mut self) -> Result<Vec<DatasetClause>> {
-        let mut out = Vec::new();
+    fn parse_dataset_clauses(&mut self) -> Result<&'a [DatasetClause<'a>]> {
+        let mut out = ArenaVec::new(self.arena);
         while self.eat_keyword(Keyword::From) {
             let named = self.eat_keyword(Keyword::Named);
             let iri = match self.parse_iri()? {
@@ -431,28 +500,28 @@ impl Parser {
             };
             out.push(DatasetClause { named, iri });
         }
-        Ok(out)
+        Ok(out.finish())
     }
 
     // ------------------------------------------------------------------
     // Group graph patterns
     // ------------------------------------------------------------------
 
-    fn parse_group_graph_pattern(&mut self) -> Result<GroupGraphPattern> {
-        self.expect(&Token::LBrace)?;
+    fn parse_group_graph_pattern(&mut self) -> Result<GroupGraphPattern<'a>> {
+        self.expect(Token::LBrace)?;
         // Subquery?
         if self.at_keyword(Keyword::Select) {
-            let sub = self.parse_select(Prologue::default(), false)?;
+            let mut sub = self.parse_select(Prologue::default(), false)?;
             // An optional VALUES clause may follow the subquery.
             let values = self.parse_values_clause()?;
-            self.expect(&Token::RBrace)?;
-            let mut sub = sub;
+            self.expect(Token::RBrace)?;
             sub.values = values;
-            return Ok(GroupGraphPattern {
-                elements: vec![GroupElement::SubSelect(Box::new(sub))],
-            });
+            let elements = self
+                .arena
+                .alloc_slice(&[GroupElement::SubSelect(self.arena.alloc(sub))]);
+            return Ok(GroupGraphPattern { elements });
         }
-        let mut elements = Vec::new();
+        let mut elements = ArenaVec::new(self.arena);
         loop {
             match self.peek() {
                 Some(Token::RBrace) => {
@@ -464,26 +533,26 @@ impl Parser {
                     self.bump();
                     let e = self.parse_constraint()?;
                     elements.push(GroupElement::Filter(e));
-                    self.eat(&Token::Dot);
+                    self.eat(Token::Dot);
                 }
                 Some(Token::Keyword(Keyword::Optional)) => {
                     self.bump();
                     let g = self.parse_group_graph_pattern()?;
                     elements.push(GroupElement::Optional(g));
-                    self.eat(&Token::Dot);
+                    self.eat(Token::Dot);
                 }
                 Some(Token::Keyword(Keyword::Minus)) => {
                     self.bump();
                     let g = self.parse_group_graph_pattern()?;
                     elements.push(GroupElement::Minus(g));
-                    self.eat(&Token::Dot);
+                    self.eat(Token::Dot);
                 }
                 Some(Token::Keyword(Keyword::Graph)) => {
                     self.bump();
                     let name = self.parse_var_or_iri()?;
                     let pattern = self.parse_group_graph_pattern()?;
                     elements.push(GroupElement::Graph { name, pattern });
-                    self.eat(&Token::Dot);
+                    self.eat(Token::Dot);
                 }
                 Some(Token::Keyword(Keyword::Service)) => {
                     self.bump();
@@ -495,47 +564,48 @@ impl Parser {
                         name,
                         pattern,
                     });
-                    self.eat(&Token::Dot);
+                    self.eat(Token::Dot);
                 }
                 Some(Token::Keyword(Keyword::Bind)) => {
                     self.bump();
-                    self.expect(&Token::LParen)?;
+                    self.expect(Token::LParen)?;
                     let expr = self.parse_expression()?;
                     self.expect_keyword(Keyword::As)?;
                     let var = match self.bump() {
                         Some(Token::Var(v)) => v,
                         _ => return Err(self.error("expected variable after AS in BIND")),
                     };
-                    self.expect(&Token::RParen)?;
+                    self.expect(Token::RParen)?;
                     elements.push(GroupElement::Bind { expr, var });
-                    self.eat(&Token::Dot);
+                    self.eat(Token::Dot);
                 }
                 Some(Token::Keyword(Keyword::Values)) => {
                     self.bump();
                     let data = self.parse_data_block()?;
                     elements.push(GroupElement::Values(data));
-                    self.eat(&Token::Dot);
+                    self.eat(Token::Dot);
                 }
                 Some(Token::LBrace) => {
                     // Group or union chain.
                     let first = self.parse_group_graph_pattern()?;
                     if self.at_keyword(Keyword::Union) {
-                        let mut branches = vec![first];
+                        let mut branches = ArenaVec::new(self.arena);
+                        branches.push(first);
                         while self.eat_keyword(Keyword::Union) {
                             branches.push(self.parse_group_graph_pattern()?);
                         }
-                        elements.push(GroupElement::Union(branches));
+                        elements.push(GroupElement::Union(branches.finish()));
                     } else if first.elements.len() == 1
                         && matches!(first.elements[0], GroupElement::SubSelect(_))
                     {
                         // `{ SELECT … }` used directly as a group element: the
                         // braces belong to the subquery, so do not wrap it in
                         // an extra Group.
-                        elements.push(first.elements.into_iter().next().expect("one element"));
+                        elements.push(first.elements[0]);
                     } else {
                         elements.push(GroupElement::Group(first));
                     }
-                    self.eat(&Token::Dot);
+                    self.eat(Token::Dot);
                 }
                 _ => {
                     let triples = self.parse_triples_block()?;
@@ -549,24 +619,26 @@ impl Parser {
                 }
             }
         }
-        Ok(GroupGraphPattern { elements })
+        Ok(GroupGraphPattern {
+            elements: elements.finish(),
+        })
     }
 
     /// Parses a block of triples-same-subject productions separated by dots.
     /// Stops before any token that cannot begin a triple.
-    fn parse_triples_block(&mut self) -> Result<Vec<TripleOrPath>> {
-        let mut out = Vec::new();
+    fn parse_triples_block(&mut self) -> Result<&'a [TripleOrPath<'a>]> {
+        let mut out = ArenaVec::new(self.arena);
         loop {
             if !self.at_triple_start() {
                 break;
             }
             self.parse_triples_same_subject(&mut out)?;
-            if self.eat(&Token::Dot) {
+            if self.eat(Token::Dot) {
                 continue;
             }
             break;
         }
-        Ok(out)
+        Ok(out.finish())
     }
 
     fn at_triple_start(&self) -> bool {
@@ -590,7 +662,10 @@ impl Parser {
         )
     }
 
-    fn parse_triples_same_subject(&mut self, out: &mut Vec<TripleOrPath>) -> Result<()> {
+    fn parse_triples_same_subject(
+        &mut self,
+        out: &mut ArenaVec<'a, TripleOrPath<'a>>,
+    ) -> Result<()> {
         // Subject: a term, a blank-node property list, or a collection.
         let subject = match self.peek() {
             Some(Token::LBracket) => {
@@ -624,8 +699,8 @@ impl Parser {
     /// `out`. `required` demands at least one verb.
     fn parse_property_list(
         &mut self,
-        subject: Term,
-        out: &mut Vec<TripleOrPath>,
+        subject: Term<'a>,
+        out: &mut ArenaVec<'a, TripleOrPath<'a>>,
         required: bool,
     ) -> Result<()> {
         if !self.at_verb_start() {
@@ -636,15 +711,13 @@ impl Parser {
         }
         loop {
             // Verb: variable, 'a', or property path.
-            enum Verb {
-                Var(String),
-                Path(PropertyPath),
+            enum Verb<'v> {
+                Var(&'v str),
+                Path(PropertyPath<'v>),
             }
             let verb = match self.peek() {
-                Some(Token::Var(_)) => {
-                    let Some(Token::Var(v)) = self.bump() else {
-                        unreachable!()
-                    };
+                Some(Token::Var(v)) => {
+                    self.bump();
                     Verb::Var(v)
                 }
                 _ => Verb::Path(self.parse_path()?),
@@ -656,31 +729,32 @@ impl Parser {
                     Some(Token::LParen) | Some(Token::Nil) => self.parse_collection(out)?,
                     _ => self.parse_graph_node(out)?,
                 };
-                let item =
-                    match &verb {
-                        Verb::Var(v) => TripleOrPath::Triple(TriplePattern::new(
-                            subject.clone(),
-                            Term::Var(v.clone()),
-                            object,
-                        )),
-                        Verb::Path(PropertyPath::Iri(iri)) => TripleOrPath::Triple(
-                            TriplePattern::new(subject.clone(), Term::Iri(iri.clone()), object),
-                        ),
-                        Verb::Path(p) => TripleOrPath::Path(PathPattern {
-                            subject: subject.clone(),
-                            path: p.clone(),
-                            object,
-                        }),
-                    };
+                let item = match verb {
+                    Verb::Var(v) => TripleOrPath::Triple(TriplePattern {
+                        subject,
+                        predicate: Term::Var(v),
+                        object,
+                    }),
+                    Verb::Path(PropertyPath::Iri(iri)) => TripleOrPath::Triple(TriplePattern {
+                        subject,
+                        predicate: Term::Iri(iri),
+                        object,
+                    }),
+                    Verb::Path(p) => TripleOrPath::Path(PathPattern {
+                        subject,
+                        path: p,
+                        object,
+                    }),
+                };
                 out.push(item);
-                if !self.eat(&Token::Comma) {
+                if !self.eat(Token::Comma) {
                     break;
                 }
             }
             // ';' continues with another verb for the same subject; a dangling
             // ';' before '.' or '}' is tolerated (common in real logs).
-            if self.eat(&Token::Semicolon) {
-                while self.eat(&Token::Semicolon) {}
+            if self.eat(Token::Semicolon) {
+                while self.eat(Token::Semicolon) {}
                 if self.at_verb_start() {
                     continue;
                 }
@@ -691,23 +765,26 @@ impl Parser {
     }
 
     /// Parses `[ predicate-object-list ]`, returning the fresh blank node.
-    fn parse_blank_node_property_list(&mut self, out: &mut Vec<TripleOrPath>) -> Result<Term> {
-        self.expect(&Token::LBracket)?;
+    fn parse_blank_node_property_list(
+        &mut self,
+        out: &mut ArenaVec<'a, TripleOrPath<'a>>,
+    ) -> Result<Term<'a>> {
+        self.expect(Token::LBracket)?;
         let node = self.fresh_blank();
-        self.parse_property_list(node.clone(), out, true)?;
-        self.expect(&Token::RBracket)?;
+        self.parse_property_list(node, out, true)?;
+        self.expect(Token::RBracket)?;
         Ok(node)
     }
 
     /// Parses an RDF collection `( n1 n2 … )`, desugaring to `rdf:first` /
     /// `rdf:rest` triples; returns the head node (or `rdf:nil` when empty).
-    fn parse_collection(&mut self, out: &mut Vec<TripleOrPath>) -> Result<Term> {
-        if self.eat(&Token::Nil) {
-            return Ok(Term::Iri(RDF_NIL.to_string()));
+    fn parse_collection(&mut self, out: &mut ArenaVec<'a, TripleOrPath<'a>>) -> Result<Term<'a>> {
+        if self.eat(Token::Nil) {
+            return Ok(Term::Iri(RDF_NIL));
         }
-        self.expect(&Token::LParen)?;
-        let mut nodes = Vec::new();
-        while self.peek() != Some(&Token::RParen) {
+        self.expect(Token::LParen)?;
+        let mut nodes = ArenaVec::new(self.arena);
+        while self.peek() != Some(Token::RParen) {
             let node = match self.peek() {
                 Some(Token::LBracket) => self.parse_blank_node_property_list(out)?,
                 Some(Token::LParen) | Some(Token::Nil) => self.parse_collection(out)?,
@@ -716,48 +793,46 @@ impl Parser {
             };
             nodes.push(node);
         }
-        self.expect(&Token::RParen)?;
+        self.expect(Token::RParen)?;
         // Desugar.
-        let mut head = Term::Iri(RDF_NIL.to_string());
-        for node in nodes.into_iter().rev() {
+        let mut head = Term::Iri(RDF_NIL);
+        for node in nodes.finish().iter().rev() {
             let cell = self.fresh_blank();
-            out.push(TripleOrPath::Triple(TriplePattern::new(
-                cell.clone(),
-                Term::Iri(RDF_FIRST.to_string()),
-                node,
-            )));
-            out.push(TripleOrPath::Triple(TriplePattern::new(
-                cell.clone(),
-                Term::Iri(RDF_REST.to_string()),
-                head,
-            )));
+            out.push(TripleOrPath::Triple(TriplePattern {
+                subject: cell,
+                predicate: Term::Iri(RDF_FIRST),
+                object: *node,
+            }));
+            out.push(TripleOrPath::Triple(TriplePattern {
+                subject: cell,
+                predicate: Term::Iri(RDF_REST),
+                object: head,
+            }));
             head = cell;
         }
         Ok(head)
     }
 
     /// Parses a simple graph node: a variable, IRI, literal or blank node.
-    fn parse_graph_node(&mut self, _out: &mut [TripleOrPath]) -> Result<Term> {
+    fn parse_graph_node(&mut self, _out: &mut ArenaVec<'a, TripleOrPath<'a>>) -> Result<Term<'a>> {
         self.parse_term()
     }
 
-    fn parse_var_or_iri(&mut self) -> Result<Term> {
+    fn parse_var_or_iri(&mut self) -> Result<Term<'a>> {
         match self.peek() {
-            Some(Token::Var(_)) => {
-                let Some(Token::Var(v)) = self.bump() else {
-                    unreachable!()
-                };
+            Some(Token::Var(v)) => {
+                self.bump();
                 Ok(Term::Var(v))
             }
             _ => self.parse_iri(),
         }
     }
 
-    fn parse_iri(&mut self) -> Result<Term> {
+    fn parse_iri(&mut self) -> Result<Term<'a>> {
         match self.bump() {
             Some(Token::IriRef(i)) => Ok(Term::Iri(i)),
-            Some(Token::PrefixedName(p, l)) => Ok(Term::Iri(self.expand_prefixed(&p, &l))),
-            Some(Token::A) => Ok(Term::Iri(RDF_TYPE.to_string())),
+            Some(Token::PrefixedName(p, l)) => Ok(Term::Iri(self.expand_prefixed(p, l))),
+            Some(Token::A) => Ok(Term::Iri(RDF_TYPE)),
             other => Err(self.error(format!(
                 "expected IRI, found {}",
                 other
@@ -768,13 +843,13 @@ impl Parser {
     }
 
     /// Parses an RDF term (no blank node property lists / collections).
-    fn parse_term(&mut self) -> Result<Term> {
+    fn parse_term(&mut self) -> Result<Term<'a>> {
         // Optional numeric sign.
-        let negative = if self.peek() == Some(&Token::Minus) {
+        let negative = if self.peek() == Some(Token::Minus) {
             self.bump();
             true
         } else {
-            if self.peek() == Some(&Token::Plus) {
+            if self.peek() == Some(Token::Plus) {
                 self.bump();
             }
             false
@@ -785,46 +860,35 @@ impl Parser {
         let term = match tok {
             Token::Var(v) => Term::Var(v),
             Token::IriRef(i) => Term::Iri(i),
-            Token::PrefixedName(p, l) => Term::Iri(self.expand_prefixed(&p, &l)),
-            Token::A => Term::Iri(RDF_TYPE.to_string()),
+            Token::PrefixedName(p, l) => Term::Iri(self.expand_prefixed(p, l)),
+            Token::A => Term::Iri(RDF_TYPE),
             Token::BlankNodeLabel(b) => Term::BlankNode(b),
             Token::Anon => self.fresh_blank(),
             Token::Boolean(b) => Term::Literal {
-                lexical: b.to_string(),
-                datatype: Some("http://www.w3.org/2001/XMLSchema#boolean".to_string()),
+                lexical: if b { "true" } else { "false" },
+                datatype: Some("http://www.w3.org/2001/XMLSchema#boolean"),
                 lang: None,
             },
-            Token::Integer(s) => {
-                let lexical = if negative { format!("-{s}") } else { s };
-                Term::Literal {
-                    lexical,
-                    datatype: Some("http://www.w3.org/2001/XMLSchema#integer".to_string()),
-                    lang: None,
-                }
-            }
-            Token::Decimal(s) => {
-                let lexical = if negative { format!("-{s}") } else { s };
-                Term::Literal {
-                    lexical,
-                    datatype: Some("http://www.w3.org/2001/XMLSchema#decimal".to_string()),
-                    lang: None,
-                }
-            }
-            Token::Double(s) => {
-                let lexical = if negative { format!("-{s}") } else { s };
-                Term::Literal {
-                    lexical,
-                    datatype: Some("http://www.w3.org/2001/XMLSchema#double".to_string()),
-                    lang: None,
-                }
-            }
+            Token::Integer(s) => Term::Literal {
+                lexical: self.signed_lexical(s, negative),
+                datatype: Some("http://www.w3.org/2001/XMLSchema#integer"),
+                lang: None,
+            },
+            Token::Decimal(s) => Term::Literal {
+                lexical: self.signed_lexical(s, negative),
+                datatype: Some("http://www.w3.org/2001/XMLSchema#decimal"),
+                lang: None,
+            },
+            Token::Double(s) => Term::Literal {
+                lexical: self.signed_lexical(s, negative),
+                datatype: Some("http://www.w3.org/2001/XMLSchema#double"),
+                lang: None,
+            },
             Token::String(s) => {
                 // Optional language tag or datatype.
                 match self.peek() {
-                    Some(Token::LangTag(_)) => {
-                        let Some(Token::LangTag(tag)) = self.bump() else {
-                            unreachable!()
-                        };
+                    Some(Token::LangTag(tag)) => {
+                        self.bump();
                         Term::Literal {
                             lexical: s,
                             datatype: None,
@@ -850,7 +914,7 @@ impl Parser {
                     },
                 }
             }
-            Token::Nil => Term::Iri(RDF_NIL.to_string()),
+            Token::Nil => Term::Iri(RDF_NIL),
             other => {
                 return Err(self.error(format!("expected term, found {other}")));
             }
@@ -861,61 +925,73 @@ impl Parser {
         Ok(term)
     }
 
+    fn signed_lexical(&self, s: &'a str, negative: bool) -> &'a str {
+        if negative {
+            self.arena.alloc_str_concat("-", s)
+        } else {
+            s
+        }
+    }
+
     // ------------------------------------------------------------------
     // Property paths
     // ------------------------------------------------------------------
 
-    fn parse_path(&mut self) -> Result<PropertyPath> {
+    fn parse_path(&mut self) -> Result<PropertyPath<'a>> {
         self.parse_path_alternative()
     }
 
-    fn parse_path_alternative(&mut self) -> Result<PropertyPath> {
+    fn path_ref(&self, p: PropertyPath<'a>) -> &'a PropertyPath<'a> {
+        self.arena.alloc(p)
+    }
+
+    fn parse_path_alternative(&mut self) -> Result<PropertyPath<'a>> {
         let mut left = self.parse_path_sequence()?;
-        while self.eat(&Token::Pipe) {
+        while self.eat(Token::Pipe) {
             let right = self.parse_path_sequence()?;
-            left = PropertyPath::Alternative(Box::new(left), Box::new(right));
+            left = PropertyPath::Alternative(self.path_ref(left), self.path_ref(right));
         }
         Ok(left)
     }
 
-    fn parse_path_sequence(&mut self) -> Result<PropertyPath> {
+    fn parse_path_sequence(&mut self) -> Result<PropertyPath<'a>> {
         let mut left = self.parse_path_elt_or_inverse()?;
-        while self.eat(&Token::Slash) {
+        while self.eat(Token::Slash) {
             let right = self.parse_path_elt_or_inverse()?;
-            left = PropertyPath::Sequence(Box::new(left), Box::new(right));
+            left = PropertyPath::Sequence(self.path_ref(left), self.path_ref(right));
         }
         Ok(left)
     }
 
-    fn parse_path_elt_or_inverse(&mut self) -> Result<PropertyPath> {
-        if self.eat(&Token::Caret) {
+    fn parse_path_elt_or_inverse(&mut self) -> Result<PropertyPath<'a>> {
+        if self.eat(Token::Caret) {
             let p = self.parse_path_elt()?;
-            Ok(PropertyPath::Inverse(Box::new(p)))
+            Ok(PropertyPath::Inverse(self.path_ref(p)))
         } else {
             self.parse_path_elt()
         }
     }
 
-    fn parse_path_elt(&mut self) -> Result<PropertyPath> {
+    fn parse_path_elt(&mut self) -> Result<PropertyPath<'a>> {
         let primary = self.parse_path_primary()?;
         Ok(match self.peek() {
             Some(Token::Star) => {
                 self.bump();
-                PropertyPath::ZeroOrMore(Box::new(primary))
+                PropertyPath::ZeroOrMore(self.path_ref(primary))
             }
             Some(Token::Plus) => {
                 self.bump();
-                PropertyPath::OneOrMore(Box::new(primary))
+                PropertyPath::OneOrMore(self.path_ref(primary))
             }
             Some(Token::Question) => {
                 self.bump();
-                PropertyPath::ZeroOrOne(Box::new(primary))
+                PropertyPath::ZeroOrOne(self.path_ref(primary))
             }
             _ => primary,
         })
     }
 
-    fn parse_path_primary(&mut self) -> Result<PropertyPath> {
+    fn parse_path_primary(&mut self) -> Result<PropertyPath<'a>> {
         match self.peek() {
             Some(Token::IriRef(_)) | Some(Token::PrefixedName(_, _)) | Some(Token::A) => {
                 let Term::Iri(iri) = self.parse_iri()? else {
@@ -930,42 +1006,42 @@ impl Parser {
             Some(Token::LParen) => {
                 self.bump();
                 let p = self.parse_path()?;
-                self.expect(&Token::RParen)?;
+                self.expect(Token::RParen)?;
                 Ok(p)
             }
             _ => Err(self.error("expected property path")),
         }
     }
 
-    fn parse_negated_property_set(&mut self) -> Result<PropertyPath> {
-        let mut items = Vec::new();
-        if self.eat(&Token::LParen) {
+    fn parse_negated_property_set(&mut self) -> Result<PropertyPath<'a>> {
+        let mut items = ArenaVec::new(self.arena);
+        if self.eat(Token::LParen) {
             loop {
-                let inverse = self.eat(&Token::Caret);
+                let inverse = self.eat(Token::Caret);
                 let Term::Iri(iri) = self.parse_iri()? else {
                     unreachable!()
                 };
                 items.push((iri, inverse));
-                if !self.eat(&Token::Pipe) {
+                if !self.eat(Token::Pipe) {
                     break;
                 }
             }
-            self.expect(&Token::RParen)?;
+            self.expect(Token::RParen)?;
         } else {
-            let inverse = self.eat(&Token::Caret);
+            let inverse = self.eat(Token::Caret);
             let Term::Iri(iri) = self.parse_iri()? else {
                 unreachable!()
             };
             items.push((iri, inverse));
         }
-        Ok(PropertyPath::NegatedPropertySet(items))
+        Ok(PropertyPath::NegatedPropertySet(items.finish()))
     }
 
     // ------------------------------------------------------------------
     // VALUES
     // ------------------------------------------------------------------
 
-    fn parse_values_clause(&mut self) -> Result<Option<InlineData>> {
+    fn parse_values_clause(&mut self) -> Result<Option<InlineData<'a>>> {
         if self.eat_keyword(Keyword::Values) {
             Ok(Some(self.parse_data_block()?))
         } else {
@@ -973,36 +1049,32 @@ impl Parser {
         }
     }
 
-    fn parse_data_block(&mut self) -> Result<InlineData> {
+    fn parse_data_block(&mut self) -> Result<InlineData<'a>> {
         // Single variable or parenthesised variable list.
-        let mut variables = Vec::new();
+        let mut variables = ArenaVec::new(self.arena);
         let single = match self.peek() {
-            Some(Token::Var(_)) => {
-                let Some(Token::Var(v)) = self.bump() else {
-                    unreachable!()
-                };
+            Some(Token::Var(v)) => {
+                self.bump();
                 variables.push(v);
                 true
             }
             Some(Token::LParen) | Some(Token::Nil) => {
-                if self.eat(&Token::Nil) {
+                if self.eat(Token::Nil) {
                     // no variables
                 } else {
                     self.bump();
-                    while let Some(Token::Var(_)) = self.peek() {
-                        let Some(Token::Var(v)) = self.bump() else {
-                            unreachable!()
-                        };
+                    while let Some(Token::Var(v)) = self.peek() {
+                        self.bump();
                         variables.push(v);
                     }
-                    self.expect(&Token::RParen)?;
+                    self.expect(Token::RParen)?;
                 }
                 false
             }
             _ => return Err(self.error("expected variable list in VALUES")),
         };
-        self.expect(&Token::LBrace)?;
-        let mut rows = Vec::new();
+        self.expect(Token::LBrace)?;
+        let mut rows: ArenaVec<'a, ValuesRow<'a>> = ArenaVec::new(self.arena);
         loop {
             match self.peek() {
                 Some(Token::RBrace) => {
@@ -1013,27 +1085,30 @@ impl Parser {
                 _ => {
                     if single {
                         let term = self.parse_data_value()?;
-                        rows.push(vec![term]);
+                        rows.push(self.arena.alloc_slice(&[term]));
                     } else {
-                        if self.eat(&Token::Nil) {
-                            rows.push(Vec::new());
+                        if self.eat(Token::Nil) {
+                            rows.push(&[]);
                             continue;
                         }
-                        self.expect(&Token::LParen)?;
-                        let mut row = Vec::new();
-                        while self.peek() != Some(&Token::RParen) {
+                        self.expect(Token::LParen)?;
+                        let mut row = ArenaVec::new(self.arena);
+                        while self.peek() != Some(Token::RParen) {
                             row.push(self.parse_data_value()?);
                         }
-                        self.expect(&Token::RParen)?;
-                        rows.push(row);
+                        self.expect(Token::RParen)?;
+                        rows.push(row.finish());
                     }
                 }
             }
         }
-        Ok(InlineData { variables, rows })
+        Ok(InlineData {
+            variables: variables.finish(),
+            rows: rows.finish(),
+        })
     }
 
-    fn parse_data_value(&mut self) -> Result<Option<Term>> {
+    fn parse_data_value(&mut self) -> Result<Option<Term<'a>>> {
         if self.eat_keyword(Keyword::Undef) {
             return Ok(None);
         }
@@ -1044,19 +1119,17 @@ impl Parser {
     // Solution modifiers
     // ------------------------------------------------------------------
 
-    fn parse_solution_modifiers(&mut self, m: &mut SolutionModifiers) -> Result<()> {
+    fn parse_solution_modifiers(&mut self, m: &mut SolutionModifiers<'a>) -> Result<()> {
         // GROUP BY
-        if self.at_keyword(Keyword::Group) && self.peek_at(1) == Some(&Token::Keyword(Keyword::By))
-        {
+        if self.at_keyword(Keyword::Group) && self.peek_at(1) == Some(Token::Keyword(Keyword::By)) {
             self.bump();
             self.bump();
+            let mut group_by = ArenaVec::new(self.arena);
             loop {
                 match self.peek() {
-                    Some(Token::Var(_)) => {
-                        let Some(Token::Var(v)) = self.bump() else {
-                            unreachable!()
-                        };
-                        m.group_by.push(GroupCondition {
+                    Some(Token::Var(v)) => {
+                        self.bump();
+                        group_by.push(GroupCondition {
                             expr: Expression::Var(v),
                             alias: None,
                         });
@@ -1072,37 +1145,40 @@ impl Parser {
                         } else {
                             None
                         };
-                        self.expect(&Token::RParen)?;
-                        m.group_by.push(GroupCondition { expr, alias });
+                        self.expect(Token::RParen)?;
+                        group_by.push(GroupCondition { expr, alias });
                     }
                     Some(Token::Ident(_))
                     | Some(Token::IriRef(_))
                     | Some(Token::PrefixedName(_, _)) => {
                         let expr = self.parse_unary_expression()?;
-                        m.group_by.push(GroupCondition { expr, alias: None });
+                        group_by.push(GroupCondition { expr, alias: None });
                     }
                     _ => break,
                 }
             }
-            if m.group_by.is_empty() {
+            if group_by.is_empty() {
                 return Err(self.error("expected GROUP BY condition"));
             }
+            m.group_by = group_by.finish();
         }
         // HAVING
         if self.eat_keyword(Keyword::Having) {
+            let mut having = ArenaVec::new(self.arena);
             loop {
                 let e = self.parse_constraint()?;
-                m.having.push(e);
+                having.push(e);
                 if !matches!(self.peek(), Some(Token::LParen) | Some(Token::Ident(_))) {
                     break;
                 }
             }
+            m.having = having.finish();
         }
         // ORDER BY
-        if self.at_keyword(Keyword::Order) && self.peek_at(1) == Some(&Token::Keyword(Keyword::By))
-        {
+        if self.at_keyword(Keyword::Order) && self.peek_at(1) == Some(Token::Keyword(Keyword::By)) {
             self.bump();
             self.bump();
+            let mut order_by = ArenaVec::new(self.arena);
             loop {
                 let cond = match self.peek() {
                     Some(Token::Keyword(Keyword::Asc)) | Some(Token::Keyword(Keyword::Desc)) => {
@@ -1112,18 +1188,16 @@ impl Parser {
                             self.bump();
                             OrderDirection::Desc
                         };
-                        self.expect(&Token::LParen)?;
+                        self.expect(Token::LParen)?;
                         let expr = self.parse_expression()?;
-                        self.expect(&Token::RParen)?;
+                        self.expect(Token::RParen)?;
                         Some(OrderCondition {
                             direction: dir,
                             expr,
                         })
                     }
-                    Some(Token::Var(_)) => {
-                        let Some(Token::Var(v)) = self.bump() else {
-                            unreachable!()
-                        };
+                    Some(Token::Var(v)) => {
+                        self.bump();
                         Some(OrderCondition {
                             direction: OrderDirection::Asc,
                             expr: Expression::Var(v),
@@ -1132,7 +1206,7 @@ impl Parser {
                     Some(Token::LParen) => {
                         self.bump();
                         let expr = self.parse_expression()?;
-                        self.expect(&Token::RParen)?;
+                        self.expect(Token::RParen)?;
                         Some(OrderCondition {
                             direction: OrderDirection::Asc,
                             expr,
@@ -1148,13 +1222,14 @@ impl Parser {
                     _ => None,
                 };
                 match cond {
-                    Some(c) => m.order_by.push(c),
+                    Some(c) => order_by.push(c),
                     None => break,
                 }
             }
-            if m.order_by.is_empty() {
+            if order_by.is_empty() {
                 return Err(self.error("expected ORDER BY condition"));
             }
+            m.order_by = order_by.finish();
         }
         // LIMIT / OFFSET in either order.
         loop {
@@ -1189,107 +1264,120 @@ impl Parser {
     // Expressions
     // ------------------------------------------------------------------
 
+    fn expr_ref(&self, e: Expression<'a>) -> &'a Expression<'a> {
+        self.arena.alloc(e)
+    }
+
     /// A FILTER / HAVING constraint: a bracketted expression, a built-in call,
     /// or a function call.
-    fn parse_constraint(&mut self) -> Result<Expression> {
+    fn parse_constraint(&mut self) -> Result<Expression<'a>> {
         match self.peek() {
             Some(Token::LParen) => {
                 self.bump();
                 let e = self.parse_expression()?;
-                self.expect(&Token::RParen)?;
+                self.expect(Token::RParen)?;
                 Ok(e)
             }
             _ => self.parse_unary_expression(),
         }
     }
 
-    fn parse_expression(&mut self) -> Result<Expression> {
+    fn parse_expression(&mut self) -> Result<Expression<'a>> {
         self.parse_or_expression()
     }
 
-    fn parse_or_expression(&mut self) -> Result<Expression> {
+    fn parse_or_expression(&mut self) -> Result<Expression<'a>> {
         let mut left = self.parse_and_expression()?;
-        while self.eat(&Token::OrOr) {
+        while self.eat(Token::OrOr) {
             let right = self.parse_and_expression()?;
-            left = Expression::Or(Box::new(left), Box::new(right));
+            left = Expression::Or(self.expr_ref(left), self.expr_ref(right));
         }
         Ok(left)
     }
 
-    fn parse_and_expression(&mut self) -> Result<Expression> {
+    fn parse_and_expression(&mut self) -> Result<Expression<'a>> {
         let mut left = self.parse_relational_expression()?;
-        while self.eat(&Token::AndAnd) {
+        while self.eat(Token::AndAnd) {
             let right = self.parse_relational_expression()?;
-            left = Expression::And(Box::new(left), Box::new(right));
+            left = Expression::And(self.expr_ref(left), self.expr_ref(right));
         }
         Ok(left)
     }
 
-    fn parse_relational_expression(&mut self) -> Result<Expression> {
+    fn parse_relational_expression(&mut self) -> Result<Expression<'a>> {
         let left = self.parse_additive_expression()?;
         let expr = match self.peek() {
             Some(Token::Equal) => {
                 self.bump();
-                Expression::Equal(Box::new(left), Box::new(self.parse_additive_expression()?))
+                let right = self.parse_additive_expression()?;
+                Expression::Equal(self.expr_ref(left), self.expr_ref(right))
             }
             Some(Token::NotEqual) => {
                 self.bump();
-                Expression::NotEqual(Box::new(left), Box::new(self.parse_additive_expression()?))
+                let right = self.parse_additive_expression()?;
+                Expression::NotEqual(self.expr_ref(left), self.expr_ref(right))
             }
             Some(Token::Less) => {
                 self.bump();
-                Expression::Less(Box::new(left), Box::new(self.parse_additive_expression()?))
+                let right = self.parse_additive_expression()?;
+                Expression::Less(self.expr_ref(left), self.expr_ref(right))
             }
             Some(Token::Greater) => {
                 self.bump();
-                Expression::Greater(Box::new(left), Box::new(self.parse_additive_expression()?))
+                let right = self.parse_additive_expression()?;
+                Expression::Greater(self.expr_ref(left), self.expr_ref(right))
             }
             Some(Token::LessEq) => {
                 self.bump();
-                Expression::LessEq(Box::new(left), Box::new(self.parse_additive_expression()?))
+                let right = self.parse_additive_expression()?;
+                Expression::LessEq(self.expr_ref(left), self.expr_ref(right))
             }
             Some(Token::GreaterEq) => {
                 self.bump();
-                Expression::GreaterEq(Box::new(left), Box::new(self.parse_additive_expression()?))
+                let right = self.parse_additive_expression()?;
+                Expression::GreaterEq(self.expr_ref(left), self.expr_ref(right))
             }
             Some(Token::Keyword(Keyword::In)) => {
                 self.bump();
-                Expression::In(Box::new(left), self.parse_expression_list()?)
+                let list = self.parse_expression_list()?;
+                Expression::In(self.expr_ref(left), list)
             }
             Some(Token::Keyword(Keyword::Not))
-                if self.peek_at(1) == Some(&Token::Keyword(Keyword::In)) =>
+                if self.peek_at(1) == Some(Token::Keyword(Keyword::In)) =>
             {
                 self.bump();
                 self.bump();
-                Expression::NotIn(Box::new(left), self.parse_expression_list()?)
+                let list = self.parse_expression_list()?;
+                Expression::NotIn(self.expr_ref(left), list)
             }
             _ => left,
         };
         Ok(expr)
     }
 
-    fn parse_expression_list(&mut self) -> Result<Vec<Expression>> {
-        if self.eat(&Token::Nil) {
-            return Ok(Vec::new());
+    fn parse_expression_list(&mut self) -> Result<&'a [Expression<'a>]> {
+        if self.eat(Token::Nil) {
+            return Ok(&[]);
         }
-        self.expect(&Token::LParen)?;
-        let mut out = vec![self.parse_expression()?];
-        while self.eat(&Token::Comma) {
+        self.expect(Token::LParen)?;
+        let mut out = ArenaVec::new(self.arena);
+        out.push(self.parse_expression()?);
+        while self.eat(Token::Comma) {
             out.push(self.parse_expression()?);
         }
-        self.expect(&Token::RParen)?;
-        Ok(out)
+        self.expect(Token::RParen)?;
+        Ok(out.finish())
     }
 
-    fn parse_additive_expression(&mut self) -> Result<Expression> {
+    fn parse_additive_expression(&mut self) -> Result<Expression<'a>> {
         let mut left = self.parse_multiplicative_expression()?;
         loop {
-            if self.eat(&Token::Plus) {
+            if self.eat(Token::Plus) {
                 let right = self.parse_multiplicative_expression()?;
-                left = Expression::Add(Box::new(left), Box::new(right));
-            } else if self.eat(&Token::Minus) {
+                left = Expression::Add(self.expr_ref(left), self.expr_ref(right));
+            } else if self.eat(Token::Minus) {
                 let right = self.parse_multiplicative_expression()?;
-                left = Expression::Subtract(Box::new(left), Box::new(right));
+                left = Expression::Subtract(self.expr_ref(left), self.expr_ref(right));
             } else {
                 break;
             }
@@ -1297,15 +1385,15 @@ impl Parser {
         Ok(left)
     }
 
-    fn parse_multiplicative_expression(&mut self) -> Result<Expression> {
+    fn parse_multiplicative_expression(&mut self) -> Result<Expression<'a>> {
         let mut left = self.parse_unary_expression()?;
         loop {
-            if self.eat(&Token::Star) {
+            if self.eat(Token::Star) {
                 let right = self.parse_unary_expression()?;
-                left = Expression::Multiply(Box::new(left), Box::new(right));
-            } else if self.eat(&Token::Slash) {
+                left = Expression::Multiply(self.expr_ref(left), self.expr_ref(right));
+            } else if self.eat(Token::Slash) {
                 let right = self.parse_unary_expression()?;
-                left = Expression::Divide(Box::new(left), Box::new(right));
+                left = Expression::Divide(self.expr_ref(left), self.expr_ref(right));
             } else {
                 break;
             }
@@ -1313,28 +1401,27 @@ impl Parser {
         Ok(left)
     }
 
-    fn parse_unary_expression(&mut self) -> Result<Expression> {
-        if self.eat(&Token::Bang) {
-            Ok(Expression::Not(Box::new(self.parse_unary_expression()?)))
-        } else if self.eat(&Token::Minus) {
-            Ok(Expression::UnaryMinus(Box::new(
-                self.parse_unary_expression()?,
-            )))
-        } else if self.eat(&Token::Plus) {
-            Ok(Expression::UnaryPlus(Box::new(
-                self.parse_unary_expression()?,
-            )))
+    fn parse_unary_expression(&mut self) -> Result<Expression<'a>> {
+        if self.eat(Token::Bang) {
+            let e = self.parse_unary_expression()?;
+            Ok(Expression::Not(self.expr_ref(e)))
+        } else if self.eat(Token::Minus) {
+            let e = self.parse_unary_expression()?;
+            Ok(Expression::UnaryMinus(self.expr_ref(e)))
+        } else if self.eat(Token::Plus) {
+            let e = self.parse_unary_expression()?;
+            Ok(Expression::UnaryPlus(self.expr_ref(e)))
         } else {
             self.parse_primary_expression()
         }
     }
 
-    fn parse_primary_expression(&mut self) -> Result<Expression> {
-        match self.peek().cloned() {
+    fn parse_primary_expression(&mut self) -> Result<Expression<'a>> {
+        match self.peek() {
             Some(Token::LParen) => {
                 self.bump();
                 let e = self.parse_expression()?;
-                self.expect(&Token::RParen)?;
+                self.expect(Token::RParen)?;
                 Ok(e)
             }
             Some(Token::Var(v)) => {
@@ -1344,13 +1431,13 @@ impl Parser {
             Some(Token::Keyword(Keyword::Exists)) => {
                 self.bump();
                 let g = self.parse_group_graph_pattern()?;
-                Ok(Expression::Exists(Box::new(g)))
+                Ok(Expression::Exists(self.arena.alloc(g)))
             }
             Some(Token::Keyword(Keyword::Not)) => {
                 self.bump();
                 self.expect_keyword(Keyword::Exists)?;
                 let g = self.parse_group_graph_pattern()?;
-                Ok(Expression::NotExists(Box::new(g)))
+                Ok(Expression::NotExists(self.arena.alloc(g)))
             }
             Some(Token::Keyword(kw)) if aggregate_kind(kw).is_some() => {
                 self.bump();
@@ -1359,7 +1446,14 @@ impl Parser {
             Some(Token::Ident(name)) => {
                 self.bump();
                 let args = self.parse_arg_list()?;
-                Ok(Expression::FunctionCall(name.to_ascii_uppercase(), args))
+                // Built-in names are canonicalized to upper case; skip the
+                // copy when the source already is.
+                let canonical = if name.bytes().any(|b| b.is_ascii_lowercase()) {
+                    self.arena.alloc_str_ascii_uppercase(name)
+                } else {
+                    name
+                };
+                Ok(Expression::FunctionCall(canonical, args))
             }
             Some(Token::IriRef(_)) | Some(Token::PrefixedName(_, _)) | Some(Token::A) => {
                 let iri = self.parse_iri()?;
@@ -1385,42 +1479,44 @@ impl Parser {
         }
     }
 
-    fn parse_arg_list(&mut self) -> Result<Vec<Expression>> {
-        if self.eat(&Token::Nil) {
-            return Ok(Vec::new());
+    fn parse_arg_list(&mut self) -> Result<&'a [Expression<'a>]> {
+        if self.eat(Token::Nil) {
+            return Ok(&[]);
         }
-        self.expect(&Token::LParen)?;
+        self.expect(Token::LParen)?;
         // DISTINCT may appear in e.g. custom aggregate calls; skip it.
         self.eat_keyword(Keyword::Distinct);
-        if self.eat(&Token::RParen) {
-            return Ok(Vec::new());
+        if self.eat(Token::RParen) {
+            return Ok(&[]);
         }
-        let mut args = vec![self.parse_expression()?];
-        while self.eat(&Token::Comma) {
+        let mut args = ArenaVec::new(self.arena);
+        args.push(self.parse_expression()?);
+        while self.eat(Token::Comma) {
             args.push(self.parse_expression()?);
         }
-        self.expect(&Token::RParen)?;
-        Ok(args)
+        self.expect(Token::RParen)?;
+        Ok(args.finish())
     }
 
-    fn parse_aggregate(&mut self, kind: AggregateKind) -> Result<Expression> {
-        self.expect(&Token::LParen)?;
+    fn parse_aggregate(&mut self, kind: AggregateKind) -> Result<Expression<'a>> {
+        self.expect(Token::LParen)?;
         let distinct = self.eat_keyword(Keyword::Distinct);
-        let expr = if self.eat(&Token::Star) {
+        let expr = if self.eat(Token::Star) {
             None
         } else {
-            Some(Box::new(self.parse_expression()?))
+            let e = self.parse_expression()?;
+            Some(self.expr_ref(e))
         };
         let mut separator = None;
-        if self.eat(&Token::Semicolon) {
+        if self.eat(Token::Semicolon) {
             self.expect_keyword(Keyword::Separator)?;
-            self.expect(&Token::Equal)?;
+            self.expect(Token::Equal)?;
             match self.bump() {
                 Some(Token::String(s)) => separator = Some(s),
                 _ => return Err(self.error("expected string SEPARATOR value")),
             }
         }
-        self.expect(&Token::RParen)?;
+        self.expect(Token::RParen)?;
         Ok(Expression::Aggregate(Aggregate {
             kind,
             distinct,

@@ -1,4 +1,10 @@
 //! Token definitions produced by the [`lexer`](crate::lexer).
+//!
+//! Tokens are **zero-copy**: every textual payload is a `&'src str` slice
+//! borrowing either the query input or, for the rare escape-bearing string
+//! literal, the arena the lexer unescaped it into. `Token` is `Copy`, so the
+//! token buffer itself can live in the same arena and the whole
+//! tokenization of a query touches the global allocator zero times.
 
 use std::fmt;
 
@@ -55,91 +61,121 @@ pub enum Keyword {
 }
 
 impl Keyword {
-    /// Looks up a structural keyword from a raw (case-insensitive) identifier.
+    /// Looks up a structural keyword from a raw (case-insensitive)
+    /// identifier, without allocating: candidates are pre-bucketed by
+    /// length, then byte-compared case-insensitively in place (the old
+    /// implementation built an uppercased `String` per identifier — on the
+    /// hot parse path, one heap round-trip for every word in every query).
     pub fn from_str_ci(s: &str) -> Option<Keyword> {
-        let up = s.to_ascii_uppercase();
-        Some(match up.as_str() {
-            "BASE" => Keyword::Base,
-            "PREFIX" => Keyword::Prefix,
-            "SELECT" => Keyword::Select,
-            "ASK" => Keyword::Ask,
-            "CONSTRUCT" => Keyword::Construct,
-            "DESCRIBE" => Keyword::Describe,
-            "WHERE" => Keyword::Where,
-            "FROM" => Keyword::From,
-            "NAMED" => Keyword::Named,
-            "DISTINCT" => Keyword::Distinct,
-            "REDUCED" => Keyword::Reduced,
-            "ORDER" => Keyword::Order,
-            "BY" => Keyword::By,
-            "ASC" => Keyword::Asc,
-            "DESC" => Keyword::Desc,
-            "LIMIT" => Keyword::Limit,
-            "OFFSET" => Keyword::Offset,
-            "GROUP" => Keyword::Group,
-            "HAVING" => Keyword::Having,
-            "OPTIONAL" => Keyword::Optional,
-            "UNION" => Keyword::Union,
-            "FILTER" => Keyword::Filter,
-            "GRAPH" => Keyword::Graph,
-            "MINUS" => Keyword::Minus,
-            "BIND" => Keyword::Bind,
-            "AS" => Keyword::As,
-            "VALUES" => Keyword::Values,
-            "SERVICE" => Keyword::Service,
-            "SILENT" => Keyword::Silent,
-            "UNDEF" => Keyword::Undef,
-            "EXISTS" => Keyword::Exists,
-            "NOT" => Keyword::Not,
-            "IN" => Keyword::In,
-            "COUNT" => Keyword::Count,
-            "SUM" => Keyword::Sum,
-            "MIN" => Keyword::Min,
-            "MAX" => Keyword::Max,
-            "AVG" => Keyword::Avg,
-            "SAMPLE" => Keyword::Sample,
-            "GROUP_CONCAT" => Keyword::GroupConcat,
-            "SEPARATOR" => Keyword::Separator,
-            _ => return None,
-        })
+        const CANDIDATES_BY_LEN: [&[(&str, Keyword)]; 13] = [
+            &[],
+            &[],
+            &[
+                ("BY", Keyword::By),
+                ("AS", Keyword::As),
+                ("IN", Keyword::In),
+            ],
+            &[
+                ("ASK", Keyword::Ask),
+                ("ASC", Keyword::Asc),
+                ("NOT", Keyword::Not),
+                ("SUM", Keyword::Sum),
+                ("MIN", Keyword::Min),
+                ("MAX", Keyword::Max),
+                ("AVG", Keyword::Avg),
+            ],
+            &[
+                ("BASE", Keyword::Base),
+                ("FROM", Keyword::From),
+                ("DESC", Keyword::Desc),
+                ("BIND", Keyword::Bind),
+            ],
+            &[
+                ("WHERE", Keyword::Where),
+                ("NAMED", Keyword::Named),
+                ("ORDER", Keyword::Order),
+                ("LIMIT", Keyword::Limit),
+                ("GROUP", Keyword::Group),
+                ("UNION", Keyword::Union),
+                ("GRAPH", Keyword::Graph),
+                ("MINUS", Keyword::Minus),
+                ("UNDEF", Keyword::Undef),
+                ("COUNT", Keyword::Count),
+            ],
+            &[
+                ("PREFIX", Keyword::Prefix),
+                ("SELECT", Keyword::Select),
+                ("OFFSET", Keyword::Offset),
+                ("HAVING", Keyword::Having),
+                ("FILTER", Keyword::Filter),
+                ("VALUES", Keyword::Values),
+                ("SILENT", Keyword::Silent),
+                ("EXISTS", Keyword::Exists),
+                ("SAMPLE", Keyword::Sample),
+            ],
+            &[("REDUCED", Keyword::Reduced), ("SERVICE", Keyword::Service)],
+            &[
+                ("DESCRIBE", Keyword::Describe),
+                ("DISTINCT", Keyword::Distinct),
+                ("OPTIONAL", Keyword::Optional),
+            ],
+            &[
+                ("CONSTRUCT", Keyword::Construct),
+                ("SEPARATOR", Keyword::Separator),
+            ],
+            &[],
+            &[],
+            &[("GROUP_CONCAT", Keyword::GroupConcat)],
+        ];
+        let bucket = CANDIDATES_BY_LEN.get(s.len())?;
+        bucket
+            .iter()
+            .find(|(name, _)| s.eq_ignore_ascii_case(name))
+            .map(|&(_, keyword)| keyword)
     }
 }
 
 /// A single lexical token together with its kind-specific payload.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Payloads borrow the source string (`'src`); escape-bearing string
+/// literals borrow the lexer's arena instead. The type is `Copy` so token
+/// buffers can be arena-resident.
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[allow(missing_docs)] // punctuation variants are self-describing
-pub enum Token {
+pub enum Token<'src> {
     /// A structural keyword such as `SELECT` or `FILTER`.
     Keyword(Keyword),
     /// A non-structural identifier (built-in function names, e.g. `lang`).
-    Ident(String),
+    Ident(&'src str),
     /// The keyword `a` used as a predicate abbreviation for `rdf:type`.
     A,
     /// An IRI reference written in angle brackets, e.g. `<http://example.org/>`.
     /// The payload excludes the brackets.
-    IriRef(String),
+    IriRef(&'src str),
     /// A prefixed name, split into (prefix, local part). `foaf:name` becomes
     /// `("foaf", "name")`; `:x` becomes `("", "x")`.
-    PrefixedName(String, String),
+    PrefixedName(&'src str, &'src str),
     /// A prefix declaration namespace token, e.g. `foaf:` in a PREFIX clause.
     /// Lexed identically to [`Token::PrefixedName`] with an empty local part.
     /// (Kept distinct only conceptually; the lexer emits `PrefixedName`.)
     /// A variable, `?x` or `$x` — payload excludes the sigil.
-    Var(String),
+    Var(&'src str),
     /// A blank node label `_:b0` — payload excludes the `_:` sigil.
-    BlankNodeLabel(String),
-    /// A string literal, with quotes/escapes already processed.
-    String(String),
+    BlankNodeLabel(&'src str),
+    /// A string literal, with quotes/escapes already processed. Escape-free
+    /// literals borrow the input; escape-bearing ones borrow the arena copy
+    /// the lexer unescaped into.
+    String(&'src str),
     /// An integer literal (kept as text to preserve the original form).
-    Integer(String),
+    Integer(&'src str),
     /// A decimal literal.
-    Decimal(String),
+    Decimal(&'src str),
     /// A double (floating point with exponent) literal.
-    Double(String),
+    Double(&'src str),
     /// A boolean literal.
     Boolean(bool),
     /// A language tag following a string literal, e.g. `@en` (without `@`).
-    LangTag(String),
+    LangTag(&'src str),
     /// `^^` datatype marker.
     DoubleCaret,
     /// `(` / `)`.
@@ -179,7 +215,7 @@ pub enum Token {
     OrOr,
 }
 
-impl fmt::Display for Token {
+impl fmt::Display for Token<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Token::Keyword(k) => write!(f, "{k:?}"),
@@ -226,10 +262,10 @@ impl fmt::Display for Token {
 }
 
 /// A token annotated with its position in the input (byte offset, line, column).
-#[derive(Debug, Clone, PartialEq)]
-pub struct Spanned {
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spanned<'src> {
     /// The token itself.
-    pub token: Token,
+    pub token: Token<'src>,
     /// Byte offset of the first character of the token.
     pub offset: usize,
     /// 1-based line number.
@@ -253,6 +289,63 @@ mod tests {
         );
         assert_eq!(Keyword::from_str_ci("lang"), None);
         assert_eq!(Keyword::from_str_ci("regex"), None);
+        assert_eq!(Keyword::from_str_ci(""), None);
+        assert_eq!(Keyword::from_str_ci("averylongidentifierindeed"), None);
+    }
+
+    #[test]
+    fn every_keyword_round_trips_through_the_bucketed_lookup() {
+        // The length buckets must cover all 40 variants; a variant filed
+        // under the wrong length would silently stop lexing as a keyword.
+        for keyword in [
+            (Keyword::Base, "BASE"),
+            (Keyword::Prefix, "PREFIX"),
+            (Keyword::Select, "SELECT"),
+            (Keyword::Ask, "ASK"),
+            (Keyword::Construct, "CONSTRUCT"),
+            (Keyword::Describe, "DESCRIBE"),
+            (Keyword::Where, "WHERE"),
+            (Keyword::From, "FROM"),
+            (Keyword::Named, "NAMED"),
+            (Keyword::Distinct, "DISTINCT"),
+            (Keyword::Reduced, "REDUCED"),
+            (Keyword::Order, "ORDER"),
+            (Keyword::By, "BY"),
+            (Keyword::Asc, "ASC"),
+            (Keyword::Desc, "DESC"),
+            (Keyword::Limit, "LIMIT"),
+            (Keyword::Offset, "OFFSET"),
+            (Keyword::Group, "GROUP"),
+            (Keyword::Having, "HAVING"),
+            (Keyword::Optional, "OPTIONAL"),
+            (Keyword::Union, "UNION"),
+            (Keyword::Filter, "FILTER"),
+            (Keyword::Graph, "GRAPH"),
+            (Keyword::Minus, "MINUS"),
+            (Keyword::Bind, "BIND"),
+            (Keyword::As, "AS"),
+            (Keyword::Values, "VALUES"),
+            (Keyword::Service, "SERVICE"),
+            (Keyword::Silent, "SILENT"),
+            (Keyword::Undef, "UNDEF"),
+            (Keyword::Exists, "EXISTS"),
+            (Keyword::Not, "NOT"),
+            (Keyword::In, "IN"),
+            (Keyword::Count, "COUNT"),
+            (Keyword::Sum, "SUM"),
+            (Keyword::Min, "MIN"),
+            (Keyword::Max, "MAX"),
+            (Keyword::Avg, "AVG"),
+            (Keyword::Sample, "SAMPLE"),
+            (Keyword::GroupConcat, "GROUP_CONCAT"),
+        ] {
+            assert_eq!(Keyword::from_str_ci(keyword.1), Some(keyword.0));
+            assert_eq!(
+                Keyword::from_str_ci(&keyword.1.to_ascii_lowercase()),
+                Some(keyword.0)
+            );
+        }
+        assert_eq!(Keyword::from_str_ci("SEPARATOR"), Some(Keyword::Separator));
     }
 
     #[test]
@@ -260,9 +353,6 @@ mod tests {
         assert_eq!(Token::DoubleCaret.to_string(), "^^");
         assert_eq!(Token::NotEqual.to_string(), "!=");
         assert_eq!(Token::Nil.to_string(), "()");
-        assert_eq!(
-            Token::PrefixedName("foaf".into(), "name".into()).to_string(),
-            "foaf:name"
-        );
+        assert_eq!(Token::PrefixedName("foaf", "name").to_string(), "foaf:name");
     }
 }

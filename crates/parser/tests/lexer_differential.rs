@@ -1,0 +1,851 @@
+//! Differential tests of the zero-copy SWAR lexer against the original
+//! allocating lexer, embedded below as the reference implementation.
+//!
+//! The reference (`mod reference`) is the pre-arena lexer verbatim — per-token
+//! `String` payloads, byte-at-a-time `bump()` scanning, and the
+//! uppercase-allocating keyword lookup — with only its error type simplified.
+//! Every test lexes the same input through both paths and asserts they agree
+//! on ok-ness and, when both accept, on the full spanned token stream
+//! (modulo borrowed-vs-owned payloads): same variants, same payload text,
+//! same byte offsets, same line/column positions.
+//!
+//! Inputs cover a fixed edge-case corpus (escapes, CRLF, comments, UTF-8
+//! multi-byte names and strings, numeric and trailing-dot ambiguities), a
+//! property-based generator composing SPARQL-shaped fragments, and a raw
+//! printable-ASCII fuzzer for the error paths.
+
+use proptest::prelude::*;
+use sparqlog_parser::arena::Arena;
+use sparqlog_parser::lexer::tokenize_in;
+use sparqlog_parser::token::{Spanned, Token};
+
+/// The original allocating lexer, kept verbatim as the differential
+/// reference: owned `Token` payloads, per-identifier `to_ascii_uppercase`
+/// keyword lookup, no arena. Do not "improve" this module — its value is
+/// being the old behaviour.
+mod reference {
+    use sparqlog_parser::token::Keyword;
+
+    type Result<T> = std::result::Result<T, String>;
+
+    /// The pre-zero-copy token type: identical variants, `String` payloads.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Token {
+        Keyword(Keyword),
+        Ident(String),
+        A,
+        IriRef(String),
+        PrefixedName(String, String),
+        Var(String),
+        BlankNodeLabel(String),
+        String(String),
+        Integer(String),
+        Decimal(String),
+        Double(String),
+        Boolean(bool),
+        LangTag(String),
+        DoubleCaret,
+        LParen,
+        RParen,
+        LBrace,
+        RBrace,
+        LBracket,
+        RBracket,
+        Nil,
+        Anon,
+        Dot,
+        Comma,
+        Semicolon,
+        Pipe,
+        Slash,
+        Caret,
+        Star,
+        Plus,
+        Minus,
+        Question,
+        Bang,
+        Equal,
+        NotEqual,
+        Less,
+        Greater,
+        LessEq,
+        GreaterEq,
+        AndAnd,
+        OrOr,
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Spanned {
+        pub token: Token,
+        pub offset: usize,
+        pub line: u32,
+        pub column: u32,
+    }
+
+    /// The old allocating keyword lookup (one uppercased `String` per word).
+    fn keyword_from_str_ci(s: &str) -> Option<Keyword> {
+        let up = s.to_ascii_uppercase();
+        Some(match up.as_str() {
+            "BASE" => Keyword::Base,
+            "PREFIX" => Keyword::Prefix,
+            "SELECT" => Keyword::Select,
+            "ASK" => Keyword::Ask,
+            "CONSTRUCT" => Keyword::Construct,
+            "DESCRIBE" => Keyword::Describe,
+            "WHERE" => Keyword::Where,
+            "FROM" => Keyword::From,
+            "NAMED" => Keyword::Named,
+            "DISTINCT" => Keyword::Distinct,
+            "REDUCED" => Keyword::Reduced,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "LIMIT" => Keyword::Limit,
+            "OFFSET" => Keyword::Offset,
+            "GROUP" => Keyword::Group,
+            "HAVING" => Keyword::Having,
+            "OPTIONAL" => Keyword::Optional,
+            "UNION" => Keyword::Union,
+            "FILTER" => Keyword::Filter,
+            "GRAPH" => Keyword::Graph,
+            "MINUS" => Keyword::Minus,
+            "BIND" => Keyword::Bind,
+            "AS" => Keyword::As,
+            "VALUES" => Keyword::Values,
+            "SERVICE" => Keyword::Service,
+            "SILENT" => Keyword::Silent,
+            "UNDEF" => Keyword::Undef,
+            "EXISTS" => Keyword::Exists,
+            "NOT" => Keyword::Not,
+            "IN" => Keyword::In,
+            "COUNT" => Keyword::Count,
+            "SUM" => Keyword::Sum,
+            "MIN" => Keyword::Min,
+            "MAX" => Keyword::Max,
+            "AVG" => Keyword::Avg,
+            "SAMPLE" => Keyword::Sample,
+            "GROUP_CONCAT" => Keyword::GroupConcat,
+            "SEPARATOR" => Keyword::Separator,
+            _ => return None,
+        })
+    }
+
+    pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+        Lexer::new(input).run()
+    }
+
+    struct Lexer<'a> {
+        src: &'a str,
+        bytes: &'a [u8],
+        pos: usize,
+        line: u32,
+        col: u32,
+        out: Vec<Spanned>,
+    }
+
+    impl<'a> Lexer<'a> {
+        fn new(src: &'a str) -> Self {
+            Lexer {
+                src,
+                bytes: src.as_bytes(),
+                pos: 0,
+                line: 1,
+                col: 1,
+                out: Vec::new(),
+            }
+        }
+
+        fn error(&self, msg: impl Into<String>) -> String {
+            format!("{} at {}:{}", msg.into(), self.line, self.col)
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn peek_at(&self, off: usize) -> Option<u8> {
+            self.bytes.get(self.pos + off).copied()
+        }
+
+        fn bump(&mut self) -> Option<u8> {
+            let b = self.peek()?;
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+            Some(b)
+        }
+
+        fn push(&mut self, token: Token, offset: usize, line: u32, column: u32) {
+            self.out.push(Spanned {
+                token,
+                offset,
+                line,
+                column,
+            });
+        }
+
+        fn skip_ws_and_comments(&mut self) {
+            loop {
+                match self.peek() {
+                    Some(b) if b.is_ascii_whitespace() => {
+                        self.bump();
+                    }
+                    Some(b'#') => {
+                        while let Some(b) = self.peek() {
+                            if b == b'\n' {
+                                break;
+                            }
+                            self.bump();
+                        }
+                    }
+                    _ => return,
+                }
+            }
+        }
+
+        fn run(mut self) -> Result<Vec<Spanned>> {
+            loop {
+                self.skip_ws_and_comments();
+                let (offset, line, col) = (self.pos, self.line, self.col);
+                let Some(b) = self.peek() else { break };
+                let token = match b {
+                    b'{' => {
+                        self.bump();
+                        Token::LBrace
+                    }
+                    b'}' => {
+                        self.bump();
+                        Token::RBrace
+                    }
+                    b'(' => {
+                        self.bump();
+                        // NIL: '(' WS* ')'
+                        let save = (self.pos, self.line, self.col);
+                        self.skip_ws_and_comments();
+                        if self.peek() == Some(b')') {
+                            self.bump();
+                            Token::Nil
+                        } else {
+                            self.pos = save.0;
+                            self.line = save.1;
+                            self.col = save.2;
+                            Token::LParen
+                        }
+                    }
+                    b')' => {
+                        self.bump();
+                        Token::RParen
+                    }
+                    b'[' => {
+                        self.bump();
+                        let save = (self.pos, self.line, self.col);
+                        self.skip_ws_and_comments();
+                        if self.peek() == Some(b']') {
+                            self.bump();
+                            Token::Anon
+                        } else {
+                            self.pos = save.0;
+                            self.line = save.1;
+                            self.col = save.2;
+                            Token::LBracket
+                        }
+                    }
+                    b']' => {
+                        self.bump();
+                        Token::RBracket
+                    }
+                    b',' => {
+                        self.bump();
+                        Token::Comma
+                    }
+                    b';' => {
+                        self.bump();
+                        Token::Semicolon
+                    }
+                    b'|' => {
+                        self.bump();
+                        if self.peek() == Some(b'|') {
+                            self.bump();
+                            Token::OrOr
+                        } else {
+                            Token::Pipe
+                        }
+                    }
+                    b'&' => {
+                        self.bump();
+                        if self.peek() == Some(b'&') {
+                            self.bump();
+                            Token::AndAnd
+                        } else {
+                            return Err(self.error("stray '&'"));
+                        }
+                    }
+                    b'/' => {
+                        self.bump();
+                        Token::Slash
+                    }
+                    b'^' => {
+                        self.bump();
+                        if self.peek() == Some(b'^') {
+                            self.bump();
+                            Token::DoubleCaret
+                        } else {
+                            Token::Caret
+                        }
+                    }
+                    b'*' => {
+                        self.bump();
+                        Token::Star
+                    }
+                    b'+' => {
+                        self.bump();
+                        Token::Plus
+                    }
+                    b'-' => {
+                        self.bump();
+                        Token::Minus
+                    }
+                    b'!' => {
+                        self.bump();
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            Token::NotEqual
+                        } else {
+                            Token::Bang
+                        }
+                    }
+                    b'=' => {
+                        self.bump();
+                        Token::Equal
+                    }
+                    b'>' => {
+                        self.bump();
+                        if self.peek() == Some(b'=') {
+                            self.bump();
+                            Token::GreaterEq
+                        } else {
+                            Token::Greater
+                        }
+                    }
+                    b'<' => self.lex_lt_or_iri()?,
+                    b'.' => {
+                        if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                            self.lex_number()?
+                        } else {
+                            self.bump();
+                            Token::Dot
+                        }
+                    }
+                    b'?' | b'$' => {
+                        if self.peek_at(1).is_some_and(is_name_start_char) {
+                            self.lex_var()
+                        } else {
+                            self.bump();
+                            Token::Question
+                        }
+                    }
+                    b'"' | b'\'' => self.lex_string()?,
+                    b'@' => self.lex_lang_tag()?,
+                    b'_' if self.peek_at(1) == Some(b':') => self.lex_blank_node()?,
+                    b'0'..=b'9' => self.lex_number()?,
+                    _ if is_name_start_char(b) || b == b':' => self.lex_word()?,
+                    other => {
+                        return Err(self.error(format!("unexpected character '{}'", other as char)))
+                    }
+                };
+                self.push(token, offset, line, col);
+            }
+            Ok(self.out)
+        }
+
+        fn lex_lt_or_iri(&mut self) -> Result<Token> {
+            let mut j = self.pos + 1;
+            let mut is_iri = false;
+            while let Some(&c) = self.bytes.get(j) {
+                match c {
+                    b'>' => {
+                        is_iri = true;
+                        break;
+                    }
+                    b'<' | b'"' | b'{' | b'}' | b'|' | b'^' | b'`' | b'\\' => break,
+                    c if c <= 0x20 => break,
+                    _ => j += 1,
+                }
+            }
+            if is_iri {
+                let iri = self.src[self.pos + 1..j].to_string();
+                while self.pos <= j {
+                    self.bump();
+                }
+                Ok(Token::IriRef(iri))
+            } else {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::LessEq)
+                } else {
+                    Ok(Token::Less)
+                }
+            }
+        }
+
+        fn lex_var(&mut self) -> Token {
+            self.bump(); // sigil
+            let start = self.pos;
+            while self.peek().is_some_and(is_name_char) {
+                self.bump();
+            }
+            Token::Var(self.src[start..self.pos].to_string())
+        }
+
+        fn lex_blank_node(&mut self) -> Result<Token> {
+            self.bump(); // '_'
+            self.bump(); // ':'
+            let start = self.pos;
+            while self.peek().is_some_and(|c| is_name_char(c) || c == b'.') {
+                self.bump();
+            }
+            let mut end = self.pos;
+            while end > start && self.bytes[end - 1] == b'.' {
+                end -= 1;
+                self.pos -= 1;
+                self.col -= 1;
+            }
+            if end == start {
+                return Err(self.error("empty blank node label"));
+            }
+            Ok(Token::BlankNodeLabel(self.src[start..end].to_string()))
+        }
+
+        fn lex_lang_tag(&mut self) -> Result<Token> {
+            self.bump(); // '@'
+            let start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'-')
+            {
+                self.bump();
+            }
+            if self.pos == start {
+                return Err(self.error("empty language tag"));
+            }
+            Ok(Token::LangTag(self.src[start..self.pos].to_string()))
+        }
+
+        fn lex_number(&mut self) -> Result<Token> {
+            let start = self.pos;
+            let mut has_dot = false;
+            let mut has_exp = false;
+            while let Some(c) = self.peek() {
+                match c {
+                    b'0'..=b'9' => {
+                        self.bump();
+                    }
+                    b'.' if !has_dot && !has_exp => {
+                        if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                            has_dot = true;
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    b'e' | b'E' if !has_exp => {
+                        has_exp = true;
+                        self.bump();
+                        if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                            self.bump();
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let text = self.src[start..self.pos].to_string();
+            if text.is_empty() {
+                return Err(self.error("malformed numeric literal"));
+            }
+            Ok(if has_exp {
+                Token::Double(text)
+            } else if has_dot {
+                Token::Decimal(text)
+            } else {
+                Token::Integer(text)
+            })
+        }
+
+        fn lex_string(&mut self) -> Result<Token> {
+            let quote = self.peek().expect("caller checked");
+            let long = self.peek_at(1) == Some(quote) && self.peek_at(2) == Some(quote);
+            if long {
+                self.bump();
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+            let mut value = String::new();
+            loop {
+                let Some(c) = self.peek() else {
+                    return Err(self.error("unterminated string literal"));
+                };
+                if c == quote {
+                    if long {
+                        if self.peek_at(1) == Some(quote) && self.peek_at(2) == Some(quote) {
+                            self.bump();
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        value.push(c as char);
+                        self.bump();
+                    } else {
+                        self.bump();
+                        break;
+                    }
+                } else if c == b'\\' {
+                    self.bump();
+                    let Some(esc) = self.src[self.pos..].chars().next() else {
+                        return Err(self.error("unterminated escape sequence"));
+                    };
+                    for _ in 0..esc.len_utf8() {
+                        self.bump();
+                    }
+                    match esc {
+                        't' => value.push('\t'),
+                        'n' => value.push('\n'),
+                        'r' => value.push('\r'),
+                        'b' => value.push('\u{8}'),
+                        'f' => value.push('\u{c}'),
+                        '"' => value.push('"'),
+                        '\'' => value.push('\''),
+                        '\\' => value.push('\\'),
+                        'u' | 'U' => {
+                            let len = if esc == 'u' { 4 } else { 8 };
+                            let mut code = 0u32;
+                            for _ in 0..len {
+                                let Some(h) = self.bump() else {
+                                    return Err(self.error("truncated unicode escape"));
+                                };
+                                let d = (h as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| self.error("invalid unicode escape"))?;
+                                code = code * 16 + d;
+                            }
+                            value.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            // Be lenient: real logs contain sloppy escapes.
+                            value.push('\\');
+                            value.push(other);
+                        }
+                    }
+                } else if !long && (c == b'\n' || c == b'\r') {
+                    return Err(self.error("newline in short string literal"));
+                } else {
+                    let ch_start = self.pos;
+                    let ch = self.src[ch_start..].chars().next().expect("valid utf8");
+                    for _ in 0..ch.len_utf8() {
+                        self.bump();
+                    }
+                    value.push(ch);
+                }
+            }
+            Ok(Token::String(value))
+        }
+
+        fn lex_word(&mut self) -> Result<Token> {
+            let start = self.pos;
+            if self.peek() == Some(b':') {
+                self.bump();
+                let local = self.lex_local_part();
+                return Ok(Token::PrefixedName(String::new(), local));
+            }
+            while self.peek().is_some_and(|c| is_name_char(c) || c == b'.') {
+                if self.peek() == Some(b'.') {
+                    break;
+                }
+                self.bump();
+            }
+            let word = &self.src[start..self.pos];
+            if self.peek() == Some(b':') {
+                self.bump();
+                let local = self.lex_local_part();
+                return Ok(Token::PrefixedName(word.to_string(), local));
+            }
+            if word == "a" {
+                return Ok(Token::A);
+            }
+            if word.eq_ignore_ascii_case("true") {
+                return Ok(Token::Boolean(true));
+            }
+            if word.eq_ignore_ascii_case("false") {
+                return Ok(Token::Boolean(false));
+            }
+            if let Some(kw) = keyword_from_str_ci(word) {
+                return Ok(Token::Keyword(kw));
+            }
+            if word.is_empty() {
+                return Err(self.error("unexpected ':'"));
+            }
+            Ok(Token::Ident(word.to_string()))
+        }
+
+        fn lex_local_part(&mut self) -> String {
+            let start = self.pos;
+            while self
+                .peek()
+                .is_some_and(|c| is_name_char(c) || c == b'.' || c == b'%' || c == b'\\')
+            {
+                self.bump();
+            }
+            let mut end = self.pos;
+            while end > start && self.bytes[end - 1] == b'.' {
+                end -= 1;
+                self.pos -= 1;
+                self.col -= 1;
+            }
+            self.src[start..end].to_string()
+        }
+    }
+
+    fn is_name_start_char(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        is_name_start_char(b) || b.is_ascii_digit() || b == b'-'
+    }
+}
+
+/// Converts a zero-copy spanned token to the reference's owned form.
+fn to_reference(spanned: &Spanned<'_>) -> reference::Spanned {
+    use reference::Token as O;
+    let token = match spanned.token {
+        Token::Keyword(k) => O::Keyword(k),
+        Token::Ident(s) => O::Ident(s.to_string()),
+        Token::A => O::A,
+        Token::IriRef(s) => O::IriRef(s.to_string()),
+        Token::PrefixedName(p, l) => O::PrefixedName(p.to_string(), l.to_string()),
+        Token::Var(s) => O::Var(s.to_string()),
+        Token::BlankNodeLabel(s) => O::BlankNodeLabel(s.to_string()),
+        Token::String(s) => O::String(s.to_string()),
+        Token::Integer(s) => O::Integer(s.to_string()),
+        Token::Decimal(s) => O::Decimal(s.to_string()),
+        Token::Double(s) => O::Double(s.to_string()),
+        Token::Boolean(b) => O::Boolean(b),
+        Token::LangTag(s) => O::LangTag(s.to_string()),
+        Token::DoubleCaret => O::DoubleCaret,
+        Token::LParen => O::LParen,
+        Token::RParen => O::RParen,
+        Token::LBrace => O::LBrace,
+        Token::RBrace => O::RBrace,
+        Token::LBracket => O::LBracket,
+        Token::RBracket => O::RBracket,
+        Token::Nil => O::Nil,
+        Token::Anon => O::Anon,
+        Token::Dot => O::Dot,
+        Token::Comma => O::Comma,
+        Token::Semicolon => O::Semicolon,
+        Token::Pipe => O::Pipe,
+        Token::Slash => O::Slash,
+        Token::Caret => O::Caret,
+        Token::Star => O::Star,
+        Token::Plus => O::Plus,
+        Token::Minus => O::Minus,
+        Token::Question => O::Question,
+        Token::Bang => O::Bang,
+        Token::Equal => O::Equal,
+        Token::NotEqual => O::NotEqual,
+        Token::Less => O::Less,
+        Token::Greater => O::Greater,
+        Token::LessEq => O::LessEq,
+        Token::GreaterEq => O::GreaterEq,
+        Token::AndAnd => O::AndAnd,
+        Token::OrOr => O::OrOr,
+    };
+    reference::Spanned {
+        token,
+        offset: spanned.offset,
+        line: spanned.line,
+        column: spanned.column,
+    }
+}
+
+/// Lexes `input` through both implementations and asserts agreement: same
+/// ok-ness, and on success the same spanned token stream.
+fn assert_lexers_agree(input: &str) {
+    let arena = Arena::new();
+    let new = tokenize_in(input, &arena);
+    let old = reference::tokenize(input);
+    match (&old, &new) {
+        (Ok(old_tokens), Ok(new_tokens)) => {
+            let converted: Vec<reference::Spanned> = new_tokens.iter().map(to_reference).collect();
+            assert_eq!(*old_tokens, converted, "token streams differ for {input:?}");
+        }
+        (Err(_), Err(_)) => {}
+        _ => panic!(
+            "ok-ness differs for {input:?}: reference {:?}, zero-copy {:?}",
+            old.as_ref().map(|t| t.len()).map_err(|e| e.clone()),
+            new.as_ref().map(|t| t.len()).err()
+        ),
+    }
+}
+
+#[test]
+fn edge_cases_agree() {
+    for input in [
+        // Escapes of every kind, including lenient sloppy ones.
+        r#""a\tb\nc\"d\\e""#,
+        r#""\u0041\U0001F600""#,
+        r#""sloppy \x escape""#,
+        r#""a\ü b""#,
+        "\"truncated\\",
+        r#""bad \u00ZZ escape""#,
+        r#""overflow \UFFFFFFFF cap""#,
+        // CRLF and newline handling: line/column tracking, short-string errors.
+        "SELECT ?x\r\nWHERE { ?x a ?y }",
+        "SELECT ?x # comment\r\nWHERE {}",
+        "\"no\nnewlines\"",
+        "\"no\rcarriage\"",
+        "'''long\r\nstring'''",
+        "\"\"\"quote \" inside\"\"\"",
+        // UTF-8 boundaries in names, strings and garbage.
+        "?süd :größe \"köln\"",
+        "\"🂡 suits\" ?emoji🂡",
+        "q\\🂡\"unterminated",
+        // Numeric and dot ambiguities.
+        "?x :p 1 . ?y :q 2.",
+        "1 2.5 .5 3e10 1.0E-2 4E+3 5e-",
+        "?x :p 1.5.",
+        // Prefixed names, blank nodes, trailing dots, local-part escapes.
+        "?s foaf:knows foaf:Person.",
+        "_:b0 _:x1. _:dots... :only-local",
+        "p:a%20b p:a\\-b wdt:P31",
+        ":",
+        // IRI-vs-less-than disambiguation.
+        "FILTER(?x < 5 && ?y <= 6)",
+        "?s <http://p> ?o",
+        "< <incomplete",
+        "<http://example.org/with#fragment>",
+        // NIL / ANON with interior whitespace and comments.
+        "( ) [ ] ( # comment\n ) [\t]",
+        "(1) [?x]",
+        // Operators, keywords, case-insensitivity, stray characters.
+        "&& || != <= >= = ! ^ ^^ | / * + -",
+        "select SeLeCt OPTIONAL group_concat separator",
+        "TRUE false a",
+        "stray & here",
+        "stray ~ there",
+        "@en @ @fr-BE",
+        "",
+        "   \t \r\n  # only a comment",
+    ] {
+        assert_lexers_agree(input);
+    }
+}
+
+#[test]
+fn representative_queries_agree() {
+    for input in [
+        "SELECT ?x WHERE { ?x a <http://example.org/C> . }",
+        "PREFIX wdt: <http://www.wikidata.org/prop/direct/>\n\
+         SELECT ?s WHERE { ?s wdt:P31/wdt:P279* <http://www.wikidata.org/entity/Q5> }",
+        "ASK { ?x <http://p> ?y FILTER(?y > 3 && lang(?z) = \"en\") }",
+        "CONSTRUCT { ?s a ?o } WHERE { ?s a ?o } LIMIT 10 OFFSET 5",
+        "SELECT (GROUP_CONCAT(?n; SEPARATOR=\", \") AS ?names) WHERE { ?x :name ?n } GROUP BY ?x",
+        "SELECT * WHERE { VALUES (?a ?b) { (1 2) (UNDEF \"x\"@en) } }",
+        "DESCRIBE <http://r> FROM NAMED <http://g>",
+    ] {
+        assert_lexers_agree(input);
+    }
+}
+
+/// SPARQL-shaped fragments the generator composes. Indexed by the proptest
+/// strategy; spacing and newlines are part of some fragments so positions
+/// and line counts get exercised too.
+const FRAGMENTS: [&str; 40] = [
+    "SELECT",
+    "WHERE",
+    "FILTER",
+    "OPTIONAL",
+    "group_concat",
+    "?x",
+    "?süd",
+    "$y",
+    "?",
+    "a",
+    "true",
+    "FALSE",
+    "lang",
+    "<http://example.org/p>",
+    "<http://example.org/with%20pct#f>",
+    "foaf:name",
+    ":local",
+    "wdt:P31",
+    "p:dotted.local",
+    "p:trailing.",
+    "_:b0",
+    "_:dots...",
+    "\"plain\"",
+    "\"esc\\t\\n\\\"\"",
+    "\"\\u0041\"",
+    "'''long\nstring'''",
+    "\"köln\"",
+    "@en",
+    "^^",
+    "42",
+    "2.5",
+    ".5",
+    "3e10",
+    "1.",
+    "{ }",
+    "( )",
+    "[ ]",
+    "( 1 )",
+    ". ; ,",
+    "# comment\n",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_fragment_sequences_agree(
+        indices in prop::collection::vec(0usize..FRAGMENTS.len(), 0..40),
+        // 0 = space, 1 = newline, 2 = CRLF, 3 = tab — the joiner between
+        // fragments, so line/column tracking is exercised under every
+        // terminator style.
+        joiners in prop::collection::vec(0usize..4, 0..40),
+    ) {
+        let mut input = String::new();
+        for (i, &index) in indices.iter().enumerate() {
+            input.push_str(FRAGMENTS[index]);
+            input.push_str(match joiners.get(i).copied().unwrap_or(0) {
+                1 => "\n",
+                2 => "\r\n",
+                3 => "\t",
+                _ => " ",
+            });
+        }
+        assert_lexers_agree(&input);
+    }
+
+    #[test]
+    fn raw_printable_ascii_agrees(raw in ".{0,120}") {
+        // Arbitrary printable ASCII: mostly error paths; the two lexers must
+        // agree on accept/reject and on tokens whenever both accept.
+        assert_lexers_agree(&raw);
+    }
+
+    #[test]
+    fn quoted_fuzz_agrees(body in "[ -~]{0,60}", quote in 0usize..2) {
+        // Wrap fuzz in quotes so the string sub-lexer (escapes, terminators,
+        // sloppy-escape leniency) sees adversarial content.
+        let q = if quote == 0 { '"' } else { '\'' };
+        assert_lexers_agree(&format!("{q}{body}{q}"));
+    }
+}
