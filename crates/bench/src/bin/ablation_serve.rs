@@ -1,0 +1,396 @@
+//! Ablation: the networked analysis service (`sparqlog-serve`) against the
+//! in-process fused engine, on a duplicate-heavy synthetic corpus streamed
+//! from temp files — plus a production fault drill.
+//!
+//! Three legs:
+//!
+//! * **throughput** — a healthy service run (TCP loopback, supervised
+//!   worker pool) timed end-to-end (submit → settle → report) against the
+//!   in-process fused engine over the same files;
+//! * **fault drill** — one job per fault mode (`die`, `wrong-version`,
+//!   `truncate`, `abort-mid-stream`, a raw `kill -9` mid-partition, and a
+//!   heartbeat-timeout stall), each scoped to a single worker attempt via
+//!   the fault flag file; the supervisor must restart and reassign, and
+//!   the measured death-to-merge **recovery latency** is printed per mode;
+//! * **divergence gate** — every service report (healthy runs on both
+//!   populations and every post-recovery report) must be **byte-identical**
+//!   to the fused engine's; the binary exits non-zero otherwise, which is
+//!   what the CI perf-smoke and service-faults jobs key on.
+//!
+//! Extra flags (on top of the usual `--scale/--seed/--cap`):
+//!
+//! * `--fault <mode>` — run only that fault leg (the CI `service-faults`
+//!   matrix runs one mode per job), skipping the timed throughput leg;
+//! * `--fault-log <path>` — append every leg's structured event lines to
+//!   `path` (uploaded as the CI fault-log artifact).
+
+use sparqlog_bench::gate::DivergenceGate;
+use sparqlog_bench::{banner, open_file_readers, write_corpus_files, HarnessOptions};
+use sparqlog_core::corpus::{analyze_streams_with, FusedOptions};
+use sparqlog_core::report::full_report;
+use sparqlog_core::Population;
+use sparqlog_serve::{Client, JobPhase, JobStatus, ServeAddr, ServeConfig, Server, ServerHandle};
+use sparqlog_shard::WorkerCommand;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// How many times each log's entries are tiled into its temp file.
+const TILE: usize = 4;
+
+/// Timed repeats of the healthy end-to-end leg; the minimum wins.
+const REPEATS: usize = 3;
+
+/// How long any single job may take before the drill gives up.
+const SETTLE: Duration = Duration::from_secs(300);
+
+/// The fault legs, in drill order.
+const FAULT_LEGS: [&str; 6] = [
+    "die",
+    "wrong-version",
+    "truncate",
+    "abort-mid-stream",
+    "kill-while-serving",
+    "heartbeat-timeout",
+];
+
+fn base_config(worker: WorkerCommand) -> ServeConfig {
+    ServeConfig {
+        worker,
+        worker_slots: 2,
+        heartbeat: Duration::from_millis(50),
+        restart_backoff: Duration::from_millis(10),
+        ..ServeConfig::default()
+    }
+}
+
+/// Binds on an ephemeral loopback port and runs the accept loop on a
+/// background thread.
+fn start_server(
+    config: ServeConfig,
+) -> (
+    ServeAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server =
+        Server::bind(config, &ServeAddr::Tcp("127.0.0.1:0".to_string())).expect("bind server");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    (addr, handle, runner)
+}
+
+fn stop_server(handle: ServerHandle, runner: std::thread::JoinHandle<std::io::Result<()>>) {
+    handle.stop();
+    runner.join().expect("server thread").expect("server run");
+}
+
+/// Submits one job and waits for it to settle; returns the final status
+/// and the full report text.
+fn run_job(
+    addr: &ServeAddr,
+    population: Population,
+    files: &[(String, PathBuf)],
+) -> (JobStatus, String) {
+    let specs = files
+        .iter()
+        .map(|(label, path)| (label.clone(), path.display().to_string()))
+        .collect();
+    let mut client = Client::connect(addr).expect("connect client");
+    let (job, _partitions) = client.submit(population, specs).expect("submit job");
+    let status = client.wait_settled(job, SETTLE).expect("wait settled");
+    let report = client.report(job, true).expect("fetch report");
+    (status, report.text)
+}
+
+/// Extracts `key=<u64>` from an event line.
+fn event_field(line: &str, key: &str) -> Option<u64> {
+    line.split_whitespace()
+        .find_map(|token| token.strip_prefix(key)?.parse().ok())
+}
+
+/// The fault drill's shared context.
+struct Drill<'a> {
+    gate: &'a mut DivergenceGate,
+    worker: &'a WorkerCommand,
+    files: &'a [(String, PathBuf)],
+    reference: &'a str,
+    scratch: &'a Path,
+    fault_log: Option<&'a Path>,
+}
+
+impl Drill<'_> {
+    /// One fault leg: a server whose worker env injects the fault exactly
+    /// once (flag file), one job, and the recovery latency read back from
+    /// the `partition-recovered` event. `kill_first_worker` additionally
+    /// SIGKILLs the first worker seen on partition 0 (the raw
+    /// kill-while-serving leg).
+    fn leg(
+        &mut self,
+        leg: &str,
+        fault_env: &[(&str, String)],
+        stall_timeout: Option<Duration>,
+        kill_first_worker: bool,
+    ) {
+        let flag = self.scratch.join(format!("fault-{leg}.flag"));
+        let _ = std::fs::remove_file(&flag);
+        let mut worker = self.worker.clone();
+        for (key, value) in fault_env {
+            worker = worker.env(*key, value.clone());
+        }
+        worker = worker.env("SPARQLOG_SHARD_FAULT_FLAG", flag.display().to_string());
+        let config = ServeConfig {
+            stall_timeout,
+            ..base_config(worker)
+        };
+        let (addr, handle, runner) = start_server(config);
+
+        let killer = kill_first_worker.then(|| {
+            let events = handle.events();
+            std::thread::spawn(move || {
+                let deadline = Instant::now() + SETTLE;
+                loop {
+                    let pid = events.snapshot().iter().find_map(|line| {
+                        (line.contains("event=worker-start")
+                            && line.contains(" partition=0 ")
+                            && line.contains(" attempt=0 "))
+                        .then(|| event_field(line, "pid="))
+                        .flatten()
+                    });
+                    if let Some(pid) = pid {
+                        // The delay fault holds this worker mid-stream;
+                        // SIGKILL it from outside, like an OOM killer would.
+                        let _ = std::process::Command::new("kill")
+                            .args(["-9", &pid.to_string()])
+                            .status();
+                        return;
+                    }
+                    if Instant::now() >= deadline {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            })
+        });
+
+        let (status, report) = run_job(&addr, Population::Unique, self.files);
+        if let Some(killer) = killer {
+            killer.join().expect("killer thread");
+        }
+        self.gate.require(
+            status.phase == JobPhase::Complete,
+            &format!("fault leg '{leg}' did not complete: {}", status.error),
+        );
+        self.gate.require(
+            status.restarts >= 1,
+            &format!("fault leg '{leg}': the injected fault never fired"),
+        );
+        self.gate.compare(
+            &format!("service report differs from fused after '{leg}' recovery"),
+            self.reference,
+            &report,
+        );
+
+        let events = handle.events().snapshot();
+        if let Some(path) = self.fault_log {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(file, "== fault leg: {leg} ==");
+                for line in &events {
+                    let _ = writeln!(file, "{line}");
+                }
+                let _ = writeln!(file);
+            }
+        }
+        let recovered = events.iter().find_map(|line| {
+            line.contains("event=partition-recovered")
+                .then(|| event_field(line, "latency_ms="))
+                .flatten()
+        });
+        match recovered {
+            Some(latency) => println!(
+                "  {leg:<22} recovered in {latency:>6} ms ({} restart{})",
+                status.restarts,
+                if status.restarts == 1 { "" } else { "s" }
+            ),
+            None => {
+                self.gate.require(
+                    false,
+                    &format!("fault leg '{leg}': no partition-recovered event"),
+                );
+            }
+        }
+        stop_server(handle, runner);
+    }
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let mut only_fault: Option<String> = None;
+    let mut fault_log: Option<PathBuf> = None;
+    for i in 1..args.len() {
+        match args[i].as_str() {
+            "--fault" => only_fault = args.get(i + 1).cloned(),
+            "--fault-log" => fault_log = args.get(i + 1).map(PathBuf::from),
+            _ => {}
+        }
+    }
+    if let Some(mode) = &only_fault {
+        if !FAULT_LEGS.contains(&mode.as_str()) {
+            eprintln!(
+                "ablation_serve: unknown fault mode '{mode}' (expected one of {})",
+                FAULT_LEGS.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+    banner("ablation: networked analysis service", &opts);
+
+    let worker = match WorkerCommand::resolve_default() {
+        Ok(worker) => worker,
+        Err(error) => {
+            eprintln!("ablation_serve: {error}");
+            std::process::exit(1);
+        }
+    };
+
+    let dir = std::env::temp_dir().join(format!("sparqlog-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp corpus dir");
+    let (files, total_entries) = write_corpus_files(&opts, &dir, TILE);
+
+    // -- In-process reference (also the timed baseline). ---------------------
+    let timing = only_fault.is_none();
+    let mut fused_time = f64::INFINITY;
+    let mut fused_unique = None;
+    for _ in 0..if timing { REPEATS } else { 1 } {
+        let start = Instant::now();
+        let fused = analyze_streams_with(
+            open_file_readers(&files),
+            Population::Unique,
+            FusedOptions::default(),
+        )
+        .expect("fused reference run");
+        fused_time = fused_time.min(start.elapsed().as_secs_f64());
+        fused_unique = Some(fused);
+    }
+    let fused_unique = fused_unique.expect("at least one repeat");
+    let reference_unique = full_report(&fused_unique.corpus);
+    let counts = &fused_unique.corpus.combined.counts;
+    println!(
+        "corpus: {} logs, {} entries on disk, {} valid, {} distinct canonical forms",
+        files.len(),
+        total_entries,
+        counts.valid,
+        counts.unique
+    );
+
+    let mut gate = DivergenceGate::new();
+
+    // -- Timed leg: healthy service end-to-end, both populations gated. ------
+    if timing {
+        let (addr, handle, runner) = start_server(base_config(worker.clone()));
+        let mut serve_time = f64::INFINITY;
+        for _ in 0..REPEATS {
+            let start = Instant::now();
+            let (status, report) = run_job(&addr, Population::Unique, &files);
+            serve_time = serve_time.min(start.elapsed().as_secs_f64());
+            gate.require(
+                status.phase == JobPhase::Complete,
+                &format!("healthy Unique service job failed: {}", status.error),
+            );
+            gate.compare(
+                "service report differs from fused (Unique population)",
+                &reference_unique,
+                &report,
+            );
+        }
+        let reference_valid = full_report(
+            &analyze_streams_with(
+                open_file_readers(&files),
+                Population::Valid,
+                FusedOptions::default(),
+            )
+            .expect("fused Valid reference")
+            .corpus,
+        );
+        let (status, report) = run_job(&addr, Population::Valid, &files);
+        gate.require(
+            status.phase == JobPhase::Complete,
+            &format!("healthy Valid service job failed: {}", status.error),
+        );
+        gate.compare(
+            "service report differs from fused (Valid population)",
+            &reference_valid,
+            &report,
+        );
+        stop_server(handle, runner);
+
+        println!(
+            "\n{:<44} {:>10} {:>14}",
+            "end-to-end (Unique population)", "time", "entries/s"
+        );
+        println!(
+            "{:<44} {:>8.2}ms {:>14.0}",
+            "fused (in-process)",
+            fused_time * 1e3,
+            total_entries as f64 / fused_time
+        );
+        println!(
+            "{:<44} {:>8.2}ms {:>14.0}",
+            "service (submit \u{2192} settle \u{2192} report)",
+            serve_time * 1e3,
+            total_entries as f64 / serve_time
+        );
+    }
+
+    // -- Fault drill: every mode recovers to a byte-identical report. --------
+    println!("\nfault recovery (report byte-identical after each):");
+    let mut drill = Drill {
+        gate: &mut gate,
+        worker: &worker,
+        files: &files,
+        reference: &reference_unique,
+        scratch: &dir,
+        fault_log: fault_log.as_deref(),
+    };
+    let scoped = |mode: &str, shard: &str| {
+        vec![
+            ("SPARQLOG_SHARD_FAULT", mode.to_string()),
+            ("SPARQLOG_SHARD_FAULT_SHARD", shard.to_string()),
+        ]
+    };
+    let wants = |leg: &str| only_fault.as_deref().is_none_or(|only| only == leg);
+    for mode in ["die", "wrong-version", "truncate", "abort-mid-stream"] {
+        if wants(mode) {
+            drill.leg(mode, &scoped(mode, "1"), None, false);
+        }
+    }
+    if wants("kill-while-serving") {
+        // Raw SIGKILL while the worker is held mid-stream by the delay
+        // fault (heartbeats keep flowing until the kill).
+        let mut env = scoped("delay", "0");
+        env.push(("SPARQLOG_SHARD_FAULT_DELAY_MS", "3000".to_string()));
+        drill.leg("kill-while-serving", &env, None, true);
+    }
+    if wants("heartbeat-timeout") {
+        // A stalled worker (header, then silence — no heartbeats) only
+        // dies by the supervisor's stall timeout.
+        drill.leg(
+            "heartbeat-timeout",
+            &scoped("stall", "0"),
+            Some(Duration::from_millis(500)),
+            false,
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    gate.finish(
+        "service reports are byte-identical to the in-process fused engine's \
+         on both populations and after every fault-recovery drill",
+    );
+}

@@ -1,0 +1,228 @@
+//! A blocking client for the analysis daemon: connects over TCP or a Unix
+//! socket, exchanges [`crate::protocol`] frames strictly
+//! request-by-response, and offers typed helpers plus a polling
+//! [`Client::wait_settled`] for batch-style callers.
+
+use crate::protocol::{self, JobReport, JobStatus, Request, Response};
+use crate::server::ServeAddr;
+use sparqlog_core::analysis::Population;
+use sparqlog_shard::codec::{FrameReader, StreamError};
+use std::io::{self, BufWriter, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// A socket-level failure.
+    Io(io::Error),
+    /// The server's response stream was malformed.
+    Stream(StreamError),
+    /// The server hung up (drain completed, or the session was shed).
+    Closed,
+    /// The server answered with an error or a rejection.
+    Server(String),
+    /// The server answered with a response of the wrong kind.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(error) => write!(f, "socket error: {error}"),
+            ClientError::Stream(error) => write!(f, "malformed response stream: {error}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(error: io::Error) -> ClientError {
+        ClientError::Io(error)
+    }
+}
+
+impl From<StreamError> for ClientError {
+    fn from(error: StreamError) -> ClientError {
+        ClientError::Stream(error)
+    }
+}
+
+/// One duplex socket, abstracted over address families.
+#[derive(Debug)]
+enum ClientStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl ClientStream {
+    fn connect(addr: &ServeAddr) -> io::Result<ClientStream> {
+        match addr {
+            ServeAddr::Tcp(spec) => Ok(ClientStream::Tcp(TcpStream::connect(spec.as_str())?)),
+            ServeAddr::Unix(path) => {
+                #[cfg(unix)]
+                {
+                    Ok(ClientStream::Unix(std::os::unix::net::UnixStream::connect(
+                        path,
+                    )?))
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = path;
+                    Err(io::Error::other("unix sockets unsupported on this target"))
+                }
+            }
+        }
+    }
+
+    fn try_clone(&self) -> io::Result<ClientStream> {
+        match self {
+            ClientStream::Tcp(stream) => Ok(ClientStream::Tcp(stream.try_clone()?)),
+            #[cfg(unix)]
+            ClientStream::Unix(stream) => Ok(ClientStream::Unix(stream.try_clone()?)),
+        }
+    }
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(stream) => stream.read(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Tcp(stream) => stream.write(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ClientStream::Tcp(stream) => stream.flush(),
+            #[cfg(unix)]
+            ClientStream::Unix(stream) => stream.flush(),
+        }
+    }
+}
+
+/// A connected daemon client. Requests are answered in order, one
+/// response per request.
+#[derive(Debug)]
+pub struct Client {
+    frames: FrameReader<ClientStream>,
+    out: BufWriter<ClientStream>,
+}
+
+impl Client {
+    /// Connects and exchanges stream headers (both directions carry the
+    /// shared `SQSN` magic + version).
+    pub fn connect(addr: &ServeAddr) -> Result<Client, ClientError> {
+        let stream = ClientStream::connect(addr)?;
+        let read_half = stream.try_clone()?;
+        let mut out = BufWriter::new(stream);
+        protocol::write_header(&mut out)?;
+        out.flush()?;
+        let mut frames = FrameReader::new(read_half);
+        frames.read_header()?;
+        Ok(Client { frames, out })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        protocol::write_request(&mut self.out, request)?;
+        match protocol::read_response(&mut self.frames)? {
+            Some(response) => Ok(response),
+            None => Err(ClientError::Closed),
+        }
+    }
+
+    /// Liveness check; returns `(draining, jobs_accepted)`.
+    pub fn ping(&mut self) -> Result<(bool, u64), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong { draining, jobs } => Ok((draining, jobs)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submits an analysis job over `(label, path)` pairs (paths resolved
+    /// on the server). Returns `(job_id, partitions)`.
+    pub fn submit(
+        &mut self,
+        population: Population,
+        logs: Vec<(String, String)>,
+    ) -> Result<(u64, u64), ClientError> {
+        let request = Request::Submit { population, logs };
+        match self.request(&request)? {
+            Response::Accepted { job, partitions } => Ok((job, partitions)),
+            Response::Rejected { message } | Response::Error { message } => {
+                Err(ClientError::Server(message))
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Polls one job's progress.
+    pub fn status(&mut self, job: u64) -> Result<JobStatus, ClientError> {
+        match self.request(&Request::Status { job })? {
+            Response::Status(status) => Ok(status),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches a job's report — incremental while partitions are still
+    /// running, final (and byte-identical to the in-process engine's) once
+    /// `complete` is set.
+    pub fn report(&mut self, job: u64, full: bool) -> Result<JobReport, ClientError> {
+        match self.request(&Request::Report { job, full })? {
+            Response::Report(report) => Ok(report),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to drain (refuse new jobs, finish in-flight ones).
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Drain)? {
+            Response::Pong { .. } => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the structured event log (`job` 0 = all jobs).
+    pub fn events(&mut self, job: u64) -> Result<Vec<String>, ClientError> {
+        match self.request(&Request::Events { job })? {
+            Response::Events { lines } => Ok(lines),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Polls `status` until the job settles (completes or fails) or
+    /// `timeout` elapses; returns the last status seen either way.
+    pub fn wait_settled(&mut self, job: u64, timeout: Duration) -> Result<JobStatus, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.status(job)?;
+            if status.phase != crate::protocol::JobPhase::Running || Instant::now() >= deadline {
+                return Ok(status);
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+}
+
+fn unexpected(response: &Response) -> ClientError {
+    ClientError::Unexpected(format!("{response:?}"))
+}

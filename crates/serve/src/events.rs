@@ -1,0 +1,149 @@
+//! The structured event log: one line per supervision event, stamped with
+//! milliseconds since server start, kept in memory for the `Events` request
+//! and optionally mirrored to a file (the CI fault jobs upload it as an
+//! artifact).
+//!
+//! Lines are `key=value` pairs, e.g.:
+//!
+//! ```text
+//! t=12 event=worker-start job=1 partition=0 attempt=0 pid=4711
+//! t=340 event=worker-death job=1 partition=0 attempt=0 error="shard 0: worker exited with status 3"
+//! t=395 event=partition-recovered job=1 partition=0 latency_ms=55
+//! ```
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// An append-only, timestamp-stamped event log shared across the server's
+/// threads.
+#[derive(Debug)]
+pub struct EventLog {
+    start: Instant,
+    lines: Mutex<Vec<String>>,
+    sink: Option<Mutex<File>>,
+}
+
+impl EventLog {
+    /// An in-memory event log starting now.
+    pub fn new() -> EventLog {
+        EventLog {
+            start: Instant::now(),
+            lines: Mutex::new(Vec::new()),
+            sink: None,
+        }
+    }
+
+    /// An event log that also appends every line to `path` (created or
+    /// truncated), flushing per line so a crashed server leaves a usable
+    /// artifact.
+    pub fn with_file(path: &Path) -> std::io::Result<EventLog> {
+        let file = File::create(path)?;
+        Ok(EventLog {
+            start: Instant::now(),
+            lines: Mutex::new(Vec::new()),
+            sink: Some(Mutex::new(file)),
+        })
+    }
+
+    /// Appends one event line (without the timestamp prefix — it is added
+    /// here).
+    pub fn emit(&self, line: impl AsRef<str>) {
+        let stamped = format!(
+            "t={} {}",
+            self.start.elapsed().as_millis(),
+            line.as_ref().trim_end()
+        );
+        if let Some(sink) = &self.sink {
+            if let Ok(mut file) = sink.lock() {
+                let _ = writeln!(file, "{stamped}");
+                let _ = file.flush();
+            }
+        }
+        self.lines.lock().expect("event log lock").push(stamped);
+    }
+
+    /// All lines emitted so far, oldest first.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.lines.lock().expect("event log lock").clone()
+    }
+
+    /// The lines mentioning job `job` (matched on the ` job=<id>` token, so
+    /// job 1 does not match job 11).
+    pub fn for_job(&self, job: u64) -> Vec<String> {
+        let needle = format!(" job={job}");
+        self.lines
+            .lock()
+            .expect("event log lock")
+            .iter()
+            .filter(|line| {
+                line.split_whitespace()
+                    .any(|token| token == needle.trim_start())
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog::new()
+    }
+}
+
+/// Quotes a value for an event line: whitespace and quotes collapse so the
+/// line stays one-line, token-splittable `key=value` text.
+pub fn quoted(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for ch in value.chars() {
+        match ch {
+            '"' => out.push('\''),
+            '\n' | '\r' | '\t' => out.push(' '),
+            ch => out.push(ch),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_stamps_and_filters_by_job() {
+        let log = EventLog::new();
+        log.emit("event=worker-start job=1 partition=0");
+        log.emit("event=worker-start job=11 partition=0");
+        log.emit("event=job-complete job=1");
+        let all = log.snapshot();
+        assert_eq!(all.len(), 3);
+        assert!(all.iter().all(|line| line.starts_with("t=")));
+        let job1 = log.for_job(1);
+        assert_eq!(job1.len(), 2, "{job1:?}");
+        assert!(job1.iter().all(|line| line.contains(" job=1")));
+        assert_eq!(log.for_job(11).len(), 1);
+        assert_eq!(log.for_job(99).len(), 0);
+    }
+
+    #[test]
+    fn file_sink_mirrors_lines() {
+        let dir = std::env::temp_dir().join(format!("sparqlog-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.log");
+        let log = EventLog::with_file(&path).unwrap();
+        log.emit("event=drain");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert!(contents.contains("event=drain"), "{contents}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quoted_flattens_disruptive_characters() {
+        assert_eq!(quoted("plain"), "\"plain\"");
+        assert_eq!(quoted("a \"b\"\nc"), "\"a 'b' c\"");
+    }
+}

@@ -1,0 +1,310 @@
+//! Job state: each accepted job is split into one partition per log (the
+//! reassignment unit — a log never splits, preserving the Unique-population
+//! fold), and completed partitions merge commutatively into slots keyed by
+//! input position. Reports render from whatever has merged so far; once
+//! every slot is filled the report is byte-identical to the in-process
+//! fused engine's over the same files (the same argument as the batch
+//! coordinator's — see `sparqlog_shard::coordinator`).
+//!
+//! Double-count safety: a partition's snapshot merges **only** when it
+//! decodes completely (log frame + epilogue), and a slot merges **at most
+//! once** — a restarted worker whose predecessor died mid-stream can never
+//! add to an already-filled slot, so no query occurrence is ever folded
+//! twice.
+
+use crate::protocol::{JobPhase, JobReport, JobStatus};
+use sparqlog_core::analysis::{CorpusAnalysis, DatasetAnalysis, Population};
+use sparqlog_core::cache::CacheStats;
+use sparqlog_core::corpus::LogSummary;
+use sparqlog_core::report;
+use sparqlog_shard::LogSpec;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// One job's mutable state.
+#[derive(Debug)]
+pub struct JobState {
+    /// The job id.
+    pub id: u64,
+    /// The population the job folds.
+    pub population: Population,
+    /// The submitted logs, in report order (partition `i` = log `i`).
+    pub logs: Vec<LogSpec>,
+    /// Completed partitions: `slots[i]` holds log `i`'s summary + analysis.
+    slots: Vec<Option<(LogSummary, DatasetAnalysis)>>,
+    /// Partitions merged so far.
+    completed: usize,
+    /// Worker restarts performed for this job.
+    pub restarts: u64,
+    /// The first fatal failure, if any.
+    pub failed: Option<String>,
+    /// Merged worker cache counters.
+    pub cache: CacheStats,
+    /// Total decoded snapshot bytes.
+    pub snapshot_bytes: u64,
+}
+
+impl JobState {
+    fn new(id: u64, population: Population, logs: Vec<LogSpec>) -> JobState {
+        let slots = (0..logs.len()).map(|_| None).collect();
+        JobState {
+            id,
+            population,
+            logs,
+            slots,
+            completed: 0,
+            restarts: 0,
+            failed: None,
+            cache: CacheStats::default(),
+            snapshot_bytes: 0,
+        }
+    }
+
+    /// The job's lifecycle phase.
+    pub fn phase(&self) -> JobPhase {
+        if self.failed.is_some() {
+            JobPhase::Failed
+        } else if self.completed == self.slots.len() {
+            JobPhase::Complete
+        } else {
+            JobPhase::Running
+        }
+    }
+
+    /// Whether every partition has merged.
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.slots.len() && self.failed.is_none()
+    }
+
+    /// Whether the job can make no further progress (complete or failed).
+    pub fn is_settled(&self) -> bool {
+        self.failed.is_some() || self.completed == self.slots.len()
+    }
+
+    /// Merges one completed partition. Returns `false` (and changes
+    /// nothing) if the slot was already filled — the no-double-count
+    /// guarantee for restarted partitions.
+    pub fn merge_partition(
+        &mut self,
+        partition: usize,
+        summary: LogSummary,
+        analysis: DatasetAnalysis,
+        cache: CacheStats,
+        snapshot_bytes: u64,
+    ) -> bool {
+        let Some(slot) = self.slots.get_mut(partition) else {
+            return false;
+        };
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some((summary, analysis));
+        self.completed += 1;
+        self.cache.hits += cache.hits;
+        self.cache.misses += cache.misses;
+        self.cache.distinct += cache.distinct;
+        self.snapshot_bytes += snapshot_bytes;
+        true
+    }
+
+    /// The job's progress snapshot.
+    pub fn status(&self) -> JobStatus {
+        JobStatus {
+            job: self.id,
+            phase: self.phase(),
+            total: self.slots.len() as u64,
+            completed: self.completed as u64,
+            restarts: self.restarts,
+            error: self.failed.clone().unwrap_or_default(),
+        }
+    }
+
+    /// Renders the report over the partitions merged so far (input order,
+    /// gaps skipped, "Total" row re-merged). When the job is complete this
+    /// is byte-identical to the fused engine's report over the same files.
+    pub fn report(&self, full: bool) -> JobReport {
+        let datasets: Vec<DatasetAnalysis> = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|(_, analysis)| analysis.clone())
+            .collect();
+        let mut combined = DatasetAnalysis {
+            label: "Total".to_string(),
+            ..DatasetAnalysis::default()
+        };
+        for dataset in &datasets {
+            combined.merge(dataset);
+        }
+        let corpus = CorpusAnalysis { datasets, combined };
+        JobReport {
+            job: self.id,
+            complete: self.is_complete(),
+            completed: self.completed as u64,
+            total: self.slots.len() as u64,
+            text: if full {
+                report::full_report(&corpus)
+            } else {
+                report::table1(&corpus)
+            },
+        }
+    }
+}
+
+/// The server's job table: id allocation, per-job state behind one lock,
+/// and a condvar so waiters (drain, tests) can block until jobs settle.
+#[derive(Debug, Default)]
+pub struct Jobs {
+    next_id: AtomicU64,
+    table: Mutex<BTreeMap<u64, JobState>>,
+    settled: Condvar,
+}
+
+impl Jobs {
+    /// An empty job table; ids start at 1.
+    pub fn new() -> Jobs {
+        Jobs {
+            next_id: AtomicU64::new(1),
+            table: Mutex::new(BTreeMap::new()),
+            settled: Condvar::new(),
+        }
+    }
+
+    /// Jobs accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.next_id.load(Ordering::Acquire) - 1
+    }
+
+    /// Registers a new job and returns its id.
+    pub fn create(&self, population: Population, logs: Vec<LogSpec>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::AcqRel);
+        let mut table = self.table.lock().expect("jobs lock");
+        table.insert(id, JobState::new(id, population, logs));
+        id
+    }
+
+    /// Runs `f` over the job's state, or `None` for an unknown id.
+    pub fn with<T>(&self, job: u64, f: impl FnOnce(&mut JobState) -> T) -> Option<T> {
+        let mut table = self.table.lock().expect("jobs lock");
+        let result = table.get_mut(&job).map(f);
+        // Any mutation may have settled the job; wake waiters cheaply.
+        self.settled.notify_all();
+        result
+    }
+
+    /// Whether every registered job has settled (complete or failed).
+    pub fn all_settled(&self) -> bool {
+        let table = self.table.lock().expect("jobs lock");
+        table.values().all(|job| job.is_settled())
+    }
+
+    /// Blocks until every job settles or `timeout` elapses. Returns whether
+    /// everything settled.
+    pub fn wait_all_settled(&self, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut table = self.table.lock().expect("jobs lock");
+        loop {
+            if table.values().all(|job| job.is_settled()) {
+                return true;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .settled
+                .wait_timeout(
+                    table,
+                    (deadline - now).min(std::time::Duration::from_millis(100)),
+                )
+                .expect("jobs lock");
+            table = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_logs(n: usize) -> Vec<LogSpec> {
+        (0..n)
+            .map(|i| LogSpec::new(format!("log{i}"), format!("/tmp/log{i}.log")))
+            .collect()
+    }
+
+    #[test]
+    fn partitions_merge_once_and_phase_progresses() {
+        let jobs = Jobs::new();
+        let id = jobs.create(Population::Unique, sample_logs(2));
+        assert_eq!(id, 1);
+        assert_eq!(jobs.accepted(), 1);
+
+        let summary = LogSummary {
+            label: "log0".to_string(),
+            counts: Default::default(),
+            occurrences: Vec::new(),
+        };
+        let merged = jobs
+            .with(id, |job| {
+                assert_eq!(job.phase(), JobPhase::Running);
+                job.merge_partition(
+                    0,
+                    summary.clone(),
+                    DatasetAnalysis::default(),
+                    CacheStats::default(),
+                    10,
+                )
+            })
+            .unwrap();
+        assert!(merged);
+        // A restarted duplicate of partition 0 must not double-count.
+        let merged_again = jobs
+            .with(id, |job| {
+                job.merge_partition(
+                    0,
+                    summary.clone(),
+                    DatasetAnalysis::default(),
+                    CacheStats::default(),
+                    10,
+                )
+            })
+            .unwrap();
+        assert!(!merged_again);
+        jobs.with(id, |job| {
+            assert_eq!(job.status().completed, 1);
+            assert_eq!(job.phase(), JobPhase::Running);
+            assert!(!job.report(false).complete);
+            assert!(job.merge_partition(
+                1,
+                summary.clone(),
+                DatasetAnalysis::default(),
+                CacheStats::default(),
+                12
+            ));
+            assert_eq!(job.phase(), JobPhase::Complete);
+            assert!(job.report(true).complete);
+            assert_eq!(job.snapshot_bytes, 22);
+        });
+        assert!(jobs.all_settled());
+        assert!(jobs.wait_all_settled(std::time::Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn failures_settle_a_job() {
+        let jobs = Jobs::new();
+        let id = jobs.create(Population::Valid, sample_logs(1));
+        assert!(!jobs.all_settled());
+        jobs.with(id, |job| {
+            job.restarts = 3;
+            job.failed = Some("shard 0: worker exited with status 3".to_string());
+        });
+        assert!(jobs.all_settled());
+        let status = jobs.with(id, |job| job.status()).unwrap();
+        assert_eq!(status.phase, JobPhase::Failed);
+        assert_eq!(status.restarts, 3);
+        assert!(status.error.contains("status 3"));
+        assert!(jobs.with(99, |_| ()).is_none());
+    }
+}

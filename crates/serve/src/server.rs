@@ -1,0 +1,558 @@
+//! The analysis daemon: a TCP or Unix-socket listener accepting concurrent
+//! client sessions, each a length-prefixed request/response stream
+//! ([`crate::protocol`]). Submitted jobs fan out through the
+//! [`Supervisor`]'s worker pool; every
+//! session answers from the same merged [`Jobs`] state, so two clients
+//! asking for the same complete job get byte-identical reports.
+//!
+//! # Threading model
+//!
+//! No async runtime: one accept loop (nonblocking, polling the drain/stop
+//! flags and [`crate::signal`] every ~20 ms), two std threads per session
+//! (a reader that decodes requests and a writer fed by a **bounded**
+//! outbox channel), and the supervisor's fixed runner pool. A slow
+//! consumer fills its own outbox and then — per
+//! [`SlowConsumerPolicy`] — either blocks only its own reader thread
+//! (other sessions unaffected) or is shed: the connection closes and an
+//! `outbox-shed` event is logged.
+//!
+//! # Shutdown
+//!
+//! A `Drain` request (or [`ServerHandle::drain`]) only flips the draining
+//! flag: new `Submit`s are rejected, everything else keeps serving.
+//! [`ServerHandle::stop`] or SIGTERM/SIGINT additionally stops the accept
+//! loop, waits for in-flight jobs to settle, closes every session, and
+//! returns from [`Server::run`].
+
+use crate::events::{quoted, EventLog};
+use crate::job::Jobs;
+use crate::protocol::{self, Request, Response};
+use crate::signal;
+use crate::supervisor::{Supervisor, SupervisorConfig};
+use sparqlog_shard::codec::FrameReader;
+use sparqlog_shard::{LogSpec, WorkerCommand};
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What to do with a session whose outbox is full (the client is not
+/// reading responses fast enough).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowConsumerPolicy {
+    /// Block that session's reader thread until the writer catches up.
+    /// Only the slow session stalls; others keep serving.
+    Block,
+    /// Shed the session: log an `outbox-shed` event and close the
+    /// connection.
+    Shed,
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// How to launch `sparqlog-shard-worker` processes.
+    pub worker: WorkerCommand,
+    /// Concurrent worker processes (0 = available parallelism).
+    pub worker_slots: usize,
+    /// `--workers` analysis threads per worker process (0 = worker default).
+    pub worker_threads: usize,
+    /// Worker heartbeat period (liveness frames on the snapshot pipe).
+    pub heartbeat: Duration,
+    /// Kill a worker whose pipe is silent this long (None = EOF-only
+    /// death detection).
+    pub stall_timeout: Option<Duration>,
+    /// Restarts allowed per partition before its job fails.
+    pub max_restarts: u32,
+    /// First restart backoff (doubles per attempt).
+    pub restart_backoff: Duration,
+    /// Restart backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Bounded per-session outbox capacity, in response frames.
+    pub outbox_frames: usize,
+    /// What to do when a session's outbox fills.
+    pub slow_policy: SlowConsumerPolicy,
+    /// Artificial delay before each response write (test knob for
+    /// exercising the outbox backpressure path; zero in production).
+    pub writer_pause: Duration,
+    /// How long a graceful stop waits for in-flight jobs to settle.
+    pub drain_timeout: Duration,
+    /// Mirror the event log to this file (the CI fault jobs upload it).
+    pub event_log_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            worker: WorkerCommand::new("sparqlog-shard-worker"),
+            worker_slots: 0,
+            worker_threads: 0,
+            heartbeat: Duration::from_millis(200),
+            stall_timeout: None,
+            max_restarts: 5,
+            restart_backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            outbox_frames: 64,
+            slow_policy: SlowConsumerPolicy::Block,
+            writer_pause: Duration::ZERO,
+            drain_timeout: Duration::from_secs(60),
+            event_log_path: None,
+        }
+    }
+}
+
+/// Where the daemon listens (or a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeAddr {
+    /// A TCP address, e.g. `127.0.0.1:7878` (`127.0.0.1:0` binds an
+    /// ephemeral port — read it back with [`Server::local_addr`]).
+    Tcp(String),
+    /// A Unix-domain socket path (unix targets only).
+    Unix(PathBuf),
+}
+
+/// One duplex client connection, abstracted over TCP and Unix sockets.
+trait SessionStream: Read + Write + Send {
+    /// A second handle onto the same socket (for the writer thread).
+    fn split(&self) -> io::Result<Box<dyn SessionStream>>;
+    /// Sets the socket read timeout.
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+    /// Shuts the socket down in both directions, unblocking any peer
+    /// thread stuck in a read or write.
+    fn close(&self) -> io::Result<()>;
+}
+
+impl SessionStream for TcpStream {
+    fn split(&self) -> io::Result<Box<dyn SessionStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn close(&self) -> io::Result<()> {
+        self.shutdown(Shutdown::Both)
+    }
+}
+
+#[cfg(unix)]
+impl SessionStream for std::os::unix::net::UnixStream {
+    fn split(&self) -> io::Result<Box<dyn SessionStream>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+
+    fn close(&self) -> io::Result<()> {
+        self.shutdown(Shutdown::Both)
+    }
+}
+
+/// The bound listener, abstracted over address families.
+#[derive(Debug)]
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// Accepts one pending connection, or `None` if none is waiting
+    /// (the listener is nonblocking).
+    fn accept(&self) -> io::Result<Option<Box<dyn SessionStream>>> {
+        match self {
+            Listener::Tcp(listener) => match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    Ok(Some(Box::new(stream)))
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(error) => Err(error),
+            },
+            #[cfg(unix)]
+            Listener::Unix(listener, _) => match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    Ok(Some(Box::new(stream)))
+                }
+                Err(error) if error.kind() == io::ErrorKind::WouldBlock => Ok(None),
+                Err(error) => Err(error),
+            },
+        }
+    }
+
+    fn local_addr(&self) -> io::Result<ServeAddr> {
+        match self {
+            Listener::Tcp(listener) => Ok(ServeAddr::Tcp(listener.local_addr()?.to_string())),
+            #[cfg(unix)]
+            Listener::Unix(_, path) => Ok(ServeAddr::Unix(path.clone())),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// State shared between the accept loop, sessions, and handles.
+#[derive(Debug)]
+struct Shared {
+    config: ServeConfig,
+    jobs: Arc<Jobs>,
+    events: Arc<EventLog>,
+    supervisor: Supervisor,
+    draining: AtomicBool,
+    stopping: AtomicBool,
+    closing: AtomicBool,
+    sessions: AtomicU64,
+}
+
+impl Shared {
+    fn begin_drain(&self, reason: &str) {
+        if !self.draining.swap(true, Ordering::AcqRel) {
+            self.events
+                .emit(format!("event=drain reason={}", quoted(reason)));
+        }
+    }
+}
+
+/// A control handle onto a running server, usable from any thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Starts draining: new `Submit`s are rejected; status, report, and
+    /// event queries keep serving and the accept loop keeps running.
+    pub fn drain(&self) {
+        self.shared.begin_drain("handle");
+    }
+
+    /// Requests a graceful stop: drain, wait for in-flight jobs to settle,
+    /// close sessions, return from [`Server::run`].
+    pub fn stop(&self) {
+        self.shared.begin_drain("shutdown");
+        self.shared.stopping.store(true, Ordering::Release);
+    }
+
+    /// Whether the server is draining.
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Acquire)
+    }
+
+    /// The server's job table (for in-process observers and tests).
+    pub fn jobs(&self) -> Arc<Jobs> {
+        Arc::clone(&self.shared.jobs)
+    }
+
+    /// The server's event log (for in-process observers and tests).
+    pub fn events(&self) -> Arc<EventLog> {
+        Arc::clone(&self.shared.events)
+    }
+}
+
+/// A bound (but not yet running) analysis daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: Listener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and starts the supervisor's worker pool. The
+    /// accept loop does not run until [`Server::run`].
+    pub fn bind(config: ServeConfig, addr: &ServeAddr) -> io::Result<Server> {
+        let listener = match addr {
+            ServeAddr::Tcp(spec) => {
+                let listener = TcpListener::bind(spec.as_str())?;
+                listener.set_nonblocking(true)?;
+                Listener::Tcp(listener)
+            }
+            ServeAddr::Unix(path) => {
+                #[cfg(unix)]
+                {
+                    // A stale socket file from a crashed predecessor would
+                    // make bind fail with AddrInUse; replace it.
+                    let _ = std::fs::remove_file(path);
+                    let listener = std::os::unix::net::UnixListener::bind(path)?;
+                    listener.set_nonblocking(true)?;
+                    Listener::Unix(listener, path.clone())
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = path;
+                    return Err(io::Error::other("unix sockets unsupported on this target"));
+                }
+            }
+        };
+        let events = Arc::new(match &config.event_log_path {
+            Some(path) => EventLog::with_file(path)?,
+            None => EventLog::new(),
+        });
+        let jobs = Arc::new(Jobs::new());
+        let supervisor = Supervisor::start(
+            SupervisorConfig {
+                worker: config.worker.clone(),
+                slots: config.worker_slots,
+                worker_threads: config.worker_threads,
+                heartbeat: config.heartbeat,
+                stall_timeout: config.stall_timeout,
+                max_restarts: config.max_restarts,
+                backoff: config.restart_backoff,
+                backoff_cap: config.backoff_cap,
+            },
+            Arc::clone(&jobs),
+            Arc::clone(&events),
+        );
+        let shared = Arc::new(Shared {
+            config,
+            jobs,
+            events,
+            supervisor,
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            closing: AtomicBool::new(false),
+            sessions: AtomicU64::new(0),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (with the ephemeral port resolved for
+    /// `127.0.0.1:0`-style binds).
+    pub fn local_addr(&self) -> io::Result<ServeAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A control handle for draining/stopping from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Runs the accept loop until [`ServerHandle::stop`] or
+    /// SIGTERM/SIGINT, then drains gracefully: waits for in-flight jobs to
+    /// settle (bounded by `drain_timeout`), closes every session, and
+    /// returns.
+    pub fn run(self) -> io::Result<()> {
+        let shared = self.shared;
+        let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+        shared.events.emit("event=serve-start");
+        loop {
+            if signal::termination_requested() {
+                shared.begin_drain("signal");
+                shared.stopping.store(true, Ordering::Release);
+            }
+            if shared.stopping.load(Ordering::Acquire) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok(Some(stream)) => {
+                    let id = shared.sessions.fetch_add(1, Ordering::AcqRel) + 1;
+                    shared
+                        .events
+                        .emit(format!("event=session-open session={id}"));
+                    let ctx = Arc::clone(&shared);
+                    sessions.push(std::thread::spawn(move || session(stream, id, &ctx)));
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        shared.begin_drain("shutdown");
+        let settled = shared.jobs.wait_all_settled(shared.config.drain_timeout);
+        shared.supervisor.wait_idle(shared.config.drain_timeout);
+        shared
+            .events
+            .emit(format!("event=serve-stop settled={settled}"));
+        shared.closing.store(true, Ordering::Release);
+        for session in sessions {
+            let _ = session.join();
+        }
+        Ok(())
+    }
+}
+
+/// A socket reader that absorbs read timeouts (the 100 ms poll used so
+/// sessions notice server shutdown) and converts the closing flag into a
+/// clean end-of-stream.
+struct PatientReader {
+    inner: Box<dyn SessionStream>,
+    ctx: Arc<Shared>,
+}
+
+impl Read for PatientReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            if self.ctx.closing.load(Ordering::Acquire) {
+                return Ok(0);
+            }
+            match self.inner.read(buf) {
+                Err(error)
+                    if matches!(
+                        error.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+                other => return other,
+            }
+        }
+    }
+}
+
+fn writer_loop(stream: Box<dyn SessionStream>, outbox: Receiver<Response>, pause: Duration) {
+    let mut out = BufWriter::new(stream);
+    if protocol::write_header(&mut out).is_err() || out.flush().is_err() {
+        return;
+    }
+    while let Ok(response) = outbox.recv() {
+        if !pause.is_zero() {
+            std::thread::sleep(pause);
+        }
+        if protocol::write_response(&mut out, &response).is_err() {
+            return;
+        }
+    }
+    let _ = out.flush();
+}
+
+/// Enqueues one response per the slow-consumer policy. Returns `false`
+/// when the session must close (shed, writer gone, or server closing).
+fn enqueue(
+    ctx: &Shared,
+    session_id: u64,
+    outbox: &SyncSender<Response>,
+    response: Response,
+) -> bool {
+    match ctx.config.slow_policy {
+        SlowConsumerPolicy::Block => {
+            let mut pending = response;
+            loop {
+                if ctx.closing.load(Ordering::Acquire) {
+                    return false;
+                }
+                match outbox.try_send(pending) {
+                    Ok(()) => return true,
+                    Err(TrySendError::Full(back)) => {
+                        pending = back;
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(TrySendError::Disconnected(_)) => return false,
+                }
+            }
+        }
+        SlowConsumerPolicy::Shed => match outbox.try_send(response) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) => {
+                ctx.events.emit(format!(
+                    "event=outbox-shed session={session_id} capacity={}",
+                    ctx.config.outbox_frames
+                ));
+                false
+            }
+            Err(TrySendError::Disconnected(_)) => false,
+        },
+    }
+}
+
+fn session(stream: Box<dyn SessionStream>, id: u64, ctx: &Arc<Shared>) {
+    let _ = stream.set_stream_read_timeout(Some(Duration::from_millis(100)));
+    let (Ok(write_half), Ok(control)) = (stream.split(), stream.split()) else {
+        return;
+    };
+    let (outbox, inbox) = sync_channel::<Response>(ctx.config.outbox_frames.max(1));
+    let pause = ctx.config.writer_pause;
+    let writer = std::thread::spawn(move || writer_loop(write_half, inbox, pause));
+
+    let mut forced = false;
+    let mut frames = FrameReader::new(PatientReader {
+        inner: stream,
+        ctx: Arc::clone(ctx),
+    });
+    if frames.read_header().is_ok() {
+        while let Ok(Some(request)) = protocol::read_request(&mut frames) {
+            let response = answer(ctx, &request);
+            if !enqueue(ctx, id, &outbox, response) {
+                forced = true;
+                break;
+            }
+        }
+    } else {
+        forced = true;
+    }
+
+    if forced || ctx.closing.load(Ordering::Acquire) {
+        // Unblock a writer stuck mid-write before joining it.
+        let _ = control.close();
+    }
+    drop(outbox);
+    let _ = writer.join();
+    let _ = control.close();
+    ctx.events.emit(format!("event=session-close session={id}"));
+}
+
+/// Computes the one response a request maps to.
+fn answer(ctx: &Shared, request: &Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong {
+            draining: ctx.draining.load(Ordering::Acquire),
+            jobs: ctx.jobs.accepted(),
+        },
+        Request::Submit { population, logs } => {
+            if ctx.draining.load(Ordering::Acquire) {
+                return Response::Rejected {
+                    message: "server is draining; new jobs are refused".to_string(),
+                };
+            }
+            if logs.is_empty() {
+                return Response::Error {
+                    message: "submit requires at least one log".to_string(),
+                };
+            }
+            let specs = logs
+                .iter()
+                .map(|(label, path)| LogSpec::new(label.clone(), path.clone()))
+                .collect();
+            let (job, partitions) = ctx.supervisor.submit(*population, specs);
+            Response::Accepted { job, partitions }
+        }
+        Request::Status { job } => match ctx.jobs.with(*job, |state| state.status()) {
+            Some(status) => Response::Status(status),
+            None => Response::Error {
+                message: format!("unknown job {job}"),
+            },
+        },
+        Request::Report { job, full } => match ctx.jobs.with(*job, |state| state.report(*full)) {
+            Some(report) => Response::Report(report),
+            None => Response::Error {
+                message: format!("unknown job {job}"),
+            },
+        },
+        Request::Drain => {
+            ctx.begin_drain("client request");
+            Response::Pong {
+                draining: true,
+                jobs: ctx.jobs.accepted(),
+            }
+        }
+        Request::Events { job } => Response::Events {
+            lines: if *job == 0 {
+                ctx.events.snapshot()
+            } else {
+                ctx.events.for_job(*job)
+            },
+        },
+    }
+}

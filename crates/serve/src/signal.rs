@@ -1,0 +1,74 @@
+//! Minimal SIGTERM/SIGINT handling without a libc dependency: a raw
+//! `signal(2)` registration whose handler sets one atomic flag. The accept
+//! loop polls [`termination_requested`] and turns it into a graceful drain
+//! (finish in-flight partitions, flush, refuse new jobs).
+//!
+//! This is the crate's only unsafe code, confined here under an explicit
+//! allow (the crate denies `unsafe_code` everywhere else). The handler body
+//! is async-signal-safe: a single atomic store.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+/// Whether a SIGTERM/SIGINT has arrived since [`install`] (or
+/// [`request_termination`] was called programmatically).
+pub fn termination_requested() -> bool {
+    TERMINATION.load(Ordering::Acquire)
+}
+
+/// Sets the termination flag as if a signal had arrived (used by tests and
+/// by explicit shutdown paths).
+pub fn request_termination() {
+    TERMINATION.store(true, Ordering::Release);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::TERMINATION;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: one atomic store, nothing else.
+        TERMINATION.store(true, Ordering::Release);
+    }
+
+    #[allow(unsafe_code)]
+    pub fn install() {
+        // Raw signal(2) instead of sigaction keeps this dependency-free; the
+        // handler survives for the process lifetime (SA_RESETHAND is not in
+        // play for graceful drain — one delivery is all we need anyway).
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Registers the SIGTERM/SIGINT handler (no-op off unix). Idempotent.
+pub fn install() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn programmatic_termination_sets_the_flag() {
+        install();
+        request_termination();
+        assert!(termination_requested());
+    }
+}

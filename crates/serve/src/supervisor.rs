@@ -1,0 +1,412 @@
+//! The worker-pool supervisor: a fixed set of runner threads (std threads +
+//! channels, no async runtime) pulling partition tasks from a shared queue.
+//! Each task spawns one supervised `sparqlog-shard-worker`
+//! ([`sparqlog_shard::supervise`]) over exactly one log, with liveness
+//! heartbeats and an optional stall timeout.
+//!
+//! # Fault model
+//!
+//! A worker that dies (pipe EOF, bad exit status, undecodable snapshot) or
+//! stalls (no frame for longer than the stall timeout — heartbeats count)
+//! is restarted with bounded exponential backoff
+//! (`backoff × 2^(attempt−1)`, capped) up to `max_restarts` times; the
+//! partition is re-run from scratch, which is safe because a partition
+//! merges into its job **only** when its snapshot decodes completely, and
+//! at most once ([`crate::job`]). A partition that exhausts its budget
+//! fails the whole job with the last structured error.
+//!
+//! Every transition lands in the [`EventLog`]: `worker-start` (with pid),
+//! `worker-death`, `partition-recovered` (with the death-to-merge latency),
+//! `job-complete`, `job-failed`.
+
+use crate::events::{quoted, EventLog};
+use crate::job::Jobs;
+use sparqlog_core::analysis::Population;
+use sparqlog_shard::supervise::WorkerLaunch;
+use sparqlog_shard::worker::AssignedLog;
+use sparqlog_shard::{LogSpec, WorkerCommand};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Supervision tuning (a subset of the server config).
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// How to launch workers.
+    pub worker: WorkerCommand,
+    /// Concurrent worker processes (0 = available parallelism).
+    pub slots: usize,
+    /// `--workers` per worker process (0 = let the worker default).
+    pub worker_threads: usize,
+    /// Worker heartbeat period.
+    pub heartbeat: Duration,
+    /// Kill a worker whose pipe is silent this long (None = EOF-only).
+    pub stall_timeout: Option<Duration>,
+    /// Restarts allowed per partition before the job fails.
+    pub max_restarts: u32,
+    /// First restart backoff (doubles per attempt).
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            worker: WorkerCommand::new("sparqlog-shard-worker"),
+            slots: 0,
+            worker_threads: 0,
+            heartbeat: Duration::from_millis(200),
+            stall_timeout: None,
+            max_restarts: 5,
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One unit of work: one log of one job.
+#[derive(Debug, Clone)]
+struct PartitionTask {
+    job: u64,
+    partition: usize,
+    population: Population,
+    log: LogSpec,
+}
+
+#[derive(Debug)]
+struct Shared {
+    config: SupervisorConfig,
+    queue: Mutex<VecDeque<PartitionTask>>,
+    available: Condvar,
+    active: AtomicUsize,
+    shutdown: AtomicBool,
+    jobs: Arc<Jobs>,
+    events: Arc<EventLog>,
+}
+
+/// The supervisor: owns the runner threads and the task queue.
+#[derive(Debug)]
+pub struct Supervisor {
+    shared: Arc<Shared>,
+    runners: Vec<JoinHandle<()>>,
+}
+
+impl Supervisor {
+    /// Starts the runner pool.
+    pub fn start(config: SupervisorConfig, jobs: Arc<Jobs>, events: Arc<EventLog>) -> Supervisor {
+        let slots = if config.slots > 0 {
+            config.slots
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let shared = Arc::new(Shared {
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            active: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            jobs,
+            events,
+        });
+        let runners = (0..slots)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || runner_loop(&shared))
+            })
+            .collect();
+        Supervisor { shared, runners }
+    }
+
+    /// Registers a job for `logs` and enqueues one partition per log.
+    /// Returns `(job_id, partitions)`.
+    pub fn submit(&self, population: Population, logs: Vec<LogSpec>) -> (u64, u64) {
+        let partitions = logs.len() as u64;
+        let job = self.shared.jobs.create(population, logs.clone());
+        self.shared.events.emit(format!(
+            "event=job-accepted job={job} partitions={partitions}"
+        ));
+        let mut queue = self.shared.queue.lock().expect("supervisor queue");
+        for (partition, log) in logs.into_iter().enumerate() {
+            queue.push_back(PartitionTask {
+                job,
+                partition,
+                population,
+                log,
+            });
+        }
+        drop(queue);
+        self.shared.available.notify_all();
+        (job, partitions)
+    }
+
+    /// Whether no partition is queued or running.
+    pub fn idle(&self) -> bool {
+        self.shared.active.load(Ordering::Acquire) == 0
+            && self
+                .shared
+                .queue
+                .lock()
+                .expect("supervisor queue")
+                .is_empty()
+    }
+
+    /// Blocks until idle or `timeout` elapses; returns whether idle.
+    pub fn wait_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while !self.idle() {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        true
+    }
+
+    /// Drains and stops the pool: runners finish the queue (and their
+    /// in-flight partitions), then exit.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for runner in self.runners.drain(..) {
+            let _ = runner.join();
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        for runner in self.runners.drain(..) {
+            let _ = runner.join();
+        }
+    }
+}
+
+fn runner_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("supervisor queue");
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    // Claim while still holding the lock so idle() can never
+                    // observe "queue empty, nothing active" mid-handoff.
+                    shared.active.fetch_add(1, Ordering::AcqRel);
+                    break Some(task);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("supervisor queue");
+                queue = guard;
+            }
+        };
+        let Some(task) = task else {
+            return;
+        };
+        run_partition(shared, &task);
+        shared.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Exponential backoff for restart `attempt` (1-based), capped.
+fn backoff_delay(config: &SupervisorConfig, attempt: u32) -> Duration {
+    let factor = 1u32 << attempt.saturating_sub(1).min(16);
+    config
+        .backoff
+        .saturating_mul(factor)
+        .min(config.backoff_cap)
+}
+
+/// Runs one partition to success, fatal job failure, or restart exhaustion.
+fn run_partition(shared: &Shared, task: &PartitionTask) {
+    let config = &shared.config;
+    let events = &shared.events;
+    let job = task.job;
+    let partition = task.partition;
+    let mut attempt = 0u32;
+    let mut first_failure: Option<Instant> = None;
+    loop {
+        // A job failed by another partition is not worth more processes.
+        let abandoned = shared
+            .jobs
+            .with(job, |state| state.failed.is_some())
+            .unwrap_or(true);
+        if abandoned {
+            events.emit(format!(
+                "event=partition-abandoned job={job} partition={partition}"
+            ));
+            return;
+        }
+
+        let launch = WorkerLaunch {
+            command: config.worker.clone(),
+            shard: partition,
+            population: task.population,
+            worker_threads: (config.worker_threads > 0).then_some(config.worker_threads),
+            heartbeat: Some(config.heartbeat),
+            logs: vec![AssignedLog {
+                index: partition as u64,
+                label: task.log.label.clone(),
+                path: task.log.path.clone(),
+            }],
+        };
+        let outcome = match launch.spawn() {
+            Ok(handle) => {
+                events.emit(format!(
+                    "event=worker-start job={job} partition={partition} attempt={attempt} pid={}",
+                    handle.pid()
+                ));
+                handle.join(config.stall_timeout)
+            }
+            Err(error) => Err(error),
+        };
+
+        match outcome {
+            Ok(output) => {
+                let mut frames = output.snapshot.logs;
+                let valid = frames.len() == 1 && frames[0].index == partition as u64;
+                if !valid {
+                    fail_job(
+                        shared,
+                        job,
+                        partition,
+                        &format!(
+                            "partition {partition}: snapshot reported {} frames (expected 1 for log index {partition})",
+                            frames.len()
+                        ),
+                    );
+                    return;
+                }
+                let frame = frames.remove(0);
+                // Emit while the job-table lock is still held: a client whose
+                // status poll observes the job as complete is then guaranteed
+                // to find the recovery/completion events already logged.
+                shared.jobs.with(job, |state| {
+                    let merged = state.merge_partition(
+                        partition,
+                        frame.summary,
+                        frame.analysis,
+                        output.snapshot.epilogue.cache,
+                        output.bytes,
+                    );
+                    if let Some(since) = first_failure {
+                        events.emit(format!(
+                            "event=partition-recovered job={job} partition={partition} attempt={attempt} latency_ms={}",
+                            since.elapsed().as_millis()
+                        ));
+                    }
+                    events.emit(format!(
+                        "event=partition-complete job={job} partition={partition} merged={merged}"
+                    ));
+                    if state.is_complete() {
+                        events.emit(format!("event=job-complete job={job}"));
+                    }
+                });
+                return;
+            }
+            Err(error) => {
+                first_failure.get_or_insert_with(Instant::now);
+                events.emit(format!(
+                    "event=worker-death job={job} partition={partition} attempt={attempt} error={}",
+                    quoted(&error.to_string())
+                ));
+                shared.jobs.with(job, |state| state.restarts += 1);
+                attempt += 1;
+                if attempt > config.max_restarts {
+                    fail_job(
+                        shared,
+                        job,
+                        partition,
+                        &format!(
+                            "partition {partition} failed after {} restarts: {error}",
+                            config.max_restarts
+                        ),
+                    );
+                    return;
+                }
+                std::thread::sleep(backoff_delay(config, attempt));
+            }
+        }
+    }
+}
+
+fn fail_job(shared: &Shared, job: u64, partition: usize, message: &str) {
+    shared.jobs.with(job, |state| {
+        if state.failed.is_none() {
+            state.failed = Some(message.to_string());
+        }
+        // Inside the lock for the same reason as the completion events: a
+        // client that sees the failed phase must also see the failure event.
+        shared.events.emit(format!(
+            "event=job-failed job={job} partition={partition} error={}",
+            quoted(message)
+        ));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let config = SupervisorConfig {
+            backoff: Duration::from_millis(50),
+            backoff_cap: Duration::from_millis(300),
+            ..SupervisorConfig::default()
+        };
+        assert_eq!(backoff_delay(&config, 1), Duration::from_millis(50));
+        assert_eq!(backoff_delay(&config, 2), Duration::from_millis(100));
+        assert_eq!(backoff_delay(&config, 3), Duration::from_millis(200));
+        assert_eq!(backoff_delay(&config, 4), Duration::from_millis(300));
+        assert_eq!(backoff_delay(&config, 30), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn spawn_failures_exhaust_restarts_and_fail_the_job() {
+        let jobs = Arc::new(Jobs::new());
+        let events = Arc::new(EventLog::new());
+        let config = SupervisorConfig {
+            worker: WorkerCommand::new("/definitely/not/a/real/worker"),
+            slots: 1,
+            max_restarts: 1,
+            backoff: Duration::from_millis(1),
+            ..SupervisorConfig::default()
+        };
+        let supervisor = Supervisor::start(config, Arc::clone(&jobs), Arc::clone(&events));
+        let (job, partitions) = supervisor.submit(
+            Population::Unique,
+            vec![LogSpec::new("ghost", "/tmp/none.log")],
+        );
+        assert_eq!(partitions, 1);
+        assert!(jobs.wait_all_settled(Duration::from_secs(10)));
+        assert!(supervisor.wait_idle(Duration::from_secs(10)));
+        let status = jobs.with(job, |state| state.status()).unwrap();
+        assert_eq!(status.phase, crate::protocol::JobPhase::Failed);
+        assert_eq!(status.restarts, 2); // initial attempt + 1 allowed restart
+        assert!(
+            status.error.contains("failed after 1 restarts"),
+            "{}",
+            status.error
+        );
+        let lines = events.for_job(job);
+        assert!(
+            lines.iter().any(|l| l.contains("event=worker-death")),
+            "{lines:?}"
+        );
+        assert!(
+            lines.iter().any(|l| l.contains("event=job-failed")),
+            "{lines:?}"
+        );
+        supervisor.shutdown();
+    }
+}

@@ -28,15 +28,16 @@
 //! dying process closes its stdout pipe, the decoder sees EOF, and the exit
 //! status is read with `wait` (no busy polling, no timeouts needed).
 
-use crate::codec::{DecodeError, StreamError};
-use crate::snapshot::{read_snapshot, WorkerSnapshot};
+use crate::codec::DecodeError;
+use crate::snapshot::WorkerSnapshot;
+use crate::supervise::WorkerLaunch;
+use crate::worker::AssignedLog;
 use sparqlog_core::analysis::{CorpusAnalysis, DatasetAnalysis, Population};
 use sparqlog_core::cache::CacheStats;
 use sparqlog_core::corpus::LogSummary;
 use std::fmt;
-use std::io::{self, BufReader, Read};
+use std::io;
 use std::path::PathBuf;
-use std::process::{Command, Stdio};
 
 /// One log of the corpus to analyse: a dataset label and the file holding
 /// its entries (one per line).
@@ -197,6 +198,17 @@ pub enum ShardError {
         /// The worker's captured stderr (trimmed).
         stderr: String,
     },
+    /// A worker kept its pipe open but produced no frame (log, epilogue or
+    /// heartbeat) for longer than the supervisor's stall timeout, and was
+    /// killed. Only raised when a stall timeout is configured
+    /// ([`crate::supervise::WorkerHandle::join`]); the batch coordinator
+    /// relies on pipe EOF alone.
+    Stalled {
+        /// The shard whose worker wedged.
+        shard: usize,
+        /// How long the pipe had been silent when the worker was killed.
+        waited_ms: u64,
+    },
     /// A worker reported a log index outside the corpus.
     UnknownLog {
         /// The reporting shard.
@@ -247,6 +259,12 @@ impl fmt::Display for ShardError {
                 }
                 Ok(())
             }
+            ShardError::Stalled { shard, waited_ms } => {
+                write!(
+                    f,
+                    "shard {shard}: worker stalled ({waited_ms} ms without a frame) and was killed"
+                )
+            }
             ShardError::UnknownLog { shard, index } => {
                 write!(
                     f,
@@ -266,7 +284,59 @@ impl fmt::Display for ShardError {
     }
 }
 
+impl ShardError {
+    /// The shard this error names, if any (corpus-level failures like
+    /// [`ShardError::NoLogs`] and [`ShardError::MissingLog`] name none).
+    pub fn shard(&self) -> Option<usize> {
+        match self {
+            ShardError::NoLogs | ShardError::MissingLog { .. } => None,
+            ShardError::Spawn { shard, .. }
+            | ShardError::Stream { shard, .. }
+            | ShardError::Decode { shard, .. }
+            | ShardError::Worker { shard, .. }
+            | ShardError::Stalled { shard, .. }
+            | ShardError::UnknownLog { shard, .. }
+            | ShardError::DuplicateLog { shard, .. } => Some(*shard),
+        }
+    }
+}
+
 impl std::error::Error for ShardError {}
+
+/// The collected failure of [`analyze_sharded_all`]: every shard error the
+/// run produced, in shard order, instead of only the first. Always holds at
+/// least one error.
+#[derive(Debug)]
+pub struct ShardFailure {
+    /// The per-shard (and corpus-level) errors, in shard order.
+    pub errors: Vec<ShardError>,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.errors.len() {
+            0 => write!(f, "sharded run failed with no recorded error"),
+            1 => write!(f, "{}", self.errors[0]),
+            n => {
+                write!(f, "{n} failures:")?;
+                for error in &self.errors {
+                    write!(f, "\n  - {error}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardFailure {}
+
+impl From<ShardError> for ShardFailure {
+    fn from(error: ShardError) -> ShardFailure {
+        ShardFailure {
+            errors: vec![error],
+        }
+    }
+}
 
 /// Per-shard observability of a sharded run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -328,8 +398,11 @@ struct ShardOutput {
     bytes: u64,
 }
 
-/// Spawns the worker for one shard, streams its snapshot, and turns every
-/// failure into a [`ShardError`] naming the shard.
+/// Spawns the worker for one shard via the shared supervision layer
+/// ([`crate::supervise`]), streams its snapshot, and turns every failure
+/// into a [`ShardError`] naming the shard. The batch path runs without
+/// heartbeats or stall timeouts: a dead worker always closes its pipe, and
+/// a batch run has no other clients to protect from a slow shard.
 fn run_shard(
     shard: usize,
     spawned_shards: usize,
@@ -338,88 +411,26 @@ fn run_shard(
     population: Population,
     options: &ShardOptions,
 ) -> Result<ShardOutput, ShardError> {
-    let mut command = Command::new(&options.worker.program);
-    command.args(&options.worker.args);
-    for (key, value) in &options.worker.envs {
-        command.env(key, value);
-    }
-    command.arg("--shard").arg(shard.to_string());
-    command.arg("--population").arg(match population {
-        Population::Unique => "unique",
-        Population::Valid => "valid",
-    });
-    if let Some(threads) = worker_thread_budget(options.worker_threads, spawned_shards) {
-        command.arg("--workers").arg(threads.to_string());
-    }
-    for &index in assignment {
-        command
-            .arg("--log")
-            .arg(index.to_string())
-            .arg(&logs[index].label)
-            .arg(&logs[index].path);
-    }
-    command
-        .stdin(Stdio::null())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::piped());
-
-    let mut child = command
-        .spawn()
-        .map_err(|error| ShardError::Spawn { shard, error })?;
-    let stdout = child.stdout.take().expect("stdout was piped");
-
-    // Drain stderr on its own thread while stdout decodes: a worker that
-    // writes more than one pipe buffer of diagnostics must not be able to
-    // wedge itself (blocked in a stderr write) and the coordinator (blocked
-    // reading stdout) against each other.
-    let stderr_pipe = child.stderr.take().expect("stderr was piped");
-    let stderr_drain = std::thread::spawn(move || {
-        let mut stderr = String::new();
-        let mut pipe = stderr_pipe;
-        let _ = pipe.read_to_string(&mut stderr);
-        stderr
-    });
-    let decoded = read_snapshot(BufReader::new(stdout));
-
-    // The stdout pipe is drained (or dropped, which closes it): the worker
-    // can no longer block on it, so `wait` returns as soon as it exits. A
-    // worker that died mid-write already closed the pipe — the decode above
-    // saw EOF.
-    let status = child
-        .wait()
-        .map_err(|error| ShardError::Stream { shard, error })?;
-    let stderr = stderr_drain.join().unwrap_or_default().trim().to_string();
-
-    if !status.success() {
-        // A structured decode diagnosis (bad magic, version skew, invalid
-        // field) outranks the exit status: closing the pipe on such an
-        // error kills a still-writing worker with EPIPE, and reporting that
-        // secondary death would bury the root cause. Plain truncation
-        // (EOF-shaped errors), by contrast, *is* the symptom of the dead
-        // worker, so there the exit status and stderr are the diagnosis.
-        if let Err(StreamError::Decode(error)) = &decoded {
-            if !matches!(
-                error.kind,
-                crate::codec::DecodeErrorKind::UnexpectedEof
-                    | crate::codec::DecodeErrorKind::MissingEpilogue
-            ) {
-                return Err(ShardError::Decode {
-                    shard,
-                    error: error.clone(),
-                });
-            }
-        }
-        return Err(ShardError::Worker {
-            shard,
-            code: status.code(),
-            stderr,
-        });
-    }
-    match decoded {
-        Ok((snapshot, bytes)) => Ok(ShardOutput { snapshot, bytes }),
-        Err(StreamError::Decode(error)) => Err(ShardError::Decode { shard, error }),
-        Err(StreamError::Io(error)) => Err(ShardError::Stream { shard, error }),
-    }
+    let launch = WorkerLaunch {
+        command: options.worker.clone(),
+        shard,
+        population,
+        worker_threads: worker_thread_budget(options.worker_threads, spawned_shards),
+        heartbeat: None,
+        logs: assignment
+            .iter()
+            .map(|&index| AssignedLog {
+                index: index as u64,
+                label: logs[index].label.clone(),
+                path: logs[index].path.clone(),
+            })
+            .collect(),
+    };
+    let output = launch.spawn()?.join(None)?;
+    Ok(ShardOutput {
+        snapshot: output.snapshot,
+        bytes: output.bytes,
+    })
 }
 
 /// The `--workers` value to pass a worker process, if any: an explicit
@@ -453,8 +464,23 @@ pub fn analyze_sharded(
     population: Population,
     options: &ShardOptions,
 ) -> Result<ShardedAnalysis, ShardError> {
+    analyze_sharded_all(logs, population, options).map_err(|mut failure| {
+        // The errors are in shard order, so "first" is deterministic.
+        failure.errors.remove(0)
+    })
+}
+
+/// [`analyze_sharded`], but a partial failure reports **every** failing
+/// shard (in shard order) instead of only the first — the shape the
+/// `sparqlog-shard` CLI renders as a per-shard error table and the CI fault
+/// jobs assert on.
+pub fn analyze_sharded_all(
+    logs: &[LogSpec],
+    population: Population,
+    options: &ShardOptions,
+) -> Result<ShardedAnalysis, ShardFailure> {
     if logs.is_empty() {
-        return Err(ShardError::NoLogs);
+        return Err(ShardError::NoLogs.into());
     }
     let shards = if options.shards > 0 {
         options.shards
@@ -483,8 +509,15 @@ pub fn analyze_sharded(
     });
 
     let mut outputs = Vec::with_capacity(results.len());
+    let mut errors = Vec::new();
     for result in results {
-        outputs.push(result?);
+        match result {
+            Ok(output) => outputs.push(output),
+            Err(error) => errors.push(error),
+        }
+    }
+    if !errors.is_empty() {
+        return Err(ShardFailure { errors });
     }
 
     // Reassemble the corpus in input order.
@@ -514,7 +547,8 @@ pub fn analyze_sharded(
                 return Err(ShardError::DuplicateLog {
                     shard,
                     index: frame.index,
-                });
+                }
+                .into());
             }
             *slot = Some((frame.summary, frame.analysis));
         }
@@ -527,7 +561,8 @@ pub fn analyze_sharded(
             return Err(ShardError::MissingLog {
                 index,
                 label: logs[index].label.clone(),
-            });
+            }
+            .into());
         };
         summaries.push(summary);
         datasets.push(analysis);

@@ -25,10 +25,15 @@
 //!   [`CacheStats`](sparqlog_core::cache::CacheStats), and the framed
 //!   worker stream.
 //! * [`worker`] — the worker mode behind the `sparqlog-shard-worker`
-//!   binary.
+//!   binary, including optional liveness heartbeats (`--heartbeat-ms`).
 //! * [`coordinator`] — partitioning, process spawning (plain
 //!   `std::process`, piped stdio), structured per-shard errors, and the
 //!   commutative merge.
+//! * [`supervise`] — the reusable spawn/decode/diagnose layer shared by the
+//!   batch coordinator and the long-running `sparqlog-serve` daemon:
+//!   [`WorkerLaunch`] → [`WorkerHandle`] with per-frame liveness tracking
+//!   and stall detection.
+//! * [`faults`] — the consolidated (test-only) fault-injection knobs.
 //!
 //! # Coordinator quickstart
 //!
@@ -77,15 +82,22 @@
 
 pub mod codec;
 pub mod coordinator;
+pub mod faults;
 pub mod snapshot;
+pub mod supervise;
 pub mod worker;
 
 pub use codec::{DecodeError, DecodeErrorKind, StreamError};
 pub use coordinator::{
-    analyze_sharded, default_shards, partition, LogSpec, ShardError, ShardOptions, ShardRunStats,
-    ShardedAnalysis, WorkerCommand,
+    analyze_sharded, analyze_sharded_all, default_shards, partition, LogSpec, ShardError,
+    ShardFailure, ShardOptions, ShardRunStats, ShardedAnalysis, WorkerCommand,
 };
-pub use snapshot::{EpilogueFrame, Frame, LogFrame, Snapshot, WorkerSnapshot};
+pub use faults::FaultMode;
+pub use snapshot::{
+    read_snapshot, read_snapshot_observed, EpilogueFrame, Frame, HeartbeatFrame, LogFrame,
+    Snapshot, WorkerSnapshot,
+};
+pub use supervise::{ActivityClock, WorkerHandle, WorkerLaunch, WorkerOutput};
 pub use worker::{AssignedLog, WorkerConfig};
 
 // Re-exported so downstream code and docs can name the merged result types

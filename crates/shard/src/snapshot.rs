@@ -790,6 +790,9 @@ pub const FRAME_LOG: u8 = 1;
 /// Frame tag: the worker epilogue (frame count + cache + residency stats).
 pub const FRAME_EPILOGUE: u8 = 2;
 
+/// Frame tag: a liveness heartbeat (sequence number only, no payload data).
+pub const FRAME_HEARTBEAT: u8 = 3;
+
 /// One analysed log as the worker ships it: the log's index in the
 /// *coordinator's* corpus order, its [`LogSummary`], and its full
 /// [`DatasetAnalysis`].
@@ -816,6 +819,16 @@ pub struct EpilogueFrame {
     pub fused: FusedStats,
 }
 
+/// A liveness heartbeat: a worker that has nothing to report yet but wants
+/// its supervisor to know it is alive (long analyses can go seconds between
+/// log frames). Carries a monotonically increasing sequence number so a
+/// supervisor can distinguish fresh beats from a replayed stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatFrame {
+    /// Monotonically increasing beat number (first beat is 1).
+    pub seq: u64,
+}
+
 /// A decoded snapshot frame. The log variant is boxed: a [`LogFrame`]
 /// carries a full [`DatasetAnalysis`] and would otherwise dominate the enum
 /// size.
@@ -825,6 +838,8 @@ pub enum Frame {
     Log(Box<LogFrame>),
     /// The stream epilogue.
     Epilogue(EpilogueFrame),
+    /// A liveness heartbeat (carries no analysis data).
+    Heartbeat(HeartbeatFrame),
 }
 
 impl From<LogFrame> for Frame {
@@ -849,6 +864,10 @@ impl Frame {
                 encoder.put_varint(frame.log_frames);
                 frame.cache.encode(&mut encoder);
                 frame.fused.encode(&mut encoder);
+            }
+            Frame::Heartbeat(frame) => {
+                encoder.put_u8(FRAME_HEARTBEAT);
+                encoder.put_varint(frame.seq);
             }
         }
         encoder.into_bytes()
@@ -879,6 +898,10 @@ impl Frame {
                     cache,
                     fused,
                 })
+            }
+            FRAME_HEARTBEAT => {
+                let seq = decoder.take_varint()?;
+                Frame::Heartbeat(HeartbeatFrame { seq })
             }
             tag => {
                 return Err(DecodeError {
@@ -918,6 +941,18 @@ pub struct WorkerSnapshot {
 pub fn read_snapshot(
     reader: impl std::io::Read,
 ) -> Result<(WorkerSnapshot, u64), crate::codec::StreamError> {
+    read_snapshot_observed(reader, |_| {})
+}
+
+/// [`read_snapshot`] with a frame observer: `observe` is called on every
+/// decoded frame (including [`Frame::Heartbeat`]s, which carry no analysis
+/// data and are otherwise skipped) *as it arrives*. This is the supervision
+/// hook — a liveness clock touched per frame distinguishes a slow worker
+/// from a wedged one while the stream is still incomplete.
+pub fn read_snapshot_observed(
+    reader: impl std::io::Read,
+    mut observe: impl FnMut(&Frame),
+) -> Result<(WorkerSnapshot, u64), crate::codec::StreamError> {
     let mut frames = crate::codec::FrameReader::new(reader);
     frames.read_header()?;
     let mut logs = Vec::new();
@@ -928,8 +963,11 @@ pub fn read_snapshot(
                 offset: frames.offset(),
             }));
         };
-        match Frame::from_payload(&payload, base)? {
+        let frame = Frame::from_payload(&payload, base)?;
+        observe(&frame);
+        match frame {
             Frame::Log(frame) => logs.push(*frame),
+            Frame::Heartbeat(_) => {}
             Frame::Epilogue(epilogue) => {
                 if epilogue.log_frames != logs.len() as u64 {
                     return Err(crate::codec::StreamError::Decode(DecodeError {
@@ -1128,5 +1166,58 @@ mod tests {
             panic!("expected decode error");
         };
         assert_eq!(error.kind, DecodeErrorKind::TrailingFrame);
+    }
+
+    #[test]
+    fn heartbeats_round_trip_are_observed_and_do_not_count_as_log_frames() {
+        let beat = Frame::Heartbeat(HeartbeatFrame { seq: 42 });
+        let decoded = Frame::from_payload(&beat.to_payload(), 5).unwrap();
+        assert_eq!(beat, decoded);
+
+        let dataset = analysed_dataset();
+        let log = LogFrame {
+            index: 0,
+            summary: LogSummary {
+                label: dataset.label.clone(),
+                counts: dataset.counts,
+                occurrences: vec![(5, 1)],
+            },
+            analysis: dataset,
+        };
+        let epilogue = EpilogueFrame {
+            log_frames: 1,
+            cache: CacheStats::default(),
+            fused: FusedStats::default(),
+        };
+        // Heartbeats interleaved before, between and directly ahead of the
+        // epilogue: the declared log-frame count (1) must still match.
+        let mut stream = Vec::new();
+        crate::codec::write_stream_header(&mut stream).unwrap();
+        Frame::Heartbeat(HeartbeatFrame { seq: 1 })
+            .write_to(&mut stream)
+            .unwrap();
+        Frame::from(log.clone()).write_to(&mut stream).unwrap();
+        Frame::Heartbeat(HeartbeatFrame { seq: 2 })
+            .write_to(&mut stream)
+            .unwrap();
+        Frame::Epilogue(epilogue).write_to(&mut stream).unwrap();
+
+        let mut observed = Vec::new();
+        let (snapshot, bytes) = read_snapshot_observed(stream.as_slice(), |frame| {
+            observed.push(match frame {
+                Frame::Log(_) => "log",
+                Frame::Epilogue(_) => "epilogue",
+                Frame::Heartbeat(_) => "heartbeat",
+            });
+        })
+        .unwrap();
+        assert_eq!(bytes, stream.len() as u64);
+        assert_eq!(snapshot.logs.len(), 1);
+        assert_eq!(snapshot.epilogue, epilogue);
+        assert_eq!(observed, ["heartbeat", "log", "heartbeat", "epilogue"]);
+
+        // The plain reader skips them identically.
+        let (snapshot, _) = read_snapshot(stream.as_slice()).unwrap();
+        assert_eq!(snapshot.logs.len(), 1);
     }
 }

@@ -2,7 +2,7 @@
 //! ([`analyze_streams_with`]) over its assigned partition of logs and writes
 //! a framed binary snapshot (see [`crate::codec`] / [`crate::snapshot`]) to
 //! a byte sink — in production, its stdout, consumed by the
-//! [coordinator](crate::coordinator).
+//! [coordinator](crate::coordinator) or the `sparqlog-serve` supervisor.
 //!
 //! The worker is a *mode*, not a policy: it analyses exactly the
 //! `(index, label, path)` triples it is told to, with the population and
@@ -16,27 +16,37 @@
 //! --shard <index>                      this worker's shard number (errors/logging)
 //! --population <unique|valid>          which population to fold
 //! --workers <n>                        fused-engine threads (0 = default)
+//! --heartbeat-ms <n>                   liveness heartbeat period (0/absent = off)
 //! --log <index> <label> <path>         one assigned log (repeated)
 //! ```
 //!
+//! # Liveness
+//!
+//! With `--heartbeat-ms` set, the stream header is written (and flushed)
+//! *before* analysis starts, and a side thread interleaves
+//! [`Frame::Heartbeat`] frames into the output while the analysis runs, so
+//! a supervisor watching the pipe can distinguish a slow worker from a
+//! wedged one. The heartbeat thread is stopped **while the writer lock is
+//! still held** after the epilogue — a beat after the epilogue would be a
+//! `TrailingFrame` to the decoder.
+//!
 //! # Fault injection (tests only)
 //!
-//! When `SPARQLOG_SHARD_FAULT` is set (optionally scoped to one shard with
-//! `SPARQLOG_SHARD_FAULT_SHARD=<index>`), the worker deliberately misbehaves
-//! so coordinator fault paths can be exercised end-to-end over real process
-//! boundaries: `die` (exit 3 before writing), `wrong-version` (bogus version
-//! byte), `truncate` (frame cut mid-payload), `abort-mid-stream` (abort the
-//! process after the first complete frame — a worker killed mid-write),
-//! `stderr-flood` (several pipe buffers of stderr before any stdout — the
-//! coordinator must drain it concurrently or deadlock; the run then
-//! completes normally).
+//! All fault-injection behaviour is defined by [`crate::faults`] — one
+//! documented module for the env knobs (`SPARQLOG_SHARD_FAULT`, shard
+//! scoping, once-only flag files, stall/delay durations) so the worker, the
+//! coordinator tests and the CI fault matrix cannot drift apart.
 
 use crate::codec::write_stream_header;
-use crate::snapshot::{EpilogueFrame, Frame, LogFrame};
+use crate::faults::{self, FaultMode};
+use crate::snapshot::{EpilogueFrame, Frame, HeartbeatFrame, LogFrame};
 use sparqlog_core::analysis::Population;
 use sparqlog_core::corpus::{analyze_streams_with, FileLogReader, FusedOptions, LogReader};
 use std::io::{self, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
 /// One log assigned to this worker: its index in the coordinator's corpus
 /// order, its dataset label, and the file to stream it from.
@@ -59,6 +69,8 @@ pub struct WorkerConfig {
     pub population: Population,
     /// Fused-engine worker threads (0 = `default_workers()`).
     pub workers: usize,
+    /// Liveness heartbeat period (`--heartbeat-ms`; `None` = no heartbeats).
+    pub heartbeat: Option<Duration>,
     /// The assigned logs, in coordinator order.
     pub logs: Vec<AssignedLog>,
 }
@@ -70,6 +82,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<WorkerConfig
         shard: 0,
         population: Population::Unique,
         workers: 0,
+        heartbeat: None,
         logs: Vec::new(),
     };
     while let Some(flag) = args.next() {
@@ -94,6 +107,13 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<WorkerConfig
                     .parse()
                     .map_err(|_| format!("invalid --workers value {value:?}"))?;
             }
+            "--heartbeat-ms" => {
+                let value = args.next().ok_or("--heartbeat-ms needs a value")?;
+                let millis: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid --heartbeat-ms value {value:?}"))?;
+                config.heartbeat = (millis > 0).then(|| Duration::from_millis(millis));
+            }
             "--log" => {
                 let index = args.next().ok_or("--log needs <index> <label> <path>")?;
                 let label = args.next().ok_or("--log needs <index> <label> <path>")?;
@@ -115,34 +135,6 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<WorkerConfig
     Ok(config)
 }
 
-/// The injectable faults (see the [module docs](self)).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Fault {
-    Die,
-    WrongVersion,
-    Truncate,
-    AbortMidStream,
-    StderrFlood,
-}
-
-/// The fault requested for this shard via the environment, if any.
-fn injected_fault(shard: usize) -> Option<Fault> {
-    let fault = std::env::var("SPARQLOG_SHARD_FAULT").ok()?;
-    if let Ok(scoped) = std::env::var("SPARQLOG_SHARD_FAULT_SHARD") {
-        if scoped.trim().parse::<usize>() != Ok(shard) {
-            return None;
-        }
-    }
-    match fault.trim() {
-        "die" => Some(Fault::Die),
-        "wrong-version" => Some(Fault::WrongVersion),
-        "truncate" => Some(Fault::Truncate),
-        "abort-mid-stream" => Some(Fault::AbortMidStream),
-        "stderr-flood" => Some(Fault::StderrFlood),
-        _ => None,
-    }
-}
-
 /// Analyses the assigned logs and writes the framed snapshot to `out`.
 ///
 /// The per-log [`DatasetAnalysis`](sparqlog_core::analysis::DatasetAnalysis)
@@ -150,38 +142,42 @@ fn injected_fault(shard: usize) -> Option<Fault> {
 /// for these logs — per-dataset folds never depend on which other logs share
 /// the run — which is what makes the coordinator's merged report
 /// byte-identical to the unsharded one.
-pub fn run(config: &WorkerConfig, out: &mut impl Write) -> io::Result<()> {
-    let fault = injected_fault(config.shard);
-    if fault == Some(Fault::Die) {
-        eprintln!("injected fault: die (shard {})", config.shard);
-        std::process::exit(3);
-    }
-    if fault == Some(Fault::WrongVersion) {
-        out.write_all(&crate::codec::MAGIC)?;
-        out.write_all(&[crate::codec::VERSION.wrapping_add(1)])?;
-        out.flush()?;
-        return Ok(());
-    }
-    if fault == Some(Fault::Truncate) {
-        write_stream_header(out)?;
-        // Declare a 64-byte frame but deliver only 10 bytes of it.
-        out.write_all(&[64])?;
-        out.write_all(&[0u8; 10])?;
-        out.flush()?;
-        return Ok(());
-    }
-    if fault == Some(Fault::StderrFlood) {
-        // Several pipe buffers of diagnostics *before* any stdout is
-        // written: without a concurrent stderr drain, the coordinator
-        // (blocked reading stdout) and this worker (blocked writing
-        // stderr) would deadlock. The run then proceeds normally.
-        let line = "injected fault: stderr-flood padding line\n".repeat(64);
-        let stderr = io::stderr();
-        let mut handle = stderr.lock();
-        for _ in 0..128 {
-            handle.write_all(line.as_bytes())?;
+///
+/// The writer must be `Send`: with a heartbeat period configured, a scoped
+/// side thread shares it (behind a mutex) to interleave liveness frames.
+pub fn run(config: &WorkerConfig, out: &mut (impl Write + Send)) -> io::Result<()> {
+    let fault = faults::injected(config.shard);
+    match fault {
+        Some(FaultMode::Die) => {
+            eprintln!("injected fault: die (shard {})", config.shard);
+            std::process::exit(3);
         }
-        handle.flush()?;
+        Some(FaultMode::WrongVersion) => {
+            out.write_all(&crate::codec::MAGIC)?;
+            out.write_all(&[crate::codec::VERSION.wrapping_add(1)])?;
+            return out.flush();
+        }
+        Some(FaultMode::Truncate) => {
+            write_stream_header(out)?;
+            // Declare a 64-byte frame but deliver only 10 bytes of it.
+            out.write_all(&[64])?;
+            out.write_all(&[0u8; 10])?;
+            return out.flush();
+        }
+        Some(FaultMode::StderrFlood) => {
+            // Several pipe buffers of diagnostics *before* any stdout is
+            // written: without a concurrent stderr drain, the coordinator
+            // (blocked reading stdout) and this worker (blocked writing
+            // stderr) would deadlock. The run then proceeds normally.
+            let line = "injected fault: stderr-flood padding line\n".repeat(64);
+            let stderr = io::stderr();
+            let mut handle = stderr.lock();
+            for _ in 0..128 {
+                handle.write_all(line.as_bytes())?;
+            }
+            handle.flush()?;
+        }
+        _ => {}
     }
 
     let readers: Vec<Box<dyn LogReader>> = config
@@ -192,6 +188,86 @@ pub fn run(config: &WorkerConfig, out: &mut impl Write) -> io::Result<()> {
                 .map(|reader| Box::new(reader) as Box<dyn LogReader>)
         })
         .collect::<io::Result<_>>()?;
+
+    // The header goes out (and is flushed) before the analysis starts:
+    // liveness observation begins the moment the worker is healthy, not
+    // after its possibly-long first fold.
+    write_stream_header(out)?;
+    out.flush()?;
+
+    if fault == Some(FaultMode::Stall) {
+        // A wedged worker: header written, then nothing — no frames and no
+        // heartbeats (the beat thread is not running yet). Only a
+        // heartbeat/stall timeout can tell this apart from a slow analysis.
+        eprintln!("injected fault: stall (shard {})", config.shard);
+        std::thread::sleep(faults::stall_duration());
+    }
+
+    let stop = AtomicBool::new(false);
+    let shared = Mutex::new(out);
+    std::thread::scope(|scope| {
+        if let Some(period) = config.heartbeat {
+            let (shared, stop) = (&shared, &stop);
+            scope.spawn(move || heartbeat_loop(period, shared, stop));
+        }
+        let result = stream_frames(config, fault, readers, &shared, &stop);
+        // Error paths must release the heartbeat thread too.
+        stop.store(true, Ordering::Release);
+        result
+    })
+}
+
+/// Interleaves heartbeat frames into the shared writer every `period` until
+/// `stop` is set. Sleeps in short steps so shutdown is prompt, and re-checks
+/// `stop` *after* taking the writer lock — the analysis thread sets it while
+/// holding the lock after the epilogue, so no beat can trail the epilogue.
+fn heartbeat_loop<W: Write>(period: Duration, shared: &Mutex<&mut W>, stop: &AtomicBool) {
+    let mut seq = 0u64;
+    loop {
+        let mut slept = Duration::ZERO;
+        while slept < period {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            let step = (period - slept).min(Duration::from_millis(20));
+            std::thread::sleep(step);
+            slept += step;
+        }
+        let Ok(mut guard) = shared.lock() else {
+            return;
+        };
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        seq += 1;
+        let beat = Frame::Heartbeat(HeartbeatFrame { seq });
+        if beat
+            .write_to(&mut **guard)
+            .and_then(|()| guard.flush())
+            .is_err()
+        {
+            // Broken pipe: the consumer is gone. The analysis thread will
+            // hit the same error on its next frame; just stop beating.
+            return;
+        }
+    }
+}
+
+/// The analysis half of [`run`]: folds the readers and streams log frames +
+/// the epilogue through the shared writer.
+fn stream_frames<W: Write>(
+    config: &WorkerConfig,
+    fault: Option<FaultMode>,
+    readers: Vec<Box<dyn LogReader>>,
+    shared: &Mutex<&mut W>,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    if fault == Some(FaultMode::Delay) {
+        // A slow-but-healthy worker: heartbeats keep flowing while this
+        // thread sleeps, so a supervisor must NOT kill it.
+        eprintln!("injected fault: delay (shard {})", config.shard);
+        std::thread::sleep(faults::delay_duration());
+    }
     let fused = analyze_streams_with(
         readers,
         config.population,
@@ -201,7 +277,6 @@ pub fn run(config: &WorkerConfig, out: &mut impl Write) -> io::Result<()> {
         },
     )?;
 
-    write_stream_header(out)?;
     let frames = config
         .logs
         .iter()
@@ -209,29 +284,34 @@ pub fn run(config: &WorkerConfig, out: &mut impl Write) -> io::Result<()> {
         .zip(fused.corpus.datasets);
     let mut written = 0u64;
     for ((assigned, summary), analysis) in frames {
+        let mut guard = shared.lock().expect("writer lock");
         Frame::from(LogFrame {
             index: assigned.index,
             summary,
             analysis,
         })
-        .write_to(out)?;
+        .write_to(&mut **guard)?;
         written += 1;
-        if fault == Some(Fault::AbortMidStream) {
+        if fault == Some(FaultMode::AbortMidStream) {
             // Simulate a worker killed mid-stream: the first frame reaches
             // the pipe, then the process dies abruptly — no epilogue, no
             // clean exit status.
-            out.flush()?;
+            guard.flush()?;
             eprintln!("injected fault: abort-mid-stream (shard {})", config.shard);
             std::process::abort();
         }
     }
+    let mut guard = shared.lock().expect("writer lock");
     Frame::Epilogue(EpilogueFrame {
         log_frames: written,
         cache: fused.stats.cache.unwrap_or_default(),
         fused: fused.fused,
     })
-    .write_to(out)?;
-    out.flush()
+    .write_to(&mut **guard)?;
+    // Stop the heartbeat thread while the writer is still held: it re-checks
+    // the flag under this same lock, so no beat can follow the epilogue.
+    stop.store(true, Ordering::Release);
+    guard.flush()
 }
 
 /// The worker binary's entry point: parses `args`, streams the snapshot to
@@ -246,8 +326,9 @@ pub fn run_cli(args: impl IntoIterator<Item = String>) -> i32 {
             return 2;
         }
     };
-    let stdout = io::stdout();
-    let mut out = io::BufWriter::new(stdout.lock());
+    // `Stdout` (not `StdoutLock`) so the writer is `Send` for the heartbeat
+    // thread; the BufWriter keeps per-write locking off the hot path.
+    let mut out = io::BufWriter::new(io::stdout());
     match run(&config, &mut out) {
         Ok(()) => 0,
         Err(error) => {
@@ -275,6 +356,8 @@ mod tests {
             "valid",
             "--workers",
             "4",
+            "--heartbeat-ms",
+            "250",
             "--log",
             "0",
             "DBpedia15",
@@ -288,6 +371,7 @@ mod tests {
         assert_eq!(config.shard, 2);
         assert_eq!(config.population, Population::Valid);
         assert_eq!(config.workers, 4);
+        assert_eq!(config.heartbeat, Some(Duration::from_millis(250)));
         assert_eq!(config.logs.len(), 2);
         assert_eq!(config.logs[1].index, 3);
         assert_eq!(config.logs[1].label, "label with spaces");
@@ -299,24 +383,33 @@ mod tests {
         assert!(parse_args(args(&["--population", "everything"])).is_err());
         assert!(parse_args(args(&["--log", "0", "l"])).is_err()); // missing path
         assert!(parse_args(args(&["--frobnicate"])).is_err());
+        assert!(parse_args(args(&["--heartbeat-ms", "soon"])).is_err());
+        // Zero disables heartbeats rather than erroring.
+        let config = parse_args(args(&["--heartbeat-ms", "0", "--log", "0", "l", "/tmp/x"]));
+        assert_eq!(config.unwrap().heartbeat, None);
     }
 
-    #[test]
-    fn worker_streams_a_decodable_snapshot() {
-        let dir = std::env::temp_dir().join(format!("sparqlog-worker-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
+    fn sample_log(dir: &std::path::Path) -> PathBuf {
         let path = dir.join("log.txt");
         let mut file = std::fs::File::create(&path).unwrap();
         writeln!(file, "SELECT ?x WHERE {{ ?x a <http://C> }}").unwrap();
         writeln!(file, "SELECT  ?x WHERE {{ ?x a <http://C> }}").unwrap();
         writeln!(file, "ASK {{ ?a <http://p> ?b }}").unwrap();
         writeln!(file, "not sparql").unwrap();
-        drop(file);
+        path
+    }
+
+    #[test]
+    fn worker_streams_a_decodable_snapshot() {
+        let dir = std::env::temp_dir().join(format!("sparqlog-worker-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = sample_log(&dir);
 
         let config = WorkerConfig {
             shard: 0,
             population: Population::Valid,
             workers: 1,
+            heartbeat: None,
             logs: vec![AssignedLog {
                 index: 7,
                 label: "unit".to_string(),
@@ -336,6 +429,37 @@ mod tests {
         assert_eq!(frame.summary.counts.unique, 2);
         assert_eq!(snapshot.epilogue.log_frames, 1);
         assert_eq!(snapshot.epilogue.cache.distinct, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeating_worker_still_streams_a_valid_snapshot() {
+        let dir = std::env::temp_dir().join(format!(
+            "sparqlog-worker-heartbeat-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = sample_log(&dir);
+
+        // An aggressive 1 ms period: even if beats race the (fast) analysis,
+        // the stream must stay decodable — no beat may trail the epilogue.
+        let config = WorkerConfig {
+            shard: 0,
+            population: Population::Unique,
+            workers: 1,
+            heartbeat: Some(Duration::from_millis(1)),
+            logs: vec![AssignedLog {
+                index: 0,
+                label: "unit".to_string(),
+                path,
+            }],
+        };
+        let mut stream = Vec::new();
+        run(&config, &mut stream).unwrap();
+        let (snapshot, bytes) = read_snapshot(stream.as_slice()).unwrap();
+        assert_eq!(bytes, stream.len() as u64);
+        assert_eq!(snapshot.logs.len(), 1);
+        assert_eq!(snapshot.epilogue.log_frames, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

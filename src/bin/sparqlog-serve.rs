@@ -1,0 +1,118 @@
+//! The analysis daemon CLI: listens on a TCP or Unix socket, accepts
+//! log-analysis jobs from `sparqlog-client`, and fans them out to a pool
+//! of supervised `sparqlog-shard-worker` processes.
+//!
+//! ```text
+//! sparqlog-serve [--tcp ADDR | --unix PATH] [options]
+//! ```
+//!
+//! * `--tcp ADDR`            listen on a TCP address (default `127.0.0.1:7878`;
+//!   `127.0.0.1:0` picks an ephemeral port and prints it)
+//! * `--unix PATH`           listen on a Unix-domain socket instead
+//! * `--slots N`             concurrent worker processes (default: parallelism)
+//! * `--workers N`           analysis threads per worker process
+//! * `--heartbeat-ms N`      worker liveness heartbeat period (default 200)
+//! * `--stall-timeout-ms N`  kill workers silent this long (default: off)
+//! * `--max-restarts N`      restarts per partition before the job fails
+//! * `--backoff-ms N`        first restart backoff, doubling per attempt
+//! * `--outbox N`            per-session response outbox capacity (frames)
+//! * `--shed`                shed slow consumers instead of blocking them
+//! * `--event-log PATH`      mirror the structured event log to a file
+//!
+//! SIGTERM/SIGINT drain gracefully: in-flight jobs finish, new submits are
+//! rejected, then the daemon exits.
+
+use sparqlog::serve::{ServeAddr, ServeConfig, Server, SlowConsumerPolicy};
+use sparqlog::shard::WorkerCommand;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sparqlog-serve [--tcp ADDR | --unix PATH] [--slots N] [--workers N] \
+         [--heartbeat-ms N] [--stall-timeout-ms N] [--max-restarts N] [--backoff-ms N] \
+         [--outbox N] [--shed] [--event-log PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = ServeAddr::Tcp("127.0.0.1:7878".to_string());
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => match args.next() {
+                Some(spec) => addr = ServeAddr::Tcp(spec),
+                None => usage(),
+            },
+            "--unix" => match args.next() {
+                Some(path) => addr = ServeAddr::Unix(path.into()),
+                None => usage(),
+            },
+            "--slots" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.worker_slots = n,
+                None => usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.worker_threads = n,
+                None => usage(),
+            },
+            "--heartbeat-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.heartbeat = Duration::from_millis(n),
+                None => usage(),
+            },
+            "--stall-timeout-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(0) => config.stall_timeout = None,
+                Some(n) => config.stall_timeout = Some(Duration::from_millis(n)),
+                None => usage(),
+            },
+            "--max-restarts" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.max_restarts = n,
+                None => usage(),
+            },
+            "--backoff-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.restart_backoff = Duration::from_millis(n),
+                None => usage(),
+            },
+            "--outbox" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.outbox_frames = n,
+                None => usage(),
+            },
+            "--shed" => config.slow_policy = SlowConsumerPolicy::Shed,
+            "--event-log" => match args.next() {
+                Some(path) => config.event_log_path = Some(path.into()),
+                None => usage(),
+            },
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    config.worker = match WorkerCommand::resolve_default() {
+        Ok(worker) => worker,
+        Err(error) => {
+            eprintln!("sparqlog-serve: {error}");
+            std::process::exit(1);
+        }
+    };
+
+    sparqlog::serve::signal::install();
+    let server = match Server::bind(config, &addr) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("sparqlog-serve: bind failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(ServeAddr::Tcp(spec)) => eprintln!("sparqlog-serve: listening on tcp {spec}"),
+        Ok(ServeAddr::Unix(path)) => {
+            eprintln!("sparqlog-serve: listening on unix {}", path.display());
+        }
+        Err(_) => {}
+    }
+    if let Err(error) = server.run() {
+        eprintln!("sparqlog-serve: {error}");
+        std::process::exit(1);
+    }
+}

@@ -17,7 +17,7 @@
 //! executable, or via the `SPARQLOG_SHARD_WORKER` environment variable.
 
 use sparqlog::core::{report, Population};
-use sparqlog::shard::{analyze_sharded, LogSpec, ShardOptions, WorkerCommand};
+use sparqlog::shard::{analyze_sharded_all, LogSpec, ShardOptions, WorkerCommand};
 
 fn usage() -> ! {
     eprintln!(
@@ -70,7 +70,7 @@ fn main() {
         worker_threads,
         worker,
     };
-    match analyze_sharded(&logs, population, &options) {
+    match analyze_sharded_all(&logs, population, &options) {
         Ok(sharded) => {
             if full {
                 println!("{}", report::full_report(&sharded.corpus));
@@ -85,8 +85,17 @@ fn main() {
                 sharded.cache.misses
             );
         }
-        Err(error) => {
-            eprintln!("sparqlog-shard: {error}");
+        Err(failure) => {
+            // Partial failures list every failed shard, not just the first,
+            // so a flaky machine's whole blast radius is visible in one run.
+            eprintln!("sparqlog-shard: {} shard(s) failed", failure.errors.len());
+            eprintln!("  {:>5}  error", "shard");
+            for error in &failure.errors {
+                match error.shard() {
+                    Some(shard) => eprintln!("  {shard:>5}  {error}"),
+                    None => eprintln!("  {:>5}  {error}", "-"),
+                }
+            }
             std::process::exit(1);
         }
     }

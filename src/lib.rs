@@ -27,9 +27,14 @@
 //! * [`core`] — the corpus pipeline (parallel ingestion, the single-pass
 //!   analysis engine, report drivers).
 //! * [`shard`] — multi-process sharded analysis: the binary snapshot codec,
-//!   the `sparqlog-shard-worker` mode and the coordinator that merges
+//!   the `sparqlog-shard-worker` mode, the reusable worker supervision
+//!   layer (heartbeats, stall detection) and the coordinator that merges
 //!   per-process snapshots into reports byte-identical to the
 //!   single-process engine's.
+//! * [`serve`] — the long-running analysis daemon: TCP/Unix-socket
+//!   sessions submit jobs, a supervised worker pool restarts and
+//!   reassigns dead workers, and incremental reports stream back to any
+//!   number of concurrent clients.
 //!
 //! Offline shims for the third-party dependencies live under `vendor/` (see
 //! `vendor/README.md`), and `crates/bench` hosts one harness binary per
@@ -134,6 +139,31 @@
 //! println!("{}", report::table1(&sharded.corpus));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! # The analysis service
+//!
+//! The same supervision layer powers a long-running daemon
+//! ([`serve`], the `sparqlog-serve` / `sparqlog-client` binaries): jobs
+//! arrive over a socket, partitions fan out to supervised worker
+//! processes (heartbeat liveness, bounded-backoff restarts,
+//! reassignment without double-counting), and a complete job's report is
+//! byte-identical to the in-process engine's:
+//!
+//! ```no_run
+//! use sparqlog::core::Population;
+//! use sparqlog::serve::{Client, ServeAddr};
+//! use std::time::Duration;
+//!
+//! let addr = ServeAddr::Tcp("127.0.0.1:7878".to_string());
+//! let mut client = Client::connect(&addr)?;
+//! let (job, _partitions) = client.submit(
+//!     Population::Unique,
+//!     vec![("DBpedia15".to_string(), "logs/dbpedia15.log".to_string())],
+//! )?;
+//! client.wait_settled(job, Duration::from_secs(600))?;
+//! println!("{}", client.report(job, true)?.text);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 pub use sparqlog_algebra as algebra;
 pub use sparqlog_core as core;
@@ -141,6 +171,7 @@ pub use sparqlog_gmark as gmark;
 pub use sparqlog_graph as graph;
 pub use sparqlog_parser as parser;
 pub use sparqlog_paths as paths;
+pub use sparqlog_serve as serve;
 pub use sparqlog_shard as shard;
 pub use sparqlog_store as store;
 pub use sparqlog_streaks as streaks;

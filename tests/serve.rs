@@ -1,0 +1,465 @@
+//! The networked analysis service, exercised end-to-end over real sockets
+//! and real worker processes: concurrent clients must read byte-identical
+//! complete reports (equal to the single-process fused engine's), a slow
+//! consumer must not stall other sessions, a graceful drain must finish
+//! in-flight jobs while refusing new ones, and a worker killed
+//! mid-partition must be restarted and reassigned with no double-counted
+//! occurrence in the Unique population.
+//!
+//! The CI determinism matrix pins `SPARQLOG_WORKERS` (analysis threads per
+//! worker process); without it the tests default to 2.
+
+use sparqlog::core::corpus::{analyze_streams_with, FileLogReader, FusedOptions, LogReader};
+use sparqlog::core::report::full_report;
+use sparqlog::core::Population;
+use sparqlog::serve::protocol::{self, Request, Response};
+use sparqlog::serve::{
+    Client, ClientError, JobPhase, ServeAddr, ServeConfig, Server, ServerHandle, SlowConsumerPolicy,
+};
+use sparqlog::shard::codec::FrameReader;
+use sparqlog::shard::{LogSpec, WorkerCommand};
+use sparqlog::synth::{generate_single_day_log, Dataset};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// The worker binary built alongside this test (same package, same profile).
+const WORKER: &str = env!("CARGO_BIN_EXE_sparqlog-shard-worker");
+
+/// How long to wait for jobs that should succeed (generous: CI machines
+/// are slow and single-core).
+const SETTLE: Duration = Duration::from_secs(300);
+
+/// A scratch directory removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir =
+            std::env::temp_dir().join(format!("sparqlog-serve-test-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Writes a duplicate-heavy corpus (three synthesized day logs, each tiled
+/// three times, with cross-log duplicates) to one file per log.
+fn write_corpus(dir: &Path) -> Vec<LogSpec> {
+    let mut raw: Vec<(String, Vec<String>)> = Vec::new();
+    for (i, dataset) in [Dataset::DBpedia15, Dataset::WikiData17, Dataset::BioP13]
+        .iter()
+        .enumerate()
+    {
+        let day = generate_single_day_log(*dataset, 60, 900 + i as u64);
+        let mut entries = Vec::new();
+        for _ in 0..3 {
+            entries.extend(day.entries.iter().cloned());
+        }
+        raw.push((day.dataset.label().to_string(), entries));
+    }
+    // Cross-log duplicates: the first log's head reappears in the last log.
+    // A reassigned partition that double-counted would shift the Unique
+    // population here.
+    let head: Vec<String> = raw[0].1.iter().take(20).cloned().collect();
+    raw[2].1.extend(head);
+
+    raw.into_iter()
+        .enumerate()
+        .map(|(index, (label, entries))| {
+            let path = dir.join(format!("{index:02}.log"));
+            let mut file =
+                std::io::BufWriter::new(std::fs::File::create(&path).expect("create log file"));
+            for entry in &entries {
+                writeln!(file, "{entry}").expect("write log line");
+            }
+            file.flush().expect("flush log file");
+            LogSpec::new(label, path)
+        })
+        .collect()
+}
+
+/// The single-process fused reference over the same on-disk files.
+fn fused_reference(logs: &[LogSpec], population: Population) -> String {
+    let readers: Vec<Box<dyn LogReader>> = logs
+        .iter()
+        .map(|log| {
+            Box::new(FileLogReader::open(log.label.clone(), &log.path).expect("open log"))
+                as Box<dyn LogReader>
+        })
+        .collect();
+    let fused = analyze_streams_with(readers, population, FusedOptions::default())
+        .expect("fused reference run");
+    full_report(&fused.corpus)
+}
+
+fn worker_threads() -> usize {
+    std::env::var("SPARQLOG_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(2)
+}
+
+fn base_config(worker: WorkerCommand) -> ServeConfig {
+    ServeConfig {
+        worker,
+        worker_slots: 2,
+        worker_threads: worker_threads(),
+        heartbeat: Duration::from_millis(50),
+        restart_backoff: Duration::from_millis(10),
+        ..ServeConfig::default()
+    }
+}
+
+/// Binds on an ephemeral port, runs the accept loop on a background
+/// thread, and returns the resolved address plus control handles.
+fn start_server(
+    config: ServeConfig,
+) -> (
+    ServeAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind(config, &ServeAddr::Tcp("127.0.0.1:0".to_string())).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    (addr, handle, runner)
+}
+
+fn submit_specs(logs: &[LogSpec]) -> Vec<(String, String)> {
+    logs.iter()
+        .map(|log| (log.label.clone(), log.path.display().to_string()))
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_read_byte_identical_complete_reports() {
+    let scratch = Scratch::new("concurrent");
+    let logs = write_corpus(scratch.path());
+    let reference = fused_reference(&logs, Population::Unique);
+    let (addr, handle, runner) = start_server(base_config(WorkerCommand::new(WORKER)));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let (draining, jobs) = client.ping().expect("ping");
+    assert!(!draining);
+    assert_eq!(jobs, 0);
+    let (job, partitions) = client
+        .submit(Population::Unique, submit_specs(&logs))
+        .expect("submit");
+    assert_eq!(partitions, logs.len() as u64);
+    let status = client.wait_settled(job, SETTLE).expect("wait");
+    assert_eq!(status.phase, JobPhase::Complete, "{}", status.error);
+    assert_eq!(status.completed, logs.len() as u64);
+    assert_eq!(status.restarts, 0);
+
+    // Several fresh sessions read the complete report concurrently; every
+    // copy must be byte-identical to the fused engine's.
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                client.report(job, true).expect("report")
+            })
+        })
+        .collect();
+    for reader in readers {
+        let report = reader.join().expect("reader thread");
+        assert!(report.complete);
+        assert_eq!(report.text, reference);
+    }
+
+    // The event log is queryable over the wire and names worker pids.
+    let lines = client.events(job).expect("events");
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("event=worker-start") && l.contains("pid=")),
+        "{lines:?}"
+    );
+    assert!(
+        lines.iter().any(|l| l.contains("event=job-complete")),
+        "{lines:?}"
+    );
+
+    handle.stop();
+    runner.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn a_slow_consumer_blocks_only_its_own_session() {
+    // No jobs involved: the outbox path is exercised with pipelined pings.
+    let config = ServeConfig {
+        outbox_frames: 2,
+        writer_pause: Duration::from_millis(50),
+        slow_policy: SlowConsumerPolicy::Block,
+        ..base_config(WorkerCommand::new(WORKER))
+    };
+    let (addr, handle, runner) = start_server(config);
+    let ServeAddr::Tcp(spec) = &addr else {
+        unreachable!()
+    };
+
+    // The slow session pipelines 40 requests without reading a single
+    // response: its 2-frame outbox fills and, under the Block policy, its
+    // reader thread stalls. Draining takes >= 40 * 50ms = 2s.
+    let mut slow = TcpStream::connect(spec.as_str()).expect("connect slow");
+    protocol::write_header(&mut slow).expect("header");
+    for _ in 0..40 {
+        protocol::write_request(&mut slow, &Request::Ping).expect("pipelined ping");
+    }
+
+    // A healthy session served in the meantime must not feel it.
+    let started = Instant::now();
+    let mut healthy = Client::connect(&addr).expect("connect healthy");
+    healthy.ping().expect("healthy ping");
+    let latency = started.elapsed();
+    assert!(
+        latency < Duration::from_millis(1500),
+        "healthy session stalled behind the slow one: {latency:?}"
+    );
+
+    // The Block policy loses nothing: all 40 responses eventually arrive.
+    let mut frames = FrameReader::new(slow.try_clone().expect("clone"));
+    frames.read_header().expect("server header");
+    for i in 0..40 {
+        let response = protocol::read_response(&mut frames)
+            .expect("read response")
+            .unwrap_or_else(|| panic!("stream ended after {i} responses"));
+        assert!(matches!(response, Response::Pong { .. }));
+    }
+
+    handle.stop();
+    runner.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn a_slow_consumer_is_shed_under_the_shed_policy() {
+    let config = ServeConfig {
+        outbox_frames: 1,
+        writer_pause: Duration::from_millis(100),
+        slow_policy: SlowConsumerPolicy::Shed,
+        ..base_config(WorkerCommand::new(WORKER))
+    };
+    let (addr, handle, runner) = start_server(config);
+    let ServeAddr::Tcp(spec) = &addr else {
+        unreachable!()
+    };
+
+    let mut slow = TcpStream::connect(spec.as_str()).expect("connect slow");
+    protocol::write_header(&mut slow).expect("header");
+    for _ in 0..10 {
+        protocol::write_request(&mut slow, &Request::Ping).expect("pipelined ping");
+    }
+    // The connection must close early: the session is shed, not served.
+    // The shutdown may even beat the server's header onto the wire, so a
+    // failed header read counts as zero responses, not a test failure.
+    let mut frames = FrameReader::new(slow.try_clone().expect("clone"));
+    let mut answered = 0;
+    if frames.read_header().is_ok() {
+        while let Ok(Some(_)) = protocol::read_response(&mut frames) {
+            answered += 1;
+        }
+    }
+    assert!(
+        answered < 10,
+        "shed session still got all {answered} responses"
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !handle
+        .events()
+        .snapshot()
+        .iter()
+        .any(|l| l.contains("event=outbox-shed"))
+    {
+        assert!(Instant::now() < deadline, "no outbox-shed event logged");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    handle.stop();
+    runner.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_jobs_and_rejects_new_ones() {
+    let scratch = Scratch::new("drain");
+    let logs = write_corpus(scratch.path());
+    let reference = fused_reference(&logs, Population::Valid);
+    let (addr, handle, runner) = start_server(base_config(WorkerCommand::new(WORKER)));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let (job, _) = client
+        .submit(Population::Valid, submit_specs(&logs))
+        .expect("submit");
+    client.drain().expect("drain");
+    let (draining, _) = client.ping().expect("ping");
+    assert!(draining);
+
+    // New submissions are refused — on this session and on fresh ones.
+    let rejected = client.submit(Population::Valid, submit_specs(&logs));
+    assert!(
+        matches!(&rejected, Err(ClientError::Server(message)) if message.contains("draining")),
+        "{rejected:?}"
+    );
+    let mut late = Client::connect(&addr).expect("late connect");
+    assert!(late
+        .submit(Population::Unique, submit_specs(&logs))
+        .is_err());
+
+    // The in-flight job still runs to completion and serves its report.
+    let status = client.wait_settled(job, SETTLE).expect("wait");
+    assert_eq!(status.phase, JobPhase::Complete, "{}", status.error);
+    let report = client.report(job, true).expect("report");
+    assert!(report.complete);
+    assert_eq!(report.text, reference);
+
+    handle.stop();
+    runner.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn a_killed_worker_is_restarted_and_nothing_is_double_counted() {
+    // `die` kills the worker before its first frame; `abort-mid-stream`
+    // kills it after it has already flushed a complete log frame — the
+    // stronger case for the no-double-count guarantee, since a careless
+    // merge of the partial snapshot plus the restarted worker's full one
+    // would fold the first log's occurrences twice.
+    for fault in ["die", "abort-mid-stream"] {
+        let scratch = Scratch::new(&format!("kill-{fault}"));
+        let logs = write_corpus(scratch.path());
+        let reference = fused_reference(&logs, Population::Unique);
+        let flag = scratch.path().join("fault.flag");
+        let worker = WorkerCommand::new(WORKER)
+            .env("SPARQLOG_SHARD_FAULT", fault)
+            .env("SPARQLOG_SHARD_FAULT_SHARD", "1")
+            .env("SPARQLOG_SHARD_FAULT_FLAG", flag.display().to_string());
+        let (addr, handle, runner) = start_server(base_config(worker));
+
+        let mut client = Client::connect(&addr).expect("connect");
+        let (job, _) = client
+            .submit(Population::Unique, submit_specs(&logs))
+            .expect("submit");
+        let status = client.wait_settled(job, SETTLE).expect("wait");
+        assert_eq!(
+            status.phase,
+            JobPhase::Complete,
+            "{fault}: {}",
+            status.error
+        );
+        assert!(
+            status.restarts >= 1,
+            "{fault}: the fault never fired (restarts = 0)"
+        );
+        let report = client.report(job, true).expect("report");
+        assert!(report.complete);
+        assert_eq!(
+            report.text, reference,
+            "{fault}: report diverged after worker restart"
+        );
+
+        let lines = client.events(job).expect("events");
+        assert!(
+            lines.iter().any(|l| l.contains("event=worker-death")),
+            "{fault}: {lines:?}"
+        );
+        assert!(
+            lines
+                .iter()
+                .any(|l| l.contains("event=partition-recovered") && l.contains("latency_ms=")),
+            "{fault}: {lines:?}"
+        );
+
+        handle.stop();
+        runner.join().expect("server thread").expect("server run");
+    }
+}
+
+#[test]
+fn heartbeats_keep_a_slow_but_alive_worker_from_being_killed() {
+    // The delayed worker goes quiet on log frames for three times the
+    // stall timeout — but its heartbeat thread keeps beating, so the
+    // supervisor must NOT kill it. This is the test that heartbeats
+    // actually feed the activity clock.
+    let scratch = Scratch::new("delay");
+    let logs = write_corpus(scratch.path());
+    let reference = fused_reference(&logs, Population::Unique);
+    let flag = scratch.path().join("fault.flag");
+    let worker = WorkerCommand::new(WORKER)
+        .env("SPARQLOG_SHARD_FAULT", "delay")
+        .env("SPARQLOG_SHARD_FAULT_SHARD", "0")
+        .env("SPARQLOG_SHARD_FAULT_DELAY_MS", "1500")
+        .env("SPARQLOG_SHARD_FAULT_FLAG", flag.display().to_string());
+    let config = ServeConfig {
+        stall_timeout: Some(Duration::from_millis(500)),
+        ..base_config(worker)
+    };
+    let (addr, handle, runner) = start_server(config);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let (job, _) = client
+        .submit(Population::Unique, submit_specs(&logs))
+        .expect("submit");
+    let status = client.wait_settled(job, SETTLE).expect("wait");
+    assert_eq!(status.phase, JobPhase::Complete, "{}", status.error);
+    assert_eq!(
+        status.restarts, 0,
+        "a heartbeating worker was wrongly declared dead"
+    );
+    let report = client.report(job, true).expect("report");
+    assert_eq!(report.text, reference);
+
+    handle.stop();
+    runner.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn a_stalled_worker_is_killed_by_the_heartbeat_timeout_and_recovered() {
+    // The stalling worker writes its header and then nothing — no frames,
+    // no heartbeats. Only the supervisor's stall timeout can detect it;
+    // pipe EOF never comes.
+    let scratch = Scratch::new("stall");
+    let logs = write_corpus(scratch.path());
+    let reference = fused_reference(&logs, Population::Unique);
+    let flag = scratch.path().join("fault.flag");
+    let worker = WorkerCommand::new(WORKER)
+        .env("SPARQLOG_SHARD_FAULT", "stall")
+        .env("SPARQLOG_SHARD_FAULT_SHARD", "0")
+        .env("SPARQLOG_SHARD_FAULT_FLAG", flag.display().to_string());
+    let config = ServeConfig {
+        stall_timeout: Some(Duration::from_millis(500)),
+        ..base_config(worker)
+    };
+    let (addr, handle, runner) = start_server(config);
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let (job, _) = client
+        .submit(Population::Unique, submit_specs(&logs))
+        .expect("submit");
+    let status = client.wait_settled(job, SETTLE).expect("wait");
+    assert_eq!(status.phase, JobPhase::Complete, "{}", status.error);
+    assert!(status.restarts >= 1, "the stall never fired");
+    let report = client.report(job, true).expect("report");
+    assert_eq!(report.text, reference);
+
+    let lines = client.events(job).expect("events");
+    assert!(
+        lines
+            .iter()
+            .any(|l| l.contains("event=worker-death") && l.contains("stalled")),
+        "{lines:?}"
+    );
+
+    handle.stop();
+    runner.join().expect("server thread").expect("server run");
+}
