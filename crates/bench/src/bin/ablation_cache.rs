@@ -64,6 +64,7 @@ fn main() {
     // -- End-to-end analysis of the Valid ("all") population. ---------------
     let repeats = 5;
     let uncached_options = EngineOptions {
+        recovery: Default::default(),
         cache: CachePolicy::Disabled,
         ..EngineOptions::default()
     };

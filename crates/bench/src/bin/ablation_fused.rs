@@ -51,6 +51,7 @@ fn run_staged(
     let logs = ingest_streams_with(
         open_file_readers(files),
         StreamOptions {
+            recovery: Default::default(),
             workers,
             ..StreamOptions::default()
         },
@@ -61,6 +62,7 @@ fn run_staged(
         &logs,
         population,
         EngineOptions {
+            recovery: Default::default(),
             workers,
             ..EngineOptions::default()
         },
@@ -77,6 +79,7 @@ fn run_fused(files: &[(String, PathBuf)], population: Population, workers: usize
         open_file_readers(files),
         population,
         FusedOptions {
+            recovery: Default::default(),
             workers,
             ..FusedOptions::default()
         },

@@ -181,6 +181,7 @@ fn main() {
                 readers,
                 population,
                 FusedOptions {
+                    recovery: Default::default(),
                     workers,
                     ..FusedOptions::default()
                 },

@@ -98,7 +98,9 @@ fn run_job(
         .map(|(label, path)| (label.clone(), path.display().to_string()))
         .collect();
     let mut client = Client::connect(addr).expect("connect client");
-    let (job, _partitions) = client.submit(population, specs).expect("submit job");
+    let (job, _partitions) = client
+        .submit(population, Default::default(), specs)
+        .expect("submit job");
     let status = client.wait_settled(job, SETTLE).expect("wait settled");
     let report = client.report(job, true).expect("fetch report");
     (status, report.text)

@@ -55,6 +55,7 @@ fn run_sharded(
     worker: &WorkerCommand,
 ) -> ShardedAnalysis {
     let options = ShardOptions {
+        recovery: Default::default(),
         shards,
         worker_threads: 0,
         worker: worker.clone(),

@@ -12,6 +12,7 @@
 use crate::cache::{AnalysisCache, CacheStats};
 use crate::corpus::{CorpusCounts, IngestedLog};
 use crate::query_analysis::QueryAnalysis;
+use crate::recover::{ErrorTally, RecoveryPolicy};
 use serde::{Deserialize, Serialize};
 use sparqlog_algebra::opsets::classify_from_features;
 use sparqlog_algebra::{FragmentTally, KeywordTally, OpSetTally, ProjectionTally, TripleHistogram};
@@ -152,6 +153,12 @@ pub struct DatasetAnalysis {
     pub label: String,
     /// Table-1 counts.
     pub counts: CorpusCounts,
+    /// The malformed-entry tally of this dataset (per-kind counts and the
+    /// earliest offending positions). Set from the log header like
+    /// `counts`, never from the per-query fold — worker accumulators carry
+    /// empty tallies, and the corpus-level merge aggregates them into the
+    /// "Total" row.
+    pub errors: ErrorTally,
     /// Keyword census (Table 2 / 7).
     pub keywords: KeywordTally,
     /// Triples-per-query histogram (Figure 1 / 8).
@@ -228,6 +235,9 @@ impl DatasetAnalysis {
     /// and then scaled equals `times` repeated adds of the same record —
     /// the building block of [`DatasetAnalysis::add_times`].
     pub fn scale(&mut self, times: u64) {
+        // `errors` is deliberately untouched: error tallies are header
+        // state (set per log, like `label`), never part of the per-query
+        // fold, so scaled accumulators always carry an empty tally.
         self.counts.scale(times);
         self.keywords.scale(times);
         self.triples.scale(times);
@@ -309,6 +319,7 @@ impl DatasetAnalysis {
     /// corpus-level "all datasets" row).
     pub fn merge(&mut self, other: &DatasetAnalysis) {
         self.counts.merge(&other.counts);
+        self.errors.merge(&other.errors);
         self.keywords.merge(&other.keywords);
         self.triples.merge(&other.triples);
         self.opsets.merge(&other.opsets);
@@ -397,6 +408,13 @@ pub struct EngineOptions {
     pub chunk_size: usize,
     /// Whether to memoize per-query analyses by canonical fingerprint.
     pub cache: CachePolicy,
+    /// The recovery policy of the run this analysis belongs to. The
+    /// analysis engine itself never parses — recovery happened during
+    /// ingestion, whose tallies ride in on [`IngestedLog::errors`] — so
+    /// the field only drives [`CorpusAnalysis::enforce_budget`], which
+    /// staged drivers call after analysis to fail a run whose merged
+    /// defect rate exceeds an [`RecoveryPolicy::ErrorBudget`].
+    pub recovery: RecoveryPolicy,
 }
 
 impl EngineOptions {
@@ -507,6 +525,18 @@ pub(crate) fn merge_into_corpus(
 }
 
 impl CorpusAnalysis {
+    /// Checks the corpus's merged error tally (the "Total" row) against the
+    /// policy's error budget: `Ok(())` unless the resolved policy is an
+    /// [`RecoveryPolicy::ErrorBudget`] whose defect rate is exceeded, in
+    /// which case the error carries a
+    /// [`BudgetExceeded`](crate::recover::BudgetExceeded) payload with the
+    /// preserved tally. The streaming entry points run this check
+    /// themselves; staged drivers that assemble a [`CorpusAnalysis`] from
+    /// pre-ingested logs call it explicitly.
+    pub fn enforce_budget(&self, policy: RecoveryPolicy) -> std::io::Result<()> {
+        crate::recover::enforce_budget(policy, &self.combined.errors, self.combined.counts.total)
+    }
+
     /// Analyses a set of ingested logs over the chosen population, using all
     /// available cores.
     pub fn analyze(logs: &[IngestedLog], population: Population) -> CorpusAnalysis {
@@ -617,6 +647,7 @@ impl CorpusAnalysis {
             .map(|log| DatasetAnalysis {
                 label: log.label.clone(),
                 counts: log.counts,
+                errors: log.errors.clone(),
                 ..DatasetAnalysis::default()
             })
             .collect();

@@ -98,6 +98,7 @@ pub fn analyze_multiwalk(logs: &[IngestedLog], population: Population) -> Corpus
         let mut analysis = DatasetAnalysis {
             label: log.label.clone(),
             counts: log.counts,
+            errors: log.errors.clone(),
             ..DatasetAnalysis::default()
         };
         match population {

@@ -26,9 +26,12 @@
 //! the differential baseline and the API for callers who need the parsed
 //! queries themselves.
 
+use crate::recover::{reader_defect, ErrorTally, ReaderDefect, RecoveryContext, RecoveryPolicy};
 use serde::{Deserialize, Serialize};
 use sparqlog_parser::bytescan::find_newline;
-use sparqlog_parser::{canonical_fingerprint_of, parse_query, to_canonical_string, Query};
+use sparqlog_parser::{
+    canonical_fingerprint_of, to_canonical_string, Arena, ErrorKind, ParseError, Query,
+};
 use std::collections::HashSet;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::io::{self, BufRead, BufReader};
@@ -115,6 +118,13 @@ pub struct IngestedLog {
     /// Indices into `valid_queries` of the first occurrence of each distinct
     /// query — the *unique* corpus the paper's main analysis runs on.
     pub unique_indices: Vec<usize>,
+    /// The malformed-entry tally of this log: which kinds of failures the
+    /// invalid entries were (`counts.total - counts.valid` in sum), with the
+    /// earliest offending positions. The materializing entry points recover
+    /// per entry unconditionally ([`RecoveryPolicy::Lenient`] semantics —
+    /// their signatures predate the policy and cannot fail); the streaming
+    /// entry points honour [`StreamOptions::recovery`].
+    pub errors: ErrorTally,
 }
 
 impl IngestedLog {
@@ -147,19 +157,51 @@ pub fn default_workers() -> usize {
 // The materializing reference path (seed semantics, kept for differentials).
 // ---------------------------------------------------------------------------
 
-/// Folds a log's parse results (in entry order) into counts, the query list
-/// and the fingerprint-deduplicated unique indices, materializing each
-/// canonical string before hashing it — the reference semantics.
-fn assemble(label: &str, total: u64, parsed: impl Iterator<Item = Option<Query>>) -> IngestedLog {
+/// Parses one entry to an owned [`Query`] through the shared recovery
+/// helper: hard resource guards, the panic drill and panic isolation all
+/// apply, and a failure comes back as a kind-classified [`ParseError`].
+/// Every per-entry parse in this module — materializing, zero-copy and
+/// streaming alike — routes through this one function, so the engines
+/// cannot drift in what they count as invalid.
+fn parse_owned(entry: &str, ctx: &RecoveryContext, arena: &mut Arena) -> Result<Query, ParseError> {
+    arena.reset();
+    let parsed = ctx.parse_entry(entry, arena, |query| query.to_owned());
+    if parsed
+        .as_ref()
+        .is_err_and(|error| error.kind == ErrorKind::WorkerPanic)
+    {
+        // The unwind may have left a partially filled chunk; release it.
+        arena.trim();
+    }
+    parsed
+}
+
+/// Folds a log's parse results (in entry order) into counts, the error
+/// tally, the query list and the fingerprint-deduplicated unique indices,
+/// materializing each canonical string before hashing it — the reference
+/// semantics.
+fn assemble(
+    label: &str,
+    total: u64,
+    parsed: impl Iterator<Item = Result<Query, ParseError>>,
+) -> IngestedLog {
     let mut counts = CorpusCounts {
         total,
         ..CorpusCounts::default()
     };
+    let mut errors = ErrorTally::default();
     let mut valid_queries = Vec::new();
     let mut fingerprints = Vec::new();
     let mut unique_indices = Vec::new();
     let mut seen: HashSet<u128> = HashSet::new();
-    for query in parsed.flatten() {
+    for (position, entry) in parsed.enumerate() {
+        let query = match entry {
+            Ok(query) => query,
+            Err(error) => {
+                errors.record(error.kind, position as u64);
+                continue;
+            }
+        };
         counts.valid += 1;
         if !query.has_body() {
             counts.bodyless += 1;
@@ -179,18 +221,27 @@ fn assemble(label: &str, total: u64, parsed: impl Iterator<Item = Option<Query>>
         valid_queries,
         fingerprints,
         unique_indices,
+        errors,
     }
 }
 
 /// Parses and deduplicates one raw log sequentially through the materializing
 /// path (canonical strings are built and then hashed). This is the reference
 /// implementation the streaming engine is proven byte-identical to.
+///
+/// Recovery is per entry, unconditionally (the signature predates
+/// [`RecoveryPolicy`] and cannot fail): every malformed entry — lex/syntax
+/// invalidity, tripped resource guards, caught panics — is tallied in
+/// [`IngestedLog::errors`] and counted as invalid.
 pub fn ingest(log: &RawLog) -> IngestedLog {
-    assemble(
-        &log.label,
-        log.entries.len() as u64,
-        log.entries.iter().map(|entry| parse_query(entry).ok()),
-    )
+    let ctx = RecoveryContext::new(RecoveryPolicy::Lenient);
+    let mut arena = Arena::new();
+    let parsed: Vec<Result<Query, ParseError>> = log
+        .entries
+        .iter()
+        .map(|entry| parse_owned(entry, &ctx, &mut arena))
+        .collect();
+    assemble(&log.label, log.entries.len() as u64, parsed.into_iter())
 }
 
 /// Entries per parse chunk: large enough to amortize scheduling, small
@@ -218,31 +269,37 @@ pub fn ingest_all_materializing(logs: &[RawLog]) -> Vec<IngestedLog> {
     }
 
     // (log index, chunk start, parse results for the chunk's entries).
-    type ParsedChunk = (usize, usize, Vec<Option<Query>>);
+    type ParsedChunk = (usize, usize, Vec<Result<Query, ParseError>>);
+    let ctx = RecoveryContext::new(RecoveryPolicy::Lenient);
     let cursor = AtomicUsize::new(0);
     let parsed_chunks: Mutex<Vec<ParsedChunk>> = Mutex::new(Vec::with_capacity(chunks.len()));
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&(log_index, start, end)) = chunks.get(i) else {
-                    break;
-                };
-                let parsed: Vec<Option<Query>> = logs[log_index].entries[start..end]
-                    .iter()
-                    .map(|entry| parse_query(entry).ok())
-                    .collect();
-                parsed_chunks
-                    .lock()
-                    .expect("ingestion workers must not panic")
-                    .push((log_index, start, parsed));
+            scope.spawn(|| {
+                let mut arena = Arena::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(log_index, start, end)) = chunks.get(i) else {
+                        break;
+                    };
+                    let parsed: Vec<Result<Query, ParseError>> = logs[log_index].entries
+                        [start..end]
+                        .iter()
+                        .map(|entry| parse_owned(entry, &ctx, &mut arena))
+                        .collect();
+                    parsed_chunks
+                        .lock()
+                        .expect("ingestion workers must not panic")
+                        .push((log_index, start, parsed));
+                }
             });
         }
     });
 
     // Reassemble per log in entry order; counting and dedup are cheap
     // relative to parsing and stay sequential per log.
-    let mut per_log: Vec<Vec<(usize, Vec<Option<Query>>)>> = vec![Vec::new(); logs.len()];
+    type LogPart = (usize, Vec<Result<Query, ParseError>>);
+    let mut per_log: Vec<Vec<LogPart>> = vec![Vec::new(); logs.len()];
     for (log_index, start, parsed) in parsed_chunks.into_inner().expect("no poisoned workers") {
         per_log[log_index].push((start, parsed));
     }
@@ -275,14 +332,16 @@ pub fn ingest_all(logs: &[RawLog]) -> Vec<IngestedLog> {
         }
     }
     let workers = default_workers().min(chunks.len());
-    let parse_chunk = |log_index: usize, start: usize, end: usize| -> Vec<ParsedEntry> {
-        parse_batch(&logs[log_index].entries[start..end])
-    };
+    let ctx = RecoveryContext::new(RecoveryPolicy::Lenient);
 
     let parsed_chunks: Vec<(usize, usize, Vec<ParsedEntry>)> = if workers <= 1 {
+        let mut arena = Arena::new();
         chunks
             .iter()
-            .map(|&(log_index, start, end)| (log_index, start, parse_chunk(log_index, start, end)))
+            .map(|&(log_index, start, end)| {
+                let parsed = parse_batch(&logs[log_index].entries[start..end], &ctx, &mut arena);
+                (log_index, start, parsed)
+            })
             .collect()
     } else {
         let cursor = AtomicUsize::new(0);
@@ -290,15 +349,19 @@ pub fn ingest_all(logs: &[RawLog]) -> Vec<IngestedLog> {
             Mutex::new(Vec::with_capacity(chunks.len()));
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(log_index, start, end)) = chunks.get(i) else {
-                        break;
-                    };
-                    let parsed = parse_chunk(log_index, start, end);
-                    sink.lock()
-                        .expect("ingestion workers must not panic")
-                        .push((log_index, start, parsed));
+                scope.spawn(|| {
+                    let mut arena = Arena::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(log_index, start, end)) = chunks.get(i) else {
+                            break;
+                        };
+                        let parsed =
+                            parse_batch(&logs[log_index].entries[start..end], &ctx, &mut arena);
+                        sink.lock()
+                            .expect("ingestion workers must not panic")
+                            .push((log_index, start, parsed));
+                    }
                 });
             }
         });
@@ -316,7 +379,10 @@ pub fn ingest_all(logs: &[RawLog]) -> Vec<IngestedLog> {
             assemble_streamed(
                 log.label.clone(),
                 log.entries.len() as u64,
-                parts.into_iter().map(|(_, parsed)| parsed),
+                parts
+                    .into_iter()
+                    .map(|(start, parsed)| (start as u64, parsed)),
+                ErrorTally::default(),
                 DEDUP_SHARDS,
                 workers.max(1),
             )
@@ -465,6 +531,9 @@ pub struct LineLogReader<R> {
     /// Bytes of a line whose terminator has not been seen yet (the line
     /// straddles a buffer refill, or the stream ended without a newline).
     pending: Vec<u8>,
+    /// Lines produced so far; makes the 1-based line number of a malformed
+    /// line available to the [`ReaderDefect`] error payload.
+    line: u64,
     /// Estimated entries remaining, when the stream's total size is known up
     /// front (file-backed readers); decremented as lines are read.
     estimated_remaining: Option<usize>,
@@ -478,6 +547,7 @@ impl<R: BufRead + Send> LineLogReader<R> {
             label: label.into(),
             reader,
             pending: Vec::new(),
+            line: 0,
             estimated_remaining: None,
         }
     }
@@ -494,6 +564,7 @@ impl<R: BufRead + Send> LineLogReader<R> {
             label: label.into(),
             reader,
             pending: Vec::new(),
+            line: 0,
             estimated_remaining: Some(entries),
         }
     }
@@ -501,16 +572,22 @@ impl<R: BufRead + Send> LineLogReader<R> {
     /// Converts raw line bytes (`\n` already excluded) into the entry
     /// string. A trailing `\r` is stripped only when a `\n` terminator was
     /// actually found — `BufRead::read_line` semantics: an unterminated
-    /// final line ending in `\r` keeps that byte. UTF-8 errors mirror
-    /// `read_line`'s too.
-    fn into_entry(mut line: Vec<u8>, newline_terminated: bool) -> io::Result<String> {
+    /// final line ending in `\r` keeps that byte. Invalid UTF-8 surfaces as
+    /// an `InvalidData` error whose [`ReaderDefect`] payload names the log
+    /// and the 1-based line number, so a strict-mode failure points at the
+    /// offending line and a lenient run can tally it.
+    fn finish_entry(&mut self, mut line: Vec<u8>, newline_terminated: bool) -> io::Result<String> {
+        self.line += 1;
         if newline_terminated && line.last() == Some(&b'\r') {
             line.pop();
         }
         String::from_utf8(line).map_err(|_| {
             io::Error::new(
                 io::ErrorKind::InvalidData,
-                "stream did not contain valid UTF-8",
+                ReaderDefect {
+                    label: self.label.clone(),
+                    line: self.line,
+                },
             )
         })
     }
@@ -524,7 +601,8 @@ impl<R: BufRead + Send> LineLogReader<R> {
                 if self.pending.is_empty() {
                     return Ok(None);
                 }
-                return Self::into_entry(std::mem::take(&mut self.pending), false).map(Some);
+                let pending = std::mem::take(&mut self.pending);
+                return self.finish_entry(pending, false).map(Some);
             }
             match find_newline(buffer) {
                 Some(position) => {
@@ -536,7 +614,7 @@ impl<R: BufRead + Send> LineLogReader<R> {
                         line
                     };
                     self.reader.consume(position + 1);
-                    return Self::into_entry(line, true).map(Some);
+                    return self.finish_entry(line, true).map(Some);
                 }
                 None => {
                     self.pending.extend_from_slice(buffer);
@@ -817,8 +895,9 @@ fn first_occurrences(
 // The streaming ingestion engine.
 // ---------------------------------------------------------------------------
 
-/// Tuning knobs for the streaming ingestion engine. The result never depends
-/// on them — only the schedule and the memory profile do.
+/// Tuning knobs for the streaming ingestion engine. Apart from the recovery
+/// policy — which decides whether a defective run fails at all — the result
+/// never depends on them; only the schedule and the memory profile do.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StreamOptions {
     /// Worker threads; `0` uses [`default_workers`] (which honours the
@@ -828,6 +907,9 @@ pub struct StreamOptions {
     pub batch: usize,
     /// Dedup shards per log; `0` picks the default (16).
     pub shards: usize,
+    /// What to do on defective entries (invalid UTF-8 lines, tripped
+    /// resource guards, caught panics); see [`RecoveryPolicy`].
+    pub recovery: RecoveryPolicy,
 }
 
 impl StreamOptions {
@@ -852,12 +934,20 @@ impl StreamOptions {
     }
 }
 
-/// One parsed entry: the query (if the entry was valid SPARQL) and the
-/// streamed canonical fingerprint of its canonical form.
-type ParsedEntry = (Option<Query>, u128);
+/// One parsed entry: the query and its streamed canonical fingerprint when
+/// the entry was valid SPARQL, or the kind-classified parse failure.
+type ParsedEntry = Result<(Query, u128), ParseError>;
 
-/// A parsed batch tagged with (log index, batch sequence number).
-type ParsedBatch = (usize, usize, Vec<ParsedEntry>);
+/// A parsed batch tagged with (log index, batch sequence number, entry
+/// start position).
+type ParsedBatch = (usize, usize, u64, Vec<ParsedEntry>);
+
+/// The tag of one claimed batch: which log it belongs to, its sequence
+/// number within that log, and the 0-based position of its first entry.
+/// Positions are assigned here, under the single batch-source lock, which
+/// is what makes error-exemplar positions identical for every worker count
+/// and batch schedule.
+pub(crate) type BatchTag = (usize, usize, u64);
 
 /// The shared batch dispenser: readers are drained one batch at a time under
 /// a short lock; parsing and fingerprinting happen outside it. Shared with
@@ -868,32 +958,75 @@ pub(crate) struct BatchSource<'a> {
     pub(crate) sequence: usize,
     pub(crate) totals: Vec<u64>,
     pub(crate) batch_size: usize,
+    /// Whether reader-level defects (malformed lines) recover: tallied
+    /// per log here, at the source, instead of failing the run.
+    pub(crate) recover: bool,
+    /// Per-log reader-defect tallies (only [`ErrorKind::InvalidUtf8`] so
+    /// far); merged into the per-log parse tallies at end of run.
+    pub(crate) tallies: Vec<ErrorTally>,
 }
 
-impl BatchSource<'_> {
-    /// Fills `batch` with the next batch and returns its (log, sequence)
-    /// tag, or `None` when every reader is exhausted. On I/O error the
-    /// source marks itself exhausted so other workers drain out.
-    pub(crate) fn next_batch(
-        &mut self,
-        batch: &mut Vec<String>,
-    ) -> io::Result<Option<(usize, usize)>> {
+impl<'a> BatchSource<'a> {
+    pub(crate) fn new(
+        readers: Vec<Box<dyn LogReader + 'a>>,
+        batch_size: usize,
+        recover: bool,
+    ) -> BatchSource<'a> {
+        let log_count = readers.len();
+        BatchSource {
+            readers,
+            current: 0,
+            sequence: 0,
+            totals: vec![0; log_count],
+            batch_size,
+            recover,
+            tallies: vec![ErrorTally::default(); log_count],
+        }
+    }
+
+    /// Fills `batch` with the next batch and returns its [`BatchTag`], or
+    /// `None` when every reader is exhausted.
+    ///
+    /// A recoverable reader defect (a malformed line, when `recover` is
+    /// set) is tallied here and consumes one entry position; the partially
+    /// filled batch — the valid lines read before the defect — is returned
+    /// immediately so every batch stays position-contiguous. On a real I/O
+    /// error (or any reader error in strict mode) the source marks itself
+    /// exhausted so other workers drain out.
+    pub(crate) fn next_batch(&mut self, batch: &mut Vec<String>) -> io::Result<Option<BatchTag>> {
         loop {
             if self.current >= self.readers.len() {
                 return Ok(None);
             }
+            let before = batch.len();
             match self.readers[self.current].read_batch(batch, self.batch_size) {
                 Ok(0) => {
                     self.current += 1;
                     self.sequence = 0;
                 }
                 Ok(appended) => {
+                    let start = self.totals[self.current];
                     self.totals[self.current] += appended as u64;
-                    let tag = (self.current, self.sequence);
+                    let tag = (self.current, self.sequence, start);
                     self.sequence += 1;
                     return Ok(Some(tag));
                 }
                 Err(error) => {
+                    // Lines read before the defect are already in `batch`.
+                    let appended = (batch.len() - before) as u64;
+                    if self.recover && reader_defect(&error) {
+                        let start = self.totals[self.current];
+                        self.tallies[self.current].record(ErrorKind::InvalidUtf8, start + appended);
+                        // The defective line occupies an entry position of
+                        // its own, after the lines that preceded it.
+                        self.totals[self.current] += appended + 1;
+                        if appended > 0 {
+                            let tag = (self.current, self.sequence, start);
+                            self.sequence += 1;
+                            return Ok(Some(tag));
+                        }
+                        continue;
+                    }
                     self.current = self.readers.len();
                     return Err(error);
                 }
@@ -902,28 +1035,50 @@ impl BatchSource<'_> {
     }
 }
 
-/// Parses one batch: each entry is parsed and, when valid, fingerprinted by
-/// streaming its canonical form into the FNV state — no canonical string.
-fn parse_batch(batch: &[String]) -> Vec<ParsedEntry> {
+/// Parses one batch through the shared guarded per-entry helper: each valid
+/// entry is fingerprinted by streaming its canonical form into the FNV
+/// state — no canonical string — and each failure keeps its kind-classified
+/// error for the caller's policy to tally or abort on.
+fn parse_batch(batch: &[String], ctx: &RecoveryContext, arena: &mut Arena) -> Vec<ParsedEntry> {
     batch
         .iter()
-        .map(|entry| match parse_query(entry) {
-            Ok(query) => {
+        .map(|entry| {
+            parse_owned(entry, ctx, arena).map(|query| {
                 let fingerprint = canonical_fingerprint_of(&query);
-                (Some(query), fingerprint)
-            }
-            Err(_) => (None, 0),
+                (query, fingerprint)
+            })
         })
         .collect()
 }
 
-/// Folds one log's parsed entries (already restored to entry order) into an
-/// [`IngestedLog`] through the sharded first-occurrence dedup. Shared by the
-/// streaming engine and the zero-copy [`ingest_all`] wrapper.
+/// Scans a parsed batch for a failure the policy cannot recover from and
+/// builds the structured strict-mode error (log label, entry position,
+/// underlying parse error). Shared by the staged and fused worker loops.
+fn fatal_in_batch(
+    parsed: &[ParsedEntry],
+    ctx: &RecoveryContext,
+    label: &str,
+    start: u64,
+) -> Option<io::Error> {
+    parsed.iter().enumerate().find_map(|(offset, entry)| {
+        entry
+            .as_ref()
+            .err()
+            .filter(|error| ctx.fatal(error.kind))
+            .map(|error| ctx.fatal_error(label, start + offset as u64, error))
+    })
+}
+
+/// Folds one log's parsed entries (already restored to entry order, each
+/// part tagged with its start position) into an [`IngestedLog`] through the
+/// sharded first-occurrence dedup, tallying parse failures at their batch
+/// positions on top of the reader-level tally. Shared by the streaming
+/// engine and the zero-copy [`ingest_all`] wrapper.
 fn assemble_streamed(
     label: String,
     total: u64,
-    parts: impl IntoIterator<Item = Vec<ParsedEntry>>,
+    parts: impl IntoIterator<Item = (u64, Vec<ParsedEntry>)>,
+    mut errors: ErrorTally,
     shard_count: usize,
     workers: usize,
 ) -> IngestedLog {
@@ -933,15 +1088,20 @@ fn assemble_streamed(
     };
     let mut valid_queries = Vec::new();
     let mut fingerprints = Vec::new();
-    for parsed in parts {
-        for (query, fingerprint) in parsed {
-            if let Some(query) = query {
-                counts.valid += 1;
-                if !query.has_body() {
-                    counts.bodyless += 1;
+    for (start, parsed) in parts {
+        for (offset, entry) in parsed.into_iter().enumerate() {
+            match entry {
+                Ok((query, fingerprint)) => {
+                    counts.valid += 1;
+                    if !query.has_body() {
+                        counts.bodyless += 1;
+                    }
+                    valid_queries.push(query);
+                    fingerprints.push(fingerprint);
                 }
-                valid_queries.push(query);
-                fingerprints.push(fingerprint);
+                Err(error) => {
+                    errors.record(error.kind, start + offset as u64);
+                }
             }
         }
     }
@@ -958,6 +1118,7 @@ fn assemble_streamed(
         valid_queries,
         fingerprints,
         unique_indices,
+        errors,
     }
 }
 
@@ -999,21 +1160,21 @@ pub fn ingest_streams_with(
 ) -> io::Result<Vec<IngestedLog>> {
     let (workers, batch_size, shard_count) = options.resolve();
     let workers = clamp_workers(&readers, workers, batch_size);
+    let ctx = RecoveryContext::new(options.recovery);
     let labels: Vec<String> = readers.iter().map(|r| r.label().to_string()).collect();
     let log_count = readers.len();
-    let mut source = BatchSource {
-        readers,
-        current: 0,
-        sequence: 0,
-        totals: vec![0; log_count],
-        batch_size,
-    };
+    let mut source = BatchSource::new(readers, batch_size, ctx.policy.recovers());
 
     let parsed_batches: Vec<ParsedBatch> = if workers <= 1 {
         let mut parsed_batches = Vec::new();
         let mut batch = Vec::new();
-        while let Some((log_index, sequence)) = source.next_batch(&mut batch)? {
-            parsed_batches.push((log_index, sequence, parse_batch(&batch)));
+        let mut arena = Arena::new();
+        while let Some((log_index, sequence, start)) = source.next_batch(&mut batch)? {
+            let parsed = parse_batch(&batch, &ctx, &mut arena);
+            if let Some(error) = fatal_in_batch(&parsed, &ctx, &labels[log_index], start) {
+                return Err(error);
+            }
+            parsed_batches.push((log_index, sequence, start, parsed));
             batch.clear();
         }
         parsed_batches
@@ -1025,6 +1186,7 @@ pub fn ingest_streams_with(
             for _ in 0..workers {
                 scope.spawn(|| {
                     let mut batch = Vec::new();
+                    let mut arena = Arena::new();
                     loop {
                         batch.clear();
                         let claimed = source
@@ -1032,11 +1194,20 @@ pub fn ingest_streams_with(
                             .expect("ingestion workers must not panic")
                             .next_batch(&mut batch);
                         match claimed {
-                            Ok(Some((log_index, sequence))) => {
-                                let parsed = parse_batch(&batch);
+                            Ok(Some((log_index, sequence, start))) => {
+                                let parsed = parse_batch(&batch, &ctx, &mut arena);
+                                if let Some(error) =
+                                    fatal_in_batch(&parsed, &ctx, &labels[log_index], start)
+                                {
+                                    failure
+                                        .lock()
+                                        .expect("ingestion workers must not panic")
+                                        .get_or_insert(error);
+                                    break;
+                                }
                                 sink.lock()
                                     .expect("ingestion workers must not panic")
-                                    .push((log_index, sequence, parsed));
+                                    .push((log_index, sequence, start, parsed));
                             }
                             Ok(None) => break,
                             Err(error) => {
@@ -1058,22 +1229,33 @@ pub fn ingest_streams_with(
     };
 
     // Group the parsed batches per log and restore entry order.
-    let mut per_log: Vec<Vec<(usize, Vec<ParsedEntry>)>> = vec![Vec::new(); log_count];
-    for (log_index, sequence, parsed) in parsed_batches {
-        per_log[log_index].push((sequence, parsed));
+    let mut per_log: Vec<Vec<(usize, u64, Vec<ParsedEntry>)>> = vec![Vec::new(); log_count];
+    for (log_index, sequence, start, parsed) in parsed_batches {
+        per_log[log_index].push((sequence, start, parsed));
     }
 
     let mut logs = Vec::with_capacity(log_count);
     for (log_index, (label, mut parts)) in labels.into_iter().zip(per_log).enumerate() {
-        parts.sort_unstable_by_key(|(sequence, _)| *sequence);
+        parts.sort_unstable_by_key(|&(sequence, _, _)| sequence);
         logs.push(assemble_streamed(
             label,
             source.totals[log_index],
-            parts.into_iter().map(|(_, parsed)| parsed),
+            parts.into_iter().map(|(_, start, parsed)| (start, parsed)),
+            std::mem::take(&mut source.tallies[log_index]),
             shard_count,
             workers,
         ));
     }
+
+    // The budget check runs once, over the merged end-of-run tallies, so
+    // the staged pipeline reaches the same verdict as every other engine.
+    let mut combined = ErrorTally::default();
+    let mut total = 0u64;
+    for log in &logs {
+        combined.merge(&log.errors);
+        total += log.counts.total;
+    }
+    crate::recover::enforce_budget(ctx.policy, &combined, total)?;
     Ok(logs)
 }
 
@@ -1182,6 +1364,7 @@ mod tests {
                         workers,
                         batch,
                         shards: 4,
+                        recovery: RecoveryPolicy::default(),
                     },
                 )
                 .unwrap();

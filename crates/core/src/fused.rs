@@ -72,9 +72,10 @@ use crate::corpus::{
     INGEST_CHUNK,
 };
 use crate::query_analysis::QueryAnalysis;
+use crate::recover::{enforce_budget, ErrorTally, RecoveryContext, RecoveryPolicy};
 use serde::{Deserialize, Serialize};
 use sparqlog_parser::intern::{InternStats, Interner};
-use sparqlog_parser::{canonical_fingerprint_of_ref, parse_query_in, Arena};
+use sparqlog_parser::{canonical_fingerprint_of_ref, Arena, ErrorKind};
 use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -89,6 +90,9 @@ pub struct FusedOptions {
     pub workers: usize,
     /// Entries per batch pulled from a reader; `0` picks the default (512).
     pub batch: usize,
+    /// What to do on defective entries (invalid UTF-8 lines, tripped
+    /// resource guards, caught panics); see [`RecoveryPolicy`].
+    pub recovery: RecoveryPolicy,
 }
 
 impl FusedOptions {
@@ -122,6 +126,10 @@ pub struct LogSummary {
     /// `(fingerprint, occurrences)` for every distinct canonical form, in
     /// ascending fingerprint order (deterministic for any schedule).
     pub occurrences: Vec<(u128, u64)>,
+    /// The malformed-entry tally of this log: per-kind counts and the
+    /// earliest offending entry positions, identical for every engine,
+    /// worker count and batch schedule.
+    pub errors: ErrorTally,
 }
 
 impl LogSummary {
@@ -172,6 +180,7 @@ impl LogSummary {
         self.counts.valid += other.counts.valid;
         self.counts.bodyless += other.counts.bodyless;
         self.counts.unique = self.occurrences.len() as u64;
+        self.errors.merge(&other.errors);
     }
 
     /// The occurrence count of a fingerprint, or 0 if the log never saw it.
@@ -222,6 +231,7 @@ pub struct FusedAnalysis {
 /// (first-local-occurrence lookups).
 struct FusedWorker {
     counts: Vec<HashMap<u128, u64, FingerprintBuildHasher>>,
+    tallies: Vec<ErrorTally>,
     interner: Interner,
     arena: Arena,
     lookups: u64,
@@ -231,6 +241,7 @@ impl FusedWorker {
     fn new(log_count: usize) -> FusedWorker {
         FusedWorker {
             counts: (0..log_count).map(|_| HashMap::default()).collect(),
+            tallies: vec![ErrorTally::default(); log_count],
             interner: Interner::new(),
             arena: Arena::new(),
             lookups: 0,
@@ -244,22 +255,51 @@ impl FusedWorker {
     /// and analysis own their data), a duplicate only bumps the local
     /// counter, and steady-state parsing touches the global allocator only
     /// when a canonical form is new.
-    fn process_batch(&mut self, log_index: usize, batch: &[String], cache: &AnalysisCache) {
-        let map = &mut self.counts[log_index];
-        let interner = &mut self.interner;
-        for entry in batch {
+    ///
+    /// Every entry parses through the shared guarded helper
+    /// ([`RecoveryContext::parse_entry`]): resource-guard trips and caught
+    /// panics either abort with a structured error (strict mode) or are
+    /// tallied at the entry's batch-assigned position; plain lex/syntax
+    /// failures are tallied in every mode, exactly as the staged pipeline
+    /// counts them.
+    fn process_batch(
+        &mut self,
+        log_index: usize,
+        start: u64,
+        batch: &[String],
+        cache: &AnalysisCache,
+        ctx: &RecoveryContext,
+        label: &str,
+    ) -> io::Result<()> {
+        for (offset, entry) in batch.iter().enumerate() {
             self.arena.reset();
-            let Ok(query) = parse_query_in(entry, &self.arena) else {
-                continue;
-            };
-            let fingerprint = canonical_fingerprint_of_ref(&query);
-            let slot = map.entry(fingerprint).or_insert(0);
-            if *slot == 0 {
-                self.lookups += 1;
-                cache.get_or_insert_with(fingerprint, || QueryAnalysis::of_ref(&query, interner));
+            let map = &mut self.counts[log_index];
+            let interner = &mut self.interner;
+            let lookups = &mut self.lookups;
+            let parsed = ctx.parse_entry(entry, &self.arena, |query| {
+                let fingerprint = canonical_fingerprint_of_ref(&query);
+                let slot = map.entry(fingerprint).or_insert(0);
+                if *slot == 0 {
+                    *lookups += 1;
+                    cache.get_or_insert_with(fingerprint, || {
+                        QueryAnalysis::of_ref(&query, interner)
+                    });
+                }
+                *slot += 1;
+            });
+            if let Err(error) = parsed {
+                if error.kind == ErrorKind::WorkerPanic {
+                    // The unwind may have left a partially filled chunk;
+                    // release the arena's memory entirely.
+                    self.arena.trim();
+                }
+                if ctx.fatal(error.kind) {
+                    return Err(ctx.fatal_error(label, start + offset as u64, &error));
+                }
+                self.tallies[log_index].record(error.kind, start + offset as u64);
             }
-            *slot += 1;
         }
+        Ok(())
     }
 }
 
@@ -300,15 +340,10 @@ pub fn analyze_streams_cached(
 ) -> io::Result<FusedAnalysis> {
     let (workers, batch_size) = options.resolve();
     let workers = clamp_workers(&readers, workers, batch_size).max(1);
+    let ctx = RecoveryContext::new(options.recovery);
     let labels: Vec<String> = readers.iter().map(|r| r.label().to_string()).collect();
     let log_count = readers.len();
-    let mut source = BatchSource {
-        readers,
-        current: 0,
-        sequence: 0,
-        totals: vec![0; log_count],
-        batch_size,
-    };
+    let mut source = BatchSource::new(readers, batch_size, ctx.policy.recovers());
 
     let batches = AtomicU64::new(0);
     let inflight = AtomicUsize::new(0);
@@ -325,9 +360,9 @@ pub fn analyze_streams_cached(
     let states: Vec<FusedWorker> = if workers == 1 {
         let mut worker = FusedWorker::new(log_count);
         let mut batch = Vec::new();
-        while let Some((log_index, _sequence)) = source.next_batch(&mut batch)? {
+        while let Some((log_index, _sequence, start)) = source.next_batch(&mut batch)? {
             note_claimed(batch.len());
-            worker.process_batch(log_index, &batch, cache);
+            worker.process_batch(log_index, start, &batch, cache, &ctx, &labels[log_index])?;
             note_done(batch.len());
             batch.clear();
         }
@@ -348,10 +383,24 @@ pub fn analyze_streams_cached(
                                 .expect("fused workers must not panic")
                                 .next_batch(&mut batch);
                             match claimed {
-                                Ok(Some((log_index, _sequence))) => {
+                                Ok(Some((log_index, _sequence, start))) => {
                                     note_claimed(batch.len());
-                                    worker.process_batch(log_index, &batch, cache);
+                                    let processed = worker.process_batch(
+                                        log_index,
+                                        start,
+                                        &batch,
+                                        cache,
+                                        &ctx,
+                                        &labels[log_index],
+                                    );
                                     note_done(batch.len());
+                                    if let Err(error) = processed {
+                                        failure
+                                            .lock()
+                                            .expect("fused workers must not panic")
+                                            .get_or_insert(error);
+                                        break;
+                                    }
                                 }
                                 Ok(None) => break,
                                 Err(error) => {
@@ -378,14 +427,21 @@ pub fn analyze_streams_cached(
         states
     };
 
-    // Merge the per-worker occurrence maps per log, collect counters.
+    // Merge the per-worker occurrence maps and error tallies per log
+    // (commutative, so worker order is irrelevant), collect counters. The
+    // reader-level defect tallies accumulated at the batch source seed the
+    // per-log totals.
     let mut merged: Vec<HashMap<u128, u64, FingerprintBuildHasher>> =
         (0..log_count).map(|_| HashMap::default()).collect();
+    let mut tallies: Vec<ErrorTally> = std::mem::take(&mut source.tallies);
     let mut interner_stats = InternStats::default();
     let mut lookups = 0u64;
     for state in states {
         interner_stats.merge(&state.interner.stats());
         lookups += state.lookups;
+        for (log_index, tally) in state.tallies.iter().enumerate() {
+            tallies[log_index].merge(tally);
+        }
         for (log_index, map) in state.counts.into_iter().enumerate() {
             let target = &mut merged[log_index];
             if target.is_empty() {
@@ -437,7 +493,22 @@ pub fn analyze_streams_cached(
                 bodyless,
             },
             occurrences,
+            errors: std::mem::take(&mut tallies[log_index]),
         });
+    }
+
+    // The budget check runs once, over the merged end-of-run tallies. The
+    // shard workers and the serve path stream as Lenient and leave this
+    // check to their coordinator, so every deployment reaches the same
+    // verdict over the same merged tallies.
+    {
+        let mut combined = ErrorTally::default();
+        let mut total = 0u64;
+        for summary in &summaries {
+            combined.merge(&summary.errors);
+            total += summary.counts.total;
+        }
+        enforce_budget(ctx.policy, &combined, total)?;
     }
 
     // Duplicate occurrences were absorbed by the local maps without touching
@@ -508,6 +579,7 @@ fn fold_populations(
         .map(|summary| DatasetAnalysis {
             label: summary.label.clone(),
             counts: summary.counts,
+            errors: summary.errors.clone(),
             ..DatasetAnalysis::default()
         })
         .collect();
@@ -653,7 +725,11 @@ mod tests {
                 let fused = analyze_streams_with(
                     readers_of(&ENTRIES),
                     Population::Valid,
-                    FusedOptions { workers, batch },
+                    FusedOptions {
+                        workers,
+                        batch,
+                        recovery: RecoveryPolicy::default(),
+                    },
                 )
                 .unwrap();
                 assert_eq!(

@@ -24,6 +24,10 @@
 //!   interners.
 //! * [`baseline`] — the seed multi-walk path, kept as the reference for
 //!   differential tests and benchmarks.
+//! * [`recover`] — the malformed-input error model: the stable
+//!   [`ErrorKind`] taxonomy, the per-log [`ErrorTally`], and the
+//!   [`RecoveryPolicy`] (strict / lenient / error-budget) every engine
+//!   honours identically.
 //! * [`report`] — plain-text renderers, one per table and figure.
 //!
 //! ```
@@ -36,6 +40,34 @@
 //! let corpus = CorpusAnalysis::analyze(&[log], Population::Unique);
 //! println!("{}", report::table1(&corpus));
 //! ```
+//!
+//! Dirty logs are first-class: in Lenient mode every malformed entry —
+//! unparseable, invalid UTF-8, oversize, too deeply nested, even one that
+//! panics the analyzer — is recovered and tallied per log, and a non-empty
+//! tally appends an error table to the full report:
+//!
+//! ```
+//! use sparqlog_core::corpus::{MemoryLogReader, LogReader};
+//! use sparqlog_core::{analyze_streams_with, report, ErrorKind, FusedOptions, Population,
+//!     RecoveryPolicy};
+//!
+//! let readers: Vec<Box<dyn LogReader>> = vec![Box::new(MemoryLogReader::new(
+//!     "dirty",
+//!     vec![
+//!         "SELECT ?x WHERE { ?x a <http://example.org/C> }".to_string(),
+//!         "SELECT ?x WHERE { ?x <http://p> \"unterminated".to_string(),
+//!     ],
+//! ))];
+//! let fused = analyze_streams_with(
+//!     readers,
+//!     Population::Unique,
+//!     FusedOptions { recovery: RecoveryPolicy::Lenient, ..FusedOptions::default() },
+//! )?;
+//! let tally = &fused.summaries[0].errors;
+//! assert_eq!(tally.count(ErrorKind::Lex), 1);
+//! assert!(report::full_report(&fused.corpus).contains("first errors: lex@1"));
+//! # Ok::<(), std::io::Error>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +78,7 @@ pub mod cache;
 pub mod corpus;
 pub mod fused;
 pub mod query_analysis;
+pub mod recover;
 pub mod report;
 
 pub use analysis::{
@@ -62,3 +95,5 @@ pub use fused::{
     FusedStats, LogSummary,
 };
 pub use query_analysis::QueryAnalysis;
+pub use recover::{BudgetExceeded, ErrorTally, ReaderDefect, RecoveryPolicy};
+pub use sparqlog_parser::ErrorKind;

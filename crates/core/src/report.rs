@@ -4,6 +4,8 @@
 //! print them directly.
 
 use crate::analysis::{CorpusAnalysis, DatasetAnalysis};
+use crate::recover::ErrorTally;
+use sparqlog_parser::ErrorKind;
 use sparqlog_streaks::StreakHistogram;
 use std::fmt::Write as _;
 
@@ -364,6 +366,73 @@ pub fn table5_paths(combined: &DatasetAnalysis) -> String {
     out
 }
 
+/// The malformed-entry tally table: one row per dataset plus the merged
+/// Total row, one column per [`ErrorKind`] in wire-code order, and a final
+/// line naming the earliest offending entry positions. Appended to
+/// [`full_report`] only when the corpus recorded at least one failure, so
+/// clean-corpus reports are byte-identical to earlier releases.
+pub fn error_table(corpus: &CorpusAnalysis) -> String {
+    error_rows(
+        corpus
+            .datasets
+            .iter()
+            .map(|d| (d.label.as_str(), &d.errors)),
+        &corpus.combined.errors,
+    )
+}
+
+/// The error table rendered directly from the fused engine's per-log
+/// [`LogSummary`](crate::fused::LogSummary) records — byte-identical to
+/// [`error_table`] over the corresponding analysis.
+pub fn error_table_from_summaries(summaries: &[crate::fused::LogSummary]) -> String {
+    let mut combined = ErrorTally::default();
+    for summary in summaries {
+        combined.merge(&summary.errors);
+    }
+    error_rows(
+        summaries.iter().map(|s| (s.label.as_str(), &s.errors)),
+        &combined,
+    )
+}
+
+fn error_rows<'a>(
+    rows: impl Iterator<Item = (&'a str, &'a ErrorTally)>,
+    combined: &ErrorTally,
+) -> String {
+    let mut out = String::new();
+    let mut header = format!("{:<14}", "Source");
+    for kind in ErrorKind::ALL {
+        let _ = write!(header, " {:>14}", kind.label());
+    }
+    let _ = writeln!(out, "{header} {:>10}", "Errors");
+    let mut line = |label: &str, tally: &ErrorTally| {
+        let mut row = format!("{label:<14}");
+        for kind in ErrorKind::ALL {
+            let _ = write!(row, " {:>14}", tally.count(kind));
+        }
+        let _ = writeln!(out, "{row} {:>10}", tally.total());
+    };
+    for (label, tally) in rows {
+        line(label, tally);
+    }
+    line("Total", combined);
+    if !combined.exemplars.is_empty() {
+        let list = combined
+            .exemplars
+            .iter()
+            .map(|&(code, position)| {
+                let label = ErrorKind::from_wire_code(code)
+                    .map(ErrorKind::label)
+                    .unwrap_or("unknown");
+                format!("{label}@{position}")
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "first errors: {list}");
+    }
+    out
+}
+
 /// The full corpus report: every table, figure and section renderer above
 /// (except the streak table, which runs on raw single-day logs rather than a
 /// [`CorpusAnalysis`]) concatenated in paper order. This is the
@@ -371,7 +440,7 @@ pub fn table5_paths(combined: &DatasetAnalysis) -> String {
 /// iff their full reports are identical strings.
 pub fn full_report(corpus: &CorpusAnalysis) -> String {
     let combined = &corpus.combined;
-    [
+    let mut sections = vec![
         table1(corpus),
         table2_keywords(combined),
         figure1_triples(corpus),
@@ -383,8 +452,13 @@ pub fn full_report(corpus: &CorpusAnalysis) -> String {
         section61_cycles(combined),
         section62_hypertree(combined),
         table5_paths(combined),
-    ]
-    .join("\n")
+    ];
+    // Appended only when something was tallied: a clean corpus renders the
+    // exact report of releases that predate the error model.
+    if !combined.errors.is_empty() {
+        sections.push(error_table(corpus));
+    }
+    sections.join("\n")
 }
 
 /// Table 6: streak-length histograms for a set of single-day logs.
@@ -497,6 +571,32 @@ mod tests {
         ] {
             assert!(t.contains(row), "missing row {row} in:\n{t}");
         }
+    }
+
+    #[test]
+    fn error_table_lists_malformed_entries_and_total() {
+        let corpus = small_corpus();
+        let t = error_table(&corpus);
+        assert!(t.contains("syntax"), "missing syntax column in:\n{t}");
+        assert!(t.contains("Total"));
+        // "garbage entry" sits at 0-based position 3 of log A.
+        assert!(
+            t.contains("first errors: syntax@3"),
+            "bad exemplars in:\n{t}"
+        );
+        assert!(full_report(&corpus).contains("first errors: syntax@3"));
+    }
+
+    #[test]
+    fn clean_corpora_render_no_error_table() {
+        let logs = vec![ingest(&RawLog::new(
+            "clean",
+            vec!["ASK { <http://s> <http://p> <http://o> }".to_string()],
+        ))];
+        let corpus = CorpusAnalysis::analyze(&logs, Population::Unique);
+        assert!(corpus.combined.errors.is_empty());
+        assert!(!full_report(&corpus).contains("first errors"));
+        assert!(!full_report(&corpus).contains("worker-panic"));
     }
 
     #[test]

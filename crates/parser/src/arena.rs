@@ -158,6 +158,19 @@ impl Arena {
         self.used.set(0);
     }
 
+    /// Rewinds the arena like [`Arena::reset`] but releases **every** chunk,
+    /// returning the arena to its freshly-created, zero-capacity state. The
+    /// corpus pipeline calls this after a resource-guard trip or a caught
+    /// parse panic: whatever high-water mark the pathological entry drove the
+    /// arena to is handed back to the allocator instead of pinned for the
+    /// rest of the worker's life.
+    pub fn trim(&mut self) {
+        self.chunks.get_mut().clear();
+        self.head.set(std::ptr::null_mut());
+        self.end.set(std::ptr::null_mut());
+        self.used.set(0);
+    }
+
     /// Bump-allocates `size` bytes at `align` and returns the start.
     fn alloc_raw(&self, size: usize, align: usize) -> NonNull<u8> {
         debug_assert!(align <= 16, "arena alignment capped at 16");

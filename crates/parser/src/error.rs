@@ -2,17 +2,98 @@
 
 use std::fmt;
 
+/// The stable taxonomy of malformed-entry failures, shared by the parser,
+/// the corpus pipeline's per-log error tallies and the snapshot codec.
+///
+/// Every variant has an **append-only wire code** ([`ErrorKind::wire_code`]):
+/// codes are never renumbered or reused, so snapshots and protocol frames
+/// written by one build decode identically in every later build. New kinds
+/// must be appended with the next free code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorKind {
+    /// The entry failed lexical analysis (unterminated string or IRI, stray
+    /// byte, bad escape).
+    Lex,
+    /// The entry tokenized but is not a syntactically valid query of the
+    /// supported subset.
+    Syntax,
+    /// The raw log bytes were not valid UTF-8 (a reader-level defect — the
+    /// entry never reached the lexer).
+    InvalidUtf8,
+    /// The entry tripped a resource guard before or during tokenization:
+    /// the per-entry byte cap or the token-count cap.
+    OversizeEntry,
+    /// The entry nested deeper than the parser's recursion-depth guard.
+    DepthExceeded,
+    /// Parsing the entry panicked; the panic was caught at the batch
+    /// boundary and recorded instead of killing the worker.
+    WorkerPanic,
+}
+
+impl ErrorKind {
+    /// Number of kinds in the taxonomy.
+    pub const COUNT: usize = 6;
+
+    /// Every kind, in wire-code order.
+    pub const ALL: [ErrorKind; ErrorKind::COUNT] = [
+        ErrorKind::Lex,
+        ErrorKind::Syntax,
+        ErrorKind::InvalidUtf8,
+        ErrorKind::OversizeEntry,
+        ErrorKind::DepthExceeded,
+        ErrorKind::WorkerPanic,
+    ];
+
+    /// The append-only wire code of this kind.
+    pub fn wire_code(self) -> u8 {
+        match self {
+            ErrorKind::Lex => 0,
+            ErrorKind::Syntax => 1,
+            ErrorKind::InvalidUtf8 => 2,
+            ErrorKind::OversizeEntry => 3,
+            ErrorKind::DepthExceeded => 4,
+            ErrorKind::WorkerPanic => 5,
+        }
+    }
+
+    /// The kind for a wire code, or `None` for a code this build does not
+    /// know (a snapshot from a newer build).
+    pub fn from_wire_code(code: u8) -> Option<ErrorKind> {
+        ErrorKind::ALL.get(code as usize).copied()
+    }
+
+    /// A short stable label, used by reports and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Lex => "lex",
+            ErrorKind::Syntax => "syntax",
+            ErrorKind::InvalidUtf8 => "invalid-utf8",
+            ErrorKind::OversizeEntry => "oversize-entry",
+            ErrorKind::DepthExceeded => "depth-exceeded",
+            ErrorKind::WorkerPanic => "worker-panic",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// An error raised while tokenizing or parsing a SPARQL query.
 ///
-/// The error carries a human-readable message and the position (1-based line
-/// and column) where the problem was detected. Query-log entries that are not
-/// SPARQL at all (HTTP requests, truncated strings, …) surface as parse errors
-/// and are counted as *invalid* by the corpus pipeline, mirroring the paper's
-/// "Valid" column in Table 1.
+/// The error carries a human-readable message, a stable [`ErrorKind`] and
+/// the position (1-based line and column) where the problem was detected.
+/// Query-log entries that are not SPARQL at all (HTTP requests, truncated
+/// strings, …) surface as parse errors and are counted as *invalid* by the
+/// corpus pipeline, mirroring the paper's "Valid" column in Table 1.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Human-readable description of the failure.
     pub message: String,
+    /// Which class of failure this is.
+    pub kind: ErrorKind,
     /// 1-based line number of the offending position.
     pub line: u32,
     /// 1-based column number of the offending position.
@@ -20,10 +101,16 @@ pub struct ParseError {
 }
 
 impl ParseError {
-    /// Creates a new error at the given position.
+    /// Creates a new syntax error at the given position.
     pub fn new(message: impl Into<String>, line: u32, column: u32) -> Self {
+        ParseError::with_kind(ErrorKind::Syntax, message, line, column)
+    }
+
+    /// Creates a new error of an explicit kind at the given position.
+    pub fn with_kind(kind: ErrorKind, message: impl Into<String>, line: u32, column: u32) -> Self {
         ParseError {
             message: message.into(),
+            kind,
             line,
             column,
         }
@@ -34,8 +121,8 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "parse error at {}:{}: {}",
-            self.line, self.column, self.message
+            "parse error ({}) at {}:{}: {}",
+            self.kind, self.line, self.column, self.message
         )
     }
 }
@@ -50,10 +137,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn display_contains_position_and_message() {
+    fn display_contains_position_kind_and_message() {
         let e = ParseError::new("unexpected token", 3, 14);
         let s = e.to_string();
         assert!(s.contains("3:14"));
         assert!(s.contains("unexpected token"));
+        assert!(s.contains("syntax"));
+        assert_eq!(e.kind, ErrorKind::Syntax);
+    }
+
+    #[test]
+    fn wire_codes_are_stable_and_round_trip() {
+        // Append-only contract: these exact numbers are on disk in snapshots.
+        assert_eq!(ErrorKind::Lex.wire_code(), 0);
+        assert_eq!(ErrorKind::Syntax.wire_code(), 1);
+        assert_eq!(ErrorKind::InvalidUtf8.wire_code(), 2);
+        assert_eq!(ErrorKind::OversizeEntry.wire_code(), 3);
+        assert_eq!(ErrorKind::DepthExceeded.wire_code(), 4);
+        assert_eq!(ErrorKind::WorkerPanic.wire_code(), 5);
+        for kind in ErrorKind::ALL {
+            assert_eq!(ErrorKind::from_wire_code(kind.wire_code()), Some(kind));
+        }
+        assert_eq!(ErrorKind::from_wire_code(ErrorKind::COUNT as u8), None);
     }
 }

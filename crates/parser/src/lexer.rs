@@ -24,7 +24,7 @@
 
 use crate::arena::{Arena, ArenaVec};
 use crate::bytescan;
-use crate::error::{ParseError, Result};
+use crate::error::{ErrorKind, ParseError, Result};
 use crate::token::{Keyword, Spanned, Token};
 use std::borrow::Cow;
 
@@ -35,7 +35,18 @@ use std::borrow::Cow;
 /// IRIs, stray characters). The corpus pipeline treats such entries as invalid
 /// queries.
 pub fn tokenize_in<'a>(input: &'a str, arena: &'a Arena) -> Result<&'a [Spanned<'a>]> {
-    Lexer::new(input, arena).run()
+    tokenize_in_limited(input, arena, 0)
+}
+
+/// [`tokenize_in`] with a token-count cap: an entry producing more than
+/// `max_tokens` tokens fails with [`ErrorKind::OversizeEntry`] instead of
+/// growing the token buffer without bound. `0` disables the cap.
+pub fn tokenize_in_limited<'a>(
+    input: &'a str,
+    arena: &'a Arena,
+    max_tokens: usize,
+) -> Result<&'a [Spanned<'a>]> {
+    Lexer::new(input, arena, max_tokens).run()
 }
 
 struct Lexer<'a> {
@@ -47,11 +58,13 @@ struct Lexer<'a> {
     /// Byte offset where the current line starts; columns are derived from
     /// it instead of being bumped per byte.
     line_start: usize,
+    /// Token-count cap (`0` = unlimited).
+    max_tokens: usize,
     out: ArenaVec<'a, Spanned<'a>>,
 }
 
 impl<'a> Lexer<'a> {
-    fn new(src: &'a str, arena: &'a Arena) -> Self {
+    fn new(src: &'a str, arena: &'a Arena, max_tokens: usize) -> Self {
         Lexer {
             src,
             bytes: src.as_bytes(),
@@ -59,6 +72,7 @@ impl<'a> Lexer<'a> {
             pos: 0,
             line: 1,
             line_start: 0,
+            max_tokens,
             out: ArenaVec::new(arena),
         }
     }
@@ -70,7 +84,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
-        ParseError::new(msg, self.line, self.col())
+        ParseError::with_kind(ErrorKind::Lex, msg, self.line, self.col())
     }
 
     fn peek(&self) -> Option<u8> {
@@ -285,6 +299,14 @@ impl<'a> Lexer<'a> {
                 }
             };
             self.push(token, offset, line, col);
+            if self.max_tokens > 0 && self.out.len() > self.max_tokens {
+                return Err(ParseError::with_kind(
+                    ErrorKind::OversizeEntry,
+                    format!("entry exceeds the {}-token cap", self.max_tokens),
+                    line,
+                    col,
+                ));
+            }
         }
         Ok(self.out.finish())
     }

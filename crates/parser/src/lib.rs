@@ -77,6 +77,6 @@ pub use display::{
     canonical_fingerprint, canonical_fingerprint_of, canonical_fingerprint_of_ref,
     to_canonical_string, CanonicalHasher,
 };
-pub use error::ParseError;
+pub use error::{ErrorKind, ParseError};
 pub use intern::{InternStats, Interner, Symbol};
-pub use parser::{parse_query, parse_query_in};
+pub use parser::{parse_query, parse_query_in, parse_query_in_with_limits, ParseLimits};

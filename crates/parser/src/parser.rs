@@ -20,10 +20,58 @@
 use crate::arena::{Arena, ArenaVec};
 use crate::ast;
 use crate::ast_ref::*;
-use crate::error::{ParseError, Result};
-use crate::lexer::tokenize_in;
+use crate::error::{ErrorKind, ParseError, Result};
+use crate::lexer::tokenize_in_limited;
 use crate::token::{Keyword, Spanned, Token};
 use std::cell::RefCell;
+
+/// Hard resource guards for parsing adversarial input. Each field is a cap;
+/// `0` disables that guard. The corpus pipeline parses every entry under
+/// [`ParseLimits::default`], so a pathological log line trips a structured
+/// [`ErrorKind::OversizeEntry`] / [`ErrorKind::DepthExceeded`] error instead
+/// of exhausting a worker's memory or stack; the plain [`parse_query`] /
+/// [`parse_query_in`] entry points stay unguarded for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Per-entry byte cap (`0` = unlimited).
+    pub max_entry_bytes: usize,
+    /// Token-count cap (`0` = unlimited).
+    pub max_tokens: usize,
+    /// Parser recursion-depth cap (`0` = unlimited).
+    pub max_depth: usize,
+}
+
+impl ParseLimits {
+    /// Default per-entry byte cap: 1 MiB. Real log entries top out around a
+    /// few hundred KiB; a multi-MiB "entry" is a corrupt or adversarial line.
+    pub const DEFAULT_MAX_ENTRY_BYTES: usize = 1 << 20;
+    /// Default token cap: 256 Ki tokens (several tokens per byte is
+    /// impossible, so this binds the token buffer well under the byte cap).
+    pub const DEFAULT_MAX_TOKENS: usize = 1 << 18;
+    /// Default recursion-depth cap. Generous for real queries (which nest a
+    /// handful of levels) while keeping worst-case stack usage far from the
+    /// 2 MiB spawned-thread default.
+    pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+    /// No guards at all — the behavior of [`parse_query_in`].
+    pub fn none() -> ParseLimits {
+        ParseLimits {
+            max_entry_bytes: 0,
+            max_tokens: 0,
+            max_depth: 0,
+        }
+    }
+}
+
+impl Default for ParseLimits {
+    fn default() -> ParseLimits {
+        ParseLimits {
+            max_entry_bytes: ParseLimits::DEFAULT_MAX_ENTRY_BYTES,
+            max_tokens: ParseLimits::DEFAULT_MAX_TOKENS,
+            max_depth: ParseLimits::DEFAULT_MAX_DEPTH,
+        }
+    }
+}
 
 /// The `rdf:type` IRI that the keyword `a` abbreviates.
 pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
@@ -86,8 +134,39 @@ pub fn parse_query(input: &str) -> Result<ast::Query> {
 /// assert!(q.has_body());
 /// ```
 pub fn parse_query_in<'a>(input: &'a str, arena: &'a Arena) -> Result<Query<'a>> {
-    let tokens = tokenize_in(input, arena)?;
-    let mut p = Parser::new(tokens, arena);
+    parse_query_in_with_limits(input, arena, &ParseLimits::none())
+}
+
+/// [`parse_query_in`] under hard resource guards: the entry-byte cap is
+/// checked before tokenization, the token cap during it, and the
+/// recursion-depth cap while parsing. Guard trips surface as structured
+/// [`ParseError`]s ([`ErrorKind::OversizeEntry`] /
+/// [`ErrorKind::DepthExceeded`]) — the corpus pipeline tallies or aborts on
+/// them according to its recovery policy.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a syntactically valid SPARQL
+/// 1.1 query (of the supported query subset) or trips one of `limits`.
+pub fn parse_query_in_with_limits<'a>(
+    input: &'a str,
+    arena: &'a Arena,
+    limits: &ParseLimits,
+) -> Result<Query<'a>> {
+    if limits.max_entry_bytes > 0 && input.len() > limits.max_entry_bytes {
+        return Err(ParseError::with_kind(
+            ErrorKind::OversizeEntry,
+            format!(
+                "entry of {} bytes exceeds the {}-byte cap",
+                input.len(),
+                limits.max_entry_bytes
+            ),
+            1,
+            1,
+        ));
+    }
+    let tokens = tokenize_in_limited(input, arena, limits.max_tokens)?;
+    let mut p = Parser::new(tokens, arena, limits.max_depth);
     let q = p.parse_query()?;
     p.expect_eof()?;
     Ok(q)
@@ -100,10 +179,14 @@ struct Parser<'a> {
     prefixes: Vec<(&'a str, &'a str)>,
     base: Option<&'a str>,
     blank_counter: u32,
+    /// Current nesting depth of the guarded recursion sites.
+    depth: usize,
+    /// Recursion-depth cap (`0` = unlimited).
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(tokens: &'a [Spanned<'a>], arena: &'a Arena) -> Self {
+    fn new(tokens: &'a [Spanned<'a>], arena: &'a Arena, max_depth: usize) -> Self {
         Parser {
             tokens,
             pos: 0,
@@ -111,7 +194,31 @@ impl<'a> Parser<'a> {
             prefixes: Vec::new(),
             base: None,
             blank_counter: 0,
+            depth: 0,
+            max_depth,
         }
+    }
+
+    /// Enters one level of guarded recursion (group patterns, bracketed
+    /// terms, path groups, parenthesized expressions). Paired with
+    /// [`Parser::leave`]; trips [`ErrorKind::DepthExceeded`] past the cap.
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.max_depth > 0 && self.depth > self.max_depth {
+            let (line, column) = self.here();
+            return Err(ParseError::with_kind(
+                ErrorKind::DepthExceeded,
+                format!("entry nests deeper than the {}-level cap", self.max_depth),
+                line,
+                column,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Leaves one level of guarded recursion.
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     // ------------------------------------------------------------------
@@ -508,6 +615,13 @@ impl<'a> Parser<'a> {
     // ------------------------------------------------------------------
 
     fn parse_group_graph_pattern(&mut self) -> Result<GroupGraphPattern<'a>> {
+        self.enter()?;
+        let result = self.parse_group_graph_pattern_inner();
+        self.leave();
+        result
+    }
+
+    fn parse_group_graph_pattern_inner(&mut self) -> Result<GroupGraphPattern<'a>> {
         self.expect(Token::LBrace)?;
         // Subquery?
         if self.at_keyword(Keyword::Select) {
@@ -769,6 +883,16 @@ impl<'a> Parser<'a> {
         &mut self,
         out: &mut ArenaVec<'a, TripleOrPath<'a>>,
     ) -> Result<Term<'a>> {
+        self.enter()?;
+        let result = self.parse_blank_node_property_list_inner(out);
+        self.leave();
+        result
+    }
+
+    fn parse_blank_node_property_list_inner(
+        &mut self,
+        out: &mut ArenaVec<'a, TripleOrPath<'a>>,
+    ) -> Result<Term<'a>> {
         self.expect(Token::LBracket)?;
         let node = self.fresh_blank();
         self.parse_property_list(node, out, true)?;
@@ -779,6 +903,16 @@ impl<'a> Parser<'a> {
     /// Parses an RDF collection `( n1 n2 … )`, desugaring to `rdf:first` /
     /// `rdf:rest` triples; returns the head node (or `rdf:nil` when empty).
     fn parse_collection(&mut self, out: &mut ArenaVec<'a, TripleOrPath<'a>>) -> Result<Term<'a>> {
+        self.enter()?;
+        let result = self.parse_collection_inner(out);
+        self.leave();
+        result
+    }
+
+    fn parse_collection_inner(
+        &mut self,
+        out: &mut ArenaVec<'a, TripleOrPath<'a>>,
+    ) -> Result<Term<'a>> {
         if self.eat(Token::Nil) {
             return Ok(Term::Iri(RDF_NIL));
         }
@@ -992,6 +1126,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_path_primary(&mut self) -> Result<PropertyPath<'a>> {
+        self.enter()?;
+        let result = self.parse_path_primary_inner();
+        self.leave();
+        result
+    }
+
+    fn parse_path_primary_inner(&mut self) -> Result<PropertyPath<'a>> {
         match self.peek() {
             Some(Token::IriRef(_)) | Some(Token::PrefixedName(_, _)) | Some(Token::A) => {
                 let Term::Iri(iri) = self.parse_iri()? else {
@@ -1283,7 +1424,10 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_expression(&mut self) -> Result<Expression<'a>> {
-        self.parse_or_expression()
+        self.enter()?;
+        let result = self.parse_or_expression();
+        self.leave();
+        result
     }
 
     fn parse_or_expression(&mut self) -> Result<Expression<'a>> {
@@ -1417,6 +1561,13 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_primary_expression(&mut self) -> Result<Expression<'a>> {
+        self.enter()?;
+        let result = self.parse_primary_expression_inner();
+        self.leave();
+        result
+    }
+
+    fn parse_primary_expression_inner(&mut self) -> Result<Expression<'a>> {
         match self.peek() {
             Some(Token::LParen) => {
                 self.bump();

@@ -6,6 +6,7 @@
 use crate::protocol::{self, JobReport, JobStatus, Request, Response};
 use crate::server::ServeAddr;
 use sparqlog_core::analysis::Population;
+use sparqlog_core::RecoveryPolicy;
 use sparqlog_shard::codec::{FrameReader, StreamError};
 use std::io::{self, BufWriter, Read, Write};
 use std::net::TcpStream;
@@ -157,13 +158,20 @@ impl Client {
     }
 
     /// Submits an analysis job over `(label, path)` pairs (paths resolved
-    /// on the server). Returns `(job_id, partitions)`.
+    /// on the server). `recovery` controls how malformed entries are
+    /// handled (`Auto` defers to the *server's* `SPARQLOG_RECOVERY`
+    /// environment). Returns `(job_id, partitions)`.
     pub fn submit(
         &mut self,
         population: Population,
+        recovery: RecoveryPolicy,
         logs: Vec<(String, String)>,
     ) -> Result<(u64, u64), ClientError> {
-        let request = Request::Submit { population, logs };
+        let request = Request::Submit {
+            population,
+            recovery,
+            logs,
+        };
         match self.request(&request)? {
             Response::Accepted { job, partitions } => Ok((job, partitions)),
             Response::Rejected { message } | Response::Error { message } => {

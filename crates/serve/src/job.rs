@@ -17,6 +17,7 @@ use sparqlog_core::analysis::{CorpusAnalysis, DatasetAnalysis, Population};
 use sparqlog_core::cache::CacheStats;
 use sparqlog_core::corpus::LogSummary;
 use sparqlog_core::report;
+use sparqlog_core::{ErrorTally, RecoveryPolicy};
 use sparqlog_shard::LogSpec;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -29,12 +30,20 @@ pub struct JobState {
     pub id: u64,
     /// The population the job folds.
     pub population: Population,
+    /// The submitted recovery policy. Workers stream leniently when it
+    /// recovers; an `ErrorBudget` is metered **once**, here, when the last
+    /// partition merges (a budget is a whole-run rate, not per-worker).
+    pub recovery: RecoveryPolicy,
     /// The submitted logs, in report order (partition `i` = log `i`).
     pub logs: Vec<LogSpec>,
     /// Completed partitions: `slots[i]` holds log `i`'s summary + analysis.
     slots: Vec<Option<(LogSummary, DatasetAnalysis)>>,
     /// Partitions merged so far.
     completed: usize,
+    /// Malformed-entry tallies merged from completed partitions.
+    pub errors: ErrorTally,
+    /// Entries seen across completed partitions (the budget denominator).
+    entries: u64,
     /// Worker restarts performed for this job.
     pub restarts: u64,
     /// The first fatal failure, if any.
@@ -46,14 +55,22 @@ pub struct JobState {
 }
 
 impl JobState {
-    fn new(id: u64, population: Population, logs: Vec<LogSpec>) -> JobState {
+    fn new(
+        id: u64,
+        population: Population,
+        recovery: RecoveryPolicy,
+        logs: Vec<LogSpec>,
+    ) -> JobState {
         let slots = (0..logs.len()).map(|_| None).collect();
         JobState {
             id,
             population,
+            recovery,
             logs,
             slots,
             completed: 0,
+            errors: ErrorTally::default(),
+            entries: 0,
             restarts: 0,
             failed: None,
             cache: CacheStats::default(),
@@ -99,12 +116,24 @@ impl JobState {
         if slot.is_some() {
             return false;
         }
+        self.errors.merge(&summary.errors);
+        self.entries += summary.counts.total;
         *slot = Some((summary, analysis));
         self.completed += 1;
         self.cache.hits += cache.hits;
         self.cache.misses += cache.misses;
         self.cache.distinct += cache.distinct;
         self.snapshot_bytes += snapshot_bytes;
+        if self.completed == self.slots.len() && self.failed.is_none() {
+            // The single budget-enforcement point: every partition streamed
+            // leniently; the whole-run defect rate is judged exactly once,
+            // over the merged tallies.
+            if let Err(error) =
+                sparqlog_core::recover::enforce_budget(self.recovery, &self.errors, self.entries)
+            {
+                self.failed = Some(error.to_string());
+            }
+        }
         true
     }
 
@@ -116,6 +145,7 @@ impl JobState {
             total: self.slots.len() as u64,
             completed: self.completed as u64,
             restarts: self.restarts,
+            errors: self.errors.total(),
             error: self.failed.clone().unwrap_or_default(),
         }
     }
@@ -143,6 +173,7 @@ impl JobState {
             complete: self.is_complete(),
             completed: self.completed as u64,
             total: self.slots.len() as u64,
+            errors: self.errors.total(),
             text: if full {
                 report::full_report(&corpus)
             } else {
@@ -177,10 +208,15 @@ impl Jobs {
     }
 
     /// Registers a new job and returns its id.
-    pub fn create(&self, population: Population, logs: Vec<LogSpec>) -> u64 {
+    pub fn create(
+        &self,
+        population: Population,
+        recovery: RecoveryPolicy,
+        logs: Vec<LogSpec>,
+    ) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::AcqRel);
         let mut table = self.table.lock().expect("jobs lock");
-        table.insert(id, JobState::new(id, population, logs));
+        table.insert(id, JobState::new(id, population, recovery, logs));
         id
     }
 
@@ -237,7 +273,7 @@ mod tests {
     #[test]
     fn partitions_merge_once_and_phase_progresses() {
         let jobs = Jobs::new();
-        let id = jobs.create(Population::Unique, sample_logs(2));
+        let id = jobs.create(Population::Unique, RecoveryPolicy::Lenient, sample_logs(2));
         assert_eq!(id, 1);
         assert_eq!(jobs.accepted(), 1);
 
@@ -245,6 +281,7 @@ mod tests {
             label: "log0".to_string(),
             counts: Default::default(),
             occurrences: Vec::new(),
+            errors: Default::default(),
         };
         let merged = jobs
             .with(id, |job| {
@@ -294,7 +331,7 @@ mod tests {
     #[test]
     fn failures_settle_a_job() {
         let jobs = Jobs::new();
-        let id = jobs.create(Population::Valid, sample_logs(1));
+        let id = jobs.create(Population::Valid, RecoveryPolicy::Strict, sample_logs(1));
         assert!(!jobs.all_settled());
         jobs.with(id, |job| {
             job.restarts = 3;
@@ -306,5 +343,60 @@ mod tests {
         assert_eq!(status.restarts, 3);
         assert!(status.error.contains("status 3"));
         assert!(jobs.with(99, |_| ()).is_none());
+    }
+
+    #[test]
+    fn budget_is_metered_once_when_the_last_partition_merges() {
+        use sparqlog_core::ErrorKind;
+
+        let dirty = |defects: u64, total: u64| {
+            let mut summary = LogSummary {
+                label: "log".to_string(),
+                counts: Default::default(),
+                occurrences: Vec::new(),
+                errors: Default::default(),
+            };
+            summary.counts.total = total;
+            for position in 0..defects {
+                summary.errors.record(ErrorKind::InvalidUtf8, position);
+            }
+            summary
+        };
+
+        // 2 defects in 10_000 entries: within budget:2, over budget:1.
+        for (max_per_10k, expect_failed) in [(2u32, false), (1u32, true)] {
+            let jobs = Jobs::new();
+            let id = jobs.create(
+                Population::Unique,
+                RecoveryPolicy::ErrorBudget { max_per_10k },
+                sample_logs(2),
+            );
+            jobs.with(id, |job| {
+                assert!(job.merge_partition(
+                    0,
+                    dirty(2, 5_000),
+                    DatasetAnalysis::default(),
+                    CacheStats::default(),
+                    1,
+                ));
+                // Not judged until the last partition merges.
+                assert_eq!(job.phase(), JobPhase::Running);
+                assert!(job.merge_partition(
+                    1,
+                    dirty(0, 5_000),
+                    DatasetAnalysis::default(),
+                    CacheStats::default(),
+                    1,
+                ));
+                let status = job.status();
+                assert_eq!(status.errors, 2);
+                if expect_failed {
+                    assert_eq!(status.phase, JobPhase::Failed);
+                    assert!(status.error.contains("error budget exceeded"), "{status:?}");
+                } else {
+                    assert_eq!(status.phase, JobPhase::Complete);
+                }
+            });
+        }
     }
 }

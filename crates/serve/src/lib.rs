@@ -14,6 +14,7 @@
 //! use sparqlog_serve::client::Client;
 //! use sparqlog_serve::server::{ServeAddr, ServeConfig, Server};
 //! use sparqlog_core::analysis::Population;
+//! use sparqlog_core::RecoveryPolicy;
 //! use std::time::Duration;
 //!
 //! // Server side (usually the `sparqlog-serve` binary):
@@ -28,6 +29,7 @@
 //! let mut client = Client::connect(&ServeAddr::Tcp("127.0.0.1:7878".to_string()))?;
 //! let (job, partitions) = client.submit(
 //!     Population::Unique,
+//!     RecoveryPolicy::Lenient, // tally malformed entries instead of failing
 //!     vec![("DBpedia".to_string(), "/logs/dbpedia.log".to_string())],
 //! )?;
 //! eprintln!("job {job} across {partitions} partitions");

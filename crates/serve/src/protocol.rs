@@ -11,6 +11,7 @@
 //! [`Response::Accepted`].
 
 use sparqlog_core::analysis::Population;
+use sparqlog_core::RecoveryPolicy;
 use sparqlog_shard::codec::{
     write_frame, write_stream_header, DecodeError, Decoder, Encoder, FrameReader, StreamError,
 };
@@ -47,6 +48,9 @@ pub enum Request {
     Submit {
         /// The population to fold.
         population: Population,
+        /// How malformed input is handled (`Auto` = the *server's*
+        /// `SPARQLOG_RECOVERY` environment decides).
+        recovery: RecoveryPolicy,
         /// `(label, path)` pairs in report order.
         logs: Vec<(String, String)>,
     },
@@ -114,6 +118,8 @@ pub struct JobStatus {
     pub completed: u64,
     /// Worker restarts performed for this job so far.
     pub restarts: u64,
+    /// Malformed entries tallied across the partitions merged so far.
+    pub errors: u64,
     /// The failure description (empty unless `phase` is `Failed`).
     pub error: String,
 }
@@ -131,6 +137,8 @@ pub struct JobReport {
     pub completed: u64,
     /// Total partitions.
     pub total: u64,
+    /// Malformed entries tallied across the partitions merged so far.
+    pub errors: u64,
     /// The rendered report text.
     pub text: String,
 }
@@ -188,15 +196,49 @@ fn population_from(code: u8, decoder: &Decoder<'_>) -> Result<Population, Decode
     }
 }
 
+/// Encodes a recovery policy: one tag byte, plus the budget rate for
+/// `ErrorBudget` (the only variant with a parameter).
+fn put_recovery(out: &mut Encoder, policy: RecoveryPolicy) {
+    match policy {
+        RecoveryPolicy::Auto => out.put_u8(0),
+        RecoveryPolicy::Strict => out.put_u8(1),
+        RecoveryPolicy::Lenient => out.put_u8(2),
+        RecoveryPolicy::ErrorBudget { max_per_10k } => {
+            out.put_u8(3);
+            out.put_varint(u64::from(max_per_10k));
+        }
+    }
+}
+
+fn take_recovery(decoder: &mut Decoder<'_>) -> Result<RecoveryPolicy, DecodeError> {
+    match decoder.take_u8()? {
+        0 => Ok(RecoveryPolicy::Auto),
+        1 => Ok(RecoveryPolicy::Strict),
+        2 => Ok(RecoveryPolicy::Lenient),
+        3 => {
+            let rate = decoder.take_varint()?;
+            let max_per_10k =
+                u32::try_from(rate).map_err(|_| decoder.invalid("error budget rate", rate))?;
+            Ok(RecoveryPolicy::ErrorBudget { max_per_10k })
+        }
+        other => Err(decoder.invalid("recovery policy code", u64::from(other))),
+    }
+}
+
 impl Request {
     /// Encodes the request payload (tag byte + body).
     pub fn to_payload(&self) -> Vec<u8> {
         let mut out = Encoder::new();
         match self {
             Request::Ping => out.put_u8(req::PING),
-            Request::Submit { population, logs } => {
+            Request::Submit {
+                population,
+                recovery,
+                logs,
+            } => {
                 out.put_u8(req::SUBMIT);
                 out.put_u8(population_code(*population));
+                put_recovery(&mut out, *recovery);
                 out.put_usize(logs.len());
                 for (label, path) in logs {
                     out.put_str(label);
@@ -231,6 +273,7 @@ impl Request {
             req::SUBMIT => {
                 let code = decoder.take_u8()?;
                 let population = population_from(code, &decoder)?;
+                let recovery = take_recovery(&mut decoder)?;
                 let count = decoder.take_usize()?;
                 let mut logs = Vec::with_capacity(count.min(1 << 12));
                 for _ in 0..count {
@@ -238,7 +281,11 @@ impl Request {
                     let path = decoder.take_str()?;
                     logs.push((label, path));
                 }
-                Request::Submit { population, logs }
+                Request::Submit {
+                    population,
+                    recovery,
+                    logs,
+                }
             }
             req::STATUS => Request::Status {
                 job: decoder.take_varint()?,
@@ -280,6 +327,7 @@ impl Response {
                 out.put_varint(status.total);
                 out.put_varint(status.completed);
                 out.put_varint(status.restarts);
+                out.put_varint(status.errors);
                 out.put_str(&status.error);
             }
             Response::Report(report) => {
@@ -288,6 +336,7 @@ impl Response {
                 out.put_bool(report.complete);
                 out.put_varint(report.completed);
                 out.put_varint(report.total);
+                out.put_varint(report.errors);
                 out.put_str(&report.text);
             }
             Response::Error { message } => {
@@ -335,6 +384,7 @@ impl Response {
                     total: decoder.take_varint()?,
                     completed: decoder.take_varint()?,
                     restarts: decoder.take_varint()?,
+                    errors: decoder.take_varint()?,
                     error: decoder.take_str()?,
                 })
             }
@@ -343,6 +393,7 @@ impl Response {
                 complete: decoder.take_bool()?,
                 completed: decoder.take_varint()?,
                 total: decoder.take_varint()?,
+                errors: decoder.take_varint()?,
                 text: decoder.take_str()?,
             }),
             resp::ERROR => Response::Error {
@@ -423,11 +474,26 @@ mod tests {
         round_trip_request(Request::Ping);
         round_trip_request(Request::Submit {
             population: Population::Valid,
+            recovery: RecoveryPolicy::Auto,
             logs: vec![
                 ("DBpedia15".to_string(), "/logs/a.log".to_string()),
                 ("label with spaces".to_string(), "/logs/ü.log".to_string()),
             ],
         });
+        for recovery in [
+            RecoveryPolicy::Strict,
+            RecoveryPolicy::Lenient,
+            RecoveryPolicy::ErrorBudget { max_per_10k: 25 },
+            RecoveryPolicy::ErrorBudget {
+                max_per_10k: u32::MAX,
+            },
+        ] {
+            round_trip_request(Request::Submit {
+                population: Population::Unique,
+                recovery,
+                logs: vec![("log".to_string(), "/logs/log".to_string())],
+            });
+        }
         round_trip_request(Request::Status { job: u64::MAX });
         round_trip_request(Request::Report { job: 3, full: true });
         round_trip_request(Request::Drain);
@@ -450,6 +516,7 @@ mod tests {
             total: 4,
             completed: 3,
             restarts: 9,
+            errors: 17,
             error: "shard 1: worker exited with status 3".to_string(),
         }));
         round_trip_response(Response::Report(JobReport {
@@ -457,6 +524,7 @@ mod tests {
             complete: false,
             completed: 1,
             total: 4,
+            errors: 2,
             text: "Table 1\n=======\n".to_string(),
         }));
         round_trip_response(Response::Error {
@@ -476,6 +544,25 @@ mod tests {
         assert!(format!("{error}").contains("request tag"), "{error}");
         let error = Response::from_payload(&[99], 0).unwrap_err();
         assert!(format!("{error}").contains("response tag"), "{error}");
+    }
+
+    #[test]
+    fn bad_recovery_codes_are_structured_errors() {
+        // Submit tag, population 0, then an unknown recovery code.
+        let error = Request::from_payload(&[req::SUBMIT, 0, 9], 0).unwrap_err();
+        assert!(
+            format!("{error}").contains("recovery policy code"),
+            "{error}"
+        );
+        // Budget rates wider than u32 are refused rather than truncated.
+        let mut out = Encoder::new();
+        out.put_u8(req::SUBMIT);
+        out.put_u8(0);
+        out.put_u8(3);
+        out.put_varint(u64::from(u32::MAX) + 1);
+        out.put_usize(0);
+        let error = Request::from_payload(&out.into_bytes(), 0).unwrap_err();
+        assert!(format!("{error}").contains("error budget rate"), "{error}");
     }
 
     #[test]

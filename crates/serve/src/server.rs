@@ -510,7 +510,11 @@ fn answer(ctx: &Shared, request: &Request) -> Response {
             draining: ctx.draining.load(Ordering::Acquire),
             jobs: ctx.jobs.accepted(),
         },
-        Request::Submit { population, logs } => {
+        Request::Submit {
+            population,
+            recovery,
+            logs,
+        } => {
             if ctx.draining.load(Ordering::Acquire) {
                 return Response::Rejected {
                     message: "server is draining; new jobs are refused".to_string(),
@@ -525,7 +529,7 @@ fn answer(ctx: &Shared, request: &Request) -> Response {
                 .iter()
                 .map(|(label, path)| LogSpec::new(label.clone(), path.clone()))
                 .collect();
-            let (job, partitions) = ctx.supervisor.submit(*population, specs);
+            let (job, partitions) = ctx.supervisor.submit(*population, *recovery, specs);
             Response::Accepted { job, partitions }
         }
         Request::Status { job } => match ctx.jobs.with(*job, |state| state.status()) {

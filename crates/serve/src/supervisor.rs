@@ -22,6 +22,7 @@
 use crate::events::{quoted, EventLog};
 use crate::job::Jobs;
 use sparqlog_core::analysis::Population;
+use sparqlog_core::RecoveryPolicy;
 use sparqlog_shard::supervise::WorkerLaunch;
 use sparqlog_shard::worker::AssignedLog;
 use sparqlog_shard::{LogSpec, WorkerCommand};
@@ -73,6 +74,7 @@ struct PartitionTask {
     job: u64,
     partition: usize,
     population: Population,
+    recovery: RecoveryPolicy,
     log: LogSpec,
 }
 
@@ -124,11 +126,17 @@ impl Supervisor {
 
     /// Registers a job for `logs` and enqueues one partition per log.
     /// Returns `(job_id, partitions)`.
-    pub fn submit(&self, population: Population, logs: Vec<LogSpec>) -> (u64, u64) {
+    pub fn submit(
+        &self,
+        population: Population,
+        recovery: RecoveryPolicy,
+        logs: Vec<LogSpec>,
+    ) -> (u64, u64) {
         let partitions = logs.len() as u64;
-        let job = self.shared.jobs.create(population, logs.clone());
+        let job = self.shared.jobs.create(population, recovery, logs.clone());
         self.shared.events.emit(format!(
-            "event=job-accepted job={job} partitions={partitions}"
+            "event=job-accepted job={job} partitions={partitions} recovery={}",
+            recovery.resolve().spelling()
         ));
         let mut queue = self.shared.queue.lock().expect("supervisor queue");
         for (partition, log) in logs.into_iter().enumerate() {
@@ -136,6 +144,7 @@ impl Supervisor {
                 job,
                 partition,
                 population,
+                recovery,
                 log,
             });
         }
@@ -251,6 +260,9 @@ fn run_partition(shared: &Shared, task: &PartitionTask) {
             command: config.worker.clone(),
             shard: partition,
             population: task.population,
+            // Passed verbatim: the worker itself streams a budget leniently,
+            // and the job table meters the budget once at the last merge.
+            recovery: task.recovery,
             worker_threads: (config.worker_threads > 0).then_some(config.worker_threads),
             heartbeat: Some(config.heartbeat),
             logs: vec![AssignedLog {
@@ -291,6 +303,7 @@ fn run_partition(shared: &Shared, task: &PartitionTask) {
                 // status poll observes the job as complete is then guaranteed
                 // to find the recovery/completion events already logged.
                 shared.jobs.with(job, |state| {
+                    let was_failed = state.failed.is_some();
                     let merged = state.merge_partition(
                         partition,
                         frame.summary,
@@ -309,6 +322,15 @@ fn run_partition(shared: &Shared, task: &PartitionTask) {
                     ));
                     if state.is_complete() {
                         events.emit(format!("event=job-complete job={job}"));
+                    } else if !was_failed {
+                        // The only way a merge can fail a job: the final
+                        // partition pushed the defect rate over the budget.
+                        if let Some(error) = state.failed.as_deref() {
+                            events.emit(format!(
+                                "event=job-failed job={job} partition={partition} error={}",
+                                quoted(error)
+                            ));
+                        }
                     }
                 });
                 return;
@@ -385,6 +407,7 @@ mod tests {
         let supervisor = Supervisor::start(config, Arc::clone(&jobs), Arc::clone(&events));
         let (job, partitions) = supervisor.submit(
             Population::Unique,
+            RecoveryPolicy::Auto,
             vec![LogSpec::new("ghost", "/tmp/none.log")],
         );
         assert_eq!(partitions, 1);

@@ -30,8 +30,10 @@ use std::io::{self, Read, Write};
 /// The 4-byte magic prefix of a snapshot stream (`SQSN`: SparQlog SNapshot).
 pub const MAGIC: [u8; 4] = *b"SQSN";
 
-/// The codec version this build writes and accepts.
-pub const VERSION: u8 = 1;
+/// The codec version this build writes and accepts. Version 2 added the
+/// per-log error tally to [`LogSummary`](sparqlog_core::fused::LogSummary)
+/// and [`DatasetAnalysis`](sparqlog_core::analysis::DatasetAnalysis) frames.
+pub const VERSION: u8 = 2;
 
 /// Upper bound on a single frame's payload (256 MiB). A corrupt or
 /// adversarial length prefix must not make the decoder allocate unbounded

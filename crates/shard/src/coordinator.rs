@@ -35,6 +35,7 @@ use crate::worker::AssignedLog;
 use sparqlog_core::analysis::{CorpusAnalysis, DatasetAnalysis, Population};
 use sparqlog_core::cache::CacheStats;
 use sparqlog_core::corpus::LogSummary;
+use sparqlog_core::{BudgetExceeded, RecoveryPolicy};
 use std::fmt;
 use std::io;
 use std::path::PathBuf;
@@ -130,15 +131,20 @@ pub struct ShardOptions {
     pub worker_threads: usize,
     /// How to launch workers.
     pub worker: WorkerCommand,
+    /// The malformed-entry recovery policy, forwarded to every worker as
+    /// `--recovery`. A budgeted policy runs the workers leniently; the
+    /// budget itself is metered here, once, over the merged tallies.
+    pub recovery: RecoveryPolicy,
 }
 
 impl ShardOptions {
-    /// Options with the default shard count and worker threads.
+    /// Options with the default shard count, worker threads and recovery.
     pub fn new(worker: WorkerCommand) -> ShardOptions {
         ShardOptions {
             shards: 0,
             worker_threads: 0,
             worker,
+            recovery: RecoveryPolicy::Auto,
         }
     }
 }
@@ -230,6 +236,13 @@ pub enum ShardError {
         /// Its label.
         label: String,
     },
+    /// The merged end-of-run defect rate exceeded the configured error
+    /// budget ([`ShardOptions::recovery`]). Carries the structured failure
+    /// with the merged tally preserved for postmortems.
+    Budget {
+        /// The budget failure.
+        error: BudgetExceeded,
+    },
 }
 
 impl fmt::Display for ShardError {
@@ -280,6 +293,7 @@ impl fmt::Display for ShardError {
             ShardError::MissingLog { index, label } => {
                 write!(f, "no shard reported log {index} ({label})")
             }
+            ShardError::Budget { error } => write!(f, "{error}"),
         }
     }
 }
@@ -289,7 +303,7 @@ impl ShardError {
     /// [`ShardError::NoLogs`] and [`ShardError::MissingLog`] name none).
     pub fn shard(&self) -> Option<usize> {
         match self {
-            ShardError::NoLogs | ShardError::MissingLog { .. } => None,
+            ShardError::NoLogs | ShardError::MissingLog { .. } | ShardError::Budget { .. } => None,
             ShardError::Spawn { shard, .. }
             | ShardError::Stream { shard, .. }
             | ShardError::Decode { shard, .. }
@@ -417,6 +431,7 @@ fn run_shard(
         population,
         worker_threads: worker_thread_budget(options.worker_threads, spawned_shards),
         heartbeat: None,
+        recovery: options.recovery,
         logs: assignment
             .iter()
             .map(|&index| AssignedLog {
@@ -578,9 +593,21 @@ pub fn analyze_sharded_all(
     for dataset in &datasets {
         combined.merge(dataset);
     }
+    let corpus = CorpusAnalysis { datasets, combined };
+    // A budgeted policy is metered exactly once, here, over the merged
+    // tallies — the workers streamed leniently, so every partition's
+    // defects are present and the verdict matches the unsharded engines.
+    if let Err(error) = corpus.enforce_budget(options.recovery) {
+        let budget = error
+            .get_ref()
+            .and_then(|payload| payload.downcast_ref::<BudgetExceeded>())
+            .cloned()
+            .expect("enforce_budget fails only with a BudgetExceeded payload");
+        return Err(ShardError::Budget { error: budget }.into());
+    }
     Ok(ShardedAnalysis {
         summaries,
-        corpus: CorpusAnalysis { datasets, combined },
+        corpus,
         cache,
         shard_stats,
     })
@@ -636,6 +663,7 @@ mod tests {
             shards: 1,
             worker_threads: 0,
             worker: WorkerCommand::new("/definitely/not/a/real/worker/binary"),
+            recovery: RecoveryPolicy::Auto,
         };
         let logs = [LogSpec::new("x", "/tmp/does-not-matter.log")];
         let error = analyze_sharded(&logs, Population::Unique, &options).unwrap_err();

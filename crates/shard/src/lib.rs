@@ -72,6 +72,7 @@
 //!     label: "example".to_string(),
 //!     counts: CorpusCounts { total: 4, valid: 3, unique: 2, bodyless: 0 },
 //!     occurrences: vec![(0x17, 2), (0x99, 1)],
+//!     errors: Default::default(),
 //! };
 //! let decoded = LogSummary::from_bytes(&summary.to_bytes()).unwrap();
 //! assert_eq!(decoded, summary);

@@ -17,6 +17,7 @@
 //!     label: "DBpedia15".to_string(),
 //!     counts: CorpusCounts { total: 5, valid: 4, unique: 3, bodyless: 1 },
 //!     occurrences: vec![(17, 2), (99, 2)],
+//!     errors: Default::default(),
 //! };
 //! let bytes = summary.to_bytes();
 //! assert_eq!(LogSummary::from_bytes(&bytes).unwrap(), summary);
@@ -29,6 +30,7 @@ use sparqlog_algebra::{FragmentTally, KeywordTally, OpSetTally, ProjectionTally,
 use sparqlog_core::analysis::{DatasetAnalysis, FragmentSizeHistogram, HypertreeTally};
 use sparqlog_core::cache::CacheStats;
 use sparqlog_core::corpus::{CorpusCounts, FusedStats, LogSummary};
+use sparqlog_core::recover::ErrorTally;
 use sparqlog_graph::ShapeTally;
 use sparqlog_paths::{PathExpressionType, PathTally, TypeEntry};
 use std::collections::BTreeMap;
@@ -86,12 +88,69 @@ impl Snapshot for CorpusCounts {
     }
 }
 
+impl Snapshot for ErrorTally {
+    fn encode(&self, out: &mut Encoder) {
+        let ErrorTally {
+            lex,
+            syntax,
+            invalid_utf8,
+            oversize_entry,
+            depth_exceeded,
+            worker_panic,
+            exemplars,
+        } = self;
+        for value in [
+            *lex,
+            *syntax,
+            *invalid_utf8,
+            *oversize_entry,
+            *depth_exceeded,
+            *worker_panic,
+        ] {
+            out.put_varint(value);
+        }
+        out.put_usize(exemplars.len());
+        for &(code, position) in exemplars {
+            out.put_u8(code);
+            out.put_varint(position);
+        }
+    }
+
+    fn decode(input: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let lex = input.take_varint()?;
+        let syntax = input.take_varint()?;
+        let invalid_utf8 = input.take_varint()?;
+        let oversize_entry = input.take_varint()?;
+        let depth_exceeded = input.take_varint()?;
+        let worker_panic = input.take_varint()?;
+        let length = input.take_usize()?;
+        let mut exemplars = Vec::with_capacity(length.min(1 << 8));
+        for _ in 0..length {
+            // The wire code is stored raw: the taxonomy is append-only, so
+            // a newer worker's code decodes (and re-encodes) losslessly.
+            let code = input.take_u8()?;
+            let position = input.take_varint()?;
+            exemplars.push((code, position));
+        }
+        Ok(ErrorTally {
+            lex,
+            syntax,
+            invalid_utf8,
+            oversize_entry,
+            depth_exceeded,
+            worker_panic,
+            exemplars,
+        })
+    }
+}
+
 impl Snapshot for LogSummary {
     fn encode(&self, out: &mut Encoder) {
         let LogSummary {
             label,
             counts,
             occurrences,
+            errors,
         } = self;
         out.put_str(label);
         counts.encode(out);
@@ -100,6 +159,7 @@ impl Snapshot for LogSummary {
             out.put_u128(fingerprint);
             out.put_varint(count);
         }
+        errors.encode(out);
     }
 
     fn decode(input: &mut Decoder<'_>) -> Result<Self, DecodeError> {
@@ -112,10 +172,12 @@ impl Snapshot for LogSummary {
             let count = input.take_varint()?;
             occurrences.push((fingerprint, count));
         }
+        let errors = ErrorTally::decode(input)?;
         Ok(LogSummary {
             label,
             counts,
             occurrences,
+            errors,
         })
     }
 }
@@ -693,6 +755,7 @@ impl Snapshot for DatasetAnalysis {
         let DatasetAnalysis {
             label,
             counts,
+            errors,
             keywords,
             triples,
             opsets,
@@ -711,6 +774,7 @@ impl Snapshot for DatasetAnalysis {
         } = self;
         out.put_str(label);
         counts.encode(out);
+        errors.encode(out);
         keywords.encode(out);
         triples.encode(out);
         opsets.encode(out);
@@ -735,6 +799,7 @@ impl Snapshot for DatasetAnalysis {
     fn decode(input: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         let label = input.take_str()?;
         let counts = CorpusCounts::decode(input)?;
+        let errors = ErrorTally::decode(input)?;
         let keywords = KeywordTally::decode(input)?;
         let triples = TripleHistogram::decode(input)?;
         let opsets = OpSetTally::decode(input)?;
@@ -761,6 +826,7 @@ impl Snapshot for DatasetAnalysis {
         Ok(DatasetAnalysis {
             label,
             counts,
+            errors,
             keywords,
             triples,
             opsets,
@@ -1057,6 +1123,15 @@ mod tests {
                 bodyless: 0,
             },
             occurrences: vec![(0, 1), (u128::MAX, u64::MAX)],
+            errors: ErrorTally {
+                lex: u64::MAX,
+                syntax: 1,
+                invalid_utf8: 2,
+                oversize_entry: 3,
+                depth_exceeded: 4,
+                worker_panic: 5,
+                exemplars: vec![(0, 0), (5, u64::MAX)],
+            },
         };
         assert_eq!(
             LogSummary::from_bytes(&summary.to_bytes()).unwrap(),
@@ -1073,6 +1148,7 @@ mod tests {
                 label: dataset.label.clone(),
                 counts: dataset.counts,
                 occurrences: vec![(42, 2)],
+                errors: dataset.errors.clone(),
             },
             analysis: dataset,
         });
@@ -1097,6 +1173,7 @@ mod tests {
                 label: dataset.label.clone(),
                 counts: dataset.counts,
                 occurrences: vec![(5, 1), (9, 3)],
+                errors: Default::default(),
             },
             analysis: dataset,
         };
@@ -1181,6 +1258,7 @@ mod tests {
                 label: dataset.label.clone(),
                 counts: dataset.counts,
                 occurrences: vec![(5, 1)],
+                errors: Default::default(),
             },
             analysis: dataset,
         };

@@ -28,6 +28,7 @@ use crate::coordinator::{ShardError, WorkerCommand};
 use crate::snapshot::{read_snapshot_observed, WorkerSnapshot};
 use crate::worker::AssignedLog;
 use sparqlog_core::analysis::Population;
+use sparqlog_core::RecoveryPolicy;
 use std::io::{BufReader, Read};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -85,6 +86,10 @@ pub struct WorkerLaunch {
     pub worker_threads: Option<usize>,
     /// `--heartbeat-ms` to pass, if any (None = no liveness frames).
     pub heartbeat: Option<Duration>,
+    /// The malformed-entry recovery policy to pass as `--recovery`.
+    /// [`RecoveryPolicy::Auto`] omits the flag, leaving the worker to
+    /// resolve its own `SPARQLOG_RECOVERY` environment.
+    pub recovery: RecoveryPolicy,
     /// The logs to assign, in the consumer's index space.
     pub logs: Vec<AssignedLog>,
 }
@@ -111,6 +116,9 @@ impl WorkerLaunch {
             command
                 .arg("--heartbeat-ms")
                 .arg(period.as_millis().max(1).to_string());
+        }
+        if self.recovery != RecoveryPolicy::Auto {
+            command.arg("--recovery").arg(self.recovery.spelling());
         }
         for log in &self.logs {
             command
@@ -340,6 +348,7 @@ mod tests {
             population: Population::Unique,
             worker_threads: None,
             heartbeat: None,
+            recovery: RecoveryPolicy::Auto,
             logs: vec![AssignedLog {
                 index: 0,
                 label: "x".to_string(),

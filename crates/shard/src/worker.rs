@@ -17,8 +17,13 @@
 //! --population <unique|valid>          which population to fold
 //! --workers <n>                        fused-engine threads (0 = default)
 //! --heartbeat-ms <n>                   liveness heartbeat period (0/absent = off)
+//! --recovery <strict|lenient|budget:n> malformed-entry policy (default: env/strict)
 //! --log <index> <label> <path>         one assigned log (repeated)
 //! ```
+//!
+//! A budgeted policy streams *leniently* inside the worker: the budget is a
+//! whole-run rate, so only the coordinator — which sees the merged tallies —
+//! can meter it. The worker's job is to tally defects and keep going.
 //!
 //! # Liveness
 //!
@@ -42,6 +47,7 @@ use crate::faults::{self, FaultMode};
 use crate::snapshot::{EpilogueFrame, Frame, HeartbeatFrame, LogFrame};
 use sparqlog_core::analysis::Population;
 use sparqlog_core::corpus::{analyze_streams_with, FileLogReader, FusedOptions, LogReader};
+use sparqlog_core::RecoveryPolicy;
 use std::io::{self, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -71,6 +77,9 @@ pub struct WorkerConfig {
     pub workers: usize,
     /// Liveness heartbeat period (`--heartbeat-ms`; `None` = no heartbeats).
     pub heartbeat: Option<Duration>,
+    /// The malformed-entry recovery policy (`--recovery`); a budgeted
+    /// policy runs leniently here and is metered by the coordinator.
+    pub recovery: RecoveryPolicy,
     /// The assigned logs, in coordinator order.
     pub logs: Vec<AssignedLog>,
 }
@@ -83,6 +92,7 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<WorkerConfig
         population: Population::Unique,
         workers: 0,
         heartbeat: None,
+        recovery: RecoveryPolicy::Auto,
         logs: Vec::new(),
     };
     while let Some(flag) = args.next() {
@@ -113,6 +123,11 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<WorkerConfig
                     .parse()
                     .map_err(|_| format!("invalid --heartbeat-ms value {value:?}"))?;
                 config.heartbeat = (millis > 0).then(|| Duration::from_millis(millis));
+            }
+            "--recovery" => {
+                let value = args.next().ok_or("--recovery needs a value")?;
+                config.recovery = RecoveryPolicy::parse(&value)
+                    .ok_or_else(|| format!("invalid --recovery value {value:?}"))?;
             }
             "--log" => {
                 let index = args.next().ok_or("--log needs <index> <label> <path>")?;
@@ -268,12 +283,19 @@ fn stream_frames<W: Write>(
         eprintln!("injected fault: delay (shard {})", config.shard);
         std::thread::sleep(faults::delay_duration());
     }
+    // A budgeted run streams leniently in the worker: the budget is a
+    // whole-run rate, enforced once by the coordinator over merged tallies.
+    let recovery = match config.recovery.resolve() {
+        RecoveryPolicy::ErrorBudget { .. } => RecoveryPolicy::Lenient,
+        policy => policy,
+    };
     let fused = analyze_streams_with(
         readers,
         config.population,
         FusedOptions {
             workers: config.workers,
             batch: 0,
+            recovery,
         },
     )?;
 
@@ -358,6 +380,8 @@ mod tests {
             "4",
             "--heartbeat-ms",
             "250",
+            "--recovery",
+            "budget:5",
             "--log",
             "0",
             "DBpedia15",
@@ -372,6 +396,10 @@ mod tests {
         assert_eq!(config.population, Population::Valid);
         assert_eq!(config.workers, 4);
         assert_eq!(config.heartbeat, Some(Duration::from_millis(250)));
+        assert_eq!(
+            config.recovery,
+            RecoveryPolicy::ErrorBudget { max_per_10k: 5 }
+        );
         assert_eq!(config.logs.len(), 2);
         assert_eq!(config.logs[1].index, 3);
         assert_eq!(config.logs[1].label, "label with spaces");
@@ -384,6 +412,7 @@ mod tests {
         assert!(parse_args(args(&["--log", "0", "l"])).is_err()); // missing path
         assert!(parse_args(args(&["--frobnicate"])).is_err());
         assert!(parse_args(args(&["--heartbeat-ms", "soon"])).is_err());
+        assert!(parse_args(args(&["--recovery", "yolo"])).is_err());
         // Zero disables heartbeats rather than erroring.
         let config = parse_args(args(&["--heartbeat-ms", "0", "--log", "0", "l", "/tmp/x"]));
         assert_eq!(config.unwrap().heartbeat, None);
@@ -410,6 +439,7 @@ mod tests {
             population: Population::Valid,
             workers: 1,
             heartbeat: None,
+            recovery: RecoveryPolicy::Strict,
             logs: vec![AssignedLog {
                 index: 7,
                 label: "unit".to_string(),
@@ -448,6 +478,7 @@ mod tests {
             population: Population::Unique,
             workers: 1,
             heartbeat: Some(Duration::from_millis(1)),
+            recovery: RecoveryPolicy::Strict,
             logs: vec![AssignedLog {
                 index: 0,
                 label: "unit".to_string(),

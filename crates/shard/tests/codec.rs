@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use sparqlog_core::analysis::{CorpusAnalysis, DatasetAnalysis, Population};
 use sparqlog_core::cache::CacheStats;
 use sparqlog_core::corpus::{ingest, CorpusCounts, FusedStats, LogSummary, RawLog};
+use sparqlog_core::{ErrorKind, ErrorTally};
 use sparqlog_paths::{PathExpressionType, PathTally, TypeEntry};
 use sparqlog_shard::codec::{
     write_stream_header, DecodeErrorKind, Decoder, Encoder, StreamError, MAGIC, VERSION,
@@ -74,6 +75,12 @@ proptest! {
             .iter()
             .map(|&(hi, lo, count)| (fingerprint(hi, lo), count))
             .collect();
+        // An arbitrary (but derived, hence reproducible) error tally: the
+        // codec must carry any kind/position mix faithfully.
+        let mut errors = ErrorTally::default();
+        for &(hi, lo, _) in &pairs {
+            errors.record(ErrorKind::ALL[(hi % 6) as usize], lo);
+        }
         let summary = LogSummary {
             label,
             counts: CorpusCounts {
@@ -87,6 +94,7 @@ proptest! {
                 bodyless: total / 2,
             },
             occurrences,
+            errors,
         };
         prop_assert_eq!(LogSummary::from_bytes(&summary.to_bytes()).unwrap(), summary);
     }
@@ -175,6 +183,7 @@ proptest! {
                 label: analysis.label.clone(),
                 counts: analysis.counts,
                 occurrences: vec![(fingerprint(seed, count as u64), 2)],
+                errors: analysis.errors.clone(),
             },
             analysis,
         };

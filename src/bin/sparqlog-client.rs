@@ -7,9 +7,11 @@
 //! Commands:
 //!
 //! * `ping`                          liveness check (prints drain state)
-//! * `submit [--valid] [--wait] [--full] <label>=<path>...`
+//! * `submit [--valid] [--wait] [--full] [--recovery POLICY] <label>=<path>...`
 //!   submit a job (paths resolved on the server); with `--wait`, poll
-//!   until it settles and print the report
+//!   until it settles and print the report. `POLICY` is `strict`,
+//!   `lenient`, or `budget:<n>` (defects per 10k entries); the default
+//!   defers to the server's `SPARQLOG_RECOVERY` environment
 //! * `status <job>`                  one job's progress
 //! * `report <job> [--full]`         the job's (possibly partial) report
 //! * `drain`                         ask the server to refuse new jobs
@@ -17,14 +19,15 @@
 //!
 //! Exits non-zero when a waited-on or reported job has failed.
 
-use sparqlog::core::Population;
+use sparqlog::core::{Population, RecoveryPolicy};
 use sparqlog::serve::{Client, ClientError, JobPhase, ServeAddr};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: sparqlog-client [--tcp ADDR | --unix PATH] \
-         (ping | submit [--valid] [--wait] [--full] <label>=<path>... | \
+         (ping | submit [--valid] [--wait] [--full] [--recovery POLICY] \
+         <label>=<path>... | \
          status <job> | report <job> [--full] | drain | events [<job>])"
     );
     std::process::exit(2);
@@ -75,14 +78,19 @@ fn main() {
         },
         "submit" => {
             let mut population = Population::Unique;
+            let mut recovery = RecoveryPolicy::Auto;
             let mut wait = false;
             let mut full = false;
             let mut logs = Vec::new();
-            for arg in args {
+            while let Some(arg) = args.next() {
                 match arg.as_str() {
                     "--valid" => population = Population::Valid,
                     "--wait" => wait = true,
                     "--full" => full = true,
+                    "--recovery" => match args.next().as_deref().and_then(RecoveryPolicy::parse) {
+                        Some(policy) => recovery = policy,
+                        None => usage(),
+                    },
                     spec => match spec.split_once('=') {
                         Some((label, path)) if !label.is_empty() && !path.is_empty() => {
                             logs.push((label.to_string(), path.to_string()));
@@ -94,7 +102,7 @@ fn main() {
             if logs.is_empty() {
                 usage();
             }
-            let (job, partitions) = match client.submit(population, logs) {
+            let (job, partitions) = match client.submit(population, recovery, logs) {
                 Ok(accepted) => accepted,
                 Err(error) => fail(error),
             };
@@ -123,12 +131,13 @@ fn main() {
             match client.status(job) {
                 Ok(status) => {
                     println!(
-                        "job {}: {:?} ({}/{} partitions, {} restarts){}",
+                        "job {}: {:?} ({}/{} partitions, {} restarts, {} malformed entries){}",
                         status.job,
                         status.phase,
                         status.completed,
                         status.total,
                         status.restarts,
+                        status.errors,
                         if status.error.is_empty() {
                             String::new()
                         } else {

@@ -3,7 +3,8 @@
 //! single-process fused engine's.
 //!
 //! ```text
-//! sparqlog-shard [--shards N] [--workers N] [--valid] [--full] <label>=<path>...
+//! sparqlog-shard [--shards N] [--workers N] [--valid] [--full]
+//!                [--recovery POLICY] <label>=<path>...
 //! ```
 //!
 //! * `--shards N`   worker processes (default: `SPARQLOG_SHARDS` env, else
@@ -12,16 +13,20 @@
 //! * `--valid`      fold the Valid (with-duplicates) population instead of
 //!   Unique
 //! * `--full`       print the full report (all tables) instead of Table 1
+//! * `--recovery POLICY`  how malformed input is handled: `strict`,
+//!   `lenient`, or `budget:<n>` (tolerated defects per 10k entries);
+//!   default: the `SPARQLOG_RECOVERY` environment, else strict
 //!
 //! The worker binary (`sparqlog-shard-worker`) is looked up next to this
 //! executable, or via the `SPARQLOG_SHARD_WORKER` environment variable.
 
-use sparqlog::core::{report, Population};
+use sparqlog::core::{report, Population, RecoveryPolicy};
 use sparqlog::shard::{analyze_sharded_all, LogSpec, ShardOptions, WorkerCommand};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: sparqlog-shard [--shards N] [--workers N] [--valid] [--full] <label>=<path>..."
+        "usage: sparqlog-shard [--shards N] [--workers N] [--valid] [--full] \
+         [--recovery strict|lenient|budget:<n>] <label>=<path>..."
     );
     std::process::exit(2);
 }
@@ -30,6 +35,7 @@ fn main() {
     let mut shards = 0usize;
     let mut worker_threads = 0usize;
     let mut population = Population::Unique;
+    let mut recovery = RecoveryPolicy::Auto;
     let mut full = false;
     let mut logs = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -44,6 +50,10 @@ fn main() {
                 None => usage(),
             },
             "--valid" => population = Population::Valid,
+            "--recovery" => match args.next().as_deref().and_then(RecoveryPolicy::parse) {
+                Some(policy) => recovery = policy,
+                None => usage(),
+            },
             "--full" => full = true,
             "--help" | "-h" => usage(),
             spec => match spec.split_once('=') {
@@ -69,6 +79,7 @@ fn main() {
         shards,
         worker_threads,
         worker,
+        recovery,
     };
     match analyze_sharded_all(&logs, population, &options) {
         Ok(sharded) => {

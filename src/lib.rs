@@ -111,8 +111,23 @@
 //! assert_eq!(fused.summaries[0].counts.valid, 2);
 //! assert_eq!(fused.corpus.combined.counts.valid, 2);
 //! assert_eq!(fused.corpus.combined.cycle_lengths.get(&3), Some(&1));
+//! // Malformed entries are structured data, not exceptions: the third
+//! // entry lands in the per-log error tally and the report's error table.
+//! assert_eq!(fused.summaries[0].errors.count(sparqlog::parser::ErrorKind::Syntax), 1);
 //! println!("{}", report::table1(&fused.corpus));
 //! ```
+//!
+//! Logs are rarely clean, so the error model is first-class
+//! ([`core::recover`]): every per-entry failure is classified
+//! ([`parser::ErrorKind`]: lex / syntax / invalid-utf8 / oversize-entry /
+//! depth-exceeded / worker-panic), tallied per log
+//! ([`core::ErrorTally`]), and governed by a
+//! [`core::RecoveryPolicy`] — `strict` aborts on defects with the log
+//! and line named, `lenient` recovers and tallies everything,
+//! `budget:<n>` tolerates `n` defects per 10k entries — honoured
+//! identically by the fused, staged, sharded and served engines
+//! (`--recovery` / `SPARQLOG_RECOVERY`; `tests/robustness.rs` and the
+//! `tests/fuzz_recovery.rs` fuzz harness hold the byte-identity line).
 //!
 //! # Sharding across processes
 //!
@@ -150,7 +165,7 @@
 //! byte-identical to the in-process engine's:
 //!
 //! ```no_run
-//! use sparqlog::core::Population;
+//! use sparqlog::core::{Population, RecoveryPolicy};
 //! use sparqlog::serve::{Client, ServeAddr};
 //! use std::time::Duration;
 //!
@@ -158,6 +173,7 @@
 //! let mut client = Client::connect(&addr)?;
 //! let (job, _partitions) = client.submit(
 //!     Population::Unique,
+//!     RecoveryPolicy::Lenient, // tally malformed entries instead of failing
 //!     vec![("DBpedia15".to_string(), "logs/dbpedia15.log".to_string())],
 //! )?;
 //! client.wait_settled(job, Duration::from_secs(600))?;

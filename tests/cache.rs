@@ -14,6 +14,7 @@ use sparqlog::synth::{generate_single_day_log, Dataset, DatasetProfile, Synthesi
 
 fn cached_options() -> EngineOptions {
     EngineOptions {
+        recovery: Default::default(),
         cache: CachePolicy::Enabled,
         ..EngineOptions::default()
     }
@@ -21,6 +22,7 @@ fn cached_options() -> EngineOptions {
 
 fn uncached_options() -> EngineOptions {
     EngineOptions {
+        recovery: Default::default(),
         cache: CachePolicy::Disabled,
         ..EngineOptions::default()
     }
@@ -184,12 +186,12 @@ proptest! {
             let cached = CorpusAnalysis::analyze_with(
                 &logs,
                 population,
-                EngineOptions { workers, chunk_size, cache: CachePolicy::Enabled },
+                EngineOptions { workers, chunk_size, cache: CachePolicy::Enabled, recovery: Default::default() },
             );
             let uncached = CorpusAnalysis::analyze_with(
                 &logs,
                 population,
-                EngineOptions { workers: 1, chunk_size: 0, cache: CachePolicy::Disabled },
+                EngineOptions { workers: 1, chunk_size: 0, cache: CachePolicy::Disabled, recovery: Default::default() },
             );
             prop_assert_eq!(
                 full_report(&cached),

@@ -32,6 +32,7 @@ fn analysis_is_identical_across_worker_counts_and_chunk_schedules() {
                 &ingested,
                 population,
                 EngineOptions {
+                    recovery: Default::default(),
                     workers: 1,
                     chunk_size: 0,
                     ..EngineOptions::default()
@@ -48,6 +49,7 @@ fn analysis_is_identical_across_worker_counts_and_chunk_schedules() {
                     &ingested,
                     population,
                     EngineOptions {
+                        recovery: Default::default(),
                         workers,
                         chunk_size,
                         ..EngineOptions::default()
@@ -67,6 +69,7 @@ fn analysis_is_identical_across_worker_counts_and_chunk_schedules() {
                 &ingested,
                 population,
                 EngineOptions {
+                    recovery: Default::default(),
                     workers: 8,
                     chunk_size: 2,
                     ..EngineOptions::default()
@@ -110,6 +113,7 @@ fn streaming_ingestion_is_deterministic_across_schedules() {
                         workers,
                         batch,
                         shards,
+                        recovery: Default::default(),
                     },
                 )
                 .expect("in-memory ingestion cannot fail");

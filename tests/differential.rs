@@ -105,6 +105,7 @@ fn corpus_analysis_is_byte_identical_to_the_multiwalk_path() {
             &ingested,
             population,
             EngineOptions {
+                recovery: Default::default(),
                 workers: 4,
                 chunk_size: 3,
                 ..EngineOptions::default()
@@ -131,6 +132,7 @@ fn streaming_ingestion_is_byte_identical_to_the_materializing_path() {
         let streamed = ingest_streams_with(
             readers,
             StreamOptions {
+                recovery: Default::default(),
                 workers,
                 batch,
                 shards: 8,

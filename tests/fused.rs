@@ -19,6 +19,7 @@ use sparqlog::synth::{generate_single_day_log, Dataset, DatasetProfile, Synthesi
 
 fn uncached_options() -> EngineOptions {
     EngineOptions {
+        recovery: Default::default(),
         workers: 1,
         chunk_size: 0,
         cache: CachePolicy::Disabled,
@@ -71,7 +72,11 @@ fn fused_matches_staged_on_the_fixed_corpus_across_workers_and_batches() {
                 let fused = analyze_streams_with(
                     memory_readers(&raw),
                     population,
-                    FusedOptions { workers, batch },
+                    FusedOptions {
+                        workers,
+                        batch,
+                        recovery: Default::default(),
+                    },
                 )
                 .unwrap();
                 assert_eq!(
@@ -139,6 +144,7 @@ fn cache_shard_boundaries_do_not_change_the_fused_report() {
             FusedOptions {
                 workers: 2,
                 batch: 16,
+                recovery: Default::default(),
             },
             cache,
         )
@@ -209,7 +215,11 @@ proptest! {
             let fused = analyze_streams_with(
                 memory_readers(&raw),
                 population,
-                FusedOptions { workers, batch },
+                FusedOptions {
+                        workers,
+                        batch,
+                        recovery: Default::default(),
+                    },
             ).unwrap();
             let (staged, _) =
                 CorpusAnalysis::analyze_stats(&staged_logs, population, uncached_options());
@@ -269,7 +279,11 @@ proptest! {
         let fused = analyze_streams_with(
             memory_readers(std::slice::from_ref(&raw)),
             Population::Unique,
-            FusedOptions { workers: 3, batch },
+            FusedOptions {
+                workers: 3,
+                batch,
+                recovery: Default::default(),
+            },
         ).unwrap();
         let reference = ingest(&raw);
         prop_assert_eq!(fused.summaries[0].counts, reference.counts);

@@ -11,7 +11,7 @@
 
 use sparqlog::core::corpus::{analyze_streams_with, FileLogReader, FusedOptions, LogReader};
 use sparqlog::core::report::full_report;
-use sparqlog::core::Population;
+use sparqlog::core::{Population, RecoveryPolicy};
 use sparqlog::serve::protocol::{self, Request, Response};
 use sparqlog::serve::{
     Client, ClientError, JobPhase, ServeAddr, ServeConfig, Server, ServerHandle, SlowConsumerPolicy,
@@ -155,7 +155,11 @@ fn concurrent_clients_read_byte_identical_complete_reports() {
     assert!(!draining);
     assert_eq!(jobs, 0);
     let (job, partitions) = client
-        .submit(Population::Unique, submit_specs(&logs))
+        .submit(
+            Population::Unique,
+            RecoveryPolicy::Auto,
+            submit_specs(&logs),
+        )
         .expect("submit");
     assert_eq!(partitions, logs.len() as u64);
     let status = client.wait_settled(job, SETTLE).expect("wait");
@@ -300,21 +304,25 @@ fn graceful_drain_finishes_in_flight_jobs_and_rejects_new_ones() {
 
     let mut client = Client::connect(&addr).expect("connect");
     let (job, _) = client
-        .submit(Population::Valid, submit_specs(&logs))
+        .submit(Population::Valid, RecoveryPolicy::Auto, submit_specs(&logs))
         .expect("submit");
     client.drain().expect("drain");
     let (draining, _) = client.ping().expect("ping");
     assert!(draining);
 
     // New submissions are refused — on this session and on fresh ones.
-    let rejected = client.submit(Population::Valid, submit_specs(&logs));
+    let rejected = client.submit(Population::Valid, RecoveryPolicy::Auto, submit_specs(&logs));
     assert!(
         matches!(&rejected, Err(ClientError::Server(message)) if message.contains("draining")),
         "{rejected:?}"
     );
     let mut late = Client::connect(&addr).expect("late connect");
     assert!(late
-        .submit(Population::Unique, submit_specs(&logs))
+        .submit(
+            Population::Unique,
+            RecoveryPolicy::Auto,
+            submit_specs(&logs)
+        )
         .is_err());
 
     // The in-flight job still runs to completion and serves its report.
@@ -348,7 +356,11 @@ fn a_killed_worker_is_restarted_and_nothing_is_double_counted() {
 
         let mut client = Client::connect(&addr).expect("connect");
         let (job, _) = client
-            .submit(Population::Unique, submit_specs(&logs))
+            .submit(
+                Population::Unique,
+                RecoveryPolicy::Auto,
+                submit_specs(&logs),
+            )
             .expect("submit");
         let status = client.wait_settled(job, SETTLE).expect("wait");
         assert_eq!(
@@ -408,7 +420,11 @@ fn heartbeats_keep_a_slow_but_alive_worker_from_being_killed() {
 
     let mut client = Client::connect(&addr).expect("connect");
     let (job, _) = client
-        .submit(Population::Unique, submit_specs(&logs))
+        .submit(
+            Population::Unique,
+            RecoveryPolicy::Auto,
+            submit_specs(&logs),
+        )
         .expect("submit");
     let status = client.wait_settled(job, SETTLE).expect("wait");
     assert_eq!(status.phase, JobPhase::Complete, "{}", status.error);
@@ -444,7 +460,11 @@ fn a_stalled_worker_is_killed_by_the_heartbeat_timeout_and_recovered() {
 
     let mut client = Client::connect(&addr).expect("connect");
     let (job, _) = client
-        .submit(Population::Unique, submit_specs(&logs))
+        .submit(
+            Population::Unique,
+            RecoveryPolicy::Auto,
+            submit_specs(&logs),
+        )
         .expect("submit");
     let status = client.wait_settled(job, SETTLE).expect("wait");
     assert_eq!(status.phase, JobPhase::Complete, "{}", status.error);

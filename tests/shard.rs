@@ -113,6 +113,7 @@ fn options(shards: usize, worker_threads: usize) -> ShardOptions {
         shards,
         worker_threads,
         worker: WorkerCommand::new(WORKER),
+        recovery: Default::default(),
     }
 }
 

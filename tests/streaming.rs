@@ -54,7 +54,12 @@ proptest! {
             vec![Box::new(SliceLogReader::of(&log)) as Box<dyn LogReader + '_>];
         let streamed = ingest_streams_with(
             readers,
-            StreamOptions { workers, batch, shards: 8 },
+            StreamOptions {
+                workers,
+                batch,
+                shards: 8,
+                recovery: Default::default(),
+            },
         )
         .expect("in-memory ingestion cannot fail");
         prop_assert_eq!(streamed[0].counts, reference.counts);
@@ -196,6 +201,7 @@ fn shard_boundary_duplicates_are_eliminated() {
                     workers: 2,
                     batch,
                     shards,
+                    recovery: Default::default(),
                 },
             )
             .unwrap();

@@ -32,6 +32,7 @@ fn workers_env_override_pins_the_pools_without_changing_reports() {
             &reference_ingest,
             Population::Unique,
             EngineOptions {
+                recovery: Default::default(),
                 workers: 1,
                 chunk_size: 0,
                 ..EngineOptions::default()
