@@ -1,0 +1,431 @@
+//! Ablation: the crash-safe snapshot store (`sparqlog-persist`) — warm
+//! re-serve economics plus a full crash drill against the real daemon.
+//!
+//! Three legs:
+//!
+//! * **cold vs warm** — the incremental engine over a store: the cold run
+//!   analyses and persists every log, the warm run re-serves everything
+//!   from the store (gated: **0 re-analyses**) — both byte-identical to
+//!   the fused engine. Timings land in the CI perf artifact.
+//! * **crash drill** — for each injected crash point of the commit
+//!   protocol (`die-before-commit`, `die-mid-frame`,
+//!   `die-after-commit-pre-fsync`, `bit-flip`), a **real**
+//!   `sparqlog-serve` process is started on a fresh store, a job is
+//!   submitted, and the daemon dies mid-commit with the persist fault
+//!   exit (9). A second daemon is started on the damaged store: it must
+//!   recover, warm-start whatever committed, and answer a resubmission of
+//!   the same logs with a report **byte-identical** to the fused
+//!   engine's. Per-mode recovery details are printed.
+//! * **divergence gate** — every report above must match the fused
+//!   engine's byte-for-byte; the binary exits non-zero otherwise (the CI
+//!   crash-drill matrix keys on this).
+//!
+//! Extra flags (on top of the usual `--scale/--seed/--cap`):
+//!
+//! * `--crash <mode>` — run only that crash leg (the CI `crash-drill`
+//!   matrix runs one mode per job), skipping the timed cold/warm leg;
+//! * `--crash-log <path>` — append each leg's daemon event lines to
+//!   `path` (uploaded as the CI recovery-log artifact on failure).
+
+use sparqlog_bench::gate::DivergenceGate;
+use sparqlog_bench::{banner, open_file_readers, write_corpus_files, HarnessOptions};
+use sparqlog_core::corpus::{analyze_streams_with, FusedOptions};
+use sparqlog_core::report::full_report;
+use sparqlog_core::{analyze_files_incremental, Population, RecoveryPolicy};
+use sparqlog_persist::{FaultMode, SnapshotStore, FAULT_ENV, FAULT_EXIT, FAULT_FLAG_ENV};
+use sparqlog_serve::{Client, ConnectRetry, JobPhase, ServeAddr};
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How many times each log's entries are tiled into its temp file.
+const TILE: usize = 4;
+
+/// Timed repeats of the cold/warm leg; the minimum wins.
+const REPEATS: usize = 3;
+
+/// How long any single daemon phase (settle, death, restart) may take.
+const SETTLE: Duration = Duration::from_secs(300);
+
+/// Resolves the daemon binary like the worker is resolved: the
+/// `SPARQLOG_SERVE_BIN` environment variable if set, otherwise the
+/// `sparqlog-serve` built next to this harness by the same profile.
+fn resolve_serve_bin() -> PathBuf {
+    if let Ok(path) = std::env::var("SPARQLOG_SERVE_BIN") {
+        return PathBuf::from(path);
+    }
+    let exe = std::env::current_exe().expect("current executable");
+    let candidate = exe
+        .parent()
+        .expect("executable parent")
+        .join(format!("sparqlog-serve{}", std::env::consts::EXE_SUFFIX));
+    if candidate.is_file() {
+        return candidate;
+    }
+    eprintln!(
+        "ablation_persist: sparqlog-serve not found next to {} — build it with \
+         `cargo build -p sparqlog` or point SPARQLOG_SERVE_BIN at it",
+        exe.display()
+    );
+    std::process::exit(1);
+}
+
+/// A spawned daemon plus the address it reported on stderr.
+struct Daemon {
+    child: Child,
+    addr: ServeAddr,
+    /// Drains the daemon's remaining stderr so it never blocks on a full
+    /// pipe; joined (best-effort) when the daemon is reaped.
+    drainer: std::thread::JoinHandle<()>,
+}
+
+impl Daemon {
+    /// Spawns `sparqlog-serve` on an ephemeral port with the given store
+    /// and environment, and waits for its "listening on tcp" line.
+    fn spawn(serve_bin: &Path, store: &Path, event_log: &Path, envs: &[(&str, String)]) -> Daemon {
+        let mut command = Command::new(serve_bin);
+        command
+            .args(["--tcp", "127.0.0.1:0", "--heartbeat-ms", "50"])
+            .arg("--store")
+            .arg(store)
+            .arg("--event-log")
+            .arg(event_log)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        for (key, value) in envs {
+            command.env(key, value);
+        }
+        let mut child = command.spawn().expect("spawn sparqlog-serve");
+        let stderr = child.stderr.take().expect("daemon stderr");
+        let mut lines = BufReader::new(stderr).lines();
+        let mut addr = None;
+        for line in lines.by_ref() {
+            let line = line.expect("read daemon stderr");
+            if let Some(spec) = line.split("listening on tcp ").nth(1) {
+                addr = Some(ServeAddr::Tcp(spec.trim().to_string()));
+                break;
+            }
+        }
+        let Some(addr) = addr else {
+            let _ = child.kill();
+            panic!("daemon exited before reporting its listen address");
+        };
+        let drainer = std::thread::spawn(move || for _ in lines.by_ref() {});
+        Daemon {
+            child,
+            addr,
+            drainer,
+        }
+    }
+
+    /// Waits (bounded) for the daemon to exit on its own; returns the exit
+    /// code, or `None` on timeout.
+    fn wait_exit(&mut self, timeout: Duration) -> Option<i32> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(status) = self.child.try_wait().expect("poll daemon") {
+                return status.code();
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Kills and reaps the daemon (used for the healthy restart leg once
+    /// its gates have passed).
+    fn stop(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = self.drainer.join();
+    }
+}
+
+fn submit_specs(files: &[(String, PathBuf)]) -> Vec<(String, String)> {
+    files
+        .iter()
+        .map(|(label, path)| (label.clone(), path.display().to_string()))
+        .collect()
+}
+
+/// Appends one leg's daemon event-log file to the crash-log artifact.
+fn append_crash_log(crash_log: Option<&Path>, leg: &str, event_log: &Path) {
+    let Some(path) = crash_log else { return };
+    let Ok(mut out) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    let _ = writeln!(out, "== crash leg: {leg} ==");
+    if let Ok(contents) = std::fs::read_to_string(event_log) {
+        let _ = out.write_all(contents.as_bytes());
+    }
+    let _ = writeln!(out);
+}
+
+/// One crash leg: daemon dies at the injected commit point, a restarted
+/// daemon recovers the store and re-serves a byte-identical report.
+#[allow(clippy::too_many_arguments)]
+fn crash_leg(
+    gate: &mut DivergenceGate,
+    serve_bin: &Path,
+    scratch: &Path,
+    files: &[(String, PathBuf)],
+    reference: &str,
+    mode: FaultMode,
+    crash_log: Option<&Path>,
+) {
+    let leg = mode.name();
+    let store = scratch.join(format!("store-{leg}.sqps"));
+    let flag = scratch.join(format!("flag-{leg}"));
+    let retry = ConnectRetry {
+        attempts: 50,
+        backoff: Duration::from_millis(50),
+        backoff_cap: Duration::from_millis(500),
+    };
+
+    // Phase 1: daemon under fault injection. The job runs on real worker
+    // processes; the first store commit (at job completion) dies at the
+    // injected point with the persist fault exit.
+    let event_log_1 = scratch.join(format!("events-{leg}-1.log"));
+    let mut daemon = Daemon::spawn(
+        serve_bin,
+        &store,
+        &event_log_1,
+        &[
+            (FAULT_ENV, leg.to_string()),
+            (FAULT_FLAG_ENV, flag.display().to_string()),
+        ],
+    );
+    let mut client = Client::connect_with_retry(&daemon.addr, &retry).expect("connect");
+    client
+        .submit(
+            Population::Unique,
+            RecoveryPolicy::Auto,
+            submit_specs(files),
+        )
+        .expect("submit under fault");
+    drop(client); // the daemon dies mid-commit; don't race its last breath
+    let exit = daemon.wait_exit(SETTLE);
+    let _ = daemon.child.wait();
+    let _ = daemon.drainer.join();
+    gate.require(
+        exit == Some(FAULT_EXIT),
+        &format!("crash leg '{leg}': daemon exited {exit:?}, expected the fault exit {FAULT_EXIT}"),
+    );
+    append_crash_log(crash_log, &format!("{leg} (crashed daemon)"), &event_log_1);
+
+    // Phase 2: clean restart on the damaged store. Recovery must not
+    // panic, warm-starts whatever committed, and a resubmission of the
+    // same logs settles to a byte-identical report (store hits for
+    // persisted logs, fresh workers for the rest).
+    let event_log_2 = scratch.join(format!("events-{leg}-2.log"));
+    let daemon = Daemon::spawn(serve_bin, &store, &event_log_2, &[]);
+    let mut client = Client::connect_with_retry(&daemon.addr, &retry).expect("reconnect");
+    let (job, _) = client
+        .submit(
+            Population::Unique,
+            RecoveryPolicy::Auto,
+            submit_specs(files),
+        )
+        .expect("resubmit after crash");
+    let status = client.wait_settled(job, SETTLE).expect("wait resubmitted");
+    gate.require(
+        status.phase == JobPhase::Complete,
+        &format!(
+            "crash leg '{leg}': resubmitted job failed: {}",
+            status.error
+        ),
+    );
+    let report = client.report(job, true).expect("report after recovery");
+    gate.compare(
+        &format!("report differs from fused after '{leg}' recovery"),
+        reference,
+        &report.text,
+    );
+
+    let events = client.events(0).expect("events");
+    let warm_jobs = events
+        .iter()
+        .filter(|l| l.contains("event=job-warm-start"))
+        .count();
+    let hits = events
+        .iter()
+        .filter(|l| l.contains("event=store-hit"))
+        .count();
+    let recovery = events
+        .iter()
+        .find(|l| l.contains("event=store-open"))
+        .cloned()
+        .unwrap_or_default();
+    gate.require(
+        !recovery.is_empty(),
+        &format!("crash leg '{leg}': restarted daemon logged no store-open event"),
+    );
+    println!(
+        "  {leg:<28} exit={} warm_jobs={warm_jobs} store_hits={hits}/{}",
+        exit.unwrap_or(-1),
+        files.len()
+    );
+    println!("    {}", recovery.trim());
+    drop(client);
+    daemon.stop();
+    append_crash_log(
+        crash_log,
+        &format!("{leg} (restarted daemon)"),
+        &event_log_2,
+    );
+}
+
+fn main() {
+    let opts = HarnessOptions::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let mut only_crash: Option<String> = None;
+    let mut crash_log: Option<PathBuf> = None;
+    for i in 1..args.len() {
+        match args[i].as_str() {
+            "--crash" => only_crash = args.get(i + 1).cloned(),
+            "--crash-log" => crash_log = args.get(i + 1).map(PathBuf::from),
+            _ => {}
+        }
+    }
+    if let Some(mode) = &only_crash {
+        if FaultMode::parse(mode).is_none() {
+            eprintln!(
+                "ablation_persist: unknown crash mode '{mode}' (expected one of {})",
+                FaultMode::ALL.map(FaultMode::name).join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
+    banner("ablation: crash-safe snapshot store", &opts);
+
+    let serve_bin = resolve_serve_bin();
+    let dir = std::env::temp_dir().join(format!("sparqlog-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp corpus dir");
+    let (files, total_entries) = write_corpus_files(&opts, &dir, TILE);
+
+    // -- In-process reference. -----------------------------------------------
+    let fused = analyze_streams_with(
+        open_file_readers(&files),
+        Population::Unique,
+        FusedOptions::default(),
+    )
+    .expect("fused reference run");
+    let reference = full_report(&fused.corpus);
+    let counts = &fused.corpus.combined.counts;
+    println!(
+        "corpus: {} logs, {} entries on disk, {} valid, {} distinct canonical forms",
+        files.len(),
+        total_entries,
+        counts.valid,
+        counts.unique
+    );
+
+    let mut gate = DivergenceGate::new();
+
+    // -- Timed leg: cold ingest vs warm re-serve through the store. ----------
+    if only_crash.is_none() {
+        let mut cold_time = f64::INFINITY;
+        let mut warm_time = f64::INFINITY;
+        for repeat in 0..REPEATS {
+            let store_path = dir.join(format!("warm-{repeat}.sqps"));
+            let (mut store, _) = SnapshotStore::open(&store_path).expect("create store");
+            let start = Instant::now();
+            let cold = analyze_files_incremental(
+                &files,
+                Population::Unique,
+                FusedOptions::default(),
+                &mut store,
+            )
+            .expect("cold incremental run");
+            store.commit().expect("commit snapshots");
+            cold_time = cold_time.min(start.elapsed().as_secs_f64());
+            gate.require(
+                cold.stats.misses == files.len() as u64,
+                "cold run did not analyse every log",
+            );
+            gate.compare(
+                "cold incremental report differs from fused",
+                &reference,
+                &full_report(&cold.corpus),
+            );
+            drop(store);
+
+            let (mut store, recovery) = SnapshotStore::open(&store_path).expect("reopen store");
+            gate.require(
+                recovery.is_clean(),
+                &format!("committed store reopened dirty: {recovery}"),
+            );
+            let start = Instant::now();
+            let warm = analyze_files_incremental(
+                &files,
+                Population::Unique,
+                FusedOptions::default(),
+                &mut store,
+            )
+            .expect("warm incremental run");
+            warm_time = warm_time.min(start.elapsed().as_secs_f64());
+            gate.require(
+                warm.stats.misses == 0,
+                &format!(
+                    "warm run re-analysed {} logs (expected 0)",
+                    warm.stats.misses
+                ),
+            );
+            gate.compare(
+                "warm incremental report differs from fused",
+                &reference,
+                &full_report(&warm.corpus),
+            );
+        }
+        println!(
+            "\n{:<44} {:>10} {:>14}",
+            "incremental over the store", "time", "entries/s"
+        );
+        println!(
+            "{:<44} {:>8.2}ms {:>14.0}",
+            "cold (analyse + persist + commit)",
+            cold_time * 1e3,
+            total_entries as f64 / cold_time
+        );
+        println!(
+            "{:<44} {:>8.2}ms {:>14.0}",
+            "warm (0 re-analyses, store only)",
+            warm_time * 1e3,
+            total_entries as f64 / warm_time
+        );
+        println!(
+            "{:<44} {:>9.1}x",
+            "warm speedup",
+            cold_time / warm_time.max(1e-9)
+        );
+    }
+
+    // -- Crash drill: every injected commit crash recovers. ------------------
+    println!("\ncrash drill (restart recovers, resubmitted report byte-identical):");
+    for mode in FaultMode::ALL {
+        if only_crash.as_deref().is_none_or(|only| only == mode.name()) {
+            crash_leg(
+                &mut gate,
+                &serve_bin,
+                &dir,
+                &files,
+                &reference,
+                mode,
+                crash_log.as_deref(),
+            );
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    gate.finish(
+        "snapshot-store reports are byte-identical to the in-process fused engine's \
+         on cold ingest, warm re-serve, and after every injected-crash recovery",
+    );
+}

@@ -12,6 +12,10 @@
 //!   duplicates fold occurrence-weighted, and no query AST outlives its
 //!   batch — the production path; the staged pipeline below is its
 //!   differential baseline.
+//! * [`incremental`] — store-aware ingestion: logs are keyed by a
+//!   canonical identity (population + label + raw bytes) and served from a
+//!   [`incremental::SnapshotMemo`] when already analysed — cold ingest
+//!   once, warm re-serve forever, byte-identical reports either way.
 //! * [`query_analysis`] — the single-pass per-query intermediate
 //!   ([`QueryAnalysis`]): one AST traversal and one canonical-graph
 //!   construction feed every measure.
@@ -77,6 +81,7 @@ pub mod baseline;
 pub mod cache;
 pub mod corpus;
 pub mod fused;
+pub mod incremental;
 pub mod query_analysis;
 pub mod recover;
 pub mod report;
@@ -93,6 +98,10 @@ pub use corpus::{
 pub use fused::{
     analyze_streams, analyze_streams_cached, analyze_streams_with, FusedAnalysis, FusedOptions,
     FusedStats, LogSummary,
+};
+pub use incremental::{
+    analyze_files_incremental, file_identity, log_identity, IncrementalAnalysis, MemoStats,
+    PersistedLog, SnapshotMemo,
 };
 pub use query_analysis::QueryAnalysis;
 pub use recover::{BudgetExceeded, ErrorTally, ReaderDefect, RecoveryPolicy};

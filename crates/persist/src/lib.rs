@@ -1,0 +1,59 @@
+//! # sparqlog-persist
+//!
+//! The crash-safe persistent snapshot store of the `sparqlog` toolkit: a
+//! durable, append-only file of CRC-checked records with explicit commit
+//! points, torn-write recovery and warm-start serving.
+//!
+//! * [`store`] — the [`SnapshotStore`]: per-log analyses keyed by their
+//!   canonical identity and completed-job manifests, made durable by
+//!   [`SnapshotStore::commit`] (commit record, then `fsync` — data first,
+//!   directory entry at creation). [`SnapshotStore::open`] scans the file,
+//!   truncates anything after the last valid commit, and reports exactly
+//!   which byte range was dropped and why. It never panics on any input.
+//! * [`faults`] — opt-in crash injection (`SPARQLOG_PERSIST_FAULT`) at the
+//!   four interesting instants of the commit protocol, driving the CI
+//!   crash drill the same way the shard fault knobs drive the supervisor
+//!   drill.
+//!
+//! The store implements [`SnapshotMemo`](sparqlog_core::SnapshotMemo), so
+//! [`analyze_files_incremental`](sparqlog_core::analyze_files_incremental)
+//! runs cold exactly once per distinct log and re-serves warm forever,
+//! with byte-identical reports either way:
+//!
+//! ```
+//! use sparqlog_core::{analyze_files_incremental, report, FusedOptions, Population};
+//! use sparqlog_persist::SnapshotStore;
+//!
+//! let dir = std::env::temp_dir().join(format!("sparqlog-persist-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let log = dir.join("wikidata.log");
+//! std::fs::write(&log, "SELECT ?x WHERE { ?x a <http://example.org/C> }\n")?;
+//! let files = vec![("wikidata".to_string(), log)];
+//!
+//! // Cold: analyse once, persist each log's snapshot, commit durably.
+//! let (mut store, _) = SnapshotStore::open(dir.join("snapshots.sqps"))?;
+//! let cold = analyze_files_incremental(
+//!     &files, Population::Unique, FusedOptions::default(), &mut store)?;
+//! store.commit()?;
+//! assert_eq!((cold.stats.hits, cold.stats.misses), (0, 1));
+//! drop(store);
+//!
+//! // Warm: a fresh process re-serves from the store, analysing nothing.
+//! let (mut store, report) = SnapshotStore::open(dir.join("snapshots.sqps"))?;
+//! assert!(report.is_clean());
+//! let warm = analyze_files_incremental(
+//!     &files, Population::Unique, FusedOptions::default(), &mut store)?;
+//! assert_eq!((warm.stats.hits, warm.stats.misses), (1, 0));
+//! assert_eq!(report::full_report(&warm.corpus), report::full_report(&cold.corpus));
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod store;
+
+pub use faults::{FaultMode, FAULT_ENV, FAULT_EXIT, FAULT_FLAG_ENV};
+pub use store::{JobLog, JobRecord, RecoveryReason, RecoveryReport, SnapshotStore};

@@ -1,0 +1,969 @@
+//! The durable snapshot store: a single append-only file of CRC-checked
+//! records with explicit commit points and a truncate-to-last-commit
+//! recovery scan.
+//!
+//! # File format
+//!
+//! ```text
+//! "SQPS" version        -- 5-byte header (magic + format version)
+//! record*               -- append-only records, each:
+//!   varint payload-len
+//!   payload             -- first byte is the record tag
+//!   crc32c(payload)     -- 4 bytes little-endian (Castagnoli)
+//! ```
+//!
+//! Payload tags: [`TAG_SNAPSHOT`] (a per-log analysis keyed by its
+//! canonical identity), [`TAG_JOB`] (a completed serve job's manifest) and
+//! [`TAG_COMMIT`] (sequence number + how many records it covers). Records
+//! between two commits are **provisional**: a crash before the commit
+//! record leaves them in the file, and the next [`SnapshotStore::open`]
+//! drops them.
+//!
+//! # Durability protocol
+//!
+//! * Creating the store writes the header, `fsync`s the file, then
+//!   `fsync`s the parent directory — data first, then the directory entry
+//!   that names it.
+//! * [`SnapshotStore::commit`] appends a commit record (whose payload
+//!   cross-checks both the next sequence number and the number of records
+//!   it covers), then `fsync`s file data. Nothing is durable until the
+//!   commit's fsync returns.
+//!
+//! # Recovery
+//!
+//! [`SnapshotStore::open`] scans the whole file front to back, verifying
+//! every record's length, checksum and decoding, and applying records to
+//! the in-memory index only when their covering commit record is reached
+//! intact. The first invalid point — torn length varint, short payload,
+//! checksum mismatch, undecodable payload, commit-sequence gap — stops the
+//! scan; the file is truncated back to the end of the **last valid
+//! commit** and the [`RecoveryReport`] names exactly which byte range was
+//! dropped and why. A file whose header is damaged is reinitialized from
+//! scratch (reported as [`RecoveryReason::BadHeader`] with the full former
+//! length dropped). `open` never panics on any input file.
+
+use crate::faults::{self, FaultMode, FAULT_EXIT};
+use sparqlog_core::analysis::{DatasetAnalysis, Population};
+use sparqlog_core::recover::RecoveryPolicy;
+use sparqlog_core::{LogSummary, PersistedLog, SnapshotMemo};
+use sparqlog_shard::codec::{crc32c, Decoder, Encoder};
+use sparqlog_shard::snapshot::Snapshot;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+/// The store file's magic bytes.
+pub const MAGIC: [u8; 4] = *b"SQPS";
+
+/// The store format version.
+pub const VERSION: u8 = 1;
+
+/// Header length: magic + version byte.
+const HEADER_LEN: u64 = 5;
+
+/// Upper bound a record may declare for its payload — a sanity cap, far
+/// above any real snapshot, matching the shard codec's frame cap.
+const MAX_RECORD_BYTES: u64 = 1 << 28;
+
+/// Record tag: a per-log `(key, summary, analysis)` snapshot.
+pub const TAG_SNAPSHOT: u8 = 1;
+
+/// Record tag: a completed job's manifest (population, policy, log list).
+pub const TAG_JOB: u8 = 2;
+
+/// Record tag: a commit point (sequence number + records covered).
+pub const TAG_COMMIT: u8 = 3;
+
+// ---------------------------------------------------------------------------
+// Job records.
+// ---------------------------------------------------------------------------
+
+/// One log of a persisted job manifest: its canonical identity plus the
+/// label/path needed to warm-start the job without re-hashing anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobLog {
+    /// The log's canonical identity (see `sparqlog_core::log_identity`).
+    pub key: u128,
+    /// The dataset label.
+    pub label: String,
+    /// The log's file path as submitted.
+    pub path: String,
+}
+
+/// A completed job's manifest, persisted so a restarted daemon can
+/// warm-start the job from its snapshot records alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The population the job analysed.
+    pub population: Population,
+    /// The recovery policy the job ran under.
+    pub recovery: RecoveryPolicy,
+    /// The job's logs, in submission order.
+    pub logs: Vec<JobLog>,
+}
+
+// ---------------------------------------------------------------------------
+// Recovery reporting.
+// ---------------------------------------------------------------------------
+
+/// Why the recovery scan stopped where it did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryReason {
+    /// The file did not exist (or was empty); a fresh header was written.
+    Created,
+    /// Every byte was a valid committed record — nothing dropped.
+    Clean,
+    /// Valid records followed the last commit but no commit covered them —
+    /// a crash between append and commit.
+    Uncommitted,
+    /// The file ended inside a record — a torn write.
+    TornRecord,
+    /// A record's payload did not match its stored checksum.
+    ChecksumMismatch {
+        /// The checksum stored in the file.
+        expected: u32,
+        /// The checksum computed over the payload found.
+        found: u32,
+    },
+    /// A record's payload was checksummed correctly but undecodable, or a
+    /// commit record's cross-checks (sequence, record count) failed.
+    Malformed {
+        /// Human-readable detail of the decode failure.
+        detail: String,
+    },
+    /// The header was missing or damaged; the store was reinitialized and
+    /// the whole former content dropped.
+    BadHeader,
+}
+
+impl fmt::Display for RecoveryReason {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryReason::Created => write!(out, "created"),
+            RecoveryReason::Clean => write!(out, "clean"),
+            RecoveryReason::Uncommitted => write!(out, "uncommitted records"),
+            RecoveryReason::TornRecord => write!(out, "torn record"),
+            RecoveryReason::ChecksumMismatch { expected, found } => write!(
+                out,
+                "checksum mismatch (stored {expected:#010x}, computed {found:#010x})"
+            ),
+            RecoveryReason::Malformed { detail } => write!(out, "malformed record: {detail}"),
+            RecoveryReason::BadHeader => write!(out, "bad header"),
+        }
+    }
+}
+
+/// What [`SnapshotStore::open`] found and did — every open produces one,
+/// and its [`Display`](fmt::Display) line is what the serve daemon logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Bytes the file held when opened.
+    pub file_bytes: u64,
+    /// Bytes kept after recovery (the end of the last valid commit).
+    pub kept_bytes: u64,
+    /// The byte range dropped by recovery, if any.
+    pub dropped: Option<Range<u64>>,
+    /// Whole, individually-valid records inside the dropped range (a torn
+    /// or corrupt tail may hide more beyond the first invalid point).
+    pub dropped_records: u64,
+    /// Commit records applied.
+    pub commits: u64,
+    /// Snapshot records loaded into the index.
+    pub snapshots: u64,
+    /// Job manifests loaded.
+    pub jobs: u64,
+    /// Why the scan stopped where it did.
+    pub reason: RecoveryReason,
+}
+
+impl RecoveryReport {
+    /// Whether nothing was dropped (a clean or freshly-created store).
+    pub fn is_clean(&self) -> bool {
+        self.dropped.is_none()
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.dropped {
+            None => write!(
+                out,
+                "store {}: kept {} bytes, {} commits, {} snapshots, {} jobs",
+                self.reason, self.kept_bytes, self.commits, self.snapshots, self.jobs
+            ),
+            Some(range) => write!(
+                out,
+                "store recovered ({}): dropped bytes {}..{} ({} whole records), \
+                 kept {} bytes, {} commits, {} snapshots, {} jobs",
+                self.reason,
+                range.start,
+                range.end,
+                self.dropped_records,
+                self.kept_bytes,
+                self.commits,
+                self.snapshots,
+                self.jobs
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The store.
+// ---------------------------------------------------------------------------
+
+/// The durable snapshot store (see the [module docs](self) for the format
+/// and protocol). Opened with [`SnapshotStore::open`]; appends stage
+/// records, [`SnapshotStore::commit`] makes them durable.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    file: File,
+    path: PathBuf,
+    /// Bytes written so far, including uncommitted appends.
+    length: u64,
+    /// Bytes covered by the last commit (the recovery point).
+    committed: u64,
+    /// Sequence number of the last commit.
+    seq: u64,
+    /// Records appended since the last commit.
+    pending: u64,
+    index: HashMap<u128, PersistedLog>,
+    jobs: Vec<JobRecord>,
+    job_identities: HashSet<u128>,
+    /// An append error deferred by the infallible [`SnapshotMemo`] hook,
+    /// surfaced by the next [`SnapshotStore::commit`].
+    poisoned: Option<io::Error>,
+}
+
+/// A record decoded during the recovery scan, held provisionally until its
+/// covering commit record arrives intact.
+enum Decoded {
+    Snapshot(u128, Box<PersistedLog>),
+    Job(JobRecord),
+    Commit { seq: u64, records: u64 },
+}
+
+/// Why the scan stopped before the end of the file.
+enum Stop {
+    Torn,
+    Checksum { expected: u32, found: u32 },
+    Malformed { detail: String },
+}
+
+impl SnapshotStore {
+    /// Opens (creating if absent) the store at `path`, running the
+    /// recovery scan described in the [module docs](self). Never panics on
+    /// any file content; the report says what was kept and dropped.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<(SnapshotStore, RecoveryReport)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let file_bytes = bytes.len() as u64;
+
+        // Header check: empty file → fresh store; damaged header → the
+        // content is unreadable by construction, reinitialize.
+        let header_ok =
+            bytes.len() >= HEADER_LEN as usize && bytes[..4] == MAGIC && bytes[4] == VERSION;
+        if !header_ok {
+            let reason = if bytes.is_empty() {
+                RecoveryReason::Created
+            } else {
+                RecoveryReason::BadHeader
+            };
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            let mut header = MAGIC.to_vec();
+            header.push(VERSION);
+            file.write_all(&header)?;
+            file.sync_all()?;
+            sync_parent_dir(&path)?;
+            let report = RecoveryReport {
+                file_bytes,
+                kept_bytes: HEADER_LEN,
+                dropped: (file_bytes > 0).then_some(0..file_bytes),
+                dropped_records: 0,
+                commits: 0,
+                snapshots: 0,
+                jobs: 0,
+                reason,
+            };
+            return Ok((SnapshotStore::fresh(file, path), report));
+        }
+
+        // Scan records, applying them only at intact commit points.
+        let mut store = SnapshotStore::fresh(file, path);
+        let mut offset = HEADER_LEN as usize;
+        let mut provisional: Vec<Decoded> = Vec::new();
+        let mut commits = 0u64;
+        let mut stop: Option<Stop> = None;
+        while offset < bytes.len() {
+            let (payload, end) = match read_record(&bytes, offset) {
+                Ok(record) => record,
+                Err(found) => {
+                    stop = Some(found);
+                    break;
+                }
+            };
+            match decode_record(payload) {
+                Ok(Decoded::Commit { seq, records }) => {
+                    if seq != store.seq + 1 {
+                        stop = Some(Stop::Malformed {
+                            detail: format!("commit sequence {seq} after commit {}", store.seq),
+                        });
+                        break;
+                    }
+                    if records != provisional.len() as u64 {
+                        stop = Some(Stop::Malformed {
+                            detail: format!(
+                                "commit covers {records} records but {} were read",
+                                provisional.len()
+                            ),
+                        });
+                        break;
+                    }
+                    for record in provisional.drain(..) {
+                        store.apply(record);
+                    }
+                    store.seq = seq;
+                    store.committed = end as u64;
+                    commits += 1;
+                }
+                Ok(record) => provisional.push(record),
+                Err(detail) => {
+                    stop = Some(Stop::Malformed { detail });
+                    break;
+                }
+            }
+            offset = end;
+        }
+
+        let dropped_records = provisional.len() as u64;
+        let reason = match stop {
+            None if dropped_records == 0 => RecoveryReason::Clean,
+            None => RecoveryReason::Uncommitted,
+            Some(Stop::Torn) => RecoveryReason::TornRecord,
+            Some(Stop::Checksum { expected, found }) => {
+                RecoveryReason::ChecksumMismatch { expected, found }
+            }
+            Some(Stop::Malformed { detail }) => RecoveryReason::Malformed { detail },
+        };
+        let kept = store.committed;
+        if kept < file_bytes {
+            // Drop the invalid tail durably so a later crash cannot
+            // resurrect it behind freshly-appended records.
+            store.file.set_len(kept)?;
+            store.file.sync_data()?;
+        }
+        store.file.seek(SeekFrom::Start(kept))?;
+        store.length = kept;
+        let report = RecoveryReport {
+            file_bytes,
+            kept_bytes: kept,
+            dropped: (kept < file_bytes).then_some(kept..file_bytes),
+            dropped_records,
+            commits,
+            snapshots: store.index.len() as u64,
+            jobs: store.jobs.len() as u64,
+            reason,
+        };
+        Ok((store, report))
+    }
+
+    fn fresh(file: File, path: PathBuf) -> SnapshotStore {
+        SnapshotStore {
+            file,
+            path,
+            length: HEADER_LEN,
+            committed: HEADER_LEN,
+            seq: 0,
+            pending: 0,
+            index: HashMap::new(),
+            jobs: Vec::new(),
+            job_identities: HashSet::new(),
+            poisoned: None,
+        }
+    }
+
+    fn apply(&mut self, record: Decoded) {
+        match record {
+            Decoded::Snapshot(key, log) => {
+                self.index.insert(key, *log);
+            }
+            Decoded::Job(job) => {
+                self.job_identities.insert(job_identity(&job));
+                self.jobs.push(job);
+            }
+            Decoded::Commit { .. } => unreachable!("commits are applied in the scan"),
+        }
+    }
+
+    /// The store file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The persisted analysis for `key`, if present.
+    pub fn get(&self, key: u128) -> Option<&PersistedLog> {
+        self.index.get(&key)
+    }
+
+    /// Whether `key` has a persisted analysis.
+    pub fn contains(&self, key: u128) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Number of persisted per-log snapshots.
+    pub fn snapshots(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Every persisted key, in ascending order.
+    pub fn snapshot_keys(&self) -> Vec<u128> {
+        let mut keys: Vec<u128> = self.index.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The committed job manifests, in commit order.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// Sequence number of the last commit (0 for a fresh store).
+    pub fn sequence(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records appended but not yet covered by a commit.
+    pub fn pending_records(&self) -> u64 {
+        self.pending
+    }
+
+    /// Total bytes written, including any uncommitted tail.
+    pub fn total_bytes(&self) -> u64 {
+        self.length
+    }
+
+    /// Bytes covered by the last commit — what a crash right now keeps.
+    pub fn committed_bytes(&self) -> u64 {
+        self.committed
+    }
+
+    /// Appends a per-log snapshot under its canonical `key`. Returns
+    /// `false` without writing when the key is already persisted (appends
+    /// are idempotent per key). Durable only after [`SnapshotStore::commit`].
+    pub fn record_snapshot(&mut self, key: u128, log: &PersistedLog) -> io::Result<bool> {
+        if self.index.contains_key(&key) {
+            return Ok(false);
+        }
+        let mut payload = Encoder::new();
+        payload.put_u8(TAG_SNAPSHOT);
+        payload.put_u128(key);
+        log.summary.encode(&mut payload);
+        log.analysis.encode(&mut payload);
+        self.append_record(&payload.into_bytes())?;
+        self.index.insert(key, log.clone());
+        Ok(true)
+    }
+
+    /// Appends a completed job's manifest. Returns `false` without writing
+    /// when an identical manifest is already persisted — resubmitting the
+    /// same job after a restart is idempotent. Durable only after
+    /// [`SnapshotStore::commit`].
+    pub fn record_job(&mut self, job: &JobRecord) -> io::Result<bool> {
+        let identity = job_identity(job);
+        if self.job_identities.contains(&identity) {
+            return Ok(false);
+        }
+        let mut payload = Encoder::new();
+        payload.put_u8(TAG_JOB);
+        payload.put_u8(match job.population {
+            Population::Unique => 0,
+            Population::Valid => 1,
+        });
+        payload.put_str(&job.recovery.spelling());
+        payload.put_usize(job.logs.len());
+        for log in &job.logs {
+            payload.put_u128(log.key);
+            payload.put_str(&log.label);
+            payload.put_str(&log.path);
+        }
+        self.append_record(&payload.into_bytes())?;
+        self.job_identities.insert(identity);
+        self.jobs.push(job.clone());
+        Ok(true)
+    }
+
+    fn append_record(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut frame = Encoder::new();
+        frame.put_usize(payload.len());
+        let mut bytes = frame.into_bytes();
+        bytes.extend_from_slice(payload);
+        bytes.extend_from_slice(&crc32c(payload).to_le_bytes());
+        self.file.write_all(&bytes)?;
+        self.length += bytes.len() as u64;
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Commits every record appended since the last commit: writes the
+    /// commit record, then `fsync`s file data. Surfaces any append error a
+    /// [`SnapshotMemo`] hook deferred. A no-op (returning the current
+    /// sequence) when nothing is pending. Returns the new sequence number.
+    pub fn commit(&mut self) -> io::Result<u64> {
+        if let Some(error) = self.poisoned.take() {
+            return Err(error);
+        }
+        if self.pending == 0 {
+            return Ok(self.seq);
+        }
+        let fault = faults::injected();
+        if fault == Some(FaultMode::DieBeforeCommit) {
+            // Data records are appended; the commit record never lands.
+            std::process::exit(FAULT_EXIT);
+        }
+        let mut payload = Encoder::new();
+        payload.put_u8(TAG_COMMIT);
+        payload.put_varint(self.seq + 1);
+        payload.put_varint(self.pending);
+        let payload = payload.into_bytes();
+        let mut frame = Encoder::new();
+        frame.put_usize(payload.len());
+        let mut bytes = frame.into_bytes();
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&crc32c(&payload).to_le_bytes());
+        if fault == Some(FaultMode::DieMidFrame) {
+            // A torn write: half the commit record reaches the file.
+            let _ = self.file.write_all(&bytes[..bytes.len() / 2]);
+            std::process::exit(FAULT_EXIT);
+        }
+        self.file.write_all(&bytes)?;
+        if fault == Some(FaultMode::DieAfterCommitPreFsync) {
+            // The commit record is in the page cache but not fsynced; a
+            // process death (unlike power loss) keeps it.
+            std::process::exit(FAULT_EXIT);
+        }
+        self.file.sync_data()?;
+        self.length += bytes.len() as u64;
+        self.committed = self.length;
+        self.seq += 1;
+        self.pending = 0;
+        if fault == Some(FaultMode::BitFlip) {
+            // At-rest corruption: flip one committed bit mid-file, sync,
+            // die. The next open's CRC scan must find it.
+            let _ = self.flip_committed_bit();
+            std::process::exit(FAULT_EXIT);
+        }
+        Ok(self.seq)
+    }
+
+    fn flip_committed_bit(&mut self) -> io::Result<()> {
+        let span = self.committed - HEADER_LEN;
+        if span == 0 {
+            return Ok(());
+        }
+        let target = HEADER_LEN + span / 2;
+        self.file.seek(SeekFrom::Start(target))?;
+        let mut byte = [0u8; 1];
+        self.file.read_exact(&mut byte)?;
+        byte[0] ^= 1;
+        self.file.seek(SeekFrom::Start(target))?;
+        self.file.write_all(&byte)?;
+        self.file.sync_data()
+    }
+}
+
+impl SnapshotMemo for SnapshotStore {
+    fn load(&mut self, key: u128) -> Option<PersistedLog> {
+        self.index.get(&key).cloned()
+    }
+
+    /// Appends the snapshot; an I/O failure is deferred (the trait hook is
+    /// infallible) and surfaced by the next [`SnapshotStore::commit`].
+    fn record(&mut self, key: u128, log: &PersistedLog) {
+        if self.poisoned.is_some() {
+            return;
+        }
+        if let Err(error) = self.record_snapshot(key, log) {
+            self.poisoned = Some(error);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scan primitives.
+// ---------------------------------------------------------------------------
+
+/// Reads one record at `offset`: returns its payload slice and the offset
+/// just past its checksum, or why it cannot be read.
+fn read_record(bytes: &[u8], offset: usize) -> Result<(&[u8], usize), Stop> {
+    // Length varint, by hand: a clean EOF inside it is a torn write.
+    let mut length = 0u64;
+    let mut at = offset;
+    loop {
+        let Some(&byte) = bytes.get(at) else {
+            return Err(Stop::Torn);
+        };
+        let shift = (at - offset) * 7;
+        if shift >= 64 {
+            return Err(Stop::Malformed {
+                detail: "record length varint overflows".to_string(),
+            });
+        }
+        length |= u64::from(byte & 0x7F) << shift;
+        at += 1;
+        if byte & 0x80 == 0 {
+            break;
+        }
+    }
+    if length > MAX_RECORD_BYTES {
+        return Err(Stop::Malformed {
+            detail: format!("record declares {length} bytes (cap {MAX_RECORD_BYTES})"),
+        });
+    }
+    let payload_end = at + length as usize;
+    let end = payload_end + 4;
+    if end > bytes.len() {
+        return Err(Stop::Torn);
+    }
+    let payload = &bytes[at..payload_end];
+    let expected = u32::from_le_bytes(bytes[payload_end..end].try_into().expect("4 bytes"));
+    let found = crc32c(payload);
+    if expected != found {
+        return Err(Stop::Checksum { expected, found });
+    }
+    Ok((payload, end))
+}
+
+/// Decodes one checksummed payload into a record, or a human-readable
+/// reason it is malformed.
+fn decode_record(payload: &[u8]) -> Result<Decoded, String> {
+    let mut input = Decoder::new(payload);
+    let decoded = (|| {
+        let record = match input.take_u8()? {
+            TAG_SNAPSHOT => {
+                let key = input.take_u128()?;
+                let summary = LogSummary::decode(&mut input)?;
+                let analysis = DatasetAnalysis::decode(&mut input)?;
+                Decoded::Snapshot(key, Box::new(PersistedLog { summary, analysis }))
+            }
+            TAG_JOB => {
+                let population = match input.take_u8()? {
+                    0 => Population::Unique,
+                    1 => Population::Valid,
+                    other => return Err(input.invalid("job population", u64::from(other))),
+                };
+                let spelling = input.take_str()?;
+                let recovery = RecoveryPolicy::parse(&spelling)
+                    .ok_or_else(|| input.invalid("job recovery policy", 0))?;
+                let count = input.take_usize()?;
+                let mut logs = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    logs.push(JobLog {
+                        key: input.take_u128()?,
+                        label: input.take_str()?,
+                        path: input.take_str()?,
+                    });
+                }
+                Decoded::Job(JobRecord {
+                    population,
+                    recovery,
+                    logs,
+                })
+            }
+            TAG_COMMIT => Decoded::Commit {
+                seq: input.take_varint()?,
+                records: input.take_varint()?,
+            },
+            other => return Err(input.invalid("record tag", u64::from(other))),
+        };
+        input.finish()?;
+        Ok(record)
+    })();
+    decoded.map_err(|error| error.to_string())
+}
+
+/// The identity a [`JobRecord`] deduplicates under: FNV-1a over its wire
+/// encoding, so "the same job" means byte-identical manifest.
+fn job_identity(job: &JobRecord) -> u128 {
+    let mut payload = Encoder::new();
+    payload.put_u8(match job.population {
+        Population::Unique => 0,
+        Population::Valid => 1,
+    });
+    payload.put_str(&job.recovery.spelling());
+    payload.put_usize(job.logs.len());
+    for log in &job.logs {
+        payload.put_u128(log.key);
+        payload.put_str(&log.label);
+        payload.put_str(&log.path);
+    }
+    let mut state: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    for byte in payload.into_bytes() {
+        state ^= u128::from(byte);
+        state = state.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+    }
+    state
+}
+
+/// `fsync`s the directory holding `path`, making the file's directory
+/// entry itself durable (the second half of the data-then-directory
+/// protocol).
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparqlog_core::corpus::CorpusCounts;
+    use sparqlog_core::recover::ErrorTally;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("sparqlog-persist-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(label: &str, fingerprint: u128) -> PersistedLog {
+        PersistedLog {
+            summary: LogSummary {
+                label: label.to_string(),
+                counts: CorpusCounts::default(),
+                occurrences: vec![(fingerprint, 2)],
+                errors: ErrorTally::default(),
+            },
+            analysis: DatasetAnalysis {
+                label: label.to_string(),
+                ..DatasetAnalysis::default()
+            },
+        }
+    }
+
+    fn sample_job() -> JobRecord {
+        JobRecord {
+            population: Population::Unique,
+            recovery: RecoveryPolicy::Lenient,
+            logs: vec![JobLog {
+                key: 7,
+                label: "alpha".to_string(),
+                path: "/logs/alpha.log".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn a_fresh_store_is_created_then_reopens_clean() {
+        let dir = scratch("fresh");
+        let path = dir.join("store.sqps");
+        let (store, report) = SnapshotStore::open(&path).unwrap();
+        assert_eq!(report.reason, RecoveryReason::Created);
+        assert_eq!(report.kept_bytes, HEADER_LEN);
+        assert!(report.is_clean());
+        assert_eq!(store.snapshots(), 0);
+        drop(store);
+        let (_, report) = SnapshotStore::open(&path).unwrap();
+        assert_eq!(report.reason, RecoveryReason::Clean);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn committed_records_survive_reopen_byte_for_byte() {
+        let dir = scratch("roundtrip");
+        let path = dir.join("store.sqps");
+        let (mut store, _) = SnapshotStore::open(&path).unwrap();
+        let (alpha, beta) = (sample("alpha", 11), sample("beta", 22));
+        assert!(store.record_snapshot(1, &alpha).unwrap());
+        assert!(store.record_snapshot(2, &beta).unwrap());
+        assert!(store.record_job(&sample_job()).unwrap());
+        assert_eq!(store.commit().unwrap(), 1);
+        drop(store);
+
+        let (store, report) = SnapshotStore::open(&path).unwrap();
+        assert_eq!(report.reason, RecoveryReason::Clean);
+        assert_eq!((report.commits, report.snapshots, report.jobs), (1, 2, 1));
+        assert_eq!(store.get(1), Some(&alpha));
+        assert_eq!(store.get(2), Some(&beta));
+        assert_eq!(store.jobs(), &[sample_job()]);
+        assert_eq!(store.sequence(), 1);
+        assert_eq!(store.snapshot_keys(), vec![1, 2]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_records_are_dropped_and_the_range_is_named() {
+        let dir = scratch("uncommitted");
+        let path = dir.join("store.sqps");
+        let (mut store, _) = SnapshotStore::open(&path).unwrap();
+        store.record_snapshot(1, &sample("alpha", 11)).unwrap();
+        store.commit().unwrap();
+        let committed = store.committed_bytes();
+        store.record_snapshot(2, &sample("beta", 22)).unwrap();
+        let total = store.total_bytes();
+        assert!(total > committed);
+        drop(store); // no commit for beta
+
+        let (store, report) = SnapshotStore::open(&path).unwrap();
+        assert_eq!(report.reason, RecoveryReason::Uncommitted);
+        assert_eq!(report.dropped, Some(committed..total));
+        assert_eq!(report.dropped_records, 1);
+        assert!(store.contains(1));
+        assert!(!store.contains(2));
+        assert_eq!(store.total_bytes(), committed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_torn_tail_truncates_to_the_last_commit() {
+        let dir = scratch("torn");
+        let path = dir.join("store.sqps");
+        let (mut store, _) = SnapshotStore::open(&path).unwrap();
+        store.record_snapshot(1, &sample("alpha", 11)).unwrap();
+        store.commit().unwrap();
+        let committed = store.committed_bytes();
+        drop(store);
+        // A record declaring 32 payload bytes but delivering 3 — torn.
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(&[32, 0xAA, 0xBB, 0xCC]).unwrap();
+        drop(file);
+
+        let (store, report) = SnapshotStore::open(&path).unwrap();
+        assert_eq!(report.reason, RecoveryReason::TornRecord);
+        assert_eq!(report.dropped, Some(committed..committed + 4));
+        assert!(store.contains(1));
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), committed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_flipped_committed_bit_is_caught_by_checksum() {
+        let dir = scratch("bitflip");
+        let path = dir.join("store.sqps");
+        let (mut store, _) = SnapshotStore::open(&path).unwrap();
+        store.record_snapshot(1, &sample("alpha", 11)).unwrap();
+        store.commit().unwrap();
+        let first = store.committed_bytes();
+        store.record_snapshot(2, &sample("beta", 22)).unwrap();
+        store.commit().unwrap();
+        drop(store);
+        // Flip a payload bit inside the second snapshot record (skipping
+        // its length varint).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[first as usize + 3] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (store, report) = SnapshotStore::open(&path).unwrap();
+        assert!(matches!(
+            report.reason,
+            RecoveryReason::ChecksumMismatch { .. }
+        ));
+        assert_eq!(report.kept_bytes, first);
+        assert!(store.contains(1));
+        assert!(!store.contains(2));
+
+        // The store is immediately usable: re-record what was lost.
+        let mut store = store;
+        assert!(store.record_snapshot(2, &sample("beta", 22)).unwrap());
+        store.commit().unwrap();
+        let (store, report) = SnapshotStore::open(&path).unwrap();
+        assert_eq!(report.reason, RecoveryReason::Clean);
+        assert!(store.contains(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_damaged_header_reinitializes_and_reports_the_loss() {
+        let dir = scratch("header");
+        let path = dir.join("store.sqps");
+        std::fs::write(&path, b"garbage").unwrap();
+        let (mut store, report) = SnapshotStore::open(&path).unwrap();
+        assert_eq!(report.reason, RecoveryReason::BadHeader);
+        assert_eq!(report.dropped, Some(0..7));
+        store.record_snapshot(1, &sample("alpha", 11)).unwrap();
+        store.commit().unwrap();
+        drop(store);
+        let (_, report) = SnapshotStore::open(&path).unwrap();
+        assert_eq!(report.reason, RecoveryReason::Clean);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_snapshots_and_jobs_are_not_rewritten() {
+        let dir = scratch("dedup");
+        let path = dir.join("store.sqps");
+        let (mut store, _) = SnapshotStore::open(&path).unwrap();
+        assert!(store.record_snapshot(1, &sample("alpha", 11)).unwrap());
+        let bytes = store.total_bytes();
+        assert!(!store.record_snapshot(1, &sample("alpha", 11)).unwrap());
+        assert_eq!(store.total_bytes(), bytes);
+        assert!(store.record_job(&sample_job()).unwrap());
+        assert!(!store.record_job(&sample_job()).unwrap());
+        store.commit().unwrap();
+        drop(store);
+        // Idempotence holds across a reopen, too.
+        let (mut store, _) = SnapshotStore::open(&path).unwrap();
+        assert!(!store.record_snapshot(1, &sample("alpha", 11)).unwrap());
+        assert!(!store.record_job(&sample_job()).unwrap());
+        assert_eq!(store.pending_records(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_memo_hook_records_durably_once_committed() {
+        let dir = scratch("memo");
+        let path = dir.join("store.sqps");
+        let (mut store, _) = SnapshotStore::open(&path).unwrap();
+        let log = sample("alpha", 11);
+        SnapshotMemo::record(&mut store, 42, &log);
+        assert_eq!(SnapshotMemo::load(&mut store, 42), Some(log.clone()));
+        store.commit().unwrap();
+        drop(store);
+        let (mut store, _) = SnapshotStore::open(&path).unwrap();
+        assert_eq!(SnapshotMemo::load(&mut store, 42), Some(log));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_empty_commit_is_a_no_op() {
+        let dir = scratch("empty-commit");
+        let path = dir.join("store.sqps");
+        let (mut store, _) = SnapshotStore::open(&path).unwrap();
+        let bytes = store.total_bytes();
+        assert_eq!(store.commit().unwrap(), 0);
+        assert_eq!(store.total_bytes(), bytes);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_reports_render_one_line_summaries() {
+        let report = RecoveryReport {
+            file_bytes: 130,
+            kept_bytes: 100,
+            dropped: Some(100..130),
+            dropped_records: 1,
+            commits: 2,
+            snapshots: 3,
+            jobs: 1,
+            reason: RecoveryReason::TornRecord,
+        };
+        let line = report.to_string();
+        assert!(line.contains("dropped bytes 100..130"), "{line}");
+        assert!(line.contains("torn record"), "{line}");
+        assert!(!report.is_clean());
+    }
+}

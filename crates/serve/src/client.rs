@@ -118,6 +118,63 @@ impl Write for ClientStream {
     }
 }
 
+/// Bounded-retry policy for [`Client::connect_with_retry`]: how many
+/// times to retry a connection that fails with a transient error
+/// (refused, reset, socket file not there yet) and how long to back off
+/// between attempts (exponential, capped).
+///
+/// The intended use is riding out a daemon restart: a client submitted
+/// while `sparqlog-serve` is down reconnects once it is back, and because
+/// the daemon persists completed jobs to its snapshot store, resubmitting
+/// the same logs is idempotent — the work merges from the store instead
+/// of re-running.
+#[derive(Debug, Clone)]
+pub struct ConnectRetry {
+    /// Additional attempts after the first failure (0 = fail fast, same
+    /// as [`Client::connect`]).
+    pub attempts: u32,
+    /// Delay before the first retry (doubles per attempt).
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ConnectRetry {
+    fn default() -> ConnectRetry {
+        ConnectRetry {
+            attempts: 5,
+            backoff: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ConnectRetry {
+    /// Whether `error` is worth retrying: the kinds a daemon restart (or a
+    /// not-yet-bound listener) produces, plus a server that accepted the
+    /// socket but hung up before the header exchange finished.
+    fn transient(error: &ClientError) -> bool {
+        match error {
+            ClientError::Io(error) => matches!(
+                error.kind(),
+                io::ErrorKind::ConnectionRefused
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::NotFound
+                    | io::ErrorKind::AddrNotAvailable
+            ),
+            ClientError::Closed => true,
+            _ => false,
+        }
+    }
+
+    /// The capped exponential delay before retry `attempt` (1-based).
+    fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.backoff.saturating_mul(factor).min(self.backoff_cap)
+    }
+}
+
 /// A connected daemon client. Requests are answered in order, one
 /// response per request.
 #[derive(Debug)]
@@ -138,6 +195,25 @@ impl Client {
         let mut frames = FrameReader::new(read_half);
         frames.read_header()?;
         Ok(Client { frames, out })
+    }
+
+    /// Like [`Client::connect`], but retries transient connection failures
+    /// per `retry` — the way to submit work across a daemon restart.
+    pub fn connect_with_retry(
+        addr: &ServeAddr,
+        retry: &ConnectRetry,
+    ) -> Result<Client, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(error) if ConnectRetry::transient(&error) && attempt < retry.attempts => {
+                    attempt += 1;
+                    std::thread::sleep(retry.delay(attempt));
+                }
+                Err(error) => return Err(error),
+            }
+        }
     }
 
     /// Sends one request and reads its response.

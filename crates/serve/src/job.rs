@@ -36,6 +36,11 @@ pub struct JobState {
     pub recovery: RecoveryPolicy,
     /// The submitted logs, in report order (partition `i` = log `i`).
     pub logs: Vec<LogSpec>,
+    /// Each log's canonical identity (`sparqlog_core::file_identity`),
+    /// when a snapshot store is attached and the log was hashable at
+    /// submit time. Used to persist completed partitions and to write the
+    /// job manifest that warm-starts the job after a daemon restart.
+    pub keys: Vec<Option<u128>>,
     /// Completed partitions: `slots[i]` holds log `i`'s summary + analysis.
     slots: Vec<Option<(LogSummary, DatasetAnalysis)>>,
     /// Partitions merged so far.
@@ -62,11 +67,13 @@ impl JobState {
         logs: Vec<LogSpec>,
     ) -> JobState {
         let slots = (0..logs.len()).map(|_| None).collect();
+        let keys = vec![None; logs.len()];
         JobState {
             id,
             population,
             recovery,
             logs,
+            keys,
             slots,
             completed: 0,
             errors: ErrorTally::default(),

@@ -8,6 +8,13 @@
 //! A complete job's report is byte-identical to the in-process fused
 //! engine's over the same files.
 //!
+//! With `--store` (a [`sparqlog_persist::SnapshotStore`]), the daemon is
+//! also crash-safe across restarts: completed partitions persist under
+//! their logs' canonical identities, job manifests commit durably, a
+//! restarted daemon warm-starts every committed job, and resubmitting
+//! already-analysed logs merges from the store without spawning a worker
+//! ([`client::ConnectRetry`] rides the client across the restart).
+//!
 //! # Quickstart
 //!
 //! ```no_run
@@ -65,7 +72,7 @@ pub mod server;
 pub mod signal;
 pub mod supervisor;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ConnectRetry};
 pub use events::EventLog;
 pub use job::{JobState, Jobs};
 pub use protocol::{JobPhase, JobReport, JobStatus, Request, Response};

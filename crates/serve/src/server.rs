@@ -29,6 +29,8 @@ use crate::job::Jobs;
 use crate::protocol::{self, Request, Response};
 use crate::signal;
 use crate::supervisor::{Supervisor, SupervisorConfig};
+use sparqlog_core::cache::CacheStats;
+use sparqlog_persist::SnapshotStore;
 use sparqlog_shard::codec::FrameReader;
 use sparqlog_shard::{LogSpec, WorkerCommand};
 use std::io::{self, BufWriter, Read, Write};
@@ -36,7 +38,7 @@ use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -83,6 +85,11 @@ pub struct ServeConfig {
     pub drain_timeout: Duration,
     /// Mirror the event log to this file (the CI fault jobs upload it).
     pub event_log_path: Option<PathBuf>,
+    /// Persist completed jobs to a crash-safe snapshot store at this path
+    /// ([`sparqlog_persist::SnapshotStore`]): settled jobs warm-start
+    /// after a restart, and resubmitted logs merge from the store without
+    /// spawning workers.
+    pub store_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -101,6 +108,7 @@ impl Default for ServeConfig {
             writer_pause: Duration::ZERO,
             drain_timeout: Duration::from_secs(60),
             event_log_path: None,
+            store_path: None,
         }
     }
 }
@@ -213,6 +221,7 @@ struct Shared {
     jobs: Arc<Jobs>,
     events: Arc<EventLog>,
     supervisor: Supervisor,
+    store: Option<Arc<Mutex<SnapshotStore>>>,
     draining: AtomicBool,
     stopping: AtomicBool,
     closing: AtomicBool,
@@ -303,6 +312,21 @@ impl Server {
             None => EventLog::new(),
         });
         let jobs = Arc::new(Jobs::new());
+        let store = match &config.store_path {
+            Some(path) => {
+                let (store, report) = SnapshotStore::open(path)?;
+                events.emit(format!(
+                    "event=store-open path={} report={}",
+                    quoted(&path.display().to_string()),
+                    quoted(&report.to_string())
+                ));
+                Some(Arc::new(Mutex::new(store)))
+            }
+            None => None,
+        };
+        if let Some(store) = &store {
+            warm_start(store, &jobs, &events);
+        }
         let supervisor = Supervisor::start(
             SupervisorConfig {
                 worker: config.worker.clone(),
@@ -316,12 +340,14 @@ impl Server {
             },
             Arc::clone(&jobs),
             Arc::clone(&events),
+            store.clone(),
         );
         let shared = Arc::new(Shared {
             config,
             jobs,
             events,
             supervisor,
+            store,
             draining: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
             closing: AtomicBool::new(false),
@@ -375,6 +401,21 @@ impl Server {
         shared.begin_drain("shutdown");
         let settled = shared.jobs.wait_all_settled(shared.config.drain_timeout);
         shared.supervisor.wait_idle(shared.config.drain_timeout);
+        // Flush anything still staged in the store (a no-op after normal
+        // per-job commits, but it catches work settled mid-drain).
+        if let Some(store) = &shared.store {
+            let mut guard = store.lock().expect("snapshot store");
+            match guard.commit() {
+                Ok(seq) => shared.events.emit(format!(
+                    "event=store-flush seq={seq} snapshots={}",
+                    guard.snapshots()
+                )),
+                Err(error) => shared.events.emit(format!(
+                    "event=store-error error={}",
+                    quoted(&error.to_string())
+                )),
+            }
+        }
         shared
             .events
             .emit(format!("event=serve-stop settled={settled}"));
@@ -383,6 +424,51 @@ impl Server {
             let _ = session.join();
         }
         Ok(())
+    }
+}
+
+/// Re-registers every job manifest the store recovered as a settled job,
+/// merging each partition straight from its persisted snapshot — a
+/// restarted daemon serves byte-identical reports for committed jobs
+/// without re-analysing a single log.
+fn warm_start(store: &Mutex<SnapshotStore>, jobs: &Jobs, events: &EventLog) {
+    let guard = store.lock().expect("snapshot store");
+    let mut restored = 0u64;
+    for manifest in guard.jobs() {
+        // A manifest commits in the same fsync as (or after) its
+        // snapshots and recovery truncates only suffixes, so the keys
+        // must all resolve; guard against a damaged store anyway.
+        if !manifest.logs.iter().all(|log| guard.contains(log.key)) {
+            events.emit("event=warm-skip reason=missing-snapshot");
+            continue;
+        }
+        let specs: Vec<LogSpec> = manifest
+            .logs
+            .iter()
+            .map(|log| LogSpec::new(log.label.clone(), PathBuf::from(&log.path)))
+            .collect();
+        let job = jobs.create(manifest.population, manifest.recovery, specs);
+        jobs.with(job, |state| {
+            state.keys = manifest.logs.iter().map(|log| Some(log.key)).collect();
+            for (partition, log) in manifest.logs.iter().enumerate() {
+                let hit = guard.get(log.key).expect("checked above");
+                state.merge_partition(
+                    partition,
+                    hit.summary.clone(),
+                    hit.analysis.clone(),
+                    CacheStats::default(),
+                    0,
+                );
+            }
+        });
+        events.emit(format!(
+            "event=job-warm-start job={job} partitions={}",
+            manifest.logs.len()
+        ));
+        restored += 1;
+    }
+    if restored > 0 {
+        events.emit(format!("event=warm-start jobs={restored}"));
     }
 }
 

@@ -18,11 +18,23 @@
 //! Every transition lands in the [`EventLog`]: `worker-start` (with pid),
 //! `worker-death`, `partition-recovered` (with the death-to-merge latency),
 //! `job-complete`, `job-failed`.
+//!
+//! # Snapshot store
+//!
+//! With a [`SnapshotStore`] attached, submit hashes each log's canonical
+//! identity first: logs whose analysis the store already holds merge
+//! immediately (`store-hit`, no worker process), the rest run as usual and
+//! their snapshots are staged into the store as partitions merge. When the
+//! last partition completes, the job's manifest is staged and everything
+//! is committed durably in one fsync (`store-commit`) — so a restarted
+//! daemon warm-starts the job and a resubmission is pure store hits.
 
 use crate::events::{quoted, EventLog};
 use crate::job::Jobs;
 use sparqlog_core::analysis::Population;
-use sparqlog_core::RecoveryPolicy;
+use sparqlog_core::cache::CacheStats;
+use sparqlog_core::{file_identity, PersistedLog, RecoveryPolicy};
+use sparqlog_persist::{JobLog, JobRecord, SnapshotStore};
 use sparqlog_shard::supervise::WorkerLaunch;
 use sparqlog_shard::worker::AssignedLog;
 use sparqlog_shard::{LogSpec, WorkerCommand};
@@ -76,6 +88,10 @@ struct PartitionTask {
     population: Population,
     recovery: RecoveryPolicy,
     log: LogSpec,
+    /// The log's canonical identity, when a store is attached and the log
+    /// was hashable at submit time (its completed snapshot persists under
+    /// this key).
+    key: Option<u128>,
 }
 
 #[derive(Debug)]
@@ -87,6 +103,7 @@ struct Shared {
     shutdown: AtomicBool,
     jobs: Arc<Jobs>,
     events: Arc<EventLog>,
+    store: Option<Arc<Mutex<SnapshotStore>>>,
 }
 
 /// The supervisor: owns the runner threads and the task queue.
@@ -97,8 +114,15 @@ pub struct Supervisor {
 }
 
 impl Supervisor {
-    /// Starts the runner pool.
-    pub fn start(config: SupervisorConfig, jobs: Arc<Jobs>, events: Arc<EventLog>) -> Supervisor {
+    /// Starts the runner pool. With a `store`, submitted logs already
+    /// persisted merge without spawning a worker, and completed work is
+    /// committed back (see the [module docs](self)).
+    pub fn start(
+        config: SupervisorConfig,
+        jobs: Arc<Jobs>,
+        events: Arc<EventLog>,
+        store: Option<Arc<Mutex<SnapshotStore>>>,
+    ) -> Supervisor {
         let slots = if config.slots > 0 {
             config.slots
         } else {
@@ -114,6 +138,7 @@ impl Supervisor {
             shutdown: AtomicBool::new(false),
             jobs,
             events,
+            store,
         });
         let runners = (0..slots)
             .map(|_| {
@@ -124,8 +149,11 @@ impl Supervisor {
         Supervisor { shared, runners }
     }
 
-    /// Registers a job for `logs` and enqueues one partition per log.
-    /// Returns `(job_id, partitions)`.
+    /// Registers a job for `logs` and enqueues one partition per log —
+    /// except, with a store attached, partitions whose log is already
+    /// persisted under its canonical identity: those merge immediately
+    /// from the store (`store-hit`) and spawn no worker. Returns
+    /// `(job_id, partitions)`.
     pub fn submit(
         &self,
         population: Population,
@@ -138,14 +166,83 @@ impl Supervisor {
             "event=job-accepted job={job} partitions={partitions} recovery={}",
             recovery.resolve().spelling()
         ));
+
+        // Identity pass: hash each log (no parsing) and pull store hits. A
+        // hit is usable unless the resolved policy is strict and the
+        // persisted tally has defects — strict must re-analyse and
+        // reproduce the failure, exactly like the incremental engine.
+        let mut keys: Vec<Option<u128>> = vec![None; logs.len()];
+        let mut hits: Vec<(usize, PersistedLog)> = Vec::new();
+        if let Some(store) = &self.shared.store {
+            let policy = recovery.resolve();
+            let guard = store.lock().expect("snapshot store");
+            for (partition, log) in logs.iter().enumerate() {
+                let Ok(key) = file_identity(population, &log.label, &log.path) else {
+                    continue; // unreadable now; the worker will report it
+                };
+                keys[partition] = Some(key);
+                if let Some(hit) = guard.get(key) {
+                    let usable = !matches!(policy, RecoveryPolicy::Strict)
+                        || hit.summary.errors.defects() == 0;
+                    if usable {
+                        hits.push((partition, hit.clone()));
+                    }
+                }
+            }
+        }
+        self.shared
+            .jobs
+            .with(job, |state| state.keys = keys.clone());
+
+        let mut completed_now = false;
+        for (partition, hit) in &hits {
+            self.shared.jobs.with(job, |state| {
+                let merged = state.merge_partition(
+                    *partition,
+                    hit.summary.clone(),
+                    hit.analysis.clone(),
+                    CacheStats::default(),
+                    0,
+                );
+                // Inside the job lock for the same ordering guarantee as
+                // worker merges: a complete status implies the events.
+                self.shared.events.emit(format!(
+                    "event=store-hit job={job} partition={partition} merged={merged}"
+                ));
+                if state.is_complete() {
+                    self.shared
+                        .events
+                        .emit(format!("event=job-complete job={job}"));
+                    completed_now = true;
+                } else if state.failed.is_some() && !completed_now {
+                    if let Some(error) = state.failed.as_deref() {
+                        self.shared.events.emit(format!(
+                            "event=job-failed job={job} partition={partition} error={}",
+                            quoted(error)
+                        ));
+                    }
+                }
+            });
+        }
+        if completed_now {
+            if let Some(store) = &self.shared.store {
+                persist_completion(store, &self.shared.jobs, &self.shared.events, job);
+            }
+        }
+
+        let hit_partitions: Vec<usize> = hits.iter().map(|(partition, _)| *partition).collect();
         let mut queue = self.shared.queue.lock().expect("supervisor queue");
         for (partition, log) in logs.into_iter().enumerate() {
+            if hit_partitions.contains(&partition) {
+                continue;
+            }
             queue.push_back(PartitionTask {
                 job,
                 partition,
                 population,
                 recovery,
                 log,
+                key: keys[partition],
             });
         }
         drop(queue);
@@ -299,9 +396,17 @@ fn run_partition(shared: &Shared, task: &PartitionTask) {
                     return;
                 }
                 let frame = frames.remove(0);
+                // Clone the pair for the store *before* the frame moves into
+                // the merge; only needed when this partition has a key.
+                let persisted =
+                    (shared.store.is_some() && task.key.is_some()).then(|| PersistedLog {
+                        summary: frame.summary.clone(),
+                        analysis: frame.analysis.clone(),
+                    });
                 // Emit while the job-table lock is still held: a client whose
                 // status poll observes the job as complete is then guaranteed
                 // to find the recovery/completion events already logged.
+                let mut completed_now = false;
                 shared.jobs.with(job, |state| {
                     let was_failed = state.failed.is_some();
                     let merged = state.merge_partition(
@@ -322,6 +427,7 @@ fn run_partition(shared: &Shared, task: &PartitionTask) {
                     ));
                     if state.is_complete() {
                         events.emit(format!("event=job-complete job={job}"));
+                        completed_now = true;
                     } else if !was_failed {
                         // The only way a merge can fail a job: the final
                         // partition pushed the defect rate over the budget.
@@ -333,6 +439,24 @@ fn run_partition(shared: &Shared, task: &PartitionTask) {
                         }
                     }
                 });
+                // Store work strictly *after* the job lock is released
+                // (submit locks store→jobs; taking them in the other order
+                // here would deadlock). Staged records only become durable
+                // at the completion commit.
+                if let Some(store) = &shared.store {
+                    if let (Some(key), Some(pair)) = (task.key, persisted) {
+                        let mut guard = store.lock().expect("snapshot store");
+                        if let Err(error) = guard.record_snapshot(key, &pair) {
+                            events.emit(format!(
+                                "event=store-error job={job} partition={partition} error={}",
+                                quoted(&error.to_string())
+                            ));
+                        }
+                    }
+                    if completed_now {
+                        persist_completion(store, &shared.jobs, events, job);
+                    }
+                }
                 return;
             }
             Err(error) => {
@@ -358,6 +482,60 @@ fn run_partition(shared: &Shared, task: &PartitionTask) {
                 std::thread::sleep(backoff_delay(config, attempt));
             }
         }
+    }
+}
+
+/// Stages the completed job's manifest and commits everything durably.
+/// Only called once the job is complete; skipped (with an event) if any
+/// partition's log was unhashable at submit time, since a manifest with a
+/// missing key could not warm-start.
+fn persist_completion(store: &Arc<Mutex<SnapshotStore>>, jobs: &Jobs, events: &EventLog, job: u64) {
+    let manifest = jobs.with(job, |state| {
+        if !state.keys.iter().all(Option::is_some) {
+            return None;
+        }
+        Some(JobRecord {
+            population: state.population,
+            recovery: state.recovery,
+            logs: state
+                .logs
+                .iter()
+                .zip(&state.keys)
+                .map(|(log, key)| JobLog {
+                    key: key.expect("checked above"),
+                    label: log.label.clone(),
+                    path: log.path.to_string_lossy().into_owned(),
+                })
+                .collect(),
+        })
+    });
+    let Some(manifest) = manifest else {
+        return; // job vanished (cannot happen today, but don't panic)
+    };
+    let Some(manifest) = manifest else {
+        events.emit(format!("event=store-skip job={job} reason=unhashable-log"));
+        return;
+    };
+    let mut guard = store.lock().expect("snapshot store");
+    let staged = match guard.record_job(&manifest) {
+        Ok(staged) => staged,
+        Err(error) => {
+            events.emit(format!(
+                "event=store-error job={job} error={}",
+                quoted(&error.to_string())
+            ));
+            return;
+        }
+    };
+    match guard.commit() {
+        Ok(seq) => events.emit(format!(
+            "event=store-commit job={job} seq={seq} staged={staged} snapshots={}",
+            guard.snapshots()
+        )),
+        Err(error) => events.emit(format!(
+            "event=store-error job={job} error={}",
+            quoted(&error.to_string())
+        )),
     }
 }
 
@@ -404,7 +582,7 @@ mod tests {
             backoff: Duration::from_millis(1),
             ..SupervisorConfig::default()
         };
-        let supervisor = Supervisor::start(config, Arc::clone(&jobs), Arc::clone(&events));
+        let supervisor = Supervisor::start(config, Arc::clone(&jobs), Arc::clone(&events), None);
         let (job, partitions) = supervisor.submit(
             Population::Unique,
             RecoveryPolicy::Auto,

@@ -859,6 +859,16 @@ pub const FRAME_EPILOGUE: u8 = 2;
 /// Frame tag: a liveness heartbeat (sequence number only, no payload data).
 pub const FRAME_HEARTBEAT: u8 = 3;
 
+/// Frame tag: a CRC32C checksum covering the immediately preceding frame's
+/// payload. An **append-only** addition to the tag space (the codec version
+/// stays put): streams without checksum frames remain decodable, and a
+/// decoder that sees one verifies the preceding frame on the spot — so
+/// in-flight corruption surfaces as a structured
+/// [`DecodeErrorKind::ChecksumMismatch`] *at the frame that broke*, not as a
+/// confusing [`DecodeErrorKind::TrailingBytes`] deep inside a later field
+/// decode.
+pub const FRAME_CRC: u8 = 4;
+
 /// One analysed log as the worker ships it: the log's index in the
 /// *coordinator's* corpus order, its [`LogSummary`], and its full
 /// [`DatasetAnalysis`].
@@ -895,6 +905,19 @@ pub struct HeartbeatFrame {
     pub seq: u64,
 }
 
+/// A checksum over the immediately preceding frame's payload bytes, written
+/// by [`Frame::write_checked_to`] and verified by [`read_snapshot`]. Carries
+/// the covered payload length too, so a misaligned checksum (covering the
+/// wrong frame) is caught as a structured error rather than a spurious
+/// mismatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrcFrame {
+    /// CRC32C of the preceding frame's payload bytes.
+    pub crc: u32,
+    /// Byte length of the covered payload.
+    pub covered: u64,
+}
+
 /// A decoded snapshot frame. The log variant is boxed: a [`LogFrame`]
 /// carries a full [`DatasetAnalysis`] and would otherwise dominate the enum
 /// size.
@@ -906,6 +929,8 @@ pub enum Frame {
     Epilogue(EpilogueFrame),
     /// A liveness heartbeat (carries no analysis data).
     Heartbeat(HeartbeatFrame),
+    /// A checksum of the preceding frame.
+    Crc(CrcFrame),
 }
 
 impl From<LogFrame> for Frame {
@@ -934,6 +959,11 @@ impl Frame {
             Frame::Heartbeat(frame) => {
                 encoder.put_u8(FRAME_HEARTBEAT);
                 encoder.put_varint(frame.seq);
+            }
+            Frame::Crc(frame) => {
+                encoder.put_u8(FRAME_CRC);
+                encoder.put_u32(frame.crc);
+                encoder.put_varint(frame.covered);
             }
         }
         encoder.into_bytes()
@@ -969,6 +999,11 @@ impl Frame {
                 let seq = decoder.take_varint()?;
                 Frame::Heartbeat(HeartbeatFrame { seq })
             }
+            FRAME_CRC => {
+                let crc = decoder.take_u32()?;
+                let covered = decoder.take_varint()?;
+                Frame::Crc(CrcFrame { crc, covered })
+            }
             tag => {
                 return Err(DecodeError {
                     kind: DecodeErrorKind::BadFrameTag { tag },
@@ -983,6 +1018,21 @@ impl Frame {
     /// Writes the frame (length prefix + payload) to a stream.
     pub fn write_to(&self, out: &mut impl Write) -> io::Result<()> {
         write_frame(out, &self.to_payload())
+    }
+
+    /// Writes the frame followed by a [`FRAME_CRC`] frame covering its
+    /// payload — the checksummed form the worker streams its log and
+    /// epilogue frames in. The two frames go out back-to-back (callers hold
+    /// the writer lock across the pair), so a verifying reader always finds
+    /// the checksum right behind the frame it covers.
+    pub fn write_checked_to(&self, out: &mut impl Write) -> io::Result<()> {
+        let payload = self.to_payload();
+        write_frame(out, &payload)?;
+        let check = Frame::Crc(CrcFrame {
+            crc: crate::codec::crc32c(&payload),
+            covered: payload.len() as u64,
+        });
+        write_frame(out, &check.to_payload())
     }
 }
 
@@ -1022,6 +1072,10 @@ pub fn read_snapshot_observed(
     let mut frames = crate::codec::FrameReader::new(reader);
     frames.read_header()?;
     let mut logs = Vec::new();
+    // Checksum of the last coverable (log / epilogue) frame's payload, used
+    // to verify a FRAME_CRC that follows it. Streams without checksum
+    // frames decode exactly as before — the tag is append-only.
+    let mut covered: Option<(u32, u64)> = None;
     loop {
         let Some((payload, base)) = frames.next_frame()? else {
             return Err(crate::codec::StreamError::Decode(DecodeError {
@@ -1032,8 +1086,12 @@ pub fn read_snapshot_observed(
         let frame = Frame::from_payload(&payload, base)?;
         observe(&frame);
         match frame {
-            Frame::Log(frame) => logs.push(*frame),
+            Frame::Log(frame) => {
+                covered = Some((crate::codec::crc32c(&payload), payload.len() as u64));
+                logs.push(*frame);
+            }
             Frame::Heartbeat(_) => {}
+            Frame::Crc(check) => verify_crc_frame(covered.take(), check, base)?,
             Frame::Epilogue(epilogue) => {
                 if epilogue.log_frames != logs.len() as u64 {
                     return Err(crate::codec::StreamError::Decode(DecodeError {
@@ -1044,17 +1102,71 @@ pub fn read_snapshot_observed(
                         offset: base,
                     }));
                 }
-                if frames.next_frame()?.is_some() {
-                    return Err(crate::codec::StreamError::Decode(DecodeError {
-                        kind: DecodeErrorKind::TrailingFrame,
-                        offset: frames.offset(),
-                    }));
+                // At most one trailing frame is legal: the epilogue's own
+                // checksum. Anything else after the epilogue is still a
+                // structured TrailingFrame fault.
+                let epilogue_crc = (crate::codec::crc32c(&payload), payload.len() as u64);
+                if let Some((payload, base)) = frames.next_frame()? {
+                    let frame = Frame::from_payload(&payload, base)?;
+                    observe(&frame);
+                    let Frame::Crc(check) = frame else {
+                        return Err(crate::codec::StreamError::Decode(DecodeError {
+                            kind: DecodeErrorKind::TrailingFrame,
+                            offset: base,
+                        }));
+                    };
+                    verify_crc_frame(Some(epilogue_crc), check, base)?;
+                    if frames.next_frame()?.is_some() {
+                        return Err(crate::codec::StreamError::Decode(DecodeError {
+                            kind: DecodeErrorKind::TrailingFrame,
+                            offset: frames.offset(),
+                        }));
+                    }
                 }
                 let bytes = frames.offset();
                 return Ok((WorkerSnapshot { logs, epilogue }, bytes));
             }
         }
     }
+}
+
+/// Checks a [`CrcFrame`] against the preceding frame's payload checksum.
+/// `covered` is `None` when there is no preceding coverable frame (an orphan
+/// checksum — a framing bug, reported as an invalid value rather than a
+/// mismatch).
+fn verify_crc_frame(
+    covered: Option<(u32, u64)>,
+    check: CrcFrame,
+    offset: u64,
+) -> Result<(), crate::codec::StreamError> {
+    let Some((crc, length)) = covered else {
+        return Err(crate::codec::StreamError::Decode(DecodeError {
+            kind: DecodeErrorKind::InvalidValue {
+                what: "checksum frame with no frame to cover",
+                value: u64::from(check.crc),
+            },
+            offset,
+        }));
+    };
+    if check.covered != length {
+        return Err(crate::codec::StreamError::Decode(DecodeError {
+            kind: DecodeErrorKind::InvalidValue {
+                what: "checksum coverage length",
+                value: check.covered,
+            },
+            offset,
+        }));
+    }
+    if check.crc != crc {
+        return Err(crate::codec::StreamError::Decode(DecodeError {
+            kind: DecodeErrorKind::ChecksumMismatch {
+                expected: check.crc,
+                found: crc,
+            },
+            offset,
+        }));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1286,6 +1398,7 @@ mod tests {
                 Frame::Log(_) => "log",
                 Frame::Epilogue(_) => "epilogue",
                 Frame::Heartbeat(_) => "heartbeat",
+                Frame::Crc(_) => "crc",
             });
         })
         .unwrap();

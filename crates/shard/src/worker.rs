@@ -10,6 +10,12 @@
 //! an [`EpilogueFrame`] of counters. All partitioning decisions live in the
 //! coordinator.
 //!
+//! Log and epilogue frames go out **checksummed**
+//! ([`Frame::write_checked_to`]): each is followed by a CRC32C frame over
+//! its payload, so a consumer catches in-flight corruption at the exact
+//! frame that broke instead of failing later inside an unrelated field
+//! decode. Heartbeats are two-byte liveness ticks and stay unchecked.
+//!
 //! # Command line
 //!
 //! ```text
@@ -312,7 +318,7 @@ fn stream_frames<W: Write>(
             summary,
             analysis,
         })
-        .write_to(&mut **guard)?;
+        .write_checked_to(&mut **guard)?;
         written += 1;
         if fault == Some(FaultMode::AbortMidStream) {
             // Simulate a worker killed mid-stream: the first frame reaches
@@ -329,7 +335,7 @@ fn stream_frames<W: Write>(
         cache: fused.stats.cache.unwrap_or_default(),
         fused: fused.fused,
     })
-    .write_to(&mut **guard)?;
+    .write_checked_to(&mut **guard)?;
     // Stop the heartbeat thread while the writer is still held: it re-checks
     // the flag under this same lock, so no beat can follow the epilogue.
     stop.store(true, Ordering::Release);

@@ -302,6 +302,118 @@ fn trailing_bytes_after_a_value_are_rejected() {
     assert_eq!(error.kind, DecodeErrorKind::TrailingBytes { remaining: 1 });
 }
 
+/// A minimal log frame (default tallies) for the framing-level tests.
+fn tiny_log_frame() -> Frame {
+    Frame::from(LogFrame {
+        index: 0,
+        summary: LogSummary {
+            label: "crc-test".to_string(),
+            counts: CorpusCounts::default(),
+            occurrences: Vec::new(),
+            errors: ErrorTally::default(),
+        },
+        analysis: DatasetAnalysis {
+            label: "crc-test".to_string(),
+            ..DatasetAnalysis::default()
+        },
+    })
+}
+
+fn tiny_epilogue() -> Frame {
+    Frame::Epilogue(EpilogueFrame {
+        log_frames: 1,
+        cache: CacheStats::default(),
+        fused: FusedStats::default(),
+    })
+}
+
+#[test]
+fn checksummed_streams_round_trip_and_catch_silent_corruption() {
+    let frame = tiny_log_frame();
+    let mut stream = Vec::new();
+    write_stream_header(&mut stream).unwrap();
+    let header_len = stream.len();
+    let payload = frame.to_payload();
+    frame.write_checked_to(&mut stream).unwrap();
+    tiny_epilogue().write_checked_to(&mut stream).unwrap();
+
+    // The checked stream decodes, and the checksum frames are invisible to
+    // the snapshot (no extra logs, same epilogue).
+    let (snapshot, bytes) = read_snapshot(stream.as_slice()).unwrap();
+    assert_eq!(bytes, stream.len() as u64);
+    assert_eq!(snapshot.logs.len(), 1);
+
+    // Flip the low bit of the log payload's last byte: the frame still
+    // *decodes* (a terminal varint changes value, nothing else moves), so
+    // without the checksum this corruption would be silent — the CRC frame
+    // right behind it must catch it.
+    let mut length_prefix = Encoder::new();
+    length_prefix.put_usize(payload.len());
+    let corrupt_at = header_len + length_prefix.into_bytes().len() + payload.len() - 1;
+    let mut corrupted = stream.clone();
+    corrupted[corrupt_at] ^= 1;
+    let StreamError::Decode(error) = read_snapshot(corrupted.as_slice()).unwrap_err() else {
+        panic!("expected a decode error");
+    };
+    assert!(
+        matches!(error.kind, DecodeErrorKind::ChecksumMismatch { .. }),
+        "{error:?}"
+    );
+}
+
+#[test]
+fn orphan_and_misaligned_checksum_frames_are_structured_errors() {
+    use sparqlog_shard::codec::crc32c;
+    use sparqlog_shard::snapshot::CrcFrame;
+
+    // A checksum frame with nothing before it to cover.
+    let mut stream = Vec::new();
+    write_stream_header(&mut stream).unwrap();
+    Frame::Crc(CrcFrame { crc: 7, covered: 9 })
+        .write_to(&mut stream)
+        .unwrap();
+    let StreamError::Decode(error) = read_snapshot(stream.as_slice()).unwrap_err() else {
+        panic!("expected a decode error");
+    };
+    assert!(
+        matches!(
+            error.kind,
+            DecodeErrorKind::InvalidValue {
+                what: "checksum frame with no frame to cover",
+                ..
+            }
+        ),
+        "{error:?}"
+    );
+
+    // A checksum frame declaring the wrong coverage length (misaligned —
+    // it would otherwise be verified against the wrong frame).
+    let frame = tiny_log_frame();
+    let payload = frame.to_payload();
+    let mut stream = Vec::new();
+    write_stream_header(&mut stream).unwrap();
+    frame.write_to(&mut stream).unwrap();
+    Frame::Crc(CrcFrame {
+        crc: crc32c(&payload),
+        covered: payload.len() as u64 + 1,
+    })
+    .write_to(&mut stream)
+    .unwrap();
+    let StreamError::Decode(error) = read_snapshot(stream.as_slice()).unwrap_err() else {
+        panic!("expected a decode error");
+    };
+    assert!(
+        matches!(
+            error.kind,
+            DecodeErrorKind::InvalidValue {
+                what: "checksum coverage length",
+                ..
+            }
+        ),
+        "{error:?}"
+    );
+}
+
 #[test]
 fn summaries_split_across_processes_merge_to_the_whole() {
     // The wire format's cross-process merge hook: summaries of two halves of

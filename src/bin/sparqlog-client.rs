@@ -1,8 +1,15 @@
 //! The analysis-service client CLI.
 //!
 //! ```text
-//! sparqlog-client [--tcp ADDR | --unix PATH] <command>
+//! sparqlog-client [--tcp ADDR | --unix PATH] [--retries N] [--retry-backoff-ms N] <command>
 //! ```
+//!
+//! `--retries N` retries a refused/reset connection with exponential
+//! backoff (first delay `--retry-backoff-ms`, default 100 ms, doubling,
+//! capped at 2 s) — enough to ride out a daemon restart. Resubmitting the
+//! same logs after a restart is idempotent when the daemon runs with
+//! `--store`: the work merges from the snapshot store instead of
+//! re-running.
 //!
 //! Commands:
 //!
@@ -20,12 +27,13 @@
 //! Exits non-zero when a waited-on or reported job has failed.
 
 use sparqlog::core::{Population, RecoveryPolicy};
-use sparqlog::serve::{Client, ClientError, JobPhase, ServeAddr};
+use sparqlog::serve::{Client, ClientError, ConnectRetry, JobPhase, ServeAddr};
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: sparqlog-client [--tcp ADDR | --unix PATH] \
+         [--retries N] [--retry-backoff-ms N] \
          (ping | submit [--valid] [--wait] [--full] [--recovery POLICY] \
          <label>=<path>... | \
          status <job> | report <job> [--full] | drain | events [<job>])"
@@ -40,6 +48,10 @@ fn fail(error: ClientError) -> ! {
 
 fn main() {
     let mut addr = ServeAddr::Tcp("127.0.0.1:7878".to_string());
+    let mut retry = ConnectRetry {
+        attempts: 0,
+        ..ConnectRetry::default()
+    };
     let mut args = std::env::args().skip(1).peekable();
     loop {
         match args.peek().map(String::as_str) {
@@ -57,11 +69,25 @@ fn main() {
                     None => usage(),
                 }
             }
+            Some("--retries") => {
+                args.next();
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => retry.attempts = n,
+                    None => usage(),
+                }
+            }
+            Some("--retry-backoff-ms") => {
+                args.next();
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) => retry.backoff = Duration::from_millis(n),
+                    None => usage(),
+                }
+            }
             _ => break,
         }
     }
     let Some(command) = args.next() else { usage() };
-    let mut client = match Client::connect(&addr) {
+    let mut client = match Client::connect_with_retry(&addr, &retry) {
         Ok(client) => client,
         Err(error) => fail(error),
     };

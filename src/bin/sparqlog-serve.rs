@@ -18,21 +18,55 @@
 //! * `--outbox N`            per-session response outbox capacity (frames)
 //! * `--shed`                shed slow consumers instead of blocking them
 //! * `--event-log PATH`      mirror the structured event log to a file
+//! * `--store PATH`          persist completed jobs to a crash-safe snapshot
+//!   store: settled jobs warm-start after a restart and resubmitted logs
+//!   merge from the store without re-analysis
+//!
+//! Both `--store` and `--event-log` paths are validated writable at
+//! startup (the daemon exits nonzero with a clear message rather than
+//! failing the first commit hours in).
 //!
 //! SIGTERM/SIGINT drain gracefully: in-flight jobs finish, new submits are
 //! rejected, then the daemon exits.
 
 use sparqlog::serve::{ServeAddr, ServeConfig, Server, SlowConsumerPolicy};
 use sparqlog::shard::WorkerCommand;
+use std::path::Path;
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
         "usage: sparqlog-serve [--tcp ADDR | --unix PATH] [--slots N] [--workers N] \
          [--heartbeat-ms N] [--stall-timeout-ms N] [--max-restarts N] [--backoff-ms N] \
-         [--outbox N] [--shed] [--event-log PATH]"
+         [--outbox N] [--shed] [--event-log PATH] [--store PATH]"
     );
     std::process::exit(2);
+}
+
+/// Fails fast on an unusable `--store`/`--event-log` path: the file must
+/// be creatable and appendable *now*, without truncating anything already
+/// there. Returns the failure to report.
+fn check_writable(what: &str, path: &Path) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() && !parent.is_dir() {
+            return Err(format!(
+                "{what} {}: parent directory {} does not exist",
+                path.display(),
+                parent.display()
+            ));
+        }
+    }
+    if path.is_dir() {
+        return Err(format!("{what} {}: is a directory", path.display()));
+    }
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(_) => Ok(()),
+        Err(error) => Err(format!("{what} {}: {error}", path.display())),
+    }
 }
 
 fn main() {
@@ -83,8 +117,24 @@ fn main() {
                 Some(path) => config.event_log_path = Some(path.into()),
                 None => usage(),
             },
+            "--store" => match args.next() {
+                Some(path) => config.store_path = Some(path.into()),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             _ => usage(),
+        }
+    }
+
+    for (what, path) in [
+        ("--store", config.store_path.as_deref()),
+        ("--event-log", config.event_log_path.as_deref()),
+    ] {
+        if let Some(path) = path {
+            if let Err(message) = check_writable(what, path) {
+                eprintln!("sparqlog-serve: {message}");
+                std::process::exit(1);
+            }
         }
     }
 

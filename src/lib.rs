@@ -35,6 +35,12 @@
 //!   sessions submit jobs, a supervised worker pool restarts and
 //!   reassigns dead workers, and incremental reports stream back to any
 //!   number of concurrent clients.
+//! * [`persist`] — the crash-safe snapshot store behind `--store`:
+//!   checksummed append-only records, explicit commit points, fsync
+//!   discipline, and a recovery scan that truncates torn tails and names
+//!   exactly what was dropped. [`core::analyze_files_incremental`] and
+//!   the serve daemon use it to re-serve settled work without
+//!   re-analysis (warm starts, resubmission dedup).
 //!
 //! Offline shims for the third-party dependencies live under `vendor/` (see
 //! `vendor/README.md`), and `crates/bench` hosts one harness binary per
@@ -187,6 +193,7 @@ pub use sparqlog_gmark as gmark;
 pub use sparqlog_graph as graph;
 pub use sparqlog_parser as parser;
 pub use sparqlog_paths as paths;
+pub use sparqlog_persist as persist;
 pub use sparqlog_serve as serve;
 pub use sparqlog_shard as shard;
 pub use sparqlog_store as store;

@@ -1,0 +1,274 @@
+//! The persistent snapshot store, end to end: the incremental engine's
+//! cold run must be byte-identical to the fused engine's and its warm run
+//! must re-serve everything from the store with zero re-analyses; the
+//! daemon run with a store must warm-start settled jobs after a restart
+//! and answer resubmissions as pure store hits (no worker processes),
+//! again byte-identically.
+
+use sparqlog::core::corpus::{analyze_streams_with, FileLogReader, FusedOptions, LogReader};
+use sparqlog::core::report::full_report;
+use sparqlog::core::{analyze_files_incremental, Population, RecoveryPolicy};
+use sparqlog::persist::SnapshotStore;
+use sparqlog::serve::{
+    Client, ConnectRetry, JobPhase, ServeAddr, ServeConfig, Server, ServerHandle,
+};
+use sparqlog::shard::{LogSpec, WorkerCommand};
+use sparqlog::synth::{generate_single_day_log, Dataset};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// The worker binary built alongside this test (same package, profile).
+const WORKER: &str = env!("CARGO_BIN_EXE_sparqlog-shard-worker");
+
+/// How long to wait for jobs that should succeed.
+const SETTLE: Duration = Duration::from_secs(300);
+
+/// A scratch directory removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(name: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "sparqlog-persist-test-{}-{name}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Writes a duplicate-heavy three-log corpus (same shape as the serve
+/// tests: synthesized day logs with cross-log duplicates).
+fn write_corpus(dir: &Path) -> Vec<LogSpec> {
+    let mut raw: Vec<(String, Vec<String>)> = Vec::new();
+    for (i, dataset) in [Dataset::DBpedia15, Dataset::WikiData17, Dataset::BioP13]
+        .iter()
+        .enumerate()
+    {
+        let day = generate_single_day_log(*dataset, 40, 4200 + i as u64);
+        let mut entries = Vec::new();
+        for _ in 0..2 {
+            entries.extend(day.entries.iter().cloned());
+        }
+        raw.push((day.dataset.label().to_string(), entries));
+    }
+    let head: Vec<String> = raw[0].1.iter().take(15).cloned().collect();
+    raw[2].1.extend(head);
+
+    raw.into_iter()
+        .enumerate()
+        .map(|(index, (label, entries))| {
+            let path = dir.join(format!("{index:02}.log"));
+            let mut file =
+                std::io::BufWriter::new(std::fs::File::create(&path).expect("create log file"));
+            for entry in &entries {
+                writeln!(file, "{entry}").expect("write log line");
+            }
+            file.flush().expect("flush log file");
+            LogSpec::new(label, path)
+        })
+        .collect()
+}
+
+/// The single-process fused reference over the same on-disk files.
+fn fused_reference(logs: &[LogSpec], population: Population) -> String {
+    let readers: Vec<Box<dyn LogReader>> = logs
+        .iter()
+        .map(|log| {
+            Box::new(FileLogReader::open(log.label.clone(), &log.path).expect("open log"))
+                as Box<dyn LogReader>
+        })
+        .collect();
+    let fused = analyze_streams_with(readers, population, FusedOptions::default())
+        .expect("fused reference run");
+    full_report(&fused.corpus)
+}
+
+fn file_specs(logs: &[LogSpec]) -> Vec<(String, PathBuf)> {
+    logs.iter()
+        .map(|log| (log.label.clone(), log.path.clone()))
+        .collect()
+}
+
+fn submit_specs(logs: &[LogSpec]) -> Vec<(String, String)> {
+    logs.iter()
+        .map(|log| (log.label.clone(), log.path.display().to_string()))
+        .collect()
+}
+
+fn worker_threads() -> usize {
+    std::env::var("SPARQLOG_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(2)
+}
+
+fn store_config(store: &Path) -> ServeConfig {
+    ServeConfig {
+        worker: WorkerCommand::new(WORKER),
+        worker_slots: 2,
+        worker_threads: worker_threads(),
+        heartbeat: Duration::from_millis(50),
+        restart_backoff: Duration::from_millis(10),
+        store_path: Some(store.to_path_buf()),
+        ..ServeConfig::default()
+    }
+}
+
+fn start_server(
+    config: ServeConfig,
+) -> (
+    ServeAddr,
+    ServerHandle,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let server = Server::bind(config, &ServeAddr::Tcp("127.0.0.1:0".to_string())).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let handle = server.handle();
+    let runner = std::thread::spawn(move || server.run());
+    (addr, handle, runner)
+}
+
+#[test]
+fn incremental_cold_run_matches_fused_and_warm_run_reanalyses_nothing() {
+    let scratch = Scratch::new("incremental");
+    let logs = write_corpus(scratch.path());
+    let files = file_specs(&logs);
+    let reference = fused_reference(&logs, Population::Unique);
+    let store_path = scratch.path().join("snapshots.sqps");
+
+    // Cold: every log is a miss, analysed and persisted.
+    let (mut store, report) = SnapshotStore::open(&store_path).expect("create store");
+    assert!(report.is_clean());
+    let cold = analyze_files_incremental(
+        &files,
+        Population::Unique,
+        FusedOptions::default(),
+        &mut store,
+    )
+    .expect("cold incremental run");
+    assert_eq!(cold.stats.hits, 0);
+    assert_eq!(cold.stats.misses, files.len() as u64);
+    assert_eq!(full_report(&cold.corpus), reference);
+    store.commit().expect("commit snapshots");
+    drop(store);
+
+    // Warm, through a fresh open (the recovery scan): zero re-analyses,
+    // byte-identical report.
+    let (mut store, report) = SnapshotStore::open(&store_path).expect("reopen store");
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(store.snapshots(), files.len());
+    let warm = analyze_files_incremental(
+        &files,
+        Population::Unique,
+        FusedOptions::default(),
+        &mut store,
+    )
+    .expect("warm incremental run");
+    assert_eq!(warm.stats.misses, 0);
+    assert_eq!(warm.stats.hits, files.len() as u64);
+    assert_eq!(full_report(&warm.corpus), reference);
+
+    // The populations key separately: a Valid-population run over the same
+    // files is all misses, not wrong answers.
+    let valid = analyze_files_incremental(
+        &files,
+        Population::Valid,
+        FusedOptions::default(),
+        &mut store,
+    )
+    .expect("valid-population run");
+    assert_eq!(valid.stats.hits, 0);
+    assert_eq!(
+        full_report(&valid.corpus),
+        fused_reference(&logs, Population::Valid)
+    );
+}
+
+#[test]
+fn daemon_restart_warm_starts_jobs_and_resubmission_spawns_no_workers() {
+    let scratch = Scratch::new("daemon");
+    let logs = write_corpus(scratch.path());
+    let reference = fused_reference(&logs, Population::Unique);
+    let store_path = scratch.path().join("daemon.sqps");
+
+    // First daemon lifetime: cold analysis through real worker processes,
+    // committed to the store at job completion.
+    let (addr, handle, runner) = start_server(store_config(&store_path));
+    let mut client = Client::connect(&addr).expect("connect");
+    let (job, _) = client
+        .submit(
+            Population::Unique,
+            RecoveryPolicy::Auto,
+            submit_specs(&logs),
+        )
+        .expect("submit");
+    let status = client.wait_settled(job, SETTLE).expect("wait");
+    assert_eq!(status.phase, JobPhase::Complete, "{}", status.error);
+    let report = client.report(job, true).expect("report");
+    assert_eq!(report.text, reference);
+    let lines = client.events(job).expect("events");
+    assert!(
+        lines.iter().any(|l| l.contains("event=store-commit")),
+        "no store-commit event: {lines:?}"
+    );
+    drop(client);
+    handle.stop();
+    runner.join().expect("server thread").expect("server run");
+
+    // Second lifetime on the same store: the settled job warm-starts (its
+    // report is served with no worker ever spawned), and resubmitting the
+    // same logs is pure store hits.
+    let (addr, handle, runner) = start_server(store_config(&store_path));
+    let mut client =
+        Client::connect_with_retry(&addr, &ConnectRetry::default()).expect("reconnect");
+    let warm_events = client.events(0).expect("events");
+    assert!(
+        warm_events
+            .iter()
+            .any(|l| l.contains("event=job-warm-start")),
+        "no warm-start event: {warm_events:?}"
+    );
+    let warm = client.report(1, true).expect("warm report");
+    assert!(warm.complete, "warm-started job must be complete");
+    assert_eq!(warm.text, reference, "warm-started report diverged");
+
+    let (rejob, _) = client
+        .submit(
+            Population::Unique,
+            RecoveryPolicy::Auto,
+            submit_specs(&logs),
+        )
+        .expect("resubmit");
+    let status = client.wait_settled(rejob, SETTLE).expect("wait resubmit");
+    assert_eq!(status.phase, JobPhase::Complete, "{}", status.error);
+    let re = client.report(rejob, true).expect("resubmitted report");
+    assert_eq!(re.text, reference, "store-hit report diverged");
+    let lines = client.events(rejob).expect("events");
+    assert_eq!(
+        lines
+            .iter()
+            .filter(|l| l.contains("event=store-hit"))
+            .count(),
+        logs.len(),
+        "{lines:?}"
+    );
+    assert!(
+        !lines.iter().any(|l| l.contains("event=worker-start")),
+        "a worker was spawned for fully-persisted logs: {lines:?}"
+    );
+
+    handle.stop();
+    runner.join().expect("server thread").expect("server run");
+}
