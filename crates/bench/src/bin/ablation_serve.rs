@@ -29,6 +29,7 @@ use sparqlog_bench::{banner, open_file_readers, write_corpus_files, HarnessOptio
 use sparqlog_core::corpus::{analyze_streams_with, FusedOptions};
 use sparqlog_core::report::full_report;
 use sparqlog_core::Population;
+use sparqlog_obs::EventRecord;
 use sparqlog_serve::{Client, JobPhase, JobStatus, ServeAddr, ServeConfig, Server, ServerHandle};
 use sparqlog_shard::WorkerCommand;
 use std::io::Write as _;
@@ -106,12 +107,6 @@ fn run_job(
     (status, report.text)
 }
 
-/// Extracts `key=<u64>` from an event line.
-fn event_field(line: &str, key: &str) -> Option<u64> {
-    line.split_whitespace()
-        .find_map(|token| token.strip_prefix(key)?.parse().ok())
-}
-
 /// The fault drill's shared context.
 struct Drill<'a> {
     gate: &'a mut DivergenceGate,
@@ -153,11 +148,13 @@ impl Drill<'_> {
             std::thread::spawn(move || {
                 let deadline = Instant::now() + SETTLE;
                 loop {
-                    let pid = events.snapshot().iter().find_map(|line| {
-                        (line.contains("event=worker-start")
-                            && line.contains(" partition=0 ")
-                            && line.contains(" attempt=0 "))
-                        .then(|| event_field(line, "pid="))
+                    // Typed journal access: match on parsed fields, not on
+                    // the event line's wording.
+                    let pid = events.records().iter().find_map(|record| {
+                        (record.event() == "worker-start"
+                            && record.u64("partition") == Some(0)
+                            && record.u64("attempt") == Some(0))
+                        .then(|| record.u64("pid"))
                         .flatten()
                     });
                     if let Some(pid) = pid {
@@ -209,8 +206,9 @@ impl Drill<'_> {
             }
         }
         let recovered = events.iter().find_map(|line| {
-            line.contains("event=partition-recovered")
-                .then(|| event_field(line, "latency_ms="))
+            let record = EventRecord::parse(line).ok()?;
+            (record.event() == "partition-recovered")
+                .then(|| record.u64("latency_ms"))
                 .flatten()
         });
         match recovered {

@@ -74,6 +74,7 @@ use crate::corpus::{
 use crate::query_analysis::QueryAnalysis;
 use crate::recover::{enforce_budget, ErrorTally, RecoveryContext, RecoveryPolicy};
 use serde::{Deserialize, Serialize};
+use sparqlog_obs as obs;
 use sparqlog_parser::intern::{InternStats, Interner};
 use sparqlog_parser::{canonical_fingerprint_of_ref, Arena, ErrorKind};
 use std::collections::HashMap;
@@ -235,6 +236,9 @@ struct FusedWorker {
     interner: Interner,
     arena: Arena,
     lookups: u64,
+    /// Analyze-stage latency, recorded only on cache misses (first
+    /// occurrence of a canonical form), so duplicates stay untimed.
+    analyze_us: &'static obs::LatencyHistogram,
 }
 
 impl FusedWorker {
@@ -245,6 +249,7 @@ impl FusedWorker {
             interner: Interner::new(),
             arena: Arena::new(),
             lookups: 0,
+            analyze_us: obs::global().histogram("pipeline_analyze_us"),
         }
     }
 
@@ -276,12 +281,14 @@ impl FusedWorker {
             let map = &mut self.counts[log_index];
             let interner = &mut self.interner;
             let lookups = &mut self.lookups;
+            let analyze_us = self.analyze_us;
             let parsed = ctx.parse_entry(entry, &self.arena, |query| {
                 let fingerprint = canonical_fingerprint_of_ref(&query);
                 let slot = map.entry(fingerprint).or_insert(0);
                 if *slot == 0 {
                     *lookups += 1;
                     cache.get_or_insert_with(fingerprint, || {
+                        let _span = analyze_us.span();
                         QueryAnalysis::of_ref(&query, interner)
                     });
                 }
@@ -345,6 +352,16 @@ pub fn analyze_streams_cached(
     let log_count = readers.len();
     let mut source = BatchSource::new(readers, batch_size, ctx.policy.recovers());
 
+    // Observability handles, hoisted once: spans are batch-granular (one
+    // clock pair per batch, never per entry) and counters flush totals in
+    // the epilogue below, so instrumentation stays inside the overhead
+    // budget `ablation_obs` gates — and is entirely free when disabled.
+    let metrics_on = obs::enabled();
+    let cache_before = cache.stats();
+    let read_us = obs::global().histogram("pipeline_read_us");
+    let parse_us = obs::global().histogram("pipeline_parse_us");
+    let read_bytes = obs::global().counter("pipeline_read_bytes_total");
+
     let batches = AtomicU64::new(0);
     let inflight = AtomicUsize::new(0);
     let peak_inflight = AtomicUsize::new(0);
@@ -360,9 +377,22 @@ pub fn analyze_streams_cached(
     let states: Vec<FusedWorker> = if workers == 1 {
         let mut worker = FusedWorker::new(log_count);
         let mut batch = Vec::new();
-        while let Some((log_index, _sequence, start)) = source.next_batch(&mut batch)? {
+        loop {
+            let claimed = {
+                let _read_span = read_us.span();
+                source.next_batch(&mut batch)?
+            };
+            let Some((log_index, _sequence, start)) = claimed else {
+                break;
+            };
             note_claimed(batch.len());
-            worker.process_batch(log_index, start, &batch, cache, &ctx, &labels[log_index])?;
+            if metrics_on {
+                read_bytes.add(batch.iter().map(|entry| entry.len() as u64).sum());
+            }
+            {
+                let _parse_span = parse_us.span();
+                worker.process_batch(log_index, start, &batch, cache, &ctx, &labels[log_index])?;
+            }
             note_done(batch.len());
             batch.clear();
         }
@@ -378,21 +408,32 @@ pub fn analyze_streams_cached(
                         let mut batch = Vec::new();
                         loop {
                             batch.clear();
-                            let claimed = source
-                                .lock()
-                                .expect("fused workers must not panic")
-                                .next_batch(&mut batch);
+                            let claimed = {
+                                let _read_span = read_us.span();
+                                source
+                                    .lock()
+                                    .expect("fused workers must not panic")
+                                    .next_batch(&mut batch)
+                            };
                             match claimed {
                                 Ok(Some((log_index, _sequence, start))) => {
                                     note_claimed(batch.len());
-                                    let processed = worker.process_batch(
-                                        log_index,
-                                        start,
-                                        &batch,
-                                        cache,
-                                        &ctx,
-                                        &labels[log_index],
-                                    );
+                                    if metrics_on {
+                                        read_bytes.add(
+                                            batch.iter().map(|entry| entry.len() as u64).sum(),
+                                        );
+                                    }
+                                    let processed = {
+                                        let _parse_span = parse_us.span();
+                                        worker.process_batch(
+                                            log_index,
+                                            start,
+                                            &batch,
+                                            cache,
+                                            &ctx,
+                                            &labels[log_index],
+                                        )
+                                    };
                                     note_done(batch.len());
                                     if let Err(error) = processed {
                                         failure
@@ -430,7 +471,10 @@ pub fn analyze_streams_cached(
     // Merge the per-worker occurrence maps and error tallies per log
     // (commutative, so worker order is irrelevant), collect counters. The
     // reader-level defect tallies accumulated at the batch source seed the
-    // per-log totals.
+    // per-log totals. The merge span covers everything from here to the
+    // folded corpus: per-worker state union, summary construction, the
+    // budget check and the occurrence-weighted fold.
+    let _merge_span = obs::global().histogram("pipeline_merge_us").span();
     let mut merged: Vec<HashMap<u128, u64, FingerprintBuildHasher>> =
         (0..log_count).map(|_| HashMap::default()).collect();
     let mut tallies: Vec<ErrorTally> = std::mem::take(&mut source.tallies);
@@ -501,15 +545,13 @@ pub fn analyze_streams_cached(
     // shard workers and the serve path stream as Lenient and leave this
     // check to their coordinator, so every deployment reaches the same
     // verdict over the same merged tallies.
-    {
-        let mut combined = ErrorTally::default();
-        let mut total = 0u64;
-        for summary in &summaries {
-            combined.merge(&summary.errors);
-            total += summary.counts.total;
-        }
-        enforce_budget(ctx.policy, &combined, total)?;
+    let mut combined_errors = ErrorTally::default();
+    let mut total_entries = 0u64;
+    for summary in &summaries {
+        combined_errors.merge(&summary.errors);
+        total_entries += summary.counts.total;
     }
+    enforce_budget(ctx.policy, &combined_errors, total_entries)?;
 
     // Duplicate occurrences were absorbed by the local maps without touching
     // the shared cache; credit them so `hits + misses` still equals the
@@ -527,6 +569,39 @@ pub fn analyze_streams_cached(
         peak_inflight_entries: peak_inflight.into_inner(),
         distinct_forms: records.len() as u64,
     };
+
+    // The per-entry facts flush as whole-run totals here — one counter add
+    // per run per fact, instead of one per entry on the hot path. Cache
+    // counters flush as this run's delta, so a caller-owned cache shared
+    // across runs is not double-counted.
+    if metrics_on {
+        let registry = obs::global();
+        registry.counter("pipeline_runs_total").incr();
+        registry
+            .counter("pipeline_batches_total")
+            .add(fused.batches);
+        registry
+            .counter("pipeline_entries_total")
+            .add(total_entries);
+        registry.counter("pipeline_valid_total").add(valid_total);
+        registry
+            .counter("pipeline_errors_total")
+            .add(combined_errors.total());
+        registry
+            .counter("pipeline_distinct_forms_total")
+            .add(fused.distinct_forms);
+        let cache_after = stats.cache.unwrap_or_default();
+        registry
+            .counter("cache_hits_total")
+            .add(cache_after.hits.saturating_sub(cache_before.hits));
+        registry
+            .counter("cache_misses_total")
+            .add(cache_after.misses.saturating_sub(cache_before.misses));
+        registry
+            .gauge("cache_distinct_forms")
+            .set(cache_after.distinct as i64);
+    }
+
     Ok(FusedAnalysis {
         summaries,
         corpus,

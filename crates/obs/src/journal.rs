@@ -1,0 +1,307 @@
+//! The structured event journal schema: a typed [`EventRecord`] over the
+//! stable one-line `key=value` format the serve daemon's event log emits,
+//! with a parser that understands quoting — so tools consume events through
+//! typed accessors instead of scraping free text.
+//!
+//! The wire shape of a record is a single line of space-separated
+//! `key=value` tokens. Values containing spaces or quotes render quoted
+//! (`"` becomes `'`, newlines and tabs become spaces), so every line stays
+//! one-line and loss-lessly parseable:
+//!
+//! ```text
+//! t=340 seq=7 event=worker-death job=1 partition=0 attempt=0 error="exited with status 3"
+//! ```
+//!
+//! ```
+//! use sparqlog_obs::EventRecord;
+//!
+//! let record = EventRecord::new("partition-recovered")
+//!     .with("job", 1u64)
+//!     .with("partition", 0u64)
+//!     .with("latency_ms", 55u64);
+//! let line = record.render();
+//! let parsed = EventRecord::parse(&line).unwrap();
+//! assert_eq!(parsed.event(), "partition-recovered");
+//! assert_eq!(parsed.u64("latency_ms"), Some(55));
+//! assert_eq!(parsed, record);
+//! ```
+
+use std::fmt;
+
+/// One structured event: ordered `key=value` fields with typed accessors.
+/// Field order is preserved (events render stably), keys may repeat (the
+/// accessors return the first match).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventRecord {
+    fields: Vec<(String, String)>,
+}
+
+/// A structured parse failure: the byte offset and what went wrong there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the line where parsing failed.
+    pub offset: usize,
+    /// What was wrong.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event line byte {}: {}", self.offset, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// `true` for a key usable as a bare token: non-empty, no whitespace, no
+/// `=`, no quote.
+fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|ch| !ch.is_whitespace() && ch != '=' && ch != '"')
+}
+
+impl EventRecord {
+    /// A record whose first field is `event=<event>` — the discriminator
+    /// every journal consumer switches on.
+    pub fn new(event: &str) -> EventRecord {
+        EventRecord {
+            fields: vec![("event".to_string(), event.to_string())],
+        }
+    }
+
+    /// An empty record (for building timestamp-first lines).
+    pub fn empty() -> EventRecord {
+        EventRecord::default()
+    }
+
+    /// Appends a field, builder-style. `key` must be a bare token
+    /// (checked in debug builds); any `Display` value is accepted and
+    /// quoted on render if needed.
+    pub fn with(mut self, key: &str, value: impl fmt::Display) -> EventRecord {
+        self.push(key, value);
+        self
+    }
+
+    /// Appends a field in place.
+    pub fn push(&mut self, key: &str, value: impl fmt::Display) {
+        debug_assert!(valid_key(key), "invalid event field key {key:?}");
+        self.fields.push((key.to_string(), value.to_string()));
+    }
+
+    /// The first value for `key`, raw (unquoted).
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(name, _)| name == key)
+            .map(|(_, value)| value.as_str())
+    }
+
+    /// The first value for `key` parsed as `u64`.
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// The `event=` discriminator, or `""` if absent.
+    pub fn event(&self) -> &str {
+        self.get("event").unwrap_or("")
+    }
+
+    /// The `t=` timestamp (milliseconds since process start), if stamped.
+    pub fn timestamp_ms(&self) -> Option<u64> {
+        self.u64("t")
+    }
+
+    /// The `seq=` correlation id, if stamped.
+    pub fn seq(&self) -> Option<u64> {
+        self.u64("seq")
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[(String, String)] {
+        &self.fields
+    }
+
+    /// Renders the one-line wire form. Values that are empty or contain
+    /// whitespace or quotes render quoted, with `"` collapsed to `'` and
+    /// line breaks to spaces — the same flattening the event log always
+    /// applied — so the output is always a single parseable line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (index, (key, value)) in self.fields.iter().enumerate() {
+            if index > 0 {
+                out.push(' ');
+            }
+            out.push_str(key);
+            out.push('=');
+            let needs_quotes = value.is_empty()
+                || value
+                    .chars()
+                    .any(|ch| ch.is_whitespace() || ch == '"' || ch == '=');
+            if needs_quotes {
+                out.push('"');
+                for ch in value.chars() {
+                    match ch {
+                        '"' => out.push('\''),
+                        '\n' | '\r' | '\t' => out.push(' '),
+                        ch => out.push(ch),
+                    }
+                }
+                out.push('"');
+            } else {
+                out.push_str(value);
+            }
+        }
+        out
+    }
+
+    /// Parses one journal line back into a record. Understands bare and
+    /// quoted values; fails with a positioned [`ParseError`] on anything
+    /// else (a key without `=`, an unterminated quote).
+    pub fn parse(line: &str) -> Result<EventRecord, ParseError> {
+        let bytes = line.as_bytes();
+        let mut fields = Vec::new();
+        let mut cursor = 0usize;
+        while cursor < bytes.len() {
+            // Skip inter-token spaces.
+            if bytes[cursor] == b' ' {
+                cursor += 1;
+                continue;
+            }
+            let key_start = cursor;
+            while cursor < bytes.len() && bytes[cursor] != b'=' && bytes[cursor] != b' ' {
+                cursor += 1;
+            }
+            if cursor >= bytes.len() || bytes[cursor] != b'=' {
+                return Err(ParseError {
+                    offset: key_start,
+                    reason: "token without '='",
+                });
+            }
+            let key = &line[key_start..cursor];
+            if key.is_empty() {
+                return Err(ParseError {
+                    offset: key_start,
+                    reason: "empty key",
+                });
+            }
+            cursor += 1; // consume '='
+            let value = if cursor < bytes.len() && bytes[cursor] == b'"' {
+                cursor += 1;
+                let value_start = cursor;
+                while cursor < bytes.len() && bytes[cursor] != b'"' {
+                    cursor += 1;
+                }
+                if cursor >= bytes.len() {
+                    return Err(ParseError {
+                        offset: value_start,
+                        reason: "unterminated quote",
+                    });
+                }
+                let value = &line[value_start..cursor];
+                cursor += 1; // consume closing quote
+                value
+            } else {
+                let value_start = cursor;
+                while cursor < bytes.len() && bytes[cursor] != b' ' {
+                    cursor += 1;
+                }
+                &line[value_start..cursor]
+            };
+            fields.push((key.to_string(), value.to_string()));
+        }
+        if fields.is_empty() {
+            return Err(ParseError {
+                offset: 0,
+                reason: "no fields",
+            });
+        }
+        Ok(EventRecord { fields })
+    }
+}
+
+impl fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_renders_and_round_trips() {
+        let record = EventRecord::new("worker-start")
+            .with("job", 3u64)
+            .with("partition", 1u64)
+            .with("attempt", 0u64)
+            .with("pid", 4711u64);
+        let line = record.render();
+        assert_eq!(
+            line,
+            "event=worker-start job=3 partition=1 attempt=0 pid=4711"
+        );
+        assert_eq!(EventRecord::parse(&line).unwrap(), record);
+    }
+
+    #[test]
+    fn quoted_values_round_trip() {
+        let record = EventRecord::new("worker-death")
+            .with("job", 1u64)
+            .with("error", "shard 0: worker exited with status 3");
+        let line = record.render();
+        assert!(line.contains("error=\"shard 0: worker exited with status 3\""));
+        let parsed = EventRecord::parse(&line).unwrap();
+        assert_eq!(
+            parsed.get("error"),
+            Some("shard 0: worker exited with status 3")
+        );
+        assert_eq!(parsed, record);
+    }
+
+    #[test]
+    fn disruptive_characters_flatten_like_the_event_log_always_did() {
+        let record = EventRecord::new("e").with("msg", "a \"b\"\nc");
+        let line = record.render();
+        assert_eq!(line, "event=e msg=\"a 'b' c\"");
+        assert_eq!(
+            EventRecord::parse(&line).unwrap().get("msg"),
+            Some("a 'b' c")
+        );
+    }
+
+    #[test]
+    fn typed_accessors_and_correlation_ids() {
+        let parsed = EventRecord::parse(
+            "t=340 seq=7 event=partition-recovered job=12 partition=2 latency_ms=55",
+        )
+        .unwrap();
+        assert_eq!(parsed.timestamp_ms(), Some(340));
+        assert_eq!(parsed.seq(), Some(7));
+        assert_eq!(parsed.event(), "partition-recovered");
+        assert_eq!(parsed.u64("job"), Some(12));
+        assert_eq!(parsed.u64("latency_ms"), Some(55));
+        assert_eq!(parsed.u64("missing"), None);
+    }
+
+    #[test]
+    fn malformed_lines_fail_with_positions() {
+        let error = EventRecord::parse("event=ok dangling").unwrap_err();
+        assert_eq!(error.reason, "token without '='");
+        assert_eq!(error.offset, 9);
+        let error = EventRecord::parse("msg=\"unterminated").unwrap_err();
+        assert_eq!(error.reason, "unterminated quote");
+        assert!(EventRecord::parse("").is_err());
+        assert!(EventRecord::parse("   ").is_err());
+    }
+
+    #[test]
+    fn empty_values_render_quoted_and_survive() {
+        let record = EventRecord::new("e").with("blank", "");
+        let line = record.render();
+        assert_eq!(line, "event=e blank=\"\"");
+        assert_eq!(EventRecord::parse(&line).unwrap().get("blank"), Some(""));
+    }
+}

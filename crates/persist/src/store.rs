@@ -46,6 +46,7 @@ use crate::faults::{self, FaultMode, FAULT_EXIT};
 use sparqlog_core::analysis::{DatasetAnalysis, Population};
 use sparqlog_core::recover::RecoveryPolicy;
 use sparqlog_core::{LogSummary, PersistedLog, SnapshotMemo};
+use sparqlog_obs as obs;
 use sparqlog_shard::codec::{crc32c, Decoder, Encoder};
 use sparqlog_shard::snapshot::Snapshot;
 use std::collections::{HashMap, HashSet};
@@ -139,6 +140,22 @@ pub enum RecoveryReason {
     BadHeader,
 }
 
+impl RecoveryReason {
+    /// A stable one-token key for structured events and metric names —
+    /// unlike [`Display`](fmt::Display), never free text.
+    pub fn key(&self) -> &'static str {
+        match self {
+            RecoveryReason::Created => "created",
+            RecoveryReason::Clean => "clean",
+            RecoveryReason::Uncommitted => "uncommitted",
+            RecoveryReason::TornRecord => "torn-record",
+            RecoveryReason::ChecksumMismatch { .. } => "checksum-mismatch",
+            RecoveryReason::Malformed { .. } => "malformed",
+            RecoveryReason::BadHeader => "bad-header",
+        }
+    }
+}
+
 impl fmt::Display for RecoveryReason {
     fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -183,6 +200,34 @@ impl RecoveryReport {
     /// Whether nothing was dropped (a clean or freshly-created store).
     pub fn is_clean(&self) -> bool {
         self.dropped.is_none()
+    }
+
+    /// Bytes dropped by the recovery scan (0 on a clean open).
+    pub fn dropped_bytes(&self) -> u64 {
+        self.dropped
+            .as_ref()
+            .map(|range| range.end - range.start)
+            .unwrap_or(0)
+    }
+
+    /// Flushes this report into the metric registry: every open counts,
+    /// and a recovery that dropped data additionally counts its reason and
+    /// the dropped bytes/records.
+    fn record_metrics(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        let registry = obs::global();
+        registry.counter("persist_opens_total").incr();
+        if !self.is_clean() {
+            registry.counter("persist_recoveries_total").incr();
+            registry
+                .counter("persist_recovery_dropped_bytes_total")
+                .add(self.dropped_bytes());
+            registry
+                .counter("persist_recovery_dropped_records_total")
+                .add(self.dropped_records);
+        }
     }
 }
 
@@ -296,6 +341,7 @@ impl SnapshotStore {
                 jobs: 0,
                 reason,
             };
+            report.record_metrics();
             return Ok((SnapshotStore::fresh(file, path), report));
         }
 
@@ -375,6 +421,7 @@ impl SnapshotStore {
             jobs: store.jobs.len() as u64,
             reason,
         };
+        report.record_metrics();
         Ok((store, report))
     }
 
@@ -512,6 +559,13 @@ impl SnapshotStore {
         self.file.write_all(&bytes)?;
         self.length += bytes.len() as u64;
         self.pending += 1;
+        if obs::enabled() {
+            let registry = obs::global();
+            registry.counter("persist_records_total").incr();
+            registry
+                .counter("persist_appended_bytes_total")
+                .add(bytes.len() as u64);
+        }
         Ok(())
     }
 
@@ -526,6 +580,7 @@ impl SnapshotStore {
         if self.pending == 0 {
             return Ok(self.seq);
         }
+        let _commit_span = obs::global().histogram("persist_commit_us").span();
         let fault = faults::injected();
         if fault == Some(FaultMode::DieBeforeCommit) {
             // Data records are appended; the commit record never lands.
@@ -552,7 +607,18 @@ impl SnapshotStore {
             // process death (unlike power loss) keeps it.
             std::process::exit(FAULT_EXIT);
         }
-        self.file.sync_data()?;
+        {
+            let _fsync_span = obs::global().histogram("persist_fsync_us").span();
+            self.file.sync_data()?;
+        }
+        if obs::enabled() {
+            let registry = obs::global();
+            registry.counter("persist_commits_total").incr();
+            registry.counter("persist_fsyncs_total").incr();
+            registry
+                .counter("persist_commit_bytes_total")
+                .add(self.length + bytes.len() as u64 - self.committed);
+        }
         self.length += bytes.len() as u64;
         self.committed = self.length;
         self.seq += 1;

@@ -7,6 +7,7 @@ use crate::protocol::{self, JobReport, JobStatus, Request, Response};
 use crate::server::ServeAddr;
 use sparqlog_core::analysis::Population;
 use sparqlog_core::RecoveryPolicy;
+use sparqlog_obs::MetricsSnapshot;
 use sparqlog_shard::codec::{FrameReader, StreamError};
 use std::io::{self, BufWriter, Read, Write};
 use std::net::TcpStream;
@@ -289,6 +290,16 @@ impl Client {
     pub fn events(&mut self, job: u64) -> Result<Vec<String>, ClientError> {
         match self.request(&Request::Events { job })? {
             Response::Events { lines } => Ok(lines),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's merged metric snapshot (pipeline, cache,
+    /// shard, persist, and serve layers) plus its text exposition. Both
+    /// are empty when metrics are disabled on the server.
+    pub fn metrics(&mut self) -> Result<(MetricsSnapshot, String), ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { snapshot, text } => Ok((snapshot, text)),
             other => Err(unexpected(&other)),
         }
     }

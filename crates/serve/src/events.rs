@@ -1,27 +1,31 @@
-//! The structured event log: one line per supervision event, stamped with
-//! milliseconds since server start, kept in memory for the `Events` request
-//! and optionally mirrored to a file (the CI fault jobs upload it as an
-//! artifact).
+//! The structured event journal: one line per supervision event, stamped
+//! with milliseconds since server start and a monotonic `seq=` correlation
+//! id, kept in memory for the `Events` request and optionally mirrored to a
+//! file (the CI fault jobs upload it as an artifact).
 //!
-//! Lines are `key=value` pairs, e.g.:
+//! Lines follow the stable [`EventRecord`] `key=value` schema, so consumers
+//! parse them back into typed records instead of scraping text:
 //!
 //! ```text
-//! t=12 event=worker-start job=1 partition=0 attempt=0 pid=4711
-//! t=340 event=worker-death job=1 partition=0 attempt=0 error="shard 0: worker exited with status 3"
-//! t=395 event=partition-recovered job=1 partition=0 latency_ms=55
+//! t=12 seq=0 event=worker-start job=1 partition=0 attempt=0 pid=4711
+//! t=340 seq=1 event=worker-death job=1 partition=0 attempt=0 error="shard 0: worker exited with status 3"
+//! t=395 seq=2 event=partition-recovered job=1 partition=0 latency_ms=55
 //! ```
 
+use sparqlog_obs::EventRecord;
 use std::fs::File;
 use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// An append-only, timestamp-stamped event log shared across the server's
-/// threads.
+/// An append-only, timestamp- and sequence-stamped event journal shared
+/// across the server's threads.
 #[derive(Debug)]
 pub struct EventLog {
     start: Instant,
+    seq: AtomicU64,
     lines: Mutex<Vec<String>>,
     sink: Option<Mutex<File>>,
 }
@@ -31,6 +35,7 @@ impl EventLog {
     pub fn new() -> EventLog {
         EventLog {
             start: Instant::now(),
+            seq: AtomicU64::new(0),
             lines: Mutex::new(Vec::new()),
             sink: None,
         }
@@ -43,17 +48,20 @@ impl EventLog {
         let file = File::create(path)?;
         Ok(EventLog {
             start: Instant::now(),
+            seq: AtomicU64::new(0),
             lines: Mutex::new(Vec::new()),
             sink: Some(Mutex::new(file)),
         })
     }
 
-    /// Appends one event line (without the timestamp prefix — it is added
-    /// here).
+    /// Appends one event line (without the timestamp/sequence prefix —
+    /// both are stamped here). The line must already be `key=value`
+    /// tokens; [`EventLog::emit_record`] builds that shape safely.
     pub fn emit(&self, line: impl AsRef<str>) {
         let stamped = format!(
-            "t={} {}",
+            "t={} seq={} {}",
             self.start.elapsed().as_millis(),
+            self.seq.fetch_add(1, Ordering::Relaxed),
             line.as_ref().trim_end()
         );
         if let Some(sink) = &self.sink {
@@ -65,9 +73,36 @@ impl EventLog {
         self.lines.lock().expect("event log lock").push(stamped);
     }
 
+    /// Appends one structured event, stamping `t=` and `seq=` ahead of its
+    /// fields. The record's own quoting rules keep the line parseable.
+    pub fn emit_record(&self, record: EventRecord) {
+        self.emit(record.render());
+    }
+
     /// All lines emitted so far, oldest first.
     pub fn snapshot(&self) -> Vec<String> {
         self.lines.lock().expect("event log lock").clone()
+    }
+
+    /// Every line parsed back into a typed [`EventRecord`], oldest first.
+    /// Lines are emitted through the same schema, so parsing cannot fail
+    /// in practice; a hand-emitted malformed line is skipped rather than
+    /// poisoning the whole journal.
+    pub fn records(&self) -> Vec<EventRecord> {
+        self.lines
+            .lock()
+            .expect("event log lock")
+            .iter()
+            .filter_map(|line| EventRecord::parse(line).ok())
+            .collect()
+    }
+
+    /// The typed records whose `job=` field equals `job`.
+    pub fn records_for_job(&self, job: u64) -> Vec<EventRecord> {
+        self.records()
+            .into_iter()
+            .filter(|record| record.u64("job") == Some(job))
+            .collect()
     }
 
     /// The lines mentioning job `job` (matched on the ` job=<id>` token, so
@@ -145,5 +180,37 @@ mod tests {
     fn quoted_flattens_disruptive_characters() {
         assert_eq!(quoted("plain"), "\"plain\"");
         assert_eq!(quoted("a \"b\"\nc"), "\"a 'b' c\"");
+    }
+
+    #[test]
+    fn records_parse_back_with_correlation_ids() {
+        let log = EventLog::new();
+        log.emit_record(
+            EventRecord::new("worker-start")
+                .with("job", 1u64)
+                .with("partition", 0u64)
+                .with("pid", 4711u64),
+        );
+        log.emit_record(
+            EventRecord::new("worker-death")
+                .with("job", 2u64)
+                .with("error", "exited with status 3"),
+        );
+        let records = log.records();
+        assert_eq!(records.len(), 2);
+        // seq= is monotonic from zero; t= is always stamped.
+        assert_eq!(records[0].seq(), Some(0));
+        assert_eq!(records[1].seq(), Some(1));
+        assert!(records.iter().all(|r| r.timestamp_ms().is_some()));
+        assert_eq!(records[0].event(), "worker-start");
+        assert_eq!(records[0].u64("pid"), Some(4711));
+        assert_eq!(
+            records[1].get("error"),
+            Some("exited with status 3"),
+            "quoted values survive the journal round trip"
+        );
+        let job2 = log.records_for_job(2);
+        assert_eq!(job2.len(), 1);
+        assert_eq!(job2[0].event(), "worker-death");
     }
 }

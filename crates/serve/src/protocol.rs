@@ -12,9 +12,11 @@
 
 use sparqlog_core::analysis::Population;
 use sparqlog_core::RecoveryPolicy;
+use sparqlog_obs::MetricsSnapshot;
 use sparqlog_shard::codec::{
     write_frame, write_stream_header, DecodeError, Decoder, Encoder, FrameReader, StreamError,
 };
+use sparqlog_shard::snapshot::Snapshot;
 use std::io::{self, Read, Write};
 
 /// Request tag bytes.
@@ -25,6 +27,7 @@ mod req {
     pub const REPORT: u8 = 4;
     pub const DRAIN: u8 = 5;
     pub const EVENTS: u8 = 6;
+    pub const METRICS: u8 = 7;
 }
 
 /// Response tag bytes.
@@ -36,6 +39,7 @@ mod resp {
     pub const ERROR: u8 = 5;
     pub const REJECTED: u8 = 6;
     pub const EVENTS: u8 = 7;
+    pub const METRICS: u8 = 8;
 }
 
 /// A client request.
@@ -73,6 +77,9 @@ pub enum Request {
         /// Filter to one job id, or 0 for everything.
         job: u64,
     },
+    /// Fetch the server's metric registry: a merged snapshot covering the
+    /// pipeline, cache, shard, persist, and serve layers.
+    Metrics,
 }
 
 /// A job's lifecycle phase.
@@ -179,6 +186,14 @@ pub enum Response {
         /// The matching event lines, oldest first.
         lines: Vec<String>,
     },
+    /// Answer to [`Request::Metrics`].
+    Metrics {
+        /// The merged metric snapshot (empty when metrics are disabled on
+        /// the server).
+        snapshot: MetricsSnapshot,
+        /// The same snapshot in Prometheus-style text exposition.
+        text: String,
+    },
 }
 
 fn population_code(population: Population) -> u8 {
@@ -259,6 +274,7 @@ impl Request {
                 out.put_u8(req::EVENTS);
                 out.put_varint(*job);
             }
+            Request::Metrics => out.put_u8(req::METRICS),
         }
         out.into_bytes()
     }
@@ -298,6 +314,7 @@ impl Request {
             req::EVENTS => Request::Events {
                 job: decoder.take_varint()?,
             },
+            req::METRICS => Request::Metrics,
             tag => return Err(decoder.invalid("request tag", u64::from(tag))),
         };
         decoder.finish()?;
@@ -353,6 +370,11 @@ impl Response {
                 for line in lines {
                     out.put_str(line);
                 }
+            }
+            Response::Metrics { snapshot, text } => {
+                out.put_u8(resp::METRICS);
+                snapshot.encode(&mut out);
+                out.put_str(text);
             }
         }
         out.into_bytes()
@@ -410,6 +432,10 @@ impl Response {
                 }
                 Response::Events { lines }
             }
+            resp::METRICS => Response::Metrics {
+                snapshot: MetricsSnapshot::decode(&mut decoder)?,
+                text: decoder.take_str()?,
+            },
             tag => return Err(decoder.invalid("response tag", u64::from(tag))),
         };
         decoder.finish()?;
@@ -498,6 +524,7 @@ mod tests {
         round_trip_request(Request::Report { job: 3, full: true });
         round_trip_request(Request::Drain);
         round_trip_request(Request::Events { job: 0 });
+        round_trip_request(Request::Metrics);
     }
 
     #[test]
@@ -535,6 +562,19 @@ mod tests {
         });
         round_trip_response(Response::Events {
             lines: vec!["t=1 event=drain".to_string()],
+        });
+        let snapshot = MetricsSnapshot {
+            counters: vec![("pipeline_runs_total".to_string(), 3)],
+            gauges: vec![("serve_sessions_open".to_string(), -1)],
+            histograms: Vec::new(),
+        };
+        round_trip_response(Response::Metrics {
+            text: snapshot.render_text(),
+            snapshot,
+        });
+        round_trip_response(Response::Metrics {
+            snapshot: MetricsSnapshot::default(),
+            text: String::new(),
         });
     }
 

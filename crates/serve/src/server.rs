@@ -30,6 +30,7 @@ use crate::protocol::{self, Request, Response};
 use crate::signal;
 use crate::supervisor::{Supervisor, SupervisorConfig};
 use sparqlog_core::cache::CacheStats;
+use sparqlog_obs::{self as obs, EventRecord};
 use sparqlog_persist::SnapshotStore;
 use sparqlog_shard::codec::FrameReader;
 use sparqlog_shard::{LogSpec, WorkerCommand};
@@ -315,11 +316,21 @@ impl Server {
         let store = match &config.store_path {
             Some(path) => {
                 let (store, report) = SnapshotStore::open(path)?;
-                events.emit(format!(
-                    "event=store-open path={} report={}",
-                    quoted(&path.display().to_string()),
-                    quoted(&report.to_string())
-                ));
+                // The recovery outcome as typed fields (reason is the
+                // stable one-token key) — consumers match on fields, not
+                // on the report's prose.
+                events.emit_record(
+                    EventRecord::new("store-open")
+                        .with("path", path.display())
+                        .with("reason", report.reason.key())
+                        .with("kept_bytes", report.kept_bytes)
+                        .with("dropped_bytes", report.dropped_bytes())
+                        .with("dropped_records", report.dropped_records)
+                        .with("commits", report.commits)
+                        .with("snapshots", report.snapshots)
+                        .with("jobs", report.jobs)
+                        .with("report", report.to_string()),
+                );
                 Some(Arc::new(Mutex::new(store)))
             }
             None => None,
@@ -391,6 +402,8 @@ impl Server {
                     shared
                         .events
                         .emit(format!("event=session-open session={id}"));
+                    obs::global().counter("serve_sessions_total").incr();
+                    obs::global().gauge("serve_sessions_open").add(1);
                     let ctx = Arc::clone(&shared);
                     sessions.push(std::thread::spawn(move || session(stream, id, &ctx)));
                 }
@@ -546,6 +559,7 @@ fn enqueue(
                     "event=outbox-shed session={session_id} capacity={}",
                     ctx.config.outbox_frames
                 ));
+                obs::global().counter("serve_outbox_shed_total").incr();
                 false
             }
             Err(TrySendError::Disconnected(_)) => false,
@@ -586,11 +600,13 @@ fn session(stream: Box<dyn SessionStream>, id: u64, ctx: &Arc<Shared>) {
     drop(outbox);
     let _ = writer.join();
     let _ = control.close();
+    obs::global().gauge("serve_sessions_open").add(-1);
     ctx.events.emit(format!("event=session-close session={id}"));
 }
 
 /// Computes the one response a request maps to.
 fn answer(ctx: &Shared, request: &Request) -> Response {
+    obs::global().counter("serve_requests_total").incr();
     match request {
         Request::Ping => Response::Pong {
             draining: ctx.draining.load(Ordering::Acquire),
@@ -644,5 +660,12 @@ fn answer(ctx: &Shared, request: &Request) -> Response {
                 ctx.events.for_job(*job)
             },
         },
+        Request::Metrics => {
+            // One merged snapshot: this process's live metrics plus
+            // everything absorbed from worker epilogue frames.
+            let snapshot = obs::global().snapshot();
+            let text = snapshot.render_text();
+            Response::Metrics { snapshot, text }
+        }
     }
 }

@@ -34,6 +34,7 @@ use crate::job::Jobs;
 use sparqlog_core::analysis::Population;
 use sparqlog_core::cache::CacheStats;
 use sparqlog_core::{file_identity, PersistedLog, RecoveryPolicy};
+use sparqlog_obs as obs;
 use sparqlog_persist::{JobLog, JobRecord, SnapshotStore};
 use sparqlog_shard::supervise::WorkerLaunch;
 use sparqlog_shard::worker::AssignedLog;
@@ -162,6 +163,7 @@ impl Supervisor {
     ) -> (u64, u64) {
         let partitions = logs.len() as u64;
         let job = self.shared.jobs.create(population, recovery, logs.clone());
+        obs::global().counter("serve_jobs_submitted_total").incr();
         self.shared.events.emit(format!(
             "event=job-accepted job={job} partitions={partitions} recovery={}",
             recovery.resolve().spelling()
@@ -213,6 +215,7 @@ impl Supervisor {
                     self.shared
                         .events
                         .emit(format!("event=job-complete job={job}"));
+                    obs::global().counter("serve_jobs_completed_total").incr();
                     completed_now = true;
                 } else if state.failed.is_some() && !completed_now {
                     if let Some(error) = state.failed.as_deref() {
@@ -220,6 +223,7 @@ impl Supervisor {
                             "event=job-failed job={job} partition={partition} error={}",
                             quoted(error)
                         ));
+                        obs::global().counter("serve_jobs_failed_total").incr();
                     }
                 }
             });
@@ -396,6 +400,10 @@ fn run_partition(shared: &Shared, task: &PartitionTask) {
                     return;
                 }
                 let frame = frames.remove(0);
+                // The worker's own pipeline/cache metrics rode home on the
+                // epilogue frame; fold them into this process's registry so
+                // the service's Metrics answer spans every worker.
+                obs::global().absorb(&output.snapshot.epilogue.metrics);
                 // Clone the pair for the store *before* the frame moves into
                 // the merge; only needed when this partition has a key.
                 let persisted =
@@ -417,16 +425,20 @@ fn run_partition(shared: &Shared, task: &PartitionTask) {
                         output.bytes,
                     );
                     if let Some(since) = first_failure {
+                        let latency_ms = since.elapsed().as_millis() as u64;
                         events.emit(format!(
-                            "event=partition-recovered job={job} partition={partition} attempt={attempt} latency_ms={}",
-                            since.elapsed().as_millis()
+                            "event=partition-recovered job={job} partition={partition} attempt={attempt} latency_ms={latency_ms}"
                         ));
+                        obs::global()
+                            .histogram("serve_recovery_latency_ms")
+                            .record(latency_ms);
                     }
                     events.emit(format!(
                         "event=partition-complete job={job} partition={partition} merged={merged}"
                     ));
                     if state.is_complete() {
                         events.emit(format!("event=job-complete job={job}"));
+                        obs::global().counter("serve_jobs_completed_total").incr();
                         completed_now = true;
                     } else if !was_failed {
                         // The only way a merge can fail a job: the final
@@ -436,6 +448,7 @@ fn run_partition(shared: &Shared, task: &PartitionTask) {
                                 "event=job-failed job={job} partition={partition} error={}",
                                 quoted(error)
                             ));
+                            obs::global().counter("serve_jobs_failed_total").incr();
                         }
                     }
                 });
@@ -466,6 +479,7 @@ fn run_partition(shared: &Shared, task: &PartitionTask) {
                     quoted(&error.to_string())
                 ));
                 shared.jobs.with(job, |state| state.restarts += 1);
+                obs::global().counter("serve_worker_restarts_total").incr();
                 attempt += 1;
                 if attempt > config.max_restarts {
                     fail_job(
@@ -543,6 +557,7 @@ fn fail_job(shared: &Shared, job: u64, partition: usize, message: &str) {
     shared.jobs.with(job, |state| {
         if state.failed.is_none() {
             state.failed = Some(message.to_string());
+            obs::global().counter("serve_jobs_failed_total").incr();
         }
         // Inside the lock for the same reason as the completion events: a
         // client that sees the failed phase must also see the failure event.

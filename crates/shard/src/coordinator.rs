@@ -540,10 +540,24 @@ pub fn analyze_sharded_all(
         (0..logs.len()).map(|_| None).collect();
     let mut cache = CacheStats::default();
     let mut shard_stats = Vec::with_capacity(outputs.len());
+    let registry = sparqlog_obs::global();
     for (shard, output) in outputs.into_iter().enumerate() {
         cache.hits += output.snapshot.epilogue.cache.hits;
         cache.misses += output.snapshot.epilogue.cache.misses;
         cache.distinct += output.snapshot.epilogue.cache.distinct;
+        // Fold the worker process's metrics into this process's registry:
+        // the per-stage pipeline latencies measured inside the worker
+        // surface wherever the coordinator's snapshot is served from.
+        registry.absorb(&output.snapshot.epilogue.metrics);
+        if sparqlog_obs::enabled() {
+            registry.counter("shard_workers_total").incr();
+            registry
+                .counter("shard_snapshot_bytes_total")
+                .add(output.bytes);
+            registry
+                .counter("shard_log_frames_total")
+                .add(output.snapshot.logs.len() as u64);
+        }
         shard_stats.push(ShardRunStats {
             shard,
             logs: output.snapshot.logs.len(),

@@ -32,6 +32,7 @@ use sparqlog_core::cache::CacheStats;
 use sparqlog_core::corpus::{CorpusCounts, FusedStats, LogSummary};
 use sparqlog_core::recover::ErrorTally;
 use sparqlog_graph::ShapeTally;
+use sparqlog_obs::{HistogramSnapshot, MetricsSnapshot};
 use sparqlog_paths::{PathExpressionType, PathTally, TypeEntry};
 use std::collections::BTreeMap;
 use std::io::{self, Write};
@@ -226,6 +227,108 @@ impl Snapshot for FusedStats {
             batches,
             peak_inflight_entries,
             distinct_forms,
+        })
+    }
+}
+
+/// Gauges are signed; the codec's varints are not. ZigZag maps small
+/// magnitudes of either sign to short varints.
+fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+fn unzigzag(raw: u64) -> i64 {
+    ((raw >> 1) as i64) ^ -((raw & 1) as i64)
+}
+
+impl Snapshot for HistogramSnapshot {
+    fn encode(&self, out: &mut Encoder) {
+        let HistogramSnapshot {
+            count,
+            sum,
+            max,
+            buckets,
+        } = self;
+        out.put_varint(*count);
+        out.put_varint(*sum);
+        out.put_varint(*max);
+        out.put_usize(buckets.len());
+        for &(bound, bucket_count) in buckets {
+            out.put_varint(bound);
+            out.put_varint(bucket_count);
+        }
+    }
+
+    fn decode(input: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let count = input.take_varint()?;
+        let sum = input.take_varint()?;
+        let max = input.take_varint()?;
+        let length = input.take_usize()?;
+        let mut buckets = Vec::with_capacity(length.min(1 << 10));
+        for _ in 0..length {
+            let bound = input.take_varint()?;
+            let bucket_count = input.take_varint()?;
+            buckets.push((bound, bucket_count));
+        }
+        Ok(HistogramSnapshot {
+            count,
+            sum,
+            max,
+            buckets,
+        })
+    }
+}
+
+impl Snapshot for MetricsSnapshot {
+    fn encode(&self, out: &mut Encoder) {
+        let MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        } = self;
+        out.put_usize(counters.len());
+        for (name, value) in counters {
+            out.put_str(name);
+            out.put_varint(*value);
+        }
+        out.put_usize(gauges.len());
+        for (name, value) in gauges {
+            out.put_str(name);
+            out.put_varint(zigzag(*value));
+        }
+        out.put_usize(histograms.len());
+        for (name, histogram) in histograms {
+            out.put_str(name);
+            histogram.encode(out);
+        }
+    }
+
+    fn decode(input: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let length = input.take_usize()?;
+        let mut counters = Vec::with_capacity(length.min(1 << 10));
+        for _ in 0..length {
+            let name = input.take_str()?;
+            let value = input.take_varint()?;
+            counters.push((name, value));
+        }
+        let length = input.take_usize()?;
+        let mut gauges = Vec::with_capacity(length.min(1 << 10));
+        for _ in 0..length {
+            let name = input.take_str()?;
+            let value = unzigzag(input.take_varint()?);
+            gauges.push((name, value));
+        }
+        let length = input.take_usize()?;
+        let mut histograms = Vec::with_capacity(length.min(1 << 10));
+        for _ in 0..length {
+            let name = input.take_str()?;
+            let histogram = HistogramSnapshot::decode(input)?;
+            histograms.push((name, histogram));
+        }
+        Ok(MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
         })
     }
 }
@@ -885,7 +988,7 @@ pub struct LogFrame {
 
 /// The final frame of a worker snapshot: a self-check of the stream plus the
 /// run's observability counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EpilogueFrame {
     /// How many [`LogFrame`]s the worker streamed before this epilogue.
     pub log_frames: u64,
@@ -893,6 +996,12 @@ pub struct EpilogueFrame {
     pub cache: CacheStats,
     /// The worker's fused-engine residency counters.
     pub fused: FusedStats,
+    /// The worker process's full metric registry snapshot — per-stage
+    /// latency histograms and layer counters — absorbed by the coordinator
+    /// (or serve supervisor) into its own registry, so a daemon's
+    /// `Metrics` answer covers work done in worker processes. Empty when
+    /// the worker ran with metrics disabled.
+    pub metrics: MetricsSnapshot,
 }
 
 /// A liveness heartbeat: a worker that has nothing to report yet but wants
@@ -955,6 +1064,7 @@ impl Frame {
                 encoder.put_varint(frame.log_frames);
                 frame.cache.encode(&mut encoder);
                 frame.fused.encode(&mut encoder);
+                frame.metrics.encode(&mut encoder);
             }
             Frame::Heartbeat(frame) => {
                 encoder.put_u8(FRAME_HEARTBEAT);
@@ -989,10 +1099,12 @@ impl Frame {
                 let log_frames = decoder.take_varint()?;
                 let cache = CacheStats::decode(&mut decoder)?;
                 let fused = FusedStats::decode(&mut decoder)?;
+                let metrics = MetricsSnapshot::decode(&mut decoder)?;
                 Frame::Epilogue(EpilogueFrame {
                     log_frames,
                     cache,
                     fused,
+                    metrics,
                 })
             }
             FRAME_HEARTBEAT => {
@@ -1301,11 +1413,29 @@ mod tests {
                 peak_inflight_entries: 6,
                 distinct_forms: 4,
             },
+            metrics: MetricsSnapshot {
+                counters: vec![
+                    ("cache_hits_total".to_string(), 10),
+                    ("pipeline_entries_total".to_string(), 14),
+                ],
+                gauges: vec![("cache_distinct_forms".to_string(), 4)],
+                histograms: vec![(
+                    "pipeline_read_us".to_string(),
+                    HistogramSnapshot {
+                        count: 2,
+                        sum: 30,
+                        max: 20,
+                        buckets: vec![(10, 2)],
+                    },
+                )],
+            },
         };
         let mut stream = Vec::new();
         crate::codec::write_stream_header(&mut stream).unwrap();
         Frame::from(log.clone()).write_to(&mut stream).unwrap();
-        Frame::Epilogue(epilogue).write_to(&mut stream).unwrap();
+        Frame::Epilogue(epilogue.clone())
+            .write_to(&mut stream)
+            .unwrap();
 
         let (snapshot, bytes) = read_snapshot(stream.as_slice()).unwrap();
         assert_eq!(bytes, stream.len() as u64);
@@ -1376,8 +1506,7 @@ mod tests {
         };
         let epilogue = EpilogueFrame {
             log_frames: 1,
-            cache: CacheStats::default(),
-            fused: FusedStats::default(),
+            ..EpilogueFrame::default()
         };
         // Heartbeats interleaved before, between and directly ahead of the
         // epilogue: the declared log-frame count (1) must still match.
@@ -1390,7 +1519,9 @@ mod tests {
         Frame::Heartbeat(HeartbeatFrame { seq: 2 })
             .write_to(&mut stream)
             .unwrap();
-        Frame::Epilogue(epilogue).write_to(&mut stream).unwrap();
+        Frame::Epilogue(epilogue.clone())
+            .write_to(&mut stream)
+            .unwrap();
 
         let mut observed = Vec::new();
         let (snapshot, bytes) = read_snapshot_observed(stream.as_slice(), |frame| {

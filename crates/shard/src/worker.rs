@@ -330,10 +330,20 @@ fn stream_frames<W: Write>(
         }
     }
     let mut guard = shared.lock().expect("writer lock");
+    // Counted before the snapshot below so the shard layer shows up in the
+    // registry this worker ships home.
+    sparqlog_obs::global()
+        .counter("shard_log_frames_streamed_total")
+        .add(written);
     Frame::Epilogue(EpilogueFrame {
         log_frames: written,
         cache: fused.stats.cache.unwrap_or_default(),
         fused: fused.fused,
+        // The worker's whole registry rides home in the epilogue: the
+        // coordinator absorbs it, so per-stage pipeline latencies measured
+        // in this process surface in the coordinator's (and daemon's)
+        // metrics. Empty when SPARQLOG_METRICS=0.
+        metrics: sparqlog_obs::global().snapshot(),
     })
     .write_checked_to(&mut **guard)?;
     // Stop the heartbeat thread while the writer is still held: it re-checks

@@ -8,6 +8,7 @@ use sparqlog_core::analysis::{CorpusAnalysis, DatasetAnalysis, Population};
 use sparqlog_core::cache::CacheStats;
 use sparqlog_core::corpus::{ingest, CorpusCounts, FusedStats, LogSummary, RawLog};
 use sparqlog_core::{ErrorKind, ErrorTally};
+use sparqlog_obs::{HistogramSnapshot, MetricsSnapshot};
 use sparqlog_paths::{PathExpressionType, PathTally, TypeEntry};
 use sparqlog_shard::codec::{
     write_stream_header, DecodeErrorKind, Decoder, Encoder, StreamError, MAGIC, VERSION,
@@ -195,11 +196,24 @@ proptest! {
                 peak_inflight_entries: count,
                 distinct_forms: 3,
             },
+            metrics: MetricsSnapshot {
+                counters: vec![("pipeline_entries_total".to_string(), count as u64)],
+                gauges: vec![("cache_distinct_forms".to_string(), -(seed as i64))],
+                histograms: vec![(
+                    "pipeline_parse_us".to_string(),
+                    HistogramSnapshot {
+                        count: 2,
+                        sum: seed + 10,
+                        max: seed + 9,
+                        buckets: vec![(1, 1), (seed.max(2), 1)],
+                    },
+                )],
+            },
         };
         let mut stream = Vec::new();
         write_stream_header(&mut stream).unwrap();
         Frame::from(frame.clone()).write_to(&mut stream).unwrap();
-        Frame::Epilogue(epilogue).write_to(&mut stream).unwrap();
+        Frame::Epilogue(epilogue.clone()).write_to(&mut stream).unwrap();
         let (snapshot, bytes) = read_snapshot(stream.as_slice()).unwrap();
         prop_assert_eq!(bytes, stream.len() as u64);
         prop_assert_eq!(&snapshot.logs[..], std::slice::from_ref(&frame));
@@ -322,8 +336,7 @@ fn tiny_log_frame() -> Frame {
 fn tiny_epilogue() -> Frame {
     Frame::Epilogue(EpilogueFrame {
         log_frames: 1,
-        cache: CacheStats::default(),
-        fused: FusedStats::default(),
+        ..EpilogueFrame::default()
     })
 }
 

@@ -23,6 +23,9 @@
 //! * `report <job> [--full]`         the job's (possibly partial) report
 //! * `drain`                         ask the server to refuse new jobs
 //! * `events [<job>]`                the structured event log
+//! * `metrics`                       the server's metric registry in text
+//!   exposition format (pipeline, cache, shard, persist, and serve
+//!   layers); empty when the server runs with `SPARQLOG_METRICS=0`
 //!
 //! Exits non-zero when a waited-on or reported job has failed.
 
@@ -36,7 +39,7 @@ fn usage() -> ! {
          [--retries N] [--retry-backoff-ms N] \
          (ping | submit [--valid] [--wait] [--full] [--recovery POLICY] \
          <label>=<path>... | \
-         status <job> | report <job> [--full] | drain | events [<job>])"
+         status <job> | report <job> [--full] | drain | events [<job>] | metrics)"
     );
     std::process::exit(2);
 }
@@ -210,6 +213,15 @@ fn main() {
                 Err(error) => fail(error),
             }
         }
+        "metrics" => match client.metrics() {
+            Ok((snapshot, text)) => {
+                if snapshot.is_empty() {
+                    eprintln!("sparqlog-client: no metrics (server runs with metrics disabled?)");
+                }
+                print!("{text}");
+            }
+            Err(error) => fail(error),
+        },
         _ => usage(),
     }
 }

@@ -35,6 +35,12 @@
 //!   sessions submit jobs, a supervised worker pool restarts and
 //!   reassigns dead workers, and incremental reports stream back to any
 //!   number of concurrent clients.
+//! * [`obs`] — dependency-free metrics and tracing: lock-free counters,
+//!   gauges and mergeable log-linear latency histograms behind a global
+//!   registry, plus the structured event-journal schema
+//!   ([`obs::EventRecord`]). Disabled (`SPARQLOG_METRICS=0`) it costs one
+//!   relaxed atomic load per instrumentation point and never touches the
+//!   clock; reports stay byte-identical either way.
 //! * [`persist`] — the crash-safe snapshot store behind `--store`:
 //!   checksummed append-only records, explicit commit points, fsync
 //!   discipline, and a recovery scan that truncates torn tails and names
@@ -191,6 +197,7 @@ pub use sparqlog_algebra as algebra;
 pub use sparqlog_core as core;
 pub use sparqlog_gmark as gmark;
 pub use sparqlog_graph as graph;
+pub use sparqlog_obs as obs;
 pub use sparqlog_parser as parser;
 pub use sparqlog_paths as paths;
 pub use sparqlog_persist as persist;
